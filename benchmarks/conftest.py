@@ -1,0 +1,22 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every bench prints the rows it reproduces (paper artefact vs measured)
+so `pytest benchmarks/ --benchmark-only -s` regenerates the material in
+EXPERIMENTS.md.  STE checks are expensive and deterministic, so all
+benchmarks run with ``rounds=1, iterations=1`` via `once`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def run_once():
+    return once

@@ -1,0 +1,205 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+A1 — **retention priority**: Fig. 1's cell gives hold mode priority
+over reset ("retention has priority over reset").  Flip the priority
+(reset dominates hold) and the in-sleep NRST pulse destroys retained
+state: the hold-across-reset theorem turns into a counterexample.
+
+A2 — **the reload cycle**: the fixed selective design needs one reload
+edge after resume before the next architectural transition.  Demanding
+the next state at the first resume edge (the full-retention schedule)
+on the selective design must fail — the one-cycle stutter is the real,
+measured latency price of selective retention.
+
+A3 — **what exactly fixes the bug**: a variant with the buggy design's
+*wide registered fetch path* but the resume-safe bubble decode also
+verifies.  The essential repair is the write-free reset decode plus the
+reload protocol; the paper's 6-bit IFR is its area-minimal form
+(6 retained-path bits instead of 32).
+
+A4 — **balloon-latch retention** (paper ref [3]): a completely
+different gate-level realisation — working flop + always-on balloon
+latch with SAVE/RESTORE protocol — satisfies the same retention
+contract as the emulated NRET/NRST cell, proven by STE.
+"""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import RiscConfig, build_core, fixed_core
+from repro.harness import Table
+from repro.netlist import CircuitBuilder, build_balloon_bank
+from repro.retention import build_suite, property2_schedule
+from repro.ste import check, conj, from_to, is0, is1, node_is, vec_is
+
+from .conftest import once
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+
+# ----------------------------------------------------------------------
+# A1: flip the hold/reset priority
+# ----------------------------------------------------------------------
+def reset_priority_cell():
+    """A mis-designed retention cell: reset dominates hold.
+
+    Built structurally: an inner retention-less dff with its reset
+    applied *outside* the hold mux is not expressible with one
+    primitive, so emulate with two: hold mux feeding a plain resettable
+    dff would re-time the hold; instead use the primitive cell but
+    drive its NRET from ``NRET OR ~NRST`` — reset forces sample mode,
+    which is exactly 'reset wins'.
+    """
+    b = CircuitBuilder("reset_priority")
+    d = b.input("D")
+    clk = b.input("CLK")
+    nret = b.input("NRET")
+    nrst = b.input("NRST")
+    nret_eff = b.or_(nret, b.not_(nrst))
+    b.circuit.add_dff("Q", d, clk, nret=nret_eff, nrst=nrst)
+    b.circuit.set_output("Q")
+    return b.circuit
+
+
+def good_cell():
+    b = CircuitBuilder("good")
+    b.circuit.add_dff("Q", b.input("D"), b.input("CLK"),
+                      nret=b.input("NRET"), nrst=b.input("NRST"))
+    b.circuit.set_output("Q")
+    return b.circuit
+
+
+def _hold_across_reset(circuit, mgr):
+    dv = mgr.var("dv")
+    a = conj([
+        from_to(node_is("D", dv), 0, 1),
+        from_to(is0("CLK"), 0, 1), from_to(is1("CLK"), 1, 2),
+        from_to(is0("CLK"), 2, 6),
+        from_to(is1("NRET"), 0, 2), from_to(is0("NRET"), 2, 6),
+        from_to(is1("NRST"), 0, 3), from_to(is0("NRST"), 3, 4),
+        from_to(is1("NRST"), 4, 6),
+    ])
+    c = from_to(node_is("Q", dv), 1, 6)
+    return check(circuit, a, c, mgr)
+
+
+def test_bench_ablation_retention_priority(benchmark):
+    def run():
+        return (_hold_across_reset(good_cell(), BDDManager()),
+                _hold_across_reset(reset_priority_cell(), BDDManager()))
+
+    good, flipped = once(benchmark, run)
+    assert good.passed
+    assert not flipped.passed
+    print("\nA1: hold-over-reset priority is load-bearing — flipping it "
+          "lets the in-sleep NRST pulse destroy retained state "
+          f"(counterexample at t={flipped.failures[0].time})")
+
+
+# ----------------------------------------------------------------------
+# A2: the reload cycle is necessary for the selective design
+# ----------------------------------------------------------------------
+def test_bench_ablation_reload_cycle(benchmark):
+    core = fixed_core(**GEOMETRY)
+    mgr = BDDManager()
+    with_reload = {p.name: p for p in build_suite(core, mgr, sleep=True)}
+
+    # Build the same property on the no-reload (full-retention) schedule
+    # by checking a full-retention-style suite against the selective
+    # core: next state demanded at the first resume edge.
+    from repro.retention.properties import make_env, _build_fetch_sequential
+    env = make_env(core, mgr)
+    sched = property2_schedule(reload=False)
+    a_extra, c = _build_fetch_sequential(core, env, sched)
+    premature_a = conj([sched.base, a_extra])
+
+    def run():
+        ok = with_reload["fetch_pc_plus4"].check(core, mgr)
+        premature = check(core.circuit, premature_a, c, mgr)
+        return ok, premature
+
+    ok, premature = once(benchmark, run)
+    assert ok.passed
+    assert not premature.passed
+    print("\nA2: the selective design needs its one reload cycle — "
+          "demanding the next state at the first resume edge fails "
+          "(the IFR still holds the bubble); full retention's zero-"
+          "stutter resume is the latency it buys with area")
+
+
+# ----------------------------------------------------------------------
+# A3: wide registered fetch + safe decode also verifies
+# ----------------------------------------------------------------------
+def test_bench_ablation_safe_decode(benchmark):
+    safe = build_core(RiscConfig(variant="registered-fetch-safe",
+                                 **GEOMETRY))
+
+    def run():
+        mgr = BDDManager()
+        suite = {p.name: p for p in build_suite(safe, mgr, sleep=True)}
+        return [suite[n].check(safe, mgr)
+                for n in ("fetch_pc_plus4", "control_RegWrite",
+                          "control_PCWrite")]
+
+    results = once(benchmark, run)
+    table = Table(["design", "reset fetch-path bits", "Property II"],
+                  title="A3: what fixes the bug")
+    for r in results:
+        assert r.passed, r.summary()
+    table.add("buggy (mips0 + wide FR)", 32, "FAILS (E7)")
+    table.add("registered-fetch-safe (bubble0 + wide FR)", 32, "passes")
+    table.add("selective-ifr (paper's fix, 6-bit IFR)", 6, "passes")
+    print()
+    print(table)
+    print("the essential repair is the write-free reset decode + reload "
+          "protocol; the 6-bit IFR is its area-minimal realisation")
+
+
+# ----------------------------------------------------------------------
+# A4: balloon-latch retention satisfies the same contract
+# ----------------------------------------------------------------------
+def balloon_bank(width=4):
+    b = CircuitBuilder("balloon")
+    clk = b.input("CLK")
+    save = b.input("SAVE")
+    restore = b.input("RESTORE")
+    nrst = b.input("NRST")
+    d = b.input_bus("D", width)
+    bank = build_balloon_bank(b, "Q", d, clk, save, restore, nrst)
+    for n in bank["q"]:
+        b.output(n)
+    return b.circuit
+
+
+def test_bench_ablation_balloon_latch(benchmark):
+    width = 4
+    circuit = balloon_bank(width)
+    mgr = BDDManager()
+    from repro.bdd import BVec
+    data = BVec.variables(mgr, "v", width)
+
+    # Protocol: load at t1; SAVE pulse t2; NRST pulse t3 (working flop
+    # cleared, balloon keeps the value); RESTORE across the edge at t6;
+    # retained value back on Q from t6.
+    a = conj([
+        vec_is(circuit.bus("D", width), data).from_to(0, 2),
+        from_to(is0("CLK"), 0, 1), from_to(is1("CLK"), 1, 2),
+        from_to(is0("CLK"), 2, 6), from_to(is1("CLK"), 6, 8),
+        from_to(is0("SAVE"), 0, 2), from_to(is1("SAVE"), 2, 3),
+        from_to(is0("SAVE"), 3, 8),
+        from_to(is1("NRST"), 0, 3), from_to(is0("NRST"), 3, 4),
+        from_to(is1("NRST"), 4, 8),
+        from_to(is0("RESTORE"), 0, 5), from_to(is1("RESTORE"), 5, 7),
+        from_to(is0("RESTORE"), 7, 8),
+    ])
+    c = conj([
+        vec_is(circuit.bus("Q", width), data).from_to(1, 3),   # loaded
+        vec_is(circuit.bus("Q", width), 0).from_to(3, 6),      # flop reset
+        vec_is(circuit.bus("Q", width), data).from_to(6, 8),   # restored
+    ])
+    result = once(benchmark, check, circuit, a, c, mgr)
+    assert result.passed and not result.vacuous
+    print("\nA4: the balloon-latch cell (working flop cleared by the "
+          "in-sleep reset, always-on shadow latch, synchronous restore) "
+          "meets the same retention contract as Fig. 1's emulated cell — "
+          "two hardware realisations, one theorem")

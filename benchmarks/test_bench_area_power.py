@@ -1,0 +1,104 @@
+"""E11 (§IV) — area and leakage of selective vs full retention across
+pipeline generations.
+
+"For a 3-stage, 5-stage and 7-stage CPU the programmers visible
+'architectural state' is basically the same but the micro-architectural
+state roughly doubles every generation … Only implementing hardware
+state retention for the programmers model is highly desirable given
+that retention registers may be 25-40 % larger area per flop."
+
+Expected shape: architectural bits flat across generations;
+micro-architectural bits ~2x per generation; full-retention area
+overhead sits in the 25-40 % band; selective retention's area and
+leakage savings *grow* with pipeline depth.
+"""
+
+import pytest
+
+from repro.cpu import (GENERATIONS, RiscConfig, build_core, core_inventory,
+                       generation_inventory)
+from repro.harness import Table, paper_claims
+from repro.retention import (RetentionCostModel, compare_policies,
+                             generation_sweep, retention_report)
+
+from .conftest import once
+
+
+def test_bench_generation_sweep(benchmark):
+    inventories = [generation_inventory(s) for s in GENERATIONS]
+    rows = once(benchmark, generation_sweep, inventories)
+
+    table = Table(["design", "arch bits", "uarch bits", "full area",
+                   "sel. area", "area saved", "leak saved",
+                   "retained frac"],
+                  title="E11: selective vs full retention across "
+                        "generations (normalised flop units)")
+    for row in rows:
+        table.add(row["design"], row["arch_bits"], row["uarch_bits"],
+                  f"{row['full_area']:.0f}", f"{row['selective_area']:.0f}",
+                  f"{row['area_saving'] * 100:.1f}%",
+                  f"{row['leakage_saving'] * 100:.1f}%",
+                  f"{row['retained_fraction'] * 100:.0f}%")
+    print()
+    print(table)
+
+    # Paper shapes.
+    archs = [r["arch_bits"] for r in rows]
+    assert len(set(archs)) == 1, "architectural state must stay constant"
+    uarchs = [r["uarch_bits"] for r in rows]
+    for small, big in zip(uarchs, uarchs[1:]):
+        assert 1.5 <= big / small <= 3.0, "uarch must roughly double"
+    savings = [r["area_saving"] for r in rows]
+    assert savings == sorted(savings), "selective savings grow with depth"
+    print("architectural state flat; micro-architectural state ~doubles; "
+          "selective retention's advantage grows with every generation — "
+          "the paper's §IV argument")
+
+
+def test_bench_area_overhead_band(benchmark):
+    """Full retention's area overhead over an all-plain design tracks
+    the per-flop overhead — the paper's 25-40 % band."""
+    inv = generation_inventory(5)
+
+    def run():
+        out = {}
+        for per_flop in (0.25, 0.325, 0.40):
+            model = RetentionCostModel(retention_area_overhead=per_flop)
+            out[per_flop] = compare_policies(inv, model)
+        return out
+
+    results = once(benchmark, run)
+    low, high = paper_claims()["retention_area_overhead_range"]
+    table = Table(["per-flop overhead", "full-retention overhead",
+                   "selective overhead"],
+                  title="E11b: the 25-40% retention-flop band (5-stage)")
+    for per_flop, costs in results.items():
+        full = costs["full"].area_overhead_vs_plain
+        sel = costs["selective"].area_overhead_vs_plain
+        table.add(f"{per_flop * 100:.1f}%", f"{full * 100:.1f}%",
+                  f"{sel * 100:.1f}%")
+        assert abs(full - per_flop) < 1e-9
+        assert sel < full
+    print()
+    print(table)
+
+
+def test_bench_netlist_cross_check(benchmark):
+    """The analytical inventory agrees with the real gate-level core:
+    counting flops in the elaborated netlist gives the same
+    architectural/total split the model predicts."""
+    cfg = RiscConfig(nregs=8, imem_depth=8, dmem_depth=8)
+
+    def run():
+        core = build_core(cfg)
+        report = retention_report(core.circuit)
+        inv = core_inventory(cfg.nregs, cfg.imem_depth, cfg.dmem_depth)
+        return core, report, inv
+
+    core, report, inv = once(benchmark, run)
+    assert inv.total_bits == len(core.circuit.registers)
+    assert inv.architectural_bits == report.retained_bits
+    assert report.matches_selective_policy
+    print(f"\nnetlist flops={inv.total_bits}, retained="
+          f"{report.retained_bits} (exactly the architectural state); "
+          f"policy audit: PASS")

@@ -1,0 +1,124 @@
+"""E10 (§I) — conventional exhaustive simulation vs one symbolic run.
+
+"Conventional simulation (using 0s and 1s) rapidly becomes infeasible
+even when there is no retention.  In case of retention the state-space
+grows massively because of the interaction between the retained and
+non-retained state."
+
+Workload: an n-bit retention register bank driven through the full
+sleep/resume excursion; the obligation is that every retained bit
+equals its pre-sleep value after resume.  Conventional verification
+re-simulates once per assignment of the n data bits (2^n runs); STE
+discharges the same obligation in one symbolic run.
+
+Expected shape: the exhaustive run count (and time) doubles per state
+bit while the symbolic time stays essentially flat — the crossover sits
+at a handful of bits.
+"""
+
+import pytest
+
+from repro.bdd import BDDManager, BVec
+from repro.harness import Table
+from repro.netlist import CircuitBuilder
+from repro.sim import enumerate_runs
+from repro.ste import check, conj, from_to, is0, is1, vec_is
+
+from .conftest import once
+
+BITS = (2, 4, 6, 8, 10, 12)
+
+
+def bank(nbits):
+    b = CircuitBuilder(f"bank{nbits}")
+    clk = b.input("clk")
+    nret = b.input("NRET")
+    nrst = b.input("NRST")
+    d = b.input_bus("d", nbits)
+    b.retention_dff_bus("Q", d, clk, nret, nrst)
+    return b.circuit
+
+
+#: phase -> (clk, nret, nrst): load, sleep with reset pulse, resume.
+SCHEDULE = [
+    (0, 1, 1),   # t0: data presented
+    (1, 1, 1),   # t1: rising edge loads
+    (0, 0, 1),   # t2: clock stopped, hold mode
+    (0, 0, 0),   # t3: in-sleep reset pulse
+    (0, 0, 1),   # t4
+    (0, 1, 1),   # t5: resume
+    (1, 1, 1),   # t6: clock restarts
+]
+
+
+def _exhaustive(circuit, nbits, limit=None):
+    names = [f"v{i}" for i in range(nbits)]
+
+    def stimulus(assignment):
+        phases = []
+        for t, (clk, nret, nrst) in enumerate(SCHEDULE):
+            inputs = {"clk": clk, "NRET": nret, "NRST": nrst}
+            for i in range(nbits):
+                # Data held for the whole run (it stands in for stable
+                # upstream retained state, like the PC into a memory).
+                inputs[f"d[{i}]"] = assignment[f"v{i}"]
+            phases.append(inputs)
+        return phases
+
+    def oracle(sim, assignment):
+        want = sum(1 << i for i in range(nbits) if assignment[f"v{i}"])
+        return sim.bus_value([f"Q[{i}]" for i in range(nbits)]) == want
+
+    return enumerate_runs(circuit, names, stimulus, oracle, limit=limit)
+
+
+def _symbolic(circuit, nbits):
+    mgr = BDDManager()
+    data = BVec.variables(mgr, "v", nbits)
+    parts = [vec_is(circuit.bus("d", nbits), data).from_to(0, len(SCHEDULE))]
+    for t, (clk, nret, nrst) in enumerate(SCHEDULE):
+        parts.append(from_to(is1("clk") if clk else is0("clk"), t, t + 1))
+        parts.append(from_to(is1("NRET") if nret else is0("NRET"), t, t + 1))
+        parts.append(from_to(is1("NRST") if nrst else is0("NRST"), t, t + 1))
+    a = conj(parts)
+    c = vec_is(circuit.bus("Q", nbits), data).from_to(1, len(SCHEDULE))
+    return check(circuit, a, c, mgr)
+
+
+def test_bench_scalar_vs_symbolic(benchmark):
+    import time as _time
+
+    def run():
+        rows = []
+        for nbits in BITS:
+            circuit = bank(nbits)
+            t0 = _time.perf_counter()
+            runs, ok = _exhaustive(circuit, nbits)
+            exhaustive_t = _time.perf_counter() - t0
+            assert ok and runs == 2 ** nbits
+            t0 = _time.perf_counter()
+            result = _symbolic(circuit, nbits)
+            symbolic_t = _time.perf_counter() - t0
+            assert result.passed
+            rows.append((nbits, runs, exhaustive_t, symbolic_t))
+        return rows
+
+    rows = once(benchmark, run)
+    table = Table(["state bits", "exhaustive runs", "exhaustive time",
+                   "STE runs", "STE time"],
+                  title="E10: conventional exhaustive simulation vs one "
+                        "symbolic run (sleep/resume retention check)")
+    for nbits, runs, et, st in rows:
+        table.add(nbits, runs, f"{et * 1000:.0f}ms", 1,
+                  f"{st * 1000:.0f}ms")
+    print()
+    print(table)
+
+    # Shape: exhaustive time doubles per bit; symbolic grows mildly.
+    first, last = rows[0], rows[-1]
+    assert last[2] / first[2] > 2 ** (BITS[-1] - BITS[0]) / 8
+    assert last[3] / max(first[3], 1e-9) < 64
+    crossover = next((n for n, _, et, st in rows if et > st), None)
+    print(f"crossover (exhaustive slower than symbolic) at "
+          f"{crossover} state bits; beyond that the 2^n wall wins — "
+          f"'conventional simulation rapidly becomes infeasible' (§I)")

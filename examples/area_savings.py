@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The §IV power/area argument, quantified (experiment E11).
+
+Why selective retention matters more every CPU generation: the
+programmer-visible architectural state stays constant while the
+micro-architectural state (pipeline registers, write buffers, branch
+predictors, TLBs) roughly doubles from 3-stage to 5-stage to 7-stage.
+With retention flops costing 25-40 % extra area each, retaining only
+the programmer's model keeps the retention bill flat.
+
+Also audits our actual gate-level core: the netlist's retained-flop
+set is exactly its architectural state.
+
+Run:  python examples/area_savings.py
+"""
+
+from repro.cpu import (GENERATIONS, RiscConfig, build_core,
+                       generation_inventory)
+from repro.harness import Table
+from repro.retention import (RetentionCostModel, compare_policies,
+                             generation_sweep, retention_report)
+
+
+def main():
+    inventories = [generation_inventory(s) for s in GENERATIONS]
+
+    print("state inventories (flop bits):")
+    table = Table(["design", "architectural", "micro-architectural",
+                   "uarch growth"])
+    prev = None
+    for inv in inventories:
+        growth = (f"x{inv.microarchitectural_bits / prev:.2f}"
+                  if prev else "-")
+        table.add(inv.name, inv.architectural_bits,
+                  inv.microarchitectural_bits, growth)
+        prev = inv.microarchitectural_bits
+    print(table)
+
+    print("\nretention policies (normalised area/leakage, 32.5% per-flop "
+          "overhead — midpoint of the paper's 25-40% band):")
+    table = Table(["design", "full area", "selective area", "area saved",
+                   "full leakage", "selective leakage", "leakage saved"])
+    for row in generation_sweep(inventories):
+        table.add(row["design"], f"{row['full_area']:.0f}",
+                  f"{row['selective_area']:.0f}",
+                  f"{row['area_saving'] * 100:.1f}%",
+                  f"{row['full_leakage']:.0f}",
+                  f"{row['selective_leakage']:.0f}",
+                  f"{row['leakage_saving'] * 100:.1f}%")
+    print(table)
+
+    print("\nsensitivity across the paper's 25-40% per-flop band "
+          "(7-stage):")
+    table = Table(["per-flop overhead", "selective saves vs full"])
+    for per_flop in (0.25, 0.325, 0.40):
+        model = RetentionCostModel(retention_area_overhead=per_flop)
+        costs = compare_policies(inventories[-1], model)
+        saving = 1 - costs["selective"].flop_area / costs["full"].flop_area
+        table.add(f"{per_flop * 100:.1f}%", f"{saving * 100:.1f}%")
+    print(table)
+
+    print("\nauditing the real netlist (our Fig. 4 core):")
+    core = build_core(RiscConfig(nregs=8, imem_depth=8, dmem_depth=8))
+    report = retention_report(core.circuit)
+    print(report.summary())
+    assert report.matches_selective_policy
+    print("\nthe retained set is exactly the programmer-visible state — "
+          "the paper's main finding, enforced structurally and proven "
+          "behaviourally by the Property II suite.")
+
+
+if __name__ == "__main__":
+    main()

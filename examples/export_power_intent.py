@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Export and audit the core's power intent as UPF.
+
+The paper situates itself against flows where retention is specified in
+the Unified Power Format (§I).  Once the STE methodology has settled
+*what* must be retained — exactly the architectural state — that result
+is handed to an implementation flow as UPF.  This example:
+
+1. derives the canonical UPF description from the verified
+   selective-retention core,
+2. writes it, re-parses it, and audits the netlist against it
+   (every retained flop covered by a strategy, no undocumented
+   retention, save/restore nets wired consistently),
+3. shows the audit *catching* two broken scenarios: a netlist with
+   missing retention, and one with undocumented (excess) retention.
+
+Run:  python examples/export_power_intent.py
+"""
+
+import os
+
+from repro.cpu import RiscConfig, build_core
+from repro.upf import audit, intent_for_core, parse_upf_text, upf_text
+
+GEOMETRY = dict(nregs=8, imem_depth=8, dmem_depth=8)
+
+
+def main():
+    core = build_core(RiscConfig(**GEOMETRY))
+    intent = intent_for_core(core.circuit)
+    text = upf_text(intent)
+
+    print("== UPF power intent derived from the verified core ==\n")
+    print(text)
+
+    out = os.path.join(os.path.dirname(__file__), "risc32_selective.upf")
+    with open(out, "w") as f:
+        f.write(text)
+    print(f"written to {out}\n")
+
+    print("== audit: netlist vs intent ==")
+    result = audit(core.circuit, parse_upf_text(text))
+    print(result.summary())
+    assert result.ok
+
+    print("\n== negative control 1: netlist without retention ==")
+    broken = build_core(RiscConfig(variant="no-retention", **GEOMETRY))
+    result = audit(broken.circuit, intent)
+    print(result.summary().splitlines()[0])
+    print(f"  first violation: {result.violations[0]}")
+    assert not result.ok
+
+    print("\n== negative control 2: undocumented (full) retention ==")
+    excess = build_core(RiscConfig(variant="full-retention", **GEOMETRY))
+    result = audit(excess.circuit, intent)
+    print(result.summary().splitlines()[0])
+    print(f"  first violation: {result.violations[0]}")
+    assert not result.ok
+
+    print("\nthe UPF round-trip closes the loop: STE decides the "
+          "retention set, UPF carries it to implementation, the audit "
+          "keeps netlist and intent honest.")
+
+
+if __name__ == "__main__":
+    main()

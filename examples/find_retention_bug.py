@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Replay the paper's discovery: find the retention bug with STE (E7).
+
+§III-B's narrative, end to end:
+
+1. The pre-fix design (instruction held in a plain, resettable
+   registered read port; standard MIPS decode) proves all of normal
+   operation — Property I passes.  The bug is invisible.
+2. The same property *with sleep and resume spliced in* (Property II)
+   fails: during sleep the NRST pulse resets the control unit's
+   inputs, and at the resume edge the reset opcode — a live R-format
+   instruction under standard MIPS encoding — fires PCWrite.  STE
+   returns a symbolic counterexample; we extract a concrete 0s-and-1s
+   trace.
+3. The fixed design — combinational fetch from the retained memory,
+   the 6-bit IFR in front of the control unit, a write-free bubble
+   opcode — proves the same Property II.
+
+Run:  python examples/find_retention_bug.py
+"""
+
+from repro.bdd import BDDManager
+from repro.cpu import buggy_core, fixed_core
+from repro.retention import build_suite
+from repro.ste import extract, format_trace
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+PROPERTY = "fetch_pc_plus4"
+
+
+def run_property(core, sleep):
+    mgr = BDDManager()
+    suite = {p.name: p for p in build_suite(core, mgr, sleep=sleep)}
+    return suite[PROPERTY].check(core, mgr)
+
+
+def main():
+    buggy = buggy_core(**GEOMETRY)
+    fixed = fixed_core(**GEOMETRY)
+
+    print("== step 1: the pre-fix design under Property I ==")
+    result = run_property(buggy, sleep=False)
+    print(f"  {PROPERTY}: {result.summary()}")
+    assert result.passed, "normal operation is fine — the bug hides"
+
+    print("\n== step 2: the same property with sleep and resume ==")
+    result = run_property(buggy, sleep=True)
+    print(f"  {PROPERTY}: {result.summary()}")
+    assert not result.passed, "Property II exposes the malfunction"
+    failing = sorted({f.node for f in result.failures})
+    print(f"  failing nodes: {', '.join(failing[:6])}"
+          + (" ..." if len(failing) > 6 else ""))
+    cex = extract(result, watch=["clock", "NRET", "NRST"] + failing[:3])
+    print()
+    print(format_trace(cex))
+    print("\n  diagnosis: the in-sleep NRST pulse cleared the fetch "
+          "register; opcode 000000 decodes as live R-format, so the "
+          "resume edge asserts PCWrite and the PC advances past an "
+          "instruction that never executed.")
+
+    print("\n== step 3: the fixed design (6-bit IFR + bubble decode) ==")
+    result = run_property(fixed, sleep=True)
+    print(f"  {PROPERTY}: {result.summary()}")
+    assert result.passed
+    print("\n  the theorem holds for every assignment of the symbolic "
+          "present state: the architectural state is retained, the IFR "
+          "reloads from the retained instruction memory, and the next "
+          "state matches normal operation — Fig. 2 commutes.")
+
+
+if __name__ == "__main__":
+    main()

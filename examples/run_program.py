@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Run a real program on the gate-level Fig. 4 core (experiment E4).
+
+Assembles a small program, streams it into the gate-level instruction
+memory, executes it cycle-accurately on the netlist, and cross-checks
+every architectural effect against the pure-Python reference
+interpreter.  Also round-trips the netlist through our BLIF subset —
+the paper's Quartus-II-to-Forte interchange path — and shows the two
+circuits are the same design.
+
+Run:  python examples/run_program.py
+"""
+
+from repro.blif import blif_text, parse_blif_text
+from repro.cpu import CoreDriver, assemble, fixed_core, run_program
+
+
+PROGRAM = """
+    # r1=seed1, r2=seed2 (poked by the testbench)
+    add r3, r1, r2      # r3 = r1 + r2
+    sw  r3, 4(r0)       # dmem[1] = r3
+    lw  r4, 4(r0)       # r4 = dmem[1]
+    slt r5, r2, r1      # r5 = (r2 < r1)
+    beq r4, r3, hit     # taken: r4 == r3
+    add r6, r3, r3      # (skipped)
+hit:
+    or  r7, r4, r5      # r7 = r4 | r5
+"""
+
+
+def main():
+    core = fixed_core(nregs=8, imem_depth=8, dmem_depth=4)
+    print(f"core: {core.circuit}")
+
+    words = assemble(PROGRAM)
+    print(f"program: {len(words)} words")
+    for i, w in enumerate(words):
+        print(f"  imem[{i}] = {w:#010x}")
+
+    driver = CoreDriver(core)
+    driver.boot(words)
+    driver.poke_reg(1, 21)
+    driver.poke_reg(2, 14)
+    driver.run_cycles(6)
+
+    reference = run_program(words, steps=6, regs={1: 21, 2: 14})
+    print(f"\n{'':12}{'gate level':>12}{'interpreter':>12}")
+    print(f"{'pc':12}{driver.pc():>12}{reference.pc:>12}")
+    for i in range(8):
+        print(f"{'r%d' % i:12}{driver.reg(i):>12}{reference.regs[i]:>12}")
+    print(f"{'dmem[1]':12}{driver.dmem(1):>12}"
+          f"{reference.dmem.get(1, 0):>12}")
+
+    assert driver.pc() == reference.pc
+    assert driver.regs() == reference.regs[:8]
+    assert driver.dmem(1) == reference.dmem.get(1, 0)
+    print("\ngate-level execution matches the reference interpreter")
+
+    # The BLIF interchange path.
+    text = blif_text(core.circuit)
+    parsed = parse_blif_text(text)
+    assert len(parsed.registers) == len(core.circuit.registers)
+    retained = len([q for q, r in parsed.registers.items()
+                    if r.is_retention])
+    print(f"\nBLIF round-trip: {len(text.splitlines())} lines, "
+          f"{len(parsed.gates)} gates, {len(parsed.registers)} registers "
+          f"({retained} retention) — structure preserved")
+
+
+if __name__ == "__main__":
+    main()

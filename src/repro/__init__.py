@@ -1,0 +1,32 @@
+"""repro — Selective State Retention Design using Symbolic Simulation.
+
+A complete, from-scratch Python reproduction of Darbari, Al Hashimi,
+Flynn & Biggs (DATE 2009): a BDD-based symbolic trajectory evaluation
+(STE) stack, a gate-level 32-bit RISC core with emulated retention
+registers, and the methodology that designs and *proves* selective
+state retention — retain the programmer-visible architectural state,
+leave the micro-architectural state volatile, and show with STE that
+sleep/resume preserves correctness.
+
+Package map (see DESIGN.md for the full inventory):
+
+==================  ==================================================
+``repro.bdd``       hash-consed ROBDDs + symbolic bit-vectors
+``repro.ternary``   the dual-rail X/0/1/⊤ lattice domain
+``repro.netlist``   gate-level circuits, the Fig. 1 retention register
+``repro.blif``      BLIF parser/writer (the Quartus interchange)
+``repro.fsm``       circuit -> executable ternary model (exlif2exe)
+``repro.ste``       trajectory formulas, the checker, counterexamples,
+                    symbolic indexing, inference rules
+``repro.cpu``       the Fig. 4 RISC core, ISA, assembler, golden model
+``repro.retention`` sleep/resume schedules, the 26-property suite,
+                    retention-set analysis, the area/power model
+``repro.sim``       scalar simulation, waveforms (Fig. 3), VCD
+``repro.harness``   experiment registry and result tables
+==================  ==================================================
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["bdd", "ternary", "netlist", "blif", "fsm", "ste", "cpu",
+           "retention", "sim", "harness", "__version__"]

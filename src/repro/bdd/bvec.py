@@ -1,0 +1,232 @@
+"""Symbolic bit-vectors over BDDs.
+
+The paper's properties constantly speak about word-level quantities — a
+32-bit write-data vector ``WD``, 8-bit addresses ``WA``/``RA``, the 256
+scalar address constants ``Zero .. TwoFiftyFive`` and the read-after-write
+function ``RAW``.  :class:`BVec` gives those a home: a little-endian list
+of BDD Refs (bit 0 first) with word-level operators built from the bit
+algorithms (ripple-carry adder, borrow subtractor, equality/magnitude
+comparators, shifts, muxes).
+
+These are *specification-side* vectors: they are used to write STE
+antecedents/consequents and golden models, not to build circuits (the
+netlist package has its own gate-level constructors — keeping the two
+separate mirrors the spec/implementation split of the methodology).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence, Union
+
+from .manager import BDDError, BDDManager, Ref
+
+__all__ = ["BVec"]
+
+
+class BVec:
+    """A fixed-width vector of BDD Refs, bit 0 = least significant."""
+
+    __slots__ = ("mgr", "bits")
+
+    def __init__(self, mgr: BDDManager, bits: Sequence[Ref]):
+        for bit in bits:
+            if bit.mgr is not mgr:
+                raise BDDError("BVec bits must belong to the given manager")
+        self.mgr = mgr
+        self.bits = list(bits)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def variables(cls, mgr: BDDManager, prefix: str, width: int) -> "BVec":
+        """Fresh/declared variables ``prefix[0] .. prefix[width-1]``."""
+        return cls(mgr, [mgr.var(f"{prefix}[{i}]") for i in range(width)])
+
+    @classmethod
+    def constant(cls, mgr: BDDManager, value: int, width: int) -> "BVec":
+        """The unsigned constant *value* as a *width*-bit vector."""
+        if value < 0:
+            value &= (1 << width) - 1
+        if value >= (1 << width):
+            raise BDDError(f"constant {value} does not fit in {width} bits")
+        return cls(mgr, [mgr.true if (value >> i) & 1 else mgr.false
+                         for i in range(width)])
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    def __getitem__(self, idx: Union[int, slice]) -> Union[Ref, "BVec"]:
+        if isinstance(idx, slice):
+            return BVec(self.mgr, self.bits[idx])
+        return self.bits[idx]
+
+    def __iter__(self):
+        return iter(self.bits)
+
+    def _coerce(self, other: Union["BVec", int]) -> "BVec":
+        if isinstance(other, int):
+            return BVec.constant(self.mgr, other, self.width)
+        if other.width != self.width:
+            raise BDDError(
+                f"width mismatch: {self.width} vs {other.width}")
+        if other.mgr is not self.mgr:
+            raise BDDError("BVec operands belong to different managers")
+        return other
+
+    def zero_extend(self, width: int) -> "BVec":
+        if width < self.width:
+            raise BDDError("zero_extend target narrower than vector")
+        return BVec(self.mgr, self.bits + [self.mgr.false] * (width - self.width))
+
+    def sign_extend(self, width: int) -> "BVec":
+        """Replicate the MSB — the paper's 16->32 sign-extend unit."""
+        if width < self.width:
+            raise BDDError("sign_extend target narrower than vector")
+        msb = self.bits[-1] if self.bits else self.mgr.false
+        return BVec(self.mgr, self.bits + [msb] * (width - self.width))
+
+    def concat(self, high: "BVec") -> "BVec":
+        """``{high, self}`` — *high* becomes the more-significant part."""
+        return BVec(self.mgr, self.bits + list(high.bits))
+
+    # ------------------------------------------------------------------
+    # Bitwise logic
+    # ------------------------------------------------------------------
+    def __and__(self, other: Union["BVec", int]) -> "BVec":
+        other = self._coerce(other)
+        return BVec(self.mgr, [a & b for a, b in zip(self.bits, other.bits)])
+
+    def __or__(self, other: Union["BVec", int]) -> "BVec":
+        other = self._coerce(other)
+        return BVec(self.mgr, [a | b for a, b in zip(self.bits, other.bits)])
+
+    def __xor__(self, other: Union["BVec", int]) -> "BVec":
+        other = self._coerce(other)
+        return BVec(self.mgr, [a ^ b for a, b in zip(self.bits, other.bits)])
+
+    def __invert__(self) -> "BVec":
+        return BVec(self.mgr, [~a for a in self.bits])
+
+    # ------------------------------------------------------------------
+    # Arithmetic (modular, unsigned encodings; two's complement applies)
+    # ------------------------------------------------------------------
+    def add(self, other: Union["BVec", int], carry_in: Optional[Ref] = None
+            ) -> "BVec":
+        other = self._coerce(other)
+        carry = carry_in if carry_in is not None else self.mgr.false
+        out: List[Ref] = []
+        for a, b in zip(self.bits, other.bits):
+            out.append(a ^ b ^ carry)
+            carry = (a & b) | (carry & (a ^ b))
+        return BVec(self.mgr, out)
+
+    def __add__(self, other: Union["BVec", int]) -> "BVec":
+        return self.add(other)
+
+    def __sub__(self, other: Union["BVec", int]) -> "BVec":
+        other = self._coerce(other)
+        return self.add(~other, carry_in=self.mgr.true)
+
+    def shift_left_const(self, amount: int) -> "BVec":
+        """Logical shift left by a constant (the paper's ``Shift Left 2``)."""
+        if amount < 0:
+            raise BDDError("negative shift amount")
+        amount = min(amount, self.width)
+        return BVec(self.mgr,
+                    [self.mgr.false] * amount + self.bits[:self.width - amount])
+
+    def shift_right_const(self, amount: int) -> "BVec":
+        if amount < 0:
+            raise BDDError("negative shift amount")
+        amount = min(amount, self.width)
+        return BVec(self.mgr,
+                    self.bits[amount:] + [self.mgr.false] * amount)
+
+    # ------------------------------------------------------------------
+    # Comparison
+    # ------------------------------------------------------------------
+    def eq(self, other: Union["BVec", int]) -> Ref:
+        other = self._coerce(other)
+        return self.mgr.conj(~(a ^ b) for a, b in zip(self.bits, other.bits))
+
+    def ne(self, other: Union["BVec", int]) -> Ref:
+        return ~self.eq(other)
+
+    def ult(self, other: Union["BVec", int]) -> Ref:
+        """Unsigned less-than."""
+        other = self._coerce(other)
+        lt = self.mgr.false
+        for a, b in zip(self.bits, other.bits):  # LSB -> MSB
+            lt = (~a & b) | (~(a ^ b) & lt)
+        return lt
+
+    def slt(self, other: Union["BVec", int]) -> Ref:
+        """Signed (two's complement) less-than — the ALU ``slt`` model."""
+        other = self._coerce(other)
+        if self.width == 0:
+            return self.mgr.false
+        diff = self - other
+        a_msb, b_msb = self.bits[-1], other.bits[-1]
+        # Overflow-aware sign of (a - b).
+        overflow = (a_msb ^ b_msb) & (a_msb ^ diff.bits[-1])
+        return diff.bits[-1] ^ overflow
+
+    def is_zero(self) -> Ref:
+        return self.mgr.conj(~b for b in self.bits)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def ite(self, cond: Ref, else_: Union["BVec", int]) -> "BVec":
+        """Per-bit ``cond ? self : else_``."""
+        else_ = self._coerce(else_)
+        return BVec(self.mgr,
+                    [self.mgr.ite(cond, a, b)
+                     for a, b in zip(self.bits, else_.bits)])
+
+    @staticmethod
+    def select(address: "BVec", entries: Sequence["BVec"]) -> "BVec":
+        """Mux *entries[i]* when ``address == i`` — the word-level model
+        of a memory read port (the ``RAW`` else-chain of the paper)."""
+        if not entries:
+            raise BDDError("select needs at least one entry")
+        mgr = address.mgr
+        out = entries[0]
+        for i in range(1, len(entries)):
+            out = entries[i].ite(address.eq(i), out)
+        return out
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def value(self, assignment: Mapping[str, bool]) -> int:
+        """Evaluate to an unsigned integer under *assignment*."""
+        total = 0
+        for i, bit in enumerate(self.bits):
+            if self.mgr.eval(bit, assignment):
+                total |= 1 << i
+        return total
+
+    def const_value(self) -> Optional[int]:
+        """The integer value if all bits are constant, else None."""
+        total = 0
+        for i, bit in enumerate(self.bits):
+            if bit.is_true:
+                total |= 1 << i
+            elif not bit.is_false:
+                return None
+        return total
+
+    def __repr__(self) -> str:
+        const = self.const_value()
+        if const is not None:
+            return f"BVec({self.width}'d{const})"
+        return f"BVec(width={self.width}, symbolic)"

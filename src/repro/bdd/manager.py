@@ -1,0 +1,559 @@
+"""Reduced Ordered Binary Decision Diagram (ROBDD) manager.
+
+This is the Boolean-function substrate underneath the whole STE stack
+(the analogue of the BDD package inside Intel's Forte system used by the
+paper).  It implements the classic hash-consed ROBDD representation:
+
+* every node is a triple ``(level, low, high)`` interned in a unique
+  table, so structural equality is pointer equality;
+* Shannon-expansion based ``ite`` (if-then-else) with memoisation is the
+  single workhorse from which all binary operators derive;
+* existential/universal quantification, functional composition, restrict,
+  support computation, satisfying-assignment enumeration and model
+  counting are provided on top.
+
+Nodes are exposed to callers as :class:`Ref` handles carrying their
+manager, so expressions read naturally::
+
+    mgr = BDDManager()
+    a, b = mgr.var("a"), mgr.var("b")
+    f = (a & b) | ~a
+
+Complement edges are deliberately *not* used: plain ROBDDs keep the code
+small and auditable, which matters more here than the constant-factor
+savings (the paper's algorithms are all representation-agnostic).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["BDDManager", "Ref", "BDDError"]
+
+
+class BDDError(Exception):
+    """Raised for structural misuse of the BDD manager (mixed managers,
+    unknown variables, malformed assignments)."""
+
+
+# Terminal node ids.  Internal nodes start at 2.
+_FALSE = 0
+_TRUE = 1
+
+
+class Ref:
+    """A handle to a BDD node owned by a :class:`BDDManager`.
+
+    Supports the Python operator protocol for readable formula
+    construction: ``&`` (and), ``|`` (or), ``^`` (xor), ``~`` (not),
+    ``>>`` (implies), ``==`` on Refs is *identity* (canonical BDDs make
+    structural equality identity equality).
+    """
+
+    __slots__ = ("mgr", "node")
+
+    def __init__(self, mgr: "BDDManager", node: int):
+        self.mgr = mgr
+        self.node = node
+
+    # -- operators -----------------------------------------------------
+    def __and__(self, other: "Ref") -> "Ref":
+        return self.mgr.apply_and(self, other)
+
+    def __or__(self, other: "Ref") -> "Ref":
+        return self.mgr.apply_or(self, other)
+
+    def __xor__(self, other: "Ref") -> "Ref":
+        return self.mgr.apply_xor(self, other)
+
+    def __invert__(self) -> "Ref":
+        return self.mgr.apply_not(self)
+
+    def __rshift__(self, other: "Ref") -> "Ref":
+        """Implication ``self -> other``."""
+        return self.mgr.apply_or(self.mgr.apply_not(self), other)
+
+    def iff(self, other: "Ref") -> "Ref":
+        """Biconditional ``self <-> other``."""
+        return self.mgr.apply_not(self.mgr.apply_xor(self, other))
+
+    def ite(self, then: "Ref", else_: "Ref") -> "Ref":
+        return self.mgr.ite(self, then, else_)
+
+    # -- predicates ----------------------------------------------------
+    @property
+    def is_true(self) -> bool:
+        return self.node == _TRUE
+
+    @property
+    def is_false(self) -> bool:
+        return self.node == _FALSE
+
+    @property
+    def is_const(self) -> bool:
+        return self.node in (_TRUE, _FALSE)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Ref)
+            and other.mgr is self.mgr
+            and other.node == self.node
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.mgr), self.node))
+
+    def __bool__(self) -> bool:
+        raise BDDError(
+            "a BDD Ref has no implicit truth value; use .is_true / .is_false "
+            "or compare against mgr.true / mgr.false"
+        )
+
+    def __repr__(self) -> str:
+        if self.node == _TRUE:
+            return "Ref(TRUE)"
+        if self.node == _FALSE:
+            return "Ref(FALSE)"
+        return f"Ref(node={self.node}, var={self.mgr.node_var(self)!r})"
+
+    # -- convenience passthroughs ---------------------------------------
+    def support(self) -> frozenset:
+        return self.mgr.support(self)
+
+    def size(self) -> int:
+        return self.mgr.size(self)
+
+    def sat_one(self) -> Optional[Dict[str, bool]]:
+        return self.mgr.sat_one(self)
+
+    def sat_count(self, nvars: Optional[int] = None) -> int:
+        return self.mgr.sat_count(self, nvars)
+
+
+class BDDManager:
+    """Owns the unique table, the variable order and all node storage."""
+
+    def __init__(self):
+        # Parallel arrays indexed by node id; entries 0/1 are dummies for
+        # the terminals.
+        self._level: List[int] = [2**60, 2**60]
+        self._low: List[int] = [0, 0]
+        self._high: List[int] = [0, 0]
+        # (level, low, high) -> node id
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        # Operation caches.
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._op_caches: Dict[str, Dict] = {}
+        # Variable bookkeeping: name <-> level (level == order position).
+        self._var_names: List[str] = []
+        self._name_to_level: Dict[str, int] = {}
+        self.true = Ref(self, _TRUE)
+        self.false = Ref(self, _FALSE)
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def var(self, name: str) -> Ref:
+        """Return (declaring on first use) the variable named *name*."""
+        level = self._name_to_level.get(name)
+        if level is None:
+            level = self.declare(name)
+        return Ref(self, self._mk(level, _FALSE, _TRUE))
+
+    def declare(self, name: str) -> int:
+        """Declare a fresh variable at the bottom of the current order and
+        return its level."""
+        if name in self._name_to_level:
+            raise BDDError(f"variable {name!r} already declared")
+        level = len(self._var_names)
+        self._var_names.append(name)
+        self._name_to_level[name] = level
+        return level
+
+    def declare_all(self, names: Iterable[str]) -> None:
+        for name in names:
+            if name not in self._name_to_level:
+                self.declare(name)
+
+    def has_var(self, name: str) -> bool:
+        return name in self._name_to_level
+
+    @property
+    def var_names(self) -> Tuple[str, ...]:
+        return tuple(self._var_names)
+
+    def level_of(self, name: str) -> int:
+        try:
+            return self._name_to_level[name]
+        except KeyError:
+            raise BDDError(f"unknown variable {name!r}") from None
+
+    def node_var(self, ref: Ref) -> Optional[str]:
+        """Name of the top variable of *ref* (None for terminals)."""
+        if ref.node in (_TRUE, _FALSE):
+            return None
+        return self._var_names[self._level[ref.node]]
+
+    def num_nodes(self) -> int:
+        """Total interned nodes (including the two terminals)."""
+        return len(self._level)
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(level)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def _check(self, *refs: Ref) -> None:
+        for ref in refs:
+            if ref.mgr is not self:
+                raise BDDError("Ref belongs to a different BDDManager")
+
+    # ------------------------------------------------------------------
+    # Core algorithm: ite
+    # ------------------------------------------------------------------
+    def ite(self, f: Ref, g: Ref, h: Ref) -> Ref:
+        """If-then-else: ``f & g | ~f & h`` computed canonically."""
+        self._check(f, g, h)
+        return Ref(self, self._ite(f.node, g.node, h.node))
+
+    def _ite(self, f: int, g: int, h: int) -> int:
+        # Terminal cases.
+        if f == _TRUE:
+            return g
+        if f == _FALSE:
+            return h
+        if g == h:
+            return g
+        if g == _TRUE and h == _FALSE:
+            return f
+        key = (f, g, h)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+        level = min(self._lvl(f), self._lvl(g), self._lvl(h))
+        f0, f1 = self._cof(f, level)
+        g0, g1 = self._cof(g, level)
+        h0, h1 = self._cof(h, level)
+        low = self._ite(f0, g0, h0)
+        high = self._ite(f1, g1, h1)
+        result = self._mk(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    def _lvl(self, node: int) -> int:
+        return self._level[node]
+
+    def _cof(self, node: int, level: int) -> Tuple[int, int]:
+        """Cofactors of *node* w.r.t. the variable at *level*."""
+        if self._level[node] != level:
+            return node, node
+        return self._low[node], self._high[node]
+
+    # ------------------------------------------------------------------
+    # Derived binary/unary operators
+    # ------------------------------------------------------------------
+    def apply_not(self, f: Ref) -> Ref:
+        self._check(f)
+        return Ref(self, self._not(f.node))
+
+    def _not(self, f: int) -> int:
+        return self._ite(f, _FALSE, _TRUE)
+
+    def apply_and(self, f: Ref, g: Ref) -> Ref:
+        self._check(f, g)
+        return Ref(self, self._ite(f.node, g.node, _FALSE))
+
+    def apply_or(self, f: Ref, g: Ref) -> Ref:
+        self._check(f, g)
+        return Ref(self, self._ite(f.node, _TRUE, g.node))
+
+    def apply_xor(self, f: Ref, g: Ref) -> Ref:
+        self._check(f, g)
+        return Ref(self, self._ite(f.node, self._not(g.node), g.node))
+
+    def conj(self, refs: Iterable[Ref]) -> Ref:
+        """Conjunction of an iterable of Refs (true for empty input)."""
+        acc = _TRUE
+        for ref in refs:
+            self._check(ref)
+            acc = self._ite(acc, ref.node, _FALSE)
+            if acc == _FALSE:
+                break
+        return Ref(self, acc)
+
+    def disj(self, refs: Iterable[Ref]) -> Ref:
+        """Disjunction of an iterable of Refs (false for empty input)."""
+        acc = _FALSE
+        for ref in refs:
+            self._check(ref)
+            acc = self._ite(acc, _TRUE, ref.node)
+            if acc == _TRUE:
+                break
+        return Ref(self, acc)
+
+    # ------------------------------------------------------------------
+    # Quantification
+    # ------------------------------------------------------------------
+    def exists(self, names: Iterable[str], f: Ref) -> Ref:
+        """Existential quantification over the named variables."""
+        self._check(f)
+        levels = frozenset(self.level_of(n) for n in names)
+        if not levels:
+            return f
+        cache: Dict[int, int] = {}
+        return Ref(self, self._quant(f.node, levels, cache, is_exists=True))
+
+    def forall(self, names: Iterable[str], f: Ref) -> Ref:
+        """Universal quantification over the named variables."""
+        self._check(f)
+        levels = frozenset(self.level_of(n) for n in names)
+        if not levels:
+            return f
+        cache: Dict[int, int] = {}
+        return Ref(self, self._quant(f.node, levels, cache, is_exists=False))
+
+    def _quant(self, node: int, levels: frozenset, cache: Dict[int, int],
+               is_exists: bool) -> int:
+        if node in (_TRUE, _FALSE):
+            return node
+        if self._level[node] > max(levels):
+            return node
+        cached = cache.get(node)
+        if cached is not None:
+            return cached
+        level = self._level[node]
+        low = self._quant(self._low[node], levels, cache, is_exists)
+        high = self._quant(self._high[node], levels, cache, is_exists)
+        if level in levels:
+            if is_exists:
+                result = self._ite(low, _TRUE, high)
+            else:
+                result = self._ite(low, high, _FALSE)
+        else:
+            result = self._mk(level, low, high)
+        cache[node] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Composition / restriction
+    # ------------------------------------------------------------------
+    def restrict(self, f: Ref, assignment: Mapping[str, bool]) -> Ref:
+        """Cofactor *f* by the partial variable *assignment*."""
+        self._check(f)
+        if not assignment:
+            return f
+        values = {self.level_of(n): bool(v) for n, v in assignment.items()}
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node in (_TRUE, _FALSE):
+                return node
+            cached = cache.get(node)
+            if cached is not None:
+                return cached
+            level = self._level[node]
+            if level in values:
+                result = walk(self._high[node] if values[level] else self._low[node])
+            else:
+                result = self._mk(level, walk(self._low[node]), walk(self._high[node]))
+            cache[node] = result
+            return result
+
+        return Ref(self, walk(f.node))
+
+    def compose(self, f: Ref, substitution: Mapping[str, Ref]) -> Ref:
+        """Simultaneously substitute BDDs for variables in *f*."""
+        self._check(f)
+        for g in substitution.values():
+            self._check(g)
+        if not substitution:
+            return f
+        subs = {self.level_of(n): g.node for n, g in substitution.items()}
+        cache: Dict[int, int] = {}
+
+        def walk(node: int) -> int:
+            if node in (_TRUE, _FALSE):
+                return node
+            cached = cache.get(node)
+            if cached is not None:
+                return cached
+            level = self._level[node]
+            low = walk(self._low[node])
+            high = walk(self._high[node])
+            if level in subs:
+                result = self._ite(subs[level], high, low)
+            else:
+                # The substituted cofactors may have top variables above
+                # `level`, so rebuild with ite on the branch variable.
+                branch = self._mk(level, _FALSE, _TRUE)
+                result = self._ite(branch, high, low)
+            cache[node] = result
+            return result
+
+        return Ref(self, walk(f.node))
+
+    def rename(self, f: Ref, mapping: Mapping[str, str]) -> Ref:
+        """Rename variables (names must map to distinct declared names)."""
+        return self.compose(f, {old: self.var(new) for old, new in mapping.items()})
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def support(self, f: Ref) -> frozenset:
+        """The set of variable names *f* depends on."""
+        self._check(f)
+        seen = set()
+        levels = set()
+        stack = [f.node]
+        while stack:
+            node = stack.pop()
+            if node in (_TRUE, _FALSE) or node in seen:
+                continue
+            seen.add(node)
+            levels.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return frozenset(self._var_names[lvl] for lvl in levels)
+
+    def size(self, f: Ref) -> int:
+        """Number of distinct internal nodes reachable from *f*."""
+        self._check(f)
+        seen = set()
+        stack = [f.node]
+        while stack:
+            node = stack.pop()
+            if node in (_TRUE, _FALSE) or node in seen:
+                continue
+            seen.add(node)
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return len(seen)
+
+    def eval(self, f: Ref, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate *f* under a total (w.r.t. its support) assignment."""
+        self._check(f)
+        node = f.node
+        while node not in (_TRUE, _FALSE):
+            name = self._var_names[self._level[node]]
+            try:
+                value = assignment[name]
+            except KeyError:
+                raise BDDError(f"assignment missing variable {name!r}") from None
+            node = self._high[node] if value else self._low[node]
+        return node == _TRUE
+
+    # ------------------------------------------------------------------
+    # Satisfiability
+    # ------------------------------------------------------------------
+    def sat_one(self, f: Ref) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment over support(f), or None if f == 0."""
+        self._check(f)
+        if f.node == _FALSE:
+            return None
+        assignment: Dict[str, bool] = {}
+        node = f.node
+        while node != _TRUE:
+            name = self._var_names[self._level[node]]
+            if self._low[node] != _FALSE:
+                assignment[name] = False
+                node = self._low[node]
+            else:
+                assignment[name] = True
+                node = self._high[node]
+        return assignment
+
+    def sat_all(self, f: Ref, names: Optional[Sequence[str]] = None
+                ) -> Iterator[Dict[str, bool]]:
+        """Enumerate all satisfying assignments, totalised over *names*
+        (default: support of *f*)."""
+        self._check(f)
+        if names is None:
+            names = sorted(self.support(f), key=self.level_of)
+        names = list(names)
+        name_set = set(names)
+
+        def rec(node: int, pending: List[str]) -> Iterator[Dict[str, bool]]:
+            if node == _FALSE:
+                return
+            if node == _TRUE:
+                for bits in itertools.product((False, True), repeat=len(pending)):
+                    yield dict(zip(pending, bits))
+                return
+            name = self._var_names[self._level[node]]
+            if name not in name_set:
+                raise BDDError(
+                    f"sat_all: function depends on {name!r} which is not in names")
+            idx = pending.index(name)
+            before, after = pending[:idx], pending[idx + 1:]
+            for branch, value in ((self._low[node], False), (self._high[node], True)):
+                for head in itertools.product((False, True), repeat=len(before)):
+                    prefix = dict(zip(before, head))
+                    prefix[name] = value
+                    for tail in rec(branch, after):
+                        out = dict(prefix)
+                        out.update(tail)
+                        yield out
+
+        yield from rec(f.node, names)
+
+    def sat_count(self, f: Ref, nvars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over *nvars* variables
+        (default: the number of variables in support(f))."""
+        self._check(f)
+        support = self.support(f)
+        if nvars is None:
+            nvars = len(support)
+        if nvars < len(support):
+            raise BDDError("nvars smaller than the support of f")
+        levels = sorted(self.level_of(n) for n in support)
+        rank = {lvl: i for i, lvl in enumerate(levels)}
+        cache: Dict[int, int] = {}
+
+        def count(node: int) -> int:
+            """Models over the support variables strictly below node level."""
+            if node == _TRUE:
+                return 1
+            if node == _FALSE:
+                return 0
+            cached = cache.get(node)
+            if cached is not None:
+                return cached
+            level = self._level[node]
+            result = 0
+            for child in (self._low[node], self._high[node]):
+                sub = count(child)
+                gap = (rank.get(self._level[child], len(levels))
+                       - rank[level] - 1)
+                result += sub << gap
+            cache[node] = result
+            return result
+
+        top_gap = rank.get(self._level[f.node], len(levels))
+        return (count(f.node) << top_gap) << (nvars - len(support))
+
+    # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop operation caches (unique table is kept: canonicity)."""
+        self._ite_cache.clear()
+        self._op_caches.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "nodes": len(self._level),
+            "vars": len(self._var_names),
+            "ite_cache": len(self._ite_cache),
+        }

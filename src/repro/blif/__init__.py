@@ -1,0 +1,17 @@
+"""BLIF frontend: parse and write the Berkeley Logic Interchange Format."""
+
+from .cover import Cube, cover_for_gate, parse_cube_line, synthesize_cover
+from .parser import BlifError, parse_blif, parse_blif_text
+from .writer import blif_text, write_blif
+
+__all__ = [
+    "Cube",
+    "cover_for_gate",
+    "parse_cube_line",
+    "synthesize_cover",
+    "BlifError",
+    "parse_blif",
+    "parse_blif_text",
+    "blif_text",
+    "write_blif",
+]

@@ -1,0 +1,120 @@
+"""PLA cover handling for BLIF ``.names`` tables.
+
+A BLIF logic function is a single-output PLA cover: rows of input
+literals over ``{0, 1, -}`` plus an output value.  This module converts
+between those covers and our gate primitives in both directions:
+
+* :func:`cover_for_gate` — the canonical small cover for each primitive
+  (used by the writer);
+* :func:`synthesize_cover` — expand an arbitrary parsed cover into
+  AND/OR/NOT gates (used by the parser), i.e. two-level SOP synthesis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist import CircuitBuilder, NetlistError
+
+__all__ = ["Cube", "cover_for_gate", "synthesize_cover", "parse_cube_line"]
+
+#: One PLA row: (input pattern over '0'/'1'/'-', output char '0'/'1').
+Cube = Tuple[str, str]
+
+
+def cover_for_gate(op: str, arity: int) -> List[Cube]:
+    """The PLA cover implementing one of our primitives.
+
+    MUX input order matches the Gate convention ``(sel, then, else)``.
+    """
+    if op == "CONST0":
+        return []  # empty cover = constant 0 in BLIF
+    if op == "CONST1":
+        return [("", "1")]
+    if op == "BUF":
+        return [("1", "1")]
+    if op == "NOT":
+        return [("0", "1")]
+    if op == "AND":
+        return [("1" * arity, "1")]
+    if op == "NAND":
+        return [("1" * arity, "0")]
+    if op == "OR":
+        return [tuple_row(i, arity) for i in range(arity)]
+    if op == "NOR":
+        return [("0" * arity, "1")]
+    if op == "XOR":
+        return [("10", "1"), ("01", "1")]
+    if op == "XNOR":
+        return [("00", "1"), ("11", "1")]
+    if op == "MUX":
+        # The consensus cube (-11) is logically redundant but makes the
+        # two-level expansion X-optimal under ternary simulation:
+        # mux(X, 1, 1) must read 1, and without the consensus term the
+        # SOP form degrades it to X.  Classic hazard-free cover.
+        return [("11-", "1"), ("0-1", "1"), ("-11", "1")]
+    raise NetlistError(f"no PLA cover for op {op!r}")
+
+
+def tuple_row(position: int, arity: int) -> Cube:
+    """A one-hot '1' at *position*, '-' elsewhere (an OR cube)."""
+    pattern = "".join("1" if i == position else "-" for i in range(arity))
+    return (pattern, "1")
+
+
+def parse_cube_line(line: str, arity: int) -> Cube:
+    """Parse one ``.names`` table row."""
+    parts = line.split()
+    if arity == 0:
+        if len(parts) != 1 or parts[0] not in ("0", "1"):
+            raise NetlistError(f"bad constant cube {line!r}")
+        return ("", parts[0])
+    if len(parts) != 2:
+        raise NetlistError(f"bad cube line {line!r}")
+    pattern, out = parts
+    if len(pattern) != arity:
+        raise NetlistError(
+            f"cube {line!r} has {len(pattern)} literals, expected {arity}")
+    if any(c not in "01-" for c in pattern) or out not in "01":
+        raise NetlistError(f"bad cube characters in {line!r}")
+    return (pattern, out)
+
+
+def synthesize_cover(builder: CircuitBuilder, ins: Sequence[str],
+                     out: str, cubes: Sequence[Cube]) -> str:
+    """Build SOP gates computing the cover; returns the output node.
+
+    BLIF requires all cubes of a table to share the output value; a '0'
+    output value means the listed cubes are the OFF-set, so the result
+    is complemented.
+    """
+    if not cubes:
+        return builder.circuit.add_gate("CONST0", out, ())
+    out_values = {c[1] for c in cubes}
+    if len(out_values) != 1:
+        raise NetlistError("mixed ON/OFF-set cover is not legal BLIF")
+    negate = out_values == {"0"}
+
+    terms: List[str] = []
+    for pattern, _ in cubes:
+        literals: List[str] = []
+        for ch, node in zip(pattern, ins):
+            if ch == "1":
+                literals.append(node)
+            elif ch == "0":
+                literals.append(builder.not_(node))
+        if not literals:
+            # All-dash cube: the function is constant for this cover.
+            terms.append(builder.const1())
+        elif len(literals) == 1:
+            terms.append(literals[0])
+        else:
+            terms.append(builder.and_(*literals))
+
+    if negate:
+        if len(terms) == 1:
+            return builder.not_(terms[0], out=out)
+        return builder.nor(*terms, out=out)
+    if len(terms) == 1:
+        return builder.buf(terms[0], out=out)
+    return builder.or_(*terms, out=out)

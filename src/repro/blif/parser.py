@@ -1,0 +1,191 @@
+"""BLIF netlist parser.
+
+Reads the subset of the Berkeley Logic Interchange Format our flow
+produces and what a Quartus-style synthesis flow emits:
+
+* ``.model / .inputs / .outputs / .end``
+* ``.names`` PLA tables (arbitrary single-output covers, ON- or
+  OFF-set form), expanded to AND/OR/NOT gates;
+* ``.latch d q [re|fe|ah|al|as control] [init]`` — rising-edge latches
+  become plain dffs; other trigger types are rejected with a clear
+  error (the methodology only needs edge-triggered state);
+* the sequential-cell ``.subckt`` extension written by
+  :mod:`repro.blif.writer` (``$dff``, ``$retff``, ``$latch``).
+
+The parser produces a :class:`~repro.netlist.circuit.Circuit`, closing
+the loop: builder -> BLIF -> parser -> STE gives the same verification
+results as builder -> STE, which `tests/test_blif.py` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, IO, Iterator, List, Optional, Tuple
+
+from ..netlist import CircuitBuilder, Circuit, NetlistError
+from .cover import Cube, parse_cube_line, synthesize_cover
+
+__all__ = ["parse_blif", "parse_blif_text", "BlifError"]
+
+
+class BlifError(NetlistError):
+    """Malformed or unsupported BLIF input."""
+
+
+def parse_blif_text(text: str) -> Circuit:
+    """Parse BLIF source text into a :class:`Circuit`."""
+    return _Parser(_logical_lines(text)).parse()
+
+
+def parse_blif(stream: IO[str]) -> Circuit:
+    """Parse BLIF from a text stream into a :class:`Circuit`."""
+    return parse_blif_text(stream.read())
+
+
+def _logical_lines(text: str) -> Iterator[str]:
+    """Yield non-empty lines with comments stripped and continuation
+    backslashes resolved."""
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = (pending + line).strip()
+        pending = ""
+        if line:
+            yield line
+    if pending.strip():
+        yield pending.strip()
+
+
+class _Parser:
+    def __init__(self, lines: Iterator[str]):
+        self.lines = list(lines)
+        self.pos = 0
+        self.builder: Optional[CircuitBuilder] = None
+        self.outputs: List[str] = []
+
+    def _peek(self) -> Optional[str]:
+        return self.lines[self.pos] if self.pos < len(self.lines) else None
+
+    def _next(self) -> str:
+        line = self.lines[self.pos]
+        self.pos += 1
+        return line
+
+    def parse(self) -> Circuit:
+        while (line := self._peek()) is not None:
+            self._next()
+            if line.startswith(".model"):
+                parts = line.split()
+                name = parts[1] if len(parts) > 1 else "top"
+                self.builder = CircuitBuilder(name)
+                # Every token of the input may be a node name; reserve
+                # them all so cover synthesis never collides.
+                for text in self.lines:
+                    self.builder.reserve(text.split())
+                break
+        if self.builder is None:
+            raise BlifError("no .model statement found")
+
+        while (line := self._peek()) is not None:
+            if line.startswith(".end"):
+                self._next()
+                break
+            if line.startswith(".inputs"):
+                self._next()
+                for node in line.split()[1:]:
+                    self.builder.input(node)
+            elif line.startswith(".outputs"):
+                self._next()
+                self.outputs.extend(line.split()[1:])
+            elif line.startswith(".names"):
+                self._parse_names(self._next())
+            elif line.startswith(".latch"):
+                self._parse_latch(self._next())
+            elif line.startswith(".subckt"):
+                self._parse_subckt(self._next())
+            elif line.startswith(".model"):
+                raise BlifError(
+                    "multiple .model sections are not supported; flatten "
+                    "the hierarchy first")
+            else:
+                raise BlifError(f"unsupported BLIF construct: {line!r}")
+
+        circuit = self.builder.circuit
+        for node in self.outputs:
+            circuit.set_output(node)
+        return circuit
+
+    # ------------------------------------------------------------------
+    def _parse_names(self, header: str) -> None:
+        signals = header.split()[1:]
+        if not signals:
+            raise BlifError(".names with no signals")
+        *ins, out = signals
+        cubes: List[Cube] = []
+        while (line := self._peek()) is not None and not line.startswith("."):
+            cubes.append(parse_cube_line(self._next(), len(ins)))
+        synthesize_cover(self.builder, ins, out, cubes)
+
+    def _parse_latch(self, line: str) -> None:
+        parts = line.split()[1:]
+        if len(parts) < 2:
+            raise BlifError(f"bad .latch: {line!r}")
+        d, q = parts[0], parts[1]
+        trigger, control, init = "re", None, 0
+        rest = parts[2:]
+        if rest and rest[0] in ("re", "fe", "ah", "al", "as"):
+            trigger = rest[0]
+            if len(rest) < 2:
+                raise BlifError(f".latch {q}: trigger without control node")
+            control = rest[1]
+            rest = rest[2:]
+        if rest:
+            if rest[0] in ("0", "1"):
+                init = int(rest[0])
+            elif rest[0] in ("2", "3"):
+                init = 0  # don't-care / unknown: model as 0 reset value
+            else:
+                raise BlifError(f".latch {q}: bad init {rest[0]!r}")
+        if trigger == "re" and control is not None:
+            self.builder.circuit.add_dff(q, d, control, init=init)
+        elif trigger == "ah" and control is not None:
+            self.builder.circuit.add_latch(q, d, control)
+        else:
+            raise BlifError(
+                f".latch {q}: trigger type {trigger!r} unsupported "
+                f"(only 're' and 'ah' are modelled)")
+
+    def _parse_subckt(self, line: str) -> None:
+        parts = line.split()[1:]
+        if not parts:
+            raise BlifError("bad .subckt")
+        cell, conns = parts[0], parts[1:]
+        pins: Dict[str, str] = {}
+        for conn in conns:
+            if "=" not in conn:
+                raise BlifError(f"bad .subckt pin {conn!r}")
+            pin, node = conn.split("=", 1)
+            pins[pin] = node
+        if cell in ("$dff", "$retff"):
+            try:
+                d, clk, q = pins["D"], pins["CLK"], pins["Q"]
+            except KeyError as exc:
+                raise BlifError(f"{cell} missing pin {exc}") from None
+            init = int(pins.get("INIT", "0"))
+            nret = pins.get("NRET")
+            if cell == "$retff" and nret is None:
+                raise BlifError("$retff requires an NRET pin")
+            self.builder.circuit.add_dff(
+                q, d, clk, enable=pins.get("EN"), nrst=pins.get("NRST"),
+                nret=nret, init=init, edge=pins.get("EDGE", "rise"))
+        elif cell == "$latch":
+            try:
+                self.builder.circuit.add_latch(pins["Q"], pins["D"], pins["EN"])
+            except KeyError as exc:
+                raise BlifError(f"$latch missing pin {exc}") from None
+        else:
+            raise BlifError(
+                f"unknown subcircuit {cell!r} (hierarchical BLIF is not "
+                f"supported; flatten first)")

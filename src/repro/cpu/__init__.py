@@ -1,0 +1,41 @@
+"""The 32-bit RISC core: ISA, assembler, gate-level datapath, variants,
+golden model, and pipeline-generation state inventories."""
+
+from .alu import build_alu
+from .assembler import NOP, AssemblerError, assemble, assemble_to_instructions
+from .control import (CONTROL_SIGNALS, build_alu_control, build_control,
+                      control_truth_table)
+from .datapath import Core, RiscConfig, VARIANTS, build_core
+from .driver import CoreDriver
+from .golden import (MachineState, alu_spec, next_pc_spec,
+                     regwrite_value_spec, run_program, step_interpreter)
+from .isa import (ALU_ADD, ALU_AND, ALU_OR, ALU_SLT, ALU_SUB,
+                  FUNCT_ADD, FUNCT_AND, FUNCT_OR, FUNCT_SLT, FUNCT_SUB,
+                  FUNCT_TO_ALU, IMM_BITS, Instruction, OP_BEQ, OP_BUBBLE,
+                  OP_LW, OP_RTYPE, OP_RTYPE_MIPS, OP_SW, OPCODE_BITS,
+                  REG_BITS, WORD, decode, encode, fields)
+from .memory import build_memory
+from .pipeline import (GENERATIONS, RegisterGroup, StateInventory,
+                       core_inventory, generation_inventory)
+from .regfile import build_regfile
+from .variants import (MemoryUnit, buggy_core, build_memory_unit,
+                       fixed_core, full_retention_core, no_retention_core)
+
+__all__ = [
+    "build_alu", "build_alu_control", "build_control", "build_memory",
+    "build_regfile", "CONTROL_SIGNALS", "control_truth_table",
+    "Core", "RiscConfig", "VARIANTS", "build_core", "CoreDriver",
+    "fixed_core", "buggy_core", "full_retention_core", "no_retention_core",
+    "MemoryUnit", "build_memory_unit",
+    "NOP", "AssemblerError", "assemble", "assemble_to_instructions",
+    "MachineState", "alu_spec", "next_pc_spec", "regwrite_value_spec",
+    "run_program", "step_interpreter",
+    "Instruction", "encode", "decode", "fields",
+    "WORD", "OPCODE_BITS", "REG_BITS", "IMM_BITS",
+    "OP_BUBBLE", "OP_RTYPE", "OP_RTYPE_MIPS", "OP_LW", "OP_SW", "OP_BEQ",
+    "FUNCT_ADD", "FUNCT_SUB", "FUNCT_AND", "FUNCT_OR", "FUNCT_SLT",
+    "FUNCT_TO_ALU",
+    "ALU_ADD", "ALU_SUB", "ALU_AND", "ALU_OR", "ALU_SLT",
+    "GENERATIONS", "RegisterGroup", "StateInventory",
+    "core_inventory", "generation_inventory",
+]

@@ -1,0 +1,61 @@
+"""The 32-bit ALU of Fig. 4, gate level.
+
+Implements the classic MIPS single-cycle ALU: AND, OR, ADD, SUB and
+SLT selected by the 3-bit ALU-control code (``ALU_AND=000, ALU_OR=001,
+ALU_ADD=010, ALU_SUB=110, ALU_SLT=111``), plus the ``Zero`` output that
+drives the branch decision.
+
+Structure: ``ALUCtl[2]`` selects subtraction (inverted B + carry-in),
+one shared ripple adder serves ADD/SUB/SLT, and the result mux keys on
+``ALUCtl[1:0]``.  SLT uses the overflow-corrected sign of A-B,
+zero-extended into the result word — the standard trick.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..netlist import CircuitBuilder
+
+__all__ = ["build_alu"]
+
+
+def build_alu(builder: CircuitBuilder, a: Sequence[str], b: Sequence[str],
+              ctl: Sequence[str], prefix: str = "") -> Dict[str, object]:
+    """Elaborate the ALU; returns ``{"result": bus, "zero": node}``.
+
+    Result bits are named ``<prefix>ALUResult[i]`` and the flag
+    ``<prefix>Zero`` so STE properties can observe them.
+    """
+    if len(a) != len(b):
+        raise ValueError("ALU operand width mismatch")
+    if len(ctl) != 3:
+        raise ValueError("ALU control must be 3 bits")
+    width = len(a)
+
+    # B operand inversion for subtract-family ops (ctl[2]).
+    b_eff = [builder.mux(ctl[2], builder.not_(x), x) for x in b]
+    total, _carry = builder.adder(a, b_eff, carry_in=ctl[2])
+
+    and_bus = builder.and_bus(a, b)
+    or_bus = builder.or_bus(a, b)
+
+    # Overflow-corrected sign of A-B for SLT: sum_msb XOR overflow,
+    # overflow = (a_msb ^ b_eff_msb ^ 1) & (a_msb ^ sum_msb) for
+    # subtraction; equivalently (a_msb ^ b_msb) & (sum_msb ^ a_msb).
+    a_msb, b_msb, sum_msb = a[-1], b[-1], total[-1]
+    overflow = builder.and_(builder.xor(a_msb, b_msb),
+                            builder.xor(sum_msb, a_msb))
+    slt_bit = builder.xor(sum_msb, overflow)
+    slt_bus = [slt_bit] + [builder.const0() for _ in range(width - 1)]
+
+    # Result select on ctl[1:0]: 00 AND, 01 OR, 10 ADD/SUB, 11 SLT.
+    low_sel = builder.mux_bus(ctl[0], or_bus, and_bus)
+    high_sel = builder.mux_bus(ctl[0], slt_bus, total)
+    result = builder.mux_bus(ctl[1], high_sel, low_sel)
+
+    named = [builder.buf(bit, out=f"{prefix}ALUResult[{i}]")
+             for i, bit in enumerate(result)]
+    zero = builder.is_zero(named)
+    zero = builder.buf(zero, out=f"{prefix}Zero")
+    return {"result": named, "zero": zero}

@@ -1,0 +1,162 @@
+"""A small assembler for the core's ISA subset.
+
+Lets examples and tests write programs readably::
+
+    program = assemble('''
+        add  r3, r1, r2
+        lw   r4, 8(r3)
+        beq  r4, r1, done
+        sw   r4, 12(r3)
+    done:
+        or   r5, r4, r1
+    ''')
+
+Syntax: one instruction per line, ``#`` comments, ``label:`` on its own
+line or before an instruction, registers ``r0``–``r31``, decimal or
+``0x`` immediates, MIPS-style ``offset(base)`` memory operands, branch
+targets as labels or immediate word offsets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .isa import (Instruction, OP_BEQ, OP_LW, OP_RTYPE, OP_SW,
+                  FUNCT_ADD, FUNCT_AND, FUNCT_OR, FUNCT_SLT, FUNCT_SUB,
+                  encode)
+
+__all__ = ["assemble", "assemble_to_instructions", "AssemblerError", "NOP"]
+
+
+class AssemblerError(Exception):
+    """Syntax or semantic error in assembly source."""
+
+
+_RTYPE_FUNCTS = {
+    "add": FUNCT_ADD,
+    "sub": FUNCT_SUB,
+    "and": FUNCT_AND,
+    "or": FUNCT_OR,
+    "slt": FUNCT_SLT,
+}
+
+_MEM_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\((r\d+)\)$")
+
+#: A do-nothing instruction in the resume-safe encoding: ``and r0,r0,r0``
+#: (the fetch-bubble opcode 0 is reserved for hardware, not programs).
+NOP = Instruction(opcode=OP_RTYPE, rs=0, rt=0, rd=0, funct=FUNCT_AND)
+
+
+def _reg(token: str, line_no: int) -> int:
+    if not token.startswith("r"):
+        raise AssemblerError(f"line {line_no}: expected register, got {token!r}")
+    try:
+        index = int(token[1:])
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: bad register {token!r}") from None
+    if not 0 <= index < 32:
+        raise AssemblerError(f"line {line_no}: register {token!r} out of range")
+    return index
+
+
+def _imm(token: str, line_no: int) -> int:
+    try:
+        value = int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: bad immediate {token!r}") from None
+    if not -(1 << 15) <= value < (1 << 16):
+        raise AssemblerError(f"line {line_no}: immediate {value} out of range")
+    return value & 0xFFFF
+
+
+def assemble_to_instructions(source: str,
+                             rtype_opcode: int = OP_RTYPE
+                             ) -> List[Instruction]:
+    """Two-pass assembly to :class:`Instruction` objects."""
+    # Pass 1: strip, split labels, record addresses (word-indexed).
+    labels: Dict[str, int] = {}
+    pending: List[Tuple[int, str, List[str]]] = []  # (line_no, mnemonic, ops)
+    address = 0
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        while line:
+            if ":" in line.split()[0] or line.endswith(":"):
+                label, _, rest = line.partition(":")
+                label = label.strip()
+                if not label.isidentifier():
+                    raise AssemblerError(
+                        f"line {line_no}: bad label {label!r}")
+                if label in labels:
+                    raise AssemblerError(
+                        f"line {line_no}: duplicate label {label!r}")
+                labels[label] = address
+                line = rest.strip()
+                continue
+            parts = line.replace(",", " ").split()
+            pending.append((line_no, parts[0].lower(), parts[1:]))
+            address += 1
+            line = ""
+
+    # Pass 2: encode.
+    out: List[Instruction] = []
+    for index, (line_no, mnemonic, ops) in enumerate(pending):
+        out.append(_encode_one(line_no, mnemonic, ops, index, labels,
+                               rtype_opcode))
+    return out
+
+
+def assemble(source: str, rtype_opcode: int = OP_RTYPE) -> List[int]:
+    """Assemble to 32-bit machine words."""
+    return [encode(i) for i in assemble_to_instructions(source, rtype_opcode)]
+
+
+def _encode_one(line_no: int, mnemonic: str, ops: List[str], index: int,
+                labels: Dict[str, int], rtype_opcode: int) -> Instruction:
+    if mnemonic == "nop":
+        if ops:
+            raise AssemblerError(f"line {line_no}: nop takes no operands")
+        return Instruction(opcode=rtype_opcode, funct=FUNCT_AND)
+
+    if mnemonic in _RTYPE_FUNCTS:
+        if len(ops) != 3:
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} needs rd, rs, rt")
+        rd, rs, rt = (_reg(t, line_no) for t in ops)
+        return Instruction(opcode=rtype_opcode, rs=rs, rt=rt, rd=rd,
+                           funct=_RTYPE_FUNCTS[mnemonic])
+
+    if mnemonic in ("lw", "sw"):
+        if len(ops) != 2:
+            raise AssemblerError(
+                f"line {line_no}: {mnemonic} needs rt, offset(base)")
+        rt = _reg(ops[0], line_no)
+        match = _MEM_RE.match(ops[1])
+        if not match:
+            raise AssemblerError(
+                f"line {line_no}: bad memory operand {ops[1]!r}")
+        offset, base = match.groups()
+        return Instruction(opcode=OP_LW if mnemonic == "lw" else OP_SW,
+                           rs=_reg(base, line_no), rt=rt,
+                           imm=_imm(offset, line_no))
+
+    if mnemonic == "beq":
+        if len(ops) != 3:
+            raise AssemblerError(f"line {line_no}: beq needs rs, rt, target")
+        rs = _reg(ops[0], line_no)
+        rt = _reg(ops[1], line_no)
+        target = ops[2]
+        if target in labels:
+            # PC-relative: offset from the instruction after the branch.
+            offset = labels[target] - (index + 1)
+        else:
+            offset = int(_imm(target, line_no))
+            if offset & 0x8000:
+                offset -= 1 << 16
+        if not -(1 << 15) <= offset < (1 << 15):
+            raise AssemblerError(f"line {line_no}: branch offset too far")
+        return Instruction(opcode=OP_BEQ, rs=rs, rt=rt, imm=offset & 0xFFFF)
+
+    raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")

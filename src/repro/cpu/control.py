@@ -1,0 +1,136 @@
+"""The main control unit and the ALU control — gate level.
+
+Fig. 4's control unit maps the 6-bit opcode (``Instruction[31:26]``,
+delivered through the IFR in the fixed design) to the nine classic
+single-cycle control signals plus our documented ``PCWrite``::
+
+    RegDst  ALUSrc  MemtoReg  RegWrite  MemRead  MemWrite  Branch
+    ALUOp[1:0]                                              PCWrite
+
+Two decode *styles* select the encoding (see :mod:`repro.cpu.isa`):
+
+* ``"bubble0"`` — the resume-safe encoding: opcode 0 is the fetch
+  bubble, every enable 0 and PCWrite 0; R-format is opcode 2.
+* ``"mips0"`` — the standard MIPS encoding used by the pre-fix buggy
+  variant: opcode 0 *is* R-format (RegWrite asserted!), and PCWrite is
+  constantly 1.  This is the decode under which a reset fetch register
+  destroys architectural state after resume.
+
+The ALU control implements the classic two-level scheme: ALUOp 00 →
+add (address arithmetic), 01 → sub (beq compare), 1x → decode funct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..netlist import CircuitBuilder
+from .isa import (ALU_ADD, ALU_AND, ALU_OR, ALU_SLT, ALU_SUB,
+                  FUNCT_ADD, FUNCT_AND, FUNCT_OR, FUNCT_SLT, FUNCT_SUB,
+                  OP_BEQ, OP_LW, OP_RTYPE, OP_RTYPE_MIPS, OP_SW)
+
+__all__ = ["build_control", "build_alu_control", "CONTROL_SIGNALS",
+           "control_truth_table"]
+
+#: Control outputs in a stable order (ALUOp is a 2-bit bus).
+CONTROL_SIGNALS = ("RegDst", "ALUSrc", "MemtoReg", "RegWrite", "MemRead",
+                   "MemWrite", "Branch", "PCWrite")
+
+
+def control_truth_table(style: str = "bubble0") -> Dict[int, Dict[str, int]]:
+    """The golden specification: opcode -> signal values (ALUOp included
+    as a 2-bit integer).  Undecoded opcodes give all enables 0 with
+    PCWrite per style.  Used by the property generators and the tests.
+    """
+    rtype = OP_RTYPE if style == "bubble0" else OP_RTYPE_MIPS
+    rows = {
+        rtype: dict(RegDst=1, ALUSrc=0, MemtoReg=0, RegWrite=1, MemRead=0,
+                    MemWrite=0, Branch=0, ALUOp=0b10, PCWrite=1),
+        OP_LW: dict(RegDst=0, ALUSrc=1, MemtoReg=1, RegWrite=1, MemRead=1,
+                    MemWrite=0, Branch=0, ALUOp=0b00, PCWrite=1),
+        OP_SW: dict(RegDst=0, ALUSrc=1, MemtoReg=0, RegWrite=0, MemRead=0,
+                    MemWrite=1, Branch=0, ALUOp=0b00, PCWrite=1),
+        OP_BEQ: dict(RegDst=0, ALUSrc=0, MemtoReg=0, RegWrite=0, MemRead=0,
+                     MemWrite=0, Branch=1, ALUOp=0b01, PCWrite=1),
+    }
+    return rows
+
+
+def build_control(builder: CircuitBuilder, opcode: Sequence[str],
+                  style: str = "bubble0",
+                  prefix: str = "") -> Dict[str, object]:
+    """Elaborate the control unit; returns {signal: node or bus}.
+
+    *opcode* is the LSB-first 6-bit opcode bus feeding the unit (the
+    IFR output in the fixed design, the fetch register's top bits in
+    the buggy one).  Signal nodes are named ``<prefix><Signal>``.
+    """
+    if style not in ("bubble0", "mips0"):
+        raise ValueError(f"unknown control style {style!r}")
+    if len(opcode) != 6:
+        raise ValueError("control unit expects a 6-bit opcode bus")
+
+    rtype_op = OP_RTYPE if style == "bubble0" else OP_RTYPE_MIPS
+    is_rtype = builder.eq_const(opcode, rtype_op)
+    is_lw = builder.eq_const(opcode, OP_LW)
+    is_sw = builder.eq_const(opcode, OP_SW)
+    is_beq = builder.eq_const(opcode, OP_BEQ)
+
+    name = lambda s: f"{prefix}{s}"
+    signals: Dict[str, object] = {}
+    signals["RegDst"] = builder.buf(is_rtype, out=name("RegDst"))
+    signals["ALUSrc"] = builder.or_(is_lw, is_sw, out=name("ALUSrc"))
+    signals["MemtoReg"] = builder.buf(is_lw, out=name("MemtoReg"))
+    signals["RegWrite"] = builder.or_(is_rtype, is_lw, out=name("RegWrite"))
+    signals["MemRead"] = builder.buf(is_lw, out=name("MemRead"))
+    signals["MemWrite"] = builder.buf(is_sw, out=name("MemWrite"))
+    signals["Branch"] = builder.buf(is_beq, out=name("Branch"))
+    # ALUOp: 00 add, 01 sub (beq), 10 funct decode (R-format).
+    signals["ALUOp"] = [
+        builder.buf(is_beq, out=name("ALUOp[0]")),
+        builder.buf(is_rtype, out=name("ALUOp[1]")),
+    ]
+    if style == "bubble0":
+        # Everything except the fetch bubble advances the PC.
+        is_bubble = builder.eq_const(opcode, 0)
+        signals["PCWrite"] = builder.not_(is_bubble, out=name("PCWrite"))
+    else:
+        signals["PCWrite"] = builder.buf(builder.const1(),
+                                         out=name("PCWrite"))
+    return signals
+
+
+def build_alu_control(builder: CircuitBuilder, aluop: Sequence[str],
+                      funct: Sequence[str],
+                      prefix: str = "") -> List[str]:
+    """The ALU-control block: (ALUOp[1:0], funct[5:0]) -> ALUCtl[2:0].
+
+    ALUOp 00 -> ADD; 01 -> SUB; 1x -> decode funct (add/sub/and/or/slt).
+    Undefined functs under R-format fall through to AND (000) — a
+    deterministic, write-safe default.
+    """
+    if len(aluop) != 2 or len(funct) != 6:
+        raise ValueError("alu control expects 2-bit aluop and 6-bit funct")
+
+    f_add = builder.eq_const(funct, FUNCT_ADD)
+    f_sub = builder.eq_const(funct, FUNCT_SUB)
+    f_or = builder.eq_const(funct, FUNCT_OR)
+    f_slt = builder.eq_const(funct, FUNCT_SLT)
+
+    # R-format decode as a 3-bit code, built per bit.
+    r_bit0 = builder.or_(f_or, f_slt)          # OR(001), SLT(111)
+    r_bit1 = builder.or_(f_add, f_sub, f_slt)  # ADD(010), SUB(110), SLT(111)
+    r_bit2 = builder.or_(f_sub, f_slt)         # SUB(110), SLT(111)
+
+    is_r = aluop[1]
+    is_beq = builder.and_(builder.not_(aluop[1]), aluop[0])
+
+    name = lambda i: f"{prefix}ALUCtl[{i}]"
+    # bit0: R-format decode only (ADD=010 and SUB=110 have bit0=0).
+    out0 = builder.and_(is_r, r_bit0, out=name(0))
+    # bit1: 1 for add (default), sub and R-format add/sub/slt; AND/OR drop it.
+    base1 = builder.or_(builder.not_(aluop[1]), builder.and_(is_r, r_bit1))
+    out1 = builder.buf(base1, out=name(1))
+    # bit2: subtraction (beq) or R-format sub/slt.
+    out2 = builder.or_(is_beq, builder.and_(is_r, r_bit2), out=name(2))
+    return [out0, out1, out2]

@@ -1,0 +1,297 @@
+"""The 32-bit single-cycle RISC core of Fig. 4, gate level.
+
+`build_core` elaborates the complete datapath — PC, instruction
+memory, register bank, ALU + ALU control, main control, data memory,
+sign-extend, the two branch adders, and the instruction-fetch register
+— with the retention scheme selected by :class:`RiscConfig`:
+
+==================  ====================================================
+variant             meaning
+==================  ====================================================
+``selective-ifr``   the paper's *fixed* design: architectural state (PC,
+                    register bank, both memories) in retention registers;
+                    a plain 6-bit IFR between ``Instruction[31:26]`` and
+                    the control unit; resume-safe ``bubble0`` decode.
+``buggy-fetchreg``  the reconstructed *pre-fix* design: a synthesized-RAM
+                    style registered read port (plain, resettable) holds
+                    the whole fetched instruction; standard ``mips0``
+                    decode where opcode 0 is live R-format.  Correct in
+                    normal operation — broken across sleep/resume.
+``registered-       ablation of the fix: the same wide registered fetch
+fetch-safe``        path as the buggy design but with the resume-safe
+                    ``bubble0`` decode.  Verifies — showing the essential
+                    repair is the safe reset decode + reload protocol;
+                    the paper's 6-bit IFR is the area-optimal form of it.
+``full-retention``  every register, including the IFR, is a retention
+                    register (the expensive baseline).
+``no-retention``    no retention anywhere (state dies on power-down).
+==================  ====================================================
+
+Clocking: STE steps are phases; architectural registers load on rising
+edges, the IFR / fetch register captures on *falling* edges (mid-cycle),
+which keeps the registered opcode aligned with the combinationally
+fetched fields.  One instruction therefore executes per two phases.
+See DESIGN.md "IFR alignment" for the full timing argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netlist import Circuit, CircuitBuilder
+from .alu import build_alu
+from .control import build_alu_control, build_control
+from .memory import build_memory
+from .regfile import build_regfile
+
+__all__ = ["RiscConfig", "Core", "build_core", "VARIANTS"]
+
+VARIANTS = ("selective-ifr", "buggy-fetchreg", "registered-fetch-safe",
+            "full-retention", "no-retention")
+
+
+@dataclass(frozen=True)
+class RiscConfig:
+    """Core geometry and retention scheme.
+
+    The instruction width is architecturally fixed at 32 bits; geometry
+    knobs scale the *state* (memory depths, register count), which is
+    what drives verification cost.  The paper's geometry is
+    ``imem_depth=256`` with 32 registers; tests default to a small
+    geometry for speed.
+    """
+
+    nregs: int = 8
+    imem_depth: int = 8
+    dmem_depth: int = 8
+    variant: str = "selective-ifr"
+
+    def __post_init__(self):
+        if self.variant not in VARIANTS:
+            raise ValueError(f"unknown variant {self.variant!r}; "
+                             f"pick one of {VARIANTS}")
+        for name in ("nregs", "imem_depth", "dmem_depth"):
+            if getattr(self, name) < 2:
+                raise ValueError(f"{name} must be at least 2")
+
+    @property
+    def retain_architectural(self) -> bool:
+        return self.variant in ("selective-ifr", "buggy-fetchreg",
+                                "registered-fetch-safe", "full-retention")
+
+    @property
+    def retain_microarchitectural(self) -> bool:
+        return self.variant == "full-retention"
+
+    @property
+    def control_style(self) -> str:
+        return "mips0" if self.variant == "buggy-fetchreg" else "bubble0"
+
+    @property
+    def has_separate_ifr(self) -> bool:
+        return self.variant not in ("buggy-fetchreg",
+                                    "registered-fetch-safe")
+
+    @property
+    def imem_addr_bits(self) -> int:
+        return max(1, (self.imem_depth - 1).bit_length())
+
+    @property
+    def dmem_addr_bits(self) -> int:
+        return max(1, (self.dmem_depth - 1).bit_length())
+
+
+@dataclass
+class Core:
+    """The elaborated core: circuit plus named handles for properties."""
+
+    config: RiscConfig
+    circuit: Circuit
+    pc: List[str]
+    instruction: List[str]
+    opcode: List[str]              # the bus feeding the control unit
+    ifr: Optional[List[str]]       # the 6-bit IFR (None in buggy variant)
+    control: Dict[str, object]
+    alu_ctl: List[str]
+    read1: List[str]
+    read2: List[str]
+    write_register: List[str]
+    write_data: List[str]
+    sign_ext: List[str]
+    alu_result: List[str]
+    zero: str
+    next_pc: List[str]
+    pc_plus4: List[str]
+    branch_target: List[str]
+    imem_cells: List[List[str]]
+    dmem_cells: List[List[str]]
+    reg_cells: List[List[str]]
+
+    def imem_cell_bus(self, word: int) -> List[str]:
+        return self.imem_cells[word]
+
+    def dmem_cell_bus(self, word: int) -> List[str]:
+        return self.dmem_cells[word]
+
+    def reg_cell_bus(self, index: int) -> List[str]:
+        return self.reg_cells[index]
+
+
+def build_core(config: RiscConfig = RiscConfig()) -> Core:
+    """Elaborate the core for *config*; every architecturally or
+    property-relevant node carries a stable name (see :class:`Core`)."""
+    b = CircuitBuilder(f"risc32_{config.variant}")
+    width = 32
+
+    clk = b.input("clock")
+    nret = b.input("NRET")
+    nrst = b.input("NRST")
+    # External program-load port into the instruction memory (stands in
+    # for the paper's memory write interface: their §III-B property
+    # writes the instruction memory before reading it back).
+    im_we = b.input("IM_MemWrite")
+    im_waddr = b.input_bus("IM_WriteAdd", config.imem_addr_bits)
+    im_wdata = b.input_bus("IM_WriteData", width)
+
+    arch_nret = nret if config.retain_architectural else None
+    uarch_nret = nret if config.retain_microarchitectural else None
+
+    # ------------------------------------------------------------------
+    # Fetch: PC and instruction memory.
+    # ------------------------------------------------------------------
+    # PC write-enable comes from control (PCWrite); forward-declare the
+    # node name and close the loop after control is built.
+    pcwrite_node = "PCWrite"
+    pc = b.dff_bus("PC", b.fresh_bus(width, "nextpc_wire"), clk,
+                   enable=pcwrite_node,
+                   nrst=nrst,
+                   nret=arch_nret)
+    # The fresh d-bus above is a placeholder; rewire by aliasing the
+    # real next-PC onto those nodes at the end (single-driver: the
+    # placeholder names have no driver until then).
+    next_pc_placeholder = [b.circuit.registers[f"PC[{i}]"].d
+                           for i in range(width)]
+
+    imem = build_memory(
+        b, depth=config.imem_depth, width=width, clk=clk,
+        write_enable=im_we, write_addr=im_waddr, write_data=im_wdata,
+        read_addr=pc[2:2 + config.imem_addr_bits],
+        retained=config.retain_architectural,
+        nret=arch_nret, nrst=nrst,
+        registered_read=not config.has_separate_ifr,
+        read_reg_edge="fall",
+        prefix="IM")
+
+    instruction = b.alias_bus("Instruction", imem["read"])
+
+    # ------------------------------------------------------------------
+    # The instruction-fetch register and the control unit.
+    # ------------------------------------------------------------------
+    if config.has_separate_ifr:
+        # 6-bit IFR on Instruction[31:26] only (the paper's fix); a
+        # plain register in selective mode, retained in full mode.
+        ifr = b.dff_bus("IFR", instruction[26:32], clk,
+                        nrst=nrst, nret=uarch_nret, edge="fall")
+        opcode = ifr
+    else:
+        # Buggy variant: the registered memory read port already holds
+        # the full instruction; control taps its top bits directly.
+        ifr = None
+        opcode = instruction[26:32]
+
+    control = build_control(b, opcode, style=config.control_style)
+    alu_ctl = build_alu_control(b, control["ALUOp"], instruction[0:6])
+
+    # ------------------------------------------------------------------
+    # Decode: register bank reads, write-register mux, sign extend.
+    # ------------------------------------------------------------------
+    rs = instruction[21:26]
+    rt = instruction[16:21]
+    rd = instruction[11:16]
+    write_register = b.mux_bus(control["RegDst"], rd, rt)
+    write_register = b.alias_bus("WriteRegister", write_register)
+
+    write_data_placeholder = b.fresh_bus(width, "wdata_wire")
+    regs = build_regfile(
+        b, nregs=config.nregs, width=width, clk=clk,
+        write_enable=control["RegWrite"],
+        write_addr=write_register,
+        write_data=write_data_placeholder,
+        read_addr1=rs, read_addr2=rt,
+        retained=config.retain_architectural,
+        nret=arch_nret, nrst=nrst)
+
+    sign_ext = b.sign_extend(instruction[0:16], width)
+    sign_ext = b.alias_bus("SignExt", sign_ext)
+
+    # ------------------------------------------------------------------
+    # Execute: ALU and branch address arithmetic.
+    # ------------------------------------------------------------------
+    alu_b = b.mux_bus(control["ALUSrc"], sign_ext, regs["read2"])
+    alu_b = b.alias_bus("ALUinB", alu_b)
+    alu = build_alu(b, regs["read1"], alu_b, alu_ctl)
+
+    pc_plus4 = b.increment(pc, 4)
+    pc_plus4 = b.alias_bus("PCplus4", pc_plus4)
+    offset = b.shift_left_const(sign_ext, 2)
+    branch_target, _ = b.adder(pc_plus4, offset)
+    branch_target = b.alias_bus("BranchTarget", branch_target)
+    take = b.and_(control["Branch"], alu["zero"], out="PCSrc")
+    next_pc = b.mux_bus(take, branch_target, pc_plus4)
+
+    # Close the PC loop through the placeholder d-nodes.
+    for placeholder, src in zip(next_pc_placeholder, next_pc):
+        b.buf(src, out=placeholder)
+    next_pc = b.alias_bus("NextPC", next_pc)
+
+    # ------------------------------------------------------------------
+    # Memory stage: data memory.
+    # ------------------------------------------------------------------
+    dmem = build_memory(
+        b, depth=config.dmem_depth, width=width, clk=clk,
+        write_enable=control["MemWrite"],
+        write_addr=alu["result"][2:2 + config.dmem_addr_bits],
+        write_data=regs["read2"],
+        read_addr=alu["result"][2:2 + config.dmem_addr_bits],
+        read_enable=control["MemRead"],
+        retained=config.retain_architectural,
+        nret=arch_nret, nrst=nrst,
+        prefix="DM")
+
+    # ------------------------------------------------------------------
+    # Write-back.
+    # ------------------------------------------------------------------
+    write_data = b.mux_bus(control["MemtoReg"], dmem["read"], alu["result"])
+    for placeholder, src in zip(write_data_placeholder, write_data):
+        b.buf(src, out=placeholder)
+    write_data = b.alias_bus("WriteData", write_data)
+
+    # Observable outputs.
+    for node in pc + instruction + alu["result"] + write_data:
+        b.output(node)
+    b.output(alu["zero"])
+
+    return Core(
+        config=config,
+        circuit=b.circuit,
+        pc=pc,
+        instruction=instruction,
+        opcode=list(opcode),
+        ifr=ifr,
+        control=control,
+        alu_ctl=alu_ctl,
+        read1=regs["read1"],
+        read2=regs["read2"],
+        write_register=write_register,
+        write_data=write_data,
+        sign_ext=sign_ext,
+        alu_result=alu["result"],
+        zero=alu["zero"],
+        next_pc=next_pc,
+        pc_plus4=pc_plus4,
+        branch_target=branch_target,
+        imem_cells=imem["cells"],
+        dmem_cells=dmem["cells"],
+        reg_cells=regs["cells"],
+    )

@@ -1,0 +1,153 @@
+"""Concrete execution driver for the gate-level core.
+
+Runs real programs on the netlist through the scalar simulator:
+program load over the external instruction-memory write port, cycle
+stepping, architectural-state readback, and the sleep/resume excursion
+— the bring-up loop a designer would use next to the formal flow.
+
+Program loading happens *in reverse address order*: the core is live
+while words stream in, but as long as word 0 still reads as the
+all-zero fetch bubble, the control unit keeps every write enable and
+PCWrite deasserted, so the CPU provably idles until the final word
+lands at address 0 and execution begins.  (This is itself a nice
+consequence of the resume-safe encoding — the same mechanism that
+makes the post-resume reload edge harmless makes live load harmless.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..sim import ScalarSimulator
+from .datapath import Core
+
+__all__ = ["CoreDriver"]
+
+
+class CoreDriver:
+    """Drive a :class:`~repro.cpu.datapath.Core` with concrete values."""
+
+    def __init__(self, core: Core):
+        if core.config.control_style != "bubble0":
+            raise ValueError(
+                "CoreDriver requires the resume-safe (bubble0) decode; "
+                "the buggy variant executes garbage while loading")
+        self.core = core
+        self.sim = ScalarSimulator(core.circuit)
+        self._clk = 0
+
+    # ------------------------------------------------------------------
+    # Phase-level driving
+    # ------------------------------------------------------------------
+    def _inputs(self, *, clk: int, nret: int = 1, nrst: int = 1,
+                im_we: int = 0, im_addr: int = 0, im_data: int = 0
+                ) -> Dict[str, int]:
+        cfg = self.core.config
+        inputs = {"clock": clk, "NRET": nret, "NRST": nrst,
+                  "IM_MemWrite": im_we}
+        for i in range(cfg.imem_addr_bits):
+            inputs[f"IM_WriteAdd[{i}]"] = (im_addr >> i) & 1
+        for i in range(32):
+            inputs[f"IM_WriteData[{i}]"] = (im_data >> i) & 1
+        return inputs
+
+    def phase(self, **kwargs) -> None:
+        """Advance one clock phase."""
+        self._clk = kwargs.get("clk", self._clk)
+        self.sim.step(self._inputs(**{"clk": self._clk, **kwargs}))
+
+    # ------------------------------------------------------------------
+    # Bring-up
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Assert NRST in sample mode: clears every resettable flop
+        (PC, memories, register bank, IFR).
+
+        A settle phase precedes the pulse: at the very first simulated
+        phase all registers are X by definition (there is no previous
+        state for the asynchronous controls to act on).
+        """
+        self.phase(clk=0)
+        self.phase(clk=0, nrst=0)
+        self.phase(clk=0, nrst=1)
+
+    def load_program(self, words: Sequence[int]) -> None:
+        """Stream *words* into the instruction memory (see the module
+        docstring for why the order is reversed)."""
+        cfg = self.core.config
+        if len(words) > cfg.imem_depth:
+            raise ValueError(
+                f"program of {len(words)} words exceeds instruction "
+                f"memory depth {cfg.imem_depth}")
+        for address in reversed(range(len(words))):
+            self.phase(clk=0, im_we=1, im_addr=address,
+                       im_data=words[address])
+            self.phase(clk=1, im_we=1, im_addr=address,
+                       im_data=words[address])
+        self.phase(clk=0)  # settle with writes deasserted
+
+    def boot(self, words: Sequence[int]) -> None:
+        """Reset, then load the program: ready to `run`."""
+        self.reset()
+        self.load_program(words)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_cycles(self, cycles: int) -> None:
+        """Execute *cycles* instruction cycles (fall + rise phases)."""
+        for _ in range(cycles):
+            self.phase(clk=0)
+            self.phase(clk=1)
+
+    def sleep_and_resume(self, *, sleep_phases: int = 3) -> None:
+        """The §III-A mode excursion: stop clock, NRET low, NRST pulse;
+        then the chronological reverse, plus the IFR reload cycle."""
+        self.phase(clk=0)              # stop the clock
+        self.phase(clk=0, nret=0)      # hold mode
+        self.phase(clk=0, nret=0, nrst=0)   # reset pulse during sleep
+        for _ in range(sleep_phases):
+            self.phase(clk=0, nret=0)
+        self.phase(clk=0, nret=1)      # resume: NRET back high
+        self.phase(clk=1)              # bubble edge (provably inert)
+        # The next run_cycles picks up with the reload falling edge.
+
+    # ------------------------------------------------------------------
+    # Testbench backdoors
+    # ------------------------------------------------------------------
+    def poke_reg(self, index: int, value: int) -> None:
+        """Force a register-bank word directly into the simulator state
+        (the ISA subset has no load-immediate, so testbenches seed
+        operands this way — the formal properties use symbolic state
+        instead)."""
+        self._poke_bus(self.core.reg_cells[index], value)
+
+    def poke_dmem(self, word: int, value: int) -> None:
+        self._poke_bus(self.core.dmem_cells[word], value)
+
+    def _poke_bus(self, bus: Sequence[str], value: int) -> None:
+        if self.sim._prev is None:
+            raise RuntimeError("simulate at least one phase before poking")
+        for i, node in enumerate(bus):
+            self.sim._prev[node] = (value >> i) & 1
+
+    # ------------------------------------------------------------------
+    # Readback
+    # ------------------------------------------------------------------
+    def pc(self) -> Optional[int]:
+        return self.sim.bus_value(self.core.pc)
+
+    def reg(self, index: int) -> Optional[int]:
+        return self.sim.bus_value(self.core.reg_cells[index])
+
+    def regs(self) -> List[Optional[int]]:
+        return [self.reg(i) for i in range(self.core.config.nregs)]
+
+    def dmem(self, word: int) -> Optional[int]:
+        return self.sim.bus_value(self.core.dmem_cells[word])
+
+    def imem(self, word: int) -> Optional[int]:
+        return self.sim.bus_value(self.core.imem_cells[word])
+
+    def instruction_bus(self) -> Optional[int]:
+        return self.sim.bus_value(self.core.instruction)

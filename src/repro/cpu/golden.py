@@ -1,0 +1,163 @@
+"""Word-level golden model of the ISA — the specification side.
+
+STE consequents need the *expected* next architectural state as
+Boolean functions of the symbolic present state.  This module computes
+those functions over :class:`~repro.bdd.bvec.BVec` words: given a
+symbolic PC, instruction and operand words, produce the next PC, the
+written-back register value, the data-memory effect, and the ALU
+result — independent of the gate-level implementation, so an STE pass
+is a genuine implementation-vs-specification theorem.
+
+There is also a pure-integer reference interpreter (`run_program`)
+used by the scalar-simulation examples and the cross-validation tests:
+netlist simulation, STE and this interpreter must all agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager, BVec, Ref
+from .isa import (ALU_ADD, ALU_AND, ALU_OR, ALU_SLT, ALU_SUB,
+                  FUNCT_TO_ALU, Instruction, OP_BEQ, OP_BUBBLE, OP_LW,
+                  OP_RTYPE, OP_SW, WORD, decode, fields)
+
+__all__ = ["alu_spec", "next_pc_spec", "regwrite_value_spec",
+           "MachineState", "run_program", "step_interpreter"]
+
+
+# ----------------------------------------------------------------------
+# Symbolic (BVec) specification functions
+# ----------------------------------------------------------------------
+def alu_spec(a: BVec, b: BVec, op: int) -> BVec:
+    """Expected ALU result word for a concrete ALU-control code."""
+    mgr = a.mgr
+    if op == ALU_AND:
+        return a & b
+    if op == ALU_OR:
+        return a | b
+    if op == ALU_ADD:
+        return a + b
+    if op == ALU_SUB:
+        return a - b
+    if op == ALU_SLT:
+        slt = a.slt(b)
+        return BVec(mgr, [slt] + [mgr.false] * (a.width - 1))
+    raise ValueError(f"unknown ALU op {op:#05b}")
+
+
+def next_pc_spec(pc: BVec, *, branch: bool = False,
+                 taken: Optional[Ref] = None,
+                 imm16: Optional[BVec] = None) -> BVec:
+    """Expected next PC: PC+4, or the branch mux when *branch*.
+
+    *taken* is the symbolic take condition (rs == rt for beq) and
+    *imm16* the 16-bit immediate word.
+    """
+    pc4 = pc + 4
+    if not branch:
+        return pc4
+    if taken is None or imm16 is None:
+        raise ValueError("branch next-PC needs the taken condition and imm")
+    offset = imm16.sign_extend(pc.width).shift_left_const(2)
+    target = pc4 + offset
+    return target.ite(taken, pc4)
+
+
+def regwrite_value_spec(alu_result: BVec, mem_data: BVec,
+                        memtoreg: bool) -> BVec:
+    """Expected write-back value (the MemtoReg mux)."""
+    return mem_data if memtoreg else alu_result
+
+
+# ----------------------------------------------------------------------
+# Concrete reference interpreter
+# ----------------------------------------------------------------------
+_MASK = (1 << WORD) - 1
+
+
+@dataclass
+class MachineState:
+    """Architectural state for the reference interpreter."""
+
+    pc: int = 0
+    regs: List[int] = field(default_factory=lambda: [0] * 32)
+    imem: Dict[int, int] = field(default_factory=dict)   # word index -> word
+    dmem: Dict[int, int] = field(default_factory=dict)
+
+    def copy(self) -> "MachineState":
+        return MachineState(self.pc, list(self.regs), dict(self.imem),
+                            dict(self.dmem))
+
+
+def _alu_int(a: int, b: int, op: int) -> int:
+    if op == ALU_AND:
+        return a & b
+    if op == ALU_OR:
+        return a | b
+    if op == ALU_ADD:
+        return (a + b) & _MASK
+    if op == ALU_SUB:
+        return (a - b) & _MASK
+
+    def signed(x: int) -> int:
+        return x - (1 << WORD) if x & (1 << (WORD - 1)) else x
+
+    if op == ALU_SLT:
+        return 1 if signed(a) < signed(b) else 0
+    raise ValueError(f"unknown ALU op {op:#05b}")
+
+
+def step_interpreter(state: MachineState,
+                     rtype_opcode: int = OP_RTYPE) -> MachineState:
+    """Execute one instruction; returns the new state (input untouched)."""
+    nxt = state.copy()
+    word = state.imem.get(state.pc >> 2, 0)
+    f = fields(word)
+    opcode = f["opcode"]
+    imm = f["imm"]
+    imm_signed = imm - (1 << 16) if imm & 0x8000 else imm
+
+    if opcode == OP_BUBBLE and rtype_opcode != OP_BUBBLE:
+        # Fetch bubble: hold (hardware-only encoding).
+        return nxt
+    if opcode == rtype_opcode:
+        alu_op = FUNCT_TO_ALU.get(f["funct"], ALU_AND)
+        nxt.regs[f["rd"]] = _alu_int(state.regs[f["rs"]],
+                                     state.regs[f["rt"]], alu_op)
+        nxt.pc = (state.pc + 4) & _MASK
+    elif opcode == OP_LW:
+        addr = (state.regs[f["rs"]] + imm_signed) & _MASK
+        nxt.regs[f["rt"]] = state.dmem.get(addr >> 2, 0)
+        nxt.pc = (state.pc + 4) & _MASK
+    elif opcode == OP_SW:
+        addr = (state.regs[f["rs"]] + imm_signed) & _MASK
+        nxt.dmem[addr >> 2] = state.regs[f["rt"]]
+        nxt.pc = (state.pc + 4) & _MASK
+    elif opcode == OP_BEQ:
+        if state.regs[f["rs"]] == state.regs[f["rt"]]:
+            nxt.pc = (state.pc + 4 + (imm_signed << 2)) & _MASK
+        else:
+            nxt.pc = (state.pc + 4) & _MASK
+    else:
+        # Undefined opcode: skip (matches the bubble0 control's
+        # all-enables-0, PCWrite=1 default).
+        nxt.pc = (state.pc + 4) & _MASK
+    return nxt
+
+
+def run_program(program: Sequence[int], *, steps: int,
+                regs: Optional[Dict[int, int]] = None,
+                dmem: Optional[Dict[int, int]] = None,
+                rtype_opcode: int = OP_RTYPE) -> MachineState:
+    """Run *program* (a list of words loaded from address 0) for a fixed
+    number of instruction steps; returns the final state."""
+    state = MachineState()
+    state.imem = {i: w for i, w in enumerate(program)}
+    for index, value in (regs or {}).items():
+        state.regs[index] = value & _MASK
+    state.dmem = dict(dmem or {})
+    for _ in range(steps):
+        state = step_interpreter(state, rtype_opcode)
+    return state

@@ -1,0 +1,147 @@
+"""Instruction-set architecture of the 32-bit RISC core.
+
+The paper "architected a 32-bit RISC core adapted from [Hamblen &
+Furman]" — the classic MIPS single-cycle subset: R-format arithmetic
+(add, sub, and, or, slt), loads/stores (lw, sw) and branch-equal (beq),
+with the standard field layout::
+
+    [31:26] opcode   [25:21] rs   [20:16] rt   [15:11] rd
+    [10:6]  shamt    [5:0]   funct          /  [15:0] immediate
+
+One deliberate encoding adaptation (documented in DESIGN.md): opcode
+``000000`` is *not* R-format here but the **fetch bubble** — the value a
+reset Instruction Fetch Register presents to the control unit.  The
+control unit decodes the bubble with every write-enable *and* PCWrite
+deasserted, making the post-resume reload edge provably harmless: the
+CPU stutters for one cycle and then executes the retained instruction.
+R-format moves to opcode ``000010``.  The *buggy* pre-fix design
+variant (see :mod:`repro.cpu.variants`) keeps the standard MIPS
+encoding, where opcode 0 is a live R-format instruction — which is
+exactly why its reset fetch register corrupts state after resume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = [
+    "WORD", "OPCODE_BITS", "REG_BITS", "FUNCT_BITS", "IMM_BITS",
+    "OP_BUBBLE", "OP_RTYPE", "OP_RTYPE_MIPS", "OP_LW", "OP_SW", "OP_BEQ",
+    "FUNCT_ADD", "FUNCT_SUB", "FUNCT_AND", "FUNCT_OR", "FUNCT_SLT",
+    "ALU_AND", "ALU_OR", "ALU_ADD", "ALU_SUB", "ALU_SLT",
+    "Instruction", "encode", "decode", "fields",
+]
+
+WORD = 32
+OPCODE_BITS = 6
+REG_BITS = 5
+FUNCT_BITS = 6
+IMM_BITS = 16
+
+# Opcodes.  LW/SW/BEQ keep their MIPS values; R-format moves off zero in
+# the resume-safe encoding (see module docstring).
+OP_BUBBLE = 0b000000
+OP_RTYPE = 0b000010
+OP_RTYPE_MIPS = 0b000000     # the standard encoding, used by the buggy variant
+OP_LW = 0b100011
+OP_SW = 0b101011
+OP_BEQ = 0b000100
+
+# R-format function codes (standard MIPS).
+FUNCT_ADD = 0b100000
+FUNCT_SUB = 0b100010
+FUNCT_AND = 0b100100
+FUNCT_OR = 0b100101
+FUNCT_SLT = 0b101010
+
+# 3-bit ALU-control operation encoding.
+ALU_AND = 0b000
+ALU_OR = 0b001
+ALU_ADD = 0b010
+ALU_SUB = 0b110
+ALU_SLT = 0b111
+
+FUNCT_TO_ALU: Dict[int, int] = {
+    FUNCT_ADD: ALU_ADD,
+    FUNCT_SUB: ALU_SUB,
+    FUNCT_AND: ALU_AND,
+    FUNCT_OR: ALU_OR,
+    FUNCT_SLT: ALU_SLT,
+}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction (fields always populated; irrelevant ones
+    are zero)."""
+
+    opcode: int
+    rs: int = 0
+    rt: int = 0
+    rd: int = 0
+    shamt: int = 0
+    funct: int = 0
+    imm: int = 0
+
+    def __post_init__(self):
+        _range("opcode", self.opcode, OPCODE_BITS)
+        _range("rs", self.rs, REG_BITS)
+        _range("rt", self.rt, REG_BITS)
+        _range("rd", self.rd, REG_BITS)
+        _range("shamt", self.shamt, 5)
+        _range("funct", self.funct, FUNCT_BITS)
+        if not -(1 << (IMM_BITS - 1)) <= self.imm < (1 << IMM_BITS):
+            raise ValueError(f"immediate {self.imm} out of 16-bit range")
+
+    @property
+    def imm_unsigned(self) -> int:
+        return self.imm & ((1 << IMM_BITS) - 1)
+
+    @property
+    def imm_signed(self) -> int:
+        value = self.imm_unsigned
+        if value & (1 << (IMM_BITS - 1)):
+            value -= 1 << IMM_BITS
+        return value
+
+    def is_rtype(self, rtype_opcode: int = OP_RTYPE) -> bool:
+        return self.opcode == rtype_opcode
+
+
+def _range(name: str, value: int, bits: int) -> None:
+    if not 0 <= value < (1 << bits):
+        raise ValueError(f"{name}={value} does not fit in {bits} bits")
+
+
+def encode(instr: Instruction) -> int:
+    """Pack an :class:`Instruction` into its 32-bit word."""
+    if instr.opcode in (OP_LW, OP_SW, OP_BEQ):
+        return ((instr.opcode << 26) | (instr.rs << 21) | (instr.rt << 16)
+                | instr.imm_unsigned)
+    return ((instr.opcode << 26) | (instr.rs << 21) | (instr.rt << 16)
+            | (instr.rd << 11) | (instr.shamt << 6) | instr.funct)
+
+
+def decode(word: int, rtype_opcode: int = OP_RTYPE) -> Instruction:
+    """Unpack a 32-bit word.  The immediate and R-format fields are both
+    populated; which ones are meaningful depends on the opcode."""
+    if not 0 <= word < (1 << WORD):
+        raise ValueError(f"word {word:#x} out of 32-bit range")
+    f = fields(word)
+    return Instruction(opcode=f["opcode"], rs=f["rs"], rt=f["rt"],
+                       rd=f["rd"], shamt=f["shamt"], funct=f["funct"],
+                       imm=f["imm"])
+
+
+def fields(word: int) -> Dict[str, int]:
+    """Raw field extraction from a 32-bit word."""
+    return {
+        "opcode": (word >> 26) & 0x3F,
+        "rs": (word >> 21) & 0x1F,
+        "rt": (word >> 16) & 0x1F,
+        "rd": (word >> 11) & 0x1F,
+        "shamt": (word >> 6) & 0x1F,
+        "funct": word & 0x3F,
+        "imm": word & 0xFFFF,
+    }

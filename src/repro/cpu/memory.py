@@ -1,0 +1,81 @@
+"""Word-addressed memory units (instruction and data memory), gate level.
+
+A memory is a bank of word registers with a write-address decoder and a
+combinational read port (a mux tree), optionally AND-gated by a read
+enable — exactly the structure a synthesized block RAM presents to the
+model checker once flattened.  The knobs reproduce the paper's design
+space:
+
+* ``retained`` — cells become emulated retention registers (the paper
+  retains instruction and data memory: architectural state);
+* ``registered_read`` — inserts a *plain, resettable* register on the
+  read port output.  This is the synthesized-RAM behaviour the buggy
+  pre-fix variant relies on: during sleep NRST clears that register
+  (retention gating does not protect it), which is the mechanism behind
+  "an asynchronous reset signal resets the input values of the control
+  unit".
+
+Port naming follows §III-B's property text: ``WriteData``,
+``WriteAdd``, ``ReadAdd``, ``MemWrite``, ``MemRead``, ``ReadData`` —
+prefixed per instance (e.g. ``IM_WriteData``) inside the full core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist import CircuitBuilder
+
+__all__ = ["build_memory"]
+
+
+def build_memory(builder: CircuitBuilder, *,
+                 depth: int,
+                 width: int,
+                 clk: str,
+                 write_enable: str,
+                 write_addr: Sequence[str],
+                 write_data: Sequence[str],
+                 read_addr: Sequence[str],
+                 read_enable: Optional[str] = None,
+                 retained: bool = False,
+                 nret: Optional[str] = None,
+                 nrst: Optional[str] = None,
+                 registered_read: bool = False,
+                 read_reg_edge: str = "rise",
+                 prefix: str = "Mem") -> Dict[str, object]:
+    """Elaborate one memory; returns read-port bus and cell buses.
+
+    Cell words are named ``<prefix>_cell<w>[b]``; the (possibly
+    registered) read port is ``<prefix>_ReadData[b]``.
+    """
+    if depth < 1:
+        raise ValueError("memory needs at least one word")
+    addr_bits = max(1, (depth - 1).bit_length())
+    if len(write_addr) < addr_bits or len(read_addr) < addr_bits:
+        raise ValueError(f"address buses too narrow for depth {depth}")
+    if retained and (nret is None or nrst is None):
+        raise ValueError("retained memory requires NRET and NRST nodes")
+
+    waddr = list(write_addr[:addr_bits])
+    raddr = list(read_addr[:addr_bits])
+
+    cells: List[List[str]] = []
+    for w in range(depth):
+        enable = builder.and_(write_enable, builder.eq_const(waddr, w))
+        q = builder.dff_bus(
+            f"{prefix}_cell{w}", write_data, clk, enable=enable,
+            nrst=nrst, nret=nret if retained else None)
+        cells.append(q)
+
+    raw = builder.mux_tree(raddr, cells)
+    if read_enable is not None:
+        raw = builder.and_bit(read_enable, raw)
+
+    if registered_read:
+        port = builder.dff_bus(f"{prefix}_ReadData", raw, clk,
+                               nrst=nrst, edge=read_reg_edge)
+    else:
+        port = [builder.buf(b, out=f"{prefix}_ReadData[{i}]")
+                for i, b in enumerate(raw)]
+    return {"read": port, "cells": cells, "addr_bits": addr_bits}

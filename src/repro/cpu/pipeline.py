@@ -1,0 +1,135 @@
+"""Micro-architectural state inventories for 3/5/7-stage pipelines.
+
+The paper's conclusion quantifies *why* selective retention matters:
+
+    "For a 3-stage, 5-stage and 7-stage CPU the programmers visible
+    'architectural state' is basically the same but the
+    micro-architectural state roughly doubles every generation as more
+    complex write buffering, branch prediction and address
+    translation/virtual memory structures grow … retention registers
+    may be 25-40 % larger area per flop."
+
+This module builds the state inventories behind that claim: a
+:class:`StateInventory` lists every register group of a design
+generation, classified architectural vs micro-architectural, with bit
+counts derived from the structures each generation adds (pipeline
+registers, write buffers, branch predictors, TLBs, cache tag/state
+bits).  The power/area model in :mod:`repro.retention.power` consumes
+these inventories to reproduce experiment E11.
+
+The concrete per-structure sizes are engineering estimates for a
+classic ARM9/ARM11-class 32-bit embedded core; what the experiment
+needs (and what the paper claims) is the *shape*: flat architectural
+state, roughly doubling micro-architectural state per generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["RegisterGroup", "StateInventory", "generation_inventory",
+           "GENERATIONS", "core_inventory"]
+
+GENERATIONS = (3, 5, 7)
+
+
+@dataclass(frozen=True)
+class RegisterGroup:
+    """A named group of flops with a retention classification."""
+
+    name: str
+    bits: int
+    architectural: bool
+
+    def __post_init__(self):
+        if self.bits <= 0:
+            raise ValueError(f"group {self.name!r} has no bits")
+
+
+@dataclass
+class StateInventory:
+    """Every register group of one design, with classification."""
+
+    name: str
+    groups: List[RegisterGroup] = field(default_factory=list)
+
+    def add(self, name: str, bits: int, architectural: bool) -> None:
+        self.groups.append(RegisterGroup(name, bits, architectural))
+
+    @property
+    def architectural_bits(self) -> int:
+        return sum(g.bits for g in self.groups if g.architectural)
+
+    @property
+    def microarchitectural_bits(self) -> int:
+        return sum(g.bits for g in self.groups if not g.architectural)
+
+    @property
+    def total_bits(self) -> int:
+        return self.architectural_bits + self.microarchitectural_bits
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "architectural": self.architectural_bits,
+            "microarchitectural": self.microarchitectural_bits,
+            "total": self.total_bits,
+        }
+
+
+def generation_inventory(stages: int) -> StateInventory:
+    """The state inventory of a *stages*-deep pipeline generation.
+
+    Architectural state (constant across generations): 16 general
+    registers + banked/status registers and the kernel-level
+    configuration state the paper insists must be retained (MMU/system
+    control programming).
+    """
+    if stages not in GENERATIONS:
+        raise ValueError(f"modelled generations are {GENERATIONS}")
+    inv = StateInventory(f"{stages}-stage")
+
+    # -- architectural (identical across generations) -------------------
+    inv.add("general_registers", 16 * 32, True)          # r0-r15
+    inv.add("banked_registers", 20 * 32, True)           # mode banks
+    inv.add("status_registers", 6 * 32, True)            # CPSR/SPSRs
+    inv.add("system_control", 24 * 32, True)             # CP15-style config
+
+    # -- micro-architectural (grows with the generation) ----------------
+    # Flop-only inventory: SRAM-array bits (cache data/tag RAM macros)
+    # are excluded — they are not candidates for retention *registers*.
+    # Pipeline registers carry roughly one instruction's worth of
+    # datapath state per stage boundary.
+    inv.add("pipeline_registers", (stages - 1) * 144, False)
+    if stages == 3:
+        inv.add("fetch_buffers", 128, False)
+        inv.add("load_store_staging", 96, False)
+        inv.add("branch_target_cache", 512, False)
+    if stages == 5:
+        inv.add("fetch_buffers", 192, False)
+        inv.add("load_store_staging", 128, False)
+        inv.add("write_buffer", 4 * (32 + 32 + 4), False)   # addr+data+ctl
+        inv.add("branch_predictor_bimodal", 256 * 2, False)
+        inv.add("tlb_micro", 8 * (20 + 20 + 8), False)
+    if stages == 7:
+        inv.add("prefetch_queue", 384, False)
+        inv.add("load_store_staging", 192, False)
+        inv.add("write_buffer_deep", 8 * (32 + 32 + 4), False)
+        inv.add("branch_predictor_gshare", 1024, False)
+        inv.add("btb", 64 * 10, False)
+        inv.add("return_stack", 8 * 30, False)
+        inv.add("tlb_main", 8 * (20 + 20 + 8), False)
+    return inv
+
+
+def core_inventory(nregs: int, imem_depth: int, dmem_depth: int,
+                   ifr_bits: int = 6, word: int = 32) -> StateInventory:
+    """The inventory of our gate-level Fig. 4 core (for cross-checking
+    the analytical model against the real netlist)."""
+    inv = StateInventory("risc32-single-cycle")
+    inv.add("pc", word, True)
+    inv.add("register_bank", nregs * word, True)
+    inv.add("instruction_memory", imem_depth * word, True)
+    inv.add("data_memory", dmem_depth * word, True)
+    inv.add("ifr", ifr_bits, False)
+    return inv

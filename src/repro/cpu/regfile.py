@@ -1,0 +1,73 @@
+"""The register bank of Fig. 4, gate level.
+
+Two combinational read ports (mux trees over the bank), one write port
+(per-register load enables from the write-address decoder), and a
+*retention* knob: with ``retained=True`` every flop is an emulated
+retention register hooked to NRET/NRST — the register bank is
+programmer-visible state, so the paper's selective scheme retains it.
+
+Registers are general here (no hardwired zero register): the paper's
+core is "adapted from" the Hamblen & Furman tutorial design, and a
+plain bank keeps the retention story uniform — every architectural bit
+is a real flop that must survive sleep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..netlist import CircuitBuilder
+
+__all__ = ["build_regfile"]
+
+
+def build_regfile(builder: CircuitBuilder, *,
+                  nregs: int,
+                  width: int,
+                  clk: str,
+                  write_enable: str,
+                  write_addr: Sequence[str],
+                  write_data: Sequence[str],
+                  read_addr1: Sequence[str],
+                  read_addr2: Sequence[str],
+                  retained: bool,
+                  nret: Optional[str],
+                  nrst: Optional[str],
+                  prefix: str = "Reg") -> Dict[str, object]:
+    """Elaborate the register bank.
+
+    Register *i*'s flops are named ``<prefix><i>[b]``; the read ports
+    are ``ReadData1[b]`` / ``ReadData2[b]`` (with the prefix applied in
+    front when a non-default prefix is given).  Returns a dict with the
+    read-port buses and the list of per-register cell buses.
+    """
+    if nregs < 1:
+        raise ValueError("register bank needs at least one register")
+    addr_bits = max(1, (nregs - 1).bit_length())
+    for bus_name, bus in (("write_addr", write_addr),
+                          ("read_addr1", read_addr1),
+                          ("read_addr2", read_addr2)):
+        if len(bus) < addr_bits:
+            raise ValueError(f"{bus_name} too narrow for {nregs} registers")
+
+    select_w = list(write_addr[:addr_bits])
+    select_1 = list(read_addr1[:addr_bits])
+    select_2 = list(read_addr2[:addr_bits])
+
+    cells: List[List[str]] = []
+    for i in range(nregs):
+        enable = builder.and_(write_enable,
+                              builder.eq_const(select_w, i))
+        q = builder.dff_bus(
+            f"{prefix}{i}", write_data, clk, enable=enable,
+            nrst=nrst, nret=nret if retained else None)
+        cells.append(q)
+
+    port1 = builder.mux_tree(select_1, cells)
+    port2 = builder.mux_tree(select_2, cells)
+    name1 = "ReadData1" if prefix == "Reg" else f"{prefix}ReadData1"
+    name2 = "ReadData2" if prefix == "Reg" else f"{prefix}ReadData2"
+    read1 = [builder.buf(b, out=f"{name1}[{i}]") for i, b in enumerate(port1)]
+    read2 = [builder.buf(b, out=f"{name2}[{i}]") for i, b in enumerate(port2)]
+    return {"read1": read1, "read2": read2, "cells": cells,
+            "addr_bits": addr_bits}

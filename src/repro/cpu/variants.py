@@ -1,0 +1,106 @@
+"""Named core variants and the standalone memory/IFR unit of §III-B.
+
+Convenience constructors over :func:`~repro.cpu.datapath.build_core`,
+plus `build_memory_unit` — the isolated instruction-memory + IFR
+circuit on which the paper's listed Property II instance (experiment
+E8, the "10.83 s" property) runs.  Its port names follow the paper's
+text verbatim: ``WriteData``, ``WriteAdd``, ``ReadAdd``, ``MemWrite``,
+``MemRead``, ``clock``, ``NRET``, ``NRST``, and the observed register
+``IFR_Instr`` (the paper's ``IFR_Instr[31:26]`` maps to our LSB-first
+``IFR_Instr[0..5]``, carrying ``Instruction[26..31]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..netlist import Circuit, CircuitBuilder
+from .datapath import Core, RiscConfig, build_core
+from .memory import build_memory
+
+__all__ = [
+    "fixed_core", "buggy_core", "full_retention_core", "no_retention_core",
+    "MemoryUnit", "build_memory_unit",
+]
+
+
+def fixed_core(**geometry) -> Core:
+    """The paper's fixed design: selective retention plus the IFR."""
+    return build_core(RiscConfig(variant="selective-ifr", **geometry))
+
+
+def buggy_core(**geometry) -> Core:
+    """The reconstructed pre-fix design that fails Property II."""
+    return build_core(RiscConfig(variant="buggy-fetchreg", **geometry))
+
+
+def full_retention_core(**geometry) -> Core:
+    """Everything retained — the expensive baseline."""
+    return build_core(RiscConfig(variant="full-retention", **geometry))
+
+
+def no_retention_core(**geometry) -> Core:
+    """No retention at all — state dies across sleep."""
+    return build_core(RiscConfig(variant="no-retention", **geometry))
+
+
+@dataclass
+class MemoryUnit:
+    """The standalone instruction-memory + IFR circuit of §III-B."""
+
+    circuit: Circuit
+    depth: int
+    width: int
+    addr_bits: int
+    cells: List[List[str]]
+    read_data: List[str]
+    ifr: List[str]          # the 6-bit IFR bus ("IFR_Instr")
+
+    def cell_bus(self, word: int) -> List[str]:
+        return self.cells[word]
+
+
+def build_memory_unit(depth: int = 256, width: int = 32,
+                      retained: bool = True) -> MemoryUnit:
+    """The memory + 6-bit pipeline register of the paper's property.
+
+    The memory is *depth* words of *width* bits ("our Instruction
+    Memory is 256 deep and 32 bits wide"), built from retention
+    registers; read data is gated by ``MemRead``; the top six bits of
+    the read port feed the plain, resettable ``IFR_Instr`` register —
+    the configuration whose Property II instance the paper prints.
+    """
+    if width < 6:
+        raise ValueError("memory unit needs at least 6 data bits")
+    b = CircuitBuilder("memory_unit")
+    clk = b.input("clock")
+    nret = b.input("NRET")
+    nrst = b.input("NRST")
+    we = b.input("MemWrite")
+    re = b.input("MemRead")
+    addr_bits = max(1, (depth - 1).bit_length())
+    waddr = b.input_bus("WriteAdd", addr_bits)
+    raddr = b.input_bus("ReadAdd", addr_bits)
+    wdata = b.input_bus("WriteData", width)
+
+    mem = build_memory(
+        b, depth=depth, width=width, clk=clk,
+        write_enable=we, write_addr=waddr, write_data=wdata,
+        read_addr=raddr, read_enable=re,
+        retained=retained, nret=nret if retained else None, nrst=nrst,
+        prefix="IM")
+
+    ifr = b.dff_bus("IFR_Instr", mem["read"][width - 6:width], clk,
+                    nrst=nrst)
+    for node in ifr + mem["read"]:
+        b.output(node)
+    return MemoryUnit(
+        circuit=b.circuit,
+        depth=depth,
+        width=width,
+        addr_bits=addr_bits,
+        cells=mem["cells"],
+        read_data=mem["read"],
+        ifr=ifr,
+    )

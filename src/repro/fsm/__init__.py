@@ -1,0 +1,6 @@
+"""Executable FSM models compiled from netlists (the exlif2exe analogue)."""
+
+from .compiler import compile_circuit
+from .model import CompiledModel, State
+
+__all__ = ["compile_circuit", "CompiledModel", "State"]

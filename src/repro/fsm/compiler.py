@@ -1,0 +1,33 @@
+"""Circuit -> executable model compilation entry point.
+
+Thin, intentionally: `compile_circuit` validates the netlist and wraps
+it in a :class:`~repro.fsm.model.CompiledModel`.  Kept as a separate
+module so the pipeline reads like the paper's: *synthesize (builder or
+BLIF) -> compile (here) -> model check (repro.ste)*.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bdd import BDDManager
+from ..netlist import Circuit, NetlistError, check_circuit
+from .model import CompiledModel
+
+__all__ = ["compile_circuit"]
+
+
+def compile_circuit(circuit: Circuit, mgr: Optional[BDDManager] = None,
+                    validate: bool = True) -> CompiledModel:
+    """Compile *circuit* into a ternary executable model.
+
+    With ``validate=True`` (default) structural problems raise
+    :class:`~repro.netlist.circuit.NetlistError` with the full issue
+    list, mirroring how ``exlif2exe`` rejects malformed BLIF.
+    """
+    if validate:
+        issues = check_circuit(circuit)
+        if issues:
+            raise NetlistError(
+                "circuit failed validation:\n  " + "\n  ".join(issues))
+    return CompiledModel(circuit, mgr or BDDManager())

@@ -1,0 +1,169 @@
+"""Executable ternary model of a circuit (the Forte ``exe`` analogue).
+
+The paper's flow compiles the BLIF netlist "to a finite-state machine
+using exlif2exe that is provided with the STE model checker Forte".
+:class:`CompiledModel` plays that role here: it owns a levelized
+evaluation schedule for a :class:`~repro.netlist.circuit.Circuit` and
+exposes one operation, :meth:`step`, computing the circuit's node values
+at time *t* from the values at *t-1* joined with the antecedent's
+constraints at *t* — exactly the ``M(σ(t-1))`` component of the defining
+trajectory (Defn 3).
+
+Evaluation order within a step:
+
+1. primary inputs (X unless constrained);
+2. the *input cone* — combinational logic reachable from inputs alone —
+   which produces the current clock/reset/retention control values;
+3. dff outputs via :func:`~repro.netlist.cells.dff_next` (previous-step
+   data, current-step async controls);
+4. the remaining combinational logic and latches, levelized.
+
+Constraints are joined in as soon as a node's value is computed, so
+antecedent information propagates forward through the step, which is the
+standard STE forward-propagation semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager
+from ..netlist import Circuit, NetlistError, dff_next, eval_gate, latch_next
+from ..netlist.validate import combinational_order, input_cone
+from ..ternary import TernaryValue
+
+__all__ = ["CompiledModel", "State"]
+
+#: A circuit state: every known node's lattice value at one time step.
+State = Dict[str, TernaryValue]
+
+
+class CompiledModel:
+    """A circuit with a precomputed evaluation schedule."""
+
+    def __init__(self, circuit: Circuit, mgr: BDDManager):
+        self.circuit = circuit
+        self.mgr = mgr
+        self._x = TernaryValue.x(mgr)
+        cone = input_cone(circuit)
+        order = combinational_order(circuit)
+        # Phase 2 nodes: combinational outputs computable pre-registers.
+        self._pre_order: List[str] = [n for n in order if n in cone]
+        self._post_order: List[str] = [n for n in order if n not in cone]
+        self._check_controls(cone)
+
+    def _check_controls(self, cone) -> None:
+        for q, reg in self.circuit.registers.items():
+            if reg.kind != "dff":
+                continue
+            for ctrl in reg.control_nodes():
+                if ctrl not in cone and ctrl not in self.circuit.inputs:
+                    raise NetlistError(
+                        f"register {q}: control {ctrl} not derivable from "
+                        f"primary inputs; CompiledModel cannot order the "
+                        f"step evaluation")
+
+    # ------------------------------------------------------------------
+    def initial_state(self, constraints: Optional[Mapping[str, TernaryValue]]
+                      = None) -> State:
+        """The time-0 state: everything X, registers included, joined
+        with the given constraints."""
+        return self.step(None, constraints or {})
+
+    def step(self, prev: Optional[State],
+             constraints: Mapping[str, TernaryValue]) -> State:
+        """One defining-trajectory step.
+
+        *prev* is the complete state at t-1 (None when computing t=0);
+        *constraints* are the antecedent's defining-sequence entries for
+        the current step.
+        """
+        mgr = self.mgr
+        values: State = {}
+
+        def finish(node: str, value: TernaryValue) -> None:
+            constraint = constraints.get(node)
+            if constraint is not None:
+                value = value.join(constraint)
+            values[node] = value
+
+        # Phase 1: primary inputs.
+        for node in self.circuit.inputs:
+            finish(node, self._x)
+
+        # Phase 2: input-cone combinational logic (gate outputs only —
+        # latches never sit in the input cone by definition of the cone,
+        # but guard anyway).
+        for node in self._pre_order:
+            self._eval_node(node, values, prev, finish)
+
+        # Phase 3: dff outputs.
+        for q, reg in self.circuit.registers.items():
+            if reg.kind != "dff":
+                continue
+            if prev is None:
+                finish(q, self._x)
+                continue
+            clk_now = values.get(reg.clk, self._x)
+            nrst_now = values.get(reg.nrst, self._x) if reg.nrst else None
+            nret_now = values.get(reg.nret, self._x) if reg.nret else None
+            value = dff_next(
+                mgr, reg,
+                q_prev=prev.get(q, self._x),
+                d_prev=prev.get(reg.d, self._x),
+                clk_prev=prev.get(reg.clk, self._x),
+                clk_now=clk_now,
+                enable_prev=(prev.get(reg.enable, self._x)
+                             if reg.enable else None),
+                nrst_now=nrst_now,
+                nret_now=nret_now)
+            finish(q, value)
+
+        # Phase 4: the rest of the combinational logic and the latches.
+        for node in self._post_order:
+            self._eval_node(node, values, prev, finish)
+
+        # Constrained nodes that nothing drives (floating spec nodes)
+        # still take their constraint value.
+        for node, constraint in constraints.items():
+            if node not in values:
+                values[node] = constraint
+        return values
+
+    def _eval_node(self, node: str, values: State, prev: Optional[State],
+                   finish) -> None:
+        gate = self.circuit.gates.get(node)
+        if gate is not None:
+            ins = [values.get(i, self._x) for i in gate.ins]
+            finish(node, eval_gate(self.mgr, gate.op, ins))
+            return
+        reg = self.circuit.registers.get(node)
+        if reg is not None and reg.kind == "latch":
+            en_now = values.get(reg.clk, self._x)
+            d_now = values.get(reg.d, self._x)
+            q_prev = prev.get(node, self._x) if prev else self._x
+            finish(node, latch_next(en_now, d_now, q_prev))
+            return
+        raise NetlistError(f"no evaluation rule for node {node!r}")
+
+    # ------------------------------------------------------------------
+    def run(self, constraints_by_time: Sequence[Mapping[str, TernaryValue]],
+            steps: Optional[int] = None) -> List[State]:
+        """Compute the defining trajectory for the given constraint
+        sequence: ``sigma[t] = constraints[t] ⊔ M(sigma[t-1])``."""
+        if steps is None:
+            steps = len(constraints_by_time)
+        trajectory: List[State] = []
+        prev: Optional[State] = None
+        for t in range(steps):
+            cons = (constraints_by_time[t]
+                    if t < len(constraints_by_time) else {})
+            prev = self.step(prev, cons)
+            trajectory.append(prev)
+        return trajectory
+
+    def stats(self) -> Dict[str, int]:
+        info = dict(self.circuit.stats())
+        info["pre_register_nodes"] = len(self._pre_order)
+        info["post_register_nodes"] = len(self._post_order)
+        return info

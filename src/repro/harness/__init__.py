@@ -1,0 +1,7 @@
+"""Experiment registry and result-table utilities for the benchmarks."""
+
+from .experiments import Experiment, paper_claims, registry
+from .report import Table, format_seconds
+
+__all__ = ["Experiment", "paper_claims", "registry", "Table",
+           "format_seconds"]

@@ -1,0 +1,69 @@
+"""Result tables for the benchmark harness.
+
+Small, dependency-free tabulation: benches print the same rows the
+paper reports (per-unit property counts and outcomes, timing, BDD
+sizes, area/leakage sweeps) in aligned ASCII, and EXPERIMENTS.md embeds
+the rendered output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "format_seconds"]
+
+
+class Table:
+    """An ordered column table with ASCII rendering."""
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add(self, *values: object, **named: object) -> None:
+        if values and named:
+            raise ValueError("pass either positional or named cells")
+        if named:
+            values = tuple(named.get(c, "") for c in self.columns)
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append([_fmt(v) for v in values])
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"

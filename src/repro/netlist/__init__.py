@@ -1,0 +1,30 @@
+"""Gate-level netlist: circuits, cell semantics, builder, COI, checks."""
+
+from .circuit import Circuit, Gate, GATE_ARITY, GATE_OPS, NetlistError, Register
+from .builder import CircuitBuilder
+from .balloon import build_balloon_bank, build_balloon_cell
+from .cells import dff_next, eval_gate, falling_edge, latch_next, rising_edge
+from .coi import cone_nodes, cone_of_influence
+from .validate import check_circuit, combinational_order, input_cone
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "Register",
+    "NetlistError",
+    "GATE_OPS",
+    "GATE_ARITY",
+    "CircuitBuilder",
+    "build_balloon_cell",
+    "build_balloon_bank",
+    "eval_gate",
+    "dff_next",
+    "latch_next",
+    "rising_edge",
+    "falling_edge",
+    "cone_nodes",
+    "cone_of_influence",
+    "check_circuit",
+    "combinational_order",
+    "input_cone",
+]

@@ -1,0 +1,67 @@
+"""Balloon-latch state retention (the paper's reference [3]).
+
+"State-Retention can be supported in power gated designs either
+explicitly in software or transparently in hardware using a balloon
+latch" (§I); the Fig. 1 cell itself is an emulation of production
+retention registers that "capture state into a weak, low-leakage,
+retention latch structure" (§II).
+
+This module builds that alternative structure explicitly at gate
+level — a working flop shadowed by an always-on balloon latch with a
+synchronous restore path:
+
+    Q    = dff(d = RESTORE ? B : D, clk, async reset NRST)
+    B    = latch(d = Q, enable = SAVE)        # no reset: survives NRST
+
+Protocol (cf. the §III-A sequence):
+
+1. awake: SAVE=0, RESTORE=0 — an ordinary resettable flop;
+2. sleep entry: stop the clock, pulse SAVE high (the balloon captures
+   Q), then let NRST clear the working flop — the balloon keeps the
+   value because it has no reset and is opaque once SAVE drops;
+3. resume: hold RESTORE high across the first clock edge (Q reloads
+   from the balloon), drop RESTORE, continue.
+
+The STE equivalence between this cell under its protocol and the
+emulated NRET/NRST retention register under the paper's protocol is an
+ablation benchmark (`benchmarks/test_bench_ablations.py`): two
+different hardware realisations of the same retention contract.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .builder import CircuitBuilder
+
+__all__ = ["build_balloon_cell", "build_balloon_bank"]
+
+
+def build_balloon_cell(builder: CircuitBuilder, qname: str, d: str,
+                       clk: str, save: str, restore: str, nrst: str,
+                       init: int = 0) -> Dict[str, str]:
+    """One balloon-retention bit; returns {"q": ..., "balloon": ...}.
+
+    The balloon node is named ``<qname>_balloon`` so properties can
+    observe the shadow value directly.
+    """
+    balloon = f"{qname}_balloon"
+    d_eff = builder.mux(restore, balloon, d)
+    q = builder.circuit.add_dff(qname, d_eff, clk, nrst=nrst, init=init)
+    builder.circuit.add_latch(balloon, q, save)
+    return {"q": q, "balloon": balloon}
+
+
+def build_balloon_bank(builder: CircuitBuilder, qname: str,
+                       d: Sequence[str], clk: str, save: str, restore: str,
+                       nrst: str, init: int = 0) -> Dict[str, List[str]]:
+    """A bus of balloon cells named ``qname[i]``."""
+    qs: List[str] = []
+    balloons: List[str] = []
+    for i, di in enumerate(d):
+        cell = build_balloon_cell(builder, f"{qname}[{i}]", di, clk,
+                                  save, restore, nrst,
+                                  init=(init >> i) & 1)
+        qs.append(cell["q"])
+        balloons.append(cell["balloon"])
+    return {"q": qs, "balloon": balloons}

@@ -1,0 +1,270 @@
+"""Word-level structural builder on top of :class:`Circuit`.
+
+The paper "architected a 32-bit RISC core adapted from [Hamblen &
+Furman]" in RTL and synthesized it to gates.  We substitute a structural
+builder: word-level constructors (adders, comparators, decoders, mux
+trees, register banks) that elaborate directly to primitive gates, so
+the result is the same kind of flat gate-level netlist their Quartus →
+BLIF flow produced — and it can be round-tripped through our BLIF
+subset (`repro.blif`) to prove it.
+
+All bus arguments and results are LSB-first lists of node names.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .circuit import Circuit, NetlistError
+
+__all__ = ["CircuitBuilder"]
+
+
+class CircuitBuilder:
+    """Fluent gate-level construction with fresh-name management."""
+
+    def __init__(self, name: str = "top"):
+        self.circuit = Circuit(name)
+        self._counter = 0
+        self._const0: Optional[str] = None
+        self._const1: Optional[str] = None
+        self._reserved: set = set()
+
+    # ------------------------------------------------------------------
+    # Naming
+    # ------------------------------------------------------------------
+    def reserve(self, names) -> None:
+        """Mark *names* as taken so `fresh` never produces them (the
+        BLIF parser reserves every token of its input, since the file
+        may itself contain builder-generated names)."""
+        self._reserved.update(names)
+
+    def fresh(self, prefix: str = "n") -> str:
+        while True:
+            self._counter += 1
+            candidate = f"_{prefix}{self._counter}"
+            if candidate not in self._reserved:
+                return candidate
+
+    def fresh_bus(self, width: int, prefix: str = "n") -> List[str]:
+        base = self.fresh(prefix)
+        return [f"{base}[{i}]" for i in range(width)]
+
+    # ------------------------------------------------------------------
+    # Primary I/O
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> str:
+        return self.circuit.add_input(name)
+
+    def input_bus(self, name: str, width: int) -> List[str]:
+        return self.circuit.add_input_bus(name, width)
+
+    def output(self, node: str) -> None:
+        self.circuit.set_output(node)
+
+    def output_bus(self, bus: Sequence[str]) -> None:
+        for node in bus:
+            self.circuit.set_output(node)
+
+    # ------------------------------------------------------------------
+    # Scalar gates (each returns its output node)
+    # ------------------------------------------------------------------
+    def const0(self) -> str:
+        if self._const0 is None:
+            self._const0 = self.circuit.add_gate("CONST0", self.fresh("c0"), ())
+        return self._const0
+
+    def const1(self) -> str:
+        if self._const1 is None:
+            self._const1 = self.circuit.add_gate("CONST1", self.fresh("c1"), ())
+        return self._const1
+
+    def buf(self, a: str, out: Optional[str] = None) -> str:
+        return self.circuit.add_gate("BUF", out or self.fresh("buf"), (a,))
+
+    def alias(self, name: str, node: str) -> str:
+        """Give *node* a stable, observable name (a BUF)."""
+        return self.buf(node, out=name)
+
+    def alias_bus(self, name: str, bus: Sequence[str]) -> List[str]:
+        return [self.alias(f"{name}[{i}]", n) for i, n in enumerate(bus)]
+
+    def not_(self, a: str, out: Optional[str] = None) -> str:
+        return self.circuit.add_gate("NOT", out or self.fresh("not"), (a,))
+
+    def and_(self, *ins: str, out: Optional[str] = None) -> str:
+        if len(ins) == 1:
+            return self.buf(ins[0], out)
+        return self.circuit.add_gate("AND", out or self.fresh("and"), ins)
+
+    def or_(self, *ins: str, out: Optional[str] = None) -> str:
+        if len(ins) == 1:
+            return self.buf(ins[0], out)
+        return self.circuit.add_gate("OR", out or self.fresh("or"), ins)
+
+    def nand(self, *ins: str, out: Optional[str] = None) -> str:
+        return self.circuit.add_gate("NAND", out or self.fresh("nand"), ins)
+
+    def nor(self, *ins: str, out: Optional[str] = None) -> str:
+        return self.circuit.add_gate("NOR", out or self.fresh("nor"), ins)
+
+    def xor(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self.circuit.add_gate("XOR", out or self.fresh("xor"), (a, b))
+
+    def xnor(self, a: str, b: str, out: Optional[str] = None) -> str:
+        return self.circuit.add_gate("XNOR", out or self.fresh("xnor"), (a, b))
+
+    def mux(self, sel: str, then: str, else_: str,
+            out: Optional[str] = None) -> str:
+        return self.circuit.add_gate("MUX", out or self.fresh("mux"),
+                                     (sel, then, else_))
+
+    # ------------------------------------------------------------------
+    # Bus logic
+    # ------------------------------------------------------------------
+    def const_bus(self, value: int, width: int) -> List[str]:
+        return [self.const1() if (value >> i) & 1 else self.const0()
+                for i in range(width)]
+
+    def not_bus(self, a: Sequence[str]) -> List[str]:
+        return [self.not_(x) for x in a]
+
+    def and_bus(self, a: Sequence[str], b: Sequence[str]) -> List[str]:
+        self._same_width(a, b)
+        return [self.and_(x, y) for x, y in zip(a, b)]
+
+    def or_bus(self, a: Sequence[str], b: Sequence[str]) -> List[str]:
+        self._same_width(a, b)
+        return [self.or_(x, y) for x, y in zip(a, b)]
+
+    def xor_bus(self, a: Sequence[str], b: Sequence[str]) -> List[str]:
+        self._same_width(a, b)
+        return [self.xor(x, y) for x, y in zip(a, b)]
+
+    def mux_bus(self, sel: str, then: Sequence[str],
+                else_: Sequence[str]) -> List[str]:
+        self._same_width(then, else_)
+        return [self.mux(sel, t, e) for t, e in zip(then, else_)]
+
+    def and_bit(self, bit: str, bus: Sequence[str]) -> List[str]:
+        """AND a single control bit across a bus (read-enable gating)."""
+        return [self.and_(bit, x) for x in bus]
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def adder(self, a: Sequence[str], b: Sequence[str],
+              carry_in: Optional[str] = None) -> tuple:
+        """Ripple-carry adder; returns (sum_bus, carry_out)."""
+        self._same_width(a, b)
+        carry = carry_in if carry_in is not None else self.const0()
+        out: List[str] = []
+        for x, y in zip(a, b):
+            axy = self.xor(x, y)
+            out.append(self.xor(axy, carry))
+            carry = self.or_(self.and_(x, y), self.and_(carry, axy))
+        return out, carry
+
+    def subtractor(self, a: Sequence[str], b: Sequence[str]) -> tuple:
+        """a - b via two's complement; returns (diff_bus, carry_out)."""
+        return self.adder(a, self.not_bus(b), carry_in=self.const1())
+
+    def increment(self, a: Sequence[str], amount: int) -> List[str]:
+        """a + constant (the PC + 4 adder)."""
+        total, _ = self.adder(a, self.const_bus(amount, len(a)))
+        return total
+
+    def shift_left_const(self, a: Sequence[str], amount: int) -> List[str]:
+        """Shift left by wiring (the paper's ``Shift Left 2`` unit)."""
+        width = len(a)
+        amount = min(amount, width)
+        return ([self.const0() for _ in range(amount)]
+                + [self.buf(x) for x in a[:width - amount]])
+
+    def sign_extend(self, a: Sequence[str], width: int) -> List[str]:
+        """Replicate the MSB (the 16 -> 32 sign-extend unit)."""
+        if width < len(a):
+            raise NetlistError("sign_extend target narrower than bus")
+        ext = [self.buf(x) for x in a]
+        msb = a[-1]
+        ext += [self.buf(msb) for _ in range(width - len(a))]
+        return ext
+
+    # ------------------------------------------------------------------
+    # Comparison / decode / select
+    # ------------------------------------------------------------------
+    def eq_const(self, a: Sequence[str], value: int) -> str:
+        """One node: bus equals the unsigned constant."""
+        literals = [x if (value >> i) & 1 else self.not_(x)
+                    for i, x in enumerate(a)]
+        return self.and_(*literals)
+
+    def eq_bus(self, a: Sequence[str], b: Sequence[str]) -> str:
+        self._same_width(a, b)
+        return self.and_(*[self.xnor(x, y) for x, y in zip(a, b)])
+
+    def is_zero(self, a: Sequence[str]) -> str:
+        """The ALU ``Zero`` flag."""
+        return self.nor(*a)
+
+    def decoder(self, a: Sequence[str], depth: Optional[int] = None
+                ) -> List[str]:
+        """One-hot decode of the bus (write-address decode)."""
+        depth = depth if depth is not None else 1 << len(a)
+        return [self.eq_const(a, i) for i in range(depth)]
+
+    def mux_tree(self, sel: Sequence[str], entries: Sequence[Sequence[str]]
+                 ) -> List[str]:
+        """Select ``entries[sel]``; a balanced tree over the select bits.
+
+        Missing entries (when len(entries) < 2**len(sel)) read as the
+        highest provided entry's sibling branch collapsing — callers
+        should pass a power-of-two-sized list for exact semantics; we
+        pad by repeating the last entry, which is what synthesized
+        memories with don't-care upper addresses do.
+        """
+        if not entries:
+            raise NetlistError("mux_tree needs at least one entry")
+        entries = list(entries)
+        full = 1 << len(sel)
+        while len(entries) < full:
+            entries.append(entries[-1])
+        level = [list(e) for e in entries]
+        for bit in sel:
+            nxt = []
+            for i in range(0, len(level), 2):
+                nxt.append(self.mux_bus(bit, level[i + 1], level[i]))
+            level = nxt
+        return level[0]
+
+    # ------------------------------------------------------------------
+    # Registers
+    # ------------------------------------------------------------------
+    def dff_bus(self, qname: str, d: Sequence[str], clk: str, *,
+                enable: Optional[str] = None,
+                nrst: Optional[str] = None,
+                nret: Optional[str] = None,
+                init: int = 0,
+                edge: str = "rise") -> List[str]:
+        """A bank of dffs named ``qname[i]``; *init* is a word constant."""
+        out = []
+        for i, di in enumerate(d):
+            out.append(self.circuit.add_dff(
+                f"{qname}[{i}]", di, clk, enable=enable, nrst=nrst,
+                nret=nret, init=(init >> i) & 1, edge=edge))
+        return out
+
+    def retention_dff_bus(self, qname: str, d: Sequence[str], clk: str,
+                          nret: str, nrst: str, *,
+                          enable: Optional[str] = None,
+                          init: int = 0,
+                          edge: str = "rise") -> List[str]:
+        """A bank of emulated retention registers (paper Fig. 1)."""
+        return self.dff_bus(qname, d, clk, enable=enable, nrst=nrst,
+                            nret=nret, init=init, edge=edge)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _same_width(a: Sequence[str], b: Sequence[str]) -> None:
+        if len(a) != len(b):
+            raise NetlistError(f"bus width mismatch: {len(a)} vs {len(b)}")

@@ -1,0 +1,109 @@
+"""Ternary semantics of the netlist primitives.
+
+This module is the single place where the lattice behaviour of every
+cell lives: the combinational gate algebra, and the sequential update
+rules — including the emulated retention register of the paper's
+Figure 1 with its documented priority scheme:
+
+    retention hold (NRET=0)  >  async reset (NRST=0)  >  clocked sample
+
+"Retention has priority over reset.  This means that if NRET is in
+sample mode or held high, reset will have the usual effect of resetting
+the retained state.  To prevent the contents of the retained state from
+being reset, NRET needs to be held low."  (§III-A)
+
+All functions are monotone over the information order, which is what
+makes the STE fundamental theorem applicable to circuits built from
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from ..bdd import BDDManager
+from ..ternary import TernaryValue
+from .circuit import NetlistError, Register
+
+__all__ = ["eval_gate", "dff_next", "latch_next", "rising_edge",
+           "falling_edge"]
+
+
+def eval_gate(mgr: BDDManager, op: str,
+              ins: Sequence[TernaryValue]) -> TernaryValue:
+    """Evaluate one combinational primitive over ternary inputs."""
+    if op == "CONST0":
+        return TernaryValue.zero(mgr)
+    if op == "CONST1":
+        return TernaryValue.one(mgr)
+    if op == "BUF":
+        return ins[0]
+    if op == "NOT":
+        return ~ins[0]
+    if op == "AND" or op == "NAND":
+        acc = ins[0]
+        for v in ins[1:]:
+            acc = acc & v
+        return ~acc if op == "NAND" else acc
+    if op == "OR" or op == "NOR":
+        acc = ins[0]
+        for v in ins[1:]:
+            acc = acc | v
+        return ~acc if op == "NOR" else acc
+    if op == "XOR":
+        return ins[0] ^ ins[1]
+    if op == "XNOR":
+        return ~(ins[0] ^ ins[1])
+    if op == "MUX":
+        sel, then, else_ = ins
+        return sel.mux(then, else_)
+    raise NetlistError(f"unknown gate op {op!r}")
+
+
+def rising_edge(clk_prev: TernaryValue, clk_now: TernaryValue) -> TernaryValue:
+    """Ternary rising-edge detector: ``¬clk_{t-1} ∧ clk_t``."""
+    return ~clk_prev & clk_now
+
+
+def falling_edge(clk_prev: TernaryValue, clk_now: TernaryValue) -> TernaryValue:
+    """Ternary falling-edge detector: ``clk_{t-1} ∧ ¬clk_t``."""
+    return clk_prev & ~clk_now
+
+
+def dff_next(mgr: BDDManager, reg: Register, *,
+             q_prev: TernaryValue,
+             d_prev: TernaryValue,
+             clk_prev: TernaryValue,
+             clk_now: TernaryValue,
+             enable_prev: Optional[TernaryValue] = None,
+             nrst_now: Optional[TernaryValue] = None,
+             nret_now: Optional[TernaryValue] = None) -> TernaryValue:
+    """Next value of an edge-triggered register (and of the emulated
+    retention register when ``nret_now`` is wired).
+
+    The data and load-enable are the values of the *previous* step
+    (setup-time semantics); clock edge detection spans the step
+    boundary; reset and retention act on the *current* step's control
+    values.  Priorities, outermost first: retention hold, reset, edge.
+    """
+    if reg.edge == "fall":
+        edge = falling_edge(clk_prev, clk_now)
+    else:
+        edge = rising_edge(clk_prev, clk_now)
+    if enable_prev is not None:
+        edge = edge & enable_prev
+    value = edge.mux(d_prev, q_prev)
+    if nrst_now is not None:
+        init = TernaryValue.of_bool(mgr, bool(reg.init))
+        # nrst is active low: 1 -> normal operation, 0 -> forced to init.
+        value = nrst_now.mux(value, init)
+    if nret_now is not None:
+        # nret is active low: 1 -> sample mode (normal), 0 -> hold mode.
+        value = nret_now.mux(value, q_prev)
+    return value
+
+
+def latch_next(en_now: TernaryValue, d_now: TernaryValue,
+               q_prev: TernaryValue) -> TernaryValue:
+    """Transparent latch: follows ``d`` while the enable is high."""
+    return en_now.mux(d_now, q_prev)

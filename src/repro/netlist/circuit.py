@@ -1,0 +1,264 @@
+"""Gate-level circuit representation.
+
+A :class:`Circuit` is the netlist abstraction everything downstream
+consumes — the analogue of the BLIF network the paper obtains from
+Quartus II and feeds through ``exlif2exe`` into the Forte model checker.
+
+Nodes are strings (bus bits are conventionally named ``"bus[i]"``).
+Every node has at most one driver: a primary input, a combinational
+gate, or a sequential element.  Supported primitives:
+
+* combinational: ``CONST0 CONST1 BUF NOT AND OR NAND NOR XOR XNOR MUX``
+  (AND/OR/NAND/NOR are n-ary; MUX inputs are ``(sel, then, else)``);
+* ``dff`` — edge-triggered register with optional load-enable,
+  asynchronous active-low reset ``nrst`` and active-low retention hold
+  ``nret`` (the emulated retention register of the paper's Fig. 1 is a
+  dff with both controls wired);
+* ``latch`` — level-sensitive transparent latch.
+
+Timing discipline (uniform across the library, see DESIGN.md): STE time
+steps are clock *phases*; a dff samples ``d`` (and its load-enable) at
+the step *before* a rising clock edge — physical setup-time semantics —
+while the asynchronous controls act on the current step.  Retention hold
+dominates reset, which dominates clocked sampling ("retention has
+priority over reset").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Circuit", "Gate", "Register", "NetlistError",
+           "GATE_OPS", "GATE_ARITY"]
+
+
+class NetlistError(Exception):
+    """Structural netlist violation (multiple drivers, unknown ops, …)."""
+
+
+#: op name -> fixed arity (None = n-ary, at least 1)
+GATE_ARITY: Dict[str, Optional[int]] = {
+    "CONST0": 0,
+    "CONST1": 0,
+    "BUF": 1,
+    "NOT": 1,
+    "AND": None,
+    "OR": None,
+    "NAND": None,
+    "NOR": None,
+    "XOR": 2,
+    "XNOR": 2,
+    "MUX": 3,
+}
+
+GATE_OPS = frozenset(GATE_ARITY)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A combinational primitive driving node ``out``."""
+
+    op: str
+    out: str
+    ins: Tuple[str, ...]
+
+    def __post_init__(self):
+        if self.op not in GATE_ARITY:
+            raise NetlistError(f"unknown gate op {self.op!r}")
+        arity = GATE_ARITY[self.op]
+        if arity is None:
+            if not self.ins:
+                raise NetlistError(f"{self.op} gate needs at least one input")
+        elif len(self.ins) != arity:
+            raise NetlistError(
+                f"{self.op} gate {self.out!r} expects {arity} inputs, "
+                f"got {len(self.ins)}")
+
+
+@dataclass(frozen=True)
+class Register:
+    """A sequential element driving node ``q``.
+
+    kind == "dff": edge-triggered.  ``nrst``/``nret`` are optional
+    active-low asynchronous reset / retention-hold controls; ``enable``
+    is an optional synchronous load enable; ``init`` is the value forced
+    while reset is active.
+
+    kind == "latch": transparent while ``clk`` (used as the level enable)
+    is high; ``nrst``/``nret``/``enable`` must be None.
+
+    ``edge`` selects the active clock edge for dffs: "rise" (default) or
+    "fall".  Falling-edge capture is how the full core's IFR samples the
+    fetched instruction mid-cycle (see DESIGN.md on IFR alignment).
+    """
+
+    kind: str
+    q: str
+    d: str
+    clk: str
+    enable: Optional[str] = None
+    nrst: Optional[str] = None
+    nret: Optional[str] = None
+    init: int = 0
+    edge: str = "rise"
+
+    def __post_init__(self):
+        if self.kind not in ("dff", "latch"):
+            raise NetlistError(f"unknown register kind {self.kind!r}")
+        if self.kind == "latch" and (self.enable or self.nrst or self.nret):
+            raise NetlistError("latch supports no enable/nrst/nret controls")
+        if self.init not in (0, 1):
+            raise NetlistError("register init value must be 0 or 1")
+        if self.edge not in ("rise", "fall"):
+            raise NetlistError(f"unknown clock edge {self.edge!r}")
+
+    @property
+    def is_retention(self) -> bool:
+        return self.nret is not None
+
+    def control_nodes(self) -> Tuple[str, ...]:
+        """Nodes sampled at the *current* step (async controls + clock)."""
+        controls = [self.clk]
+        if self.nrst is not None:
+            controls.append(self.nrst)
+        if self.nret is not None:
+            controls.append(self.nret)
+        return tuple(controls)
+
+    def data_nodes(self) -> Tuple[str, ...]:
+        """Nodes sampled at the *previous* step (setup-time semantics)."""
+        data = [self.d]
+        if self.enable is not None:
+            data.append(self.enable)
+        return tuple(data)
+
+
+class Circuit:
+    """A flat netlist with single-driver discipline."""
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.gates: Dict[str, Gate] = {}       # out node -> gate
+        self.registers: Dict[str, Register] = {}  # q node -> register
+        self._drivers: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _claim(self, node: str) -> None:
+        if node in self._drivers:
+            raise NetlistError(f"node {node!r} already has a driver")
+        self._drivers.add(node)
+
+    def add_input(self, node: str) -> str:
+        self._claim(node)
+        self.inputs.append(node)
+        return node
+
+    def add_input_bus(self, name: str, width: int) -> List[str]:
+        return [self.add_input(f"{name}[{i}]") for i in range(width)]
+
+    def add_gate(self, op: str, out: str, ins: Sequence[str]) -> str:
+        gate = Gate(op, out, tuple(ins))
+        self._claim(out)
+        self.gates[out] = gate
+        return out
+
+    def add_dff(self, q: str, d: str, clk: str, *,
+                enable: Optional[str] = None,
+                nrst: Optional[str] = None,
+                nret: Optional[str] = None,
+                init: int = 0,
+                edge: str = "rise") -> str:
+        reg = Register("dff", q, d, clk, enable=enable, nrst=nrst,
+                       nret=nret, init=init, edge=edge)
+        self._claim(q)
+        self.registers[q] = reg
+        return q
+
+    def add_latch(self, q: str, d: str, en: str) -> str:
+        reg = Register("latch", q, d, en)
+        self._claim(q)
+        self.registers[q] = reg
+        return q
+
+    def set_output(self, node: str) -> None:
+        if node not in self.outputs:
+            self.outputs.append(node)
+
+    def set_output_bus(self, name: str, width: int) -> None:
+        for i in range(width):
+            self.set_output(f"{name}[{i}]")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def driver_of(self, node: str) -> Optional[object]:
+        """The Gate/Register driving *node*, 'input' for primary inputs,
+        or None for undriven (floating) nodes."""
+        if node in self.gates:
+            return self.gates[node]
+        if node in self.registers:
+            return self.registers[node]
+        if node in self.inputs:
+            return "input"
+        return None
+
+    def all_nodes(self) -> Set[str]:
+        """Every node mentioned anywhere in the netlist."""
+        nodes: Set[str] = set(self.inputs)
+        for gate in self.gates.values():
+            nodes.add(gate.out)
+            nodes.update(gate.ins)
+        for reg in self.registers.values():
+            nodes.add(reg.q)
+            nodes.add(reg.d)
+            nodes.update(reg.control_nodes())
+            nodes.update(reg.data_nodes())
+        nodes.update(self.outputs)
+        return nodes
+
+    def undriven_nodes(self) -> Set[str]:
+        return {n for n in self.all_nodes() if self.driver_of(n) is None}
+
+    def fanin_nodes(self, node: str) -> Tuple[str, ...]:
+        """Immediate fanin of *node* (empty for inputs/floating)."""
+        gate = self.gates.get(node)
+        if gate is not None:
+            return gate.ins
+        reg = self.registers.get(node)
+        if reg is not None:
+            return reg.data_nodes() + reg.control_nodes()
+        return ()
+
+    def state_nodes(self) -> List[str]:
+        """All register outputs, in insertion order."""
+        return list(self.registers)
+
+    def retention_state_nodes(self) -> List[str]:
+        return [q for q, r in self.registers.items() if r.is_retention]
+
+    def bus(self, name: str, width: int) -> List[str]:
+        """Node names of a bus, LSB first."""
+        return [f"{name}[{i}]" for i in range(width)]
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "gates": len(self.gates),
+            "registers": len(self.registers),
+            "retention_registers": len(self.retention_state_nodes()),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"Circuit({self.name!r}, gates={s['gates']}, "
+                f"registers={s['registers']}, "
+                f"retention={s['retention_registers']})")

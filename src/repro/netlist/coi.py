@@ -1,0 +1,61 @@
+"""Cone-of-influence extraction.
+
+The paper keeps per-unit property checking tractable by decomposition:
+each property mentions only the nodes of one functional unit, so the
+model checker only ever has to evaluate the logic that can influence
+those nodes.  `cone_of_influence` implements that reduction on our
+netlists: given the set of nodes a property observes, it extracts the
+transitive-fanin sub-circuit (crossing register boundaries, since STE
+properties span clock cycles).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set
+
+from .circuit import Circuit
+
+__all__ = ["cone_nodes", "cone_of_influence"]
+
+
+def cone_nodes(circuit: Circuit, roots: Iterable[str]) -> Set[str]:
+    """All nodes in the transitive fanin of *roots* (roots included)."""
+    seen: Set[str] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(circuit.fanin_nodes(node))
+    return seen
+
+
+def cone_of_influence(circuit: Circuit, roots: Iterable[str]) -> Circuit:
+    """A new circuit containing exactly the logic that can affect *roots*.
+
+    Primary inputs inside the cone stay inputs; the roots become the
+    outputs of the reduced circuit.  Nodes that were driven outside the
+    cone cannot occur (fanin traversal pulls drivers in), so the result
+    is closed.
+    """
+    roots = list(roots)
+    keep = cone_nodes(circuit, roots)
+    reduced = Circuit(f"{circuit.name}_coi")
+    for node in circuit.inputs:
+        if node in keep:
+            reduced.add_input(node)
+    for out, gate in circuit.gates.items():
+        if out in keep:
+            reduced.add_gate(gate.op, gate.out, gate.ins)
+    for q, reg in circuit.registers.items():
+        if q in keep:
+            if reg.kind == "dff":
+                reduced.add_dff(reg.q, reg.d, reg.clk, enable=reg.enable,
+                                nrst=reg.nrst, nret=reg.nret, init=reg.init,
+                                edge=reg.edge)
+            else:
+                reduced.add_latch(reg.q, reg.d, reg.clk)
+    for node in roots:
+        reduced.set_output(node)
+    return reduced

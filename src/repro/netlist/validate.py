@@ -1,0 +1,107 @@
+"""Structural sanity checks for netlists.
+
+`check_circuit` returns a list of human-readable issues; an empty list
+means the netlist satisfies the assumptions the FSM compiler makes:
+
+* every referenced node has a driver (input, gate, or register);
+* the combinational logic is acyclic (latches count as combinational
+  for cycle purposes, since they read their data in the same phase);
+* register clock/reset/retention controls are driven purely from the
+  input cone — asynchronous controls produced by sequential logic would
+  need fixed-point evaluation within a step, which the methodology (and
+  real retention methodologies: NRET/NRST come from a power-management
+  controller, not from the gated domain itself) does not require.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from .circuit import Circuit
+
+__all__ = ["check_circuit", "combinational_order", "input_cone"]
+
+
+def input_cone(circuit: Circuit) -> Set[str]:
+    """Nodes computable from primary inputs through combinational gates
+    only (no register output anywhere in their fanin)."""
+    cone: Set[str] = set(circuit.inputs)
+    changed = True
+    gates = list(circuit.gates.values())
+    while changed:
+        changed = False
+        for gate in gates:
+            if gate.out not in cone and all(i in cone for i in gate.ins):
+                cone.add(gate.out)
+                changed = True
+    return cone
+
+
+def combinational_order(circuit: Circuit) -> List[str]:
+    """Topological order of gate and latch outputs.
+
+    DFF outputs are sources (their update uses previous-step data).
+    Latch outputs are ordered like gates because they sample their data
+    in the current phase.  Raises ValueError on a combinational cycle.
+    """
+    deps: Dict[str, List[str]] = {}
+    for out, gate in circuit.gates.items():
+        deps[out] = list(gate.ins)
+    for q, reg in circuit.registers.items():
+        if reg.kind == "latch":
+            deps[q] = [reg.d, reg.clk]
+
+    order: List[str] = []
+    state: Dict[str, int] = {}  # 0 visiting, 1 done
+
+    for start in deps:
+        if start in state:
+            continue
+        stack = [(start, iter(deps[start]))]
+        state[start] = 0
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for child in it:
+                if child not in deps:
+                    continue
+                mark = state.get(child)
+                if mark == 0:
+                    cycle = [n for n, _ in stack] + [child]
+                    raise ValueError(
+                        "combinational cycle through: " + " -> ".join(cycle))
+                if mark is None:
+                    state[child] = 0
+                    stack.append((child, iter(deps[child])))
+                    advanced = True
+                    break
+            if not advanced:
+                stack.pop()
+                state[node] = 1
+                order.append(node)
+    return order
+
+
+def check_circuit(circuit: Circuit) -> List[str]:
+    """Return a list of structural problems (empty = OK)."""
+    issues: List[str] = []
+
+    undriven = sorted(circuit.undriven_nodes())
+    for node in undriven:
+        issues.append(f"undriven node: {node}")
+
+    try:
+        combinational_order(circuit)
+    except ValueError as exc:
+        issues.append(str(exc))
+
+    cone = input_cone(circuit)
+    for q, reg in circuit.registers.items():
+        if reg.kind != "dff":
+            continue
+        for ctrl in reg.control_nodes():
+            if ctrl not in cone:
+                issues.append(
+                    f"register {q}: control node {ctrl} is not driven "
+                    f"purely from primary inputs")
+    return issues

@@ -1,0 +1,29 @@
+"""The paper's core contribution: selective state retention designed and
+verified with symbolic trajectory evaluation."""
+
+from .analysis import (ARCHITECTURAL_GROUPS, MICROARCHITECTURAL_GROUPS,
+                       RegisterClass, classify_registers, group_of_register,
+                       minimal_retention_search, retention_report,
+                       strip_retention)
+from .memory_property import (MemoryIfrProperty, build_memory_ifr_property,
+                              build_read_property, declare_memory_order)
+from .power import (PolicyCost, RetentionCostModel, compare_policies,
+                    generation_sweep)
+from .properties import (CpuProperty, PropertyEnv, UNIT_COUNTS, build_suite,
+                         make_env, run_suite)
+from .spec import (Schedule, clock_formula, property1_schedule,
+                   property2_schedule, schedule_for_variant)
+
+__all__ = [
+    "Schedule", "clock_formula", "property1_schedule", "property2_schedule",
+    "schedule_for_variant",
+    "CpuProperty", "PropertyEnv", "UNIT_COUNTS", "build_suite", "make_env",
+    "run_suite",
+    "RegisterClass", "classify_registers", "group_of_register",
+    "retention_report", "strip_retention", "minimal_retention_search",
+    "ARCHITECTURAL_GROUPS", "MICROARCHITECTURAL_GROUPS",
+    "PolicyCost", "RetentionCostModel", "compare_policies",
+    "generation_sweep",
+    "MemoryIfrProperty", "build_memory_ifr_property", "build_read_property",
+    "declare_memory_order",
+]

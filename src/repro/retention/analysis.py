@@ -1,0 +1,213 @@
+"""Retention-set analysis: which registers must be retained?
+
+"One of the goals of our project has been to discover the minimal
+architectural state of the CPU that needs to be retained in case of
+selective state retention without compromising the correctness."
+
+This module operationalises that goal on our netlists:
+
+* `classify_registers` — splits a circuit's registers into
+  architectural and micro-architectural groups using the core's
+  naming discipline (PC / register bank / memories vs IFR and other
+  plumbing), and reports the retention status of each group;
+* `retention_report` — compares what *is* retained against what the
+  classification says *must* be (the paper's finding: retain exactly
+  the programmer-visible state);
+* `minimal_retention_search` — the empirical loop the paper describes:
+  for each candidate retention set, rebuild the core and re-check the
+  Property II suite; the minimal passing set is the answer.  (Greedy
+  over groups, since group members stand or fall together.)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager
+from ..netlist import Circuit
+
+__all__ = ["RegisterClass", "classify_registers", "retention_report",
+           "ARCHITECTURAL_GROUPS", "MICROARCHITECTURAL_GROUPS",
+           "group_of_register", "strip_retention",
+           "minimal_retention_search"]
+
+#: Architectural (programmer-visible) register-name groups of the core.
+ARCHITECTURAL_GROUPS = ("PC", "Reg", "IM_cell", "DM_cell")
+#: Micro-architectural groups (the paper's finding: plain registers).
+MICROARCHITECTURAL_GROUPS = ("IFR", "IM_ReadData")
+
+_GROUP_RE = re.compile(r"^([A-Za-z_]+?)(\d*)\[\d+\]$")
+
+
+def group_of_register(q: str) -> str:
+    """The group name of a register output node.
+
+    ``PC[3]`` -> ``PC``; ``Reg5[12]`` -> ``Reg``; ``IM_cell7[0]`` ->
+    ``IM_cell``; unknown shapes map to themselves.
+    """
+    match = _GROUP_RE.match(q)
+    if not match:
+        return q
+    stem = match.group(1)
+    for known in ARCHITECTURAL_GROUPS + MICROARCHITECTURAL_GROUPS:
+        if stem == known or stem.rstrip("_") == known:
+            return known
+        if stem.startswith(known) and stem[len(known):] in ("", "_"):
+            return known
+    # Strip a trailing instance index stem like "Reg12" -> "Reg".
+    return stem.rstrip("_")
+
+
+@dataclass
+class RegisterClass:
+    """One group of registers with its classification and status."""
+
+    group: str
+    architectural: bool
+    count: int
+    retained: int
+
+    @property
+    def fully_retained(self) -> bool:
+        return self.retained == self.count
+
+    @property
+    def unretained(self) -> int:
+        return self.count - self.retained
+
+
+def classify_registers(circuit: Circuit) -> List[RegisterClass]:
+    """Group the circuit's registers and classify each group."""
+    counts: Dict[str, List[int]] = {}
+    for q, reg in circuit.registers.items():
+        group = group_of_register(q)
+        slot = counts.setdefault(group, [0, 0])
+        slot[0] += 1
+        if reg.is_retention:
+            slot[1] += 1
+    out: List[RegisterClass] = []
+    for group in sorted(counts):
+        total, retained = counts[group]
+        is_arch = any(group == g or group.startswith(g)
+                      for g in ARCHITECTURAL_GROUPS)
+        out.append(RegisterClass(group, is_arch, total, retained))
+    return out
+
+
+@dataclass
+class RetentionReport:
+    """Comparison of the implemented retention set against the
+    architectural/micro-architectural classification."""
+
+    classes: List[RegisterClass]
+    missing_retention: List[str] = field(default_factory=list)
+    excess_retention: List[str] = field(default_factory=list)
+
+    @property
+    def matches_selective_policy(self) -> bool:
+        """True iff exactly the architectural state is retained."""
+        return not self.missing_retention and not self.excess_retention
+
+    @property
+    def retained_bits(self) -> int:
+        return sum(c.retained for c in self.classes)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(c.count for c in self.classes)
+
+    @property
+    def architectural_bits(self) -> int:
+        return sum(c.count for c in self.classes if c.architectural)
+
+    def summary(self) -> str:
+        lines = [f"{'group':<14}{'class':<10}{'flops':>7}{'retained':>10}"]
+        for c in self.classes:
+            kind = "arch" if c.architectural else "uarch"
+            lines.append(f"{c.group:<14}{kind:<10}{c.count:>7}{c.retained:>10}")
+        lines.append(f"retained {self.retained_bits}/{self.total_bits} flops; "
+                     f"selective policy match: "
+                     f"{self.matches_selective_policy}")
+        return "\n".join(lines)
+
+
+def retention_report(circuit: Circuit) -> RetentionReport:
+    """Audit the circuit against the selective-retention policy: every
+    architectural flop retained, no micro-architectural flop retained."""
+    classes = classify_registers(circuit)
+    missing = [c.group for c in classes
+               if c.architectural and not c.fully_retained]
+    excess = [c.group for c in classes
+              if not c.architectural and c.retained > 0]
+    return RetentionReport(classes, missing, excess)
+
+
+def strip_retention(circuit: Circuit, groups: Sequence[str]) -> Circuit:
+    """A copy of *circuit* with the named register groups demoted from
+    retention registers to plain (still resettable) registers — the
+    mutation step of the minimal-retention search."""
+    target = set(groups)
+    out = Circuit(f"{circuit.name}_strip_{'_'.join(sorted(target))}")
+    for node in circuit.inputs:
+        out.add_input(node)
+    for gate in circuit.gates.values():
+        out.add_gate(gate.op, gate.out, gate.ins)
+    for q, reg in circuit.registers.items():
+        if reg.kind == "latch":
+            out.add_latch(reg.q, reg.d, reg.clk)
+            continue
+        nret = reg.nret
+        if nret is not None and group_of_register(q) in target:
+            nret = None
+        out.add_dff(reg.q, reg.d, reg.clk, enable=reg.enable,
+                    nrst=reg.nrst, nret=nret, init=reg.init, edge=reg.edge)
+    for node in circuit.outputs:
+        out.set_output(node)
+    return out
+
+
+def minimal_retention_search(core, mgr: BDDManager,
+                             witness_properties: Sequence[str] = (
+                                 "fetch_pc_plus4", "writeback_load"),
+                             ) -> Dict[str, bool]:
+    """The empirical loop of §II-A: "discover the minimal architectural
+    state of the CPU that needs to be retained … without compromising
+    the correctness".
+
+    For each architectural register group of *core* (which must be the
+    fixed selective design), rebuild the core with that one group's
+    retention stripped and re-check the witness Property II properties.
+    Returns ``{group: required}`` — a group is *required* iff stripping
+    it breaks some witness.  On the Fig. 4 core every architectural
+    group is required and nothing else is retained, i.e. the selective
+    set is exactly minimal.
+    """
+    from ..ste import check as ste_check
+    from .properties import build_suite
+
+    suite = {p.name: p for p in build_suite(core, mgr, sleep=True)}
+    witnesses = [suite[name] for name in witness_properties]
+
+    # Sanity: the unmodified design satisfies every witness.
+    for prop in witnesses:
+        baseline = prop.check(core, mgr)
+        if not baseline.passed:
+            raise ValueError(f"baseline witness {prop.name} fails; the "
+                             f"search needs a verified starting design")
+
+    verdict: Dict[str, bool] = {}
+    arch_groups = [c.group for c in classify_registers(core.circuit)
+                   if c.architectural and c.retained]
+    for group in arch_groups:
+        stripped = strip_retention(core.circuit, [group])
+        required = False
+        for prop in witnesses:
+            result = ste_check(stripped, prop.antecedent, prop.consequent,
+                               mgr)
+            if not result.passed:
+                required = True
+                break
+        verdict[group] = required
+    return verdict

@@ -1,0 +1,181 @@
+"""The paper's printed Property II instance: instruction memory + IFR.
+
+§III-B builds one property explicitly — on a 256-word x 32-bit
+instruction memory with a 6-bit IFR behind its read port, it
+
+1. initialises the memory with symbolic words ``mem0 … mem255``,
+2. writes symbolic data ``WD`` at symbolic address ``WA``,
+3. reads at symbolic address ``RA`` and expects the read-after-write
+   function ``RAW`` on the IFR,
+4. runs the sleep sequence (clock stop, NRET low, NRST pulse), during
+   which the IFR is cleared to zeros,
+5. resumes and expects the IFR to re-acquire ``RAW`` from the retained
+   memory on the first post-resume clock edge.
+
+The consequent follows the paper verbatim: ``IFR is RAW from 3 to 6``,
+``zeros from 6 to 9``, ``RAW from 9 to 10``.
+
+Documented timing adaptations (DESIGN.md): our uniform setup-time
+register semantics sample data one phase before the active edge, so
+``ReadAdd`` is held for the whole run (it stands in for the retained
+PC, which does hold) and ``MemRead``'s post-resume assertion starts at
+t=8 rather than t=9 so the t=9 edge samples enabled read data.
+
+Both the paper's *direct* memory encoding (one symbolic word per
+location — linear cost) and the *symbolically indexed* encoding
+(logarithmic cost, after Pandey et al.) are provided; E9 sweeps the two.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..bdd import BDDManager, BVec, interleave
+from ..cpu import MemoryUnit
+from ..ste import (Formula, STEResult, check, conj, from_to,
+                   indexed_memory_antecedent, is0, is1, node_is, vec_is)
+from ..ternary import TernaryValue
+from .properties import vec_when
+
+__all__ = ["MemoryIfrProperty", "build_memory_ifr_property",
+           "declare_memory_order", "build_read_property"]
+
+
+@dataclass
+class MemoryIfrProperty:
+    """The assembled property plus the symbols needed to interpret it."""
+
+    antecedent: Formula
+    consequent: Formula
+    depth: int
+    indexed: bool
+    wa: BVec
+    ra: BVec
+    wd: BVec
+    raw: BVec                 # the expected read-after-write word
+
+    def check(self, unit: MemoryUnit, mgr: BDDManager) -> STEResult:
+        return check(unit.circuit, self.antecedent, self.consequent, mgr)
+
+
+def declare_memory_order(mgr: BDDManager, unit: MemoryUnit,
+                         indexed: bool) -> None:
+    """The variable-order discipline for memory reasoning: interleaved
+    address vectors on top, data words next, per-cell words last."""
+    order: List[str] = interleave(
+        [f"WA[{i}]" for i in range(unit.addr_bits)],
+        [f"RA[{i}]" for i in range(unit.addr_bits)],
+        [f"J[{i}]" for i in range(unit.addr_bits)] if indexed else [],
+    )
+    order += interleave([f"WD[{i}]" for i in range(unit.width)],
+                        [f"D[{i}]" for i in range(unit.width)]
+                        if indexed else [])
+    if not indexed:
+        for w in range(unit.depth):
+            order += [f"mem{w}[{b}]" for b in range(unit.width)]
+    mgr.declare_all(order)
+
+
+def build_memory_ifr_property(unit: MemoryUnit, mgr: BDDManager, *,
+                              indexed: bool = False) -> MemoryIfrProperty:
+    """Assemble the §III-B property for *unit* (any geometry)."""
+    declare_memory_order(mgr, unit, indexed)
+    wa = BVec.variables(mgr, "WA", unit.addr_bits)
+    ra = BVec.variables(mgr, "RA", unit.addr_bits)
+    wd = BVec.variables(mgr, "WD", unit.width)
+
+    # -- the memory initialisation (IM) and the RAW function ------------
+    if indexed:
+        index = BVec.variables(mgr, "J", unit.addr_bits)
+        data = BVec.variables(mgr, "D", unit.width)
+        im = indexed_memory_antecedent(mgr, unit.cell_bus, unit.depth,
+                                       index, data, 0, 1)
+        old = data                       # content at RA, valid when RA==J
+        raw_guard = ra.eq(index) | ra.eq(wa)
+        raw = wd.ite(ra.eq(wa), old)
+    else:
+        parts = []
+        words: List[BVec] = []
+        for w in range(unit.depth):
+            word = BVec.variables(mgr, f"mem{w}", unit.width)
+            words.append(word)
+            parts.append(vec_is(unit.cell_bus(w), word).from_to(0, 1))
+        im = conj(parts)
+        old = BVec.select(ra, words)
+        raw_guard = mgr.true
+        raw = wd.ite(ra.eq(wa), old)
+
+    # -- §III-B antecedent ----------------------------------------------
+    a = conj([
+        im,
+        vec_is(unit.circuit.bus("WriteAdd", unit.addr_bits), wa)
+        .from_to(0, 1),
+        vec_is(unit.circuit.bus("WriteData", unit.width), wd).from_to(0, 1),
+        # "MemWrite is asserted between 0 and 1 and de-asserted afterwards"
+        from_to(is1("MemWrite"), 0, 1), from_to(is0("MemWrite"), 1, 10),
+        # ReadAdd stands in for the retained PC: held for the whole run.
+        vec_is(unit.circuit.bus("ReadAdd", unit.addr_bits), ra)
+        .from_to(0, 10),
+        # MemRead: F 0-2, T 2-6, F 6-8, T 8-10 (one-phase setup shift).
+        from_to(is0("MemRead"), 0, 2), from_to(is1("MemRead"), 2, 6),
+        from_to(is0("MemRead"), 6, 8), from_to(is1("MemRead"), 8, 10),
+        # "NRST is T from 0 to 6" then the in-sleep pulse.
+        from_to(is1("NRST"), 0, 6), from_to(is0("NRST"), 6, 7),
+        from_to(is1("NRST"), 7, 10),
+        # NRET: T 0-5, F 5-8, T 8-10 (verbatim).
+        from_to(is1("NRET"), 0, 5), from_to(is0("NRET"), 5, 8),
+        from_to(is1("NRET"), 8, 10),
+        # clock: F0-1 T1-2 F2-3 T3-4 (write edge t1, IFR edge t3),
+        # stopped F 4-9, resume edge T 9-10 (verbatim).
+        from_to(is0("clock"), 0, 1), from_to(is1("clock"), 1, 2),
+        from_to(is0("clock"), 2, 3), from_to(is1("clock"), 3, 4),
+        from_to(is0("clock"), 4, 9), from_to(is1("clock"), 9, 10),
+    ])
+
+    # -- §III-B consequent (verbatim) -------------------------------------
+    ifr_expected = raw[unit.width - 6:unit.width]
+    c = conj([
+        vec_when(unit.ifr, ifr_expected, raw_guard, 3, 6),
+        vec_is(unit.ifr, 0).from_to(6, 9),
+        vec_when(unit.ifr, ifr_expected, raw_guard, 9, 10),
+    ])
+    return MemoryIfrProperty(
+        antecedent=a, consequent=c, depth=10, indexed=indexed,
+        wa=wa, ra=ra, wd=wd, raw=raw)
+
+
+def build_read_property(unit: MemoryUnit, mgr: BDDManager, *,
+                        indexed: bool) -> Tuple[Formula, Formula]:
+    """The single-phase read-port check used by the E9 sweep: memory
+    content asserted at t0, read data expected combinationally."""
+    declare_memory_order(mgr, unit, indexed)
+    ra = BVec.variables(mgr, "RA", unit.addr_bits)
+    base = conj([
+        vec_is(unit.circuit.bus("ReadAdd", unit.addr_bits), ra)
+        .from_to(0, 1),
+        from_to(is1("MemRead"), 0, 1),
+        from_to(is0("MemWrite"), 0, 1),
+        from_to(is0("clock"), 0, 1),
+        from_to(is1("NRET"), 0, 1),
+        from_to(is1("NRST"), 0, 1),
+    ])
+    read_bus = unit.read_data
+    if indexed:
+        index = BVec.variables(mgr, "J", unit.addr_bits)
+        data = BVec.variables(mgr, "D", unit.width)
+        a = conj([base, indexed_memory_antecedent(
+            mgr, unit.cell_bus, unit.depth, index, data, 0, 1)])
+        guard = ra.eq(index)
+        c = vec_when(read_bus, data, guard, 0, 1)
+    else:
+        parts = []
+        words = []
+        for w in range(unit.depth):
+            word = BVec.variables(mgr, f"mem{w}", unit.width)
+            words.append(word)
+            parts.append(vec_is(unit.cell_bus(w), word).from_to(0, 1))
+        a = conj([base, conj(parts)])
+        c = vec_is(read_bus, BVec.select(ra, words)).from_to(0, 1)
+    return a, c

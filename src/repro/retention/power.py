@@ -1,0 +1,139 @@
+"""Area and standby-leakage model for retention schemes (§IV).
+
+The paper's quantitative claims:
+
+* "retention registers may be 25-40 % larger area per flop";
+* "partial state retention instead of full retention should result in
+  lower standby power, and a reduction in high-fan-out buffers of
+  retention controls";
+* across 3/5/7-stage generations the architectural state is constant
+  while micro-architectural state "roughly doubles every generation" —
+  so retaining only the programmer's model keeps the retention cost
+  flat as CPUs grow.
+
+`RetentionCostModel` turns a state inventory (bit counts per register
+group, from :mod:`repro.cpu.pipeline` or from a real netlist via
+:func:`repro.retention.analysis.classify_registers`) into area and
+leakage figures for the *full*, *selective* and *none* policies.  The
+technology numbers are normalised (a plain flop = 1 area unit, 1
+standby-leakage unit when power-gated state is lost = 0); what the
+experiment reproduces is the scaling shape, not absolute µm².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..cpu.pipeline import StateInventory
+
+__all__ = ["RetentionCostModel", "PolicyCost", "compare_policies",
+           "generation_sweep"]
+
+POLICIES = ("none", "selective", "full")
+
+
+@dataclass(frozen=True)
+class RetentionCostModel:
+    """Normalised per-flop technology parameters.
+
+    ``retention_area_overhead`` — extra area of a retention flop over a
+    plain one (paper: 0.25-0.40).  ``retention_leakage`` — standby
+    leakage of the always-on retention latch, relative to a plain
+    flop's *active-mode* leakage ("every retention register contributes
+    to additional leakage power").  ``control_buffer_per_flops`` — one
+    always-on NRET distribution buffer per this many retention flops
+    (the "high-fan-out buffers of retention controls").
+    """
+
+    retention_area_overhead: float = 0.325   # midpoint of 25-40 %
+    retention_leakage: float = 0.10
+    buffer_leakage: float = 0.05
+    control_buffer_per_flops: int = 64
+
+    def __post_init__(self):
+        if not 0 < self.retention_area_overhead < 1:
+            raise ValueError("area overhead expected in (0, 1)")
+        if self.control_buffer_per_flops < 1:
+            raise ValueError("need at least one flop per control buffer")
+
+
+@dataclass
+class PolicyCost:
+    """Cost of one retention policy on one design."""
+
+    policy: str
+    design: str
+    total_flops: int
+    retained_flops: int
+    flop_area: float
+    control_buffers: int
+    standby_leakage: float
+    resume_stutter_cycles: int
+
+    @property
+    def area_overhead_vs_plain(self) -> float:
+        """Fractional area increase over an all-plain-flop design."""
+        return self.flop_area / self.total_flops - 1.0
+
+
+def _cost(model: RetentionCostModel, inventory: StateInventory,
+          policy: str) -> PolicyCost:
+    arch = inventory.architectural_bits
+    uarch = inventory.microarchitectural_bits
+    total = arch + uarch
+    retained = {"none": 0, "selective": arch, "full": total}[policy]
+    plain = total - retained
+    area = plain + retained * (1.0 + model.retention_area_overhead)
+    buffers = -(-retained // model.control_buffer_per_flops) if retained else 0
+    leakage = (retained * model.retention_leakage
+               + buffers * model.buffer_leakage)
+    # Selective designs pay one reload cycle on resume (the IFR refill);
+    # full retention resumes immediately; no retention must re-boot
+    # (modelled as a large constant: reset + state re-acquisition).
+    stutter = {"none": 10_000, "selective": 1, "full": 0}[policy]
+    return PolicyCost(
+        policy=policy,
+        design=inventory.name,
+        total_flops=total,
+        retained_flops=retained,
+        flop_area=area,
+        control_buffers=buffers,
+        standby_leakage=leakage,
+        resume_stutter_cycles=stutter,
+    )
+
+
+def compare_policies(inventory: StateInventory,
+                     model: RetentionCostModel = RetentionCostModel()
+                     ) -> Dict[str, PolicyCost]:
+    """Cost of all three policies on one design."""
+    return {policy: _cost(model, inventory, policy) for policy in POLICIES}
+
+
+def generation_sweep(inventories: Sequence[StateInventory],
+                     model: RetentionCostModel = RetentionCostModel()
+                     ) -> List[Dict[str, object]]:
+    """The E11 table: per design generation, the architectural /
+    micro-architectural split and the area & leakage of selective vs
+    full retention (plus the savings of selective over full)."""
+    rows: List[Dict[str, object]] = []
+    for inventory in inventories:
+        costs = compare_policies(inventory, model)
+        full, selective = costs["full"], costs["selective"]
+        rows.append({
+            "design": inventory.name,
+            "arch_bits": inventory.architectural_bits,
+            "uarch_bits": inventory.microarchitectural_bits,
+            "full_area": full.flop_area,
+            "selective_area": selective.flop_area,
+            "area_saving": 1.0 - selective.flop_area / full.flop_area,
+            "full_leakage": full.standby_leakage,
+            "selective_leakage": selective.standby_leakage,
+            "leakage_saving":
+                1.0 - (selective.standby_leakage / full.standby_leakage
+                       if full.standby_leakage else 0.0),
+            "retained_fraction":
+                selective.retained_flops / selective.total_flops,
+        })
+    return rows

@@ -1,0 +1,548 @@
+"""The STE property suite of §III-B.
+
+"In total for Property I, we developed 26 properties (2 for fetch, 6
+for decode, 11 for control, 6 for execute and 1 for write back) …
+In line with Property II, these properties were then modified to
+incorporate the sleep and resume operations, and were then re-checked
+again to see if they still hold."
+
+This module reproduces that suite.  Every property follows the paper's
+recipe: the antecedent supplies an *arbitrary symbolic present state*
+(PC, instruction memory content via symbolic indexing, register-bank
+and data-memory words via symbolic indexing) plus the clock/NRET/NRST
+waveforms of the schedule; the consequent states the unit's expected
+response as Boolean functions of those symbols, guarded by the
+operating condition (``f when G``).
+
+The same spec builders serve Property I (NRET high throughout) and
+Property II (sleep + resume spliced in): the schedule object dictates
+when the operating phase and the next-state step occur, and sleep
+schedules automatically extend the consequent with the retention
+checks (architectural state unchanged through the excursion, the
+control-unit input register zeroed by the in-sleep reset and reloaded
+from the retained instruction memory after resume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager, BVec, Ref, interleave
+from ..cpu import (ALU_ADD, ALU_AND, ALU_OR, ALU_SLT, ALU_SUB, Core,
+                   FUNCT_ADD, FUNCT_AND, FUNCT_OR, FUNCT_SLT, FUNCT_SUB,
+                   OP_BEQ, OP_LW, OP_RTYPE, OP_RTYPE_MIPS, OP_SW, alu_spec)
+from ..ste import (Formula, STEResult, TRUE_FORMULA, check, conj, from_to,
+                   indexed_memory_antecedent, is0, node_is, vec_is)
+from ..ternary import TernaryValue
+from .spec import Schedule, property1_schedule, schedule_for_variant
+
+__all__ = ["CpuProperty", "PropertyEnv", "build_suite", "run_suite",
+           "UNIT_COUNTS", "vec_when", "bit_when", "indexed_cells_formula"]
+
+#: The paper's per-unit property counts.
+UNIT_COUNTS = {"fetch": 2, "decode": 6, "control": 11, "execute": 6,
+               "writeback": 1}
+
+
+# ----------------------------------------------------------------------
+# Formula helpers
+# ----------------------------------------------------------------------
+def vec_when(nodes: Sequence[str], vec: BVec, guard: Ref,
+             start: int, stop: int) -> Formula:
+    """Bus equals *vec* wherever *guard* holds (X elsewhere)."""
+    return conj([from_to(node_is(n, TernaryValue.of_bdd(b).when(guard)),
+                         start, stop)
+                 for n, b in zip(nodes, vec.bits)])
+
+
+def bit_when(node: str, value: Ref, guard: Ref,
+             start: int, stop: int) -> Formula:
+    return from_to(
+        node_is(node, TernaryValue.of_bdd(value).when(guard)), start, stop)
+
+
+def indexed_cells_formula(cell_bus, depth: int, index: BVec, data: BVec,
+                          start: int, stop: int,
+                          guard: Optional[Ref] = None) -> Formula:
+    """Cells hold *data* at *index* over [start, stop) — used both as an
+    antecedent (initial content) and as a retention consequent."""
+    mgr = index.mgr
+    parts: List[Formula] = []
+    for w in range(depth):
+        g = index.eq(w)
+        if guard is not None:
+            g = g & guard
+        for node, bit in zip(cell_bus(w), data.bits):
+            parts.append(from_to(
+                node_is(node, TernaryValue.of_bdd(bit).when(g)), start, stop))
+    return conj(parts)
+
+
+# ----------------------------------------------------------------------
+# The symbolic environment shared by all properties
+# ----------------------------------------------------------------------
+@dataclass
+class PropertyEnv:
+    """Symbolic present-state variables, shared across the suite so the
+    BDD manager interns one copy of each."""
+
+    mgr: BDDManager
+    pc: BVec           # 32-bit program counter
+    ins: BVec          # the 32-bit instruction word at PC
+    k1: BVec           # register index 1 (rs-side)
+    r1: BVec           # register word 1
+    k2: BVec           # register index 2 (rt-side)
+    r2: BVec           # register word 2
+    dl: BVec           # data-memory index
+    dm: BVec           # data-memory word
+
+    # Field views of the instruction word (LSB-first layout).
+    @property
+    def opcode(self) -> BVec:
+        return self.ins[26:32]
+
+    @property
+    def rs(self) -> BVec:
+        return self.ins[21:26]
+
+    @property
+    def rt(self) -> BVec:
+        return self.ins[16:21]
+
+    @property
+    def rd(self) -> BVec:
+        return self.ins[11:16]
+
+    @property
+    def funct(self) -> BVec:
+        return self.ins[0:6]
+
+    @property
+    def imm(self) -> BVec:
+        return self.ins[0:16]
+
+    def word(self, opcode: Optional[int] = None,
+             funct: Optional[int] = None) -> BVec:
+        """The instruction word with opcode and/or funct pinned to
+        constants — the property's *operating condition*.
+
+        Pinning these fields in the antecedent (rather than only
+        guarding the consequent) is standard STE practice and matters
+        enormously for BDD size: a constant opcode collapses the
+        control outputs, so the datapath evaluates one concrete ALU
+        mode instead of a symbolic superposition of all of them.
+        """
+        bits = list(self.ins.bits)
+        if opcode is not None:
+            bits[26:32] = BVec.constant(self.mgr, opcode, 6).bits
+        if funct is not None:
+            bits[0:6] = BVec.constant(self.mgr, funct, 6).bits
+        return BVec(self.mgr, bits)
+
+
+def make_env(core: Core, mgr: BDDManager) -> PropertyEnv:
+    """Declare the suite's symbolic variables.
+
+    Variable order is chosen deliberately (the classic STE disciplines,
+    see :mod:`repro.bdd.reorder`): the small index/selector vectors go
+    on top, and all 32-bit data words are *bit-interleaved* — the
+    datapath's ripple adders (ALU, branch target, load/store address)
+    mix bits of pc/ins/R1/R2/M at the same significance, and a
+    non-interleaved order makes their carry BDDs exponential.
+    """
+    cfg = core.config
+    rbits = max(1, (cfg.nregs - 1).bit_length())
+    dbits = cfg.dmem_addr_bits
+    order: List[str] = []
+    for prefix, bits in (("K1", rbits), ("K2", rbits), ("L", dbits)):
+        order += [f"{prefix}[{i}]" for i in range(bits)]
+    order += interleave(*[[f"{p}[{i}]" for i in range(32)]
+                          for p in ("pc", "ins", "R1", "R2", "M")])
+    mgr.declare_all(order)
+    return PropertyEnv(
+        mgr=mgr,
+        pc=BVec.variables(mgr, "pc", 32),
+        ins=BVec.variables(mgr, "ins", 32),
+        k1=BVec.variables(mgr, "K1", rbits),
+        k2=BVec.variables(mgr, "K2", rbits),
+        r1=BVec.variables(mgr, "R1", 32),
+        r2=BVec.variables(mgr, "R2", 32),
+        dl=BVec.variables(mgr, "L", dbits),
+        dm=BVec.variables(mgr, "M", 32),
+    )
+
+
+# ----------------------------------------------------------------------
+# Present-state assembly
+# ----------------------------------------------------------------------
+def present_state(core: Core, env: PropertyEnv, sched: Schedule, *,
+                  regs: bool = False, dmem: bool = False,
+                  instr: Optional[BVec] = None
+                  ) -> Tuple[Formula, Formula]:
+    """(antecedent fragment, retention-consequent fragment).
+
+    Asserts the symbolic present state at the schedule's present step:
+    PC, the instruction word at PC's word index (via symbolic indexing
+    into the instruction memory), and optionally two indexed register
+    words and one indexed data-memory word.  For sleep schedules the
+    second component demands that all of it is still there at every
+    step of the hold window — the retention theorem.
+    """
+    cfg = core.config
+    t0 = sched.t_present
+    word = instr if instr is not None else env.ins
+    pc_index = env.pc[2:2 + cfg.imem_addr_bits]
+    parts: List[Formula] = [
+        vec_is(core.pc, env.pc).from_to(t0, t0 + 1),
+        indexed_cells_formula(core.imem_cell_bus, cfg.imem_depth,
+                              pc_index, word, t0, t0 + 1),
+        from_to(is0("IM_MemWrite"), 0, sched.depth),
+    ]
+    hold: List[Formula] = []
+    h0, h1 = sched.hold_window
+    if sched.is_sleep:
+        hold.append(vec_is(core.pc, env.pc).from_to(h0, h1))
+        hold.append(indexed_cells_formula(core.imem_cell_bus,
+                                          cfg.imem_depth, pc_index,
+                                          word, h0, h1))
+    if regs:
+        rbits = max(1, (cfg.nregs - 1).bit_length())
+        for index, data in ((env.k1, env.r1), (env.k2, env.r2)):
+            parts.append(indexed_cells_formula(
+                core.reg_cell_bus, cfg.nregs, index, data, t0, t0 + 1))
+            if sched.is_sleep:
+                hold.append(indexed_cells_formula(
+                    core.reg_cell_bus, cfg.nregs, index, data, h0, h1))
+    if dmem:
+        parts.append(indexed_cells_formula(
+            core.dmem_cell_bus, cfg.dmem_depth, env.dl, env.dm, t0, t0 + 1))
+        if sched.is_sleep:
+            hold.append(indexed_cells_formula(
+                core.dmem_cell_bus, cfg.dmem_depth, env.dl, env.dm, h0, h1))
+    return conj(parts), (conj(hold) if hold else TRUE_FORMULA)
+
+
+def sleep_control_checks(core: Core, env: PropertyEnv,
+                         sched: Schedule) -> Formula:
+    """The §III-B control-input checks during a sleep excursion: the
+    opcode register is cleared by the in-sleep reset and, for designs
+    with a reload edge, re-acquires the retained opcode after resume."""
+    if not sched.is_sleep:
+        return TRUE_FORMULA
+    parts: List[Formula] = []
+    zero_until = sched.t_reload if sched.t_reload is not None else sched.depth
+    if not core.config.retain_microarchitectural:
+        parts.append(vec_is(core.opcode, 0).from_to(sched.t_reset, zero_until))
+        if sched.t_reload is not None:
+            parts.append(vec_when(core.opcode, env.opcode, env.mgr.true,
+                                  sched.t_reload, sched.t_reload + 1))
+    return conj(parts) if parts else TRUE_FORMULA
+
+
+# ----------------------------------------------------------------------
+# Specification-side control functions (the golden truth table as BDDs)
+# ----------------------------------------------------------------------
+def control_spec(env: PropertyEnv, style: str) -> Dict[str, Ref]:
+    mgr = env.mgr
+    op = env.opcode
+    rtype = OP_RTYPE if style == "bubble0" else OP_RTYPE_MIPS
+    is_r = op.eq(rtype)
+    is_lw = op.eq(OP_LW)
+    is_sw = op.eq(OP_SW)
+    is_beq = op.eq(OP_BEQ)
+    return {
+        "RegDst": is_r,
+        "ALUSrc": is_lw | is_sw,
+        "MemtoReg": is_lw,
+        "RegWrite": is_r | is_lw,
+        "MemRead": is_lw,
+        "MemWrite": is_sw,
+        "Branch": is_beq,
+        "ALUOp[0]": is_beq,
+        "ALUOp[1]": is_r,
+        "PCWrite": (~op.eq(0)) if style == "bubble0" else mgr.true,
+    }
+
+
+def aluctl_spec(env: PropertyEnv, style: str) -> List[Ref]:
+    """Expected ALUCtl[2:0] as functions of opcode and funct."""
+    op, fn = env.opcode, env.funct
+    rtype = OP_RTYPE if style == "bubble0" else OP_RTYPE_MIPS
+    is_r = op.eq(rtype)
+    is_beq = op.eq(OP_BEQ)
+    f_add = fn.eq(FUNCT_ADD)
+    f_sub = fn.eq(FUNCT_SUB)
+    f_or = fn.eq(FUNCT_OR)
+    f_slt = fn.eq(FUNCT_SLT)
+    bit0 = is_r & (f_or | f_slt)
+    bit1 = (is_r & (f_add | f_sub | f_slt)) | ~is_r
+    bit2 = env.mgr.ite(is_r, f_sub | f_slt, is_beq)
+    return [bit0, bit1, bit2]
+
+
+# ----------------------------------------------------------------------
+# Property objects
+# ----------------------------------------------------------------------
+@dataclass
+class CpuProperty:
+    """One checkable STE property of the suite."""
+
+    name: str
+    unit: str
+    antecedent: Formula
+    consequent: Formula
+    schedule: Schedule
+
+    def check(self, core: Core, mgr: BDDManager) -> STEResult:
+        return check(core.circuit, self.antecedent, self.consequent, mgr)
+
+
+Builder = Callable[[Core, PropertyEnv, Schedule], Tuple[Formula, Formula]]
+
+
+def _reg_read_guards(env: PropertyEnv, nregs: int) -> Tuple[Ref, Ref]:
+    """Guards tying the instruction's rs/rt fields to the indexed
+    register words (the hardware uses the low address bits)."""
+    rbits = max(1, (nregs - 1).bit_length())
+    g1 = env.rs[0:rbits].eq(env.k1)
+    g2 = env.rt[0:rbits].eq(env.k2)
+    return g1, g2
+
+
+# -- fetch ---------------------------------------------------------------
+def _build_fetch_sequential(core, env, sched):
+    style = core.config.control_style
+    op = env.opcode
+    non_branch = ~op.eq(OP_BEQ)
+    if style == "bubble0":
+        non_branch = non_branch & ~op.eq(0)
+    a, hold = present_state(core, env, sched)
+    expected = env.pc + 4
+    c = vec_when(core.pc, expected, non_branch,
+                 sched.t_execute, sched.t_execute + 1)
+    return a, conj([c, hold])
+
+
+def _build_fetch_branch(core, env, sched):
+    a_regs, hold = present_state(core, env, sched, regs=True,
+                                 instr=env.word(opcode=OP_BEQ))
+    g1, g2 = _reg_read_guards(env, core.config.nregs)
+    guard = g1 & g2
+    taken = env.r1.eq(env.r2)
+    pc4 = env.pc + 4
+    target = pc4 + env.imm.sign_extend(32).shift_left_const(2)
+    expected = target.ite(taken, pc4)
+    c = vec_when(core.pc, expected, guard,
+                 sched.t_execute, sched.t_execute + 1)
+    return a_regs, conj([c, hold])
+
+
+# -- decode --------------------------------------------------------------
+def _build_read_port(core, env, sched, port: int):
+    # Operating condition: a branch word (no architectural writes, a
+    # single concrete ALU mode) — the read ports themselves are opcode-
+    # independent, so the theorem loses nothing.
+    a, hold = present_state(core, env, sched, regs=True,
+                            instr=env.word(opcode=OP_BEQ))
+    g1, g2 = _reg_read_guards(env, core.config.nregs)
+    t = sched.t_operate
+    if port == 1:
+        c = vec_when(core.read1, env.r1, g1, t, t + 1)
+    else:
+        c = vec_when(core.read2, env.r2, g2, t, t + 1)
+    return a, conj([c, hold])
+
+
+def _build_sign_extend(core, env, sched):
+    a, hold = present_state(core, env, sched)
+    t = sched.t_operate
+    c = vec_when(core.sign_ext, env.imm.sign_extend(32), env.mgr.true,
+                 t, t + 1)
+    return a, conj([c, hold])
+
+
+def _build_write_register_mux(core, env, sched, rtype: bool):
+    style = core.config.control_style
+    if rtype:
+        opcode = OP_RTYPE if style == "bubble0" else OP_RTYPE_MIPS
+        expected = env.rd
+    else:
+        opcode = OP_LW
+        expected = env.rt
+    a, hold = present_state(core, env, sched, instr=env.word(opcode=opcode))
+    t = sched.t_operate
+    c = vec_when(core.write_register, expected, env.mgr.true, t, t + 1)
+    return a, conj([c, hold])
+
+
+def _build_alusrc_mux(core, env, sched):
+    # Immediate side of the ALUSrc mux under a store word (no writes);
+    # the register side is exercised by every execute_alu_* property,
+    # which reads its second operand through the same mux.
+    a, hold = present_state(core, env, sched,
+                            instr=env.word(opcode=OP_SW))
+    t = sched.t_operate
+    alu_b = core.circuit.bus("ALUinB", 32)
+    c = vec_when(alu_b, env.imm.sign_extend(32), env.mgr.true, t, t + 1)
+    return a, conj([c, hold])
+
+
+# -- control -------------------------------------------------------------
+def _build_control_signal(core, env, sched, signal: str):
+    a, hold = present_state(core, env, sched)
+    spec = control_spec(env, core.config.control_style)
+    t = sched.t_operate
+    c = bit_when(signal, spec[signal], env.mgr.true, t, t + 1)
+    sleep_c = sleep_control_checks(core, env, sched)
+    return a, conj([c, hold, sleep_c])
+
+
+def _build_alu_control(core, env, sched):
+    a, hold = present_state(core, env, sched)
+    bits = aluctl_spec(env, core.config.control_style)
+    t = sched.t_operate
+    c = conj([bit_when(f"ALUCtl[{i}]", bit, env.mgr.true, t, t + 1)
+              for i, bit in enumerate(bits)])
+    sleep_c = sleep_control_checks(core, env, sched)
+    return a, conj([c, hold, sleep_c])
+
+
+# -- execute -------------------------------------------------------------
+def _rtype_opcode(style: str) -> int:
+    return OP_RTYPE if style == "bubble0" else OP_RTYPE_MIPS
+
+
+def _build_alu_op(core, env, sched, funct: int, alu_op: int):
+    word = env.word(opcode=_rtype_opcode(core.config.control_style),
+                    funct=funct)
+    a, hold = present_state(core, env, sched, regs=True, instr=word)
+    g1, g2 = _reg_read_guards(env, core.config.nregs)
+    guard = g1 & g2
+    expected = alu_spec(env.r1, env.r2, alu_op)
+    t = sched.t_operate
+    c = vec_when(core.alu_result, expected, guard, t, t + 1)
+    return a, conj([c, hold])
+
+
+def _build_zero_flag(core, env, sched):
+    a, hold = present_state(core, env, sched, regs=True,
+                            instr=env.word(opcode=OP_BEQ))
+    g1, g2 = _reg_read_guards(env, core.config.nregs)
+    guard = g1 & g2
+    t = sched.t_operate
+    c = bit_when(core.zero, env.r1.eq(env.r2), guard, t, t + 1)
+    return a, conj([c, hold])
+
+
+# -- write-back ----------------------------------------------------------
+def _build_load_writeback(core, env, sched):
+    cfg = core.config
+    a, hold = present_state(core, env, sched, regs=True, dmem=True,
+                            instr=env.word(opcode=OP_LW))
+    g1, _g2 = _reg_read_guards(env, cfg.nregs)
+    addr = env.r1 + env.imm.sign_extend(32)
+    addr_guard = addr[2:2 + cfg.dmem_addr_bits].eq(env.dl)
+    guard = g1 & addr_guard
+    rbits = max(1, (cfg.nregs - 1).bit_length())
+    target = env.rt[0:rbits]
+    t = sched.t_execute
+    c = indexed_cells_formula(core.reg_cell_bus, cfg.nregs, target, env.dm,
+                              t, t + 1, guard=guard)
+    return a, conj([c, hold])
+
+
+# -- extras (beyond the paper's 26, clearly labelled) ----------------------
+def _build_store(core, env, sched):
+    cfg = core.config
+    a, hold = present_state(core, env, sched, regs=True,
+                            instr=env.word(opcode=OP_SW))
+    g1, g2 = _reg_read_guards(env, cfg.nregs)
+    addr = env.r1 + env.imm.sign_extend(32)
+    index = addr[2:2 + cfg.dmem_addr_bits]
+    guard = g1 & g2
+    t = sched.t_execute
+    c = indexed_cells_formula(core.dmem_cell_bus, cfg.dmem_depth, index,
+                              env.r2, t, t + 1, guard=guard)
+    return a, conj([c, hold])
+
+
+def _build_rtype_writeback(core, env, sched):
+    cfg = core.config
+    word = env.word(opcode=_rtype_opcode(cfg.control_style), funct=FUNCT_OR)
+    a, hold = present_state(core, env, sched, regs=True, instr=word)
+    g1, g2 = _reg_read_guards(env, cfg.nregs)
+    guard = g1 & g2
+    rbits = max(1, (cfg.nregs - 1).bit_length())
+    target = env.rd[0:rbits]
+    t = sched.t_execute
+    c = indexed_cells_formula(core.reg_cell_bus, cfg.nregs, target,
+                              env.r1 | env.r2, t, t + 1, guard=guard)
+    return a, conj([c, hold])
+
+
+# ----------------------------------------------------------------------
+# Suite assembly
+# ----------------------------------------------------------------------
+def build_suite(core: Core, mgr: Optional[BDDManager] = None, *,
+                sleep: bool = False,
+                include_extras: bool = False) -> List[CpuProperty]:
+    """The 26-property suite for *core* (Property I by default; pass
+    ``sleep=True`` for the Property II versions).
+
+    The per-unit counts match the paper: 2 fetch, 6 decode, 11 control,
+    6 execute, 1 write-back.  ``include_extras`` appends properties
+    beyond the paper's 26 (store, R-type write-back) labelled unit
+    ``"extra"``.
+    """
+    mgr = mgr or BDDManager()
+    env = make_env(core, mgr)
+    sched = schedule_for_variant(core.config.variant, sleep)
+
+    table: List[Tuple[str, str, Builder]] = [
+        ("fetch_pc_plus4", "fetch", _build_fetch_sequential),
+        ("fetch_branch", "fetch", _build_fetch_branch),
+        ("decode_read_port1", "decode",
+         lambda c, e, s: _build_read_port(c, e, s, 1)),
+        ("decode_read_port2", "decode",
+         lambda c, e, s: _build_read_port(c, e, s, 2)),
+        ("decode_sign_extend", "decode", _build_sign_extend),
+        ("decode_write_register_rtype", "decode",
+         lambda c, e, s: _build_write_register_mux(c, e, s, True)),
+        ("decode_write_register_load", "decode",
+         lambda c, e, s: _build_write_register_mux(c, e, s, False)),
+        ("decode_alusrc_mux", "decode", _build_alusrc_mux),
+    ]
+    for signal in ("RegDst", "ALUSrc", "MemtoReg", "RegWrite", "MemRead",
+                   "MemWrite", "Branch", "ALUOp[0]", "ALUOp[1]", "PCWrite"):
+        table.append((f"control_{signal}", "control",
+                      lambda c, e, s, sig=signal:
+                      _build_control_signal(c, e, s, sig)))
+    table.append(("control_ALUCtl", "control", _build_alu_control))
+    for fname, funct, alu_op in (("add", FUNCT_ADD, ALU_ADD),
+                                 ("sub", FUNCT_SUB, ALU_SUB),
+                                 ("and", FUNCT_AND, ALU_AND),
+                                 ("or", FUNCT_OR, ALU_OR),
+                                 ("slt", FUNCT_SLT, ALU_SLT)):
+        table.append((f"execute_alu_{fname}", "execute",
+                      lambda c, e, s, f=funct, o=alu_op:
+                      _build_alu_op(c, e, s, f, o)))
+    table.append(("execute_zero_flag", "execute", _build_zero_flag))
+    table.append(("writeback_load", "writeback", _build_load_writeback))
+    if include_extras:
+        table.append(("extra_store", "extra", _build_store))
+        table.append(("extra_rtype_writeback", "extra",
+                      _build_rtype_writeback))
+
+    out: List[CpuProperty] = []
+    for name, unit, builder in table:
+        extra_a, consequent = builder(core, env, sched)
+        antecedent = conj([sched.base, extra_a])
+        out.append(CpuProperty(name, unit, antecedent, consequent, sched))
+    return out
+
+
+def run_suite(core: Core, properties: Sequence[CpuProperty],
+              mgr: BDDManager) -> Dict[str, STEResult]:
+    """Check every property; returns {name: result}."""
+    return {p.name: p.check(core, mgr) for p in properties}

@@ -1,0 +1,177 @@
+"""Sleep/resume schedules and operating conditions (§III-A).
+
+The paper specifies the mode-change protocol precisely:
+
+    "The desired sequence of operations to put the CPU in sleep mode is
+    as follows: 1. Stop the clock.  2. Assert NRET low (hold mode).
+    3. Reset NRST is then asserted active low.  The resume mode is
+    chronologically reverse … we usually give a unit delay in between
+    switching these on and off."
+
+A :class:`Schedule` packages the trajectory-formula fragments driving
+``clock``/``NRET``/``NRST`` together with the named time points the
+property generators key off: when the present state is asserted, when
+the sleep reset fires, when the IFR reloads, and when the next
+architectural state must appear.
+
+Two flavours:
+
+* :func:`property1_schedule` — Property I: "NRET is T from i to j"
+  throughout, an uninterrupted clock; the retention registers must act
+  like plain registers.
+* :func:`property2_schedule` — Property II: clock and sleep and resume;
+  the full mode excursion.  The ``reload`` knob distinguishes the
+  selective designs (the non-retained IFR needs one reload edge before
+  the next-state edge) from full retention (state is all there; the
+  first resume edge executes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..ste import Formula, conj, from_to, is0, is1
+
+__all__ = ["Schedule", "clock_formula", "property1_schedule",
+           "property2_schedule", "schedule_for_variant"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Time anatomy of one property run.
+
+    ``t_present``: the present (arbitrary, symbolic) state is asserted
+    here and must persist until consumed.  ``t_operate``: the phase
+    whose combinational values the decisive clock edge commits (the
+    paper's waveform "present state" band).  ``t_execute``: the step at
+    which the expected next architectural state appears (the "next
+    state" band of Fig. 3).  For sleep schedules, ``t_sleep_start`` /
+    ``t_reset`` / ``t_resume`` / ``t_reload`` mark the mode excursion;
+    ``hold_window`` is the interval over which retained state must be
+    provably unchanged.
+    """
+
+    name: str
+    depth: int
+    base: Formula                 # clock + NRET + NRST waveforms
+    t_present: int
+    t_operate: int
+    t_execute: int
+    t_sleep_start: Optional[int] = None
+    t_reset: Optional[int] = None
+    t_resume: Optional[int] = None
+    t_reload: Optional[int] = None
+
+    @property
+    def is_sleep(self) -> bool:
+        return self.t_sleep_start is not None
+
+    @property
+    def hold_window(self) -> tuple:
+        """(start, stop) over which retained state must hold its
+        asserted value (up to, excluding, the execute step)."""
+        return (self.t_present + 1, self.t_execute)
+
+
+def clock_formula(levels: Sequence[int], node: str = "clock") -> Formula:
+    """A clock waveform from per-phase levels, run-length encoded into
+    ``is T/F from i to j`` conjuncts (exactly the §III-B idiom)."""
+    parts: List[Formula] = []
+    start = 0
+    for t in range(1, len(levels) + 1):
+        if t == len(levels) or levels[t] != levels[start]:
+            atom = is1(node) if levels[start] else is0(node)
+            parts.append(from_to(atom, start, t))
+            start = t
+    return conj(parts)
+
+
+def property1_schedule(cycles: int = 1) -> Schedule:
+    """Normal operation: NRET held high throughout (Property I).
+
+    The clock starts high; each cycle is two phases (fall then rise):
+    the IFR captures on the falling edge mid-cycle, the architectural
+    registers commit on the next rising edge.  With ``cycles=1`` the
+    present state is asserted at t=0 and the next state appears at t=2.
+    """
+    if cycles < 1:
+        raise ValueError("need at least one cycle")
+    depth = 2 * cycles + 1
+    levels = [(t + 1) % 2 for t in range(depth)]  # T,F,T,F,...
+    base = conj([
+        clock_formula(levels),
+        from_to(is1("NRET"), 0, depth),
+        from_to(is1("NRST"), 0, depth),
+    ])
+    return Schedule(
+        name=f"property1({cycles} cycle)",
+        depth=depth,
+        base=base,
+        t_present=0,
+        t_operate=1,
+        t_execute=2 * cycles,
+    )
+
+
+def property2_schedule(reload: bool = True) -> Schedule:
+    """The sleep/resume excursion (Property II).
+
+    Phase anatomy (``reload=True``, the selective designs)::
+
+        t:      0  1  2  3  4  5  6  7  8  9 10
+        clock   T  F  F  F  F  F  F  F  T  F  T     (stop … restart)
+        NRET    T  T  T  F  F  F  T  T  T  T  T     (hold during sleep)
+        NRST    T  T  T  T  F  T  T  T  T  T  T     (reset pulse in sleep)
+                ^present        ^resume ops
+                                         ^t=8 bubble edge (safe)
+                                            ^t=9 IFR reload (falling)
+                                               ^t=10 executes: next state
+
+    The ordering follows §III-A exactly: clock stops first (t=1), NRET
+    drops next (t=3), NRST pulses last (t=4-5); resume is the reverse
+    with unit delays — NRST back high (t=5), NRET high (t=6), clock
+    restarts (t=8).  With ``reload=False`` (full retention) the t=8
+    edge already executes, so the schedule ends at depth 9.
+    """
+    if reload:
+        depth = 11
+        clock_levels = [1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1]
+        t_execute, t_reload, t_operate = 10, 9, 9
+    else:
+        depth = 9
+        clock_levels = [1, 0, 0, 0, 0, 0, 0, 0, 1]
+        t_execute, t_reload, t_operate = 8, None, 7
+    base = conj([
+        clock_formula(clock_levels),
+        from_to(is1("NRET"), 0, 3),
+        from_to(is0("NRET"), 3, 6),
+        from_to(is1("NRET"), 6, depth),
+        from_to(is1("NRST"), 0, 4),
+        from_to(is0("NRST"), 4, 5),
+        from_to(is1("NRST"), 5, depth),
+    ])
+    return Schedule(
+        name="property2" + ("+reload" if reload else ""),
+        depth=depth,
+        base=base,
+        t_present=0,
+        t_operate=t_operate,
+        t_execute=t_execute,
+        t_sleep_start=3,
+        t_reset=4,
+        t_resume=8,
+        t_reload=t_reload,
+    )
+
+
+def schedule_for_variant(variant: str, sleep: bool) -> Schedule:
+    """The right schedule for a core variant.
+
+    Selective designs pay one reload (stutter) cycle after resume; full
+    retention resumes immediately — that one-cycle difference is the
+    latency price of selective retention, and both are proven.
+    """
+    if not sleep:
+        return property1_schedule()
+    return property2_schedule(reload=(variant != "full-retention"))

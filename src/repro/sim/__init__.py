@@ -1,0 +1,8 @@
+"""Scalar simulation, waveform capture/rendering, and VCD output."""
+
+from .scalar import ScalarSimulator, enumerate_runs
+from .vcd import vcd_text, write_vcd
+from .waveform import Waveform
+
+__all__ = ["ScalarSimulator", "enumerate_runs", "Waveform", "vcd_text",
+           "write_vcd"]

@@ -1,0 +1,233 @@
+"""Two-valued (0/1) event simulation — the conventional baseline.
+
+"Conventional simulation (using 0s and 1s) rapidly becomes infeasible
+even when there is no retention.  In case of retention the state-space
+grows massively because of the interaction between the retained and
+non-retained state."  (§I)
+
+:class:`ScalarSimulator` runs a netlist concretely: one assignment of
+input bits per phase, integer node values, same levelized schedule and
+register semantics as the symbolic model (the two are cross-checked in
+the tests — a scalar run must equal the symbolic run restricted to the
+same assignment).  `enumerate_runs` is the exhaustive-checking baseline
+of experiment E10: it re-simulates once per assignment of the chosen
+stimulus bits, which is the 2^n wall the paper contrasts with a single
+symbolic run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..netlist import Circuit, NetlistError
+from ..netlist.validate import combinational_order, input_cone
+
+__all__ = ["ScalarSimulator", "enumerate_runs"]
+
+Bit = int  # 0 or 1
+
+
+class ScalarSimulator:
+    """Concrete phase-accurate simulation of a circuit.
+
+    Unknown values are represented as None (three-valued at reset, so
+    registers start unknown just like in the symbolic model).  Gates
+    propagate None pessimistically but short-circuit where a binary
+    value determines the output (0 AND x = 0).
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        cone = input_cone(circuit)
+        order = combinational_order(circuit)
+        self._pre = [n for n in order if n in cone]
+        self._post = [n for n in order if n not in cone]
+        self._prev: Optional[Dict[str, Optional[Bit]]] = None
+        self.time = 0
+        self.history: List[Dict[str, Optional[Bit]]] = []
+
+    def reset(self) -> None:
+        self._prev = None
+        self.time = 0
+        self.history = []
+
+    # ------------------------------------------------------------------
+    def step(self, inputs: Mapping[str, Bit]) -> Dict[str, Optional[Bit]]:
+        """Advance one phase with the given primary-input values."""
+        values: Dict[str, Optional[Bit]] = {}
+        for node in self.circuit.inputs:
+            values[node] = inputs.get(node)
+
+        for node in self._pre:
+            values[node] = self._eval_comb(node, values)
+
+        prev = self._prev
+        for q, reg in self.circuit.registers.items():
+            if reg.kind != "dff":
+                continue
+            values[q] = self._dff(reg, q, values, prev)
+
+        for node in self._post:
+            values[node] = self._eval_comb(node, values, prev)
+
+        self._prev = values
+        self.time += 1
+        self.history.append(values)
+        return values
+
+    def run(self, stimulus: Sequence[Mapping[str, Bit]]
+            ) -> List[Dict[str, Optional[Bit]]]:
+        for inputs in stimulus:
+            self.step(inputs)
+        return self.history
+
+    def value(self, node: str) -> Optional[Bit]:
+        if self._prev is None:
+            raise NetlistError("no step has been simulated yet")
+        return self._prev.get(node)
+
+    def bus_value(self, bus: Sequence[str]) -> Optional[int]:
+        """Unsigned integer on a bus, or None if any bit is unknown."""
+        total = 0
+        for i, node in enumerate(bus):
+            bit = self.value(node)
+            if bit is None:
+                return None
+            total |= bit << i
+        return total
+
+    # ------------------------------------------------------------------
+    def _eval_comb(self, node: str, values, prev=None) -> Optional[Bit]:
+        gate = self.circuit.gates.get(node)
+        if gate is not None:
+            ins = [values.get(i) for i in gate.ins]
+            return _gate(gate.op, ins)
+        reg = self.circuit.registers.get(node)
+        if reg is not None and reg.kind == "latch":
+            en = values.get(reg.clk)
+            d = values.get(reg.d)
+            q_prev = prev.get(node) if prev else None
+            if en == 1:
+                return d
+            if en == 0:
+                return q_prev
+            return d if d == q_prev else None
+        raise NetlistError(f"no driver for node {node!r}")
+
+    def _dff(self, reg, q, values, prev) -> Optional[Bit]:
+        if prev is None:
+            return None
+        q_prev = prev.get(q)
+        nret = values.get(reg.nret) if reg.nret else 1
+        nrst = values.get(reg.nrst) if reg.nrst else 1
+        clk_prev = prev.get(reg.clk)
+        clk_now = values.get(reg.clk)
+        if reg.edge == "fall":
+            edge = _and(clk_prev, _not(clk_now))
+        else:
+            edge = _and(_not(clk_prev), clk_now)
+        if reg.enable is not None:
+            edge = _and(edge, prev.get(reg.enable))
+        value = _mux(edge, prev.get(reg.d), q_prev)
+        if reg.nrst is not None:
+            value = _mux(nrst, value, reg.init)
+        if reg.nret is not None:
+            value = _mux(nret, value, q_prev)
+        return value
+
+
+# ----------------------------------------------------------------------
+# Three-valued scalar gate algebra (None = unknown)
+# ----------------------------------------------------------------------
+def _not(a):
+    return None if a is None else 1 - a
+
+
+def _and(a, b):
+    if a == 0 or b == 0:
+        return 0
+    if a == 1 and b == 1:
+        return 1
+    return None
+
+
+def _or(a, b):
+    if a == 1 or b == 1:
+        return 1
+    if a == 0 and b == 0:
+        return 0
+    return None
+
+
+def _xor(a, b):
+    if a is None or b is None:
+        return None
+    return a ^ b
+
+
+def _mux(s, t, e):
+    if s == 1:
+        return t
+    if s == 0:
+        return e
+    return t if t == e else None
+
+
+def _gate(op: str, ins) -> Optional[Bit]:
+    if op == "CONST0":
+        return 0
+    if op == "CONST1":
+        return 1
+    if op == "BUF":
+        return ins[0]
+    if op == "NOT":
+        return _not(ins[0])
+    if op in ("AND", "NAND"):
+        acc: Optional[Bit] = 1
+        for v in ins:
+            acc = _and(acc, v)
+        return _not(acc) if op == "NAND" else acc
+    if op in ("OR", "NOR"):
+        acc = 0
+        for v in ins:
+            acc = _or(acc, v)
+        return _not(acc) if op == "NOR" else acc
+    if op == "XOR":
+        return _xor(ins[0], ins[1])
+    if op == "XNOR":
+        return _not(_xor(ins[0], ins[1]))
+    if op == "MUX":
+        return _mux(ins[0], ins[1], ins[2])
+    raise NetlistError(f"unknown gate op {op!r}")
+
+
+# ----------------------------------------------------------------------
+# Exhaustive checking baseline (experiment E10)
+# ----------------------------------------------------------------------
+def enumerate_runs(circuit: Circuit,
+                   bits: Sequence[str],
+                   stimulus: Callable[[Mapping[str, Bit]],
+                                      Sequence[Mapping[str, Bit]]],
+                   oracle: Callable[[ScalarSimulator, Mapping[str, Bit]],
+                                    bool],
+                   limit: Optional[int] = None) -> Tuple[int, bool]:
+    """Conventional exhaustive verification: one full simulation per
+    assignment of *bits*.
+
+    *stimulus* maps an assignment to a phase-by-phase input schedule;
+    *oracle* inspects the finished simulator.  Returns (runs, all_ok).
+    The run count is the quantity that explodes exponentially — the
+    benchmark plots it against the single symbolic run.
+    """
+    runs = 0
+    for values in itertools.product((0, 1), repeat=len(bits)):
+        if limit is not None and runs >= limit:
+            break
+        assignment = dict(zip(bits, values))
+        sim = ScalarSimulator(circuit)
+        sim.run(stimulus(assignment))
+        runs += 1
+        if not oracle(sim, assignment):
+            return runs, False
+    return runs, True

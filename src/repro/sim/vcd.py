@@ -1,0 +1,92 @@
+"""Minimal VCD (Value Change Dump) writer.
+
+Lets any captured :class:`~repro.sim.waveform.Waveform` be inspected in
+a standard waveform viewer (GTKWave and friends) — the practical
+debugging loop a designer using this methodology would want.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Dict, List, Optional, Sequence
+
+from .waveform import Waveform
+
+__all__ = ["write_vcd", "vcd_text"]
+
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier codes: !, ", #, … then two-char codes."""
+    if index < len(_ID_CHARS):
+        return _ID_CHARS[index]
+    hi, lo = divmod(index - len(_ID_CHARS), len(_ID_CHARS))
+    return _ID_CHARS[hi] + _ID_CHARS[lo]
+
+
+def vcd_text(waveform: Waveform, *, module: str = "repro",
+             timescale: str = "1ns", date: str = "reproduction run") -> str:
+    """Serialise the waveform to VCD text."""
+    scalar_ids: Dict[str, str] = {}
+    bus_ids: Dict[str, str] = {}
+    index = 0
+    for node in waveform.traces:
+        scalar_ids[node] = _identifier(index)
+        index += 1
+    bus_widths: Dict[str, int] = {}
+    for name, row in waveform.buses.items():
+        bus_ids[name] = _identifier(index)
+        index += 1
+        known = [v for v in row if v is not None]
+        bus_widths[name] = max((v.bit_length() for v in known),
+                               default=1) or 1
+
+    lines: List[str] = [
+        f"$date {date} $end",
+        f"$timescale {timescale} $end",
+        f"$scope module {module} $end",
+    ]
+    for node, ident in scalar_ids.items():
+        safe = node.replace(" ", "_")
+        lines.append(f"$var wire 1 {ident} {safe} $end")
+    for name, ident in bus_ids.items():
+        width = bus_widths[name]
+        lines.append(f"$var wire {width} {ident} {name} "
+                     f"[{width - 1}:0] $end")
+    lines.append("$upscope $end")
+    lines.append("$enddefinitions $end")
+
+    steps = 0
+    for row in list(waveform.traces.values()) + list(waveform.buses.values()):
+        steps = max(steps, len(row))
+
+    last_scalar: Dict[str, Optional[str]] = {n: None for n in scalar_ids}
+    last_bus: Dict[str, object] = {n: object() for n in bus_ids}
+    for t in range(steps):
+        changes: List[str] = []
+        for node, ident in scalar_ids.items():
+            row = waveform.traces[node]
+            value = row[t] if t < len(row) else "X"
+            char = {"0": "0", "1": "1"}.get(value, "x")
+            if char != last_scalar[node]:
+                changes.append(f"{char}{ident}")
+                last_scalar[node] = char
+        for name, ident in bus_ids.items():
+            row = waveform.buses[name]
+            value = row[t] if t < len(row) else None
+            if value != last_bus[name]:
+                if value is None:
+                    bits = "x" * bus_widths[name]
+                else:
+                    bits = format(value, "b")
+                changes.append(f"b{bits} {ident}")
+                last_bus[name] = value
+        if changes or t == 0:
+            lines.append(f"#{t}")
+            lines.extend(changes)
+    lines.append(f"#{steps}")
+    return "\n".join(lines) + "\n"
+
+
+def write_vcd(waveform: Waveform, stream: IO[str], **kwargs) -> None:
+    stream.write(vcd_text(waveform, **kwargs))

@@ -1,0 +1,150 @@
+r"""Waveform capture and ASCII rendering (Fig. 3).
+
+The paper's Fig. 3 shows clock/NRET/NRST and the state bands across the
+sleep and resume operations.  :class:`Waveform` holds per-node scalar
+traces ('0'/'1'/'X'/'T') harvested either from a scalar simulation or
+from an STE trajectory under a variable assignment, and renders them as
+two-row ASCII waveforms::
+
+    clock  ‾\_____/‾\_/‾
+    NRET   ‾‾‾\___/‾‾‾‾‾
+
+Buses render as hex/label bands.  `from_trajectory` is how the
+examples regenerate Fig. 3 straight out of a model-checking run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..ternary import TernaryValue
+
+__all__ = ["Waveform"]
+
+
+class Waveform:
+    """Per-node scalar traces over phases."""
+
+    def __init__(self):
+        self.traces: Dict[str, List[str]] = {}
+        self.buses: Dict[str, List[Optional[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    def record(self, node: str, values: Sequence[str]) -> None:
+        self.traces[node] = list(values)
+
+    def record_bus(self, name: str, per_time_values: Sequence[Optional[int]]
+                   ) -> None:
+        self.buses[name] = list(per_time_values)
+
+    @classmethod
+    def from_scalar_history(cls, history: Sequence[Mapping[str, Optional[int]]],
+                            nodes: Sequence[str],
+                            buses: Optional[Mapping[str, Sequence[str]]] = None
+                            ) -> "Waveform":
+        wf = cls()
+        for node in nodes:
+            wf.record(node, ["X" if s.get(node) is None else str(s[node])
+                             for s in history])
+        for name, bits in (buses or {}).items():
+            row: List[Optional[int]] = []
+            for state in history:
+                total, known = 0, True
+                for i, bit in enumerate(bits):
+                    v = state.get(bit)
+                    if v is None:
+                        known = False
+                        break
+                    total |= v << i
+                row.append(total if known else None)
+            wf.record_bus(name, row)
+        return wf
+
+    @classmethod
+    def from_trajectory(cls, trajectory: Sequence[Mapping[str, TernaryValue]],
+                        assignment: Mapping[str, bool],
+                        nodes: Sequence[str],
+                        buses: Optional[Mapping[str, Sequence[str]]] = None
+                        ) -> "Waveform":
+        """Collapse an STE trajectory to scalars under *assignment*
+        (variables absent from the assignment default to False)."""
+        wf = cls()
+
+        def scalar(value: Optional[TernaryValue]) -> str:
+            if value is None:
+                return "X"
+            mgr = value.mgr
+            local = dict(assignment)
+            for name in mgr.support(value.h) | mgr.support(value.l):
+                local.setdefault(name, False)
+            return value.scalar(local)
+
+        for node in nodes:
+            wf.record(node, [scalar(state.get(node)) for state in trajectory])
+        for name, bits in (buses or {}).items():
+            row: List[Optional[int]] = []
+            for state in trajectory:
+                chars = [scalar(state.get(bit)) for bit in bits]
+                if all(c in "01" for c in chars):
+                    row.append(sum(1 << i for i, c in enumerate(chars)
+                                   if c == "1"))
+                else:
+                    row.append(None)
+            wf.record_bus(name, row)
+        return wf
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self, order: Optional[Sequence[str]] = None,
+               width_per_step: int = 3) -> str:
+        """Two-row-per-signal ASCII waveform plus bus value bands."""
+        names = list(order) if order else (list(self.traces)
+                                           + list(self.buses))
+        label_w = max((len(n) for n in names), default=4) + 2
+        steps = 0
+        for row in list(self.traces.values()) + list(self.buses.values()):
+            steps = max(steps, len(row))
+        lines: List[str] = []
+        header = " " * label_w + "".join(f"{t:<{width_per_step}}"
+                                         for t in range(steps))
+        lines.append(header)
+        for name in names:
+            if name in self.traces:
+                lines.extend(self._render_signal(name, label_w,
+                                                 width_per_step))
+            elif name in self.buses:
+                lines.append(self._render_bus(name, label_w, width_per_step))
+        return "\n".join(lines)
+
+    def _render_signal(self, name: str, label_w: int, w: int) -> List[str]:
+        values = self.traces[name]
+        high, low = [], []
+        prev = None
+        for v in values:
+            if v == "1":
+                edge = prev == "0"
+                high.append(("/" if edge else "") + "‾" * (w - 1)
+                            if edge else "‾" * w)
+                low.append(" " * w)
+            elif v == "0":
+                edge = prev == "1"
+                high.append(" " * w)
+                low.append(("\\" if edge else "") + "_" * (w - 1)
+                           if edge else "_" * w)
+            else:
+                high.append(v[0].lower() * w)
+                low.append(" " * w)
+            prev = v
+        return [" " * label_w + "".join(high),
+                f"{name:<{label_w}}" + "".join(low)]
+
+    def _render_bus(self, name: str, label_w: int, w: int) -> str:
+        row = self.buses[name]
+        cells = []
+        for v in row:
+            text = "--" if v is None else f"{v:x}"
+            cells.append(f"{text:<{w}}"[:w])
+        return f"{name:<{label_w}}" + "".join(cells)

@@ -1,0 +1,25 @@
+"""Symbolic trajectory evaluation: formulas, checker, counterexamples,
+symbolic indexing and the inference-rule theorem prover."""
+
+from .checker import Failure, STEResult, check
+from .counterexample import CounterExample, all_assignments, extract, format_trace
+from .formula import (Formula, NodeIs, Conj, When, Next, TRUE_FORMULA,
+                      conj, defining_sequence, formula_depth, formula_nodes,
+                      from_to, is0, is1, next_, node_is, vec_is, when)
+from .indexing import (direct_memory_antecedent, direct_read_value,
+                       indexed_memory_antecedent, indexed_read_consequent)
+from .inference import (InferenceError, Theorem, compose, conjoin,
+                        from_check, shift, specialise, strengthen_antecedent,
+                        substitute, weaken_consequent)
+
+__all__ = [
+    "check", "STEResult", "Failure",
+    "CounterExample", "extract", "all_assignments", "format_trace",
+    "Formula", "NodeIs", "Conj", "When", "Next", "TRUE_FORMULA",
+    "is0", "is1", "node_is", "vec_is", "conj", "when", "next_", "from_to",
+    "defining_sequence", "formula_depth", "formula_nodes",
+    "direct_memory_antecedent", "direct_read_value",
+    "indexed_memory_antecedent", "indexed_read_consequent",
+    "Theorem", "InferenceError", "from_check", "conjoin", "shift",
+    "specialise", "weaken_consequent", "strengthen_antecedent", "compose",
+]

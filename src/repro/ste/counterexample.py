@@ -1,0 +1,122 @@
+"""Counterexample extraction and presentation.
+
+"When the outcome of an STE model checking run is a counter-example …
+if we can come up with a satisfying assignment of Boolean values True
+and False to the Boolean variables in the counter-example, one can
+explicitly reveal the trace (consisting of 0s and 1s) that would be
+responsible for the bug.  Usually there is more than one way to satisfy
+the counter-example, and this means that in one symbolic model checking
+run, we can succinctly capture all the possible traces."  (§III)
+
+`extract` finds one satisfying assignment of the failure condition and
+re-reads the already-computed symbolic trajectory under it, producing a
+concrete scalar (0/1/X) trace; `all_assignments` enumerates the full
+family the quote refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from ..bdd import Ref
+from .checker import Failure, STEResult
+
+__all__ = ["CounterExample", "extract", "all_assignments", "format_trace"]
+
+
+@dataclass
+class CounterExample:
+    """A concrete witness of one consequent violation."""
+
+    failure: Failure
+    assignment: Dict[str, bool]
+    #: node -> per-time scalar characters '0'/'1'/'X'/'T'
+    trace: Dict[str, List[str]]
+    expected_scalar: str
+    actual_scalar: str
+
+    def __repr__(self) -> str:
+        return (f"CounterExample(t={self.failure.time}, "
+                f"node={self.failure.node!r}, "
+                f"expected={self.expected_scalar}, "
+                f"got={self.actual_scalar})")
+
+
+def extract(result: STEResult, watch: Optional[Sequence[str]] = None,
+            failure_index: int = 0) -> Optional[CounterExample]:
+    """Materialise one scalar counterexample from a failed run.
+
+    *watch* selects the nodes whose trace is rendered (default: the
+    failing node plus every node the antecedent/consequent constrained).
+    Returns None if the run passed.
+    """
+    if result.passed or not result.failures:
+        return None
+    failure = result.failures[failure_index]
+    assignment = result.mgr.sat_one(failure.condition)
+    if assignment is None:
+        return None
+
+    if watch is None:
+        watched = {failure.node}
+        for state in result.trajectory:
+            pass  # keep default small: failing node only
+        watch = sorted(watched)
+
+    # Totalise the assignment: any variable appearing in a watched value
+    # but not in the failure cube can be fixed arbitrarily (False).
+    def scalar_of(value, node_vars_missing_ok=True) -> str:
+        support = result.mgr.support(value.h) | result.mgr.support(value.l)
+        local = dict(assignment)
+        for name in support:
+            local.setdefault(name, False)
+        return value.scalar(local)
+
+    trace: Dict[str, List[str]] = {}
+    for node in watch:
+        row: List[str] = []
+        for state in result.trajectory:
+            value = state.get(node)
+            row.append(scalar_of(value) if value is not None else "X")
+        trace[node] = row
+
+    return CounterExample(
+        failure=failure,
+        assignment=assignment,
+        trace=trace,
+        expected_scalar=scalar_of(failure.expected),
+        actual_scalar=scalar_of(failure.actual),
+    )
+
+
+def all_assignments(result: STEResult, failure_index: int = 0,
+                    limit: int = 64) -> Iterator[Dict[str, bool]]:
+    """Enumerate satisfying assignments of a failure condition — the
+    "more than one way to satisfy the counter-example" family."""
+    if result.passed or not result.failures:
+        return
+    failure = result.failures[failure_index]
+    for i, assignment in enumerate(result.mgr.sat_all(failure.condition)):
+        if i >= limit:
+            return
+        yield assignment
+
+
+def format_trace(cex: CounterExample) -> str:
+    """Render a counterexample as an ASCII per-node timeline."""
+    steps = max((len(r) for r in cex.trace.values()), default=0)
+    width = max((len(n) for n in cex.trace), default=4)
+    lines = [
+        f"counterexample at t={cex.failure.time} node={cex.failure.node!r}:"
+        f" expected {cex.expected_scalar}, got {cex.actual_scalar}",
+        " " * (width + 2) + " ".join(f"{t:>2}" for t in range(steps)),
+    ]
+    for node in sorted(cex.trace):
+        row = " ".join(f"{c:>2}" for c in cex.trace[node])
+        lines.append(f"{node:<{width}}  {row}")
+    if cex.assignment:
+        assigns = ", ".join(f"{k}={int(v)}"
+                            for k, v in sorted(cex.assignment.items()))
+        lines.append(f"assignment: {assigns}")
+    return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""Trajectory formulas — Definition 1 of the paper.
+
+The grammar::
+
+    f ::= n is 0 | n is 1 | f1 and f2 | f when G | N f
+
+with the ``from``/``to`` sugar of Hazelhurst & Seger::
+
+    f from i to j  ==  N^i f and N^(i+1) f and ... and N^(j-1) f
+
+Two liberalisations that Forte also provides and the paper uses
+throughout: ``n is <boolean function>`` (a guarded pair of is-0/is-1 —
+this is how ``"IFR_Instr[31:26]" is RAW`` is expressed) and vector
+forms over buses (``"WriteData[31:0]" is WD``).  Both desugar into the
+core grammar; we keep them as first-class AST nodes so the defining
+sequence can be computed directly and efficiently.
+
+Formulas are manager-agnostic: BDD guards/values carry their manager,
+and :func:`defining_sequence` checks consistency when it runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..bdd import BDDError, BDDManager, BVec, Ref
+from ..ternary import TernaryValue, TernaryVector
+
+__all__ = [
+    "Formula", "NodeIs", "Conj", "When", "Next", "TRUE_FORMULA",
+    "is0", "is1", "node_is", "vec_is", "conj", "when", "next_", "from_to",
+    "defining_sequence", "formula_depth", "formula_nodes",
+]
+
+#: Values accepted on the right of ``is``: scalar constants, a BDD
+#: (Boolean function), or an explicit lattice value.
+NodeValue = Union[int, bool, Ref, TernaryValue]
+
+
+class Formula:
+    """Base class of the trajectory-formula AST."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return conj([self, other])
+
+    def when(self, guard: Ref) -> "Formula":
+        return When(self, guard)
+
+    def delay(self, steps: int) -> "Formula":
+        return next_(self, steps)
+
+    def from_to(self, start: int, stop: int) -> "Formula":
+        return from_to(self, start, stop)
+
+
+@dataclass(frozen=True)
+class NodeIs(Formula):
+    """``node is value`` at time 0 of the formula's local clock."""
+
+    node: str
+    value: NodeValue
+
+    def __repr__(self) -> str:
+        return f"({self.node!r} is {self.value!r})"
+
+
+@dataclass(frozen=True)
+class Conj(Formula):
+    """N-ary conjunction (flattened on construction by :func:`conj`)."""
+
+    parts: Tuple[Formula, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " and ".join(map(repr, self.parts)) + ")"
+
+
+@dataclass(frozen=True)
+class When(Formula):
+    """``f when G`` — *f* asserted only where the guard holds."""
+
+    body: Formula
+    guard: Ref
+
+    def __repr__(self) -> str:
+        return f"({self.body!r} when <guard>)"
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """``N^steps f``."""
+
+    body: Formula
+    steps: int = 1
+
+    def __repr__(self) -> str:
+        return f"(N^{self.steps} {self.body!r})"
+
+
+#: The empty conjunction: asserts nothing.
+TRUE_FORMULA: Formula = Conj(())
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def is0(node: str) -> Formula:
+    return NodeIs(node, 0)
+
+
+def is1(node: str) -> Formula:
+    return NodeIs(node, 1)
+
+
+def node_is(node: str, value: NodeValue) -> Formula:
+    """``node is value``; value may be 0/1, a BDD, or a lattice value."""
+    return NodeIs(node, value)
+
+
+def vec_is(nodes: Sequence[str],
+           value: Union[int, BVec, TernaryVector]) -> Formula:
+    """Assert a whole bus (LSB-first node list) equals a word value."""
+    if isinstance(value, int):
+        parts = [NodeIs(n, (value >> i) & 1) for i, n in enumerate(nodes)]
+    elif isinstance(value, BVec):
+        if value.width != len(nodes):
+            raise BDDError(
+                f"vec_is width mismatch: {len(nodes)} nodes, "
+                f"{value.width}-bit value")
+        parts = [NodeIs(n, bit) for n, bit in zip(nodes, value.bits)]
+    elif isinstance(value, TernaryVector):
+        if value.width != len(nodes):
+            raise BDDError(
+                f"vec_is width mismatch: {len(nodes)} nodes, "
+                f"{value.width}-bit value")
+        parts = [NodeIs(n, v) for n, v in zip(nodes, value.values)]
+    else:
+        raise TypeError(f"unsupported vector value {value!r}")
+    return conj(parts)
+
+
+def conj(parts: Iterable[Formula]) -> Formula:
+    """Flattening conjunction; drops nested Conj nesting."""
+    flat: List[Formula] = []
+    for p in parts:
+        if isinstance(p, Conj):
+            flat.extend(p.parts)
+        else:
+            flat.append(p)
+    if len(flat) == 1:
+        return flat[0]
+    return Conj(tuple(flat))
+
+
+def when(body: Formula, guard: Ref) -> Formula:
+    return When(body, guard)
+
+
+def next_(body: Formula, steps: int = 1) -> Formula:
+    if steps < 0:
+        raise ValueError("cannot shift a trajectory formula backwards")
+    if steps == 0:
+        return body
+    if isinstance(body, Next):
+        return Next(body.body, body.steps + steps)
+    return Next(body, steps)
+
+
+def from_to(body: Formula, start: int, stop: int) -> Formula:
+    """``body from start to stop``: body holds at start, …, stop-1."""
+    if stop <= start:
+        raise ValueError(f"empty interval [{start}, {stop})")
+    return conj([next_(body, t) for t in range(start, stop)])
+
+
+# ----------------------------------------------------------------------
+# Defining sequence (Definition 2)
+# ----------------------------------------------------------------------
+def _lift(mgr: BDDManager, value: NodeValue) -> TernaryValue:
+    if isinstance(value, TernaryValue):
+        if value.mgr is not mgr:
+            raise BDDError("lattice value from a different manager")
+        return value
+    if isinstance(value, Ref):
+        if value.mgr is not mgr:
+            raise BDDError("BDD value from a different manager")
+        return TernaryValue.of_bdd(value)
+    if isinstance(value, bool) or value in (0, 1):
+        return TernaryValue.of_bool(mgr, bool(value))
+    raise TypeError(f"unsupported node value {value!r}")
+
+
+def defining_sequence(mgr: BDDManager, formula: Formula
+                      ) -> Dict[int, Dict[str, TernaryValue]]:
+    """The weakest sequence satisfying *formula*: ``[f]`` of Defn 2.
+
+    Returned as ``{time: {node: lattice value}}`` — nodes/times absent
+    from the mapping are X.  Repeated constraints on the same (time,
+    node) join (which is where ⊤ can appear, caught later by the
+    checker's antecedent-consistency analysis).
+    """
+    seq: Dict[int, Dict[str, TernaryValue]] = {}
+
+    def visit(f: Formula, shift: int, guard: Optional[Ref]) -> None:
+        if isinstance(f, NodeIs):
+            value = _lift(mgr, f.value)
+            if guard is not None:
+                value = value.when(guard)
+            at_time = seq.setdefault(shift, {})
+            existing = at_time.get(f.node)
+            at_time[f.node] = value if existing is None else existing.join(value)
+        elif isinstance(f, Conj):
+            for p in f.parts:
+                visit(p, shift, guard)
+        elif isinstance(f, When):
+            if f.guard.mgr is not mgr:
+                raise BDDError("guard from a different manager")
+            new_guard = f.guard if guard is None else guard & f.guard
+            visit(f.body, shift, new_guard)
+        elif isinstance(f, Next):
+            visit(f.body, shift + f.steps, guard)
+        else:
+            raise TypeError(f"unknown formula node {f!r}")
+
+    visit(formula, 0, None)
+    return seq
+
+
+def formula_depth(formula: Formula) -> int:
+    """One past the largest time step the formula mentions."""
+    depth = 0
+
+    def visit(f: Formula, shift: int) -> None:
+        nonlocal depth
+        if isinstance(f, NodeIs):
+            depth = max(depth, shift + 1)
+        elif isinstance(f, Conj):
+            for p in f.parts:
+                visit(p, shift)
+        elif isinstance(f, When):
+            visit(f.body, shift)
+        elif isinstance(f, Next):
+            visit(f.body, shift + f.steps)
+
+    visit(formula, 0)
+    return depth
+
+
+def formula_nodes(formula: Formula) -> frozenset:
+    """All circuit nodes the formula mentions."""
+    nodes = set()
+
+    def visit(f: Formula) -> None:
+        if isinstance(f, NodeIs):
+            nodes.add(f.node)
+        elif isinstance(f, Conj):
+            for p in f.parts:
+                visit(p)
+        elif isinstance(f, (When, Next)):
+            visit(f.body)
+
+    visit(formula)
+    return frozenset(nodes)

@@ -1,0 +1,108 @@
+"""Symbolic indexing for memory verification.
+
+"the use of symbolic indexing reduces the linear time and space
+complexity of symbolically checking SRAMS, to logarithmic" (§III-B,
+after Pandey, Raimi, Bryant & Abadir, DAC'97).
+
+The *direct* encoding gives every memory location its own symbolic
+word — depth × width BDD variables, and the read-port consequent (the
+paper's ``RAW`` else-chain over ``Zero .. TwoFiftyFive``) is a function
+of all of them: cost linear in depth.
+
+The *indexed* encoding introduces one symbolic index vector ``J`` of
+log2(depth) variables and a single data word ``D``, and asserts only
+the weak, guarded fact "location J holds D" — every other location is
+X.  Monotonicity of the circuit model then guarantees the read-port
+check for the symbolic J covers every concrete location at once: cost
+logarithmic in depth.
+
+Both encodings are provided so the benchmark (experiment E9) can sweep
+depth and reproduce the linear-vs-logarithmic separation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager, BVec, Ref
+from ..ternary import TernaryValue
+from .formula import Formula, conj, from_to, node_is, vec_is
+
+__all__ = [
+    "direct_memory_antecedent",
+    "direct_read_value",
+    "indexed_memory_antecedent",
+    "indexed_read_consequent",
+]
+
+#: Maps a word index to the LSB-first node names of that memory word.
+CellBus = Callable[[int], Sequence[str]]
+
+
+def direct_memory_antecedent(mgr: BDDManager, cell_bus: CellBus, depth: int,
+                             width: int, start: int, stop: int,
+                             prefix: str = "mem") -> Tuple[Formula, List[BVec]]:
+    """The paper's ``IM`` formula: assign fresh symbolic words
+    ``mem0 … mem<depth-1>`` to every location, from *start* to *stop*.
+
+    Returns the formula and the per-location symbolic words (needed to
+    phrase the ``RAW`` read-after-write function).
+    """
+    words: List[BVec] = []
+    parts: List[Formula] = []
+    for w in range(depth):
+        word = BVec.variables(mgr, f"{prefix}{w}", width)
+        words.append(word)
+        parts.append(from_to(vec_is(cell_bus(w), word), start, stop))
+    return conj(parts), words
+
+
+def direct_read_value(address: BVec, words: Sequence[BVec]) -> BVec:
+    """The expected read data as a function of a symbolic address — the
+    select chain over all locations (``RAW`` without the write case)."""
+    return BVec.select(address, words)
+
+
+def indexed_memory_antecedent(mgr: BDDManager, cell_bus: CellBus, depth: int,
+                              index: BVec, data: BVec,
+                              start: int, stop: int) -> Formula:
+    """The symbolically-indexed antecedent: "location *index* holds
+    *data*" — all other locations stay X.
+
+    Per location w and bit b the constraint is the guarded value
+    ``data[b] when (index == w)``, which is X wherever the guard fails;
+    joining over all locations yields a sequence whose information
+    content is logarithmic in depth per node.
+    """
+    parts: List[Formula] = []
+    for w in range(depth):
+        guard = index.eq(w)
+        if guard.is_false:
+            continue
+        bus = cell_bus(w)
+        if len(bus) != data.width:
+            raise ValueError(
+                f"cell bus width {len(bus)} != data width {data.width}")
+        for node, bit in zip(bus, data.bits):
+            value = TernaryValue.of_bdd(bit).when(guard)
+            parts.append(from_to(node_is(node, value), start, stop))
+    return conj(parts)
+
+
+def indexed_read_consequent(read_bus: Sequence[str], index: BVec,
+                            address: BVec, data: BVec,
+                            start: int, stop: int,
+                            extra_guard: Optional[Ref] = None) -> Formula:
+    """Expected read-port output under symbolic indexing: the data word
+    appears on the read bus whenever the read *address* matches the
+    *index* (and the optional extra guard holds)."""
+    if len(read_bus) != data.width:
+        raise ValueError(
+            f"read bus width {len(read_bus)} != data width {data.width}")
+    guard = address.eq(index)
+    if extra_guard is not None:
+        guard = guard & extra_guard
+    parts = [from_to(node_is(node, TernaryValue.of_bdd(bit).when(guard)),
+                     start, stop)
+             for node, bit in zip(read_bus, data.bits)]
+    return conj(parts)

@@ -1,0 +1,201 @@
+"""STE inference rules — the property-decomposition machinery.
+
+"using a combination of property decomposition [9] and symbolic
+indexing [13] we are able to cut down on verification time and the size
+of BDDs … verifying a pipelined CPU would involve the decomposition of
+the properties that describe the functionality of the whole data path
+into several smaller properties across each pipelined stage" (§III-B).
+
+Reference [9] is Hazelhurst & Seger's *simple theorem prover based on
+symbolic trajectory evaluation and BDDs*.  This module reproduces its
+core: :class:`Theorem` objects are either produced by an actual model-
+checking run (:func:`from_check`) or derived from existing theorems by
+sound inference rules whose side conditions are discharged with BDDs:
+
+* conjunction     ⊢ A1∧A2 ⇒ C1∧C2
+* time shift      ⊢ N^k A ⇒ N^k C
+* specialisation  ⊢ A[φ] ⇒ C[φ]  (substitute functions for variables)
+* consequence     weaken C / strengthen A (pointwise ⊑ side condition)
+* composition     chain two theorems when the first's A∧C delivers the
+                  second's antecedent (pointwise ⊑ side condition)
+
+Every theorem records its provenance tree, so a decomposed proof is a
+checkable object, not a convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..bdd import BDDError, BDDManager, Ref
+from ..ternary import TernaryValue
+from .checker import STEResult
+from .formula import (Conj, Formula, Next, NodeIs, When, conj,
+                      defining_sequence, formula_depth, next_)
+
+__all__ = ["Theorem", "InferenceError", "from_check", "conjoin", "shift",
+           "specialise", "weaken_consequent", "strengthen_antecedent",
+           "compose", "substitute"]
+
+
+class InferenceError(Exception):
+    """A rule's side condition failed — the derivation would be unsound."""
+
+
+@dataclass(frozen=True)
+class Theorem:
+    """A proven trajectory assertion ``antecedent ⇒ consequent``."""
+
+    antecedent: Formula
+    consequent: Formula
+    mgr: BDDManager
+    rule: str
+    premises: Tuple["Theorem", ...] = ()
+
+    def provenance(self, indent: int = 0) -> str:
+        lines = [" " * indent + self.rule]
+        for p in self.premises:
+            lines.append(p.provenance(indent + 2))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Theorem(rule={self.rule!r}, premises={len(self.premises)})"
+
+
+# ----------------------------------------------------------------------
+# Leaf rule: a model-checking run
+# ----------------------------------------------------------------------
+def from_check(result: STEResult, antecedent: Formula,
+               consequent: Formula, name: str = "ste-run") -> Theorem:
+    """Promote a *passed*, non-vacuous STE run to a theorem."""
+    if not result.passed:
+        raise InferenceError("cannot build a theorem from a failed STE run")
+    if result.vacuous:
+        raise InferenceError(
+            "STE run is vacuous (antecedent inconsistent everywhere)")
+    return Theorem(antecedent, consequent, result.mgr, name)
+
+
+def _same_mgr(*theorems: Theorem) -> BDDManager:
+    mgr = theorems[0].mgr
+    for th in theorems[1:]:
+        if th.mgr is not mgr:
+            raise InferenceError("theorems use different BDD managers")
+    return mgr
+
+
+# ----------------------------------------------------------------------
+# Structural rules
+# ----------------------------------------------------------------------
+def conjoin(th1: Theorem, th2: Theorem) -> Theorem:
+    """A1⇒C1, A2⇒C2 ⊢ A1∧A2 ⇒ C1∧C2."""
+    _same_mgr(th1, th2)
+    return Theorem(conj([th1.antecedent, th2.antecedent]),
+                   conj([th1.consequent, th2.consequent]),
+                   th1.mgr, "conjoin", (th1, th2))
+
+
+def shift(th: Theorem, steps: int) -> Theorem:
+    """A⇒C ⊢ N^k A ⇒ N^k C (k ≥ 0)."""
+    if steps < 0:
+        raise InferenceError("cannot shift a theorem backwards in time")
+    return Theorem(next_(th.antecedent, steps), next_(th.consequent, steps),
+                   th.mgr, f"shift+{steps}", (th,))
+
+
+def substitute(mgr: BDDManager, formula: Formula,
+               mapping: Mapping[str, Ref]) -> Formula:
+    """Apply a BDD substitution to every guard and symbolic value."""
+    subs = dict(mapping)
+
+    def on_ref(ref: Ref) -> Ref:
+        return mgr.compose(ref, subs)
+
+    def visit(f: Formula) -> Formula:
+        if isinstance(f, NodeIs):
+            value = f.value
+            if isinstance(value, Ref):
+                return NodeIs(f.node, on_ref(value))
+            if isinstance(value, TernaryValue):
+                return NodeIs(f.node, TernaryValue(
+                    mgr, on_ref(value.h), on_ref(value.l)))
+            return f
+        if isinstance(f, Conj):
+            return Conj(tuple(visit(p) for p in f.parts))
+        if isinstance(f, When):
+            return When(visit(f.body), on_ref(f.guard))
+        if isinstance(f, Next):
+            return Next(visit(f.body), f.steps)
+        raise TypeError(f"unknown formula node {f!r}")
+
+    return visit(formula)
+
+
+def specialise(th: Theorem, mapping: Mapping[str, Ref]) -> Theorem:
+    """Substitute Boolean functions for the theorem's variables.
+
+    Sound because an STE theorem holds for *all* values of its
+    variables; any instance therefore holds too.
+    """
+    mgr = th.mgr
+    return Theorem(substitute(mgr, th.antecedent, mapping),
+                   substitute(mgr, th.consequent, mapping),
+                   mgr, "specialise", (th,))
+
+
+# ----------------------------------------------------------------------
+# Rules with semantic side conditions
+# ----------------------------------------------------------------------
+def _seq_leq(mgr: BDDManager, weaker: Formula, stronger: Formula) -> bool:
+    """Pointwise ``[weaker] ⊑ [stronger]``: everything *weaker* demands
+    is delivered by *stronger*."""
+    wseq = defining_sequence(mgr, weaker)
+    sseq = defining_sequence(mgr, stronger)
+    x = TernaryValue.x(mgr)
+    for t, at_time in wseq.items():
+        strong_at = sseq.get(t, {})
+        for node, wanted in at_time.items():
+            given = strong_at.get(node, x)
+            if not wanted.leq(given).is_true:
+                return False
+    return True
+
+
+def weaken_consequent(th: Theorem, new_consequent: Formula) -> Theorem:
+    """A⇒C, [C'] ⊑ [C] ⊢ A⇒C'."""
+    if not _seq_leq(th.mgr, new_consequent, th.consequent):
+        raise InferenceError(
+            "weaken_consequent: new consequent demands information the "
+            "proven consequent does not provide")
+    return Theorem(th.antecedent, new_consequent, th.mgr,
+                   "weaken-consequent", (th,))
+
+
+def strengthen_antecedent(th: Theorem, new_antecedent: Formula) -> Theorem:
+    """A⇒C, [A] ⊑ [A'] ⊢ A'⇒C (A' supplies at least what A supplied)."""
+    if not _seq_leq(th.mgr, th.antecedent, new_antecedent):
+        raise InferenceError(
+            "strengthen_antecedent: new antecedent does not supply the "
+            "information of the proven antecedent")
+    return Theorem(new_antecedent, th.consequent, th.mgr,
+                   "strengthen-antecedent", (th,))
+
+
+def compose(th1: Theorem, th2: Theorem) -> Theorem:
+    """Sequential composition / transitivity.
+
+    A1⇒C1, A2⇒C2, with [A2] ⊑ [A1] ⊔ [C1], gives A1 ⇒ C1∧C2: by the
+    time theorem 1 has run, the world contains A1's stimuli and C1's
+    guaranteed responses — if those jointly deliver A2, theorem 2's
+    consequent follows.  (This is the decomposition workhorse: e.g.
+    fetch-stage ⇒ decode-stage chaining across pipeline stages.)
+    """
+    mgr = _same_mgr(th1, th2)
+    combined = conj([th1.antecedent, th1.consequent])
+    if not _seq_leq(mgr, th2.antecedent, combined):
+        raise InferenceError(
+            "compose: second theorem's antecedent is not delivered by the "
+            "first theorem's antecedent and consequent")
+    return Theorem(th1.antecedent, conj([th1.consequent, th2.consequent]),
+                   mgr, "compose", (th1, th2))

@@ -1,0 +1,15 @@
+"""Dual-rail ternary lattice domain for symbolic trajectory evaluation."""
+
+from .value import ONE, TOP, TernaryValue, X, ZERO, from_bdd, from_bool
+from .vector import TernaryVector
+
+__all__ = [
+    "TernaryValue",
+    "TernaryVector",
+    "X",
+    "ZERO",
+    "ONE",
+    "TOP",
+    "from_bool",
+    "from_bdd",
+]

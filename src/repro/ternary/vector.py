@@ -1,0 +1,153 @@
+"""Vectors of ternary lattice values.
+
+The netlist simulator and the STE property generators move buses around
+— instruction words, addresses, register contents.  :class:`TernaryVector`
+is the bus-level counterpart of :class:`~repro.ternary.value.TernaryValue`
+(little-endian, bit 0 first) with the helpers both sides need:
+
+* lifting symbolic :class:`~repro.bdd.bvec.BVec` words or integer
+  constants into the lattice,
+* bus-level join / gate ops / muxes (all bitwise and monotone),
+* collapsing back to scalar strings for waveforms and counterexamples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Union
+
+from ..bdd import BDDError, BDDManager, BVec, Ref
+from .value import TernaryValue
+
+__all__ = ["TernaryVector"]
+
+
+class TernaryVector:
+    """A fixed-width little-endian vector of ternary values."""
+
+    __slots__ = ("mgr", "values")
+
+    def __init__(self, mgr: BDDManager, values: Sequence[TernaryValue]):
+        for v in values:
+            if v.mgr is not mgr:
+                raise BDDError("vector elements must share the manager")
+        self.mgr = mgr
+        self.values = list(values)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def xs(cls, mgr: BDDManager, width: int) -> "TernaryVector":
+        return cls(mgr, [TernaryValue.x(mgr) for _ in range(width)])
+
+    @classmethod
+    def of_bvec(cls, vec: BVec) -> "TernaryVector":
+        return cls(vec.mgr, [TernaryValue.of_bdd(b) for b in vec.bits])
+
+    @classmethod
+    def constant(cls, mgr: BDDManager, value: int, width: int) -> "TernaryVector":
+        return cls.of_bvec(BVec.constant(mgr, value, width))
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def width(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, idx: Union[int, slice]):
+        if isinstance(idx, slice):
+            return TernaryVector(self.mgr, self.values[idx])
+        return self.values[idx]
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def _coerce(self, other: Union["TernaryVector", BVec, int]) -> "TernaryVector":
+        if isinstance(other, int):
+            return TernaryVector.constant(self.mgr, other, self.width)
+        if isinstance(other, BVec):
+            other = TernaryVector.of_bvec(other)
+        if other.width != self.width:
+            raise BDDError(f"width mismatch: {self.width} vs {other.width}")
+        if other.mgr is not self.mgr:
+            raise BDDError("vector operands use different managers")
+        return other
+
+    # ------------------------------------------------------------------
+    # Lattice / logic, bitwise
+    # ------------------------------------------------------------------
+    def join(self, other: Union["TernaryVector", BVec, int]) -> "TernaryVector":
+        other = self._coerce(other)
+        return TernaryVector(self.mgr,
+                             [a.join(b) for a, b in zip(self.values, other.values)])
+
+    def __and__(self, other: Union["TernaryVector", BVec, int]) -> "TernaryVector":
+        other = self._coerce(other)
+        return TernaryVector(self.mgr,
+                             [a & b for a, b in zip(self.values, other.values)])
+
+    def __or__(self, other: Union["TernaryVector", BVec, int]) -> "TernaryVector":
+        other = self._coerce(other)
+        return TernaryVector(self.mgr,
+                             [a | b for a, b in zip(self.values, other.values)])
+
+    def __xor__(self, other: Union["TernaryVector", BVec, int]) -> "TernaryVector":
+        other = self._coerce(other)
+        return TernaryVector(self.mgr,
+                             [a ^ b for a, b in zip(self.values, other.values)])
+
+    def __invert__(self) -> "TernaryVector":
+        return TernaryVector(self.mgr, [~a for a in self.values])
+
+    def mux(self, control: TernaryValue,
+            else_: Union["TernaryVector", BVec, int]) -> "TernaryVector":
+        """Bus select: ``control ? self : else_`` (monotone per bit)."""
+        else_ = self._coerce(else_)
+        return TernaryVector(self.mgr,
+                             [control.mux(a, b)
+                              for a, b in zip(self.values, else_.values)])
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def scalar(self, assignment: Mapping[str, bool]) -> str:
+        """MSB-first scalar string, e.g. ``'0X10'`` for a 4-bit bus."""
+        return "".join(v.scalar(assignment) for v in reversed(self.values))
+
+    def const_scalar(self) -> Optional[str]:
+        chars: List[str] = []
+        for v in reversed(self.values):
+            c = v.const_scalar()
+            if c is None:
+                return None
+            chars.append(c)
+        return "".join(chars)
+
+    def const_int(self) -> Optional[int]:
+        """Integer value when every bit is the constant 0 or 1."""
+        total = 0
+        for i, v in enumerate(self.values):
+            c = v.const_scalar()
+            if c == "1":
+                total |= 1 << i
+            elif c != "0":
+                return None
+        return total
+
+    def is_fully_defined(self) -> Ref:
+        """BDD of 'every bit is a definite 0/1'."""
+        return self.mgr.conj(v.is_defined() for v in self.values)
+
+    def equals(self, other: Union["TernaryVector", BVec, int]) -> bool:
+        other = self._coerce(other)
+        return all(a.equals(b) for a, b in zip(self.values, other.values))
+
+    def __repr__(self) -> str:
+        const = self.const_scalar()
+        if const is not None:
+            return f"TernaryVector('{const}')"
+        return f"TernaryVector(width={self.width}, symbolic)"

@@ -1,0 +1,12 @@
+"""Minimal UPF (Unified Power Format) subset: parse, write, audit."""
+
+from .apply import AuditResult, audit, intent_for_core
+from .format import (IsolationStrategy, PowerDomain, PowerIntent,
+                     RetentionStrategy, UpfError, parse_upf, parse_upf_text,
+                     upf_text, write_upf)
+
+__all__ = [
+    "UpfError", "PowerDomain", "RetentionStrategy", "IsolationStrategy",
+    "PowerIntent", "parse_upf", "parse_upf_text", "upf_text", "write_upf",
+    "AuditResult", "audit", "intent_for_core",
+]

@@ -1,0 +1,129 @@
+"""Audit a netlist against a UPF power-intent description.
+
+The paper contrasts its approach with Crone & Chidolue's: *they* verify
+a design against "a given power management scheme usually given by a
+UPF format"; *this* work uses STE to design the scheme itself.  Both
+directions need the same plumbing — a checkable correspondence between
+the power intent and the netlist — which `audit` provides:
+
+* every element a retention strategy names must exist in the netlist
+  and be implemented with retention registers (correctly wired to the
+  strategy's save/restore net);
+* every retention register in the netlist must be covered by some
+  strategy (no accidental/undocumented retention);
+* strategy elements must belong to their strategy's power domain.
+
+`intent_for_core` emits the canonical UPF description of our Fig. 4
+core — the artefact a designer would hand to a commercial
+implementation flow after the STE methodology has settled *what* to
+retain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..netlist import Circuit
+from ..retention.analysis import classify_registers, group_of_register
+from .format import (IsolationStrategy, PowerDomain, PowerIntent,
+                     RetentionStrategy)
+
+__all__ = ["AuditResult", "audit", "intent_for_core"]
+
+
+@dataclass
+class AuditResult:
+    """Outcome of checking a netlist against a power intent."""
+
+    violations: List[str] = field(default_factory=list)
+    covered_registers: int = 0
+    retained_registers: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "CLEAN" if self.ok else f"{len(self.violations)} violations"
+        lines = [f"UPF audit: {status}; {self.covered_registers} flops "
+                 f"covered by retention strategies, "
+                 f"{self.retained_registers} retention flops in netlist"]
+        lines.extend(f"  - {v}" for v in self.violations)
+        return "\n".join(lines)
+
+
+def audit(circuit: Circuit, intent: PowerIntent) -> AuditResult:
+    """Check the retention intent against the implemented netlist."""
+    result = AuditResult()
+    groups: Dict[str, List[str]] = {}
+    for q in circuit.registers:
+        groups.setdefault(group_of_register(q), []).append(q)
+
+    claimed: Dict[str, str] = {}   # group -> strategy name
+    for strategy in intent.retentions.values():
+        domain = intent.domains.get(strategy.domain)
+        for element in strategy.elements:
+            if element in claimed:
+                result.violations.append(
+                    f"element {element!r} retained by both "
+                    f"{claimed[element]!r} and {strategy.name!r}")
+                continue
+            claimed[element] = strategy.name
+            if domain is not None and element not in domain.elements:
+                result.violations.append(
+                    f"strategy {strategy.name!r} retains {element!r} "
+                    f"outside its domain {strategy.domain!r}")
+            members = groups.get(element)
+            if not members:
+                result.violations.append(
+                    f"strategy {strategy.name!r} names {element!r}, which "
+                    f"has no registers in the netlist")
+                continue
+            for q in members:
+                reg = circuit.registers[q]
+                result.covered_registers += 1
+                if not reg.is_retention:
+                    result.violations.append(
+                        f"{q} is covered by retention strategy "
+                        f"{strategy.name!r} but is a plain register")
+                elif strategy.save_signal is not None and \
+                        reg.nret != strategy.save_signal[0]:
+                    result.violations.append(
+                        f"{q} retention control {reg.nret!r} does not "
+                        f"match strategy save net "
+                        f"{strategy.save_signal[0]!r}")
+
+    for q, reg in circuit.registers.items():
+        if reg.is_retention:
+            result.retained_registers += 1
+            if group_of_register(q) not in claimed:
+                result.violations.append(
+                    f"{q} is a retention register but no strategy "
+                    f"covers its group {group_of_register(q)!r}")
+    return result
+
+
+def intent_for_core(circuit: Circuit, *,
+                    domain: str = "PD_core",
+                    strategy: str = "ret_architectural",
+                    save_net: str = "NRET") -> PowerIntent:
+    """The canonical UPF description of a selective-retention core:
+    one power domain over every register group, one retention strategy
+    covering exactly the groups implemented with retention flops."""
+    classes = classify_registers(circuit)
+    all_groups = [c.group for c in classes]
+    retained_groups = [c.group for c in classes if c.retained > 0]
+    intent = PowerIntent()
+    intent.domains[domain] = PowerDomain(domain, all_groups)
+    intent.retentions[strategy] = RetentionStrategy(
+        name=strategy,
+        domain=domain,
+        elements=retained_groups,
+        retention_power_net="VDD_ret",
+        save_signal=(save_net, "negedge"),
+        restore_signal=(save_net, "posedge"),
+    )
+    intent.isolations["iso_outputs"] = IsolationStrategy(
+        name="iso_outputs", domain=domain, clamp_value=0)
+    return intent

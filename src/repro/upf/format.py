@@ -1,0 +1,247 @@
+"""A minimal Unified Power Format (UPF) subset — power-intent capture.
+
+"Total hardware state retention, and power gating, can be implemented
+with current EDA tools, together with the addition of unified power
+format (UPF) annotation of power intent … UPF specifies the supply
+network, switches, isolation, retention and other aspects relevant to
+power management of an electronic system."  (§I, citing the Accellera
+UPF 1.0 standard, Feb 2007)
+
+This module carries the slice of UPF the methodology needs: power
+domains, retention strategies (which register groups get retention
+flops, and the save/restore control nets), and isolation strategies.
+It parses and writes the Tcl-flavoured command syntax of UPF 1.0 for
+those commands::
+
+    create_power_domain PD_core -elements {PC Reg IM_cell DM_cell IFR}
+    set_retention ret_arch -domain PD_core \
+        -retention_power_net VDD_ret -elements {PC Reg IM_cell DM_cell} \
+        -save_signal {NRET negedge} -restore_signal {NRET posedge}
+    set_isolation iso_out -domain PD_core -clamp_value 0
+
+`repro.upf.apply` audits a netlist against a :class:`PowerIntent` —
+the automated version of the paper's manual check that exactly the
+architectural state is implemented with retention registers.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Dict, IO, List, Optional, Tuple
+
+__all__ = ["UpfError", "PowerDomain", "RetentionStrategy",
+           "IsolationStrategy", "PowerIntent", "parse_upf",
+           "parse_upf_text", "upf_text", "write_upf"]
+
+
+class UpfError(Exception):
+    """Malformed or unsupported UPF input."""
+
+
+@dataclass
+class PowerDomain:
+    name: str
+    elements: List[str] = field(default_factory=list)
+
+
+@dataclass
+class RetentionStrategy:
+    name: str
+    domain: str
+    elements: List[str] = field(default_factory=list)
+    retention_power_net: Optional[str] = None
+    save_signal: Optional[Tuple[str, str]] = None     # (net, edge)
+    restore_signal: Optional[Tuple[str, str]] = None
+
+
+@dataclass
+class IsolationStrategy:
+    name: str
+    domain: str
+    clamp_value: int = 0
+    elements: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PowerIntent:
+    """A parsed UPF description."""
+
+    domains: Dict[str, PowerDomain] = field(default_factory=dict)
+    retentions: Dict[str, RetentionStrategy] = field(default_factory=dict)
+    isolations: Dict[str, IsolationStrategy] = field(default_factory=dict)
+
+    def retained_elements(self) -> List[str]:
+        out: List[str] = []
+        for strategy in self.retentions.values():
+            out.extend(strategy.elements)
+        return out
+
+    def domain_of(self, element: str) -> Optional[str]:
+        for domain in self.domains.values():
+            if element in domain.elements:
+                return domain.name
+        return None
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def _split_commands(text: str) -> List[List[str]]:
+    """Tcl-ish tokenisation: line continuations, comments, braces."""
+    commands: List[List[str]] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        line = pending + line
+        pending = ""
+        lexer = shlex.shlex(line, posix=True)
+        lexer.whitespace_split = True
+        # Keep brace groups as single tokens.
+        tokens: List[str] = []
+        buffer: List[str] = []
+        depth = 0
+        for token in line.replace("{", " { ").replace("}", " } ").split():
+            if token == "{":
+                depth += 1
+                if depth == 1:
+                    buffer = []
+                    continue
+            if token == "}":
+                depth -= 1
+                if depth < 0:
+                    raise UpfError(f"unbalanced braces in: {line!r}")
+                if depth == 0:
+                    tokens.append(" ".join(buffer))
+                    continue
+            if depth > 0:
+                buffer.append(token)
+            else:
+                tokens.append(token)
+        if depth != 0:
+            raise UpfError(f"unbalanced braces in: {line!r}")
+        commands.append(tokens)
+    if pending.strip():
+        raise UpfError("dangling line continuation at end of file")
+    return commands
+
+
+def _options(tokens: List[str], line: str) -> Tuple[List[str], Dict[str, str]]:
+    """Split positional arguments from ``-name value`` options."""
+    positional: List[str] = []
+    options: Dict[str, str] = {}
+    i = 0
+    while i < len(tokens):
+        token = tokens[i]
+        if token.startswith("-"):
+            if i + 1 >= len(tokens):
+                raise UpfError(f"option {token} missing a value in {line!r}")
+            options[token[1:]] = tokens[i + 1]
+            i += 2
+        else:
+            positional.append(token)
+            i += 1
+    return positional, options
+
+
+def _signal(value: Optional[str]) -> Optional[Tuple[str, str]]:
+    if value is None:
+        return None
+    parts = value.split()
+    if len(parts) == 1:
+        return (parts[0], "posedge")
+    if len(parts) == 2 and parts[1] in ("posedge", "negedge"):
+        return (parts[0], parts[1])
+    raise UpfError(f"bad save/restore signal spec {value!r}")
+
+
+def parse_upf_text(text: str) -> PowerIntent:
+    intent = PowerIntent()
+    for tokens in _split_commands(text):
+        command, rest = tokens[0], tokens[1:]
+        line = " ".join(tokens)
+        positional, options = _options(rest, line)
+        if command == "create_power_domain":
+            if len(positional) != 1:
+                raise UpfError(f"create_power_domain needs a name: {line!r}")
+            name = positional[0]
+            if name in intent.domains:
+                raise UpfError(f"duplicate power domain {name!r}")
+            intent.domains[name] = PowerDomain(
+                name, options.get("elements", "").split())
+        elif command == "set_retention":
+            if len(positional) != 1:
+                raise UpfError(f"set_retention needs a name: {line!r}")
+            name = positional[0]
+            domain = options.get("domain")
+            if not domain:
+                raise UpfError(f"set_retention requires -domain: {line!r}")
+            if domain not in intent.domains:
+                raise UpfError(f"unknown domain {domain!r} in {line!r}")
+            intent.retentions[name] = RetentionStrategy(
+                name=name,
+                domain=domain,
+                elements=options.get("elements", "").split(),
+                retention_power_net=options.get("retention_power_net"),
+                save_signal=_signal(options.get("save_signal")),
+                restore_signal=_signal(options.get("restore_signal")),
+            )
+        elif command == "set_isolation":
+            if len(positional) != 1:
+                raise UpfError(f"set_isolation needs a name: {line!r}")
+            name = positional[0]
+            domain = options.get("domain")
+            if not domain or domain not in intent.domains:
+                raise UpfError(f"set_isolation needs a known -domain: "
+                               f"{line!r}")
+            intent.isolations[name] = IsolationStrategy(
+                name=name,
+                domain=domain,
+                clamp_value=int(options.get("clamp_value", "0")),
+                elements=options.get("elements", "").split(),
+            )
+        else:
+            raise UpfError(f"unsupported UPF command {command!r}")
+    return intent
+
+
+def parse_upf(stream: IO[str]) -> PowerIntent:
+    return parse_upf_text(stream.read())
+
+
+# ----------------------------------------------------------------------
+# Writing
+# ----------------------------------------------------------------------
+def upf_text(intent: PowerIntent) -> str:
+    lines: List[str] = ["# UPF 1.0 subset written by repro.upf"]
+    for domain in intent.domains.values():
+        lines.append(f"create_power_domain {domain.name} "
+                     f"-elements {{{' '.join(domain.elements)}}}")
+    for ret in intent.retentions.values():
+        parts = [f"set_retention {ret.name}", f"-domain {ret.domain}"]
+        if ret.retention_power_net:
+            parts.append(f"-retention_power_net {ret.retention_power_net}")
+        parts.append(f"-elements {{{' '.join(ret.elements)}}}")
+        if ret.save_signal:
+            parts.append(f"-save_signal {{{ret.save_signal[0]} "
+                         f"{ret.save_signal[1]}}}")
+        if ret.restore_signal:
+            parts.append(f"-restore_signal {{{ret.restore_signal[0]} "
+                         f"{ret.restore_signal[1]}}}")
+        lines.append(" ".join(parts))
+    for iso in intent.isolations.values():
+        parts = [f"set_isolation {iso.name}", f"-domain {iso.domain}",
+                 f"-clamp_value {iso.clamp_value}"]
+        if iso.elements:
+            parts.append(f"-elements {{{' '.join(iso.elements)}}}")
+        lines.append(" ".join(parts))
+    return "\n".join(lines) + "\n"
+
+
+def write_upf(intent: PowerIntent, stream: IO[str]) -> None:
+    stream.write(upf_text(intent))

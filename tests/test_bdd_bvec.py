@@ -1,0 +1,168 @@
+"""Unit tests for symbolic bit-vectors."""
+
+import pytest
+
+from repro.bdd import BDDError, BDDManager, BVec
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+def bits_of(mgr, value, width):
+    return BVec.constant(mgr, value, width)
+
+
+class TestConstruction:
+    def test_constant_round_trip(self, mgr):
+        for value in (0, 1, 0b1010, 255):
+            assert bits_of(mgr, value, 8).const_value() == value
+
+    def test_constant_too_wide_raises(self, mgr):
+        with pytest.raises(BDDError):
+            BVec.constant(mgr, 256, 8)
+
+    def test_negative_constant_wraps(self, mgr):
+        assert BVec.constant(mgr, -1, 4).const_value() == 0xF
+
+    def test_variables_are_symbolic(self, mgr):
+        x = BVec.variables(mgr, "x", 4)
+        assert x.const_value() is None
+        assert x.width == 4
+
+    def test_value_under_assignment(self, mgr):
+        x = BVec.variables(mgr, "x", 4)
+        assignment = {f"x[{i}]": bool((5 >> i) & 1) for i in range(4)}
+        assert x.value(assignment) == 5
+
+
+class TestArithmetic:
+    def test_add_constants(self, mgr):
+        a = bits_of(mgr, 25, 8)
+        b = bits_of(mgr, 17, 8)
+        assert (a + b).const_value() == 42
+
+    def test_add_wraps_modulo(self, mgr):
+        a = bits_of(mgr, 200, 8)
+        b = bits_of(mgr, 100, 8)
+        assert (a + b).const_value() == (300 % 256)
+
+    def test_sub_inverse_of_add(self, mgr):
+        x = BVec.variables(mgr, "x", 6)
+        y = BVec.variables(mgr, "y", 6)
+        assert ((x + y) - y).eq(x).is_true
+
+    def test_add_int_coercion(self, mgr):
+        x = BVec.variables(mgr, "x", 8)
+        assert (x + 0).eq(x).is_true
+
+    def test_width_mismatch_raises(self, mgr):
+        with pytest.raises(BDDError):
+            BVec.variables(mgr, "a", 4) + BVec.variables(mgr, "b", 5)
+
+    def test_shift_left_const(self, mgr):
+        a = bits_of(mgr, 0b0011, 8)
+        assert a.shift_left_const(2).const_value() == 0b1100
+
+    def test_shift_right_const(self, mgr):
+        a = bits_of(mgr, 0b1100, 8)
+        assert a.shift_right_const(2).const_value() == 0b0011
+
+    def test_shift_by_width_clears(self, mgr):
+        x = BVec.variables(mgr, "x", 4)
+        assert x.shift_left_const(4).const_value() == 0
+
+
+class TestComparison:
+    def test_eq_reflexive(self, mgr):
+        x = BVec.variables(mgr, "x", 8)
+        assert x.eq(x).is_true
+
+    def test_eq_const(self, mgr):
+        a = bits_of(mgr, 7, 4)
+        assert a.eq(7).is_true
+        assert a.eq(8).is_false
+
+    def test_ult_constants(self, mgr):
+        assert bits_of(mgr, 3, 4).ult(bits_of(mgr, 5, 4)).is_true
+        assert bits_of(mgr, 5, 4).ult(bits_of(mgr, 3, 4)).is_false
+        assert bits_of(mgr, 5, 4).ult(bits_of(mgr, 5, 4)).is_false
+
+    def test_slt_signed_semantics(self, mgr):
+        # -1 (0xF) < 1 in signed 4-bit.
+        assert bits_of(mgr, 0xF, 4).slt(bits_of(mgr, 1, 4)).is_true
+        # 1 < -1 is false.
+        assert bits_of(mgr, 1, 4).slt(bits_of(mgr, 0xF, 4)).is_false
+
+    def test_slt_trichotomy_symbolic(self, mgr):
+        x = BVec.variables(mgr, "x", 5)
+        y = BVec.variables(mgr, "y", 5)
+        lt = x.slt(y)
+        gt = y.slt(x)
+        eq = x.eq(y)
+        assert (lt | gt | eq).is_true
+        assert (lt & gt).is_false
+        assert (lt & eq).is_false
+
+    def test_is_zero(self, mgr):
+        assert bits_of(mgr, 0, 8).is_zero().is_true
+        assert bits_of(mgr, 1, 8).is_zero().is_false
+
+
+class TestStructure:
+    def test_slice(self, mgr):
+        a = bits_of(mgr, 0b110100, 6)
+        assert a[2:6].const_value() == 0b1101
+
+    def test_concat(self, mgr):
+        low = bits_of(mgr, 0b01, 2)
+        high = bits_of(mgr, 0b11, 2)
+        assert low.concat(high).const_value() == 0b1101
+
+    def test_zero_extend(self, mgr):
+        a = bits_of(mgr, 0b11, 2)
+        assert a.zero_extend(6).const_value() == 0b11
+
+    def test_sign_extend_negative(self, mgr):
+        a = bits_of(mgr, 0b10, 2)
+        assert a.sign_extend(4).const_value() == 0b1110
+
+    def test_sign_extend_positive(self, mgr):
+        a = bits_of(mgr, 0b01, 2)
+        assert a.sign_extend(4).const_value() == 0b0001
+
+    def test_sign_extend_narrower_raises(self, mgr):
+        with pytest.raises(BDDError):
+            bits_of(mgr, 0, 4).sign_extend(2)
+
+
+class TestLogicAndSelect:
+    def test_bitwise_ops(self, mgr):
+        a = bits_of(mgr, 0b1100, 4)
+        b = bits_of(mgr, 0b1010, 4)
+        assert (a & b).const_value() == 0b1000
+        assert (a | b).const_value() == 0b1110
+        assert (a ^ b).const_value() == 0b0110
+        assert (~a).const_value() == 0b0011
+
+    def test_ite(self, mgr):
+        c = mgr.var("c")
+        a = bits_of(mgr, 5, 4)
+        b = bits_of(mgr, 9, 4)
+        picked = a.ite(c, b)
+        assert picked.value({"c": True}) == 5
+        assert picked.value({"c": False}) == 9
+
+    def test_select_models_memory_read(self, mgr):
+        addr = BVec.variables(mgr, "addr", 2)
+        entries = [bits_of(mgr, 10 + i, 8) for i in range(4)]
+        out = BVec.select(addr, entries)
+        for i in range(4):
+            assignment = {f"addr[{b}]": bool((i >> b) & 1) for b in range(2)}
+            assert out.value(assignment) == 10 + i
+
+    def test_select_empty_raises(self, mgr):
+        addr = BVec.variables(mgr, "addr", 1)
+        with pytest.raises(BDDError):
+            BVec.select(addr, [])

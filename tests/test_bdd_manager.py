@@ -1,0 +1,221 @@
+"""Unit tests for the ROBDD manager."""
+
+import pytest
+
+from repro.bdd import BDDError, BDDManager
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+class TestTerminals:
+    def test_true_false_distinct(self, mgr):
+        assert mgr.true.is_true
+        assert mgr.false.is_false
+        assert mgr.true != mgr.false
+
+    def test_constants_are_canonical(self, mgr):
+        a = mgr.var("a")
+        assert (a | ~a) == mgr.true
+        assert (a & ~a) == mgr.false
+
+    def test_no_implicit_bool(self, mgr):
+        with pytest.raises(BDDError):
+            bool(mgr.var("a"))
+
+
+class TestVariables:
+    def test_var_is_idempotent(self, mgr):
+        assert mgr.var("a") == mgr.var("a")
+
+    def test_declare_duplicate_raises(self, mgr):
+        mgr.declare("a")
+        with pytest.raises(BDDError):
+            mgr.declare("a")
+
+    def test_declare_order_is_level_order(self, mgr):
+        mgr.declare_all(["x", "y", "z"])
+        assert mgr.level_of("x") < mgr.level_of("y") < mgr.level_of("z")
+
+    def test_unknown_variable_raises(self, mgr):
+        with pytest.raises(BDDError):
+            mgr.level_of("ghost")
+
+    def test_node_var(self, mgr):
+        a = mgr.var("a")
+        assert mgr.node_var(a) == "a"
+        assert mgr.node_var(mgr.true) is None
+
+
+class TestOperators:
+    def test_and_or_de_morgan(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert (~(a & b)) == (~a | ~b)
+        assert (~(a | b)) == (~a & ~b)
+
+    def test_xor_truth(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = a ^ b
+        assert mgr.eval(f, {"a": True, "b": False})
+        assert mgr.eval(f, {"a": False, "b": True})
+        assert not mgr.eval(f, {"a": True, "b": True})
+        assert not mgr.eval(f, {"a": False, "b": False})
+
+    def test_implies(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert (a >> b) == (~a | b)
+
+    def test_iff_is_xnor(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert a.iff(b) == ~(a ^ b)
+
+    def test_ite_shannon(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        assert mgr.ite(a, b, c) == ((a & b) | (~a & c))
+
+    def test_double_negation(self, mgr):
+        a = mgr.var("a")
+        assert ~~a == a
+
+    def test_conj_disj(self, mgr):
+        vs = [mgr.var(n) for n in "abc"]
+        assert mgr.conj(vs) == (vs[0] & vs[1] & vs[2])
+        assert mgr.disj(vs) == (vs[0] | vs[1] | vs[2])
+        assert mgr.conj([]).is_true
+        assert mgr.disj([]).is_false
+
+    def test_canonicity_across_equivalent_builds(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        lhs = (a & b) | (a & c)
+        rhs = a & (b | c)
+        assert lhs == rhs
+
+    def test_cross_manager_rejected(self, mgr):
+        other = BDDManager()
+        with pytest.raises(BDDError):
+            mgr.apply_and(mgr.var("a"), other.var("a"))
+
+
+class TestQuantification:
+    def test_exists(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.exists(["a"], a & b) == b
+        assert mgr.exists(["a"], a & ~a).is_false
+
+    def test_forall(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.forall(["a"], a | b) == b
+        assert mgr.forall(["a"], a | ~a).is_true
+
+    def test_quantify_multiple(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = (a & b) | c
+        assert mgr.exists(["a", "b"], f).is_true
+        assert mgr.forall(["a", "b"], f) == c
+
+    def test_quantify_nothing(self, mgr):
+        a = mgr.var("a")
+        assert mgr.exists([], a) == a
+
+
+class TestComposeRestrict:
+    def test_restrict(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = a & b
+        assert mgr.restrict(f, {"a": True}) == b
+        assert mgr.restrict(f, {"a": False}).is_false
+
+    def test_compose_substitutes_function(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = a ^ b
+        g = mgr.compose(f, {"a": b & c})
+        assert g == ((b & c) ^ b)
+
+    def test_compose_simultaneous(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = a & ~b
+        # Swap a and b simultaneously (not sequentially).
+        g = mgr.compose(f, {"a": b, "b": a})
+        assert g == (b & ~a)
+
+    def test_rename(self, mgr):
+        a = mgr.var("a")
+        mgr.declare("z")
+        assert mgr.rename(a, {"a": "z"}) == mgr.var("z")
+
+
+class TestInspection:
+    def test_support(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = (a & b) | (a & ~b)
+        assert mgr.support(f) == frozenset({"a"})
+        assert mgr.support(a ^ c) == frozenset({"a", "c"})
+        assert mgr.support(mgr.true) == frozenset()
+
+    def test_size(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        assert mgr.size(mgr.true) == 0
+        assert mgr.size(a) == 1
+        assert mgr.size(a & b) == 2
+
+    def test_eval_missing_variable(self, mgr):
+        a = mgr.var("a")
+        with pytest.raises(BDDError):
+            mgr.eval(a, {})
+
+
+class TestSat:
+    def test_sat_one_none_for_false(self, mgr):
+        assert mgr.sat_one(mgr.false) is None
+
+    def test_sat_one_satisfies(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        f = (a | b) & ~c
+        assignment = mgr.sat_one(f)
+        full = {"a": False, "b": False, "c": False}
+        full.update(assignment)
+        assert mgr.eval(f, full)
+
+    def test_sat_count(self, mgr):
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        assert mgr.sat_count(a | b, 2) == 3
+        assert mgr.sat_count(a & b & c, 3) == 1
+        assert mgr.sat_count(mgr.true, 4) == 16
+        assert mgr.sat_count(mgr.false, 4) == 0
+
+    def test_sat_count_padding(self, mgr):
+        a = mgr.var("a")
+        assert mgr.sat_count(a, 3) == 4
+
+    def test_sat_count_rejects_small_nvars(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        with pytest.raises(BDDError):
+            mgr.sat_count(a & b, 1)
+
+    def test_sat_all_enumerates_exactly(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = a ^ b
+        models = list(mgr.sat_all(f, ["a", "b"]))
+        assert len(models) == 2
+        for m in models:
+            assert mgr.eval(f, m)
+
+    def test_sat_all_with_free_variables(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        models = list(mgr.sat_all(a, ["a", "b"]))
+        assert len(models) == 2
+        assert all(m["a"] for m in models)
+
+
+class TestCaches:
+    def test_clear_caches_preserves_semantics(self, mgr):
+        a, b = mgr.var("a"), mgr.var("b")
+        f = a & b
+        mgr.clear_caches()
+        assert (a & b) == f
+
+    def test_stats_keys(self, mgr):
+        stats = mgr.stats()
+        assert {"nodes", "vars", "ite_cache"} <= set(stats)

@@ -1,0 +1,44 @@
+"""Unit tests for the BDD node-inspection helpers."""
+
+from repro.bdd import BDDManager
+from repro.bdd.node import iter_nodes, level_profile, to_dot
+
+
+def test_iter_nodes_counts_match_size():
+    mgr = BDDManager()
+    a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+    f = (a & b) | c
+    nodes = list(iter_nodes(f))
+    assert len(nodes) == mgr.size(f)
+    names = {n for _, n, _, _ in nodes}
+    assert names == {"a", "b", "c"}
+
+
+def test_level_profile_of_conjunction_is_one_per_var():
+    mgr = BDDManager()
+    vs = [mgr.var(f"v{i}") for i in range(5)]
+    f = mgr.conj(vs)
+    profile = level_profile(f)
+    assert all(count == 1 for count in profile.values())
+    assert len(profile) == 5
+
+
+def test_level_profile_terminal_empty():
+    mgr = BDDManager()
+    assert level_profile(mgr.true) == {}
+
+
+def test_to_dot_structure():
+    mgr = BDDManager()
+    a, b = mgr.var("a"), mgr.var("b")
+    dot = to_dot(a ^ b)
+    assert dot.startswith("digraph")
+    assert dot.count('label="a"') == 1
+    assert dot.count('label="b"') == 2  # xor needs both branches of a
+    assert "style=dashed" in dot
+
+
+def test_to_dot_constant():
+    mgr = BDDManager()
+    dot = to_dot(mgr.false)
+    assert "root -> F" in dot

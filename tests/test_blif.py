@@ -1,0 +1,185 @@
+"""Unit tests for the BLIF parser/writer round-trip."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.blif import (BlifError, blif_text, cover_for_gate,
+                        parse_blif_text, parse_cube_line, synthesize_cover)
+from repro.netlist import CircuitBuilder, NetlistError
+from repro.ste import check, conj, from_to, is0, is1, node_is
+from repro.ternary import ONE, ZERO
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+class TestCovers:
+    def test_cover_for_every_op(self):
+        for op, arity in [("CONST0", 0), ("CONST1", 0), ("BUF", 1),
+                          ("NOT", 1), ("AND", 3), ("NAND", 2), ("OR", 2),
+                          ("NOR", 2), ("XOR", 2), ("XNOR", 2), ("MUX", 3)]:
+            cover_for_gate(op, arity)  # must not raise
+
+    def test_parse_cube_valid(self):
+        assert parse_cube_line("1-0 1", 3) == ("1-0", "1")
+        assert parse_cube_line("1", 0) == ("", "1")
+
+    def test_parse_cube_invalid(self):
+        with pytest.raises(NetlistError):
+            parse_cube_line("12 1", 2)
+        with pytest.raises(NetlistError):
+            parse_cube_line("1- 2", 2)
+        with pytest.raises(NetlistError):
+            parse_cube_line("1-", 3)
+
+    def test_synthesize_offset_cover(self, mgr):
+        """A '0'-output cover is the OFF-set: complement of the cubes."""
+        from repro.fsm import compile_circuit
+        b = CircuitBuilder()
+        x = b.input("x")
+        y = b.input("y")
+        synthesize_cover(b, ["x", "y"], "out", [("11", "0")])
+        model = compile_circuit(b.circuit, mgr)
+        s = model.step(None, {"x": ONE(mgr), "y": ONE(mgr)})
+        assert s["out"].equals(ZERO(mgr))
+        s = model.step(None, {"x": ZERO(mgr), "y": ONE(mgr)})
+        assert s["out"].equals(ONE(mgr))
+
+    def test_mixed_cover_rejected(self, mgr):
+        b = CircuitBuilder()
+        b.input("x")
+        with pytest.raises(NetlistError):
+            synthesize_cover(b, ["x"], "out", [("1", "1"), ("0", "0")])
+
+    def test_mux_cover_is_x_optimal(self, mgr):
+        """mux(X, 1, 1) must read 1 through the SOP expansion — the
+        consensus cube in the MUX cover is what guarantees it (without
+        it, ternary precision degrades across a BLIF round-trip and
+        verification outcomes can differ between the built netlist and
+        its serialisation)."""
+        from repro.fsm import compile_circuit
+        from repro.ternary import ONE, X
+        b = CircuitBuilder()
+        s = b.input("s")
+        t = b.input("t")
+        e = b.input("e")
+        synthesize_cover(b, ["s", "t", "e"], "out",
+                         cover_for_gate("MUX", 3))
+        model = compile_circuit(b.circuit, mgr)
+        state = model.step(None, {"s": X(mgr), "t": ONE(mgr),
+                                  "e": ONE(mgr)})
+        assert state["out"].equals(ONE(mgr))
+
+
+def _mini_design():
+    """A small sequential design exercising every cell kind."""
+    b = CircuitBuilder("mini")
+    clk = b.input("clk")
+    nret = b.input("NRET")
+    nrst = b.input("NRST")
+    d = b.input("d")
+    en = b.input("en")
+    inv = b.not_(d)
+    x = b.xor(d, inv)
+    m = b.mux(en, d, inv)
+    b.circuit.add_dff("q_plain", m, clk)
+    b.circuit.add_dff("q_ret", d, clk, nret=nret, nrst=nrst, init=1)
+    b.circuit.add_dff("q_fall", d, clk, edge="fall", enable=en)
+    b.circuit.set_output("q_plain")
+    b.circuit.set_output("q_ret")
+    b.circuit.set_output("q_fall")
+    b.circuit.set_output(x)
+    return b.circuit
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self):
+        original = _mini_design()
+        text = blif_text(original)
+        parsed = parse_blif_text(text)
+        assert set(parsed.inputs) == set(original.inputs)
+        assert set(parsed.outputs) == set(original.outputs)
+        assert set(parsed.registers) == set(original.registers)
+        ret = parsed.registers["q_ret"]
+        assert ret.is_retention and ret.init == 1
+        fall = parsed.registers["q_fall"]
+        assert fall.edge == "fall" and fall.enable == "en"
+
+    def test_round_trip_preserves_ste_semantics(self, mgr):
+        """The flagship equivalence: a property proven on the built
+        netlist also proves on its BLIF round-trip (the paper's
+        synthesize -> exlif2exe path)."""
+        original = _mini_design()
+        parsed = parse_blif_text(blif_text(original))
+        v = mgr.var("v")
+        a = conj([
+            from_to(node_is("d", v), 0, 1),
+            from_to(is1("en"), 0, 1),
+            from_to(is1("NRET"), 0, 2),
+            from_to(is1("NRST"), 0, 2),
+            from_to(is0("clk"), 0, 1), from_to(is1("clk"), 1, 2),
+        ])
+        c = from_to(node_is("q_plain", v), 1, 2)
+        assert check(original, a, c, mgr).passed
+        assert check(parsed, a, c, mgr).passed
+
+    def test_core_round_trips(self):
+        from repro.cpu import fixed_core
+        core = fixed_core(nregs=2, imem_depth=2, dmem_depth=2)
+        parsed = parse_blif_text(blif_text(core.circuit))
+        assert len(parsed.registers) == len(core.circuit.registers)
+        assert len(parsed.gates) >= len(core.circuit.gates)
+
+
+class TestParserEdgeCases:
+    def test_no_model_raises(self):
+        with pytest.raises(BlifError):
+            parse_blif_text(".inputs a\n.end\n")
+
+    def test_comments_and_continuations(self):
+        text = (".model t # a comment\n"
+                ".inputs a \\\n b\n"
+                ".outputs y\n"
+                ".names a b y\n11 1\n"
+                ".end\n")
+        circuit = parse_blif_text(text)
+        assert set(circuit.inputs) == {"a", "b"}
+        assert "y" in circuit.gates
+
+    def test_standard_latch_re(self):
+        text = (".model t\n.inputs clk d\n.outputs q\n"
+                ".latch d q re clk 0\n.end\n")
+        circuit = parse_blif_text(text)
+        assert circuit.registers["q"].kind == "dff"
+
+    def test_unsupported_latch_type(self):
+        text = (".model t\n.inputs clk d\n.outputs q\n"
+                ".latch d q fe clk 0\n.end\n")
+        with pytest.raises(BlifError):
+            parse_blif_text(text)
+
+    def test_unknown_subckt(self):
+        text = ".model t\n.inputs a\n.subckt $alien X=a\n.end\n"
+        with pytest.raises(BlifError):
+            parse_blif_text(text)
+
+    def test_retff_requires_nret(self):
+        text = (".model t\n.inputs clk d\n"
+                ".subckt $retff D=d CLK=clk Q=q INIT=0\n.end\n")
+        with pytest.raises(BlifError):
+            parse_blif_text(text)
+
+    def test_hierarchy_rejected(self):
+        text = ".model a\n.inputs x\n.end\n.model b\n.end\n"
+        circuit = parse_blif_text(text)  # first model only, ends at .end
+        assert circuit.name == "a"
+
+    def test_constant_names_table(self):
+        text = (".model t\n.outputs y\n.names y\n1\n.end\n")
+        circuit = parse_blif_text(text)
+        assert circuit.gates["y"].op in ("CONST1", "BUF")
+        # Empty cover is the BLIF constant 0.
+        text0 = ".model t\n.outputs y\n.names y\n.end\n"
+        assert parse_blif_text(text0).gates["y"].op == "CONST0"

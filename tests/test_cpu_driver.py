@@ -1,0 +1,95 @@
+"""Unit tests for the scalar core driver (bring-up loop)."""
+
+import pytest
+
+from repro.cpu import CoreDriver, RiscConfig, assemble, build_core, fixed_core
+
+GEOMETRY = dict(nregs=4, imem_depth=4, dmem_depth=4)
+
+
+@pytest.fixture(scope="module")
+def core():
+    return fixed_core(**GEOMETRY)
+
+
+class TestBringUp:
+    def test_reset_clears_architectural_state(self, core):
+        driver = CoreDriver(core)
+        driver.reset()
+        assert driver.pc() == 0
+        assert all(r == 0 for r in driver.regs())
+        assert driver.imem(0) == 0
+        assert driver.dmem(0) == 0
+
+    def test_reverse_load_keeps_cpu_idle(self, core):
+        """During the streamed load, the bubble at imem[0] freezes the
+        PC — load order is what guarantees it."""
+        driver = CoreDriver(core)
+        driver.reset()
+        words = assemble("add r1,r1,r1\nor r2,r1,r1\nand r3,r1,r1")
+        driver.load_program(words)
+        assert driver.pc() == 0                 # never advanced
+        for i, w in enumerate(words):
+            assert driver.imem(i) == w          # all words landed
+
+    def test_boot_then_single_step(self, core):
+        driver = CoreDriver(core)
+        driver.boot(assemble("add r3, r1, r2"))
+        driver.poke_reg(1, 3)
+        driver.poke_reg(2, 4)
+        driver.run_cycles(1)
+        assert driver.reg(3) == 7
+        assert driver.pc() == 4
+
+    def test_poke_requires_history(self, core):
+        driver = CoreDriver(core)
+        with pytest.raises(RuntimeError):
+            driver.poke_reg(0, 1)
+
+    def test_instruction_bus_readback(self, core):
+        driver = CoreDriver(core)
+        words = assemble("or r1, r2, r3")
+        driver.boot(words)
+        assert driver.instruction_bus() == words[0]
+
+    def test_oversized_program_rejected(self, core):
+        driver = CoreDriver(core)
+        with pytest.raises(ValueError):
+            driver.load_program([0] * (core.config.imem_depth + 1))
+
+
+class TestVariants:
+    def test_registered_fetch_safe_executes_correctly(self):
+        """The ablation variant is a working CPU in normal operation."""
+        core = build_core(RiscConfig(variant="registered-fetch-safe",
+                                     **GEOMETRY))
+        driver = CoreDriver(core)
+        driver.boot(assemble("add r3, r1, r2\nsub r1, r3, r2"))
+        driver.poke_reg(1, 10)
+        driver.poke_reg(2, 32)
+        driver.run_cycles(2)
+        assert driver.reg(3) == 42
+        assert driver.reg(1) == 10
+
+    def test_registered_fetch_safe_survives_sleep(self):
+        core = build_core(RiscConfig(variant="registered-fetch-safe",
+                                     **GEOMETRY))
+        driver = CoreDriver(core)
+        driver.boot(assemble("add r3, r1, r2\nsub r1, r3, r2"))
+        driver.poke_reg(1, 10)
+        driver.poke_reg(2, 32)
+        driver.run_cycles(1)
+        driver.sleep_and_resume()
+        driver.run_cycles(1)
+        assert driver.reg(3) == 42
+        assert driver.reg(1) == 10
+
+    def test_full_retention_survives_sleep_without_reload(self):
+        core = build_core(RiscConfig(variant="full-retention", **GEOMETRY))
+        driver = CoreDriver(core)
+        driver.boot(assemble("add r3, r1, r2"))
+        driver.poke_reg(1, 1)
+        driver.poke_reg(2, 2)
+        driver.sleep_and_resume()
+        driver.run_cycles(1)
+        assert driver.reg(3) == 3

@@ -1,0 +1,159 @@
+"""Unit tests for the ISA encoding and the assembler."""
+
+import pytest
+
+from repro.cpu import (AssemblerError, Instruction, OP_BEQ, OP_BUBBLE,
+                       OP_LW, OP_RTYPE, OP_SW, FUNCT_ADD, FUNCT_SLT,
+                       assemble, assemble_to_instructions, decode, encode,
+                       fields)
+
+
+class TestEncoding:
+    def test_rtype_round_trip(self):
+        instr = Instruction(opcode=OP_RTYPE, rs=1, rt=2, rd=3,
+                            funct=FUNCT_ADD)
+        word = encode(instr)
+        back = decode(word)
+        assert (back.opcode, back.rs, back.rt, back.rd, back.funct) == \
+            (OP_RTYPE, 1, 2, 3, FUNCT_ADD)
+
+    def test_itype_round_trip(self):
+        instr = Instruction(opcode=OP_LW, rs=4, rt=5, imm=-8)
+        back = decode(encode(instr))
+        assert back.opcode == OP_LW
+        assert back.imm_signed == -8
+
+    def test_fields_layout(self):
+        word = encode(Instruction(opcode=OP_SW, rs=31, rt=1, imm=0xFFFF))
+        f = fields(word)
+        assert f["opcode"] == OP_SW
+        assert f["rs"] == 31
+        assert f["rt"] == 1
+        assert f["imm"] == 0xFFFF
+
+    def test_bubble_is_all_zero_opcode(self):
+        assert OP_BUBBLE == 0
+        assert OP_RTYPE != 0  # the resume-safe adaptation
+
+    def test_field_range_checks(self):
+        with pytest.raises(ValueError):
+            Instruction(opcode=64)
+        with pytest.raises(ValueError):
+            Instruction(opcode=0, rs=32)
+        with pytest.raises(ValueError):
+            Instruction(opcode=0, imm=1 << 16)
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode(1 << 32)
+
+    def test_imm_sign_views(self):
+        instr = Instruction(opcode=OP_BEQ, imm=-1)
+        assert instr.imm_unsigned == 0xFFFF
+        assert instr.imm_signed == -1
+
+
+class TestAssembler:
+    def test_rtype(self):
+        [instr] = assemble_to_instructions("add r3, r1, r2")
+        assert (instr.opcode, instr.rd, instr.rs, instr.rt) == \
+            (OP_RTYPE, 3, 1, 2)
+        assert instr.funct == FUNCT_ADD
+
+    def test_all_rtype_mnemonics(self):
+        program = assemble_to_instructions(
+            "add r1,r1,r1\nsub r1,r1,r1\nand r1,r1,r1\n"
+            "or r1,r1,r1\nslt r1,r1,r1")
+        assert len(program) == 5
+        assert program[4].funct == FUNCT_SLT
+
+    def test_memory_operands(self):
+        lw, sw = assemble_to_instructions("lw r4, 8(r2)\nsw r4, -4(r2)")
+        assert (lw.opcode, lw.rt, lw.rs, lw.imm_signed) == (OP_LW, 4, 2, 8)
+        assert (sw.opcode, sw.imm_signed) == (OP_SW, -4)
+
+    def test_labels_and_branch_offsets(self):
+        program = assemble_to_instructions("""
+        start:
+            beq r1, r2, done
+            add r3, r1, r2
+        done:
+            beq r1, r1, start
+        """)
+        # beq offset is relative to the following instruction.
+        assert program[0].imm_signed == 1
+        assert program[2].imm_signed == -3
+
+    def test_numeric_branch_target(self):
+        [b] = assemble_to_instructions("beq r0, r0, 5")
+        assert b.imm_signed == 5
+
+    def test_comments_ignored(self):
+        program = assemble("add r1, r1, r1  # comment\n# whole line\n")
+        assert len(program) == 1
+
+    def test_nop_is_write_free_rtype(self):
+        [n] = assemble_to_instructions("nop")
+        assert n.opcode == OP_RTYPE
+        assert n.rd == n.rs == n.rt == 0
+
+    def test_errors(self):
+        with pytest.raises(AssemblerError):
+            assemble("frob r1, r2")
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2")
+        with pytest.raises(AssemblerError):
+            assemble("lw r1, r2")
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r99, r2")
+        with pytest.raises(AssemblerError):
+            assemble("beq r1, r2, nowhere")
+        with pytest.raises(AssemblerError):
+            assemble("dup: add r1,r1,r1\ndup: add r1,r1,r1")
+
+
+class TestInterpreter:
+    def test_straight_line_program(self):
+        from repro.cpu import run_program
+        program = assemble("""
+            add r3, r1, r2
+            sub r4, r3, r1
+            and r5, r3, r4
+            or  r6, r1, r2
+        """)
+        state = run_program(program, steps=4, regs={1: 6, 2: 9})
+        assert state.regs[3] == 15
+        assert state.regs[4] == 9
+        assert state.regs[5] == 15 & 9
+        assert state.regs[6] == 6 | 9
+        assert state.pc == 16
+
+    def test_memory_and_branch(self):
+        from repro.cpu import run_program
+        program = assemble("""
+            sw r2, 0(r1)
+            lw r3, 0(r1)
+            beq r3, r2, skip
+            add r4, r2, r2
+        skip:
+            add r5, r3, r2
+        """)
+        state = run_program(program, steps=4, regs={1: 8, 2: 7})
+        assert state.dmem[2] == 7
+        assert state.regs[3] == 7
+        assert state.regs[4] == 0          # skipped by the taken branch
+        assert state.regs[5] == 14
+
+    def test_slt_signed(self):
+        from repro.cpu import run_program
+        program = assemble("slt r3, r1, r2")
+        state = run_program(program, steps=1,
+                            regs={1: 0xFFFFFFFF, 2: 1})  # -1 < 1
+        assert state.regs[3] == 1
+
+    def test_wraparound_arithmetic(self):
+        from repro.cpu import run_program
+        program = assemble("add r3, r1, r2")
+        state = run_program(program, steps=1,
+                            regs={1: 0xFFFFFFFF, 2: 2})
+        assert state.regs[3] == 1

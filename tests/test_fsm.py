@@ -1,0 +1,159 @@
+"""Unit tests for the compiled FSM model (the exlif2exe analogue)."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.fsm import CompiledModel, compile_circuit
+from repro.netlist import CircuitBuilder, NetlistError
+from repro.ternary import ONE, TernaryValue, X, ZERO
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+def _bit(mgr, value):
+    return ONE(mgr) if value else ZERO(mgr)
+
+
+class TestCompilation:
+    def test_validation_rejects_broken_netlist(self, mgr):
+        b = CircuitBuilder()
+        a = b.input("a")
+        b.and_(a, "floating", out="x")
+        with pytest.raises(NetlistError):
+            compile_circuit(b.circuit, mgr)
+
+    def test_validation_can_be_skipped(self, mgr):
+        b = CircuitBuilder()
+        a = b.input("a")
+        b.and_(a, "floating", out="x")
+        model = compile_circuit(b.circuit, mgr, validate=False)
+        state = model.step(None, {"a": ONE(mgr)})
+        # The floating input reads X; AND with X on a 1 stays X.
+        assert state["x"].equals(X(mgr))
+
+    def test_register_control_from_logic_rejected(self, mgr):
+        b = CircuitBuilder()
+        clk = b.input("clk")
+        d = b.input("d")
+        q1 = b.circuit.add_dff("q1", d, clk)
+        b.circuit.add_dff("q2", d, b.and_(clk, q1))
+        with pytest.raises(NetlistError):
+            compile_circuit(b.circuit, mgr)
+
+
+class TestStepSemantics:
+    def test_unconstrained_inputs_are_x(self, mgr):
+        b = CircuitBuilder()
+        a = b.input("a")
+        out = b.not_(a)
+        model = compile_circuit(b.circuit, mgr)
+        state = model.step(None, {})
+        assert state[a].equals(X(mgr))
+        assert state[out].equals(X(mgr))
+
+    def test_constraint_propagates_forward(self, mgr):
+        b = CircuitBuilder()
+        a = b.input("a")
+        inv = b.not_(a)
+        out = b.not_(inv)
+        model = compile_circuit(b.circuit, mgr)
+        state = model.step(None, {a: ONE(mgr)})
+        assert state[out].equals(ONE(mgr))
+
+    def test_internal_node_constraint_joins(self, mgr):
+        """Constraining an internal node (a cut point) feeds its
+        fanout, STE-style."""
+        b = CircuitBuilder()
+        a = b.input("a")
+        inv = b.not_(a)
+        out = b.not_(inv)
+        model = compile_circuit(b.circuit, mgr)
+        state = model.step(None, {inv: ZERO(mgr)})
+        assert state[out].equals(ONE(mgr))
+
+    def test_conflicting_constraint_gives_top(self, mgr):
+        b = CircuitBuilder()
+        a = b.input("a")
+        inv = b.not_(a)
+        model = compile_circuit(b.circuit, mgr)
+        state = model.step(None, {a: ONE(mgr), inv: ONE(mgr)})
+        assert state[inv].is_consistent().is_false
+
+    def test_registers_start_x(self, mgr):
+        b = CircuitBuilder()
+        clk = b.input("clk")
+        d = b.input("d")
+        b.circuit.add_dff("q", d, clk)
+        model = compile_circuit(b.circuit, mgr)
+        state = model.step(None, {})
+        assert state["q"].equals(X(mgr))
+
+    def test_dff_samples_previous_step_data(self, mgr):
+        b = CircuitBuilder()
+        clk = b.input("clk")
+        d = b.input("d")
+        b.circuit.add_dff("q", d, clk)
+        model = compile_circuit(b.circuit, mgr)
+        s0 = model.step(None, {clk: ZERO(mgr), d: ONE(mgr)})
+        s1 = model.step(s0, {clk: ONE(mgr), d: ZERO(mgr)})
+        # Rising edge at step 1 captures d from step 0, not step 1.
+        assert s1["q"].equals(ONE(mgr))
+
+    def test_latch_follows_current_step(self, mgr):
+        b = CircuitBuilder()
+        en = b.input("en")
+        d = b.input("d")
+        b.circuit.add_latch("q", d, en)
+        model = compile_circuit(b.circuit, mgr)
+        s0 = model.step(None, {en: ONE(mgr), d: ONE(mgr)})
+        assert s0["q"].equals(ONE(mgr))
+        s1 = model.step(s0, {en: ZERO(mgr), d: ZERO(mgr)})
+        assert s1["q"].equals(ONE(mgr))  # opaque: holds
+
+    def test_floating_spec_node_takes_constraint(self, mgr):
+        b = CircuitBuilder()
+        b.input("a")
+        model = compile_circuit(b.circuit, mgr)
+        state = model.step(None, {"spec_only": ONE(mgr)})
+        assert state["spec_only"].equals(ONE(mgr))
+
+
+class TestRun:
+    def test_run_length(self, mgr):
+        b = CircuitBuilder()
+        clk = b.input("clk")
+        d = b.input("d")
+        b.circuit.add_dff("q", d, clk)
+        model = compile_circuit(b.circuit, mgr)
+        traj = model.run([{}, {}, {}])
+        assert len(traj) == 3
+
+    def test_shift_register_pipeline(self, mgr):
+        """Two dffs in series delay a value by two clock cycles."""
+        b = CircuitBuilder()
+        clk = b.input("clk")
+        d = b.input("d")
+        q1 = b.circuit.add_dff("q1", d, clk)
+        b.circuit.add_dff("q2", q1, clk)
+        model = compile_circuit(b.circuit, mgr)
+        # Phases: d=1 at t0; rising edges at t1, t3.
+        cons = [
+            {clk: ZERO(mgr), d: ONE(mgr)},
+            {clk: ONE(mgr), d: ZERO(mgr)},
+            {clk: ZERO(mgr), d: ZERO(mgr)},
+            {clk: ONE(mgr), d: ZERO(mgr)},
+        ]
+        traj = model.run(cons)
+        assert traj[1]["q1"].equals(ONE(mgr))   # captured at first edge
+        assert traj[3]["q2"].equals(ONE(mgr))   # propagated at second
+
+    def test_stats(self, mgr):
+        b = CircuitBuilder()
+        a = b.input("a")
+        b.not_(a)
+        model = compile_circuit(b.circuit, mgr)
+        stats = model.stats()
+        assert stats["gates"] == 1

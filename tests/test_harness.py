@@ -1,0 +1,68 @@
+"""Unit tests for the experiment registry and report tables."""
+
+import pytest
+
+from repro.harness import Table, format_seconds, paper_claims, registry
+
+
+class TestRegistry:
+    def test_every_experiment_present(self):
+        reg = registry()
+        assert set(reg) == {f"E{i}" for i in range(1, 13)}
+
+    def test_experiments_reference_real_benches(self):
+        import os
+        root = os.path.join(os.path.dirname(__file__), "..")
+        for exp in registry().values():
+            path = os.path.join(root, exp.bench)
+            assert os.path.exists(path), f"{exp.id}: {exp.bench} missing"
+
+    def test_paper_claims_consistency(self):
+        claims = paper_claims()
+        assert sum(claims["property_counts"].values()) == \
+            claims["total_properties"] == 26
+        low, high = claims["retention_area_overhead_range"]
+        assert 0 < low < high < 1
+        assert claims["memory_geometry"] == (256, 32)
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table(["name", "value"], title="demo")
+        t.add("alpha", 1)
+        t.add("b", 123456)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in text and "123456" in text
+        # All data rows the same width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_named_cells(self):
+        t = Table(["a", "b"])
+        t.add(a=1, b=2)
+        assert "1" in t.render()
+
+    def test_mixed_cells_rejected(self):
+        t = Table(["a"])
+        with pytest.raises(ValueError):
+            t.add(1, a=2)
+
+    def test_wrong_arity_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add(0.325)
+        t.add(1234567.0)
+        t.add(0.00001)
+        text = t.render()
+        assert "0.325" in text
+
+    def test_format_seconds(self):
+        assert format_seconds(0.0000005).endswith("us")
+        assert format_seconds(0.5).endswith("ms")
+        assert format_seconds(12.5) == "12.50s"

@@ -1,0 +1,107 @@
+"""End-to-end flow integration: the paper's tool pipeline on our stack.
+
+The paper's flow: architect RTL -> synthesize (Quartus II) -> BLIF ->
+compile to an FSM (exlif2exe) -> model-check with STE (Forte).  Ours:
+builder -> BLIF text -> parser -> compile_circuit -> repro.ste.  These
+tests drive a small core through the *whole* chain and require the
+verification outcomes to be identical to checking the built netlist
+directly — including the failure (and its counterexample) on the
+pre-fix design.
+"""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.blif import blif_text, parse_blif_text
+from repro.cpu import CoreDriver, assemble, buggy_core, fixed_core
+from repro.retention import build_suite
+from repro.ste import check, extract
+from repro.sim import ScalarSimulator
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+
+@pytest.fixture(scope="module")
+def fixed():
+    return fixed_core(**GEOMETRY)
+
+
+@pytest.fixture(scope="module")
+def fixed_parsed(fixed):
+    return parse_blif_text(blif_text(fixed.circuit))
+
+
+class TestBlifPipeline:
+    def test_property1_survives_the_pipeline(self, fixed, fixed_parsed):
+        mgr = BDDManager()
+        suite = {p.name: p for p in build_suite(fixed, mgr)}
+        prop = suite["control_RegWrite"]
+        direct = prop.check(fixed, mgr)
+        via_blif = check(fixed_parsed, prop.antecedent, prop.consequent, mgr)
+        assert direct.passed and via_blif.passed
+
+    def test_property2_survives_the_pipeline(self, fixed, fixed_parsed):
+        mgr = BDDManager()
+        suite = {p.name: p for p in build_suite(fixed, mgr, sleep=True)}
+        prop = suite["control_PCWrite"]
+        via_blif = check(fixed_parsed, prop.antecedent, prop.consequent, mgr)
+        assert via_blif.passed and not via_blif.vacuous
+
+    def test_bug_reproduces_through_the_pipeline(self):
+        """The pre-fix failure is a property of the *netlist*, so it
+        must survive serialisation: the parsed BLIF fails Property II
+        with a counterexample just like the built circuit."""
+        buggy = buggy_core(**GEOMETRY)
+        parsed = parse_blif_text(blif_text(buggy.circuit))
+        mgr = BDDManager()
+        suite = {p.name: p for p in build_suite(buggy, mgr, sleep=True)}
+        prop = suite["fetch_pc_plus4"]
+        direct = prop.check(buggy, mgr)
+        via_blif = check(parsed, prop.antecedent, prop.consequent, mgr)
+        assert not direct.passed
+        assert not via_blif.passed
+        assert {f.node for f in direct.failures} == \
+            {f.node for f in via_blif.failures}
+        assert extract(via_blif) is not None
+
+    def test_scalar_execution_identical_through_pipeline(self, fixed,
+                                                         fixed_parsed):
+        """A concrete program runs identically on both netlists."""
+        words = assemble("add r1, r0, r0")
+
+        def run(circuit_core):
+            driver = CoreDriver(circuit_core)
+            driver.boot(words)
+            driver.run_cycles(2)
+            return driver.pc(), driver.regs()
+
+        # Re-wrap the parsed circuit in a Core-like driver by reusing
+        # the original handles (node names are identical by round-trip).
+        from dataclasses import replace
+        parsed_core = replace(fixed, circuit=fixed_parsed)
+        assert run(fixed) == run(parsed_core)
+
+
+class TestThreeModelAgreement:
+    """Gate-level scalar run == reference interpreter == STE theorem,
+    on the same scenario (a register write-back)."""
+
+    def test_rtype_writeback_three_ways(self, fixed):
+        # 1. STE theorem (symbolic, all operand values at once).
+        mgr = BDDManager()
+        suite = {p.name: p
+                 for p in build_suite(fixed, mgr, include_extras=True)}
+        theorem = suite["extra_rtype_writeback"].check(fixed, mgr)
+        assert theorem.passed
+
+        # 2+3. One concrete instance under the scalar simulator and the
+        # interpreter (geometry has 2 registers: use r0, r1).
+        from repro.cpu import run_program
+        words = assemble("or r1, r0, r1")
+        driver = CoreDriver(fixed)
+        driver.boot(words)
+        driver.poke_reg(0, 0b1100)
+        driver.poke_reg(1, 0b1010)
+        driver.run_cycles(1)
+        ref = run_program(words, steps=1, regs={0: 0b1100, 1: 0b1010})
+        assert driver.reg(1) == ref.regs[1] == 0b1110

@@ -1,0 +1,303 @@
+"""Unit tests for circuits, cells, the builder, COI and validation."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.netlist import (Circuit, CircuitBuilder, NetlistError, Register,
+                           check_circuit, combinational_order,
+                           cone_of_influence, dff_next, eval_gate,
+                           input_cone, latch_next)
+from repro.ternary import ONE, TOP, TernaryValue, X, ZERO
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+class TestCircuitStructure:
+    def test_single_driver_enforced(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_gate("NOT", "a", ("a",))
+
+    def test_gate_arity_checked(self):
+        c = Circuit()
+        c.add_input("a")
+        with pytest.raises(NetlistError):
+            c.add_gate("MUX", "m", ("a", "a"))
+        with pytest.raises(NetlistError):
+            c.add_gate("NOT", "n", ("a", "a"))
+        with pytest.raises(NetlistError):
+            c.add_gate("FROB", "f", ("a",))
+
+    def test_register_kinds(self):
+        with pytest.raises(NetlistError):
+            Register("weird", "q", "d", "clk")
+        with pytest.raises(NetlistError):
+            Register("latch", "q", "d", "clk", nrst="r")
+        with pytest.raises(NetlistError):
+            Register("dff", "q", "d", "clk", init=2)
+        with pytest.raises(NetlistError):
+            Register("dff", "q", "d", "clk", edge="sideways")
+
+    def test_register_node_classification(self):
+        reg = Register("dff", "q", "d", "clk", enable="en", nrst="rstn",
+                       nret="retn")
+        assert set(reg.control_nodes()) == {"clk", "rstn", "retn"}
+        assert set(reg.data_nodes()) == {"d", "en"}
+        assert reg.is_retention
+
+    def test_undriven_detection(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("AND", "x", ("a", "ghost"))
+        assert "ghost" in c.undriven_nodes()
+        issues = check_circuit(c)
+        assert any("ghost" in i for i in issues)
+
+    def test_stats(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        clk = b.input("clk")
+        nret = b.input("nret")
+        nrst = b.input("nrst")
+        b.circuit.add_dff("q1", a, clk)
+        b.circuit.add_dff("q2", a, clk, nret=nret, nrst=nrst)
+        stats = b.circuit.stats()
+        assert stats["registers"] == 2
+        assert stats["retention_registers"] == 1
+
+
+class TestCombinationalOrder:
+    def test_topological(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        n1 = b.not_(a)
+        n2 = b.and_(n1, a)
+        order = combinational_order(b.circuit)
+        assert order.index(n1) < order.index(n2)
+
+    def test_cycle_detected(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("AND", "x", ("a", "y"))
+        c.add_gate("OR", "y", ("x", "a"))
+        with pytest.raises(ValueError):
+            combinational_order(c)
+
+    def test_cycle_through_register_is_fine(self):
+        b = CircuitBuilder()
+        clk = b.input("clk")
+        q = b.circuit.add_dff("q", "nq", clk)
+        b.not_(q, out="nq")
+        assert not check_circuit(b.circuit)
+
+    def test_input_cone(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        clk = b.input("clk")
+        pre = b.not_(a)
+        q = b.circuit.add_dff("q", pre, clk)
+        post = b.and_(q, a)
+        cone = input_cone(b.circuit)
+        assert pre in cone
+        assert post not in cone
+
+    def test_sequential_register_control_flagged(self):
+        b = CircuitBuilder()
+        clk = b.input("clk")
+        d = b.input("d")
+        q1 = b.circuit.add_dff("q1", d, clk)
+        # Clock derived from a register output: rejected.
+        gated = b.and_(clk, q1)
+        b.circuit.add_dff("q2", d, gated)
+        issues = check_circuit(b.circuit)
+        assert any("q2" in i for i in issues)
+
+
+class TestGateSemantics:
+    def test_every_op_on_constants(self, mgr):
+        one, zero = ONE(mgr), ZERO(mgr)
+        assert eval_gate(mgr, "AND", [one, zero]).equals(zero)
+        assert eval_gate(mgr, "OR", [one, zero]).equals(one)
+        assert eval_gate(mgr, "NAND", [one, one]).equals(zero)
+        assert eval_gate(mgr, "NOR", [zero, zero]).equals(one)
+        assert eval_gate(mgr, "XOR", [one, zero]).equals(one)
+        assert eval_gate(mgr, "XNOR", [one, zero]).equals(zero)
+        assert eval_gate(mgr, "NOT", [one]).equals(zero)
+        assert eval_gate(mgr, "BUF", [zero]).equals(zero)
+        assert eval_gate(mgr, "CONST0", []).equals(zero)
+        assert eval_gate(mgr, "CONST1", []).equals(one)
+        assert eval_gate(mgr, "MUX", [one, zero, one]).equals(zero)
+        assert eval_gate(mgr, "MUX", [zero, zero, one]).equals(one)
+
+    def test_nary_gates(self, mgr):
+        one, zero, x = ONE(mgr), ZERO(mgr), X(mgr)
+        assert eval_gate(mgr, "AND", [one, one, zero, x]).equals(zero)
+        assert eval_gate(mgr, "OR", [zero, x, one]).equals(one)
+
+    def test_unknown_op_raises(self, mgr):
+        with pytest.raises(NetlistError):
+            eval_gate(mgr, "MAJ", [ONE(mgr)] * 3)
+
+
+class TestRegisterSemantics:
+    """Direct tests of dff_next — the Fig. 1 retention cell model."""
+
+    def _value(self, mgr, **kw):
+        reg = Register("dff", "q", "d", "clk",
+                       nrst="nrst" if "nrst_now" in kw else None,
+                       nret="nret" if "nret_now" in kw else None,
+                       edge=kw.pop("edge", "rise"))
+        defaults = dict(q_prev=ZERO(mgr), d_prev=ONE(mgr),
+                        clk_prev=ZERO(mgr), clk_now=ONE(mgr))
+        defaults.update(kw)
+        return dff_next(mgr, reg, **defaults)
+
+    def test_rising_edge_samples(self, mgr):
+        assert self._value(mgr).equals(ONE(mgr))
+
+    def test_no_edge_holds(self, mgr):
+        v = self._value(mgr, clk_prev=ONE(mgr), clk_now=ONE(mgr))
+        assert v.equals(ZERO(mgr))
+
+    def test_falling_edge_variant(self, mgr):
+        v = self._value(mgr, edge="fall", clk_prev=ONE(mgr),
+                        clk_now=ZERO(mgr))
+        assert v.equals(ONE(mgr))
+
+    def test_reset_overrides_sample(self, mgr):
+        v = self._value(mgr, nrst_now=ZERO(mgr))
+        assert v.equals(ZERO(mgr))
+
+    def test_retention_hold_beats_reset(self, mgr):
+        v = self._value(mgr, q_prev=ONE(mgr), nrst_now=ZERO(mgr),
+                        nret_now=ZERO(mgr), clk_prev=ZERO(mgr),
+                        clk_now=ZERO(mgr), d_prev=ZERO(mgr))
+        assert v.equals(ONE(mgr))
+
+    def test_sample_mode_reset_effective(self, mgr):
+        """NRET high: reset has its usual effect (§III-A)."""
+        v = self._value(mgr, q_prev=ONE(mgr), nrst_now=ZERO(mgr),
+                        nret_now=ONE(mgr), clk_prev=ZERO(mgr),
+                        clk_now=ZERO(mgr))
+        assert v.equals(ZERO(mgr))
+
+    def test_unknown_clock_merges(self, mgr):
+        """X on the clock edge yields X where d and q disagree —
+        monotone pessimism."""
+        v = self._value(mgr, clk_now=X(mgr))
+        assert v.equals(X(mgr))
+
+    def test_enable_gates_edge(self, mgr):
+        reg = Register("dff", "q", "d", "clk", enable="en")
+        v = dff_next(mgr, reg, q_prev=ZERO(mgr), d_prev=ONE(mgr),
+                     clk_prev=ZERO(mgr), clk_now=ONE(mgr),
+                     enable_prev=ZERO(mgr))
+        assert v.equals(ZERO(mgr))
+
+    def test_latch_transparent(self, mgr):
+        assert latch_next(ONE(mgr), ONE(mgr), ZERO(mgr)).equals(ONE(mgr))
+        assert latch_next(ZERO(mgr), ONE(mgr), ZERO(mgr)).equals(ZERO(mgr))
+        assert latch_next(X(mgr), ONE(mgr), ZERO(mgr)).equals(X(mgr))
+
+
+class TestBuilder:
+    def test_adder_matches_arithmetic(self, mgr):
+        from repro.fsm import compile_circuit
+        from repro.ternary import TernaryVector
+        b = CircuitBuilder()
+        xa = b.input_bus("xa", 4)
+        xb = b.input_bus("xb", 4)
+        total, carry = b.adder(xa, xb)
+        model = compile_circuit(b.circuit, mgr)
+        for a_val, b_val in [(3, 5), (9, 9), (15, 1), (0, 0)]:
+            cons = {}
+            for i in range(4):
+                cons[f"xa[{i}]"] = TernaryValue.of_bool(mgr, bool((a_val >> i) & 1))
+                cons[f"xb[{i}]"] = TernaryValue.of_bool(mgr, bool((b_val >> i) & 1))
+            state = model.step(None, cons)
+            got = sum(1 << i for i, n in enumerate(total)
+                      if state[n].const_scalar() == "1")
+            carry_bit = state[carry].const_scalar() == "1"
+            assert got == (a_val + b_val) % 16
+            assert carry_bit == (a_val + b_val >= 16)
+
+    def test_eq_const_and_decoder(self, mgr):
+        from repro.fsm import compile_circuit
+        b = CircuitBuilder()
+        xa = b.input_bus("xa", 3)
+        hits = b.decoder(xa)
+        model = compile_circuit(b.circuit, mgr)
+        for value in range(8):
+            cons = {f"xa[{i}]": ONE(mgr) if (value >> i) & 1 else ZERO(mgr)
+                    for i in range(3)}
+            state = model.step(None, cons)
+            pattern = [state[h].const_scalar() for h in hits]
+            assert pattern == ["1" if i == value else "0" for i in range(8)]
+
+    def test_mux_tree_selects(self, mgr):
+        from repro.fsm import compile_circuit
+        b = CircuitBuilder()
+        sel = b.input_bus("sel", 2)
+        entries = [b.const_bus(v, 4) for v in (1, 2, 4, 8)]
+        out = b.mux_tree(sel, entries)
+        model = compile_circuit(b.circuit, mgr)
+        for pick in range(4):
+            cons = {f"sel[{i}]": ONE(mgr) if (pick >> i) & 1 else ZERO(mgr)
+                    for i in range(2)}
+            state = model.step(None, cons)
+            got = sum(1 << i for i, n in enumerate(out)
+                      if state[n].const_scalar() == "1")
+            assert got == (1, 2, 4, 8)[pick]
+
+    def test_sign_extend_wiring(self):
+        b = CircuitBuilder()
+        a = b.input_bus("a", 2)
+        ext = b.sign_extend(a, 5)
+        assert len(ext) == 5
+        with pytest.raises(NetlistError):
+            b.sign_extend(a, 1)
+
+    def test_width_mismatch(self):
+        b = CircuitBuilder()
+        with pytest.raises(NetlistError):
+            b.and_bus(b.input_bus("p", 2), b.input_bus("q", 3))
+
+
+class TestConeOfInfluence:
+    def test_reduction_drops_unrelated_logic(self):
+        b = CircuitBuilder()
+        a = b.input("a")
+        unrelated = b.input("u")
+        keep = b.not_(a)
+        b.and_(unrelated, unrelated)  # dead logic
+        reduced = cone_of_influence(b.circuit, [keep])
+        assert len(reduced.gates) == 1
+        assert "u" not in reduced.inputs
+
+    def test_crosses_registers(self):
+        b = CircuitBuilder()
+        clk = b.input("clk")
+        d = b.input("d")
+        q = b.circuit.add_dff("q", d, clk)
+        out = b.not_(q)
+        reduced = cone_of_influence(b.circuit, [out])
+        assert "q" in reduced.registers
+        assert "d" in reduced.inputs
+
+    def test_preserves_register_attributes(self):
+        b = CircuitBuilder()
+        clk = b.input("clk")
+        d = b.input("d")
+        nret = b.input("nret")
+        nrst = b.input("nrst")
+        b.circuit.add_dff("q", d, clk, nret=nret, nrst=nrst, init=1,
+                          edge="fall")
+        reduced = cone_of_influence(b.circuit, ["q"])
+        reg = reduced.registers["q"]
+        assert reg.nret == "nret" and reg.init == 1 and reg.edge == "fall"

@@ -1,0 +1,285 @@
+"""Property-based tests (hypothesis) for the core data structures.
+
+Invariants checked:
+
+* the BDD manager is a faithful Boolean algebra (random expression
+  evaluation equals BDD evaluation; canonicity);
+* BVec arithmetic is integer arithmetic mod 2^w;
+* the ternary lattice operators are monotone w.r.t. the information
+  order — the property the STE fundamental theorem rests on;
+* the assembler/encoder round-trips;
+* the gate-level ALU agrees with the golden model on random operands;
+* the scalar simulator agrees with the symbolic model on random runs
+  of a random small sequential circuit.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager, BVec
+from repro.cpu import (ALU_ADD, ALU_AND, ALU_OR, ALU_SLT, ALU_SUB,
+                       Instruction, OP_BEQ, OP_LW, OP_RTYPE, OP_SW,
+                       decode, encode)
+from repro.netlist import CircuitBuilder
+from repro.sim import ScalarSimulator
+from repro.ternary import TernaryValue
+from repro.fsm import compile_circuit
+
+
+# ----------------------------------------------------------------------
+# Boolean-expression strategy over a fixed variable set
+# ----------------------------------------------------------------------
+def expr_strategy(names):
+    leaves = st.sampled_from([("var", n) for n in names]
+                             + [("const", True), ("const", False)])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.tuples(st.just("not"), children),
+            st.tuples(st.just("and"), children, children),
+            st.tuples(st.just("or"), children, children),
+            st.tuples(st.just("xor"), children, children),
+        ),
+        max_leaves=12)
+
+
+def build_bdd(mgr, expr):
+    kind = expr[0]
+    if kind == "var":
+        return mgr.var(expr[1])
+    if kind == "const":
+        return mgr.true if expr[1] else mgr.false
+    if kind == "not":
+        return ~build_bdd(mgr, expr[1])
+    a = build_bdd(mgr, expr[1])
+    b = build_bdd(mgr, expr[2])
+    return {"and": a & b, "or": a | b, "xor": a ^ b}[kind]
+
+
+def eval_expr(expr, assignment):
+    kind = expr[0]
+    if kind == "var":
+        return assignment[expr[1]]
+    if kind == "const":
+        return expr[1]
+    if kind == "not":
+        return not eval_expr(expr[1], assignment)
+    a = eval_expr(expr[1], assignment)
+    b = eval_expr(expr[2], assignment)
+    return {"and": a and b, "or": a or b, "xor": a != b}[kind]
+
+
+NAMES = ["p", "q", "r"]
+
+
+class TestBddAlgebra:
+    @given(expr=expr_strategy(NAMES),
+           bits=st.tuples(*[st.booleans()] * len(NAMES)))
+    @settings(max_examples=120, deadline=None)
+    def test_bdd_matches_expression_semantics(self, expr, bits):
+        mgr = BDDManager()
+        for n in NAMES:
+            mgr.declare(n)
+        f = build_bdd(mgr, expr)
+        assignment = dict(zip(NAMES, bits))
+        assert mgr.eval(f, assignment) == eval_expr(expr, assignment)
+
+    @given(e1=expr_strategy(NAMES), e2=expr_strategy(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_canonicity_equals_semantic_equivalence(self, e1, e2):
+        mgr = BDDManager()
+        for n in NAMES:
+            mgr.declare(n)
+        f1, f2 = build_bdd(mgr, e1), build_bdd(mgr, e2)
+        import itertools
+        semantically_equal = all(
+            eval_expr(e1, dict(zip(NAMES, bits)))
+            == eval_expr(e2, dict(zip(NAMES, bits)))
+            for bits in itertools.product([False, True], repeat=len(NAMES)))
+        assert (f1 == f2) == semantically_equal
+
+    @given(expr=expr_strategy(NAMES))
+    @settings(max_examples=60, deadline=None)
+    def test_sat_count_matches_truth_table(self, expr):
+        import itertools
+        mgr = BDDManager()
+        for n in NAMES:
+            mgr.declare(n)
+        f = build_bdd(mgr, expr)
+        truth = sum(
+            eval_expr(expr, dict(zip(NAMES, bits)))
+            for bits in itertools.product([False, True], repeat=len(NAMES)))
+        assert mgr.sat_count(f, len(NAMES)) == truth
+
+
+WIDTH = 6
+MASK = (1 << WIDTH) - 1
+
+
+class TestBVecArithmetic:
+    @given(a=st.integers(0, MASK), b=st.integers(0, MASK))
+    @settings(max_examples=80, deadline=None)
+    def test_add_sub_mod(self, a, b):
+        mgr = BDDManager()
+        va = BVec.constant(mgr, a, WIDTH)
+        vb = BVec.constant(mgr, b, WIDTH)
+        assert (va + vb).const_value() == (a + b) & MASK
+        assert (va - vb).const_value() == (a - b) & MASK
+
+    @given(a=st.integers(0, MASK), b=st.integers(0, MASK))
+    @settings(max_examples=80, deadline=None)
+    def test_comparisons(self, a, b):
+        mgr = BDDManager()
+        va = BVec.constant(mgr, a, WIDTH)
+        vb = BVec.constant(mgr, b, WIDTH)
+        assert va.ult(vb).is_true == (a < b)
+        assert va.eq(vb).is_true == (a == b)
+
+        def signed(x):
+            return x - (1 << WIDTH) if x >> (WIDTH - 1) else x
+
+        assert va.slt(vb).is_true == (signed(a) < signed(b))
+
+    @given(a=st.integers(0, MASK), shift=st.integers(0, WIDTH + 2))
+    @settings(max_examples=60, deadline=None)
+    def test_shifts(self, a, shift):
+        mgr = BDDManager()
+        va = BVec.constant(mgr, a, WIDTH)
+        assert va.shift_left_const(shift).const_value() == (a << shift) & MASK
+        assert va.shift_right_const(shift).const_value() == a >> shift
+
+
+SCALARS = ["X", "0", "1"]
+
+
+def _tv(mgr, char):
+    return {"X": TernaryValue.x(mgr), "0": TernaryValue.zero(mgr),
+            "1": TernaryValue.one(mgr)}[char]
+
+
+def _refinements(char):
+    return ["0", "1"] if char == "X" else [char]
+
+
+class TestTernaryMonotonicity:
+    @given(a=st.sampled_from(SCALARS), b=st.sampled_from(SCALARS))
+    @settings(max_examples=30, deadline=None)
+    def test_and_or_xor_monotone(self, a, b):
+        """Refining X inputs never retracts a defined output."""
+        mgr = BDDManager()
+        for op in (lambda x, y: x & y, lambda x, y: x | y,
+                   lambda x, y: x ^ y):
+            weak = op(_tv(mgr, a), _tv(mgr, b))
+            for ra in _refinements(a):
+                for rb in _refinements(b):
+                    strong = op(_tv(mgr, ra), _tv(mgr, rb))
+                    assert weak.leq(strong).is_true
+
+    @given(s=st.sampled_from(SCALARS), t=st.sampled_from(SCALARS),
+           e=st.sampled_from(SCALARS))
+    @settings(max_examples=40, deadline=None)
+    def test_mux_monotone(self, s, t, e):
+        mgr = BDDManager()
+        weak = _tv(mgr, s).mux(_tv(mgr, t), _tv(mgr, e))
+        for rs in _refinements(s):
+            for rt in _refinements(t):
+                for re in _refinements(e):
+                    strong = _tv(mgr, rs).mux(_tv(mgr, rt), _tv(mgr, re))
+                    assert weak.leq(strong).is_true
+
+    @given(a=st.sampled_from(SCALARS), b=st.sampled_from(SCALARS))
+    @settings(max_examples=30, deadline=None)
+    def test_join_is_least_upper_bound(self, a, b):
+        mgr = BDDManager()
+        va, vb = _tv(mgr, a), _tv(mgr, b)
+        j = va.join(vb)
+        assert va.leq(j).is_true
+        assert vb.leq(j).is_true
+
+
+class TestIsaRoundTrip:
+    @given(opcode=st.sampled_from([OP_RTYPE, OP_LW, OP_SW, OP_BEQ]),
+           rs=st.integers(0, 31), rt=st.integers(0, 31),
+           rd=st.integers(0, 31), funct=st.integers(0, 63),
+           imm=st.integers(0, 0xFFFF))
+    @settings(max_examples=100, deadline=None)
+    def test_encode_decode(self, opcode, rs, rt, rd, funct, imm):
+        if opcode == OP_RTYPE:
+            instr = Instruction(opcode=opcode, rs=rs, rt=rt, rd=rd,
+                                funct=funct)
+        else:
+            instr = Instruction(opcode=opcode, rs=rs, rt=rt, imm=imm)
+        back = decode(encode(instr))
+        assert back.opcode == opcode
+        assert back.rs == rs and back.rt == rt
+        if opcode == OP_RTYPE:
+            assert back.rd == rd and back.funct == funct
+        else:
+            assert back.imm_unsigned == imm
+
+
+class TestGateLevelAluAgainstGolden:
+    @given(a=st.integers(0, 255), b=st.integers(0, 255),
+           op=st.sampled_from([ALU_ADD, ALU_SUB, ALU_AND, ALU_OR, ALU_SLT]))
+    @settings(max_examples=60, deadline=None)
+    def test_alu_matches_reference(self, a, b, op):
+        from repro.cpu import build_alu
+        mgr = BDDManager()
+        builder = CircuitBuilder()
+        xa = builder.input_bus("xa", 8)
+        xb = builder.input_bus("xb", 8)
+        ctl = builder.input_bus("ctl", 3)
+        alu = build_alu(builder, xa, xb, ctl)
+        sim = ScalarSimulator(builder.circuit)
+        inputs = {}
+        for i in range(8):
+            inputs[f"xa[{i}]"] = (a >> i) & 1
+            inputs[f"xb[{i}]"] = (b >> i) & 1
+        for i in range(3):
+            inputs[f"ctl[{i}]"] = (op >> i) & 1
+        sim.step(inputs)
+        got = sim.bus_value(alu["result"])
+
+        # The golden-model `_alu_int` operates at 32 bits; recompute
+        # the reference at the 8-bit instance width directly.
+        def signed8(x):
+            return x - 256 if x & 0x80 else x
+        reference = {
+            ALU_ADD: (a + b) & 0xFF,
+            ALU_SUB: (a - b) & 0xFF,
+            ALU_AND: a & b,
+            ALU_OR: a | b,
+            ALU_SLT: 1 if signed8(a) < signed8(b) else 0,
+        }[op]
+        assert got == reference
+
+
+class TestScalarVsSymbolic:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_random_runs_agree(self, data):
+        """Random 2-dff circuit + random stimulus: scalar values equal
+        the symbolic trajectory collapsed at the same inputs."""
+        mgr = BDDManager()
+        b = CircuitBuilder()
+        clk = b.input("clk")
+        d = b.input("d")
+        inv = b.not_(d)
+        q1 = b.circuit.add_dff("q1", inv, clk)
+        q2 = b.circuit.add_dff("q2", q1, clk, edge="fall")
+        out = b.xor(q1, q2)
+        model = compile_circuit(b.circuit, mgr)
+        sim = ScalarSimulator(b.circuit)
+        state = None
+        for _ in range(5):
+            clk_v = data.draw(st.integers(0, 1))
+            d_v = data.draw(st.integers(0, 1))
+            cons = {"clk": TernaryValue.of_bool(mgr, bool(clk_v)),
+                    "d": TernaryValue.of_bool(mgr, bool(d_v))}
+            state = model.step(state, cons)
+            sim.step({"clk": clk_v, "d": d_v})
+            for node in ("q1", "q2", out):
+                symbolic = state[node].const_scalar()
+                scalar = sim.value(node)
+                expected = "X" if scalar is None else str(scalar)
+                assert symbolic == expected, node

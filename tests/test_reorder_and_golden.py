@@ -1,0 +1,128 @@
+"""Unit tests for ordering heuristics and the word-level golden model."""
+
+import pytest
+
+from repro.bdd import BDDError, BDDManager, BVec, apply_order, interleave, order_for_memory
+from repro.cpu import (ALU_ADD, ALU_SLT, ALU_SUB, MachineState, alu_spec,
+                       next_pc_spec, regwrite_value_spec, step_interpreter)
+
+
+class TestInterleave:
+    def test_round_robin(self):
+        assert interleave(["a0", "a1"], ["b0", "b1"]) == \
+            ["a0", "b0", "a1", "b1"]
+
+    def test_uneven_groups(self):
+        assert interleave(["a0", "a1", "a2"], ["b0"]) == \
+            ["a0", "b0", "a1", "a2"]
+
+    def test_empty_groups(self):
+        assert interleave([], ["x"]) == ["x"]
+        assert interleave() == []
+
+    def test_interleaving_keeps_adder_linear(self):
+        """The motivating fact: with interleaved operands a ripple
+        adder's top carry BDD is linear in width; blocked ordering is
+        exponential."""
+        width = 10
+        good = BDDManager()
+        apply_order(good, interleave([f"a[{i}]" for i in range(width)],
+                                     [f"b[{i}]" for i in range(width)]))
+        a = BVec.variables(good, "a", width)
+        b = BVec.variables(good, "b", width)
+        interleaved_size = (a + b).bits[-1].size()
+
+        bad = BDDManager()
+        apply_order(bad, [f"a[{i}]" for i in range(width)]
+                    + [f"b[{i}]" for i in range(width)])
+        a2 = BVec.variables(bad, "a", width)
+        b2 = BVec.variables(bad, "b", width)
+        blocked_size = (a2 + b2).bits[-1].size()
+        assert interleaved_size * 4 < blocked_size
+
+    def test_order_for_memory_layout(self):
+        order = order_for_memory(["WA", "RA"], 2, ["WD"], 2,
+                                 cell_prefix="mem", depth=2)
+        assert order[:4] == ["WA[0]", "RA[0]", "WA[1]", "RA[1]"]
+        assert "mem1[1]" in order
+        assert order.index("WD[0]") < order.index("mem0[0]")
+
+    def test_apply_order_conflicts(self):
+        mgr = BDDManager()
+        apply_order(mgr, ["x", "y"])
+        with pytest.raises(BDDError):
+            mgr.declare("x")
+
+
+class TestGoldenSpecs:
+    def test_alu_spec_matches_constants(self):
+        mgr = BDDManager()
+        a = BVec.constant(mgr, 200, 8)
+        b = BVec.constant(mgr, 100, 8)
+        assert alu_spec(a, b, ALU_ADD).const_value() == 44   # mod 256
+        assert alu_spec(a, b, ALU_SUB).const_value() == 100
+        # 200 is -56 signed: -56 < 100.
+        assert alu_spec(a, b, ALU_SLT).const_value() == 1
+
+    def test_alu_spec_rejects_unknown_op(self):
+        mgr = BDDManager()
+        a = BVec.constant(mgr, 0, 4)
+        with pytest.raises(ValueError):
+            alu_spec(a, a, 0b101)
+
+    def test_next_pc_spec_sequential(self):
+        mgr = BDDManager()
+        pc = BVec.constant(mgr, 0x40, 32)
+        assert next_pc_spec(pc).const_value() == 0x44
+
+    def test_next_pc_spec_branch(self):
+        mgr = BDDManager()
+        pc = BVec.constant(mgr, 0x40, 32)
+        imm = BVec.constant(mgr, 3, 16)
+        taken = next_pc_spec(pc, branch=True, taken=mgr.true, imm16=imm)
+        assert taken.const_value() == 0x44 + (3 << 2)
+        not_taken = next_pc_spec(pc, branch=True, taken=mgr.false, imm16=imm)
+        assert not_taken.const_value() == 0x44
+
+    def test_next_pc_spec_branch_negative_offset(self):
+        mgr = BDDManager()
+        pc = BVec.constant(mgr, 0x40, 32)
+        imm = BVec.constant(mgr, 0xFFFF, 16)   # -1
+        taken = next_pc_spec(pc, branch=True, taken=mgr.true, imm16=imm)
+        assert taken.const_value() == 0x40     # 0x44 - 4
+
+    def test_next_pc_spec_requires_operands(self):
+        mgr = BDDManager()
+        pc = BVec.constant(mgr, 0, 32)
+        with pytest.raises(ValueError):
+            next_pc_spec(pc, branch=True)
+
+    def test_regwrite_value_spec(self):
+        mgr = BDDManager()
+        alu = BVec.constant(mgr, 1, 8)
+        mem = BVec.constant(mgr, 2, 8)
+        assert regwrite_value_spec(alu, mem, memtoreg=False) is alu
+        assert regwrite_value_spec(alu, mem, memtoreg=True) is mem
+
+
+class TestInterpreterEdges:
+    def test_bubble_opcode_holds_everything(self):
+        state = MachineState(pc=8, imem={2: 0})     # opcode 0 = bubble
+        nxt = step_interpreter(state)
+        assert nxt.pc == 8
+        assert nxt.regs == state.regs
+
+    def test_undefined_opcode_skips(self):
+        word = 0b111111 << 26
+        state = MachineState(pc=0, imem={0: word})
+        nxt = step_interpreter(state)
+        assert nxt.pc == 4
+        assert nxt.regs == state.regs
+
+    def test_state_copy_is_deep(self):
+        state = MachineState()
+        nxt = state.copy()
+        nxt.regs[3] = 7
+        nxt.dmem[1] = 9
+        assert state.regs[3] == 0
+        assert 1 not in state.dmem

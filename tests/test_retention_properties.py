@@ -1,0 +1,139 @@
+"""The property suite on small geometry: Property I/II smoke subsets,
+the IFR bug/fix discovery (E7), and suite structure.
+
+The complete 26-property runs live in benchmarks/ (they take minutes);
+here we check the fast representatives of every unit plus the headline
+fail-then-pass narrative.
+"""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import RiscConfig, build_core, buggy_core, fixed_core
+from repro.retention import UNIT_COUNTS, build_suite
+from repro.ste import extract
+
+GEOMETRY = dict(nregs=4, imem_depth=4, dmem_depth=4)
+
+FAST_NAMES = {
+    "fetch_pc_plus4",
+    "decode_sign_extend",
+    "decode_write_register_rtype",
+    "decode_write_register_load",
+    "decode_alusrc_mux",
+    "control_RegDst",
+    "control_RegWrite",
+    "control_Branch",
+    "control_PCWrite",
+    "control_ALUCtl",
+    "execute_zero_flag",
+}
+
+
+@pytest.fixture(scope="module")
+def fixed():
+    return fixed_core(**GEOMETRY)
+
+
+def _by_name(suite):
+    return {p.name: p for p in suite}
+
+
+class TestSuiteStructure:
+    def test_unit_counts_match_paper(self, fixed):
+        suite = build_suite(fixed, BDDManager())
+        counts = {}
+        for p in suite:
+            counts[p.unit] = counts.get(p.unit, 0) + 1
+        assert counts == UNIT_COUNTS
+        assert len(suite) == 26
+
+    def test_extras_are_labelled(self, fixed):
+        suite = build_suite(fixed, BDDManager(), include_extras=True)
+        extras = [p for p in suite if p.unit == "extra"]
+        assert len(suite) == 26 + len(extras)
+        assert extras
+
+    def test_property2_uses_sleep_schedule(self, fixed):
+        suite = build_suite(fixed, BDDManager(), sleep=True)
+        assert all(p.schedule.is_sleep for p in suite)
+        assert all(p.schedule.depth == 11 for p in suite)
+
+    def test_full_retention_schedule_has_no_reload(self):
+        core = build_core(RiscConfig(variant="full-retention", **GEOMETRY))
+        suite = build_suite(core, BDDManager(), sleep=True)
+        assert all(p.schedule.t_reload is None for p in suite)
+        assert all(p.schedule.depth == 9 for p in suite)
+
+
+class TestPropertyISmoke:
+    """Fast representatives of every unit, normal operation."""
+
+    def test_fast_subset_passes(self, fixed):
+        mgr = BDDManager()
+        suite = _by_name(build_suite(fixed, mgr))
+        for name in sorted(FAST_NAMES):
+            result = suite[name].check(fixed, mgr)
+            assert result.passed, f"{name}: {result.summary()}"
+            assert not result.vacuous, name
+
+
+class TestPropertyIISmoke:
+    """The same representatives across the sleep/resume excursion."""
+
+    def test_fast_subset_passes_on_fixed_design(self, fixed):
+        mgr = BDDManager()
+        suite = _by_name(build_suite(fixed, mgr, sleep=True))
+        for name in sorted(FAST_NAMES):
+            result = suite[name].check(fixed, mgr)
+            assert result.passed, f"{name}: {result.summary()}"
+            assert not result.vacuous, name
+
+    def test_full_retention_core_also_passes(self):
+        core = build_core(RiscConfig(variant="full-retention", **GEOMETRY))
+        mgr = BDDManager()
+        suite = _by_name(build_suite(core, mgr, sleep=True))
+        for name in ("fetch_pc_plus4", "control_RegWrite", "control_PCWrite"):
+            result = suite[name].check(core, mgr)
+            assert result.passed, f"{name}: {result.summary()}"
+
+
+class TestIfrDiscovery:
+    """E7 — the paper's central narrative, as executable assertions."""
+
+    def test_buggy_design_passes_property1(self):
+        """Before the fix, normal operation is fine (the bug is
+        invisible to Property I)."""
+        core = buggy_core(**GEOMETRY)
+        mgr = BDDManager()
+        suite = _by_name(build_suite(core, mgr))
+        for name in ("fetch_pc_plus4", "control_RegWrite", "control_Branch"):
+            result = suite[name].check(core, mgr)
+            assert result.passed, f"{name}: {result.summary()}"
+
+    def test_buggy_design_fails_property2_with_counterexample(self):
+        """During sleep, NRST resets the control unit's inputs (the
+        registered fetch path); after resume the control misbehaves:
+        PCWrite fires on the reset opcode and the PC runs away."""
+        core = buggy_core(**GEOMETRY)
+        mgr = BDDManager()
+        suite = _by_name(build_suite(core, mgr, sleep=True))
+        result = suite["fetch_pc_plus4"].check(core, mgr)
+        assert not result.passed
+        failing_nodes = {f.node for f in result.failures}
+        assert any(node.startswith("PC[") for node in failing_nodes)
+        cex = extract(result, watch=["clock", "NRET", "NRST"])
+        assert cex is not None  # a concrete scalar witness exists
+
+    def test_fixed_design_passes_the_same_property(self, fixed):
+        mgr = BDDManager()
+        suite = _by_name(build_suite(fixed, mgr, sleep=True))
+        result = suite["fetch_pc_plus4"].check(fixed, mgr)
+        assert result.passed
+
+    def test_no_retention_design_fails(self):
+        core = build_core(RiscConfig(variant="no-retention", **GEOMETRY))
+        mgr = BDDManager()
+        suite = _by_name(build_suite(core, mgr, sleep=True))
+        result = suite["fetch_pc_plus4"].check(core, mgr)
+        assert not result.passed

@@ -1,0 +1,186 @@
+"""Unit tests for schedules and the retention-set/power analyses."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import (GENERATIONS, RiscConfig, build_core, core_inventory,
+                       generation_inventory)
+from repro.retention import (RetentionCostModel, Schedule, classify_registers,
+                             clock_formula, compare_policies,
+                             generation_sweep, group_of_register,
+                             property1_schedule, property2_schedule,
+                             retention_report, schedule_for_variant)
+from repro.ste import defining_sequence, formula_depth
+
+
+class TestClockFormula:
+    def test_run_length_encoding(self):
+        mgr = BDDManager()
+        f = clock_formula([1, 1, 0, 0, 1])
+        seq = defining_sequence(mgr, f)
+        levels = [seq[t]["clock"].const_scalar() for t in range(5)]
+        assert levels == ["1", "1", "0", "0", "1"]
+
+    def test_depth(self):
+        assert formula_depth(clock_formula([0, 1, 0])) == 3
+
+
+class TestSchedules:
+    def test_property1_anatomy(self):
+        s = property1_schedule()
+        assert not s.is_sleep
+        assert (s.t_present, s.t_operate, s.t_execute) == (0, 1, 2)
+        assert s.depth == 3
+
+    def test_property1_multi_cycle(self):
+        s = property1_schedule(cycles=3)
+        assert s.t_execute == 6
+        assert s.depth == 7
+
+    def test_property2_reload_anatomy(self):
+        s = property2_schedule(reload=True)
+        assert s.is_sleep
+        assert s.t_sleep_start == 3
+        assert s.t_reset == 4
+        assert s.t_resume == 8
+        assert s.t_reload == 9
+        assert s.t_execute == 10
+        assert s.depth == 11
+
+    def test_property2_waveforms_follow_the_paper_order(self):
+        """Sleep: clock stops, then NRET low, then NRST pulse; resume
+        is the chronological reverse (§III-A)."""
+        mgr = BDDManager()
+        s = property2_schedule(reload=True)
+        seq = defining_sequence(mgr, s.base)
+
+        def level(node, t):
+            return seq[t][node].const_scalar()
+
+        # Clock stops first (t=1) ...
+        assert level("clock", 0) == "1" and level("clock", 1) == "0"
+        # ... NRET drops at t=3 while the clock is already stopped ...
+        assert level("NRET", 2) == "1" and level("NRET", 3) == "0"
+        # ... NRST pulses at t=4, strictly inside the NRET-low window.
+        assert level("NRST", 3) == "1" and level("NRST", 4) == "0"
+        assert level("NRST", 5) == "1"
+        # Resume: NRST back first, NRET next, clock last.
+        assert level("NRET", 6) == "1"
+        assert level("clock", 7) == "0" and level("clock", 8) == "1"
+
+    def test_property2_no_reload(self):
+        s = property2_schedule(reload=False)
+        assert s.t_reload is None
+        assert s.t_execute == 8
+        assert s.depth == 9
+
+    def test_schedule_for_variant(self):
+        assert not schedule_for_variant("selective-ifr", sleep=False).is_sleep
+        assert schedule_for_variant("selective-ifr", True).t_reload == 9
+        assert schedule_for_variant("full-retention", True).t_reload is None
+
+    def test_bad_cycles(self):
+        with pytest.raises(ValueError):
+            property1_schedule(cycles=0)
+
+
+class TestRegisterClassification:
+    def test_group_names(self):
+        assert group_of_register("PC[31]") == "PC"
+        assert group_of_register("Reg5[12]") == "Reg"
+        assert group_of_register("IM_cell7[0]") == "IM_cell"
+        assert group_of_register("DM_cell0[3]") == "DM_cell"
+        assert group_of_register("IFR[2]") == "IFR"
+        assert group_of_register("IM_ReadData[9]") == "IM_ReadData"
+
+    def test_selective_core_report(self):
+        core = build_core(RiscConfig(nregs=2, imem_depth=2, dmem_depth=2))
+        report = retention_report(core.circuit)
+        assert report.matches_selective_policy
+        arch_groups = {c.group for c in report.classes if c.architectural}
+        assert {"PC", "Reg", "IM_cell", "DM_cell"} <= arch_groups
+
+    def test_full_retention_flagged_as_excess(self):
+        core = build_core(RiscConfig(variant="full-retention", nregs=2,
+                                     imem_depth=2, dmem_depth=2))
+        report = retention_report(core.circuit)
+        assert not report.matches_selective_policy
+        assert "IFR" in report.excess_retention
+
+    def test_no_retention_flagged_as_missing(self):
+        core = build_core(RiscConfig(variant="no-retention", nregs=2,
+                                     imem_depth=2, dmem_depth=2))
+        report = retention_report(core.circuit)
+        assert "PC" in report.missing_retention
+
+    def test_summary_renders(self):
+        core = build_core(RiscConfig(nregs=2, imem_depth=2, dmem_depth=2))
+        text = retention_report(core.circuit).summary()
+        assert "PC" in text and "retained" in text
+
+
+class TestStateInventories:
+    def test_architectural_state_constant_across_generations(self):
+        archs = [generation_inventory(s).architectural_bits
+                 for s in GENERATIONS]
+        assert archs[0] == archs[1] == archs[2]
+
+    def test_microarchitectural_state_roughly_doubles(self):
+        """The paper: 'the micro-architectural state roughly doubles
+        every generation'."""
+        uarchs = [generation_inventory(s).microarchitectural_bits
+                  for s in GENERATIONS]
+        for small, big in zip(uarchs, uarchs[1:]):
+            assert 1.5 <= big / small <= 3.5
+
+    def test_unknown_generation_rejected(self):
+        with pytest.raises(ValueError):
+            generation_inventory(4)
+
+    def test_core_inventory_matches_netlist(self):
+        cfg = RiscConfig(nregs=4, imem_depth=4, dmem_depth=4)
+        core = build_core(cfg)
+        inv = core_inventory(cfg.nregs, cfg.imem_depth, cfg.dmem_depth)
+        assert inv.total_bits == len(core.circuit.registers)
+        assert inv.architectural_bits == \
+            len(core.circuit.retention_state_nodes())
+
+
+class TestPowerModel:
+    def test_policy_costs_ordering(self):
+        inv = generation_inventory(5)
+        costs = compare_policies(inv)
+        assert costs["none"].flop_area < costs["selective"].flop_area \
+            < costs["full"].flop_area
+        assert costs["none"].standby_leakage == 0
+        assert costs["selective"].standby_leakage < \
+            costs["full"].standby_leakage
+
+    def test_area_overhead_in_paper_range(self):
+        inv = generation_inventory(3)
+        model = RetentionCostModel(retention_area_overhead=0.25)
+        low = compare_policies(inv, model)["full"].area_overhead_vs_plain
+        model = RetentionCostModel(retention_area_overhead=0.40)
+        high = compare_policies(inv, model)["full"].area_overhead_vs_plain
+        assert 0.24 <= low <= 0.26
+        assert 0.39 <= high <= 0.41
+
+    def test_selective_savings_grow_with_pipeline_depth(self):
+        rows = generation_sweep([generation_inventory(s)
+                                 for s in GENERATIONS])
+        savings = [r["area_saving"] for r in rows]
+        assert savings[0] < savings[1] < savings[2]
+        leakage = [r["leakage_saving"] for r in rows]
+        assert leakage[0] < leakage[1] < leakage[2]
+
+    def test_retained_fraction_shrinks(self):
+        rows = generation_sweep([generation_inventory(s)
+                                 for s in GENERATIONS])
+        fractions = [r["retained_fraction"] for r in rows]
+        assert fractions[0] > fractions[1] > fractions[2]
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            RetentionCostModel(retention_area_overhead=1.5)
+        with pytest.raises(ValueError):
+            RetentionCostModel(control_buffer_per_flops=0)

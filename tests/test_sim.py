@@ -1,0 +1,177 @@
+"""Unit tests for scalar simulation, waveforms and VCD output."""
+
+import io
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.netlist import CircuitBuilder
+from repro.sim import ScalarSimulator, Waveform, enumerate_runs, vcd_text
+from repro.ste import check, conj, from_to, is0, is1, node_is
+
+
+def retention_cell():
+    b = CircuitBuilder("cell")
+    d = b.input("D")
+    clk = b.input("CLK")
+    nret = b.input("NRET")
+    nrst = b.input("NRST")
+    b.circuit.add_dff("Q", d, clk, nret=nret, nrst=nrst)
+    b.circuit.set_output("Q")
+    return b.circuit
+
+
+def drive(d=0, clk=0, nret=1, nrst=1):
+    return {"D": d, "CLK": clk, "NRET": nret, "NRST": nrst}
+
+
+class TestScalarSimulator:
+    def test_sample_hold_reset_sequence(self):
+        sim = ScalarSimulator(retention_cell())
+        sim.step(drive(d=1, clk=0))
+        sim.step(drive(d=1, clk=1))          # rising edge samples 1
+        assert sim.value("Q") == 1
+        sim.step(drive(clk=0, nret=0))       # hold mode
+        sim.step(drive(clk=0, nret=0, nrst=0))  # reset blocked by hold
+        assert sim.value("Q") == 1
+        sim.step(drive(clk=0, nret=1, nrst=0))  # sample mode: reset bites
+        assert sim.value("Q") == 0
+
+    def test_unknown_at_time_zero(self):
+        sim = ScalarSimulator(retention_cell())
+        sim.step(drive())
+        assert sim.value("Q") is None
+
+    def test_bus_value_none_when_partial(self):
+        b = CircuitBuilder()
+        b.input_bus("v", 2)
+        sim = ScalarSimulator(b.circuit)
+        sim.step({"v[0]": 1})
+        assert sim.bus_value(["v[0]", "v[1]"]) is None
+        sim.step({"v[0]": 1, "v[1]": 0})
+        assert sim.bus_value(["v[0]", "v[1]"]) == 1
+
+    def test_value_before_step_raises(self):
+        from repro.netlist import NetlistError
+        sim = ScalarSimulator(retention_cell())
+        with pytest.raises(NetlistError):
+            sim.value("Q")
+
+    def test_matches_symbolic_model(self):
+        """A scalar run must equal the STE trajectory under the same
+        assignment — the cross-model consistency check."""
+        circuit = retention_cell()
+        mgr = BDDManager()
+        a = conj([
+            from_to(is1("D"), 0, 1),
+            from_to(is0("CLK"), 0, 1), from_to(is1("CLK"), 1, 2),
+            from_to(is1("NRET"), 0, 2), from_to(is1("NRST"), 0, 2),
+        ])
+        result = check(circuit, a, from_to(is1("Q"), 1, 2), mgr)
+        assert result.passed
+        sim = ScalarSimulator(circuit)
+        sim.step(drive(d=1, clk=0))
+        sim.step(drive(clk=1))
+        assert sim.value("Q") == 1
+
+    def test_reset_fires_asynchronously(self):
+        sim = ScalarSimulator(retention_cell())
+        sim.step(drive(d=1, clk=0))
+        sim.step(drive(d=1, clk=1))
+        sim.step(drive(clk=1, nrst=0))   # no clock edge needed
+        assert sim.value("Q") == 0
+
+
+class TestEnumerateRuns:
+    def test_exhaustive_count_is_exponential(self):
+        circuit = retention_cell()
+
+        def stimulus(assignment):
+            return [drive(d=assignment["d0"], clk=0), drive(clk=1)]
+
+        def oracle(sim, assignment):
+            return sim.value("Q") == assignment["d0"]
+
+        runs, ok = enumerate_runs(circuit, ["d0"], stimulus, oracle)
+        assert (runs, ok) == (2, True)
+
+    def test_failure_stops_early(self):
+        circuit = retention_cell()
+
+        def stimulus(assignment):
+            return [drive(d=assignment["d0"], clk=0), drive(clk=1)]
+
+        def oracle(sim, assignment):
+            return sim.value("Q") == 0  # wrong for d0=1
+
+        runs, ok = enumerate_runs(circuit, ["d0"], stimulus, oracle)
+        assert not ok
+
+    def test_limit_respected(self):
+        circuit = retention_cell()
+        runs, ok = enumerate_runs(
+            circuit, ["a", "b", "c"],
+            lambda asg: [drive()],
+            lambda sim, asg: True,
+            limit=3)
+        assert runs == 3
+
+
+class TestWaveform:
+    def _waveform(self):
+        sim = ScalarSimulator(retention_cell())
+        sim.step(drive(d=1, clk=0))
+        sim.step(drive(d=1, clk=1))
+        sim.step(drive(clk=0, nret=0))
+        sim.step(drive(clk=0, nret=0, nrst=0))
+        return Waveform.from_scalar_history(
+            sim.history, ["CLK", "NRET", "NRST", "Q"],
+            buses={"Qbus": ["Q"]})
+
+    def test_traces_recorded(self):
+        wf = self._waveform()
+        assert wf.traces["Q"] == ["X", "1", "1", "1"]
+        assert wf.traces["NRST"] == ["1", "1", "1", "0"]
+        assert wf.buses["Qbus"][1] == 1
+        assert wf.buses["Qbus"][0] is None
+
+    def test_render_contains_signals(self):
+        text = self._waveform().render()
+        assert "CLK" in text and "NRST" in text
+
+    def test_from_trajectory(self):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        v = mgr.var("v")
+        a = conj([
+            from_to(node_is("D", v), 0, 1),
+            from_to(is0("CLK"), 0, 1), from_to(is1("CLK"), 1, 2),
+            from_to(is1("NRET"), 0, 2), from_to(is1("NRST"), 0, 2),
+        ])
+        result = check(circuit, a, from_to(node_is("Q", v), 1, 2), mgr)
+        wf = Waveform.from_trajectory(result.trajectory, {"v": True},
+                                      ["Q", "CLK"])
+        assert wf.traces["Q"] == ["X", "1"]
+        assert wf.traces["CLK"] == ["0", "1"]
+
+
+class TestVcd:
+    def test_vcd_structure(self):
+        sim = ScalarSimulator(retention_cell())
+        sim.step(drive(d=1, clk=0))
+        sim.step(drive(d=1, clk=1))
+        wf = Waveform.from_scalar_history(sim.history, ["CLK", "Q"],
+                                          buses={"QB": ["Q"]})
+        text = vcd_text(wf)
+        assert "$enddefinitions" in text
+        assert "$var wire 1" in text
+        assert "#0" in text and "#1" in text
+        # Q transitions X -> 1.
+        assert "x" in text and "1" in text
+
+    def test_vcd_bus_values(self):
+        wf = Waveform()
+        wf.record_bus("data", [None, 5, 5, 2])
+        text = vcd_text(wf)
+        assert "b101 " in text
+        assert "b10 " in text

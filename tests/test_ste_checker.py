@@ -1,0 +1,181 @@
+"""Unit tests for the STE checker and counterexample extraction."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.netlist import CircuitBuilder
+from repro.ste import (all_assignments, check, conj, extract, format_trace,
+                       from_to, is0, is1, node_is, when)
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+def inverter():
+    b = CircuitBuilder("inv")
+    a = b.input("a")
+    b.not_(a, out="y")
+    b.circuit.set_output("y")
+    return b.circuit
+
+
+def dff_circuit():
+    b = CircuitBuilder("dff")
+    clk = b.input("clk")
+    d = b.input("d")
+    b.circuit.add_dff("q", d, clk)
+    b.circuit.set_output("q")
+    return b.circuit
+
+
+def clock01():
+    """clock low at t0, high at t1 (one rising edge)."""
+    return conj([from_to(is0("clk"), 0, 1), from_to(is1("clk"), 1, 2)])
+
+
+class TestCombinational:
+    def test_inverter_theorem(self, mgr):
+        result = check(inverter(), is1("a"), is0("y"), mgr)
+        assert result.passed
+        assert not result.vacuous
+        assert result.checked_points == 1
+
+    def test_symbolic_theorem(self, mgr):
+        v = mgr.var("v")
+        result = check(inverter(), node_is("a", v), node_is("y", ~v), mgr)
+        assert result.passed
+
+    def test_wrong_consequent_fails(self, mgr):
+        result = check(inverter(), is1("a"), is1("y"), mgr)
+        assert not result.passed
+        assert result.failures[0].node == "y"
+
+    def test_partial_failure_condition(self, mgr):
+        """Claim y == v with a driven by v: fails exactly where v=1
+        (since y = ~v)."""
+        v = mgr.var("v")
+        result = check(inverter(), node_is("a", v), node_is("y", v), mgr)
+        assert not result.passed
+        condition = result.failure_condition()
+        assert condition == v | ~v  # fails for both polarities
+        # And claiming y == v & something weaker would fail only partially.
+        result2 = check(inverter(), node_is("a", v),
+                        when(node_is("y", mgr.false), v), mgr)
+        assert result2.passed  # y is 0 whenever v=1
+
+    def test_unconstrained_output_fails_with_x(self, mgr):
+        result = check(inverter(), conj([]), is1("y"), mgr)
+        assert not result.passed
+        assert result.failures[0].actual.const_scalar() == "X"
+
+
+class TestVacuity:
+    def test_contradictory_antecedent_is_vacuous(self, mgr):
+        a = conj([is1("a"), is0("a")])
+        result = check(inverter(), a, is1("y"), mgr)
+        assert result.passed
+        assert result.vacuous
+
+    def test_guarded_contradiction_partial(self, mgr):
+        g = mgr.var("g")
+        a = conj([is1("a"), when(is0("a"), g)])
+        # Where g holds the antecedent is inconsistent, so failure is
+        # only reported for ~g assignments; there y=0 which violates
+        # is1(y) -> failure condition is exactly ~g.
+        result = check(inverter(), a, is1("y"), mgr)
+        assert not result.passed
+        assert result.failure_condition() == ~g
+
+
+class TestSequential:
+    def test_dff_captures_on_edge(self, mgr):
+        v = mgr.var("v")
+        a = conj([clock01(), from_to(node_is("d", v), 0, 1)])
+        c = from_to(node_is("q", v), 1, 2)
+        result = check(dff_circuit(), a, c, mgr)
+        assert result.passed
+
+    def test_dff_does_not_capture_without_edge(self, mgr):
+        v = mgr.var("v")
+        a = conj([from_to(is1("clk"), 0, 2), from_to(node_is("d", v), 0, 1)])
+        c = from_to(node_is("q", v), 1, 2)
+        result = check(dff_circuit(), a, c, mgr)
+        assert not result.passed  # q stays X: no rising edge
+
+    def test_hold_after_capture(self, mgr):
+        v = mgr.var("v")
+        a = conj([clock01(), from_to(is1("clk"), 2, 5),
+                  from_to(node_is("d", v), 0, 1)])
+        c = from_to(node_is("q", v), 1, 5)
+        result = check(dff_circuit(), a, c, mgr)
+        assert result.passed
+
+    def test_trajectory_exposed(self, mgr):
+        result = check(dff_circuit(), clock01(), from_to(is1("clk"), 1, 2),
+                       mgr)
+        assert result.passed
+        assert len(result.trajectory) == 2
+
+
+class TestCoi:
+    def test_coi_skips_unrelated_logic(self, mgr):
+        b = CircuitBuilder("two")
+        a = b.input("a")
+        u = b.input("u")
+        b.not_(a, out="y")
+        b.not_(u, out="z")
+        result = check(b.circuit, is1("a"), is0("y"), mgr)
+        assert result.passed
+        assert "z" not in result.trajectory[0]
+
+    def test_coi_disabled_keeps_everything(self, mgr):
+        b = CircuitBuilder("two")
+        a = b.input("a")
+        u = b.input("u")
+        b.not_(a, out="y")
+        b.not_(u, out="z")
+        result = check(b.circuit, is1("a"), is0("y"), mgr, use_coi=False)
+        assert result.passed
+        assert "z" in result.trajectory[0]
+
+
+class TestCounterexample:
+    def test_extract_none_on_pass(self, mgr):
+        result = check(inverter(), is1("a"), is0("y"), mgr)
+        assert extract(result) is None
+
+    def test_extract_scalar_trace(self, mgr):
+        v = mgr.var("v")
+        result = check(inverter(), node_is("a", v), is0("y"), mgr)
+        assert not result.passed
+        cex = extract(result, watch=["a", "y"])
+        assert cex is not None
+        # y must be 0; it fails when v=0 making y=1.
+        assert cex.assignment == {"v": False}
+        assert cex.trace["y"] == ["1"]
+        assert cex.trace["a"] == ["0"]
+        assert "counterexample" in format_trace(cex)
+
+    def test_all_assignments_family(self, mgr):
+        v1, v2 = mgr.var("v1"), mgr.var("v2")
+        # a driven by v1&v2; claim y (=(~(v1&v2))) is 0 -> fails
+        # whenever v1&v2 = 0: three assignments.
+        result = check(inverter(), node_is("a", v1 & v2), is0("y"), mgr)
+        family = list(all_assignments(result))
+        assert len(family) == 3
+
+    def test_expected_and_actual_scalars(self, mgr):
+        result = check(inverter(), is1("a"), is1("y"), mgr)
+        cex = extract(result, watch=["y"])
+        assert cex.expected_scalar == "1"
+        assert cex.actual_scalar == "0"
+
+
+class TestSummary:
+    def test_summary_strings(self, mgr):
+        ok = check(inverter(), is1("a"), is0("y"), mgr)
+        assert "PASS" in ok.summary()
+        bad = check(inverter(), is1("a"), is1("y"), mgr)
+        assert "FAIL" in bad.summary()

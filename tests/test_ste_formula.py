@@ -1,0 +1,118 @@
+"""Unit tests for trajectory formulas and defining sequences."""
+
+import pytest
+
+from repro.bdd import BDDError, BDDManager, BVec
+from repro.ste import (TRUE_FORMULA, conj, defining_sequence, formula_depth,
+                       formula_nodes, from_to, is0, is1, next_, node_is,
+                       vec_is, when)
+from repro.ternary import ONE, TOP, TernaryValue, TernaryVector, X, ZERO
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+class TestConstruction:
+    def test_from_to_expands_to_next_chain(self):
+        f = from_to(is1("n"), 2, 5)
+        assert formula_depth(f) == 5
+
+    def test_from_to_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            from_to(is1("n"), 3, 3)
+
+    def test_next_negative_raises(self):
+        with pytest.raises(ValueError):
+            next_(is1("n"), -1)
+
+    def test_next_zero_is_identity(self):
+        f = is1("n")
+        assert next_(f, 0) is f
+
+    def test_nested_next_flattens(self):
+        f = next_(next_(is1("n"), 2), 3)
+        assert formula_depth(f) == 6
+
+    def test_conj_flattens(self):
+        f = conj([conj([is1("a"), is0("b")]), is1("c")])
+        assert formula_nodes(f) == frozenset({"a", "b", "c"})
+
+    def test_vec_is_int(self):
+        f = vec_is(["v[0]", "v[1]", "v[2]"], 0b101)
+        assert formula_nodes(f) == frozenset({"v[0]", "v[1]", "v[2]"})
+
+    def test_vec_is_width_mismatch(self, mgr):
+        with pytest.raises(BDDError):
+            vec_is(["a", "b"], BVec.variables(mgr, "x", 3))
+
+    def test_and_operator_sugar(self):
+        f = is1("a") & is0("b")
+        assert formula_nodes(f) == frozenset({"a", "b"})
+
+
+class TestDefiningSequence:
+    def test_scalar_values(self, mgr):
+        seq = defining_sequence(mgr, is1("a") & next_(is0("a")))
+        assert seq[0]["a"].equals(ONE(mgr))
+        assert seq[1]["a"].equals(ZERO(mgr))
+
+    def test_unconstrained_is_absent(self, mgr):
+        seq = defining_sequence(mgr, is1("a"))
+        assert "b" not in seq.get(0, {})
+        assert 1 not in seq
+
+    def test_guarded_value(self, mgr):
+        g = mgr.var("g")
+        seq = defining_sequence(mgr, when(is1("a"), g))
+        value = seq[0]["a"]
+        assert value.scalar({"g": True}) == "1"
+        assert value.scalar({"g": False}) == "X"
+
+    def test_nested_guards_conjoin(self, mgr):
+        g1, g2 = mgr.var("g1"), mgr.var("g2")
+        seq = defining_sequence(mgr, when(when(is1("a"), g1), g2))
+        value = seq[0]["a"]
+        assert value.scalar({"g1": True, "g2": True}) == "1"
+        assert value.scalar({"g1": True, "g2": False}) == "X"
+
+    def test_conflicting_constraints_join_to_top(self, mgr):
+        seq = defining_sequence(mgr, is1("a") & is0("a"))
+        assert seq[0]["a"].equals(TOP(mgr))
+
+    def test_guarded_conflict_is_conditional(self, mgr):
+        g = mgr.var("g")
+        seq = defining_sequence(mgr, is1("a") & when(is0("a"), g))
+        value = seq[0]["a"]
+        assert value.scalar({"g": True}) == "T"
+        assert value.scalar({"g": False}) == "1"
+
+    def test_bdd_valued_node(self, mgr):
+        p = mgr.var("p")
+        seq = defining_sequence(mgr, node_is("a", p))
+        value = seq[0]["a"]
+        assert value.scalar({"p": True}) == "1"
+        assert value.scalar({"p": False}) == "0"
+
+    def test_vec_is_bvec(self, mgr):
+        x = BVec.variables(mgr, "x", 2)
+        seq = defining_sequence(mgr, vec_is(["v[0]", "v[1]"], x))
+        assignment = {"x[0]": True, "x[1]": False}
+        assert seq[0]["v[0]"].scalar(assignment) == "1"
+        assert seq[0]["v[1]"].scalar(assignment) == "0"
+
+    def test_from_to_spreads_over_time(self, mgr):
+        seq = defining_sequence(mgr, from_to(is1("a"), 1, 4))
+        assert 0 not in seq
+        for t in (1, 2, 3):
+            assert seq[t]["a"].equals(ONE(mgr))
+
+    def test_true_formula_is_empty(self, mgr):
+        assert defining_sequence(mgr, TRUE_FORMULA) == {}
+        assert formula_depth(TRUE_FORMULA) == 0
+
+    def test_cross_manager_guard_rejected(self, mgr):
+        other = BDDManager()
+        with pytest.raises(BDDError):
+            defining_sequence(mgr, when(is1("a"), other.var("g")))

@@ -1,0 +1,160 @@
+"""Unit tests for the STE inference-rule theorem prover."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.netlist import CircuitBuilder
+from repro.ste import (InferenceError, check, compose, conj, conjoin,
+                       from_to, from_check, is0, is1, next_, node_is, shift,
+                       specialise, strengthen_antecedent, substitute,
+                       weaken_consequent, when, defining_sequence)
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+def pipeline_circuit():
+    """Two inverters separated by a register: a -> !a -> q -> !q."""
+    b = CircuitBuilder("pipe")
+    clk = b.input("clk")
+    a = b.input("a")
+    inv1 = b.not_(a, out="inv1")
+    b.circuit.add_dff("q", inv1, clk)
+    b.not_("q", out="y")
+    b.circuit.set_output("y")
+    return b.circuit
+
+
+def clock(depth):
+    parts = []
+    for t in range(depth):
+        parts.append(from_to(is1("clk") if t % 2 else is0("clk"), t, t + 1))
+    return conj(parts)
+
+
+@pytest.fixture
+def stage1(mgr):
+    """Theorem: a=v at t0 (with the clock) gives q=~v at t1."""
+    v = mgr.var("v")
+    a = conj([clock(2), from_to(node_is("a", v), 0, 1)])
+    c = from_to(node_is("q", ~v), 1, 2)
+    result = check(pipeline_circuit(), a, c, mgr)
+    assert result.passed
+    return from_check(result, a, c, name="stage1")
+
+
+@pytest.fixture
+def stage2(mgr):
+    """Theorem: q=~v at t1 gives y=v at t1 (combinational stage)."""
+    v = mgr.var("v")
+    a = from_to(node_is("q", ~v), 1, 2)
+    c = from_to(node_is("y", v), 1, 2)
+    result = check(pipeline_circuit(), a, c, mgr)
+    assert result.passed
+    return from_check(result, a, c, name="stage2")
+
+
+class TestLeafRule:
+    def test_failed_run_rejected(self, mgr):
+        result = check(pipeline_circuit(), is1("a"), is1("inv1"), mgr)
+        assert not result.passed
+        with pytest.raises(InferenceError):
+            from_check(result, is1("a"), is1("inv1"))
+
+    def test_vacuous_run_rejected(self, mgr):
+        a = conj([is1("a"), is0("a")])
+        result = check(pipeline_circuit(), a, is0("inv1"), mgr)
+        assert result.vacuous
+        with pytest.raises(InferenceError):
+            from_check(result, a, is0("inv1"))
+
+
+class TestStructuralRules:
+    def test_conjoin(self, stage1, stage2):
+        both = conjoin(stage1, stage2)
+        assert "conjoin" in both.provenance()
+
+    def test_shift_preserves_validity(self, mgr, stage1):
+        """The shifted theorem must still pass a direct model check."""
+        shifted = shift(stage1, 2)
+        result = check(pipeline_circuit(), shifted.antecedent,
+                       shifted.consequent, mgr)
+        assert result.passed
+
+    def test_shift_negative_rejected(self, stage1):
+        with pytest.raises(InferenceError):
+            shift(stage1, -1)
+
+    def test_specialise_instance_is_checkable(self, mgr, stage1):
+        """Substituting a concrete value for v gives a valid instance."""
+        inst = specialise(stage1, {"v": mgr.true})
+        result = check(pipeline_circuit(), inst.antecedent,
+                       inst.consequent, mgr)
+        assert result.passed
+
+    def test_substitute_rewrites_guards(self, mgr):
+        g = mgr.var("g")
+        h = mgr.var("h")
+        f = when(is1("n"), g)
+        rewritten = substitute(mgr, f, {"g": h & g})
+        seq = defining_sequence(mgr, rewritten)
+        value = seq[0]["n"]
+        assert value.scalar({"g": True, "h": True}) == "1"
+        assert value.scalar({"g": True, "h": False}) == "X"
+
+
+class TestSideConditions:
+    def test_weaken_consequent_accepts_subset(self, mgr, stage1):
+        v = mgr.var("v")
+        weaker = from_to(node_is("q", ~v), 1, 2)
+        th = weaken_consequent(stage1, weaker)
+        assert th.consequent is weaker
+
+    def test_weaken_consequent_rejects_stronger(self, mgr, stage1):
+        stronger = conj([from_to(node_is("q", ~mgr.var("v")), 1, 2),
+                         from_to(is1("y"), 1, 2)])
+        with pytest.raises(InferenceError):
+            weaken_consequent(stage1, stronger)
+
+    def test_strengthen_antecedent(self, mgr, stage1):
+        v = mgr.var("v")
+        stronger = conj([clock(2), from_to(node_is("a", v), 0, 1),
+                         from_to(is1("NRET"), 0, 1)])
+        th = strengthen_antecedent(stage1, stronger)
+        assert th.rule == "strengthen-antecedent"
+
+    def test_strengthen_antecedent_rejects_weaker(self, mgr, stage1):
+        with pytest.raises(InferenceError):
+            strengthen_antecedent(stage1, clock(2))
+
+    def test_compose_chains_stages(self, mgr, stage1, stage2):
+        """The decomposition workhorse: stage1's consequent delivers
+        stage2's antecedent, so the chain proves a -> y end to end."""
+        end_to_end = compose(stage1, stage2)
+        # The composed theorem is itself model-checkable.
+        result = check(pipeline_circuit(), end_to_end.antecedent,
+                       end_to_end.consequent, mgr)
+        assert result.passed
+        assert "compose" in end_to_end.provenance()
+
+    def test_compose_rejects_non_matching(self, mgr, stage2):
+        v = mgr.var("v")
+        a = from_to(node_is("a", v), 0, 1)
+        c = from_to(node_is("inv1", ~v), 0, 1)
+        result = check(pipeline_circuit(), a, c, mgr)
+        th = from_check(result, a, c)
+        # inv1 does not deliver q at t1, so chaining to stage2 is unsound.
+        with pytest.raises(InferenceError):
+            compose(th, stage2)
+
+    def test_cross_manager_rejected(self, mgr, stage1):
+        other = BDDManager()
+        v = other.var("v")
+        a = from_to(node_is("q", v), 1, 2)
+        c = from_to(node_is("y", ~v), 1, 2)
+        result = check(pipeline_circuit(), a, c, other)
+        th2 = from_check(result, a, c)
+        with pytest.raises(InferenceError):
+            conjoin(stage1, th2)

@@ -1,0 +1,177 @@
+"""Unit tests for the dual-rail ternary lattice domain."""
+
+import pytest
+
+from repro.bdd import BDDError, BDDManager, BVec
+from repro.ternary import ONE, TOP, TernaryValue, TernaryVector, X, ZERO
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+class TestLatticeStructure:
+    def test_four_constants_distinct(self, mgr):
+        values = [X(mgr), ZERO(mgr), ONE(mgr), TOP(mgr)]
+        scalars = [v.const_scalar() for v in values]
+        assert scalars == ["X", "0", "1", "T"]
+
+    def test_information_order(self, mgr):
+        x, zero, one, top = X(mgr), ZERO(mgr), ONE(mgr), TOP(mgr)
+        # X below everything.
+        for v in (zero, one, top):
+            assert x.leq(v).is_true
+        # 0 and 1 incomparable.
+        assert zero.leq(one).is_false
+        assert one.leq(zero).is_false
+        # Everything below top.
+        for v in (x, zero, one):
+            assert v.leq(top).is_true
+
+    def test_join_is_lub(self, mgr):
+        x, zero, one, top = X(mgr), ZERO(mgr), ONE(mgr), TOP(mgr)
+        assert x.join(zero).equals(zero)
+        assert zero.join(zero).equals(zero)
+        assert zero.join(one).equals(top)       # conflicting info
+        assert one.join(x).equals(one)
+        assert top.join(zero).equals(top)
+
+    def test_meet_is_glb(self, mgr):
+        zero, one = ZERO(mgr), ONE(mgr)
+        assert zero.meet(one).equals(X(mgr))
+        assert zero.meet(zero).equals(zero)
+
+    def test_consistency_predicates(self, mgr):
+        assert X(mgr).is_consistent().is_true
+        assert TOP(mgr).is_consistent().is_false
+        assert ZERO(mgr).is_defined().is_true
+        assert X(mgr).is_defined().is_false
+        assert TOP(mgr).is_defined().is_false
+
+
+class TestGateAlgebra:
+    def test_not_swaps_rails(self, mgr):
+        assert (~ZERO(mgr)).equals(ONE(mgr))
+        assert (~ONE(mgr)).equals(ZERO(mgr))
+        assert (~X(mgr)).equals(X(mgr))
+        assert (~TOP(mgr)).equals(TOP(mgr))
+
+    def test_and_ternary_truth(self, mgr):
+        x, zero, one = X(mgr), ZERO(mgr), ONE(mgr)
+        assert (zero & x).equals(zero)      # 0 dominates
+        assert (one & x).equals(x)          # 1 & X = X
+        assert (one & one).equals(one)
+        assert (x & x).equals(x)
+
+    def test_or_ternary_truth(self, mgr):
+        x, zero, one = X(mgr), ZERO(mgr), ONE(mgr)
+        assert (one | x).equals(one)        # 1 dominates
+        assert (zero | x).equals(x)
+        assert (zero | zero).equals(zero)
+
+    def test_xor_with_unknown(self, mgr):
+        x, one = X(mgr), ONE(mgr)
+        assert (x ^ one).equals(x)
+        assert (one ^ one).equals(ZERO(mgr))
+
+    def test_mux_select_known(self, mgr):
+        one, zero, x = ONE(mgr), ZERO(mgr), X(mgr)
+        assert one.mux(zero, one).equals(zero)     # sel=1 -> then
+        assert zero.mux(zero, one).equals(one)     # sel=0 -> else
+        # X select merges: agreeing branches survive.
+        assert x.mux(one, one).equals(one)
+        assert x.mux(one, zero).equals(x)
+
+    def test_monotonicity_of_and(self, mgr):
+        """Refining X to 0/1 can only refine the output (the STE
+        fundamental property)."""
+        x, zero, one = X(mgr), ZERO(mgr), ONE(mgr)
+        for a in (zero, one):
+            weak = (x & one)
+            strong = (a & one)
+            assert weak.leq(strong).is_true
+
+    def test_symbolic_gate(self, mgr):
+        p = mgr.var("p")
+        v = TernaryValue.of_bdd(p)
+        w = ~v
+        assert w.scalar({"p": True}) == "0"
+        assert w.scalar({"p": False}) == "1"
+
+
+class TestGuards:
+    def test_when_guard_true_keeps_value(self, mgr):
+        v = ONE(mgr).when(mgr.true)
+        assert v.equals(ONE(mgr))
+
+    def test_when_guard_false_gives_x(self, mgr):
+        v = ONE(mgr).when(mgr.false)
+        assert v.equals(X(mgr))
+
+    def test_when_symbolic_guard(self, mgr):
+        g = mgr.var("g")
+        v = ONE(mgr).when(g)
+        assert v.scalar({"g": True}) == "1"
+        assert v.scalar({"g": False}) == "X"
+
+    def test_of_bdd_round_trip(self, mgr):
+        p = mgr.var("p")
+        v = TernaryValue.of_bdd(p)
+        assert v.scalar({"p": True}) == "1"
+        assert v.scalar({"p": False}) == "0"
+
+    def test_cross_manager_rejected(self, mgr):
+        other = BDDManager()
+        with pytest.raises(BDDError):
+            ONE(mgr).join(ONE(other))
+
+
+class TestVector:
+    def test_constant_scalar_string(self, mgr):
+        v = TernaryVector.constant(mgr, 0b0110, 4)
+        assert v.const_scalar() == "0110"
+        assert v.const_int() == 0b0110
+
+    def test_xs(self, mgr):
+        v = TernaryVector.xs(mgr, 3)
+        assert v.const_scalar() == "XXX"
+        assert v.const_int() is None
+
+    def test_of_bvec(self, mgr):
+        x = BVec.variables(mgr, "x", 4)
+        v = TernaryVector.of_bvec(x)
+        assignment = {f"x[{i}]": bool((9 >> i) & 1) for i in range(4)}
+        assert v.scalar(assignment) == "1001"
+
+    def test_join_conflict_gives_top(self, mgr):
+        a = TernaryVector.constant(mgr, 0b01, 2)
+        b = TernaryVector.constant(mgr, 0b11, 2)
+        joined = a.join(b)
+        # MSB-first rendering: bit1 conflicts (0 vs 1), bit0 agrees on 1.
+        assert joined.const_scalar() == "T1"
+
+    def test_vector_mux(self, mgr):
+        sel = TernaryValue.x(mgr)
+        a = TernaryVector.constant(mgr, 0b11, 2)
+        b = TernaryVector.constant(mgr, 0b10, 2)
+        out = a.mux(sel, b)
+        assert out.const_scalar() == "1X"
+
+    def test_bitwise(self, mgr):
+        a = TernaryVector.constant(mgr, 0b1100, 4)
+        b = TernaryVector.constant(mgr, 0b1010, 4)
+        assert (a & b).const_int() == 0b1000
+        assert (a | b).const_int() == 0b1110
+        assert (a ^ b).const_int() == 0b0110
+        assert (~a).const_int() == 0b0011
+
+    def test_width_mismatch_raises(self, mgr):
+        a = TernaryVector.xs(mgr, 2)
+        b = TernaryVector.xs(mgr, 3)
+        with pytest.raises(BDDError):
+            a.join(b)
+
+    def test_is_fully_defined(self, mgr):
+        assert TernaryVector.constant(mgr, 5, 4).is_fully_defined().is_true
+        assert TernaryVector.xs(mgr, 4).is_fully_defined().is_false

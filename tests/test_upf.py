@@ -1,0 +1,149 @@
+"""Unit tests for the UPF subset: parsing, writing, and netlist audit."""
+
+import pytest
+
+from repro.cpu import RiscConfig, build_core
+from repro.upf import (PowerIntent, UpfError, audit, intent_for_core,
+                       parse_upf_text, upf_text)
+
+SAMPLE = """
+# power intent for the selective-retention core
+create_power_domain PD_core -elements {PC Reg IM_cell DM_cell IFR}
+set_retention ret_arch -domain PD_core \\
+    -retention_power_net VDD_ret \\
+    -elements {PC Reg IM_cell DM_cell} \\
+    -save_signal {NRET negedge} -restore_signal {NRET posedge}
+set_isolation iso_out -domain PD_core -clamp_value 0
+"""
+
+
+class TestParsing:
+    def test_sample_parses(self):
+        intent = parse_upf_text(SAMPLE)
+        assert set(intent.domains) == {"PD_core"}
+        assert intent.domains["PD_core"].elements[0] == "PC"
+        ret = intent.retentions["ret_arch"]
+        assert ret.domain == "PD_core"
+        assert ret.save_signal == ("NRET", "negedge")
+        assert ret.restore_signal == ("NRET", "posedge")
+        assert ret.retention_power_net == "VDD_ret"
+        assert intent.isolations["iso_out"].clamp_value == 0
+
+    def test_retained_elements(self):
+        intent = parse_upf_text(SAMPLE)
+        assert set(intent.retained_elements()) == \
+            {"PC", "Reg", "IM_cell", "DM_cell"}
+        assert intent.domain_of("IFR") == "PD_core"
+        assert intent.domain_of("ghost") is None
+
+    def test_comments_and_continuations(self):
+        intent = parse_upf_text(
+            "# only a comment\ncreate_power_domain PD -elements {A}\n")
+        assert "PD" in intent.domains
+
+    def test_signal_defaults_posedge(self):
+        intent = parse_upf_text(
+            "create_power_domain PD -elements {A}\n"
+            "set_retention r -domain PD -elements {A} -save_signal {S}\n")
+        assert intent.retentions["r"].save_signal == ("S", "posedge")
+
+    @pytest.mark.parametrize("bad", [
+        "frobnicate_domain PD",
+        "create_power_domain",
+        "set_retention r -elements {A}",                      # no domain
+        "set_retention r -domain NOPE -elements {A}",         # unknown
+        "set_isolation i -clamp_value 1",                     # no domain
+        "create_power_domain PD -elements {A",                # unbalanced
+        "set_retention r -domain",                            # no value
+    ])
+    def test_errors(self, bad):
+        with pytest.raises(UpfError):
+            parse_upf_text("create_power_domain PD -elements {A}\n" + bad
+                           if "PD" not in bad.split()[0] else bad)
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(UpfError):
+            parse_upf_text("create_power_domain PD -elements {A}\n"
+                           "create_power_domain PD -elements {B}\n")
+
+    def test_bad_signal_edge(self):
+        with pytest.raises(UpfError):
+            parse_upf_text(
+                "create_power_domain PD -elements {A}\n"
+                "set_retention r -domain PD -save_signal {S sideways}\n")
+
+
+class TestRoundTrip:
+    def test_write_then_parse(self):
+        intent = parse_upf_text(SAMPLE)
+        text = upf_text(intent)
+        back = parse_upf_text(text)
+        assert set(back.domains) == set(intent.domains)
+        assert back.retentions["ret_arch"].elements == \
+            intent.retentions["ret_arch"].elements
+        assert back.retentions["ret_arch"].save_signal == ("NRET", "negedge")
+        assert set(back.isolations) == {"iso_out"}
+
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+
+class TestAudit:
+    def test_selective_core_is_clean(self):
+        core = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(core.circuit)
+        result = audit(core.circuit, intent)
+        assert result.ok, result.summary()
+        assert result.covered_registers == \
+            len(core.circuit.retention_state_nodes())
+
+    def test_intent_round_trips_through_text(self):
+        core = build_core(RiscConfig(**GEOMETRY))
+        intent = parse_upf_text(upf_text(intent_for_core(core.circuit)))
+        assert audit(core.circuit, intent).ok
+
+    def test_missing_retention_detected(self):
+        """Intent says retain, netlist does not: the audit catches it."""
+        core = build_core(RiscConfig(variant="no-retention", **GEOMETRY))
+        good = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(good.circuit)  # arch groups retained
+        result = audit(core.circuit, intent)
+        assert not result.ok
+        assert any("plain register" in v for v in result.violations)
+
+    def test_undocumented_retention_detected(self):
+        """Netlist retains more than the intent documents."""
+        core = build_core(RiscConfig(variant="full-retention", **GEOMETRY))
+        good = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(good.circuit)
+        result = audit(core.circuit, intent)
+        assert not result.ok
+        assert any("no strategy covers" in v for v in result.violations)
+
+    def test_unknown_element_detected(self):
+        core = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(core.circuit)
+        intent.retentions["ret_architectural"].elements.append("GhostBank")
+        result = audit(core.circuit, intent)
+        assert any("no registers in the netlist" in v
+                   for v in result.violations)
+
+    def test_wrong_save_net_detected(self):
+        core = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(core.circuit, save_net="WRONG_NET")
+        result = audit(core.circuit, intent)
+        assert not result.ok
+        assert any("does not match strategy save net" in v
+                   for v in result.violations)
+
+    def test_element_outside_domain_detected(self):
+        core = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(core.circuit)
+        intent.domains["PD_core"].elements.remove("PC")
+        result = audit(core.circuit, intent)
+        assert any("outside its domain" in v for v in result.violations)
+
+    def test_summary_text(self):
+        core = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(core.circuit)
+        assert "CLEAN" in audit(core.circuit, intent).summary()
