@@ -1,0 +1,7 @@
+"""Benchmark harness package.
+
+Being a package (rather than a loose directory of modules) lets the
+bench modules use ``from .conftest import once`` regardless of how
+pytest was invoked — the seed's relative-import collection error came
+from collecting these files as top-level modules.
+"""

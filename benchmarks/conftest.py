@@ -11,6 +11,23 @@ from __future__ import annotations
 import pytest
 
 
+import pathlib
+
+_BENCH_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Every bench is `slow`: they reproduce whole paper artefacts and
+    belong to the full tier, not the `-m "not slow"` inner loop.
+
+    (The hook is session-level, so restrict it to items under this
+    directory.)
+    """
+    for item in items:
+        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
+
+
 def once(benchmark, fn, *args, **kwargs):
     """Run *fn* exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs,

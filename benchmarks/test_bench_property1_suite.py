@@ -20,6 +20,7 @@ from repro.bdd import BDDManager
 from repro.cpu import fixed_core
 from repro.harness import Table, paper_claims
 from repro.retention import UNIT_COUNTS, build_suite
+from repro.ste import CheckSession
 
 from .conftest import once
 
@@ -30,9 +31,10 @@ def test_bench_property1_suite(benchmark):
     core = fixed_core(**GEOMETRY)
     mgr = BDDManager()
     suite = build_suite(core, mgr)
+    session = CheckSession(core.circuit, mgr)
 
     def run():
-        return [(p, p.check(core, mgr)) for p in suite]
+        return [(p, p.check(core, mgr, session=session)) for p in suite]
 
     outcomes = once(benchmark, run)
 
@@ -54,6 +56,7 @@ def test_bench_property1_suite(benchmark):
                   f"{unit_time[unit]:.1f}s")
     print()
     print(table)
+    print(session.report().summary())
     print(f"slowest property: {slowest[0].name} "
           f"({slowest[1].elapsed_seconds:.1f}s) — the paper's analogue "
           f"took {paper_claims()['max_property_seconds_paper']}s on "

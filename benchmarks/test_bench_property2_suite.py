@@ -21,6 +21,7 @@ from repro.bdd import BDDManager
 from repro.cpu import fixed_core
 from repro.harness import Table
 from repro.retention import UNIT_COUNTS, build_suite
+from repro.ste import CheckSession
 
 from .conftest import once
 
@@ -33,9 +34,10 @@ def test_bench_property2_suite(benchmark):
     suite = build_suite(core, mgr, sleep=True)
     assert all(p.schedule.is_sleep and p.schedule.depth == 11
                for p in suite)
+    session = CheckSession(core.circuit, mgr)
 
     def run():
-        return [(p, p.check(core, mgr)) for p in suite]
+        return [(p, p.check(core, mgr, session=session)) for p in suite]
 
     outcomes = once(benchmark, run)
 
@@ -55,5 +57,6 @@ def test_bench_property2_suite(benchmark):
         table.add(unit, unit_count[unit], "yes", f"{unit_time[unit]:.1f}s")
     print()
     print(table)
+    print(session.report().summary())
     print("sleep schedule: clock stops (t=1), NRET low (t=3), NRST pulse "
           "(t=4); resume reverses; IFR reload edge t=9; next state t=10")

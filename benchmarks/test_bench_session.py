@@ -1,0 +1,76 @@
+"""E13 — batched property sessions (engineering beyond the paper).
+
+The paper's decomposition produces 26 properties over one circuit.  The
+per-property :func:`repro.ste.check` entry point re-validates the
+netlist, re-extracts a cone of influence and re-compiles a model for
+every property; :class:`repro.ste.CheckSession` pays those costs once
+per suite and shares compiled cone models between properties whose
+cones coincide.
+
+Expected shape: verdicts identical to per-property checks, strictly
+fewer models compiled than properties checked, and wall-clock no worse
+than the per-property driver on the same (fresh) manager.
+"""
+
+import time
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.harness import Table
+from repro.retention import build_suite
+from repro.ste import CheckSession
+
+from .conftest import once
+
+GEOMETRY = dict(nregs=4, imem_depth=4, dmem_depth=4)
+
+# The cheap representatives of every unit (the expensive ALU/writeback
+# properties add minutes without changing the comparison's shape).
+FAST_NAMES = {
+    "fetch_pc_plus4",
+    "decode_sign_extend",
+    "decode_write_register_rtype",
+    "decode_write_register_load",
+    "decode_alusrc_mux",
+    "control_RegDst",
+    "control_RegWrite",
+    "control_Branch",
+    "control_PCWrite",
+    "control_ALUCtl",
+    "execute_zero_flag",
+}
+
+
+def test_bench_session_vs_per_property(benchmark):
+    core = fixed_core(**GEOMETRY)
+
+    # Per-property driver: fresh manager, one check() per property.
+    mgr_solo = BDDManager()
+    suite_solo = [p for p in build_suite(core, mgr_solo)
+                  if p.name in FAST_NAMES]
+    started = time.perf_counter()
+    solo = {p.name: p.check(core, mgr_solo) for p in suite_solo}
+    solo_seconds = time.perf_counter() - started
+
+    # Session driver: fresh manager, circuit validated/compiled once.
+    mgr_sess = BDDManager()
+    suite_sess = [p for p in build_suite(core, mgr_sess)
+                  if p.name in FAST_NAMES]
+    session = CheckSession(core.circuit, mgr_sess)
+    report = once(benchmark, session.run, suite_sess)
+
+    assert report.passed
+    assert report.verdicts() == {name: r.passed for name, r in solo.items()}
+    assert report.models_compiled < len(suite_sess)
+    assert report.model_reuses > 0
+
+    table = Table(["driver", "models compiled", "time"],
+                  title="E13: per-property check() vs CheckSession "
+                        f"({len(suite_sess)} properties)")
+    table.add("per-property", len(suite_solo), f"{solo_seconds:.2f}s")
+    table.add("session",
+              f"{report.models_compiled} (+{report.model_reuses} reused)",
+              f"{report.elapsed_seconds:.2f}s")
+    print()
+    print(table)
+    print(report.summary())

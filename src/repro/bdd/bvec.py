@@ -151,11 +151,19 @@ class BVec:
                     self.bits[amount:] + [self.mgr.false] * amount)
 
     # ------------------------------------------------------------------
-    # Comparison
+    # Comparison (reductions accumulate on raw node ids through the
+    # manager's direct apply kernels — these guards sit inside every
+    # indexed-memory antecedent, so the per-bit Ref churn matters)
     # ------------------------------------------------------------------
     def eq(self, other: Union["BVec", int]) -> Ref:
         other = self._coerce(other)
-        return self.mgr.conj(~(a ^ b) for a, b in zip(self.bits, other.bits))
+        mgr = self.mgr
+        acc = mgr.true.node
+        for a, b in zip(self.bits, other.bits):
+            acc = mgr._apply_and(acc, mgr._not(mgr._apply_xor(a.node, b.node)))
+            if acc == mgr.false.node:
+                break
+        return Ref(mgr, acc)
 
     def ne(self, other: Union["BVec", int]) -> Ref:
         return ~self.eq(other)
@@ -163,10 +171,14 @@ class BVec:
     def ult(self, other: Union["BVec", int]) -> Ref:
         """Unsigned less-than."""
         other = self._coerce(other)
-        lt = self.mgr.false
+        mgr = self.mgr
+        lt = mgr.false.node
         for a, b in zip(self.bits, other.bits):  # LSB -> MSB
-            lt = (~a & b) | (~(a ^ b) & lt)
-        return lt
+            na = mgr._not(a.node)
+            ab_eq = mgr._not(mgr._apply_xor(a.node, b.node))
+            lt = mgr._apply_or(mgr._apply_and(na, b.node),
+                               mgr._apply_and(ab_eq, lt))
+        return Ref(mgr, lt)
 
     def slt(self, other: Union["BVec", int]) -> Ref:
         """Signed (two's complement) less-than — the ALU ``slt`` model."""
@@ -180,7 +192,13 @@ class BVec:
         return diff.bits[-1] ^ overflow
 
     def is_zero(self) -> Ref:
-        return self.mgr.conj(~b for b in self.bits)
+        mgr = self.mgr
+        acc = mgr.true.node
+        for b in self.bits:
+            acc = mgr._apply_and(acc, mgr._not(b.node))
+            if acc == mgr.false.node:
+                break
+        return Ref(mgr, acc)
 
     # ------------------------------------------------------------------
     # Selection

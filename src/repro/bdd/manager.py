@@ -6,11 +6,24 @@ paper).  It implements the classic hash-consed ROBDD representation:
 
 * every node is a triple ``(level, low, high)`` interned in a unique
   table, so structural equality is pointer equality;
-* Shannon-expansion based ``ite`` (if-then-else) with memoisation is the
-  single workhorse from which all binary operators derive;
+* the binary connectives AND/OR/XOR are *direct* memoised apply
+  operations (iterative, not recursive) with per-operation computed
+  tables and canonical operand ordering, so commutative calls share one
+  cache entry and the terminal rules (``f & f == f``, ``f | 1 == 1``,
+  ``f ^ f == 0`` …) prune whole subproblems that a generic ``ite``
+  funnel would expand;
+* Shannon-expansion ``ite`` remains available for genuine three-operand
+  selects, but normalises to the direct ops whenever an operand is
+  constant or repeated;
 * existential/universal quantification, functional composition, restrict,
   support computation, satisfying-assignment enumeration and model
   counting are provided on top.
+
+All tables — the unique table and every computed table — are keyed by
+packed integers (``level << 60 | low << 30 | high`` and
+``f << 30 | g``) rather than tuples: node ids stay far below 2**30
+(memory runs out orders of magnitude earlier), and small-int keys avoid
+a tuple allocation plus three-element hash per lookup on the hot path.
 
 Nodes are exposed to callers as :class:`Ref` handles carrying their
 manager, so expressions read naturally::
@@ -27,7 +40,7 @@ savings (the paper's algorithms are all representation-agnostic).
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 __all__ = ["BDDManager", "Ref", "BDDError"]
 
@@ -40,6 +53,10 @@ class BDDError(Exception):
 # Terminal node ids.  Internal nodes start at 2.
 _FALSE = 0
 _TRUE = 1
+
+# Key packing width: node ids and levels both stay < 2**30 (a manager
+# with 2**30 nodes would need >100 GB for the parallel arrays alone).
+_S = 30
 
 
 class Ref:
@@ -59,24 +76,40 @@ class Ref:
 
     # -- operators -----------------------------------------------------
     def __and__(self, other: "Ref") -> "Ref":
-        return self.mgr.apply_and(self, other)
+        mgr = self.mgr
+        if other.mgr is not mgr:
+            raise BDDError("Ref belongs to a different BDDManager")
+        return Ref(mgr, mgr._apply_and(self.node, other.node))
 
     def __or__(self, other: "Ref") -> "Ref":
-        return self.mgr.apply_or(self, other)
+        mgr = self.mgr
+        if other.mgr is not mgr:
+            raise BDDError("Ref belongs to a different BDDManager")
+        return Ref(mgr, mgr._apply_or(self.node, other.node))
 
     def __xor__(self, other: "Ref") -> "Ref":
-        return self.mgr.apply_xor(self, other)
+        mgr = self.mgr
+        if other.mgr is not mgr:
+            raise BDDError("Ref belongs to a different BDDManager")
+        return Ref(mgr, mgr._apply_xor(self.node, other.node))
 
     def __invert__(self) -> "Ref":
-        return self.mgr.apply_not(self)
+        mgr = self.mgr
+        return Ref(mgr, mgr._not(self.node))
 
     def __rshift__(self, other: "Ref") -> "Ref":
         """Implication ``self -> other``."""
-        return self.mgr.apply_or(self.mgr.apply_not(self), other)
+        mgr = self.mgr
+        if other.mgr is not mgr:
+            raise BDDError("Ref belongs to a different BDDManager")
+        return Ref(mgr, mgr._apply_or(mgr._not(self.node), other.node))
 
     def iff(self, other: "Ref") -> "Ref":
         """Biconditional ``self <-> other``."""
-        return self.mgr.apply_not(self.mgr.apply_xor(self, other))
+        mgr = self.mgr
+        if other.mgr is not mgr:
+            raise BDDError("Ref belongs to a different BDDManager")
+        return Ref(mgr, mgr._not(mgr._apply_xor(self.node, other.node)))
 
     def ite(self, then: "Ref", else_: "Ref") -> "Ref":
         return self.mgr.ite(self, then, else_)
@@ -140,11 +173,20 @@ class BDDManager:
         self._level: List[int] = [2**60, 2**60]
         self._low: List[int] = [0, 0]
         self._high: List[int] = [0, 0]
-        # (level, low, high) -> node id
-        self._unique: Dict[Tuple[int, int, int], int] = {}
-        # Operation caches.
-        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
-        self._op_caches: Dict[str, Dict] = {}
+        # Packed (level << 60 | low << 30 | high) -> node id.
+        self._unique: Dict[int, int] = {}
+        # Per-operation computed tables, packed-int keyed.
+        self._and_cache: Dict[int, int] = {}
+        self._or_cache: Dict[int, int] = {}
+        self._xor_cache: Dict[int, int] = {}
+        self._not_cache: Dict[int, int] = {}
+        self._ite_cache: Dict[int, int] = {}
+        # [hits, misses] per operation (a miss == one cache store).
+        self._stats_and = [0, 0]
+        self._stats_or = [0, 0]
+        self._stats_xor = [0, 0]
+        self._stats_not = [0, 0]
+        self._stats_ite = [0, 0]
         # Variable bookkeeping: name <-> level (level == order position).
         self._var_names: List[str] = []
         self._name_to_level: Dict[str, int] = {}
@@ -205,11 +247,20 @@ class BDDManager:
     def _mk(self, level: int, low: int, high: int) -> int:
         if low == high:
             return low
-        key = (level, low, high)
+        key = (level << 60) | (low << _S) | high
         node = self._unique.get(key)
         if node is None:
-            node = len(self._level)
-            self._level.append(level)
+            levels = self._level
+            node = len(levels)
+            if node == 1 << _S:
+                # Beyond this id the packed keys would overlap and the
+                # tables would silently return wrong nodes — in a
+                # verification kernel that must be a loud failure, even
+                # though memory exhausts long before it can happen.
+                raise BDDError(
+                    f"unique table exceeded {1 << _S} nodes; packed "
+                    f"table keys would no longer be collision-free")
+            levels.append(level)
             self._low.append(low)
             self._high.append(high)
             self._unique[key] = node
@@ -221,7 +272,371 @@ class BDDManager:
                 raise BDDError("Ref belongs to a different BDDManager")
 
     # ------------------------------------------------------------------
-    # Core algorithm: ite
+    # Direct apply operations (the hot path)
+    #
+    # Each is an iterative two-phase loop over an explicit stack: a
+    # 3-tuple frame (a, b, key) expands a subproblem — resolving both
+    # cofactor children through the op's terminal rules or the computed
+    # table — and a 6-tuple frame (key, level, lo, lkey, hi, hkey)
+    # combines children once they are available.  Children are pushed
+    # after their combine frame, so LIFO order guarantees the combine
+    # frame finds them in the cache.  The three bodies are deliberately
+    # near-duplicates: a shared parametrised kernel costs an extra
+    # dispatch per inner iteration, which is exactly what this rewrite
+    # removes.
+    # ------------------------------------------------------------------
+    def _apply_and(self, f: int, g: int) -> int:
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        if f == _FALSE:
+            return _FALSE
+        if f == _TRUE:
+            return g
+        cache = self._and_cache
+        key0 = (f << _S) | g
+        result = cache.get(key0)
+        if result is not None:
+            self._stats_and[0] += 1
+            return result
+        level_ = self._level
+        low_ = self._low
+        high_ = self._high
+        get = cache.get
+        mk = self._mk
+        hits = 0
+        misses = 0
+        stack: List[tuple] = [(f, g, key0)]
+        push = stack.append
+        while stack:
+            frame = stack.pop()
+            if len(frame) == 3:
+                a, b, key = frame
+                if key in cache:
+                    continue
+                la = level_[a]
+                lb = level_[b]
+                if la < lb:
+                    lvl = la
+                    a0 = low_[a]
+                    a1 = high_[a]
+                    b0 = b1 = b
+                elif lb < la:
+                    lvl = lb
+                    a0 = a1 = a
+                    b0 = low_[b]
+                    b1 = high_[b]
+                else:
+                    lvl = la
+                    a0 = low_[a]
+                    a1 = high_[a]
+                    b0 = low_[b]
+                    b1 = high_[b]
+                if a0 > b0:
+                    a0, b0 = b0, a0
+                if a0 == _FALSE:
+                    lo: Optional[int] = _FALSE
+                    lkey = 0
+                elif a0 == _TRUE or a0 == b0:
+                    lo = b0
+                    lkey = 0
+                else:
+                    lkey = (a0 << _S) | b0
+                    lo = get(lkey)
+                    if lo is not None:
+                        hits += 1
+                if a1 > b1:
+                    a1, b1 = b1, a1
+                if a1 == _FALSE:
+                    hi: Optional[int] = _FALSE
+                    hkey = 0
+                elif a1 == _TRUE or a1 == b1:
+                    hi = b1
+                    hkey = 0
+                else:
+                    hkey = (a1 << _S) | b1
+                    hi = get(hkey)
+                    if hi is not None:
+                        hits += 1
+                if lo is not None and hi is not None:
+                    cache[key] = mk(lvl, lo, hi)
+                    misses += 1
+                else:
+                    push((key, lvl, lo, lkey, hi, hkey))
+                    if lo is None:
+                        push((a0, b0, lkey))
+                    if hi is None:
+                        push((a1, b1, hkey))
+            else:
+                key, lvl, lo, lkey, hi, hkey = frame
+                if lo is None:
+                    lo = cache[lkey]
+                if hi is None:
+                    hi = cache[hkey]
+                cache[key] = mk(lvl, lo, hi)
+                misses += 1
+        stats = self._stats_and
+        stats[0] += hits
+        stats[1] += misses
+        return cache[key0]
+
+    def _apply_or(self, f: int, g: int) -> int:
+        if f == g:
+            return f
+        if f > g:
+            f, g = g, f
+        if f == _TRUE:
+            return _TRUE
+        if f == _FALSE:
+            return g
+        cache = self._or_cache
+        key0 = (f << _S) | g
+        result = cache.get(key0)
+        if result is not None:
+            self._stats_or[0] += 1
+            return result
+        level_ = self._level
+        low_ = self._low
+        high_ = self._high
+        get = cache.get
+        mk = self._mk
+        hits = 0
+        misses = 0
+        stack: List[tuple] = [(f, g, key0)]
+        push = stack.append
+        while stack:
+            frame = stack.pop()
+            if len(frame) == 3:
+                a, b, key = frame
+                if key in cache:
+                    continue
+                la = level_[a]
+                lb = level_[b]
+                if la < lb:
+                    lvl = la
+                    a0 = low_[a]
+                    a1 = high_[a]
+                    b0 = b1 = b
+                elif lb < la:
+                    lvl = lb
+                    a0 = a1 = a
+                    b0 = low_[b]
+                    b1 = high_[b]
+                else:
+                    lvl = la
+                    a0 = low_[a]
+                    a1 = high_[a]
+                    b0 = low_[b]
+                    b1 = high_[b]
+                if a0 > b0:
+                    a0, b0 = b0, a0
+                if a0 == _TRUE:
+                    lo: Optional[int] = _TRUE
+                    lkey = 0
+                elif a0 == _FALSE or a0 == b0:
+                    lo = b0
+                    lkey = 0
+                else:
+                    lkey = (a0 << _S) | b0
+                    lo = get(lkey)
+                    if lo is not None:
+                        hits += 1
+                if a1 > b1:
+                    a1, b1 = b1, a1
+                if a1 == _TRUE:
+                    hi: Optional[int] = _TRUE
+                    hkey = 0
+                elif a1 == _FALSE or a1 == b1:
+                    hi = b1
+                    hkey = 0
+                else:
+                    hkey = (a1 << _S) | b1
+                    hi = get(hkey)
+                    if hi is not None:
+                        hits += 1
+                if lo is not None and hi is not None:
+                    cache[key] = mk(lvl, lo, hi)
+                    misses += 1
+                else:
+                    push((key, lvl, lo, lkey, hi, hkey))
+                    if lo is None:
+                        push((a0, b0, lkey))
+                    if hi is None:
+                        push((a1, b1, hkey))
+            else:
+                key, lvl, lo, lkey, hi, hkey = frame
+                if lo is None:
+                    lo = cache[lkey]
+                if hi is None:
+                    hi = cache[hkey]
+                cache[key] = mk(lvl, lo, hi)
+                misses += 1
+        stats = self._stats_or
+        stats[0] += hits
+        stats[1] += misses
+        return cache[key0]
+
+    def _apply_xor(self, f: int, g: int) -> int:
+        if f == g:
+            return _FALSE
+        if f > g:
+            f, g = g, f
+        if f == _FALSE:
+            return g
+        if f == _TRUE:
+            return self._not(g)
+        cache = self._xor_cache
+        key0 = (f << _S) | g
+        result = cache.get(key0)
+        if result is not None:
+            self._stats_xor[0] += 1
+            return result
+        level_ = self._level
+        low_ = self._low
+        high_ = self._high
+        get = cache.get
+        mk = self._mk
+        not_ = self._not
+        hits = 0
+        misses = 0
+        stack: List[tuple] = [(f, g, key0)]
+        push = stack.append
+        while stack:
+            frame = stack.pop()
+            if len(frame) == 3:
+                a, b, key = frame
+                if key in cache:
+                    continue
+                la = level_[a]
+                lb = level_[b]
+                if la < lb:
+                    lvl = la
+                    a0 = low_[a]
+                    a1 = high_[a]
+                    b0 = b1 = b
+                elif lb < la:
+                    lvl = lb
+                    a0 = a1 = a
+                    b0 = low_[b]
+                    b1 = high_[b]
+                else:
+                    lvl = la
+                    a0 = low_[a]
+                    a1 = high_[a]
+                    b0 = low_[b]
+                    b1 = high_[b]
+                if a0 > b0:
+                    a0, b0 = b0, a0
+                if a0 == b0:
+                    lo: Optional[int] = _FALSE
+                    lkey = 0
+                elif a0 == _FALSE:
+                    lo = b0
+                    lkey = 0
+                elif a0 == _TRUE:
+                    lo = not_(b0)
+                    lkey = 0
+                else:
+                    lkey = (a0 << _S) | b0
+                    lo = get(lkey)
+                    if lo is not None:
+                        hits += 1
+                if a1 > b1:
+                    a1, b1 = b1, a1
+                if a1 == b1:
+                    hi: Optional[int] = _FALSE
+                    hkey = 0
+                elif a1 == _FALSE:
+                    hi = b1
+                    hkey = 0
+                elif a1 == _TRUE:
+                    hi = not_(b1)
+                    hkey = 0
+                else:
+                    hkey = (a1 << _S) | b1
+                    hi = get(hkey)
+                    if hi is not None:
+                        hits += 1
+                if lo is not None and hi is not None:
+                    cache[key] = mk(lvl, lo, hi)
+                    misses += 1
+                else:
+                    push((key, lvl, lo, lkey, hi, hkey))
+                    if lo is None:
+                        push((a0, b0, lkey))
+                    if hi is None:
+                        push((a1, b1, hkey))
+            else:
+                key, lvl, lo, lkey, hi, hkey = frame
+                if lo is None:
+                    lo = cache[lkey]
+                if hi is None:
+                    hi = cache[hkey]
+                cache[key] = mk(lvl, lo, hi)
+                misses += 1
+        stats = self._stats_xor
+        stats[0] += hits
+        stats[1] += misses
+        return cache[key0]
+
+    def _not(self, f: int) -> int:
+        if f < 2:
+            return 1 - f
+        cache = self._not_cache
+        result = cache.get(f)
+        if result is not None:
+            self._stats_not[0] += 1
+            return result
+        level_ = self._level
+        low_ = self._low
+        high_ = self._high
+        get = cache.get
+        mk = self._mk
+        hits = 0
+        misses = 0
+        # Same expand/combine discipline as the binary apply loops
+        # (1-tuple = visit, 3-tuple = combine) so each node is expanded
+        # once and inner cache hits are counted exactly once.
+        stack: List[tuple] = [(f,)]
+        push = stack.append
+        while stack:
+            frame = stack.pop()
+            if len(frame) == 1:
+                n = frame[0]
+                if n in cache:
+                    continue
+                lo = low_[n]
+                hi = high_[n]
+                lo_r = 1 - lo if lo < 2 else get(lo)
+                hi_r = 1 - hi if hi < 2 else get(hi)
+                if lo_r is not None and lo >= 2:
+                    hits += 1
+                if hi_r is not None and hi >= 2:
+                    hits += 1
+                if lo_r is not None and hi_r is not None:
+                    cache[n] = mk(level_[n], lo_r, hi_r)
+                    misses += 1
+                else:
+                    push((n, lo, hi))
+                    if lo_r is None:
+                        push((lo,))
+                    if hi_r is None:
+                        push((hi,))
+            else:
+                n, lo, hi = frame
+                lo_r = 1 - lo if lo < 2 else cache[lo]
+                hi_r = 1 - hi if hi < 2 else cache[hi]
+                cache[n] = mk(level_[n], lo_r, hi_r)
+                misses += 1
+        stats = self._stats_not
+        stats[0] += hits
+        stats[1] += misses
+        return cache[f]
+
+    # ------------------------------------------------------------------
+    # ite: kept for genuine three-operand selects, normalised to the
+    # direct ops whenever an operand is constant or repeated.
     # ------------------------------------------------------------------
     def ite(self, f: Ref, g: Ref, h: Ref) -> Ref:
         """If-then-else: ``f & g | ~f & h`` computed canonically."""
@@ -229,20 +644,41 @@ class BDDManager:
         return Ref(self, self._ite(f.node, g.node, h.node))
 
     def _ite(self, f: int, g: int, h: int) -> int:
-        # Terminal cases.
         if f == _TRUE:
             return g
         if f == _FALSE:
             return h
         if g == h:
             return g
-        if g == _TRUE and h == _FALSE:
-            return f
-        key = (f, g, h)
+        if g == _TRUE:
+            if h == _FALSE:
+                return f
+            return self._apply_or(f, h)
+        if g == _FALSE:
+            if h == _TRUE:
+                return self._not(f)
+            return self._apply_and(self._not(f), h)
+        if h == _FALSE:
+            return self._apply_and(f, g)
+        if h == _TRUE:
+            return self._apply_or(self._not(f), g)
+        if f == g:
+            return self._apply_or(f, h)
+        if f == h:
+            return self._apply_and(f, g)
+        key = (f << 60) | (g << _S) | h
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self._stats_ite[0] += 1
             return cached
-        level = min(self._lvl(f), self._lvl(g), self._lvl(h))
+        level_ = self._level
+        level = level_[f]
+        lg = level_[g]
+        if lg < level:
+            level = lg
+        lh = level_[h]
+        if lh < level:
+            level = lh
         f0, f1 = self._cof(f, level)
         g0, g1 = self._cof(g, level)
         h0, h1 = self._cof(h, level)
@@ -250,6 +686,7 @@ class BDDManager:
         high = self._ite(f1, g1, h1)
         result = self._mk(level, low, high)
         self._ite_cache[key] = result
+        self._stats_ite[1] += 1
         return result
 
     def _lvl(self, node: int) -> int:
@@ -262,33 +699,31 @@ class BDDManager:
         return self._low[node], self._high[node]
 
     # ------------------------------------------------------------------
-    # Derived binary/unary operators
+    # Public binary/unary operators
     # ------------------------------------------------------------------
     def apply_not(self, f: Ref) -> Ref:
         self._check(f)
         return Ref(self, self._not(f.node))
 
-    def _not(self, f: int) -> int:
-        return self._ite(f, _FALSE, _TRUE)
-
     def apply_and(self, f: Ref, g: Ref) -> Ref:
         self._check(f, g)
-        return Ref(self, self._ite(f.node, g.node, _FALSE))
+        return Ref(self, self._apply_and(f.node, g.node))
 
     def apply_or(self, f: Ref, g: Ref) -> Ref:
         self._check(f, g)
-        return Ref(self, self._ite(f.node, _TRUE, g.node))
+        return Ref(self, self._apply_or(f.node, g.node))
 
     def apply_xor(self, f: Ref, g: Ref) -> Ref:
         self._check(f, g)
-        return Ref(self, self._ite(f.node, self._not(g.node), g.node))
+        return Ref(self, self._apply_xor(f.node, g.node))
 
     def conj(self, refs: Iterable[Ref]) -> Ref:
         """Conjunction of an iterable of Refs (true for empty input)."""
         acc = _TRUE
+        apply_and = self._apply_and
         for ref in refs:
             self._check(ref)
-            acc = self._ite(acc, ref.node, _FALSE)
+            acc = apply_and(acc, ref.node)
             if acc == _FALSE:
                 break
         return Ref(self, acc)
@@ -296,9 +731,10 @@ class BDDManager:
     def disj(self, refs: Iterable[Ref]) -> Ref:
         """Disjunction of an iterable of Refs (false for empty input)."""
         acc = _FALSE
+        apply_or = self._apply_or
         for ref in refs:
             self._check(ref)
-            acc = self._ite(acc, _TRUE, ref.node)
+            acc = apply_or(acc, ref.node)
             if acc == _TRUE:
                 break
         return Ref(self, acc)
@@ -338,9 +774,9 @@ class BDDManager:
         high = self._quant(self._high[node], levels, cache, is_exists)
         if level in levels:
             if is_exists:
-                result = self._ite(low, _TRUE, high)
+                result = self._apply_or(low, high)
             else:
-                result = self._ite(low, high, _FALSE)
+                result = self._apply_and(low, high)
         else:
             result = self._mk(level, low, high)
         cache[node] = result
@@ -544,16 +980,48 @@ class BDDManager:
         return (count(f.node) << top_gap) << (nvars - len(support))
 
     # ------------------------------------------------------------------
-    # Cache maintenance
+    # Cache maintenance / statistics
     # ------------------------------------------------------------------
     def clear_caches(self) -> None:
         """Drop operation caches (unique table is kept: canonicity)."""
+        self._and_cache.clear()
+        self._or_cache.clear()
+        self._xor_cache.clear()
+        self._not_cache.clear()
         self._ite_cache.clear()
-        self._op_caches.clear()
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-operation computed-table statistics.
+
+        ``hits`` counts lookups answered from the table (both top-level
+        and inside the apply loops); ``misses`` counts freshly computed
+        entries; ``entries`` is the current table size (< misses after a
+        :meth:`clear_caches`).
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for name, stats, cache in (
+                ("and", self._stats_and, self._and_cache),
+                ("or", self._stats_or, self._or_cache),
+                ("xor", self._stats_xor, self._xor_cache),
+                ("not", self._stats_not, self._not_cache),
+                ("ite", self._stats_ite, self._ite_cache)):
+            out[name] = {"hits": stats[0], "misses": stats[1],
+                         "entries": len(cache)}
+        return out
 
     def stats(self) -> Dict[str, int]:
+        cache_hits = (self._stats_and[0] + self._stats_or[0]
+                      + self._stats_xor[0] + self._stats_not[0]
+                      + self._stats_ite[0])
+        cache_misses = (self._stats_and[1] + self._stats_or[1]
+                        + self._stats_xor[1] + self._stats_not[1]
+                        + self._stats_ite[1])
         return {
             "nodes": len(self._level),
             "vars": len(self._var_names),
             "ite_cache": len(self._ite_cache),
+            "apply_cache": (len(self._and_cache) + len(self._or_cache)
+                            + len(self._xor_cache) + len(self._not_cache)),
+            "cache_hits": cache_hits,
+            "cache_misses": cache_misses,
         }

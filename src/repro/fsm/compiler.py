@@ -1,33 +1,40 @@
 """Circuit -> executable model compilation entry point.
 
-Thin, intentionally: `compile_circuit` validates the netlist and wraps
-it in a :class:`~repro.fsm.model.CompiledModel`.  Kept as a separate
-module so the pipeline reads like the paper's: *synthesize (builder or
-BLIF) -> compile (here) -> model check (repro.ste)*.
+Thin, intentionally: `compile_circuit` validates the netlist, optionally
+reduces it to the cone of influence of a set of root nodes, and wraps it
+in a :class:`~repro.fsm.model.CompiledModel`.  Kept as a separate module
+so the pipeline reads like the paper's: *synthesize (builder or BLIF) ->
+compile (here) -> model check (repro.ste)*.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterable, Optional
 
 from ..bdd import BDDManager
-from ..netlist import Circuit, NetlistError, check_circuit
+from ..netlist import Circuit, cone_of_influence, require_valid
 from .model import CompiledModel
 
 __all__ = ["compile_circuit"]
 
 
 def compile_circuit(circuit: Circuit, mgr: Optional[BDDManager] = None,
-                    validate: bool = True) -> CompiledModel:
+                    validate: bool = True,
+                    coi_roots: Optional[Iterable[str]] = None
+                    ) -> CompiledModel:
     """Compile *circuit* into a ternary executable model.
 
     With ``validate=True`` (default) structural problems raise
     :class:`~repro.netlist.circuit.NetlistError` with the full issue
     list, mirroring how ``exlif2exe`` rejects malformed BLIF.
+
+    With ``coi_roots`` the circuit is first reduced to the transitive
+    fanin of those nodes (the paper's cone-of-influence reduction);
+    validation, when requested, runs on the full circuit so errors
+    outside the cone are still reported.
     """
     if validate:
-        issues = check_circuit(circuit)
-        if issues:
-            raise NetlistError(
-                "circuit failed validation:\n  " + "\n  ".join(issues))
+        require_valid(circuit)
+    if coi_roots is not None:
+        circuit = cone_of_influence(circuit, sorted(coi_roots))
     return CompiledModel(circuit, mgr or BDDManager())

@@ -51,6 +51,23 @@ class CompiledModel:
         self._pre_order: List[str] = [n for n in order if n in cone]
         self._post_order: List[str] = [n for n in order if n not in cone]
         self._check_controls(cone)
+        # Precompiled evaluation plans: resolve the gate/latch dispatch
+        # and input-name lists once at compile time so `step` is a flat
+        # loop instead of two dict probes per node per time step.
+        self._pre_plan = [self._plan_entry(n) for n in self._pre_order]
+        self._post_plan = [self._plan_entry(n) for n in self._post_order]
+        self._dffs: List[Tuple[str, object]] = [
+            (q, reg) for q, reg in circuit.registers.items()
+            if reg.kind == "dff"]
+
+    def _plan_entry(self, node: str):
+        gate = self.circuit.gates.get(node)
+        if gate is not None:
+            return (node, gate.op, tuple(gate.ins), None)
+        reg = self.circuit.registers.get(node)
+        if reg is not None and reg.kind == "latch":
+            return (node, None, None, reg)
+        raise NetlistError(f"no evaluation rule for node {node!r}")
 
     def _check_controls(self, cone) -> None:
         for q, reg in self.circuit.registers.items():
@@ -80,29 +97,40 @@ class CompiledModel:
         """
         mgr = self.mgr
         values: State = {}
+        x = self._x
+        get_constraint = constraints.get
+        get_value = values.get
 
         def finish(node: str, value: TernaryValue) -> None:
-            constraint = constraints.get(node)
+            constraint = get_constraint(node)
             if constraint is not None:
                 value = value.join(constraint)
             values[node] = value
 
+        def run_plan(plan) -> None:
+            for node, op, ins, reg in plan:
+                if reg is None:
+                    finish(node, eval_gate(mgr, op,
+                                           [get_value(i, x) for i in ins]))
+                else:
+                    en_now = get_value(reg.clk, x)
+                    d_now = get_value(reg.d, x)
+                    q_prev = prev.get(node, x) if prev else x
+                    finish(node, latch_next(en_now, d_now, q_prev))
+
         # Phase 1: primary inputs.
         for node in self.circuit.inputs:
-            finish(node, self._x)
+            finish(node, x)
 
         # Phase 2: input-cone combinational logic (gate outputs only —
         # latches never sit in the input cone by definition of the cone,
         # but guard anyway).
-        for node in self._pre_order:
-            self._eval_node(node, values, prev, finish)
+        run_plan(self._pre_plan)
 
         # Phase 3: dff outputs.
-        for q, reg in self.circuit.registers.items():
-            if reg.kind != "dff":
-                continue
+        for q, reg in self._dffs:
             if prev is None:
-                finish(q, self._x)
+                finish(q, x)
                 continue
             clk_now = values.get(reg.clk, self._x)
             nrst_now = values.get(reg.nrst, self._x) if reg.nrst else None
@@ -120,8 +148,7 @@ class CompiledModel:
             finish(q, value)
 
         # Phase 4: the rest of the combinational logic and the latches.
-        for node in self._post_order:
-            self._eval_node(node, values, prev, finish)
+        run_plan(self._post_plan)
 
         # Constrained nodes that nothing drives (floating spec nodes)
         # still take their constraint value.
@@ -129,22 +156,6 @@ class CompiledModel:
             if node not in values:
                 values[node] = constraint
         return values
-
-    def _eval_node(self, node: str, values: State, prev: Optional[State],
-                   finish) -> None:
-        gate = self.circuit.gates.get(node)
-        if gate is not None:
-            ins = [values.get(i, self._x) for i in gate.ins]
-            finish(node, eval_gate(self.mgr, gate.op, ins))
-            return
-        reg = self.circuit.registers.get(node)
-        if reg is not None and reg.kind == "latch":
-            en_now = values.get(reg.clk, self._x)
-            d_now = values.get(reg.d, self._x)
-            q_prev = prev.get(node, self._x) if prev else self._x
-            finish(node, latch_next(en_now, d_now, q_prev))
-            return
-        raise NetlistError(f"no evaluation rule for node {node!r}")
 
     # ------------------------------------------------------------------
     def run(self, constraints_by_time: Sequence[Mapping[str, TernaryValue]],

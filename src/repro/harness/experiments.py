@@ -96,6 +96,14 @@ _EXPERIMENTS: List[Experiment] = [
         "benchmarks/test_bench_decomposition.py",
         "decomposed per-unit checks cheaper than a monolithic check; "
         "composition rules rebuild the end-to-end theorem"),
+    Experiment(
+        "E13", "§III-B suite engineering (beyond the paper)",
+        "Batched property sessions: CheckSession validates and compiles "
+        "the circuit once, shares cone models across the 26 properties, "
+        "and reports suite-level BDD statistics",
+        "benchmarks/test_bench_session.py",
+        "session verdicts identical to per-property checks; fewer "
+        "models compiled than properties; wall-clock no worse"),
 ]
 
 

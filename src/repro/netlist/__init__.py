@@ -5,7 +5,8 @@ from .builder import CircuitBuilder
 from .balloon import build_balloon_bank, build_balloon_cell
 from .cells import dff_next, eval_gate, falling_edge, latch_next, rising_edge
 from .coi import cone_nodes, cone_of_influence
-from .validate import check_circuit, combinational_order, input_cone
+from .validate import (check_circuit, combinational_order, input_cone,
+                       require_valid)
 
 __all__ = [
     "Circuit",
@@ -25,6 +26,7 @@ __all__ = [
     "cone_nodes",
     "cone_of_influence",
     "check_circuit",
+    "require_valid",
     "combinational_order",
     "input_cone",
 ]

@@ -17,9 +17,20 @@ from __future__ import annotations
 
 from typing import Dict, List, Set
 
-from .circuit import Circuit
+from .circuit import Circuit, NetlistError
 
-__all__ = ["check_circuit", "combinational_order", "input_cone"]
+__all__ = ["check_circuit", "combinational_order", "input_cone",
+           "require_valid"]
+
+
+def require_valid(circuit: Circuit) -> None:
+    """Raise :class:`NetlistError` with the full issue list if
+    *circuit* fails :func:`check_circuit` — the shared gate used by the
+    FSM compiler and the STE check session."""
+    issues = check_circuit(circuit)
+    if issues:
+        raise NetlistError(
+            "circuit failed validation:\n  " + "\n  ".join(issues))
 
 
 def input_cone(circuit: Circuit) -> Set[str]:

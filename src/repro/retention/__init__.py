@@ -10,7 +10,7 @@ from .memory_property import (MemoryIfrProperty, build_memory_ifr_property,
 from .power import (PolicyCost, RetentionCostModel, compare_policies,
                     generation_sweep)
 from .properties import (CpuProperty, PropertyEnv, UNIT_COUNTS, build_suite,
-                         make_env, run_suite)
+                         make_env, run_suite, run_suite_session)
 from .spec import (Schedule, clock_formula, property1_schedule,
                    property2_schedule, schedule_for_variant)
 
@@ -18,7 +18,7 @@ __all__ = [
     "Schedule", "clock_formula", "property1_schedule", "property2_schedule",
     "schedule_for_variant",
     "CpuProperty", "PropertyEnv", "UNIT_COUNTS", "build_suite", "make_env",
-    "run_suite",
+    "run_suite", "run_suite_session",
     "RegisterClass", "classify_registers", "group_of_register",
     "retention_report", "strip_retention", "minimal_retention_search",
     "ARCHITECTURAL_GROUPS", "MICROARCHITECTURAL_GROUPS",

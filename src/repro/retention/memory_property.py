@@ -34,7 +34,7 @@ from typing import List, Optional, Tuple
 
 from ..bdd import BDDManager, BVec, interleave
 from ..cpu import MemoryUnit
-from ..ste import (Formula, STEResult, check, conj, from_to,
+from ..ste import (CheckSession, Formula, STEResult, check, conj, from_to,
                    indexed_memory_antecedent, is0, is1, node_is, vec_is)
 from ..ternary import TernaryValue
 from .properties import vec_when
@@ -56,7 +56,24 @@ class MemoryIfrProperty:
     wd: BVec
     raw: BVec                 # the expected read-after-write word
 
-    def check(self, unit: MemoryUnit, mgr: BDDManager) -> STEResult:
+    def check(self, unit: MemoryUnit, mgr: BDDManager,
+              session: Optional[CheckSession] = None) -> STEResult:
+        """Check against *unit*; pass a session to amortise compilation
+        when sweeping several properties over the same memory."""
+        if session is not None:
+            if session.circuit is not unit.circuit:
+                raise ValueError(
+                    f"session was built for circuit "
+                    f"{session.circuit.name!r}, not {unit.circuit.name!r}; "
+                    f"a session checks only the circuit it compiled")
+            if session.mgr is not mgr:
+                raise ValueError(
+                    "session uses a different BDDManager than the one "
+                    "the property formulas were built on")
+            encoding = "indexed" if self.indexed else "direct"
+            return session.check(
+                self.antecedent, self.consequent,
+                name=f"memory_ifr_{unit.depth}x{unit.width}_{encoding}")
         return check(unit.circuit, self.antecedent, self.consequent, mgr)
 
 

@@ -32,13 +32,15 @@ from ..bdd import BDDManager, BVec, Ref, interleave
 from ..cpu import (ALU_ADD, ALU_AND, ALU_OR, ALU_SLT, ALU_SUB, Core,
                    FUNCT_ADD, FUNCT_AND, FUNCT_OR, FUNCT_SLT, FUNCT_SUB,
                    OP_BEQ, OP_LW, OP_RTYPE, OP_RTYPE_MIPS, OP_SW, alu_spec)
-from ..ste import (Formula, STEResult, TRUE_FORMULA, check, conj, from_to,
+from ..ste import (CheckSession, Formula, STEResult, SessionReport,
+                   TRUE_FORMULA, check, conj, from_to,
                    indexed_memory_antecedent, is0, node_is, vec_is)
 from ..ternary import TernaryValue
 from .spec import Schedule, property1_schedule, schedule_for_variant
 
 __all__ = ["CpuProperty", "PropertyEnv", "build_suite", "run_suite",
-           "UNIT_COUNTS", "vec_when", "bit_when", "indexed_cells_formula"]
+           "run_suite_session", "UNIT_COUNTS", "vec_when", "bit_when",
+           "indexed_cells_formula"]
 
 #: The paper's per-unit property counts.
 UNIT_COUNTS = {"fetch": 2, "decode": 6, "control": 11, "execute": 6,
@@ -294,7 +296,20 @@ class CpuProperty:
     consequent: Formula
     schedule: Schedule
 
-    def check(self, core: Core, mgr: BDDManager) -> STEResult:
+    def check(self, core: Core, mgr: BDDManager,
+              session: Optional[CheckSession] = None) -> STEResult:
+        if session is not None:
+            if session.circuit is not core.circuit:
+                raise ValueError(
+                    f"session was built for circuit "
+                    f"{session.circuit.name!r}, not {core.circuit.name!r}; "
+                    f"a session checks only the circuit it compiled")
+            if session.mgr is not mgr:
+                raise ValueError(
+                    "session uses a different BDDManager than the one "
+                    "the property formulas were built on")
+            return session.check(self.antecedent, self.consequent,
+                                 name=self.name)
         return check(core.circuit, self.antecedent, self.consequent, mgr)
 
 
@@ -543,6 +558,33 @@ def build_suite(core: Core, mgr: Optional[BDDManager] = None, *,
 
 
 def run_suite(core: Core, properties: Sequence[CpuProperty],
-              mgr: BDDManager) -> Dict[str, STEResult]:
-    """Check every property; returns {name: result}."""
-    return {p.name: p.check(core, mgr) for p in properties}
+              mgr: BDDManager,
+              session: Optional[CheckSession] = None) -> Dict[str, STEResult]:
+    """Check every property; returns {name: result}.
+
+    Runs through a :class:`~repro.ste.CheckSession` so the circuit is
+    validated once and compiled cones are shared across properties —
+    verdicts are identical to per-property :meth:`CpuProperty.check`
+    calls on the same manager.
+    """
+    if session is None:
+        session = CheckSession(core.circuit, mgr)
+    elif session.circuit is not core.circuit:
+        raise ValueError(
+            f"session was built for circuit {session.circuit.name!r}, "
+            f"not {core.circuit.name!r}; a session checks only the "
+            f"circuit it compiled")
+    elif session.mgr is not mgr:
+        raise ValueError(
+            "session uses a different BDDManager than the one the "
+            "property formulas were built on")
+    return {p.name: session.check(p.antecedent, p.consequent, name=p.name)
+            for p in properties}
+
+
+def run_suite_session(core: Core, properties: Sequence[CpuProperty],
+                      mgr: Optional[BDDManager] = None) -> SessionReport:
+    """Batched suite run with the aggregate session report (per-unit
+    timing, model reuse and BDD cache statistics)."""
+    session = CheckSession(core.circuit, mgr or BDDManager())
+    return session.run(properties)

@@ -1,7 +1,8 @@
 """Symbolic trajectory evaluation: formulas, checker, counterexamples,
 symbolic indexing and the inference-rule theorem prover."""
 
-from .checker import Failure, STEResult, check
+from .checker import Failure, STEResult, check, check_compiled
+from .session import CheckSession, PropertyOutcome, SessionReport
 from .counterexample import CounterExample, all_assignments, extract, format_trace
 from .formula import (Formula, NodeIs, Conj, When, Next, TRUE_FORMULA,
                       conj, defining_sequence, formula_depth, formula_nodes,
@@ -13,7 +14,8 @@ from .inference import (InferenceError, Theorem, compose, conjoin,
                         substitute, weaken_consequent)
 
 __all__ = [
-    "check", "STEResult", "Failure",
+    "check", "check_compiled", "STEResult", "Failure",
+    "CheckSession", "PropertyOutcome", "SessionReport",
     "CounterExample", "extract", "all_assignments", "format_trace",
     "Formula", "NodeIs", "Conj", "When", "Next", "TRUE_FORMULA",
     "is0", "is1", "node_is", "vec_is", "conj", "when", "next_", "from_to",

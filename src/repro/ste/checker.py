@@ -28,12 +28,12 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..bdd import BDDManager, Ref
 from ..fsm import CompiledModel, compile_circuit
-from ..netlist import Circuit, cone_of_influence
+from ..netlist import Circuit
 from ..ternary import TernaryValue
 from .formula import (Formula, defining_sequence, formula_depth,
                       formula_nodes)
 
-__all__ = ["check", "STEResult", "Failure"]
+__all__ = ["check", "check_compiled", "STEResult", "Failure"]
 
 
 @dataclass
@@ -110,16 +110,34 @@ def check(model: Union[Circuit, CompiledModel],
     started = _time.perf_counter()
     if isinstance(model, CompiledModel):
         compiled = model
-        mgr = compiled.mgr
     else:
-        mgr = mgr or BDDManager()
-        circuit = model
+        roots = None
         if use_coi:
             roots = set(formula_nodes(consequent))
             roots.update(formula_nodes(antecedent))
-            circuit = cone_of_influence(circuit, sorted(roots))
-        compiled = compile_circuit(circuit, mgr)
+        compiled = compile_circuit(model, mgr or BDDManager(),
+                                   coi_roots=roots)
+    compile_seconds = _time.perf_counter() - started
+    result = check_compiled(compiled, antecedent, consequent)
+    # One-shot checks historically reported validation + COI + model
+    # compilation as part of the check time; keep that meaning (the
+    # session reports amortised compilation separately).
+    result.elapsed_seconds += compile_seconds
+    return result
 
+
+def check_compiled(compiled: CompiledModel,
+                   antecedent: Formula,
+                   consequent: Formula) -> STEResult:
+    """The decision procedure proper, on an already-compiled model.
+
+    Split out from :func:`check` so that a
+    :class:`~repro.ste.session.CheckSession` can amortise compilation
+    across a whole property suite while producing results identical to
+    per-property :func:`check` calls.
+    """
+    started = _time.perf_counter()
+    mgr = compiled.mgr
     a_seq = defining_sequence(mgr, antecedent)
     c_seq = defining_sequence(mgr, consequent)
     depth = max(formula_depth(antecedent), formula_depth(consequent))

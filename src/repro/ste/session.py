@@ -1,0 +1,243 @@
+"""Batched STE checking sessions.
+
+The paper's methodology decomposes verification into many small
+properties over *one* circuit (26 properties on the RISC core, each
+scoped to a functional unit).  Checking them one at a time through
+:func:`repro.ste.check` re-pays, per property, the costs that are
+really per-suite:
+
+* structural validation of the netlist,
+* cone-of-influence extraction and model compilation (many properties
+  observe the same unit and therefore share a cone),
+* BDD computed-table warm-up.
+
+:class:`CheckSession` amortises all three.  It validates the circuit
+once, keeps a cache of compiled cone models keyed by the cone's node
+set (so ``control_RegDst`` and ``control_RegWrite`` reuse one model the
+moment their cones coincide), shares a single BDD manager across the
+whole run, and aggregates timing and BDD-cache statistics into a
+:class:`SessionReport`.
+
+Verdicts are bit-identical to per-property :func:`~repro.ste.check`
+calls: the session routes every property through the same
+:func:`~repro.ste.checker.check_compiled` decision procedure on the
+same cone-reduced model that ``check`` would have built.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+
+from ..bdd import BDDManager
+from ..fsm import CompiledModel, compile_circuit
+from ..netlist import Circuit, cone_of_influence, require_valid
+from .checker import STEResult, check_compiled
+from .formula import Formula, formula_nodes
+
+__all__ = ["CheckSession", "SessionReport", "PropertyOutcome"]
+
+
+@dataclass
+class PropertyOutcome:
+    """One property's result inside a session run."""
+
+    name: str
+    result: STEResult
+    cone_nodes: int           # node count of the model it ran on
+    reused_model: bool        # True when the compiled cone was cached
+
+    @property
+    def passed(self) -> bool:
+        return self.result.passed
+
+
+@dataclass
+class SessionReport:
+    """Aggregate view of a session run — the suite-level analogue of
+    :meth:`~repro.ste.checker.STEResult.summary`.
+
+    Cache hit/miss counters are *session-relative* (deltas from the
+    session's creation, so pre-existing manager traffic is excluded);
+    node/variable/table-entry counts are manager-absolute gauges.
+    """
+
+    outcomes: List[PropertyOutcome]
+    elapsed_seconds: float
+    models_compiled: int
+    model_reuses: int
+    bdd_stats: Dict[str, int]
+    cache_stats: Dict[str, Dict[str, int]]
+
+    @property
+    def passed(self) -> bool:
+        return all(o.passed for o in self.outcomes)
+
+    @property
+    def failures(self) -> List[PropertyOutcome]:
+        return [o for o in self.outcomes if not o.passed]
+
+    def verdicts(self) -> Dict[str, bool]:
+        return {o.name: o.passed for o in self.outcomes}
+
+    def results(self) -> Dict[str, STEResult]:
+        return {o.name: o.result for o in self.outcomes}
+
+    def check_seconds(self) -> float:
+        """Time spent inside the decision procedure (excludes property
+        construction done by the caller between checks)."""
+        return sum(o.result.elapsed_seconds for o in self.outcomes)
+
+    def summary(self) -> str:
+        n = len(self.outcomes)
+        failed = len(self.failures)
+        status = "PASS" if failed == 0 else f"FAIL({failed}/{n})"
+        hits = self.bdd_stats.get("cache_hits", 0)
+        misses = self.bdd_stats.get("cache_misses", 0)
+        total = hits + misses
+        rate = (100.0 * hits / total) if total else 0.0
+        return (f"Session {status} properties={n} "
+                f"models={self.models_compiled}(+{self.model_reuses} reused) "
+                f"bdd_nodes={self.bdd_stats.get('nodes', 0)} "
+                f"cache_hit_rate={rate:.1f}% "
+                f"time={self.elapsed_seconds:.3f}s")
+
+
+#: Accepted property shapes: objects with name/antecedent/consequent
+#: attributes (e.g. retention.CpuProperty) or (name, antecedent,
+#: consequent) triples.
+PropertyLike = Union[Tuple[str, Formula, Formula], object]
+
+
+class CheckSession:
+    """Compile a circuit once; check a whole property suite against it.
+
+    Usage::
+
+        session = CheckSession(core.circuit, mgr)
+        for prop in suite:
+            result = session.check(prop.antecedent, prop.consequent,
+                                   name=prop.name)
+        print(session.report().summary())
+
+    or, batched::
+
+        report = session.run(suite)
+    """
+
+    def __init__(self, circuit: Circuit, mgr: Optional[BDDManager] = None,
+                 *, use_coi: bool = True, validate: bool = True):
+        if validate:
+            require_valid(circuit)
+        self.circuit = circuit
+        self.mgr = mgr or BDDManager()
+        self.use_coi = use_coi
+        self.models_compiled = 0
+        self.model_reuses = 0
+        self._name_counts: Dict[str, int] = {}
+        self._outcomes: List[PropertyOutcome] = []
+        self._started = _time.perf_counter()
+        # Counter baselines, so the report attributes only the session's
+        # own traffic to the suite (the shared manager may already carry
+        # formula-construction work done before the session existed).
+        self._base_cache_stats = self.mgr.cache_stats()
+        # Compiled models keyed by the cone's node-name set: properties
+        # with different root sets but identical cones share a model.
+        self._models: Dict[FrozenSet[str], CompiledModel] = {}
+        # roots -> cone key, so repeated root sets skip the cone walk.
+        self._cone_keys: Dict[FrozenSet[str], FrozenSet[str]] = {}
+        self._full_model: Optional[CompiledModel] = None
+
+    # ------------------------------------------------------------------
+    def model_for(self, antecedent: Formula, consequent: Formula
+                  ) -> Tuple[CompiledModel, bool]:
+        """The compiled (cone-reduced) model both formulas run on, plus
+        whether it was served from the session cache."""
+        if not self.use_coi:
+            if self._full_model is None:
+                self._full_model = compile_circuit(
+                    self.circuit, self.mgr, validate=False)
+                self.models_compiled += 1
+                return self._full_model, False
+            self.model_reuses += 1
+            return self._full_model, True
+        roots = frozenset(formula_nodes(antecedent)) | frozenset(
+            formula_nodes(consequent))
+        key = self._cone_keys.get(roots)
+        if key is None:
+            cone = cone_of_influence(self.circuit, sorted(roots))
+            key = frozenset(cone.inputs) | frozenset(cone.gates) | frozenset(
+                cone.registers)
+            self._cone_keys[roots] = key
+            model = self._models.get(key)
+            if model is None:
+                model = compile_circuit(cone, self.mgr, validate=False)
+                self._models[key] = model
+                self.models_compiled += 1
+                return model, False
+            self.model_reuses += 1
+            return model, True
+        self.model_reuses += 1
+        return self._models[key], True
+
+    def check(self, antecedent: Formula, consequent: Formula,
+              name: Optional[str] = None) -> STEResult:
+        """Check one property; identical verdict/counterexamples to
+        ``repro.ste.check(circuit, antecedent, consequent, mgr)``."""
+        model, reused = self.model_for(antecedent, consequent)
+        result = check_compiled(model, antecedent, consequent)
+        name = name or f"property_{len(self._outcomes)}"
+        # Outcome names key SessionReport.verdicts()/results(); a repeat
+        # must not shadow an earlier outcome (e.g. two memory properties
+        # over the same geometry), so disambiguate with a suffix.
+        seen = self._name_counts.get(name, 0)
+        self._name_counts[name] = seen + 1
+        if seen:
+            name = f"{name}#{seen + 1}"
+        self._outcomes.append(PropertyOutcome(
+            name=name,
+            result=result,
+            cone_nodes=len(model.circuit.all_nodes()),
+            reused_model=reused))
+        return result
+
+    def run(self, properties: Iterable[PropertyLike]) -> SessionReport:
+        """Check a whole suite and return the aggregate report."""
+        for prop in properties:
+            if isinstance(prop, tuple):
+                name, antecedent, consequent = prop
+            else:
+                name = getattr(prop, "name", None)
+                antecedent = prop.antecedent
+                consequent = prop.consequent
+            self.check(antecedent, consequent, name=name)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    @property
+    def outcomes(self) -> List[PropertyOutcome]:
+        return list(self._outcomes)
+
+    def report(self) -> SessionReport:
+        # Hit/miss counters are reported relative to the session start;
+        # gauges (nodes, vars, table entries) stay absolute.
+        cache_stats: Dict[str, Dict[str, int]] = {}
+        for op, now in self.mgr.cache_stats().items():
+            base = self._base_cache_stats.get(op, {})
+            cache_stats[op] = {
+                "hits": now["hits"] - base.get("hits", 0),
+                "misses": now["misses"] - base.get("misses", 0),
+                "entries": now["entries"],
+            }
+        bdd_stats = self.mgr.stats()
+        bdd_stats["cache_hits"] = sum(s["hits"] for s in cache_stats.values())
+        bdd_stats["cache_misses"] = sum(s["misses"]
+                                        for s in cache_stats.values())
+        return SessionReport(
+            outcomes=list(self._outcomes),
+            elapsed_seconds=_time.perf_counter() - self._started,
+            models_compiled=self.models_compiled,
+            model_reuses=self.model_reuses,
+            bdd_stats=bdd_stats,
+            cache_stats=cache_stats)

@@ -80,16 +80,29 @@ class TernaryValue:
 
     # ------------------------------------------------------------------
     # Lattice structure
+    #
+    # Everything below talks to the manager's int-level apply kernels
+    # (`_apply_and` / `_apply_or` / `_not`) on raw node ids instead of
+    # going through Ref operators: dual-rail stepping performs a handful
+    # of BDD ops per gate per time step, and skipping the per-op Ref
+    # wrapper plus manager check roughly halves the interpreter overhead
+    # of the trajectory computation.
     # ------------------------------------------------------------------
     def join(self, other: "TernaryValue") -> "TernaryValue":
         """Least upper bound in the information order (⊔)."""
         self._check(other)
-        return TernaryValue(self.mgr, self.h & other.h, self.l & other.l)
+        mgr = self.mgr
+        return TernaryValue(mgr,
+                            Ref(mgr, mgr._apply_and(self.h.node, other.h.node)),
+                            Ref(mgr, mgr._apply_and(self.l.node, other.l.node)))
 
     def meet(self, other: "TernaryValue") -> "TernaryValue":
         """Greatest lower bound (⊓): keeps only agreed information."""
         self._check(other)
-        return TernaryValue(self.mgr, self.h | other.h, self.l | other.l)
+        mgr = self.mgr
+        return TernaryValue(mgr,
+                            Ref(mgr, mgr._apply_or(self.h.node, other.h.node)),
+                            Ref(mgr, mgr._apply_or(self.l.node, other.l.node)))
 
     def leq(self, other: "TernaryValue") -> Ref:
         """BDD of the condition under which ``self ⊑ other``.
@@ -98,15 +111,20 @@ class TernaryValue:
         *self* — other carries at least the information of self.
         """
         self._check(other)
-        return (other.h >> self.h) & (other.l >> self.l)
+        mgr = self.mgr
+        return Ref(mgr, mgr._apply_and(
+            mgr._apply_or(mgr._not(other.h.node), self.h.node),
+            mgr._apply_or(mgr._not(other.l.node), self.l.node)))
 
     def is_consistent(self) -> Ref:
         """BDD of 'not overconstrained' (value != ⊤)."""
-        return self.h | self.l
+        mgr = self.mgr
+        return Ref(mgr, mgr._apply_or(self.h.node, self.l.node))
 
     def is_defined(self) -> Ref:
         """BDD of 'carries a definite Boolean value' (0 or 1, not X/⊤)."""
-        return self.h ^ self.l
+        mgr = self.mgr
+        return Ref(mgr, mgr._apply_xor(self.h.node, self.l.node))
 
     # ------------------------------------------------------------------
     # Monotone gate algebra
@@ -116,21 +134,28 @@ class TernaryValue:
 
     def __and__(self, other: "TernaryValue") -> "TernaryValue":
         self._check(other)
-        return TernaryValue(self.mgr,
-                            self.h & other.h,
-                            self.l | other.l)
+        mgr = self.mgr
+        return TernaryValue(mgr,
+                            Ref(mgr, mgr._apply_and(self.h.node, other.h.node)),
+                            Ref(mgr, mgr._apply_or(self.l.node, other.l.node)))
 
     def __or__(self, other: "TernaryValue") -> "TernaryValue":
         self._check(other)
-        return TernaryValue(self.mgr,
-                            self.h | other.h,
-                            self.l & other.l)
+        mgr = self.mgr
+        return TernaryValue(mgr,
+                            Ref(mgr, mgr._apply_or(self.h.node, other.h.node)),
+                            Ref(mgr, mgr._apply_and(self.l.node, other.l.node)))
 
     def __xor__(self, other: "TernaryValue") -> "TernaryValue":
         self._check(other)
-        return TernaryValue(self.mgr,
-                            (self.h & other.l) | (self.l & other.h),
-                            (self.h & other.h) | (self.l & other.l))
+        mgr = self.mgr
+        and_ = mgr._apply_and
+        or_ = mgr._apply_or
+        sh, sl = self.h.node, self.l.node
+        oh, ol = other.h.node, other.l.node
+        return TernaryValue(mgr,
+                            Ref(mgr, or_(and_(sh, ol), and_(sl, oh))),
+                            Ref(mgr, or_(and_(sh, oh), and_(sl, ol))))
 
     def mux(self, then: "TernaryValue", else_: "TernaryValue") -> "TernaryValue":
         """Monotone ternary select with *self* as the control.
@@ -142,15 +167,24 @@ class TernaryValue:
         """
         self._check(then)
         self._check(else_)
-        return TernaryValue(self.mgr,
-                            (self.h & then.h) | (self.l & else_.h),
-                            (self.h & then.l) | (self.l & else_.l))
+        mgr = self.mgr
+        and_ = mgr._apply_and
+        or_ = mgr._apply_or
+        ch, cl = self.h.node, self.l.node
+        return TernaryValue(
+            mgr,
+            Ref(mgr, or_(and_(ch, then.h.node), and_(cl, else_.h.node))),
+            Ref(mgr, or_(and_(ch, then.l.node), and_(cl, else_.l.node))))
 
     def when(self, guard: Ref) -> "TernaryValue":
         """Weaken to X outside *guard* — Defn 2's ``f when G`` clause."""
-        if guard.mgr is not self.mgr:
+        mgr = self.mgr
+        if guard.mgr is not mgr:
             raise BDDError("guard belongs to a different manager")
-        return TernaryValue(self.mgr, self.h | ~guard, self.l | ~guard)
+        outside = mgr._not(guard.node)
+        return TernaryValue(mgr,
+                            Ref(mgr, mgr._apply_or(self.h.node, outside)),
+                            Ref(mgr, mgr._apply_or(self.l.node, outside)))
 
     # ------------------------------------------------------------------
     # Evaluation / inspection

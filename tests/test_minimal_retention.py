@@ -39,6 +39,7 @@ class TestStripRetention:
 
 
 class TestSearch:
+    @pytest.mark.slow
     def test_every_architectural_group_is_required(self, core):
         """Stripping retention from any one architectural group breaks
         a Property II witness — the selective set is minimal, which is

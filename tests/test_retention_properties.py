@@ -66,6 +66,7 @@ class TestSuiteStructure:
         assert all(p.schedule.depth == 9 for p in suite)
 
 
+@pytest.mark.slow
 class TestPropertyISmoke:
     """Fast representatives of every unit, normal operation."""
 
@@ -78,6 +79,7 @@ class TestPropertyISmoke:
             assert not result.vacuous, name
 
 
+@pytest.mark.slow
 class TestPropertyIISmoke:
     """The same representatives across the sleep/resume excursion."""
 

@@ -1,0 +1,188 @@
+"""CheckSession equivalence and bookkeeping.
+
+The batched session layer must be *behaviourally invisible*: running a
+retention property suite through one `CheckSession` has to produce
+verdicts, failure points and counterexamples bit-identical to driving
+`check()` once per property.  Both drivers share one BDD manager per
+comparison, so "bit-identical" is literal Ref equality on canonical
+BDDs, not just agreement of summaries.
+"""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import buggy_core, fixed_core
+from repro.netlist import Circuit, NetlistError
+from repro.retention import build_suite, run_suite, run_suite_session
+from repro.ste import CheckSession, extract
+
+GEOMETRY = dict(nregs=4, imem_depth=4, dmem_depth=4)
+
+# Cheap representatives of every unit (mirrors test_retention_properties).
+FAST_NAMES = (
+    "fetch_pc_plus4",
+    "decode_sign_extend",
+    "decode_write_register_rtype",
+    "decode_write_register_load",
+    "control_RegDst",
+    "control_RegWrite",
+    "control_PCWrite",
+    "control_ALUCtl",
+)
+
+
+def _fast_suite(core, mgr, **kwargs):
+    wanted = set(FAST_NAMES)
+    return [p for p in build_suite(core, mgr, **kwargs) if p.name in wanted]
+
+
+@pytest.fixture(scope="module")
+def fixed():
+    return fixed_core(**GEOMETRY)
+
+
+class TestVerdictEquivalence:
+    def test_passing_suite_identical_to_per_property(self, fixed):
+        mgr = BDDManager()
+        suite = _fast_suite(fixed, mgr)
+        solo = {p.name: p.check(fixed, mgr) for p in suite}
+        session = CheckSession(fixed.circuit, mgr)
+        for prop in suite:
+            result = session.check(prop.antecedent, prop.consequent,
+                                   name=prop.name)
+            ref = solo[prop.name]
+            assert result.passed == ref.passed
+            assert result.depth == ref.depth
+            assert result.checked_points == ref.checked_points
+            # Same manager: canonical BDDs must be the very same nodes.
+            assert result.antecedent_ok == ref.antecedent_ok
+            assert [(f.time, f.node) for f in result.failures] == \
+                   [(f.time, f.node) for f in ref.failures]
+        report = session.report()
+        assert report.passed
+        assert report.verdicts() == {name: r.passed
+                                     for name, r in solo.items()}
+
+    def test_failing_suite_identical_counterexamples(self):
+        """The paper's bug discovery: the buggy core fails Property II
+        on fetch_pc_plus4.  Session and per-property runs must agree on
+        every failure point, condition BDD and extracted witness."""
+        core = buggy_core(**GEOMETRY)
+        mgr = BDDManager()
+        suite = _fast_suite(core, mgr, sleep=True)
+        prop = {p.name: p for p in suite}["fetch_pc_plus4"]
+
+        solo = prop.check(core, mgr)
+        session_result = CheckSession(core.circuit, mgr).check(
+            prop.antecedent, prop.consequent, name=prop.name)
+
+        assert not solo.passed and not session_result.passed
+        assert len(solo.failures) == len(session_result.failures)
+        for a, b in zip(solo.failures, session_result.failures):
+            assert (a.time, a.node) == (b.time, b.node)
+            assert a.condition == b.condition
+            assert a.expected.equals(b.expected)
+            assert a.actual.equals(b.actual)
+        assert solo.failure_condition() == session_result.failure_condition()
+
+        cex_solo = extract(solo, watch=["clock", "NRET", "NRST"])
+        cex_sess = extract(session_result, watch=["clock", "NRET", "NRST"])
+        assert cex_solo is not None and cex_sess is not None
+        assert cex_solo.assignment == cex_sess.assignment
+        assert cex_solo.trace == cex_sess.trace
+        assert cex_solo.expected_scalar == cex_sess.expected_scalar
+        assert cex_solo.actual_scalar == cex_sess.actual_scalar
+
+    def test_run_suite_matches_per_property_checks(self, fixed):
+        mgr = BDDManager()
+        suite = _fast_suite(fixed, mgr)
+        results = run_suite(fixed, suite, mgr)
+        assert set(results) == set(FAST_NAMES)
+        assert all(r.passed for r in results.values())
+
+    def test_run_suite_session_report(self, fixed):
+        mgr = BDDManager()
+        suite = _fast_suite(fixed, mgr)
+        report = run_suite_session(fixed, suite, mgr)
+        assert report.passed
+        assert len(report.outcomes) == len(suite)
+        assert report.verdicts() == {name: True for name in FAST_NAMES}
+        assert "Session PASS" in report.summary()
+
+
+class TestSessionBookkeeping:
+    def test_cone_models_are_shared(self, fixed):
+        """decode_write_register_rtype/load observe the same bus under
+        the same antecedent nodes — one compiled cone must serve both."""
+        mgr = BDDManager()
+        wanted = {"decode_write_register_rtype", "decode_write_register_load"}
+        suite = [p for p in build_suite(fixed, mgr) if p.name in wanted]
+        session = CheckSession(fixed.circuit, mgr)
+        report = session.run(suite)
+        assert report.models_compiled == 1
+        assert report.model_reuses == 1
+        assert report.outcomes[0].reused_model is False
+        assert report.outcomes[1].reused_model is True
+        assert report.passed
+
+    def test_cone_restriction_shrinks_the_model(self, fixed):
+        mgr = BDDManager()
+        suite = _fast_suite(fixed, mgr)
+        session = CheckSession(fixed.circuit, mgr)
+        session.run(suite)
+        full_nodes = len(fixed.circuit.all_nodes())
+        assert all(o.cone_nodes < full_nodes for o in session.outcomes)
+
+    def test_no_coi_compiles_the_full_model_once(self, fixed):
+        mgr = BDDManager()
+        suite = _fast_suite(fixed, mgr)[:3]
+        session = CheckSession(fixed.circuit, mgr, use_coi=False)
+        report = session.run(suite)
+        assert report.passed
+        assert report.models_compiled == 1
+        assert report.model_reuses == len(suite) - 1
+
+    def test_session_validates_the_circuit(self):
+        broken = Circuit("broken")
+        broken.add_input("a")
+        broken.add_gate("AND", "out", ["a", "floating"])
+        broken.set_output("out")
+        with pytest.raises(NetlistError):
+            CheckSession(broken)
+
+    def test_elapsed_and_stats_accumulate(self, fixed):
+        mgr = BDDManager()
+        suite = _fast_suite(fixed, mgr)[:2]
+        session = CheckSession(fixed.circuit, mgr)
+        report = session.run(suite)
+        assert report.elapsed_seconds > 0
+        assert report.check_seconds() <= report.elapsed_seconds
+        assert report.bdd_stats["nodes"] == mgr.num_nodes()
+        assert set(report.cache_stats) == {"and", "or", "xor", "not", "ite"}
+
+    def test_stats_are_session_relative(self, fixed):
+        """Formula construction before the session exists must not be
+        attributed to the suite."""
+        mgr = BDDManager()
+        suite = _fast_suite(fixed, mgr)[:1]   # heavy pre-session traffic
+        pre_hits = mgr.stats()["cache_hits"]
+        assert pre_hits > 0
+        session = CheckSession(fixed.circuit, mgr)
+        assert session.report().bdd_stats["cache_hits"] == 0
+        report = session.run(suite)
+        assert 0 < report.bdd_stats["cache_hits"] \
+            < mgr.stats()["cache_hits"]
+
+    def test_session_rejects_foreign_circuit(self, fixed):
+        """A session checks only the circuit it compiled: threading it
+        through a different core must fail loudly, not silently verify
+        the wrong model."""
+        from repro.cpu import buggy_core
+        mgr = BDDManager()
+        suite = _fast_suite(fixed, mgr)
+        other = buggy_core(**GEOMETRY)
+        session = CheckSession(other.circuit, mgr)
+        with pytest.raises(ValueError, match="session was built for"):
+            suite[0].check(fixed, mgr, session=session)
+        with pytest.raises(ValueError, match="session was built for"):
+            run_suite(fixed, suite, mgr, session=session)
