@@ -4,16 +4,32 @@ Every bench prints the rows it reproduces (paper artefact vs measured)
 so `pytest benchmarks/ --benchmark-only -s` regenerates the material in
 EXPERIMENTS.md.  STE checks are expensive and deterministic, so all
 benchmarks run with ``rounds=1, iterations=1`` via `once`.
+
+Every bench run also appends a per-bench wall-time record to
+``BENCH_results.json`` at the repo root — the performance trajectory
+across PRs.  Each session contributes one entry::
+
+    {"timestamp": ..., "platform": ..., "records":
+        [{"bench": nodeid, "outcome": "passed", "seconds": ...}, ...]}
+
+so regressions are visible by diffing the latest entries.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
+import platform
+import time
+
 import pytest
 
-
-import pathlib
-
 _BENCH_DIR = pathlib.Path(__file__).parent
+_RESULTS_PATH = _BENCH_DIR.parent / "BENCH_results.json"
+
+
+def _is_bench(item) -> bool:
+    return _BENCH_DIR in pathlib.Path(str(item.fspath)).parents
 
 
 def pytest_collection_modifyitems(items):
@@ -24,8 +40,48 @@ def pytest_collection_modifyitems(items):
     directory.)
     """
     for item in items:
-        if _BENCH_DIR in pathlib.Path(str(item.fspath)).parents:
+        if _is_bench(item):
             item.add_marker(pytest.mark.slow)
+
+
+# ----------------------------------------------------------------------
+# Perf-trajectory emission
+# ----------------------------------------------------------------------
+_session_records = []
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call" and _is_bench(item):
+        _session_records.append({
+            "bench": item.nodeid,
+            "outcome": report.outcome,
+            "seconds": round(report.duration, 4),
+        })
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this run's bench timings to the trajectory file."""
+    if not _session_records:
+        return
+    history = []
+    if _RESULTS_PATH.exists():
+        try:
+            history = json.loads(_RESULTS_PATH.read_text())
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = []
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "platform": f"{platform.python_implementation()} "
+                    f"{platform.python_version()} {platform.machine()}",
+        "records": sorted(_session_records, key=lambda r: r["bench"]),
+    })
+    _RESULTS_PATH.write_text(json.dumps(history, indent=1) + "\n")
+    _session_records.clear()
 
 
 def once(benchmark, fn, *args, **kwargs):

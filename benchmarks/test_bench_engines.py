@@ -1,0 +1,75 @@
+"""E14 — STE (BDD) vs BMC (SAT) engine comparison (beyond the paper).
+
+The two backends answer the identical property-suite queries with
+opposite cost profiles: STE pays in BDD nodes (variable-order
+sensitive, exact all-assignment answers), BMC pays in CDCL search
+(order-insensitive linear-size CNF, one witness per query).  This bench
+pins the crossover data the ROADMAP's multi-backend story rests on:
+per-unit wall time on both engines, the SAT statistics, and the
+incremental-context amortisation across a suite.
+"""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.retention import build_suite
+from repro.ste import CheckSession
+
+from .conftest import once
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+#: one representative per unit plus the two datapath-heavy extremes
+REPRESENTATIVES = (
+    "fetch_pc_plus4",
+    "decode_read_port1",
+    "control_PCWrite",
+    "execute_alu_add",
+    "execute_zero_flag",
+    "writeback_load",
+)
+
+
+def _run_suite(core, suite, mgr, engine):
+    session = CheckSession(core.circuit, mgr, engine=engine)
+    report = session.run(suite)
+    assert report.passed
+    return report
+
+
+@pytest.fixture(scope="module")
+def setup():
+    core = fixed_core(**GEOMETRY)
+    mgr = BDDManager()
+    suite = [p for p in build_suite(core, mgr, sleep=True)
+             if p.name in REPRESENTATIVES]
+    assert len(suite) == len(REPRESENTATIVES)
+    return core, suite, mgr
+
+
+def test_bench_property2_representatives_ste(benchmark, setup):
+    core, suite, mgr = setup
+    report = once(benchmark, _run_suite, core, suite, mgr, "ste")
+    print(f"\n[E14/ste] {report.summary()}")
+    for outcome in report.outcomes:
+        print(f"  [E14/ste] {outcome.name:<22} "
+              f"{outcome.result.elapsed_seconds:7.3f}s "
+              f"cone={outcome.cone_nodes}")
+
+
+def test_bench_property2_representatives_bmc(benchmark, setup):
+    core, suite, mgr = setup
+    report = once(benchmark, _run_suite, core, suite, mgr, "bmc")
+    print(f"\n[E14/bmc] {report.summary()}")
+    for outcome in report.outcomes:
+        stats = outcome.result.solver_stats
+        print(f"  [E14/bmc] {outcome.name:<22} "
+              f"{outcome.result.elapsed_seconds:7.3f}s "
+              f"conflicts={stats['conflicts']:>6} "
+              f"props={stats['propagations']:>8} "
+              f"queries={stats['queries']}")
+    stats = report.engine_stats
+    print(f"  [E14/bmc] totals: vars={stats['variables']} "
+          f"clauses={stats['clauses']} conflicts={stats['conflicts']} "
+          f"learned={stats['learned']}")

@@ -16,8 +16,15 @@
    the 6-bit IFR in front of the control unit, a write-free bubble
    opcode — proves the same Property II.
 
-Run:  python examples/find_retention_bug.py
+The whole narrative runs on either verification backend — pass
+``--engine bmc`` to replay it through the SAT/BMC engine instead of
+BDD-based STE; the verdicts, failing nodes and rendered trace come out
+the same.
+
+Run:  python examples/find_retention_bug.py [--engine {ste,bmc}]
 """
+
+import argparse
 
 from repro.bdd import BDDManager
 from repro.cpu import buggy_core, fixed_core
@@ -26,17 +33,24 @@ from repro.ste import extract, format_trace
 
 GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
 PROPERTY = "fetch_pc_plus4"
+ENGINE = "ste"            # overridden by --engine in main()
 
 
 def run_property(core, sleep):
     mgr = BDDManager()
     suite = {p.name: p for p in build_suite(core, mgr, sleep=sleep)}
-    return suite[PROPERTY].check(core, mgr)
+    return suite[PROPERTY].check(core, mgr, engine=ENGINE)
 
 
 def main():
+    global ENGINE
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--engine", choices=("ste", "bmc"), default="ste")
+    ENGINE = parser.parse_args().engine
+
     buggy = buggy_core(**GEOMETRY)
     fixed = fixed_core(**GEOMETRY)
+    print(f"(engine: {ENGINE})")
 
     print("== step 1: the pre-fix design under Property I ==")
     result = run_property(buggy, sleep=False)

@@ -16,6 +16,9 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.netlist``   gate-level circuits, the Fig. 1 retention register
 ``repro.blif``      BLIF parser/writer (the Quartus interchange)
 ``repro.fsm``       circuit -> executable ternary model (exlif2exe)
+``repro.sat``       CNF/Tseitin compiler, CDCL solver, dual-rail
+                    encoder, SAT/BMC property checker
+``repro.engine``    the shared EngineReport surface of both backends
 ``repro.ste``       trajectory formulas, the checker, counterexamples,
                     symbolic indexing, inference rules
 ``repro.cpu``       the Fig. 4 RISC core, ISA, assembler, golden model
@@ -28,5 +31,5 @@ Package map (see DESIGN.md for the full inventory):
 
 __version__ = "1.0.0"
 
-__all__ = ["bdd", "ternary", "netlist", "blif", "fsm", "ste", "cpu",
-           "retention", "sim", "harness", "__version__"]
+__all__ = ["bdd", "ternary", "netlist", "blif", "fsm", "sat", "engine",
+           "ste", "cpu", "retention", "sim", "harness", "__version__"]

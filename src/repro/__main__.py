@@ -1,0 +1,109 @@
+"""``python -m repro`` — run the paper's property suites from the CLI.
+
+Drives the Property I (normal operation) and Property II (sleep/resume)
+suites through :class:`repro.ste.CheckSession` on either verification
+backend and prints the per-property verdicts plus the session report::
+
+    python -m repro                         # both suites, STE engine
+    python -m repro --engine bmc            # same suites, SAT engine
+    python -m repro --design buggy --suite 2 --cex
+                                            # replay the paper's bug
+    python -m repro --only fetch_pc_plus4,control_PCWrite
+
+Exit status: 0 when every checked property passed, 1 otherwise (so the
+command composes with CI and shell scripts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bdd import BDDManager
+from .cpu import buggy_core, fixed_core
+from .engine import ENGINES
+from .retention import build_suite
+from .ste import CheckSession, extract, format_trace
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Check the DATE'09 retention property suites "
+                    "(Property I / Property II) with the STE (BDD) or "
+                    "BMC (SAT) engine.")
+    parser.add_argument("--engine", choices=ENGINES, default="ste",
+                        help="verification backend (default: ste)")
+    parser.add_argument("--suite", choices=("1", "2", "both"),
+                        default="both",
+                        help="property suite: 1=normal operation, "
+                             "2=sleep/resume, both (default)")
+    parser.add_argument("--design", choices=("fixed", "buggy"),
+                        default="fixed",
+                        help="the post-fix selective-retention core "
+                             "(default) or the pre-fix buggy one")
+    parser.add_argument("--nregs", type=int, default=2,
+                        help="register-bank depth (default 2)")
+    parser.add_argument("--imem-depth", type=int, default=2,
+                        help="instruction-memory depth (default 2)")
+    parser.add_argument("--dmem-depth", type=int, default=2,
+                        help="data-memory depth (default 2)")
+    parser.add_argument("--only", metavar="NAME[,NAME...]",
+                        help="comma-separated property-name filter")
+    parser.add_argument("--extras", action="store_true",
+                        help="include the extra (beyond-the-paper) "
+                             "properties")
+    parser.add_argument("--cex", action="store_true",
+                        help="print a concrete counterexample trace for "
+                             "each failing property")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suite summaries only, no per-property "
+                             "lines")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    make_core = buggy_core if args.design == "buggy" else fixed_core
+    core = make_core(nregs=args.nregs, imem_depth=args.imem_depth,
+                     dmem_depth=args.dmem_depth)
+    only = set(args.only.split(",")) if args.only else None
+
+    sleeps = {"1": (False,), "2": (True,), "both": (False, True)}[args.suite]
+    all_passed = True
+    for sleep in sleeps:
+        label = "Property II (sleep/resume)" if sleep \
+            else "Property I (normal operation)"
+        print(f"== {label} on the {args.design} core "
+              f"[engine={args.engine}] ==")
+        mgr = BDDManager()
+        suite = build_suite(core, mgr, sleep=sleep,
+                            include_extras=args.extras)
+        if only is not None:
+            suite = [p for p in suite if p.name in only]
+            missing = only - {p.name for p in suite}
+            if missing:
+                print(f"error: unknown properties: "
+                      f"{', '.join(sorted(missing))}", file=sys.stderr)
+                return 2
+        session = CheckSession(core.circuit, mgr, engine=args.engine)
+        for prop in suite:
+            result = session.check(prop.antecedent, prop.consequent,
+                                   name=prop.name)
+            if not args.quiet:
+                print(f"  {prop.name:<28} [{prop.unit:<9}] "
+                      f"{result.summary()}")
+            if not result.passed:
+                all_passed = False
+                if args.cex:
+                    cex = extract(result)
+                    if cex is not None:
+                        print(format_trace(cex))
+        print(session.report().summary())
+        print()
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -187,6 +187,7 @@ class BDDManager:
         self._stats_xor = [0, 0]
         self._stats_not = [0, 0]
         self._stats_ite = [0, 0]
+        self._cache_epoch = 0
         # Variable bookkeeping: name <-> level (level == order position).
         self._var_names: List[str] = []
         self._name_to_level: Dict[str, int] = {}
@@ -240,6 +241,59 @@ class BDDManager:
     def num_nodes(self) -> int:
         """Total interned nodes (including the two terminals)."""
         return len(self._level)
+
+    def node_triple(self, node: int) -> Tuple[str, int, int]:
+        """(top variable name, low child id, high child id) of an
+        internal node id — the traversal hook external engines (e.g. the
+        SAT backend's BDD-to-CNF conversion) use.  Terminals (0/1) have
+        no triple and raise."""
+        if node in (_FALSE, _TRUE):
+            raise BDDError("terminal nodes have no (var, low, high) triple")
+        return (self._var_names[self._level[node]],
+                self._low[node], self._high[node])
+
+    def computed_entries(self, start: Optional[Tuple[int, ...]] = None
+                         ) -> Iterator[Tuple[str, Tuple[int, ...], int]]:
+        """Replay the computed tables as a construction tape: yields
+        ``(op, operand node ids, result node id)`` for every memoised
+        apply/not/ite step, in insertion (creation) order.
+
+        The tape records *how* each function was built — a BDD produced
+        by ripple-carry BVec arithmetic appears as its chain of
+        AND/OR/XOR steps.  The SAT backend re-encodes spec BDDs by
+        replaying this tape, yielding CNF that is structurally aligned
+        with the circuits it is compared against (canonical mux-DAG
+        conversion of the same function produces miters CDCL search
+        cannot digest).
+
+        *start* — a :meth:`computed_sizes`-shaped tuple — skips that
+        many leading entries of each table, so incremental consumers
+        pay only for what was computed since their previous call."""
+        offsets = start or (0, 0, 0, 0, 0)
+        mask = (1 << _S) - 1
+        tables = (("not", 1, self._not_cache), ("and", 2, self._and_cache),
+                  ("or", 2, self._or_cache), ("xor", 2, self._xor_cache),
+                  ("ite", 3, self._ite_cache))
+        for (op, arity, table), skip in zip(tables, offsets):
+            items = (itertools.islice(table.items(), skip, None)
+                     if skip else table.items())
+            if arity == 1:
+                for key, r in items:
+                    yield (op, (key,), r)
+            elif arity == 2:
+                for key, r in items:
+                    yield (op, (key >> _S, key & mask), r)
+            else:
+                for key, r in items:
+                    yield (op, (key >> 60, (key >> _S) & mask, key & mask),
+                           r)
+
+    def computed_sizes(self) -> Tuple[int, ...]:
+        """Sizes of the computed tables — a cheap change indicator for
+        consumers caching a view of :meth:`computed_entries`."""
+        return (len(self._not_cache), len(self._and_cache),
+                len(self._or_cache), len(self._xor_cache),
+                len(self._ite_cache))
 
     # ------------------------------------------------------------------
     # Node construction
@@ -989,6 +1043,14 @@ class BDDManager:
         self._xor_cache.clear()
         self._not_cache.clear()
         self._ite_cache.clear()
+        self._cache_epoch += 1
+
+    @property
+    def cache_epoch(self) -> int:
+        """Bumped on every :meth:`clear_caches` — lets incremental
+        computed-table consumers (the SAT tape) detect a rebuild even
+        when the tables regrow past their consumed offsets."""
+        return self._cache_epoch
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
         """Per-operation computed-table statistics.

@@ -1,0 +1,43 @@
+"""The shared engine-report surface of the verification backends.
+
+Two engines decide ``M ⊨ A ⇒ C``: the BDD/STE checker
+(:class:`repro.ste.STEResult`) and the SAT/BMC checker
+(:class:`repro.sat.BMCResult`).  Their result objects are deliberately
+shaped alike — :class:`EngineReport` names the common surface that
+session aggregation, the CLI and the harness rely on, so callers can
+hold either without caring which engine produced it:
+
+* ``engine`` — ``"ste"`` or ``"bmc"``;
+* ``passed`` / ``vacuous`` — the verdict (identical across engines on
+  the same property, pinned by the differential tests);
+* ``failures`` — per-(time, node) violation records (the BDD engine
+  reports every violatable point, the SAT engine the points witnessed
+  by its one model);
+* ``depth`` / ``elapsed_seconds`` / ``summary()`` — reporting;
+* counterexamples travel through :func:`repro.ste.extract`, which
+  dispatches on the result type and always renders the same
+  :class:`repro.ste.CounterExample` waveform shape.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, runtime_checkable
+
+__all__ = ["EngineReport", "ENGINES"]
+
+#: The engines a CheckSession can dispatch to.
+ENGINES = ("ste", "bmc")
+
+
+@runtime_checkable
+class EngineReport(Protocol):
+    """Structural type of one property-check result, either engine."""
+
+    engine: str
+    passed: bool
+    vacuous: bool
+    failures: List
+    depth: int
+    elapsed_seconds: float
+
+    def summary(self) -> str: ...

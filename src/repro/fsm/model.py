@@ -28,8 +28,8 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..bdd import BDDManager
-from ..netlist import Circuit, NetlistError, dff_next, eval_gate, latch_next
-from ..netlist.validate import combinational_order, input_cone
+from ..netlist import Circuit, dff_next, eval_gate, latch_next
+from ..netlist.schedule import EvalSchedule
 from ..ternary import TernaryValue
 
 __all__ = ["CompiledModel", "State"]
@@ -45,40 +45,13 @@ class CompiledModel:
         self.circuit = circuit
         self.mgr = mgr
         self._x = TernaryValue.x(mgr)
-        cone = input_cone(circuit)
-        order = combinational_order(circuit)
-        # Phase 2 nodes: combinational outputs computable pre-registers.
-        self._pre_order: List[str] = [n for n in order if n in cone]
-        self._post_order: List[str] = [n for n in order if n not in cone]
-        self._check_controls(cone)
-        # Precompiled evaluation plans: resolve the gate/latch dispatch
-        # and input-name lists once at compile time so `step` is a flat
-        # loop instead of two dict probes per node per time step.
-        self._pre_plan = [self._plan_entry(n) for n in self._pre_order]
-        self._post_plan = [self._plan_entry(n) for n in self._post_order]
-        self._dffs: List[Tuple[str, object]] = [
-            (q, reg) for q, reg in circuit.registers.items()
-            if reg.kind == "dff"]
-
-    def _plan_entry(self, node: str):
-        gate = self.circuit.gates.get(node)
-        if gate is not None:
-            return (node, gate.op, tuple(gate.ins), None)
-        reg = self.circuit.registers.get(node)
-        if reg is not None and reg.kind == "latch":
-            return (node, None, None, reg)
-        raise NetlistError(f"no evaluation rule for node {node!r}")
-
-    def _check_controls(self, cone) -> None:
-        for q, reg in self.circuit.registers.items():
-            if reg.kind != "dff":
-                continue
-            for ctrl in reg.control_nodes():
-                if ctrl not in cone and ctrl not in self.circuit.inputs:
-                    raise NetlistError(
-                        f"register {q}: control {ctrl} not derivable from "
-                        f"primary inputs; CompiledModel cannot order the "
-                        f"step evaluation")
+        # The phase structure (input cone before registers, control
+        # derivability check, flat per-node plans) lives in
+        # EvalSchedule, shared verbatim with the SAT engine's BMCModel.
+        schedule = EvalSchedule(circuit)
+        self._pre_plan = schedule.pre_plan
+        self._post_plan = schedule.post_plan
+        self._dffs = schedule.dffs
 
     # ------------------------------------------------------------------
     def initial_state(self, constraints: Optional[Mapping[str, TernaryValue]]
@@ -175,6 +148,6 @@ class CompiledModel:
 
     def stats(self) -> Dict[str, int]:
         info = dict(self.circuit.stats())
-        info["pre_register_nodes"] = len(self._pre_order)
-        info["post_register_nodes"] = len(self._post_order)
+        info["pre_register_nodes"] = len(self._pre_plan)
+        info["post_register_nodes"] = len(self._post_plan)
         return info

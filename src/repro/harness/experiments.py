@@ -104,6 +104,15 @@ _EXPERIMENTS: List[Experiment] = [
         "benchmarks/test_bench_session.py",
         "session verdicts identical to per-property checks; fewer "
         "models compiled than properties; wall-clock no worse"),
+    Experiment(
+        "E14", "beyond the paper (multi-backend)",
+        "SAT/BMC second verification engine: the property suites "
+        "decided by a Tseitin-compiled defining trajectory + CDCL "
+        "behind CheckSession(engine='bmc'), verdict-identical to STE",
+        "benchmarks/test_bench_engines.py",
+        "BMC verdicts == STE verdicts on all 26 properties (both "
+        "schedules); SAT counterexamples render through the same "
+        "waveform path"),
 ]
 
 

@@ -5,6 +5,7 @@ from .builder import CircuitBuilder
 from .balloon import build_balloon_bank, build_balloon_cell
 from .cells import dff_next, eval_gate, falling_edge, latch_next, rising_edge
 from .coi import cone_nodes, cone_of_influence
+from .schedule import EvalSchedule
 from .validate import (check_circuit, combinational_order, input_cone,
                        require_valid)
 
@@ -25,6 +26,7 @@ __all__ = [
     "falling_edge",
     "cone_nodes",
     "cone_of_influence",
+    "EvalSchedule",
     "check_circuit",
     "require_valid",
     "combinational_order",

@@ -1,0 +1,65 @@
+"""The levelized evaluation schedule shared by the executable models.
+
+Both engines simulate a circuit one phase at a time with the identical
+structure — primary inputs, then the *input cone* (combinational logic
+producing the clock/reset/retention controls), then dff outputs, then
+the remaining combinational logic and latches.  The BDD model
+(:class:`repro.fsm.CompiledModel`) and the SAT model
+(:class:`repro.sat.BMCModel`) both consume this one precomputed
+schedule, so the frame semantics the engines' verdict parity depends on
+is defined in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .circuit import Circuit, NetlistError, Register
+from .validate import combinational_order, input_cone
+
+__all__ = ["EvalSchedule", "PlanEntry"]
+
+#: One evaluation step: (node, gate op, gate inputs, latch register).
+#: Exactly one of (op, ins) / reg is populated.
+PlanEntry = Tuple[str, object, object, object]
+
+
+class EvalSchedule:
+    """Evaluation plans for one circuit's per-phase simulation.
+
+    ``pre_plan`` — input-cone combinational nodes, evaluated before the
+    registers (they produce the current clock/NRET/NRST values);
+    ``post_plan`` — everything downstream of register outputs,
+    including latches; ``dffs`` — the edge-triggered registers in
+    insertion order.  Construction validates that every dff control is
+    derivable from primary inputs, the ordering requirement both
+    executable models share.
+    """
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        cone = input_cone(circuit)
+        order = combinational_order(circuit)
+        self.pre_plan: List[PlanEntry] = [
+            self._plan_entry(n) for n in order if n in cone]
+        self.post_plan: List[PlanEntry] = [
+            self._plan_entry(n) for n in order if n not in cone]
+        self.dffs: List[Tuple[str, Register]] = [
+            (q, reg) for q, reg in circuit.registers.items()
+            if reg.kind == "dff"]
+        for q, reg in self.dffs:
+            for ctrl in reg.control_nodes():
+                if ctrl not in cone and ctrl not in circuit.inputs:
+                    raise NetlistError(
+                        f"register {q}: control {ctrl} not derivable "
+                        f"from primary inputs; the evaluation schedule "
+                        f"cannot order the step")
+
+    def _plan_entry(self, node: str) -> PlanEntry:
+        gate = self.circuit.gates.get(node)
+        if gate is not None:
+            return (node, gate.op, tuple(gate.ins), None)
+        reg = self.circuit.registers.get(node)
+        if reg is not None and reg.kind == "latch":
+            return (node, None, None, reg)
+        raise NetlistError(f"no evaluation rule for node {node!r}")

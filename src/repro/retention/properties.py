@@ -34,8 +34,7 @@ from ..cpu import (ALU_ADD, ALU_AND, ALU_OR, ALU_SLT, ALU_SUB, Core,
                    OP_BEQ, OP_LW, OP_RTYPE, OP_RTYPE_MIPS, OP_SW, alu_spec)
 from ..ste import (CheckSession, Formula, STEResult, SessionReport,
                    TRUE_FORMULA, check, conj, from_to,
-                   indexed_memory_antecedent, is0, node_is, vec_is)
-from ..ternary import TernaryValue
+                   indexed_memory_antecedent, is0, node_is, vec_is, when)
 from .spec import Schedule, property1_schedule, schedule_for_variant
 
 __all__ = ["CpuProperty", "PropertyEnv", "build_suite", "run_suite",
@@ -52,16 +51,23 @@ UNIT_COUNTS = {"fetch": 2, "decode": 6, "control": 11, "execute": 6,
 # ----------------------------------------------------------------------
 def vec_when(nodes: Sequence[str], vec: BVec, guard: Ref,
              start: int, stop: int) -> Formula:
-    """Bus equals *vec* wherever *guard* holds (X elsewhere)."""
-    return conj([from_to(node_is(n, TernaryValue.of_bdd(b).when(guard)),
-                         start, stop)
+    """Bus equals *vec* wherever *guard* holds (X elsewhere).
+
+    The guard rides on a formula-level ``when`` rather than being fused
+    into each bit's lattice value: the defining sequence is identical
+    (Defn 2 applies it per constrained point either way), but the
+    factorisation survives into :func:`repro.ste.defining_atoms`, where
+    the SAT engine turns the shared guard into a single literal instead
+    of multiplying it into both rails of all 32 bits.
+    """
+    body = conj([from_to(node_is(n, b), start, stop)
                  for n, b in zip(nodes, vec.bits)])
+    return when(body, guard)
 
 
 def bit_when(node: str, value: Ref, guard: Ref,
              start: int, stop: int) -> Formula:
-    return from_to(
-        node_is(node, TernaryValue.of_bdd(value).when(guard)), start, stop)
+    return when(from_to(node_is(node, value), start, stop), guard)
 
 
 def indexed_cells_formula(cell_bus, depth: int, index: BVec, data: BVec,
@@ -75,9 +81,9 @@ def indexed_cells_formula(cell_bus, depth: int, index: BVec, data: BVec,
         g = index.eq(w)
         if guard is not None:
             g = g & guard
-        for node, bit in zip(cell_bus(w), data.bits):
-            parts.append(from_to(
-                node_is(node, TernaryValue.of_bdd(bit).when(g)), start, stop))
+        body = conj([from_to(node_is(node, bit), start, stop)
+                     for node, bit in zip(cell_bus(w), data.bits)])
+        parts.append(when(body, g))
     return conj(parts)
 
 
@@ -297,7 +303,11 @@ class CpuProperty:
     schedule: Schedule
 
     def check(self, core: Core, mgr: BDDManager,
-              session: Optional[CheckSession] = None) -> STEResult:
+              session: Optional[CheckSession] = None,
+              engine: Optional[str] = None):
+        """Decide the property on *core* — through a shared *session*
+        when given, one-shot otherwise; *engine* picks the backend
+        ("ste"/"bmc", default: the session's engine or STE)."""
         if session is not None:
             if session.circuit is not core.circuit:
                 raise ValueError(
@@ -309,8 +319,9 @@ class CpuProperty:
                     "session uses a different BDDManager than the one "
                     "the property formulas were built on")
             return session.check(self.antecedent, self.consequent,
-                                 name=self.name)
-        return check(core.circuit, self.antecedent, self.consequent, mgr)
+                                 name=self.name, engine=engine)
+        return check(core.circuit, self.antecedent, self.consequent, mgr,
+                     engine=engine or "ste")
 
 
 Builder = Callable[[Core, PropertyEnv, Schedule], Tuple[Formula, Formula]]
@@ -559,16 +570,19 @@ def build_suite(core: Core, mgr: Optional[BDDManager] = None, *,
 
 def run_suite(core: Core, properties: Sequence[CpuProperty],
               mgr: BDDManager,
-              session: Optional[CheckSession] = None) -> Dict[str, STEResult]:
+              session: Optional[CheckSession] = None,
+              engine: Optional[str] = None) -> Dict[str, object]:
     """Check every property; returns {name: result}.
 
     Runs through a :class:`~repro.ste.CheckSession` so the circuit is
     validated once and compiled cones are shared across properties —
     verdicts are identical to per-property :meth:`CpuProperty.check`
-    calls on the same manager.
+    calls on the same manager.  *engine* selects the backend for every
+    property (defaults to the session's engine).
     """
     if session is None:
-        session = CheckSession(core.circuit, mgr)
+        session = CheckSession(core.circuit, mgr, engine=engine or "ste")
+        engine = None
     elif session.circuit is not core.circuit:
         raise ValueError(
             f"session was built for circuit {session.circuit.name!r}, "
@@ -578,13 +592,15 @@ def run_suite(core: Core, properties: Sequence[CpuProperty],
         raise ValueError(
             "session uses a different BDDManager than the one the "
             "property formulas were built on")
-    return {p.name: session.check(p.antecedent, p.consequent, name=p.name)
+    return {p.name: session.check(p.antecedent, p.consequent, name=p.name,
+                                  engine=engine)
             for p in properties}
 
 
 def run_suite_session(core: Core, properties: Sequence[CpuProperty],
-                      mgr: Optional[BDDManager] = None) -> SessionReport:
+                      mgr: Optional[BDDManager] = None,
+                      engine: str = "ste") -> SessionReport:
     """Batched suite run with the aggregate session report (per-unit
-    timing, model reuse and BDD cache statistics)."""
-    session = CheckSession(core.circuit, mgr or BDDManager())
+    timing, model reuse and engine statistics) on either backend."""
+    session = CheckSession(core.circuit, mgr or BDDManager(), engine=engine)
     return session.run(properties)

@@ -1,0 +1,34 @@
+"""SAT/BMC verification engine — the second backend behind
+:class:`repro.ste.CheckSession`.
+
+Layers:
+
+==================  ==================================================
+``repro.sat.cnf``     CNF clause database + structurally-hashed Tseitin
+``repro.sat.solver``  CDCL (two-watched literals, first-UIP, VSIDS,
+                      Luby restarts, assumptions)
+``repro.sat.encode``  dual-rail ternary encoding of netlist primitives,
+                      BDD→CNF conversion, two-valued cone compiler
+``repro.sat.bmc``     the schedule unroller and STE-property checker
+==================  ==================================================
+
+The BMC checker answers exactly the STE question — same dual-rail
+lattice, same defining-trajectory semantics, same retention-register
+priorities — so verdicts agree with the BDD engine by construction
+while the cost profile differs (linear-size CNF + CDCL search instead
+of canonical BDDs + variable-order sensitivity).
+"""
+
+from .cnf import CNF, SATError, Tseitin
+from .solver import Solver
+from .encode import DualRailEncoder, Pair, SCALAR_OF_RAILS, encode_boolean_cone
+from .bmc import (BMCEngine, BMCFailure, BMCModel, BMCResult, check,
+                  check_model)
+
+__all__ = [
+    "CNF", "SATError", "Tseitin",
+    "Solver",
+    "DualRailEncoder", "Pair", "SCALAR_OF_RAILS", "encode_boolean_cone",
+    "BMCEngine", "BMCFailure", "BMCModel", "BMCResult", "check",
+    "check_model",
+]

@@ -1,0 +1,389 @@
+"""Bounded model checking of STE properties by SAT (the second engine).
+
+The BDD engine computes the defining trajectory symbolically and asks,
+per consequent point, whether ``[C] t n ⊑ [[A]] M t n`` holds for every
+assignment.  This module asks the *same* question of a SAT solver: the
+trajectory — the identical dual-rail lattice computation, time step by
+time step, with the identical clock/NRET/NRST schedule waveforms and
+retention-hold-over-reset register semantics — is Tseitin-compiled into
+a frame-indexed CNF, the antecedent's consistency condition becomes a
+solver *assumption*, and the negated consequent ("some checked point is
+violated") becomes the query.  SAT = a counterexample assignment of the
+property's symbolic variables; UNSAT = the property is a theorem.
+
+Because the encoded Boolean functions are literal-for-BDD the same as
+the STE checker's (every lattice operator and cell update mirrors
+:mod:`repro.ternary.value` / :mod:`repro.netlist.cells`, and BDD-valued
+constraints cross over through an exact mux-DAG conversion), verdicts
+agree with :func:`repro.ste.check` by construction — the differential
+suite in ``tests/`` pins this.
+
+What SAT buys over BDDs: no global variable-order blowup.  A cone whose
+BDD transition relation explodes (wide datapaths, deep sleep/resume
+schedules) becomes a linear-size CNF; the cost moves from memory to
+search, which CDCL handles locally.  The engines are complementary —
+exactly why :class:`repro.ste.CheckSession` can dispatch to either.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..bdd import BDDManager
+from ..netlist import Circuit, cone_of_influence
+from ..netlist.schedule import EvalSchedule
+from ..netlist.validate import require_valid
+from ..ste.formula import (Formula, defining_atoms, formula_depth,
+                           formula_nodes)
+from .encode import SCALAR_OF_RAILS, DualRailEncoder, Pair
+from .solver import Solver
+
+__all__ = ["BMCModel", "BMCEngine", "BMCResult", "BMCFailure", "check",
+           "check_model"]
+
+
+class BMCModel:
+    """A circuit with a precomputed evaluation schedule for unrolling —
+    the SAT-side analogue of :class:`repro.fsm.CompiledModel`, built on
+    the same shared :class:`~repro.netlist.schedule.EvalSchedule` (so
+    the frame semantics the engines' verdict parity depends on is
+    defined once), but owning no BDD manager."""
+
+    def __init__(self, circuit: Circuit):
+        self.circuit = circuit
+        schedule = EvalSchedule(circuit)
+        self._pre_plan = schedule.pre_plan
+        self._post_plan = schedule.post_plan
+        self._dffs = schedule.dffs
+
+    def stats(self) -> Dict[str, int]:
+        info = dict(self.circuit.stats())
+        info["pre_register_nodes"] = len(self._pre_plan)
+        info["post_register_nodes"] = len(self._post_plan)
+        return info
+
+
+@dataclass
+class BMCFailure:
+    """One (time, node) consequent point the SAT model witnesses as
+    violated.  Unlike the BDD checker — which reports *every* violatable
+    point with its full violation condition — a SAT answer is one
+    assignment, so the failure list covers the points false under it
+    (always at least one)."""
+
+    time: int
+    node: str
+    expected: Pair            # dual-rail literal pair the consequent demands
+    actual: Pair              # dual-rail literal pair the trajectory delivers
+    violation: int            # literal: "this point is violated"
+
+    def __repr__(self) -> str:
+        return f"BMCFailure(t={self.time}, node={self.node!r})"
+
+
+@dataclass
+class BMCResult:
+    """Outcome of one bounded-model-checking run — the SAT-engine
+    counterpart of :class:`repro.ste.STEResult`, exposing the shared
+    engine-report surface (``passed``/``failures``/``depth``/
+    ``elapsed_seconds``/``summary()``/counterexample extraction)."""
+
+    engine = "bmc"
+
+    passed: bool
+    failures: List[BMCFailure]
+    depth: int
+    checked_points: int
+    elapsed_seconds: float
+    vacuous: bool
+    #: literal: antecedent consistent (the assumption of the query)
+    antecedent_lit: int
+    trajectory: List[Dict[str, Pair]]
+    solver: Solver
+    cnf_stats: Dict[str, int]
+    solver_stats: Dict[str, int]
+    #: SAT only: the witnessing assignment of the symbolic (BDD-named)
+    #: variables, the analogue of ``mgr.sat_one(failure.condition)``.
+    assignment: Dict[str, bool] = field(default_factory=dict)
+    #: SAT only: the full model snapshot (CNF var -> bool) taken at
+    #: check time — the shared incremental solver's live model is
+    #: overwritten by any later check on the same engine, so witness
+    #: rendering must never read it.
+    model: Dict[int, bool] = field(default_factory=dict)
+
+    def _lit_value(self, lit: int) -> bool:
+        """Model value of a literal under this result's snapshot;
+        variables the query never constrained totalise to False,
+        mirroring the BDD extractor's treatment of variables outside
+        the cube."""
+        var = lit if lit > 0 else -lit
+        value = self.model.get(var, False)
+        return value if lit > 0 else not value
+
+    def scalar_of(self, pair: Pair) -> str:
+        """Collapse a dual-rail literal pair to '0'/'1'/'X'/'T' under
+        the witnessing model (failed runs only)."""
+        return SCALAR_OF_RAILS[(self._lit_value(pair[0]),
+                                self._lit_value(pair[1]))]
+
+    def extract_counterexample(self, watch: Optional[Sequence[str]] = None,
+                               failure_index: int = 0):
+        """Materialise the SAT witness as a
+        :class:`repro.ste.CounterExample` so the existing waveform /
+        trace-rendering path (``format_trace``) serves both engines."""
+        if self.passed or not self.failures:
+            return None
+        from ..ste.counterexample import CounterExample
+        failure = self.failures[failure_index]
+        if watch is None:
+            watch = [failure.node]
+        trace: Dict[str, List[str]] = {}
+        for node in watch:
+            row: List[str] = []
+            for state in self.trajectory:
+                pair = state.get(node)
+                row.append(self.scalar_of(pair) if pair is not None else "X")
+            trace[node] = row
+        return CounterExample(
+            failure=failure,
+            assignment=dict(self.assignment),
+            trace=trace,
+            expected_scalar=self.scalar_of(failure.expected),
+            actual_scalar=self.scalar_of(failure.actual),
+        )
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else f"FAIL({len(self.failures)} points)"
+        if self.vacuous:
+            status += " [VACUOUS]"
+        return (f"BMC {status} depth={self.depth} "
+                f"points={self.checked_points} "
+                f"cnf_vars={self.cnf_stats.get('variables', 0)} "
+                f"conflicts={self.solver_stats.get('conflicts', 0)} "
+                f"time={self.elapsed_seconds:.3f}s")
+
+
+class BMCEngine:
+    """One cone's incremental SAT context.
+
+    A :class:`~repro.ste.CheckSession` keeps one engine per compiled
+    cone: all properties on the cone share the Tseitin structure (the
+    schedule waveforms, the register update ladders, any common
+    antecedent fragments dedupe through the interned CNF) *and* the
+    solver, so clauses learnt refuting one property prune the next —
+    the SAT analogue of the shared BDD computed table.
+    """
+
+    #: Conflict budget for the one-shot aggregate query before the
+    #: checker escalates to per-point refinement (LSB-first incremental
+    #: queries whose learnt equivalences compound — the standard
+    #: output-splitting cure for datapath/adder miters).
+    aggregate_budget = 2000
+
+    def __init__(self, model: Union[Circuit, BMCModel]):
+        if isinstance(model, Circuit):
+            model = BMCModel(model)
+        self.model = model
+        self.enc = DualRailEncoder()
+        self.solver = Solver()
+        self._fed_clauses = 0
+        self.checks = 0
+        self.refinements = 0
+
+    # ------------------------------------------------------------------
+    def _unroll(self, a_seq, depth: int
+                ) -> Tuple[List[Dict[str, Pair]], int]:
+        """The defining trajectory as literal pairs: frame-indexed CNF
+        with the antecedent joined in as each node's value is computed
+        (forward propagation), plus the antecedent-consistency literal."""
+        enc = self.enc
+        model = self.model
+        circuit = model.circuit
+        x = enc.X
+        antecedent_ok = enc.ts.true
+        trajectory: List[Dict[str, Pair]] = []
+        prev: Optional[Dict[str, Pair]] = None
+        for t in range(depth):
+            constraints = {node: enc.constraint_pair(atoms)
+                           for node, atoms in a_seq.get(t, {}).items()}
+            get_constraint = constraints.get
+            values: Dict[str, Pair] = {}
+
+            def finish(node: str, pair: Pair) -> None:
+                constraint = get_constraint(node)
+                if constraint is not None:
+                    pair = enc.t_join(pair, constraint)
+                values[node] = pair
+
+            def run_plan(plan) -> None:
+                for node, op, ins, reg in plan:
+                    if reg is None:
+                        finish(node, enc.eval_gate(
+                            op, [values.get(i, x) for i in ins]))
+                    else:
+                        finish(node, enc.latch_next(
+                            values.get(reg.clk, x), values.get(reg.d, x),
+                            prev.get(node, x) if prev else x))
+
+            for node in circuit.inputs:
+                finish(node, x)
+            run_plan(model._pre_plan)
+            for q, reg in model._dffs:
+                if prev is None:
+                    finish(q, x)
+                    continue
+                finish(q, enc.dff_next(
+                    reg,
+                    q_prev=prev.get(q, x),
+                    d_prev=prev.get(reg.d, x),
+                    clk_prev=prev.get(reg.clk, x),
+                    clk_now=values.get(reg.clk, x),
+                    enable_prev=(prev.get(reg.enable, x)
+                                 if reg.enable else None),
+                    nrst_now=(values.get(reg.nrst, x) if reg.nrst else None),
+                    nret_now=(values.get(reg.nret, x) if reg.nret else None)))
+            run_plan(model._post_plan)
+            for node, constraint in constraints.items():
+                if node not in values:
+                    values[node] = constraint
+            for node in a_seq.get(t, {}):
+                antecedent_ok = enc.ts.land(
+                    antecedent_ok, enc.t_consistent(values[node]))
+            trajectory.append(values)
+            prev = values
+        return trajectory, antecedent_ok
+
+    def _sync_solver(self) -> None:
+        clauses = self.enc.cnf.clauses
+        for i in range(self._fed_clauses, len(clauses)):
+            self.solver.add_clause(clauses[i])
+        self._fed_clauses = len(clauses)
+
+    # ------------------------------------------------------------------
+    def check(self, mgr: BDDManager, antecedent: Formula,
+              consequent: Formula) -> BMCResult:
+        """Decide ``model ⊨ antecedent ⇒ consequent`` by SAT."""
+        started = _time.perf_counter()
+        enc = self.enc
+        solver = self.solver
+        base_stats = solver.stats()
+        a_seq = defining_atoms(mgr, antecedent)
+        c_seq = defining_atoms(mgr, consequent)
+        depth = max(formula_depth(antecedent), formula_depth(consequent))
+
+        trajectory, antecedent_ok = self._unroll(a_seq, depth)
+
+        # Point-wise lattice comparison, negated: a point's violation
+        # literal is ¬(expected ⊑ actual); the query is their
+        # disjunction under the antecedent-consistency assumption.
+        x = enc.X
+        points: List[BMCFailure] = []
+        checked_points = 0
+        for t, constraints in sorted(c_seq.items()):
+            state = trajectory[t]
+            for node, expected_atoms in constraints.items():
+                checked_points += 1
+                expected = enc.constraint_pair(expected_atoms)
+                actual = state.get(node, x)
+                violation = -enc.t_leq(expected, actual)
+                if violation == enc.ts.false:
+                    continue               # provably unviolatable point
+                points.append(BMCFailure(t, node, expected, actual,
+                                         violation))
+
+        some_violation = enc.ts.lor(*[p.violation for p in points]) \
+            if points else enc.ts.false
+        self._sync_solver()
+        self.checks += 1
+
+        failures: List[BMCFailure] = []
+        assignment: Dict[str, bool] = {}
+        model: Dict[int, bool] = {}
+        vacuous = False
+        queries = 0
+        if some_violation == enc.ts.false:
+            passed = True
+            vacuous = not solver.solve([antecedent_ok])
+            queries += 1
+        else:
+            sat = solver.solve([antecedent_ok, some_violation],
+                               limit=self.aggregate_budget)
+            queries += 1
+            if sat is None:
+                # The aggregate query is hard (typically a wide-datapath
+                # miter).  Refine point by point in (time, node) order —
+                # for a bus that is LSB-first, so each query's learnt
+                # carry-bridging clauses remain in the solver and keep
+                # the next bit's proof shallow (output splitting, the
+                # standard cure for structurally-misaligned miters).
+                self.refinements += 1
+                sat = False
+                for point in points:
+                    answer = solver.solve([antecedent_ok, point.violation])
+                    queries += 1
+                    if answer:
+                        sat = True
+                        break
+            if sat:
+                passed = False
+                # Snapshot the witness NOW: the shared incremental
+                # solver's model is overwritten by the next check.
+                model = dict(solver.model)
+                failures = [p for p in points
+                            if solver.value(p.violation, False)]
+                assignment = {name: solver.value(var, False)
+                              for name, var in enc.cnf.named_vars().items()}
+            else:
+                passed = True
+                vacuous = not solver.solve([antecedent_ok])
+                queries += 1
+
+        now_stats = solver.stats()
+        delta = {k: now_stats[k] - base_stats.get(k, 0)
+                 for k in ("decisions", "propagations", "conflicts",
+                           "learned", "restarts")}
+        delta["variables"] = now_stats["variables"]
+        delta["clauses"] = now_stats["clauses"]
+        delta["queries"] = queries
+        return BMCResult(
+            passed=passed,
+            failures=failures,
+            depth=depth,
+            checked_points=checked_points,
+            elapsed_seconds=_time.perf_counter() - started,
+            vacuous=vacuous,
+            antecedent_lit=antecedent_ok,
+            trajectory=trajectory,
+            solver=solver,
+            cnf_stats=enc.ts.stats(),
+            solver_stats=delta,
+            assignment=assignment,
+            model=model,
+        )
+
+
+def check_model(model: Union[Circuit, BMCModel], antecedent: Formula,
+                consequent: Formula, mgr: BDDManager) -> BMCResult:
+    """One-shot BMC check on an already-cone-reduced model."""
+    engine = BMCEngine(model)
+    return engine.check(mgr, antecedent, consequent)
+
+
+def check(circuit: Circuit, antecedent: Formula, consequent: Formula,
+          mgr: Optional[BDDManager] = None, *,
+          use_coi: bool = True, validate: bool = True) -> BMCResult:
+    """Check ``circuit ⊨ antecedent ⇒ consequent`` with the SAT engine —
+    the signature twin of :func:`repro.ste.check` (the *mgr* interprets
+    the BDD-valued formula constraints; it is not used to build any
+    model BDDs)."""
+    if validate:
+        require_valid(circuit)
+    mgr = mgr or BDDManager()
+    model = circuit
+    if use_coi:
+        roots = set(formula_nodes(consequent))
+        roots.update(formula_nodes(antecedent))
+        model = cone_of_influence(circuit, sorted(roots))
+    return check_model(model, antecedent, consequent, mgr)

@@ -1,0 +1,295 @@
+"""CNF formulas and a structurally-hashed Tseitin compiler.
+
+The SAT backend represents Boolean functions as literals over a growing
+CNF: every derived function gets (at most) one fresh variable whose
+definition is emitted as Tseitin clauses.  Two disciplines keep the
+formulas small enough for a pure-Python solver:
+
+* **constant folding** — the constants are the literals of a reserved
+  variable pinned true by a unit clause, so ``AND(x, TRUE) == x`` and
+  ``MUX(FALSE, t, e) == e`` simplify before any clause is emitted, and a
+  constant that survives into a clause behaves correctly anyway;
+* **structural hashing** — ``(op, operands)`` keys are interned exactly
+  like the BDD manager's unique table, so re-encoding a shared cone
+  (or the same BDD node twice) costs a dictionary hit, not new clauses.
+
+Literals are DIMACS-style non-zero ints: variable ``v`` is literal
+``+v``, its negation ``-v``.  Negation is therefore free (``-lit``) and
+never allocates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["CNF", "Tseitin", "SATError"]
+
+
+class SATError(Exception):
+    """Structural misuse of the SAT layer (bad literals, mixed CNFs)."""
+
+
+class CNF:
+    """A clause database with named-variable bookkeeping.
+
+    Variables are 1-based ints.  Variable 1 is reserved: it is pinned
+    true by a unit clause at construction, so ``+1``/``-1`` serve as the
+    TRUE/FALSE literals throughout the SAT layer.
+    """
+
+    def __init__(self):
+        self.num_vars = 1
+        self.clauses: List[Tuple[int, ...]] = [(1,)]
+        # Sparse: only variables that need a printable identity (the
+        # symbolic BDD variables, mostly) carry a name.
+        self._names: Dict[int, str] = {1: "<true>"}
+        self._by_name: Dict[str, int] = {}
+
+    TRUE = 1
+    FALSE = -1
+
+    def new_var(self, name: Optional[str] = None) -> int:
+        self.num_vars += 1
+        v = self.num_vars
+        if name is not None:
+            if name in self._by_name:
+                raise SATError(f"variable {name!r} already allocated")
+            self._names[v] = name
+            self._by_name[name] = v
+        return v
+
+    def var_named(self, name: str) -> int:
+        """Return (allocating on first use) the variable called *name*."""
+        v = self._by_name.get(name)
+        if v is None:
+            v = self.new_var(name)
+        return v
+
+    def name_of(self, var: int) -> Optional[str]:
+        return self._names.get(var)
+
+    def named_vars(self) -> Dict[str, int]:
+        """All named variables except the reserved TRUE variable."""
+        return dict(self._by_name)
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        clause = tuple(lits)
+        for lit in clause:
+            v = lit if lit > 0 else -lit
+            if not 1 <= v <= self.num_vars:
+                raise SATError(f"literal {lit} names an unallocated variable")
+        self.clauses.append(clause)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "variables": self.num_vars,
+            "clauses": len(self.clauses),
+            "literals": sum(len(c) for c in self.clauses),
+        }
+
+    def to_dimacs(self) -> str:
+        """Standard DIMACS text (debugging / external-solver escape
+        hatch)."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(map(str, clause)) + " 0")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return f"CNF(vars={self.num_vars}, clauses={len(self.clauses)})"
+
+
+class Tseitin:
+    """Build literals for derived functions over a :class:`CNF`.
+
+    Every operation folds constants, deduplicates operands and detects
+    complementary pairs before allocating; surviving structures are
+    interned so each distinct ``(op, operands)`` is defined once.
+    """
+
+    def __init__(self, cnf: Optional[CNF] = None):
+        self.cnf = cnf or CNF()
+        self._interned: Dict[Tuple, int] = {}
+        # Definition DAG: derived variable -> operand literals, so
+        # callers can walk support cones (`support_vars`) — e.g. to
+        # scope a Solver.set_decision_priority order to a query's
+        # relevant primaries, or for sweeping-style analyses.
+        self.defs: Dict[int, Tuple[int, ...]] = {}
+
+    # -- constants -----------------------------------------------------
+    @property
+    def true(self) -> int:
+        return CNF.TRUE
+
+    @property
+    def false(self) -> int:
+        return CNF.FALSE
+
+    def const(self, value: bool) -> int:
+        return CNF.TRUE if value else CNF.FALSE
+
+    def var(self, name: str) -> int:
+        return self.cnf.var_named(name)
+
+    # -- gates ---------------------------------------------------------
+    def land(self, *lits: int) -> int:
+        """Literal equivalent to the conjunction of *lits*."""
+        ops: List[int] = []
+        seen = set()
+        for lit in lits:
+            if lit == CNF.FALSE:
+                return CNF.FALSE
+            if lit == CNF.TRUE or lit in seen:
+                continue
+            if -lit in seen:
+                return CNF.FALSE
+            seen.add(lit)
+            ops.append(lit)
+        if not ops:
+            return CNF.TRUE
+        if len(ops) == 1:
+            return ops[0]
+        key = ("and",) + tuple(sorted(ops))
+        out = self._interned.get(key)
+        if out is None:
+            out = self.cnf.new_var()
+            add = self.cnf.add_clause
+            for lit in ops:
+                add((-out, lit))
+            add((out,) + tuple(-lit for lit in ops))
+            self._interned[key] = out
+            self.defs[out] = tuple(ops)
+        return out
+
+    def lor(self, *lits: int) -> int:
+        # The dual of AND: ``lor(a, b) == ¬land(¬a, ¬b)`` shares the
+        # interned AND structure, so there is no separate OR table.
+        return -self.land(*(-lit for lit in lits))
+
+    def lnot(self, lit: int) -> int:
+        return -lit
+
+    def lxor(self, a: int, b: int) -> int:
+        if a == CNF.TRUE:
+            return -b
+        if a == CNF.FALSE:
+            return b
+        if b == CNF.TRUE:
+            return -a
+        if b == CNF.FALSE:
+            return a
+        if a == b:
+            return CNF.FALSE
+        if a == -b:
+            return CNF.TRUE
+        # Canonicalise: XOR is symmetric and ¬a⊕b == ¬(a⊕b); intern the
+        # positive-positive form and derive the rest by sign.
+        sign = 1
+        if a < 0:
+            a, sign = -a, -sign
+        if b < 0:
+            b, sign = -b, -sign
+        if a > b:
+            a, b = b, a
+        key = ("xor", a, b)
+        out = self._interned.get(key)
+        if out is None:
+            out = self.cnf.new_var()
+            add = self.cnf.add_clause
+            add((-out, a, b))
+            add((-out, -a, -b))
+            add((out, -a, b))
+            add((out, a, -b))
+            self._interned[key] = out
+            self.defs[out] = (a, b)
+        return out * sign
+
+    def liff(self, a: int, b: int) -> int:
+        return -self.lxor(a, b)
+
+    def limplies(self, a: int, b: int) -> int:
+        return self.lor(-a, b)
+
+    def lmux(self, sel: int, then: int, else_: int) -> int:
+        """``sel ? then : else_`` (the if-then-else connective)."""
+        if sel == CNF.TRUE:
+            return then
+        if sel == CNF.FALSE:
+            return else_
+        if then == else_:
+            return then
+        if then == -else_:
+            return self.liff(sel, then)
+        if then == CNF.TRUE:
+            return self.lor(sel, else_)
+        if then == CNF.FALSE:
+            return self.land(-sel, else_)
+        if else_ == CNF.TRUE:
+            return self.lor(-sel, then)
+        if else_ == CNF.FALSE:
+            return self.land(sel, then)
+        if sel == then:
+            return self.lor(sel, else_)       # sel ? sel : e  ==  sel | e
+        if sel == -then:
+            return self.land(-sel, else_)     # sel ? ¬sel : e ==  ¬sel & e
+        if sel == else_:
+            return self.land(sel, then)       # sel ? t : sel  ==  sel & t
+        if sel == -else_:
+            return self.lor(-sel, then)       # sel ? t : ¬sel ==  ¬sel | t
+        # Canonicalise ¬sel by swapping branches; ¬then/¬else by output
+        # sign (mux(s, ¬t, ¬e) == ¬mux(s, t, e)).
+        if sel < 0:
+            sel, then, else_ = -sel, else_, then
+        sign = 1
+        if then < 0:
+            then, else_, sign = -then, -else_, -sign
+        key = ("mux", sel, then, else_)
+        out = self._interned.get(key)
+        if out is None:
+            out = self.cnf.new_var()
+            add = self.cnf.add_clause
+            add((-out, -sel, then))
+            add((-out, sel, else_))
+            add((out, -sel, -then))
+            add((out, sel, -else_))
+            # Redundant but propagation-strengthening ("both branches
+            # agree" clauses).
+            add((-out, then, else_))
+            add((out, -then, -else_))
+            self._interned[key] = out
+            self.defs[out] = (sel, then, else_)
+        return out * sign
+
+    def support_vars(self, lit: int) -> set:
+        """The primary (underived) variables the literal's definition
+        cone bottoms out in — named BDD variables and raw inputs."""
+        defs = self.defs
+        support = set()
+        visited = set()
+        stack = [lit if lit > 0 else -lit]
+        while stack:
+            v = stack.pop()
+            if v in visited or v == CNF.TRUE:
+                continue
+            visited.add(v)
+            operands = defs.get(v)
+            if operands is None:
+                support.add(v)
+            else:
+                stack.extend(q if q > 0 else -q for q in operands)
+        return support
+
+    def assert_lit(self, lit: int) -> None:
+        """Pin *lit* true (a unit clause)."""
+        if lit == CNF.TRUE:
+            return
+        if lit == CNF.FALSE:
+            raise SATError("asserting the FALSE literal makes the CNF "
+                           "trivially unsatisfiable")
+        self.cnf.add_clause((lit,))
+
+    def stats(self) -> Dict[str, int]:
+        info = self.cnf.stats()
+        info["interned"] = len(self._interned)
+        return info

@@ -1,0 +1,355 @@
+"""Dual-rail Tseitin encoding of netlist primitives and BDD values.
+
+The BMC backend re-expresses the STE decision procedure over CNF
+literals instead of BDDs.  The value domain is the same dual-rail
+lattice as :class:`repro.ternary.TernaryValue` — a pair ``(h, l)`` of
+*literals* (``h``: "may be 1", ``l``: "may be 0") instead of a pair of
+BDDs::
+
+    X = (T, T)    0 = (F, T)    1 = (T, F)    ⊤ = (F, F)
+
+so an X-valued input is the unconstrained constant pair ``(TRUE,
+TRUE)``, exactly the weakest element the defining trajectory starts
+from, and constant rails fold through the whole cone before a single
+clause is emitted (the clock/NRET/NRST waveforms erase the sequential
+control logic from the CNF the way constant propagation erases it from
+the BDD run).
+
+Three layers live here:
+
+* :class:`DualRailEncoder` — the lattice algebra (join/when/leq/
+  consistency) and the ternary semantics of every netlist primitive
+  (all combinational gates incl. MUX, plus the latch and dff next-state
+  functions with the retention-over-reset priority), literal-for-BDD
+  mirrors of :mod:`repro.ternary.value` and :mod:`repro.netlist.cells`;
+* BDD conversion — :meth:`DualRailEncoder.bdd_lit` Tseitin-compiles a
+  BDD node (a mux DAG) into one literal, memoised per node, which is
+  how antecedent/consequent lattice values and guards cross from the
+  BDD world into CNF;
+* :func:`encode_boolean_cone` — the plain two-valued Tseitin compiler
+  for a combinational cone, used by the encoder-vs-scalar differential
+  tests and anyone needing classical circuit CNF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager, Ref
+from ..netlist import Circuit, NetlistError, Register
+from ..ternary import SCALAR_OF_RAILS, TernaryValue
+from .cnf import CNF, SATError, Tseitin
+
+__all__ = ["DualRailEncoder", "Pair", "encode_boolean_cone",
+           "SCALAR_OF_RAILS"]
+
+#: A dual-rail literal pair (h, l).
+Pair = Tuple[int, int]
+
+
+class DualRailEncoder:
+    """Ternary circuit semantics over CNF literal pairs."""
+
+    def __init__(self, ts: Optional[Tseitin] = None, *,
+                 use_tape: bool = True):
+        self.ts = ts or Tseitin()
+        #: replay BDD construction tapes (see :meth:`bdd_lit`); off =
+        #: pure canonical mux-DAG conversion.
+        self.use_tape = use_tape
+        t, f = self.ts.true, self.ts.false
+        self.X: Pair = (t, t)
+        self.ZERO: Pair = (f, t)
+        self.ONE: Pair = (t, f)
+        self.TOP: Pair = (f, f)
+        # BDD node id -> literal, per manager (keyed by id() because
+        # managers are unhashable by content and live as long as the
+        # encoder in every sane use).
+        self._bdd_memo: Dict[int, Dict[int, int]] = {}
+        self._managers: Dict[int, BDDManager] = {}
+        self._tapes: Dict[int, Dict[int, Tuple]] = {}
+        self._tape_sizes: Dict[int, Tuple[int, ...]] = {}
+
+    @property
+    def cnf(self) -> CNF:
+        return self.ts.cnf
+
+    # ------------------------------------------------------------------
+    # Lattice structure (mirrors repro.ternary.TernaryValue)
+    # ------------------------------------------------------------------
+    def of_bool(self, value: bool) -> Pair:
+        return self.ONE if value else self.ZERO
+
+    def t_not(self, v: Pair) -> Pair:
+        return (v[1], v[0])
+
+    def t_and(self, a: Pair, b: Pair) -> Pair:
+        ts = self.ts
+        return (ts.land(a[0], b[0]), ts.lor(a[1], b[1]))
+
+    def t_or(self, a: Pair, b: Pair) -> Pair:
+        ts = self.ts
+        return (ts.lor(a[0], b[0]), ts.land(a[1], b[1]))
+
+    def t_xor(self, a: Pair, b: Pair) -> Pair:
+        ts = self.ts
+        return (ts.lor(ts.land(a[0], b[1]), ts.land(a[1], b[0])),
+                ts.lor(ts.land(a[0], b[0]), ts.land(a[1], b[1])))
+
+    def t_mux(self, sel: Pair, then: Pair, else_: Pair) -> Pair:
+        """Monotone ternary select: an X select merges the branches."""
+        ts = self.ts
+        ch, cl = sel
+        return (ts.lor(ts.land(ch, then[0]), ts.land(cl, else_[0])),
+                ts.lor(ts.land(ch, then[1]), ts.land(cl, else_[1])))
+
+    def t_join(self, a: Pair, b: Pair) -> Pair:
+        ts = self.ts
+        return (ts.land(a[0], b[0]), ts.land(a[1], b[1]))
+
+    def t_when(self, v: Pair, guard: int) -> Pair:
+        """Weaken to X outside the *guard* literal."""
+        ts = self.ts
+        return (ts.lor(v[0], -guard), ts.lor(v[1], -guard))
+
+    def t_leq(self, expected: Pair, actual: Pair) -> int:
+        """Literal of ``expected ⊑ actual`` (actual carries at least the
+        information of expected)."""
+        ts = self.ts
+        return ts.land(ts.limplies(actual[0], expected[0]),
+                       ts.limplies(actual[1], expected[1]))
+
+    def t_consistent(self, v: Pair) -> int:
+        """Literal of 'not overconstrained' (value != ⊤)."""
+        return self.ts.lor(v[0], v[1])
+
+    def t_defined(self, v: Pair) -> int:
+        """Literal of 'carries a definite Boolean value'."""
+        return self.ts.lxor(v[0], v[1])
+
+    # ------------------------------------------------------------------
+    # Netlist primitive semantics (mirrors repro.netlist.cells)
+    # ------------------------------------------------------------------
+    def eval_gate(self, op: str, ins: Sequence[Pair]) -> Pair:
+        if op == "CONST0":
+            return self.ZERO
+        if op == "CONST1":
+            return self.ONE
+        if op == "BUF":
+            return ins[0]
+        if op == "NOT":
+            return self.t_not(ins[0])
+        if op == "AND" or op == "NAND":
+            acc = ins[0]
+            for v in ins[1:]:
+                acc = self.t_and(acc, v)
+            return self.t_not(acc) if op == "NAND" else acc
+        if op == "OR" or op == "NOR":
+            acc = ins[0]
+            for v in ins[1:]:
+                acc = self.t_or(acc, v)
+            return self.t_not(acc) if op == "NOR" else acc
+        if op == "XOR":
+            return self.t_xor(ins[0], ins[1])
+        if op == "XNOR":
+            return self.t_not(self.t_xor(ins[0], ins[1]))
+        if op == "MUX":
+            sel, then, else_ = ins
+            return self.t_mux(sel, then, else_)
+        raise NetlistError(f"unknown gate op {op!r}")
+
+    def dff_next(self, reg: Register, *,
+                 q_prev: Pair, d_prev: Pair,
+                 clk_prev: Pair, clk_now: Pair,
+                 enable_prev: Optional[Pair] = None,
+                 nrst_now: Optional[Pair] = None,
+                 nret_now: Optional[Pair] = None) -> Pair:
+        """Edge-triggered register next-state, literal-for-BDD identical
+        to :func:`repro.netlist.cells.dff_next` — including the
+        retention-hold-over-reset priority."""
+        if reg.edge == "fall":
+            edge = self.t_and(clk_prev, self.t_not(clk_now))
+        else:
+            edge = self.t_and(self.t_not(clk_prev), clk_now)
+        if enable_prev is not None:
+            edge = self.t_and(edge, enable_prev)
+        value = self.t_mux(edge, d_prev, q_prev)
+        if nrst_now is not None:
+            value = self.t_mux(nrst_now, value, self.of_bool(bool(reg.init)))
+        if nret_now is not None:
+            value = self.t_mux(nret_now, value, q_prev)
+        return value
+
+    def latch_next(self, en_now: Pair, d_now: Pair, q_prev: Pair) -> Pair:
+        return self.t_mux(en_now, d_now, q_prev)
+
+    # ------------------------------------------------------------------
+    # BDD -> CNF conversion
+    # ------------------------------------------------------------------
+    def _tape_for(self, mgr: BDDManager) -> Dict[int, Tuple]:
+        """node id -> ("op", operand ids) from the manager's computed
+        tables (see :meth:`BDDManager.computed_entries`).
+
+        Only *constructive* entries — every operand created before the
+        result — are admitted, so replaying the tape strictly descends
+        node ids and terminates; degenerate cache hits (absorptions
+        whose recorded operands postdate the result) are skipped.  The
+        view refreshes incrementally as the manager computes more.
+        """
+        key = id(mgr)
+        tape = self._tapes.setdefault(key, {})
+        sizes = (mgr.cache_epoch,) + mgr.computed_sizes()
+        consumed = self._tape_sizes.get(key)
+        if consumed != sizes:
+            if consumed is None or consumed[0] != sizes[0]:
+                # First visit, or the tables were cleared (epoch bump)
+                # since last consumed: existing tape entries stay valid
+                # (nodes are immutable), but offsets must restart so
+                # the rebuilt entries are seen.
+                start = None
+            else:
+                start = consumed[1:]
+            for op, operands, result in mgr.computed_entries(start):
+                if result > 1 and result not in tape and all(
+                        o < result for o in operands):
+                    tape[result] = (op,) + operands
+            self._tape_sizes[key] = sizes
+        return tape
+
+    def bdd_lit(self, ref: Ref) -> int:
+        """The literal equivalent to BDD *ref*, over CNF variables named
+        after the BDD variables (so the SAT model restricted to named
+        variables is directly a BDD-style assignment).
+
+        Encoding strategy: replay the manager's construction tape where
+        available — a spec word built by ripple-carry BVec arithmetic
+        becomes a ripple-carry CNF, structurally aligned with the
+        datapath it will be compared to — and fall back to the
+        canonical Shannon/mux DAG for nodes the tape does not cover.
+        """
+        mgr = ref.mgr
+        memo = self._bdd_memo.get(id(mgr))
+        if memo is None:
+            memo = {0: self.ts.false, 1: self.ts.true}
+            self._bdd_memo[id(mgr)] = memo
+            self._managers[id(mgr)] = mgr     # keep the manager alive
+        if ref.node in memo:
+            return memo[ref.node]
+        ts = self.ts
+        tape = self._tape_for(mgr) if self.use_tape else {}
+        node_triple = mgr.node_triple
+
+        stack = [ref.node]
+        while stack:
+            n = stack[-1]
+            if n in memo:
+                stack.pop()
+                continue
+            entry = tape.get(n)
+            deps = entry[1:] if entry is not None else node_triple(n)[1:]
+            ready = True
+            for d in deps:
+                if d not in memo:
+                    stack.append(d)
+                    ready = False
+            if not ready:
+                continue
+            stack.pop()
+            if entry is None:
+                name, lo, hi = node_triple(n)
+                memo[n] = ts.lmux(ts.var(name), memo[hi], memo[lo])
+            else:
+                op = entry[0]
+                if op == "not":
+                    memo[n] = -memo[entry[1]]
+                elif op == "and":
+                    memo[n] = ts.land(memo[entry[1]], memo[entry[2]])
+                elif op == "or":
+                    memo[n] = ts.lor(memo[entry[1]], memo[entry[2]])
+                elif op == "xor":
+                    memo[n] = ts.lxor(memo[entry[1]], memo[entry[2]])
+                else:               # ite
+                    memo[n] = ts.lmux(memo[entry[1]], memo[entry[2]],
+                                      memo[entry[3]])
+        return memo[ref.node]
+
+    def lift(self, value: TernaryValue) -> Pair:
+        """Dual-rail literal pair for a dual-rail BDD lattice value.
+
+        A two-valued value (``l == ¬h``, the overwhelmingly common case:
+        every ``is 0/1`` and ``is <BDD>`` constraint) shares one literal
+        between its rails — encoding ``f`` and ``¬f`` as two unrelated
+        mux DAGs would force the solver to re-derive their
+        complementarity clause by clause."""
+        h = self.bdd_lit(value.h)
+        if (~value.h) == value.l:
+            return (h, -h)
+        return (h, self.bdd_lit(value.l))
+
+    def constraint_pair(self, atoms) -> Pair:
+        """Join a (value, guard) atom list — one
+        :func:`repro.ste.formula.defining_atoms` entry — into a
+        dual-rail pair, keeping each guard a single shared literal."""
+        pair: Optional[Pair] = None
+        for value, guard in atoms:
+            p = self.lift(value)
+            if guard is not None:
+                p = self.t_when(p, self.bdd_lit(guard))
+            pair = p if pair is None else self.t_join(pair, p)
+        return pair
+
+
+# ----------------------------------------------------------------------
+# Two-valued combinational encoding (the classical Tseitin compiler)
+# ----------------------------------------------------------------------
+def encode_boolean_cone(circuit: Circuit, ts: Tseitin,
+                        inputs: Optional[Mapping[str, int]] = None
+                        ) -> Dict[str, int]:
+    """Tseitin-compile a *combinational* circuit two-valued.
+
+    *inputs* maps primary-input names to literals; unmapped inputs get
+    fresh variables named after the node.  Returns {node: literal} for
+    every node in the evaluation order (inputs included).  Registers are
+    sequential state and have no single-frame Boolean semantics — the
+    BMC unroller handles them — so their presence is an error here.
+    """
+    if circuit.registers:
+        raise SATError(
+            f"encode_boolean_cone needs a combinational circuit; "
+            f"{circuit.name!r} has {len(circuit.registers)} registers")
+    from ..netlist.validate import combinational_order
+    lits: Dict[str, int] = {}
+    for node in circuit.inputs:
+        if inputs is not None and node in inputs:
+            lits[node] = inputs[node]
+        else:
+            lits[node] = ts.var(node)
+    for node in combinational_order(circuit):
+        gate = circuit.gates[node]
+        ins = [lits[i] for i in gate.ins]
+        op = gate.op
+        if op == "CONST0":
+            out = ts.false
+        elif op == "CONST1":
+            out = ts.true
+        elif op == "BUF":
+            out = ins[0]
+        elif op == "NOT":
+            out = -ins[0]
+        elif op == "AND":
+            out = ts.land(*ins)
+        elif op == "NAND":
+            out = -ts.land(*ins)
+        elif op == "OR":
+            out = ts.lor(*ins)
+        elif op == "NOR":
+            out = -ts.lor(*ins)
+        elif op == "XOR":
+            out = ts.lxor(ins[0], ins[1])
+        elif op == "XNOR":
+            out = -ts.lxor(ins[0], ins[1])
+        elif op == "MUX":
+            out = ts.lmux(ins[0], ins[1], ins[2])
+        else:
+            raise NetlistError(f"unknown gate op {op!r}")
+        lits[node] = out
+    return lits

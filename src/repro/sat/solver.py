@@ -1,0 +1,597 @@
+"""A CDCL SAT solver (two-watched-literal, first-UIP, VSIDS, restarts).
+
+A deliberately compact MiniSat-style conflict-driven clause-learning
+solver, tuned for the shapes this repo produces: deep but functionally
+determined Tseitin cones where unit propagation does most of the work
+and conflicts concentrate on a small symbolic frontier.
+
+Implementation notes (the classic architecture, specialised for Python):
+
+* literals are packed ints ``2*var`` / ``2*var + 1`` so negation is an
+  XOR and per-literal arrays replace hash lookups on the hot path;
+* clauses are plain ``list``s whose first two positions are the watched
+  literals; watch-list entries are ``[clause, blocker]`` pairs mutated
+  in place (the blocker literal skips most visits without touching the
+  clause);
+* conflict analysis derives the first-UIP asserting clause, bumping
+  VSIDS activities of every variable met on the way; decisions pop a
+  lazy max-heap of ``(-activity, var)`` entries with phase saving;
+* restarts follow the Luby sequence; the learnt database is halved
+  (oldest long clauses first, reason clauses pinned) when it outgrows
+  its budget;
+* ``solve(assumptions=...)`` layers assumption literals as the first
+  decision levels — the incremental-SAT interface the BMC checker uses
+  for antecedent-consistency assumptions.
+
+Statistics mirror :meth:`repro.bdd.BDDManager.cache_stats`'s spirit:
+:meth:`Solver.stats` reports the counters that explain where time went.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .cnf import CNF, SATError
+
+__all__ = ["Solver"]
+
+_UNASSIGNED = -1
+
+
+def _luby(i: int) -> int:
+    """The i-th element (0-based) of the Luby restart sequence
+    1 1 2 1 1 2 4 … (the MiniSat formulation)."""
+    size, seq = 1, 0
+    while size < i + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != i:
+        size = (size - 1) // 2
+        seq -= 1
+        i %= size
+    return 1 << seq
+
+
+class Solver:
+    """CDCL over DIMACS-style integer literals (as produced by
+    :class:`~repro.sat.cnf.CNF`)."""
+
+    def __init__(self, cnf: Optional[CNF] = None, *,
+                 restart_base: int = 128,
+                 learnt_budget: int = 8192):
+        self._nvars = 0
+        self._assigns: List[int] = [0]      # var -> -1/0/1 (index 0 pad)
+        self._levels: List[int] = [0]
+        self._reasons: List[Optional[list]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[int] = [0]
+        self._watches: List[list] = [[], []]
+        self._clauses: List[list] = []
+        self._learnts: List[list] = []
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        # Indexed binary max-heap over activity (MiniSat's VarOrder):
+        # _heap holds vars, _hpos maps var -> heap index (-1 = absent),
+        # so activity bumps are in-place decrease-key operations.
+        self._heap: List[int] = []
+        self._hpos: List[int] = [-1]
+        self._var_inc = 1.0
+        self._var_decay = 1.0 / 0.95
+        self._restart_base = restart_base
+        self._learnt_budget = learnt_budget
+        self._unsat = False
+        self._priority: List[int] = []
+        self.model: Dict[int, bool] = {}
+        # Counters.
+        self.decisions = 0
+        self.propagations = 0
+        self.conflicts = 0
+        self.restarts = 0
+        self.learned = 0
+        self.deleted = 0
+        self.max_learnt_len = 0
+        if cnf is not None:
+            self.add_cnf(cnf)
+
+    # ------------------------------------------------------------------
+    # Clause ingestion
+    # ------------------------------------------------------------------
+    def _ensure_vars(self, nvars: int) -> None:
+        while self._nvars < nvars:
+            self._nvars += 1
+            v = self._nvars
+            self._assigns.append(_UNASSIGNED)
+            self._levels.append(0)
+            self._reasons.append(None)
+            self._activity.append(0.0)
+            self._phase.append(0)
+            self._watches.append([])
+            self._watches.append([])
+            self._hpos.append(-1)
+            self._heap_insert(v)
+
+    def add_cnf(self, cnf: CNF) -> None:
+        self._ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            self.add_clause(clause)
+
+    def add_clause(self, lits: Iterable[int]) -> None:
+        """Add one problem clause (external ±var literals).
+
+        Safe to call between solves (incremental use): the trail is
+        rolled back to level 0 first and the clause is simplified
+        against the level-0 assignments, so watch invariants hold.
+        """
+        if self._trail_lim:
+            self._cancel_until(0)
+        assigns = self._assigns
+        seen = set()
+        codes: List[int] = []
+        for lit in lits:
+            v = lit if lit > 0 else -lit
+            if v > self._nvars:
+                self._ensure_vars(v)
+            code = (v << 1) | (lit < 0)
+            if code in seen:
+                continue
+            if code ^ 1 in seen:
+                return                      # tautology
+            a = assigns[v]
+            if a != _UNASSIGNED:            # level-0 fact
+                if a ^ (code & 1):
+                    return                  # already satisfied
+                continue                    # already-false literal: drop
+            seen.add(code)
+            codes.append(code)
+        if not codes:
+            self._unsat = True
+            return
+        if len(codes) == 1:
+            # Level-0 unit: assign immediately (solve() re-propagates).
+            code = codes[0]
+            a = self._assigns[code >> 1]
+            if a == _UNASSIGNED:
+                self._assign(code, None)
+            elif (a ^ (code & 1)) == 0:
+                self._unsat = True
+            return
+        clause = codes
+        self._clauses.append(clause)
+        self._watches[clause[0]].append([clause, clause[1]])
+        self._watches[clause[1]].append([clause, clause[0]])
+
+    def set_decision_priority(self, variables: Sequence[int]) -> None:
+        """Branch on *variables* (external 1-based), in this static
+        order, before consulting VSIDS.
+
+        For CNFs whose every auxiliary variable is functionally
+        determined by a small set of primary variables — exactly what
+        the Tseitin compiler produces — restricting decisions to the
+        primaries is complete, and a static LSB-first order makes
+        clause learning enumerate carry/path states the way a BDD apply
+        does instead of thrashing a structurally-misaligned miter."""
+        self._ensure_vars(max(variables, default=0))
+        self._priority = list(variables)
+
+    # ------------------------------------------------------------------
+    # Decision-order heap (indexed max-heap keyed by VSIDS activity)
+    # ------------------------------------------------------------------
+    def _heap_sift_up(self, i: int) -> None:
+        heap, pos, act = self._heap, self._hpos, self._activity
+        v = heap[i]
+        a = act[v]
+        while i > 0:
+            parent = (i - 1) >> 1
+            pv = heap[parent]
+            if act[pv] >= a:
+                break
+            heap[i] = pv
+            pos[pv] = i
+            i = parent
+        heap[i] = v
+        pos[v] = i
+
+    def _heap_sift_down(self, i: int) -> None:
+        heap, pos, act = self._heap, self._hpos, self._activity
+        v = heap[i]
+        a = act[v]
+        n = len(heap)
+        while True:
+            child = 2 * i + 1
+            if child >= n:
+                break
+            right = child + 1
+            if right < n and act[heap[right]] > act[heap[child]]:
+                child = right
+            cv = heap[child]
+            if act[cv] <= a:
+                break
+            heap[i] = cv
+            pos[cv] = i
+            i = child
+        heap[i] = v
+        pos[v] = i
+
+    def _heap_insert(self, v: int) -> None:
+        if self._hpos[v] != -1:
+            return
+        heap = self._heap
+        self._hpos[v] = len(heap)
+        heap.append(v)
+        self._heap_sift_up(self._hpos[v])
+
+    def _heap_pop(self) -> int:
+        heap, pos = self._heap, self._hpos
+        v = heap[0]
+        last = heap.pop()
+        pos[v] = -1
+        if heap:
+            heap[0] = last
+            pos[last] = 0
+            self._heap_sift_down(0)
+        return v
+
+    # ------------------------------------------------------------------
+    # Assignment machinery
+    # ------------------------------------------------------------------
+    def _assign(self, code: int, reason: Optional[list]) -> None:
+        v = code >> 1
+        self._assigns[v] = (code & 1) ^ 1
+        self._levels[v] = len(self._trail_lim)
+        self._reasons[v] = reason
+        self._trail.append(code)
+
+    def _cancel_until(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        bound = self._trail_lim[level]
+        assigns = self._assigns
+        phase = self._phase
+        insert = self._heap_insert
+        for i in range(len(self._trail) - 1, bound - 1, -1):
+            code = self._trail[i]
+            v = code >> 1
+            phase[v] = assigns[v]
+            assigns[v] = _UNASSIGNED
+            self._reasons[v] = None
+            insert(v)
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = bound
+
+    def _propagate(self) -> Optional[list]:
+        """Exhaust unit propagation; return a conflicting clause or
+        None."""
+        assigns = self._assigns
+        watches = self._watches
+        trail = self._trail
+        trail_lim_len = len(self._trail_lim)
+        levels = self._levels
+        reasons = self._reasons
+        props = 0
+        while self._qhead < len(trail):
+            p = trail[self._qhead]
+            self._qhead += 1
+            props += 1
+            false_lit = p ^ 1
+            ws = watches[false_lit]
+            i = j = 0
+            n = len(ws)
+            while i < n:
+                entry = ws[i]
+                i += 1
+                blocker = entry[1]
+                a = assigns[blocker >> 1]
+                if a >= 0 and a ^ (blocker & 1):
+                    ws[j] = entry
+                    j += 1
+                    continue
+                cl = entry[0]
+                if cl[0] == false_lit:
+                    cl[0] = cl[1]
+                    cl[1] = false_lit
+                first = cl[0]
+                a = assigns[first >> 1]
+                if a >= 0 and a ^ (first & 1):
+                    entry[1] = first
+                    ws[j] = entry
+                    j += 1
+                    continue
+                for k in range(2, len(cl)):
+                    lk = cl[k]
+                    ak = assigns[lk >> 1]
+                    if ak < 0 or ak ^ (lk & 1):
+                        cl[1] = lk
+                        cl[k] = false_lit
+                        watches[lk].append([cl, first])
+                        break
+                else:
+                    entry[1] = first
+                    ws[j] = entry
+                    j += 1
+                    if a >= 0:              # first false too: conflict
+                        while i < n:
+                            ws[j] = ws[i]
+                            j += 1
+                            i += 1
+                        del ws[j:]
+                        self._qhead = len(trail)
+                        self.propagations += props
+                        return cl
+                    v = first >> 1
+                    assigns[v] = (first & 1) ^ 1
+                    levels[v] = trail_lim_len
+                    reasons[v] = cl
+                    trail.append(first)
+            del ws[j:]
+        self.propagations += props
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _bump(self, v: int) -> None:
+        act = self._activity[v] + self._var_inc
+        self._activity[v] = act
+        if act > 1e100:
+            # Uniform rescale preserves the heap order.
+            scale = 1e-100
+            for i in range(1, self._nvars + 1):
+                self._activity[i] *= scale
+            self._var_inc *= scale
+        i = self._hpos[v]
+        if i != -1:
+            self._heap_sift_up(i)
+
+    def _analyze(self, conflict: list):
+        """Return (learnt clause codes, backtrack level); learnt[0] is
+        the asserting (first-UIP) literal."""
+        levels = self._levels
+        reasons = self._reasons
+        current = len(self._trail_lim)
+        seen = bytearray(self._nvars + 1)
+        learnt: List[int] = [0]
+        counter = 0
+        p = -1
+        reason = conflict
+        index = len(self._trail) - 1
+        while True:
+            start = 0 if p < 0 else 1       # reason[0] is the asserted lit
+            for idx in range(start, len(reason)):
+                q = reason[idx]
+                v = q >> 1
+                if not seen[v] and levels[v] > 0:
+                    seen[v] = 1
+                    self._bump(v)
+                    if levels[v] >= current:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while not seen[self._trail[index] >> 1]:
+                index -= 1
+            p = self._trail[index]
+            v = p >> 1
+            seen[v] = 0
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason = reasons[v]
+        learnt[0] = p ^ 1
+        if len(learnt) > 1:
+            # Recursive clause minimisation: a literal is redundant when
+            # its implication cone bottoms out in literals already in
+            # the clause (or level-0 facts).  Shorter clauses generalise
+            # — on structurally-misaligned miters this is the difference
+            # between enumerating assignments and learning equivalences.
+            def redundant(code: int) -> bool:
+                stack = [code]
+                marked: List[int] = []
+                while stack:
+                    v = stack.pop() >> 1
+                    reason = reasons[v]
+                    if reason is None:
+                        for u in marked:
+                            seen[u] = 0
+                        return False
+                    for q in reason[1:]:
+                        u = q >> 1
+                        if seen[u] or levels[u] == 0:
+                            continue
+                        if reasons[u] is None:
+                            for w in marked:
+                                seen[w] = 0
+                            return False
+                        seen[u] = 1
+                        marked.append(u)
+                        stack.append(q)
+                return True
+
+            learnt = [learnt[0]] + [q for q in learnt[1:]
+                                    if not redundant(q)]
+        if len(learnt) == 1:
+            return learnt, 0
+        # Backtrack to the second-highest decision level in the clause.
+        max_i = 1
+        for i in range(2, len(learnt)):
+            if levels[learnt[i] >> 1] > levels[learnt[max_i] >> 1]:
+                max_i = i
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, levels[learnt[1] >> 1]
+
+    # ------------------------------------------------------------------
+    # Learnt-database reduction
+    # ------------------------------------------------------------------
+    def _reduce_db(self) -> None:
+        locked = {id(r) for r in self._reasons if r is not None}
+        keep: List[list] = []
+        removable: List[list] = []
+        for cl in self._learnts:
+            if len(cl) <= 3 or id(cl) in locked:
+                keep.append(cl)
+            else:
+                removable.append(cl)
+        drop = removable[:len(removable) // 2]   # oldest first
+        for cl in drop:
+            for w in (cl[0], cl[1]):
+                ws = self._watches[w]
+                for i, entry in enumerate(ws):
+                    if entry[0] is cl:
+                        ws[i] = ws[-1]
+                        ws.pop()
+                        break
+        self.deleted += len(drop)
+        self._learnts = keep + removable[len(removable) // 2:]
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = (),
+              limit: Optional[int] = None) -> Optional[bool]:
+        """Decide satisfiability under *assumptions* (external ±var
+        literals, treated as forced first decisions).  On True, `model`
+        maps every allocated variable to a bool.
+
+        *limit* bounds the conflicts spent in this call; when exhausted
+        the answer is ``None`` (indeterminate) and the solver state —
+        including everything learnt — remains valid for further calls,
+        which is how the BMC checker escalates from one aggregate query
+        to per-point refinement."""
+        # A model describes exactly one SAT answer; never let a stale
+        # one survive into an UNSAT/indeterminate outcome.
+        self.model = {}
+        if self._unsat:
+            return False
+        budget = limit if limit is not None else -1
+        codes = []
+        for lit in assumptions:
+            v = lit if lit > 0 else -lit
+            if v > self._nvars:
+                self._ensure_vars(v)
+            codes.append((v << 1) | (lit < 0))
+        self._cancel_until(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
+        assigns = self._assigns
+        conflicts_left = self._restart_base * _luby(0)
+        learnt_budget = self._learnt_budget
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_left -= 1
+                # Level-0 conflict means UNSAT outright — decide it
+                # before the budget check, or an exhausted budget would
+                # leave the consumed propagation queue masking the
+                # contradiction from later calls.
+                if not self._trail_lim:
+                    self._unsat = True
+                    return False
+                if budget >= 0:
+                    budget -= 1
+                    if budget < 0:
+                        self._cancel_until(0)
+                        return None
+                learnt, bt_level = self._analyze(conflict)
+                # Never backjump into the assumption prefix's future:
+                # cancelling to bt_level is always safe because the
+                # decide loop re-applies assumptions in order.
+                self._cancel_until(bt_level)
+                if len(learnt) == 1:
+                    code = learnt[0]
+                    a = assigns[code >> 1]
+                    if a != _UNASSIGNED:
+                        if a ^ (code & 1):
+                            continue        # already true at level 0
+                        self._unsat = True
+                        return False
+                    self._assign(code, None)
+                else:
+                    self._learnts.append(learnt)
+                    self.learned += 1
+                    if len(learnt) > self.max_learnt_len:
+                        self.max_learnt_len = len(learnt)
+                    self._watches[learnt[0]].append([learnt, learnt[1]])
+                    self._watches[learnt[1]].append([learnt, learnt[0]])
+                    self._assign(learnt[0], learnt)
+                self._var_inc *= self._var_decay
+                if len(self._learnts) > learnt_budget + len(self._trail):
+                    self._reduce_db()
+                continue
+            if conflicts_left <= 0:
+                self.restarts += 1
+                conflicts_left = self._restart_base * _luby(self.restarts)
+                self._cancel_until(0)
+                continue
+            # Assumption levels first.
+            if len(self._trail_lim) < len(codes):
+                code = codes[len(self._trail_lim)]
+                a = assigns[code >> 1]
+                if a >= 0:
+                    if a ^ (code & 1):      # already true: empty level
+                        self._trail_lim.append(len(self._trail))
+                        continue
+                    return False            # assumption contradicted
+                self._trail_lim.append(len(self._trail))
+                self._assign(code, None)
+                continue
+            # Static-priority decisions first, then VSIDS.
+            v = 0
+            for cand in self._priority:
+                if assigns[cand] == _UNASSIGNED:
+                    v = cand
+                    break
+            heap = self._heap
+            while not v and heap:
+                cand = self._heap_pop()
+                if assigns[cand] == _UNASSIGNED:
+                    v = cand
+                    break
+            if not v:
+                for cand in range(1, self._nvars + 1):
+                    if assigns[cand] == _UNASSIGNED:
+                        v = cand
+                        break
+                if not v:
+                    self.model = {u: bool(assigns[u])
+                                  for u in range(1, self._nvars + 1)}
+                    return True
+            self.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._assign((v << 1) | (self._phase[v] ^ 1), None)
+
+    # ------------------------------------------------------------------
+    def value(self, lit: int, default: Optional[bool] = None) -> bool:
+        """Model value of an external literal after a SAT answer.
+
+        A variable no clause ever mentioned is unconstrained; *default*
+        totalises it (the analogue of the BDD extractor fixing
+        variables outside a cube's support), otherwise it raises."""
+        if not self.model:
+            raise SATError("no model available (last solve was UNSAT?)")
+        v = lit if lit > 0 else -lit
+        val = self.model.get(v)
+        if val is None:
+            if default is None:
+                raise SATError(f"variable {v} was never allocated")
+            val = default
+        return val if lit > 0 else not val
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "variables": self._nvars,
+            "clauses": len(self._clauses),
+            "learned": self.learned,
+            "deleted": self.deleted,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "max_learnt_len": self.max_learnt_len,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Solver(vars={self._nvars}, clauses={len(self._clauses)}, "
+                f"conflicts={self.conflicts})")

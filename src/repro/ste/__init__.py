@@ -5,7 +5,8 @@ from .checker import Failure, STEResult, check, check_compiled
 from .session import CheckSession, PropertyOutcome, SessionReport
 from .counterexample import CounterExample, all_assignments, extract, format_trace
 from .formula import (Formula, NodeIs, Conj, When, Next, TRUE_FORMULA,
-                      conj, defining_sequence, formula_depth, formula_nodes,
+                      conj, defining_atoms, defining_sequence,
+                      formula_depth, formula_nodes,
                       from_to, is0, is1, next_, node_is, vec_is, when)
 from .indexing import (direct_memory_antecedent, direct_read_value,
                        indexed_memory_antecedent, indexed_read_consequent)
@@ -19,7 +20,7 @@ __all__ = [
     "CounterExample", "extract", "all_assignments", "format_trace",
     "Formula", "NodeIs", "Conj", "When", "Next", "TRUE_FORMULA",
     "is0", "is1", "node_is", "vec_is", "conj", "when", "next_", "from_to",
-    "defining_sequence", "formula_depth", "formula_nodes",
+    "defining_sequence", "defining_atoms", "formula_depth", "formula_nodes",
     "direct_memory_antecedent", "direct_read_value",
     "indexed_memory_antecedent", "indexed_read_consequent",
     "Theorem", "InferenceError", "from_check", "conjoin", "shift",

@@ -60,6 +60,8 @@ class STEResult:
     which :mod:`repro.ste.counterexample` extracts a scalar trace.
     """
 
+    engine = "ste"
+
     passed: bool
     failures: List[Failure]
     antecedent_ok: Ref        # BDD: assignments where A was consistent
@@ -99,14 +101,33 @@ def check(model: Union[Circuit, CompiledModel],
           antecedent: Formula,
           consequent: Formula,
           mgr: Optional[BDDManager] = None,
-          use_coi: bool = True) -> STEResult:
+          use_coi: bool = True,
+          engine: str = "ste"):
     """Check ``model ⊨ antecedent ⇒ consequent``.
 
     *model* may be a raw :class:`Circuit` (compiled here, with the
     cone-of-influence reduction rooted at the consequent's nodes unless
     ``use_coi=False``) or an already-compiled model (reused as-is, which
     is how the benchmark harness amortises compilation across a suite).
+
+    ``engine="bmc"`` routes the same question to the SAT backend
+    (:mod:`repro.sat.bmc`) and returns its
+    :class:`~repro.sat.BMCResult` — verdict-identical by construction,
+    counterexamples extractable through the same
+    :func:`repro.ste.extract` path.
     """
+    if engine == "bmc":
+        from ..sat import bmc as _bmc
+        if isinstance(model, CompiledModel):
+            # Respect the caller's pre-reduced model: no second COI.
+            return _bmc.check(model.circuit, antecedent, consequent,
+                              mgr or model.mgr, use_coi=False,
+                              validate=False)
+        return _bmc.check(model, antecedent, consequent, mgr,
+                          use_coi=use_coi)
+    if engine != "ste":
+        raise ValueError(f"unknown engine {engine!r}; "
+                         f"expected 'ste' or 'bmc'")
     started = _time.perf_counter()
     if isinstance(model, CompiledModel):
         compiled = model

@@ -48,9 +48,17 @@ def extract(result: STEResult, watch: Optional[Sequence[str]] = None,
     """Materialise one scalar counterexample from a failed run.
 
     *watch* selects the nodes whose trace is rendered (default: the
-    failing node plus every node the antecedent/consequent constrained).
-    Returns None if the run passed.
+    failing node only — both engines' extractors keep the same
+    deliberately small default).  Returns None if the run passed.
+
+    Works on either engine's result: a SAT/BMC result carries its own
+    extraction (the witness is the solver model rather than a BDD cube)
+    and is dispatched to it, returning the same
+    :class:`CounterExample`/:func:`format_trace` shape.
     """
+    extractor = getattr(result, "extract_counterexample", None)
+    if extractor is not None:
+        return extractor(watch, failure_index)
     if result.passed or not result.failures:
         return None
     failure = result.failures[failure_index]
@@ -59,10 +67,7 @@ def extract(result: STEResult, watch: Optional[Sequence[str]] = None,
         return None
 
     if watch is None:
-        watched = {failure.node}
-        for state in result.trajectory:
-            pass  # keep default small: failing node only
-        watch = sorted(watched)
+        watch = [failure.node]
 
     # Totalise the assignment: any variable appearing in a watched value
     # but not in the failure cube can be fixed arbitrarily (False).

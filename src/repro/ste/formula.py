@@ -30,7 +30,7 @@ from ..ternary import TernaryValue, TernaryVector
 __all__ = [
     "Formula", "NodeIs", "Conj", "When", "Next", "TRUE_FORMULA",
     "is0", "is1", "node_is", "vec_is", "conj", "when", "next_", "from_to",
-    "defining_sequence", "formula_depth", "formula_nodes",
+    "defining_sequence", "defining_atoms", "formula_depth", "formula_nodes",
 ]
 
 #: Values accepted on the right of ``is``: scalar constants, a BDD
@@ -198,17 +198,47 @@ def defining_sequence(mgr: BDDManager, formula: Formula
     from the mapping are X.  Repeated constraints on the same (time,
     node) join (which is where ⊤ can appear, caught later by the
     checker's antecedent-consistency analysis).
+
+    Implemented as a fold over :func:`defining_atoms` so both engines
+    interpret formulas through one traversal: the BDD checker consumes
+    the joined values, the SAT encoder the atoms themselves.
     """
     seq: Dict[int, Dict[str, TernaryValue]] = {}
+    for shift, constraints in defining_atoms(mgr, formula).items():
+        at_time = seq[shift] = {}
+        for node, atoms in constraints.items():
+            joined: Optional[TernaryValue] = None
+            for value, guard in atoms:
+                if guard is not None:
+                    value = value.when(guard)
+                joined = value if joined is None else joined.join(value)
+            at_time[node] = joined
+    return seq
+
+
+def defining_atoms(mgr: BDDManager, formula: Formula
+                   ) -> Dict[int, Dict[str, List[Tuple[TernaryValue,
+                                                       Optional[Ref]]]]]:
+    """The defining sequence *before* joining: per (time, node), the
+    list of ``(value, accumulated guard)`` constraint atoms in visit
+    order.
+
+    Joining each list (guards applied via ``value.when(guard)``) folds
+    back into exactly :func:`defining_sequence`'s entry — the BDD
+    checker wants the fused value, but the SAT engine wants the
+    factorisation: a guard shared by a 32-bit bus becomes *one* CNF
+    literal instead of being multiplied into both rails of every bit,
+    and a two-valued payload keeps its complementary rails sharing one
+    literal.
+    """
+    seq: Dict[int, Dict[str, List[Tuple[TernaryValue,
+                                        Optional[Ref]]]]] = {}
 
     def visit(f: Formula, shift: int, guard: Optional[Ref]) -> None:
         if isinstance(f, NodeIs):
             value = _lift(mgr, f.value)
-            if guard is not None:
-                value = value.when(guard)
             at_time = seq.setdefault(shift, {})
-            existing = at_time.get(f.node)
-            at_time[f.node] = value if existing is None else existing.join(value)
+            at_time.setdefault(f.node, []).append((value, guard))
         elif isinstance(f, Conj):
             for p in f.parts:
                 visit(p, shift, guard)

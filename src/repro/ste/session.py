@@ -27,10 +27,11 @@ same cone-reduced model that ``check`` would have built.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
 
 from ..bdd import BDDManager
+from ..engine import ENGINES, EngineReport
 from ..fsm import CompiledModel, compile_circuit
 from ..netlist import Circuit, cone_of_influence, require_valid
 from .checker import STEResult, check_compiled
@@ -44,9 +45,10 @@ class PropertyOutcome:
     """One property's result inside a session run."""
 
     name: str
-    result: STEResult
+    result: EngineReport      # STEResult or repro.sat.BMCResult
     cone_nodes: int           # node count of the model it ran on
     reused_model: bool        # True when the compiled cone was cached
+    engine: str = "ste"       # which backend decided it
 
     @property
     def passed(self) -> bool:
@@ -69,6 +71,10 @@ class SessionReport:
     model_reuses: int
     bdd_stats: Dict[str, int]
     cache_stats: Dict[str, Dict[str, int]]
+    #: the session's default engine ("ste" | "bmc")
+    engine: str = "ste"
+    #: aggregate SAT-solver counters (empty when no BMC check ran)
+    engine_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -97,11 +103,15 @@ class SessionReport:
         misses = self.bdd_stats.get("cache_misses", 0)
         total = hits + misses
         rate = (100.0 * hits / total) if total else 0.0
-        return (f"Session {status} properties={n} "
+        line = (f"Session[{self.engine}] {status} properties={n} "
                 f"models={self.models_compiled}(+{self.model_reuses} reused) "
                 f"bdd_nodes={self.bdd_stats.get('nodes', 0)} "
                 f"cache_hit_rate={rate:.1f}% "
                 f"time={self.elapsed_seconds:.3f}s")
+        if self.engine_stats:
+            line += (f" sat_conflicts={self.engine_stats.get('conflicts', 0)}"
+                     f" sat_vars={self.engine_stats.get('variables', 0)}")
+        return line
 
 
 #: Accepted property shapes: objects with name/antecedent/consequent
@@ -115,7 +125,8 @@ class CheckSession:
 
     Usage::
 
-        session = CheckSession(core.circuit, mgr)
+        session = CheckSession(core.circuit, mgr)          # BDD/STE
+        session = CheckSession(core.circuit, mgr, engine="bmc")  # SAT
         for prop in suite:
             result = session.check(prop.antecedent, prop.consequent,
                                    name=prop.name)
@@ -124,15 +135,28 @@ class CheckSession:
     or, batched::
 
         report = session.run(suite)
+
+    *engine* selects the default backend; each :meth:`check` call can
+    override it, so one session can mix engines (e.g. STE for the small
+    control cones, BMC for the wide datapath ones).  Both backends share
+    the cone-of-influence extraction and caching: an STE check and a BMC
+    check on the same cone reuse one cone walk, and each engine keeps
+    its own compiled artefact per cone (a BDD model / an incremental SAT
+    context).
     """
 
     def __init__(self, circuit: Circuit, mgr: Optional[BDDManager] = None,
-                 *, use_coi: bool = True, validate: bool = True):
+                 *, use_coi: bool = True, validate: bool = True,
+                 engine: str = "ste"):
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {ENGINES}")
         if validate:
             require_valid(circuit)
         self.circuit = circuit
         self.mgr = mgr or BDDManager()
         self.use_coi = use_coi
+        self.engine = engine
         self.models_compiled = 0
         self.model_reuses = 0
         self._name_counts: Dict[str, int] = {}
@@ -147,21 +171,17 @@ class CheckSession:
         self._models: Dict[FrozenSet[str], CompiledModel] = {}
         # roots -> cone key, so repeated root sets skip the cone walk.
         self._cone_keys: Dict[FrozenSet[str], FrozenSet[str]] = {}
+        # cone key -> the reduced circuit (shared by both engines).
+        self._cones: Dict[FrozenSet[str], Circuit] = {}
         self._full_model: Optional[CompiledModel] = None
+        # cone key -> incremental SAT context (None key: full circuit).
+        self._bmc_engines: Dict[Optional[FrozenSet[str]], object] = {}
 
     # ------------------------------------------------------------------
-    def model_for(self, antecedent: Formula, consequent: Formula
-                  ) -> Tuple[CompiledModel, bool]:
-        """The compiled (cone-reduced) model both formulas run on, plus
-        whether it was served from the session cache."""
-        if not self.use_coi:
-            if self._full_model is None:
-                self._full_model = compile_circuit(
-                    self.circuit, self.mgr, validate=False)
-                self.models_compiled += 1
-                return self._full_model, False
-            self.model_reuses += 1
-            return self._full_model, True
+    def _cone_for(self, antecedent: Formula, consequent: Formula
+                  ) -> Tuple[FrozenSet[str], Circuit]:
+        """(cache key, cone circuit) for a property — one cone walk per
+        distinct root set, one cone per distinct node set."""
         roots = frozenset(formula_nodes(antecedent)) | frozenset(
             formula_nodes(consequent))
         key = self._cone_keys.get(roots)
@@ -170,23 +190,74 @@ class CheckSession:
             key = frozenset(cone.inputs) | frozenset(cone.gates) | frozenset(
                 cone.registers)
             self._cone_keys[roots] = key
-            model = self._models.get(key)
-            if model is None:
-                model = compile_circuit(cone, self.mgr, validate=False)
-                self._models[key] = model
+            self._cones.setdefault(key, cone)
+        return key, self._cones[key]
+
+    def model_for(self, antecedent: Formula, consequent: Formula
+                  ) -> Tuple[CompiledModel, bool]:
+        """The compiled (cone-reduced) BDD model both formulas run on,
+        plus whether it was served from the session cache."""
+        if not self.use_coi:
+            if self._full_model is None:
+                self._full_model = compile_circuit(
+                    self.circuit, self.mgr, validate=False)
                 self.models_compiled += 1
-                return model, False
+                return self._full_model, False
             self.model_reuses += 1
-            return model, True
+            return self._full_model, True
+        key, cone = self._cone_for(antecedent, consequent)
+        model = self._models.get(key)
+        if model is None:
+            model = compile_circuit(cone, self.mgr, validate=False)
+            self._models[key] = model
+            self.models_compiled += 1
+            return model, False
         self.model_reuses += 1
-        return self._models[key], True
+        return model, True
+
+    def bmc_engine_for(self, antecedent: Formula, consequent: Formula
+                       ) -> Tuple[object, bool]:
+        """The incremental SAT context for the property's cone, plus
+        whether it was served from the session cache."""
+        from ..sat.bmc import BMCEngine
+        if not self.use_coi:
+            engine = self._bmc_engines.get(None)
+            if engine is None:
+                engine = BMCEngine(self.circuit)
+                self._bmc_engines[None] = engine
+                self.models_compiled += 1
+                return engine, False
+            self.model_reuses += 1
+            return engine, True
+        key, cone = self._cone_for(antecedent, consequent)
+        engine = self._bmc_engines.get(key)
+        if engine is None:
+            engine = BMCEngine(cone)
+            self._bmc_engines[key] = engine
+            self.models_compiled += 1
+            return engine, False
+        self.model_reuses += 1
+        return engine, True
 
     def check(self, antecedent: Formula, consequent: Formula,
-              name: Optional[str] = None) -> STEResult:
-        """Check one property; identical verdict/counterexamples to
-        ``repro.ste.check(circuit, antecedent, consequent, mgr)``."""
-        model, reused = self.model_for(antecedent, consequent)
-        result = check_compiled(model, antecedent, consequent)
+              name: Optional[str] = None,
+              engine: Optional[str] = None) -> EngineReport:
+        """Check one property; verdicts identical to the one-shot
+        ``repro.ste.check(circuit, antecedent, consequent, mgr,
+        engine=...)`` on either backend."""
+        engine = engine or self.engine
+        if engine == "ste":
+            model, reused = self.model_for(antecedent, consequent)
+            result: EngineReport = check_compiled(
+                model, antecedent, consequent)
+            cone_nodes = len(model.circuit.all_nodes())
+        elif engine == "bmc":
+            bmc_engine, reused = self.bmc_engine_for(antecedent, consequent)
+            result = bmc_engine.check(self.mgr, antecedent, consequent)
+            cone_nodes = len(bmc_engine.model.circuit.all_nodes())
+        else:
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"expected one of {ENGINES}")
         name = name or f"property_{len(self._outcomes)}"
         # Outcome names key SessionReport.verdicts()/results(); a repeat
         # must not shadow an earlier outcome (e.g. two memory properties
@@ -198,11 +269,13 @@ class CheckSession:
         self._outcomes.append(PropertyOutcome(
             name=name,
             result=result,
-            cone_nodes=len(model.circuit.all_nodes()),
-            reused_model=reused))
+            cone_nodes=cone_nodes,
+            reused_model=reused,
+            engine=engine))
         return result
 
-    def run(self, properties: Iterable[PropertyLike]) -> SessionReport:
+    def run(self, properties: Iterable[PropertyLike],
+            engine: Optional[str] = None) -> SessionReport:
         """Check a whole suite and return the aggregate report."""
         for prop in properties:
             if isinstance(prop, tuple):
@@ -211,7 +284,7 @@ class CheckSession:
                 name = getattr(prop, "name", None)
                 antecedent = prop.antecedent
                 consequent = prop.consequent
-            self.check(antecedent, consequent, name=name)
+            self.check(antecedent, consequent, name=name, engine=engine)
         return self.report()
 
     # ------------------------------------------------------------------
@@ -234,10 +307,22 @@ class CheckSession:
         bdd_stats["cache_hits"] = sum(s["hits"] for s in cache_stats.values())
         bdd_stats["cache_misses"] = sum(s["misses"]
                                         for s in cache_stats.values())
+        # Aggregate SAT counters across every cone's incremental solver
+        # (engines are session-born, so totals are session-relative).
+        # Counters sum; a per-solver maximum must not.
+        engine_stats: Dict[str, int] = {}
+        for bmc_engine in self._bmc_engines.values():
+            for key, value in bmc_engine.solver.stats().items():
+                if key == "max_learnt_len":
+                    engine_stats[key] = max(engine_stats.get(key, 0), value)
+                else:
+                    engine_stats[key] = engine_stats.get(key, 0) + value
         return SessionReport(
             outcomes=list(self._outcomes),
             elapsed_seconds=_time.perf_counter() - self._started,
             models_compiled=self.models_compiled,
             model_reuses=self.model_reuses,
             bdd_stats=bdd_stats,
-            cache_stats=cache_stats)
+            cache_stats=cache_stats,
+            engine=self.engine,
+            engine_stats=engine_stats)

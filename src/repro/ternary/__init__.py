@@ -1,6 +1,7 @@
 """Dual-rail ternary lattice domain for symbolic trajectory evaluation."""
 
-from .value import ONE, TOP, TernaryValue, X, ZERO, from_bdd, from_bool
+from .value import (ONE, SCALAR_OF_RAILS, TOP, TernaryValue, X, ZERO,
+                    from_bdd, from_bool)
 from .vector import TernaryVector
 
 __all__ = [

@@ -34,7 +34,16 @@ from typing import Iterable, Mapping, Optional, Tuple
 
 from ..bdd import BDDError, BDDManager, Ref
 
-__all__ = ["TernaryValue", "X", "ZERO", "ONE", "TOP", "from_bool", "from_bdd"]
+__all__ = ["TernaryValue", "X", "ZERO", "ONE", "TOP", "from_bool",
+           "from_bdd", "SCALAR_OF_RAILS"]
+
+#: (h, l) rail truth values -> scalar character.  The single source of
+#: truth for the dual-rail encoding, shared by the BDD engine
+#: (:meth:`TernaryValue.scalar`) and the SAT engine
+#: (:mod:`repro.sat.encode`, where an X-valued input is the
+#: unconstrained pair of true rails).
+SCALAR_OF_RAILS = {(True, True): "X", (True, False): "1",
+                   (False, True): "0", (False, False): "T"}
 
 
 class TernaryValue:
@@ -193,8 +202,7 @@ class TernaryValue:
         """Collapse to one of '0', '1', 'X', 'T' under *assignment*."""
         h = self.mgr.eval(self.h, assignment)
         l = self.mgr.eval(self.l, assignment)
-        return {(True, True): "X", (True, False): "1",
-                (False, True): "0", (False, False): "T"}[(h, l)]
+        return SCALAR_OF_RAILS[(h, l)]
 
     def const_scalar(self) -> Optional[str]:
         """The scalar if the value is assignment-independent, else None."""

@@ -1,0 +1,295 @@
+"""The SAT/BMC engine: differential verdicts against STE on retention
+cells and CPU properties, counterexample extraction through the shared
+waveform path, and the CheckSession engine dispatch."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import buggy_core, fixed_core
+from repro.netlist import Circuit
+from repro.retention import build_suite
+from repro.retention.spec import property1_schedule, property2_schedule
+from repro.sat import BMCEngine, BMCResult, check as bmc_check
+from repro.ste import (CheckSession, check as ste_check, conj, extract,
+                       format_trace, is0, is1, next_, node_is)
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+
+def retention_cell(retained=True):
+    """The paper's Fig. 1 emulated retention register, standalone."""
+    circuit = Circuit("cell")
+    for name in ("clock", "NRET", "NRST", "d"):
+        circuit.add_input(name)
+    circuit.add_dff("q", "d", "clock",
+                    nrst="NRST", nret="NRET" if retained else None, init=0)
+    circuit.set_output("q")
+    return circuit
+
+
+def hold_property(mgr, sched):
+    """q keeps its symbolic value through the sleep excursion, up to
+    the step before the resume edge (the edge legitimately resamples
+    ``d``, which this standalone cell leaves unconstrained)."""
+    b = mgr.var("b")
+    antecedent = conj([sched.base, next_(node_is("q", b), 1)])
+    consequent = next_(node_is("q", b), sched.t_resume - 1)
+    return antecedent, consequent
+
+
+class TestRetentionCellDifferential:
+    """Both engines on the minimal sequential circuits, all verdict
+    combinations: pass, fail, and vacuous."""
+
+    def test_normal_operation_samples_d(self):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        sched = property1_schedule()
+        b = mgr.var("b")
+        antecedent = conj([sched.base, next_(node_is("d", b), 1)])
+        consequent = next_(node_is("q", b), 2)
+        r_ste = ste_check(circuit, antecedent, consequent, mgr)
+        r_bmc = bmc_check(circuit, antecedent, consequent, mgr)
+        assert r_ste.passed and r_bmc.passed
+        assert not r_bmc.vacuous
+
+    def test_sleep_holds_retained_state(self):
+        mgr = BDDManager()
+        circuit = retention_cell(retained=True)
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        r_ste = ste_check(circuit, antecedent, consequent, mgr)
+        r_bmc = bmc_check(circuit, antecedent, consequent, mgr)
+        assert r_ste.passed and r_bmc.passed
+
+    def test_sleep_loses_unretained_state(self):
+        """Without NRET the in-sleep reset clears q: both engines fail,
+        and the SAT witness sets the retained bit (reset forces 0, so
+        only b=1 exposes the loss)."""
+        mgr = BDDManager()
+        circuit = retention_cell(retained=False)
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        r_ste = ste_check(circuit, antecedent, consequent, mgr)
+        r_bmc = bmc_check(circuit, antecedent, consequent, mgr)
+        assert not r_ste.passed and not r_bmc.passed
+        assert {f.node for f in r_bmc.failures} <= \
+            {f.node for f in r_ste.failures}
+        assert r_bmc.assignment.get("b") is True
+
+    def test_vacuous_on_contradictory_antecedent(self):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        sched = property1_schedule()
+        antecedent = conj([sched.base, is0("d"), is1("d")])
+        consequent = next_(node_is("q", mgr.var("b")), 2)
+        r_ste = ste_check(circuit, antecedent, consequent, mgr)
+        r_bmc = bmc_check(circuit, antecedent, consequent, mgr)
+        assert r_ste.passed and r_bmc.passed
+        assert r_ste.vacuous and r_bmc.vacuous
+
+
+class TestBalloonLatchDifferential:
+    """Latch semantics (the balloon-retention cell) agree across the
+    engines — covers the latch primitive the CPU suite does not."""
+
+    def _cell(self):
+        from repro.netlist import CircuitBuilder
+        builder = CircuitBuilder("balloon")
+        for name in ("clock", "SAVE", "RESTORE", "NRST", "d"):
+            builder.circuit.add_input(name)
+        from repro.netlist import build_balloon_cell
+        build_balloon_cell(builder, "q", "d", "clock", "SAVE", "RESTORE",
+                           "NRST")
+        builder.circuit.set_output("q")
+        return builder.circuit
+
+    def test_balloon_save_survives_reset(self):
+        """SAVE captures q into the balloon; the NRST pulse clears the
+        working flop but not the balloon — on both engines."""
+        mgr = BDDManager()
+        circuit = self._cell()
+        b = mgr.var("b")
+        from repro.ste import from_to
+        antecedent = conj([
+            from_to(is0("clock"), 0, 4),
+            from_to(is1("NRST"), 0, 2), from_to(is0("NRST"), 2, 3),
+            from_to(is1("NRST"), 3, 4),
+            from_to(is0("RESTORE"), 0, 4),
+            from_to(is0("SAVE"), 0, 1), from_to(is1("SAVE"), 1, 2),
+            from_to(is0("SAVE"), 2, 4),
+            next_(node_is("q", b), 1),
+        ])
+        consequent = next_(node_is("q_balloon", b), 3)
+        r_ste = ste_check(circuit, antecedent, consequent, mgr)
+        r_bmc = bmc_check(circuit, antecedent, consequent, mgr)
+        assert r_ste.passed and r_bmc.passed
+
+        # And the working flop itself *is* cleared by the reset —
+        # failing identically on both engines for b=1.
+        bad = next_(node_is("q", b), 3)
+        r_ste = ste_check(circuit, antecedent, bad, mgr)
+        r_bmc = bmc_check(circuit, antecedent, bad, mgr)
+        assert not r_ste.passed and not r_bmc.passed
+        assert r_bmc.assignment.get("b") is True
+
+
+class TestCounterexamplePath:
+    def test_bmc_witness_renders_through_ste_waveforms(self):
+        """`extract`/`format_trace` serve the SAT engine unchanged —
+        the E7 discovery narrative works on either backend."""
+        mgr = BDDManager()
+        circuit = retention_cell(retained=False)
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        result = bmc_check(circuit, antecedent, consequent, mgr)
+        assert not result.passed
+        cex = extract(result, watch=["clock", "NRET", "NRST", "q"])
+        assert cex is not None
+        assert cex.assignment["b"] is True
+        assert cex.expected_scalar == "1"
+        assert cex.actual_scalar == "0"
+        # The trace replays the schedule waveforms concretely.
+        depth = property2_schedule().depth
+        assert cex.trace["NRET"] == list("111000111111"[:depth])
+        assert cex.trace["NRST"] == list("111101111111"[:depth])
+        text = format_trace(cex)
+        assert "counterexample at" in text
+        assert "b=1" in text
+
+    def test_witness_survives_later_checks_on_shared_engine(self):
+        """The counterexample snapshot is taken at check time: a later
+        check on the same session (which re-solves and overwrites the
+        shared solver's live model) must not corrupt it."""
+        mgr = BDDManager()
+        circuit = retention_cell(retained=False)
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        session = CheckSession(circuit, mgr, engine="bmc")
+        failing = session.check(antecedent, consequent, name="fail")
+        before = format_trace(extract(failing, watch=["q"]))
+        # A passing re-check on the same cone re-uses the solver and
+        # clobbers its model... (q still holds at t=3: the clock is
+        # stopped and the reset pulse only fires at t=4)
+        good = next_(node_is("q", mgr.var("b")), 3)
+        assert session.check(antecedent, good, name="ok").passed
+        # ...but the first result's rendered witness is unchanged.
+        assert format_trace(extract(failing, watch=["q"])) == before
+
+    def test_passing_run_extracts_nothing(self):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        result = bmc_check(circuit, antecedent, consequent, mgr)
+        assert result.passed
+        assert extract(result) is None
+        assert result.extract_counterexample() is None
+
+
+class TestSessionDispatch:
+    def test_engine_validation(self):
+        circuit = retention_cell()
+        with pytest.raises(ValueError):
+            CheckSession(circuit, engine="z3")
+        session = CheckSession(circuit)
+        with pytest.raises(ValueError):
+            session.check(is1("q"), is1("q"), engine="z3")
+
+    def test_session_bmc_engine_and_report(self):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        sched = property2_schedule()
+        antecedent, consequent = hold_property(mgr, sched)
+        session = CheckSession(circuit, mgr, engine="bmc")
+        r1 = session.check(antecedent, consequent, name="hold")
+        r2 = session.check(antecedent, consequent, name="hold")
+        assert isinstance(r1, BMCResult) and r1.passed and r2.passed
+        report = session.report()
+        assert report.engine == "bmc"
+        assert report.passed
+        assert report.engine_stats["variables"] > 0
+        assert "sat_conflicts=" in report.summary()
+        assert [o.engine for o in report.outcomes] == ["bmc", "bmc"]
+        # One cone, one SAT context: the second check reused it.
+        assert session.models_compiled == 1
+        assert session.model_reuses == 1
+
+    def test_mixed_engines_in_one_session(self):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        session = CheckSession(circuit, mgr)          # default: ste
+        r_ste = session.check(antecedent, consequent, name="p")
+        r_bmc = session.check(antecedent, consequent, name="p",
+                              engine="bmc")
+        assert r_ste.engine == "ste" and r_bmc.engine == "bmc"
+        assert r_ste.passed == r_bmc.passed
+        engines = {o.engine for o in session.report().outcomes}
+        assert engines == {"ste", "bmc"}
+
+    def test_one_shot_check_engine_kwarg(self):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        result = ste_check(circuit, antecedent, consequent, mgr,
+                           engine="bmc")
+        assert isinstance(result, BMCResult)
+        assert result.passed
+
+
+class TestCpuDifferential:
+    """Fast representatives of the CPU suite on both engines; the full
+    26-property differential (Property I and II) is the slow tier's
+    `test_bmc_differential.py`."""
+
+    FAST = ("decode_sign_extend", "control_RegWrite", "control_PCWrite",
+            "decode_write_register_load", "execute_zero_flag")
+
+    @pytest.mark.parametrize("name", FAST)
+    def test_property1_verdicts_agree(self, name):
+        core = fixed_core(**GEOMETRY)
+        mgr = BDDManager()
+        suite = {p.name: p for p in build_suite(core, mgr)}
+        prop = suite[name]
+        r_ste = prop.check(core, mgr)
+        r_bmc = prop.check(core, mgr, engine="bmc")
+        assert r_ste.passed == r_bmc.passed is True
+
+    def test_buggy_core_property2_fails_on_both(self):
+        core = buggy_core(**GEOMETRY)
+        mgr = BDDManager()
+        suite = {p.name: p for p in build_suite(core, mgr, sleep=True)}
+        prop = suite["fetch_pc_plus4"]
+        session = CheckSession(core.circuit, mgr, engine="bmc")
+        r_bmc = prop.check(core, mgr, session=session)
+        r_ste = prop.check(core, mgr)
+        assert r_ste.passed is False and r_bmc.passed is False
+        cex = extract(r_bmc, watch=["clock", "NRET", "NRST",
+                                    r_bmc.failures[0].node])
+        assert cex is not None
+        assert format_trace(cex)
+
+
+class TestEngineInternals:
+    def test_incremental_engine_reuse_shares_structure(self):
+        """Re-checking on one BMCEngine grows the CNF sublinearly — the
+        interned trajectory structure is shared between properties."""
+        mgr = BDDManager()
+        circuit = retention_cell()
+        sched = property2_schedule()
+        b = mgr.var("b")
+        engine = BMCEngine(circuit)
+        a1 = conj([sched.base, next_(node_is("q", b), 1)])
+        c1 = next_(node_is("q", b), sched.depth - 1)
+        engine.check(mgr, a1, c1)
+        vars_after_first = engine.enc.cnf.num_vars
+        c2 = next_(node_is("q", b), sched.depth - 2)
+        engine.check(mgr, a1, c2)
+        grown = engine.enc.cnf.num_vars - vars_after_first
+        assert grown < vars_after_first / 2
+        assert engine.checks == 2
+
+    def test_depth_and_points_match_ste(self):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        r_ste = ste_check(circuit, antecedent, consequent, mgr)
+        r_bmc = bmc_check(circuit, antecedent, consequent, mgr)
+        assert r_bmc.depth == r_ste.depth
+        assert r_bmc.checked_points == r_ste.checked_points

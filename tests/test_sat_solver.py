@@ -1,0 +1,222 @@
+"""The CDCL solver: differential correctness, crafted UNSAT cores,
+assumptions, conflict budgets and statistics."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.sat import CNF, SATError, Solver, Tseitin
+
+
+def brute_force(nvars, clauses, assumptions=()):
+    for bits in itertools.product([False, True], repeat=nvars):
+        def val(lit):
+            return bits[abs(lit) - 1] if lit > 0 else not bits[abs(lit) - 1]
+        if all(val(l) for l in assumptions) and \
+                all(any(val(l) for l in cl) for cl in clauses):
+            return True
+    return False
+
+
+class TestDifferential:
+    def test_random_cnfs_match_brute_force(self):
+        rng = random.Random(0)
+        for _ in range(400):
+            nv = rng.randint(1, 7)
+            clauses = [[rng.choice([1, -1]) * rng.randint(1, nv)
+                        for _ in range(rng.randint(1, 3))]
+                       for _ in range(rng.randint(1, 18))]
+            solver = Solver()
+            for cl in clauses:
+                solver.add_clause(cl)
+            got = solver.solve()
+            assert got == brute_force(nv, clauses), clauses
+            if got:
+                for cl in clauses:
+                    assert any(solver.value(l) for l in cl)
+
+    def test_random_cnfs_under_assumptions(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            nv = rng.randint(2, 7)
+            clauses = [[rng.choice([1, -1]) * rng.randint(1, nv)
+                        for _ in range(rng.randint(1, 3))]
+                       for _ in range(rng.randint(1, 15))]
+            assumptions = [rng.choice([1, -1]) * v for v in
+                           rng.sample(range(1, nv + 1),
+                                      rng.randint(1, min(3, nv)))]
+            solver = Solver()
+            for cl in clauses:
+                solver.add_clause(cl)
+            want = brute_force(nv, clauses, assumptions)
+            assert solver.solve(assumptions) == want
+            # The solver stays reusable: same query, same answer, and a
+            # fresh unconditional query is not poisoned by assumptions.
+            assert solver.solve(assumptions) == want
+            assert solver.solve() == brute_force(nv, clauses)
+
+
+def pigeonhole(pigeons, holes):
+    solver = Solver()
+    def var(p, h):
+        return p * holes + h + 1
+    for p in range(pigeons):
+        solver.add_clause([var(p, h) for h in range(holes)])
+    for h in range(holes):
+        for p1 in range(pigeons):
+            for p2 in range(p1 + 1, pigeons):
+                solver.add_clause([-var(p1, h), -var(p2, h)])
+    return solver
+
+
+class TestUnsatCores:
+    def test_pigeonhole_unsat(self):
+        solver = pigeonhole(6, 5)
+        assert solver.solve() is False
+        stats = solver.stats()
+        assert stats["conflicts"] > 0
+        assert stats["learned"] > 0
+
+    def test_pigeonhole_sat_when_holes_suffice(self):
+        solver = pigeonhole(6, 6)
+        assert solver.solve() is True
+        # Model is a real assignment: every pigeon placed, no clashes.
+        placed = [[h for h in range(6) if solver.value(p * 6 + h + 1)]
+                  for p in range(6)]
+        assert all(placed[p] for p in range(6))
+
+    def test_xor_chain_inconsistency(self):
+        """x1⊕x2, x2⊕x3, … chained to an odd cycle is UNSAT."""
+        ts = Tseitin()
+        n = 10
+        xs = [ts.var(f"x{i}") for i in range(n)]
+        parity = xs[0]
+        for x in xs[1:]:
+            parity = ts.lxor(parity, x)
+        ts.assert_lit(parity)                 # odd parity
+        for x in xs:
+            ts.assert_lit(-x)                 # ... of all-zeros
+        solver = Solver(ts.cnf)
+        assert solver.solve() is False
+
+    def test_contradictory_units(self):
+        solver = Solver()
+        solver.add_clause([3])
+        solver.add_clause([-3])
+        assert solver.solve() is False
+
+    def test_empty_clause_is_unsat(self):
+        solver = Solver()
+        solver.add_clause([])
+        assert solver.solve() is False
+
+
+class TestAssumptions:
+    def test_implication_chain(self):
+        solver = Solver()
+        solver.add_clause([-2, 3])
+        solver.add_clause([-3, 4])
+        assert solver.solve([2]) is True
+        assert solver.value(4)
+        assert solver.solve([2, -4]) is False
+        assert solver.solve([-2]) is True
+
+    def test_contradictory_assumptions(self):
+        solver = Solver()
+        solver.add_clause([2, 3])
+        assert solver.solve([2, -2]) is False
+        assert solver.solve([2]) is True
+
+
+class TestBudget:
+    def test_limit_exhaustion_is_indeterminate_and_resumable(self):
+        solver = pigeonhole(7, 6)
+        answer = solver.solve(limit=3)
+        assert answer is None
+        # Everything learnt under the budget stays valid.
+        assert solver.solve() is False
+
+    def test_limit_generous_enough_decides(self):
+        solver = pigeonhole(5, 4)
+        assert solver.solve(limit=10_000) is False
+
+    def test_level0_conflict_beats_budget_exhaustion(self):
+        """A conflict at decision level 0 is a proven contradiction:
+        it must report UNSAT even on an exhausted budget, and repeated
+        budgeted calls must never flip an UNSAT formula to SAT."""
+        clauses = [[2, -3, -1], [-4, -2, 1], [-1, -4, -4], [1, -4, 4],
+                   [-2, -4, 2], [-4, 2], [1, -1], [4, -1, -2], [-1, 3],
+                   [1, 3], [1, -1], [-3, -4], [-4, -4], [-3, 2, 1],
+                   [-3, -2], [4, -4], [1, -2, 4]]
+        solver = Solver(restart_base=1, learnt_budget=1)
+        for cl in clauses:
+            solver.add_clause(cl)
+        answers = [solver.solve(limit=0), solver.solve(limit=0),
+                   solver.solve(limit=1), solver.solve()]
+        assert True not in answers
+        assert answers[-1] is False
+
+    def test_model_cleared_on_unsat_answer(self):
+        solver = Solver()
+        solver.add_clause([2, 3])
+        assert solver.solve() is True
+        assert solver.solve([-2, -3]) is False
+        with pytest.raises(SATError):
+            solver.value(2)
+
+
+class TestDecisionPriority:
+    def test_static_priority_preserves_answers(self):
+        """A static decision order changes the search, never the
+        verdict."""
+        rng = random.Random(11)
+        for _ in range(100):
+            nv = rng.randint(2, 6)
+            clauses = [[rng.choice([1, -1]) * rng.randint(1, nv)
+                        for _ in range(rng.randint(1, 3))]
+                       for _ in range(rng.randint(1, 12))]
+            solver = Solver()
+            for cl in clauses:
+                solver.add_clause(cl)
+            solver.set_decision_priority(list(range(nv, 0, -1)))
+            assert solver.solve() == brute_force(nv, clauses)
+
+    def test_priority_over_unconstrained_vars_is_complete(self):
+        solver = Solver()
+        solver.add_clause([2, 3])
+        solver.set_decision_priority([9, 2, 3])   # 9 appears nowhere
+        assert solver.solve() is True
+        assert solver.value(2) or solver.value(3)
+
+
+class TestHousekeeping:
+    def test_tautologies_and_duplicates_ignored(self):
+        solver = Solver()
+        solver.add_clause([2, -2])            # tautology: dropped
+        solver.add_clause([3, 3, 3])          # collapses to unit
+        assert solver.solve() is True
+        assert solver.value(3)
+
+    def test_stats_shape(self):
+        solver = pigeonhole(5, 4)
+        solver.solve()
+        stats = solver.stats()
+        for key in ("variables", "clauses", "learned", "decisions",
+                    "propagations", "conflicts", "restarts"):
+            assert key in stats
+
+    def test_value_requires_model(self):
+        solver = Solver()
+        solver.add_clause([2])
+        solver.add_clause([-2])
+        assert solver.solve() is False
+        with pytest.raises(SATError):
+            solver.value(2)
+
+    def test_cnf_true_variable_is_pinned(self):
+        cnf = CNF()
+        solver = Solver(cnf)
+        assert solver.solve() is True
+        assert solver.value(CNF.TRUE) is True
+        assert solver.value(CNF.FALSE) is False

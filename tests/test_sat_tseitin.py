@@ -1,0 +1,160 @@
+"""The Tseitin compiler: folding identities, structural hashing, and a
+hypothesis differential against two-valued scalar simulation on random
+combinational circuits (CNF correctness pinned to `sim.scalar`)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist import Circuit
+from repro.sat import CNF, SATError, Solver, Tseitin, encode_boolean_cone
+from repro.sim import ScalarSimulator
+
+
+class TestFolding:
+    def setup_method(self):
+        self.ts = Tseitin()
+        self.x = self.ts.var("x")
+        self.y = self.ts.var("y")
+
+    def test_and_identities(self):
+        ts, x, y = self.ts, self.x, self.y
+        assert ts.land(x, ts.true) == x
+        assert ts.land(x, ts.false) == ts.false
+        assert ts.land(x, x) == x
+        assert ts.land(x, -x) == ts.false
+        assert ts.land() == ts.true
+
+    def test_or_identities(self):
+        ts, x = self.ts, self.x
+        assert ts.lor(x, ts.false) == x
+        assert ts.lor(x, ts.true) == ts.true
+        assert ts.lor(x, -x) == ts.true
+
+    def test_xor_identities(self):
+        ts, x, y = self.ts, self.x, self.y
+        assert ts.lxor(x, ts.false) == x
+        assert ts.lxor(x, ts.true) == -x
+        assert ts.lxor(x, x) == ts.false
+        assert ts.lxor(x, -x) == ts.true
+        assert ts.lxor(x, y) == ts.lxor(y, x)
+        assert ts.lxor(-x, y) == -ts.lxor(x, y)
+
+    def test_mux_identities(self):
+        ts, x, y = self.ts, self.x, self.y
+        assert ts.lmux(ts.true, x, y) == x
+        assert ts.lmux(ts.false, x, y) == y
+        assert ts.lmux(x, y, y) == y
+        assert ts.lmux(x, ts.true, ts.false) == x
+        assert ts.lmux(x, ts.false, ts.true) == -x
+
+    def test_structural_hashing_interns(self):
+        ts, x, y = self.ts, self.x, self.y
+        before = ts.cnf.num_vars
+        a = ts.land(x, y)
+        b = ts.land(y, x)             # commuted: same structure
+        c = ts.lor(-x, -y)            # De Morgan dual: same structure
+        assert a == b == -c
+        assert ts.cnf.num_vars == before + 1
+
+    def test_assert_false_raises(self):
+        with pytest.raises(SATError):
+            self.ts.assert_lit(self.ts.false)
+
+    def test_support_vars(self):
+        ts, x, y = self.ts, self.x, self.y
+        z = ts.var("z")
+        out = ts.lmux(x, ts.land(y, z), ts.false)
+        assert ts.support_vars(out) == {abs(x), abs(y), abs(z)}
+
+
+# ----------------------------------------------------------------------
+# Hypothesis differential: Tseitin encoding vs scalar simulation
+# ----------------------------------------------------------------------
+OPS1 = ["BUF", "NOT"]
+OPS2 = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
+
+gate_plan = st.lists(
+    st.tuples(st.sampled_from(OPS1 + OPS2 + ["MUX", "CONST0", "CONST1"]),
+              st.tuples(st.integers(0, 10**6), st.integers(0, 10**6),
+                        st.integers(0, 10**6))),
+    min_size=1, max_size=24)
+
+
+def build_circuit(n_inputs, plan):
+    """A random combinational circuit: each planned gate draws its
+    operands (by index modulo the nodes built so far) from inputs and
+    earlier gate outputs."""
+    circuit = Circuit("random")
+    nodes = [circuit.add_input(f"i{k}") for k in range(n_inputs)]
+    for idx, (op, picks) in enumerate(plan):
+        if op in OPS1:
+            ins = [nodes[picks[0] % len(nodes)]]
+        elif op in OPS2:
+            ins = [nodes[p % len(nodes)] for p in picks[:2]]
+        elif op == "MUX":
+            ins = [nodes[p % len(nodes)] for p in picks]
+        else:
+            ins = []
+        nodes.append(circuit.add_gate(op, f"g{idx}", ins))
+    for node in nodes:
+        circuit.set_output(node)
+    return circuit
+
+
+@settings(max_examples=60, deadline=None)
+@given(n_inputs=st.integers(1, 4), plan=gate_plan,
+       stimulus=st.integers(0, 2**4 - 1))
+def test_tseitin_matches_scalar_simulation(n_inputs, plan, stimulus):
+    """For every node of a random circuit, the CNF literal's forced
+    value under a concrete input assignment equals the scalar
+    simulator's value — the encoder and `sim.scalar` implement the same
+    two-valued gate semantics."""
+    circuit = build_circuit(n_inputs, plan)
+    ts = Tseitin()
+    lits = encode_boolean_cone(circuit, ts)
+    solver = Solver(ts.cnf)
+
+    inputs = {f"i{k}": (stimulus >> k) & 1 for k in range(n_inputs)}
+    assumptions = [lits[n] if inputs[n] else -lits[n] for n in inputs]
+    assert solver.solve(assumptions), \
+        "a definitional CNF is satisfiable under any input assignment"
+
+    sim = ScalarSimulator(circuit)
+    sim.step(inputs)
+    for node in circuit.all_nodes():
+        expected = sim.value(node)
+        assert expected is not None, "combinational + full inputs"
+        assert solver.value(lits[node]) == bool(expected), node
+
+
+def test_boolean_cone_rejects_sequential():
+    circuit = Circuit("seq")
+    circuit.add_input("clk")
+    circuit.add_input("d")
+    circuit.add_dff("q", "d", "clk")
+    with pytest.raises(SATError):
+        encode_boolean_cone(circuit, Tseitin())
+
+
+def test_boolean_cone_exhaustive_small():
+    """Exhaustively cross-check one fixed circuit on all assignments."""
+    circuit = Circuit("fixed")
+    a, b, c = (circuit.add_input(n) for n in "abc")
+    circuit.add_gate("XOR", "s", ["a", "b"])
+    circuit.add_gate("AND", "carry", ["a", "b"])
+    circuit.add_gate("MUX", "out", ["c", "s", "carry"])
+    ts = Tseitin()
+    lits = encode_boolean_cone(circuit, ts)
+    for bits in itertools.product((0, 1), repeat=3):
+        av, bv, cv = bits
+        solver = Solver(ts.cnf)
+        assumptions = [lits["a"] if av else -lits["a"],
+                       lits["b"] if bv else -lits["b"],
+                       lits["c"] if cv else -lits["c"]]
+        assert solver.solve(assumptions)
+        s, carry = av ^ bv, av & bv
+        assert solver.value(lits["s"]) == bool(s)
+        assert solver.value(lits["carry"]) == bool(carry)
+        assert solver.value(lits["out"]) == bool(s if cv else carry)

@@ -107,7 +107,7 @@ class TestVerdictEquivalence:
         assert report.passed
         assert len(report.outcomes) == len(suite)
         assert report.verdicts() == {name: True for name in FAST_NAMES}
-        assert "Session PASS" in report.summary()
+        assert "Session[ste] PASS" in report.summary()
 
 
 class TestSessionBookkeeping:
