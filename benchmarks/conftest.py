@@ -5,14 +5,19 @@ so `pytest benchmarks/ --benchmark-only -s` regenerates the material in
 EXPERIMENTS.md.  STE checks are expensive and deterministic, so all
 benchmarks run with ``rounds=1, iterations=1`` via `once`.
 
-Every bench run also appends a per-bench wall-time record to
+Every bench run also records its per-bench wall times in
 ``BENCH_results.json`` at the repo root — the performance trajectory
 across PRs.  Each session contributes one entry::
 
-    {"timestamp": ..., "platform": ..., "records":
-        [{"bench": nodeid, "outcome": "passed", "seconds": ...}, ...]}
+    {"timestamp": ..., "platform": ..., "git_sha": ...,
+     "records": [{"bench": nodeid, "outcome": "passed",
+                  "seconds": ...}, ...]}
 
-so regressions are visible by diffing the latest entries.
+Entries are keyed by (git SHA, set of benches run): re-running the same
+bench selection on the same commit *replaces* the earlier entry instead
+of appending a duplicate, so the file tracks one measurement per
+commit × bench set rather than every editing-loop rerun.  Interrupted
+or crashed sessions (pytest exit status 2/3) record nothing.
 """
 
 from __future__ import annotations
@@ -20,12 +25,29 @@ from __future__ import annotations
 import json
 import pathlib
 import platform
+import subprocess
 import time
 
 import pytest
 
 _BENCH_DIR = pathlib.Path(__file__).parent
 _RESULTS_PATH = _BENCH_DIR.parent / "BENCH_results.json"
+
+#: pytest exit statuses that must not write results: 2 = interrupted
+#: (Ctrl-C / --exitfirst abort), 3 = internal error.
+_NO_WRITE_STATUSES = (2, 3)
+
+
+def _git_sha() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_BENCH_DIR.parent, capture_output=True, text=True,
+            timeout=10)
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
 
 
 def _is_bench(item) -> bool:
@@ -62,8 +84,19 @@ def pytest_runtest_makereport(item, call):
         })
 
 
+def _bench_set(entry) -> tuple:
+    return tuple(sorted(r["bench"] for r in entry.get("records", [])))
+
+
 def pytest_sessionfinish(session, exitstatus):
-    """Append this run's bench timings to the trajectory file."""
+    """Record this run's bench timings in the trajectory file, keyed
+    by (git SHA, bench set): a rerun of the same benches on the same
+    commit replaces its earlier entry, and an interrupted session
+    records nothing."""
+    status = int(getattr(exitstatus, "value", exitstatus))
+    if status in _NO_WRITE_STATUSES:
+        _session_records.clear()
+        return
     if not _session_records:
         return
     history = []
@@ -74,12 +107,19 @@ def pytest_sessionfinish(session, exitstatus):
             history = []
         if not isinstance(history, list):
             history = []
-    history.append({
+    entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "platform": f"{platform.python_implementation()} "
                     f"{platform.python_version()} {platform.machine()}",
+        "git_sha": _git_sha(),
         "records": sorted(_session_records, key=lambda r: r["bench"]),
-    })
+    }
+    key = (entry["git_sha"], _bench_set(entry))
+    if entry["git_sha"] != "unknown":
+        history = [old for old in history
+                   if (old.get("git_sha", "unknown"),
+                       _bench_set(old)) != key]
+    history.append(entry)
     _RESULTS_PATH.write_text(json.dumps(history, indent=1) + "\n")
     _session_records.clear()
 

@@ -1,0 +1,140 @@
+"""E15 — parallel portfolio checking: the jobs/portfolio scaling curve.
+
+Pins what the parallel-portfolio PR buys over the serial engines on the
+deep-instruction-memory Property II suite (imem_depth=8 — the paper's
+own scaling axis; its instruction memory is 256 deep), all under one
+measurement protocol:
+
+* serial STE and serial BMC (the per-engine references),
+* serial BMC with frame reuse disabled (the pre-PR BMC baseline),
+* the portfolio at jobs = 1, 2, 4.
+
+The headline row this bench must keep true: the jobs=4 portfolio run
+beats the serial BMC engine by >= 1.5x wall clock.  Verdict parity of
+every configuration against serial STE is asserted on the way.
+
+Cyclic GC is disabled inside each measured region (and re-enabled
+after): the BDD heap holds millions of immutable nodes and gen-2
+collections otherwise charge multi-second pauses to whichever
+configuration happens to trigger them, drowning the signal.  The same
+protocol applies to every row, so the comparisons stay fair.
+
+On a single-CPU machine ``run_parallel`` clamps the worker count (see
+its docstring) and the jobs>1 rows measure the degenerate in-process
+configuration; the printed worker counts make that visible.
+"""
+
+import contextlib
+import gc
+import time
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.retention import build_suite, run_suite_session
+from repro.sat.bmc import BMCEngine
+
+from .conftest import once
+
+#: Deep instruction memory: the axis on which the engines' cost
+#: profiles diverge (STE symbolic indexing vs BMC cell-by-cell encode).
+GEOMETRY = dict(nregs=2, imem_depth=8, dmem_depth=2)
+
+#: Wall-clock results shared across the module's benches, keyed by
+#: configuration name (pytest runs the file top to bottom).
+_walls = {}
+_verdicts = {}
+
+
+@contextlib.contextmanager
+def _quiet_gc():
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+def _fresh_suite():
+    core = fixed_core(**GEOMETRY)
+    mgr = BDDManager()
+    suite = build_suite(core, mgr, sleep=True)
+    return core, mgr, suite
+
+
+def _record(name, report, seconds):
+    _walls[name] = seconds
+    _verdicts[name] = report.verdicts()
+    assert report.passed, f"{name}: suite must prove on the fixed core"
+    if "serial_ste" in _verdicts:
+        assert report.verdicts() == _verdicts["serial_ste"], \
+            f"{name}: verdicts must be bit-identical to serial STE"
+
+
+def _run_serial(engine, frame_reuse=True):
+    core, mgr, suite = _fresh_suite()
+    with _quiet_gc():
+        old = BMCEngine.frame_reuse
+        BMCEngine.frame_reuse = frame_reuse
+        started = time.perf_counter()
+        try:
+            report = run_suite_session(core, suite, mgr, engine=engine)
+        finally:
+            BMCEngine.frame_reuse = old
+        return report, time.perf_counter() - started
+
+
+def _run_jobs(jobs):
+    core, mgr, suite = _fresh_suite()
+    with _quiet_gc():
+        started = time.perf_counter()
+        # mgr feeds the in-process jobs=1 session; jobs>1 workers own
+        # their managers and rebuild from the core's recipe instead.
+        report = run_suite_session(core, suite, mgr, jobs=jobs,
+                                   engine="portfolio")
+        return report, time.perf_counter() - started
+
+
+def test_bench_e15_serial_ste(benchmark):
+    report, wall = once(benchmark, _run_serial, "ste")
+    _record("serial_ste", report, wall)
+    print(f"\n[E15] serial ste        {wall:7.2f}s  {report.summary()}")
+
+
+def test_bench_e15_serial_bmc(benchmark):
+    report, wall = once(benchmark, _run_serial, "bmc")
+    _record("serial_bmc", report, wall)
+    stats = report.engine_stats
+    print(f"\n[E15] serial bmc        {wall:7.2f}s  frames_computed="
+          f"{stats.get('frames_computed', 0)} "
+          f"frames_reused={stats.get('frames_reused', 0)}")
+
+
+def test_bench_e15_serial_bmc_no_frame_reuse(benchmark):
+    report, wall = once(benchmark, _run_serial, "bmc", frame_reuse=False)
+    _record("serial_bmc_no_reuse", report, wall)
+    print(f"\n[E15] serial bmc (no frame reuse) {wall:7.2f}s")
+    if "serial_bmc" in _walls:
+        gain = _walls["serial_bmc_no_reuse"] / _walls["serial_bmc"]
+        print(f"[E15] incremental frame reuse gain: {gain:.2f}x")
+
+
+@pytest.mark.parametrize("jobs", (1, 2, 4))
+def test_bench_e15_portfolio_jobs(benchmark, jobs):
+    report, wall = once(benchmark, _run_jobs, jobs)
+    name = f"portfolio_jobs{jobs}"
+    _record(name, report, wall)
+    wins = report.engine_wins
+    print(f"\n[E15] portfolio jobs={jobs} (workers={report.jobs}) "
+          f"{wall:7.2f}s wins={wins}")
+    for base in ("serial_ste", "serial_bmc", "serial_bmc_no_reuse"):
+        if base in _walls:
+            print(f"[E15]   speedup vs {base}: "
+                  f"{_walls[base] / wall:.2f}x")
+    if jobs == 4 and "serial_bmc" in _walls:
+        speedup = _walls["serial_bmc"] / wall
+        assert speedup >= 1.5, (
+            f"jobs=4 portfolio must beat serial BMC by >=1.5x "
+            f"(got {speedup:.2f}x)")

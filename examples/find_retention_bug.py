@@ -21,7 +21,7 @@ The whole narrative runs on either verification backend — pass
 BDD-based STE; the verdicts, failing nodes and rendered trace come out
 the same.
 
-Run:  python examples/find_retention_bug.py [--engine {ste,bmc}]
+Run:  python examples/find_retention_bug.py [--engine {ste,bmc,portfolio}]
 """
 
 import argparse
@@ -45,7 +45,8 @@ def run_property(core, sleep):
 def main():
     global ENGINE
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--engine", choices=("ste", "bmc"), default="ste")
+    parser.add_argument("--engine", choices=("ste", "bmc", "portfolio"),
+                        default="ste")
     ENGINE = parser.parse_args().engine
 
     buggy = buggy_core(**GEOMETRY)

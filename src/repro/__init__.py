@@ -24,6 +24,8 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.cpu``       the Fig. 4 RISC core, ISA, assembler, golden model
 ``repro.retention`` sleep/resume schedules, the 26-property suite,
                     retention-set analysis, the area/power model
+``repro.parallel``  multiprocess suite fan-out (cone-grouped workers,
+                    merged session reports)
 ``repro.sim``       scalar simulation, waveforms (Fig. 3), VCD
 ``repro.harness``   experiment registry and result tables
 ==================  ==================================================
@@ -32,4 +34,5 @@ Package map (see DESIGN.md for the full inventory):
 __version__ = "1.0.0"
 
 __all__ = ["bdd", "ternary", "netlist", "blif", "fsm", "sat", "engine",
-           "ste", "cpu", "retention", "sim", "harness", "__version__"]
+           "ste", "cpu", "retention", "parallel", "sim", "harness",
+           "__version__"]

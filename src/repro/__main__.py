@@ -1,16 +1,19 @@
 """``python -m repro`` — run the paper's property suites from the CLI.
 
 Drives the Property I (normal operation) and Property II (sleep/resume)
-suites through :class:`repro.ste.CheckSession` on either verification
+suites through :class:`repro.ste.CheckSession` on any verification
 backend and prints the per-property verdicts plus the session report::
 
     python -m repro                         # both suites, STE engine
     python -m repro --engine bmc            # same suites, SAT engine
+    python -m repro --engine portfolio --jobs 4
+                                            # race engines, 4 workers
     python -m repro --design buggy --suite 2 --cex
                                             # replay the paper's bug
     python -m repro --only fetch_pc_plus4,control_PCWrite
 
-Exit status: 0 when every checked property passed, 1 otherwise (so the
+Exit status: 0 when every checked property passed, 1 when some property
+failed, 2 on a usage error such as an unknown ``--only`` name (so the
 command composes with CI and shell scripts).
 """
 
@@ -49,8 +52,14 @@ def _parser() -> argparse.ArgumentParser:
                         help="instruction-memory depth (default 2)")
     parser.add_argument("--dmem-depth", type=int, default=2,
                         help="data-memory depth (default 2)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan properties out across N worker "
+                             "processes (capped at the CPUs available; "
+                             "default 1 = in-process)")
     parser.add_argument("--only", metavar="NAME[,NAME...]",
-                        help="comma-separated property-name filter")
+                        help="comma-separated property-name filter "
+                             "(validated against the suite; unknown "
+                             "names are an error)")
     parser.add_argument("--extras", action="store_true",
                         help="include the extra (beyond-the-paper) "
                              "properties")
@@ -65,42 +74,77 @@ def _parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
+    if args.jobs < 1:
+        print("error: --jobs must be at least 1", file=sys.stderr)
+        return 2
     make_core = buggy_core if args.design == "buggy" else fixed_core
     core = make_core(nregs=args.nregs, imem_depth=args.imem_depth,
                      dmem_depth=args.dmem_depth)
-    only = set(args.only.split(",")) if args.only else None
+    only: Optional[List[str]] = None
+    if args.only is not None:
+        only = [name.strip() for name in args.only.split(",")
+                if name.strip()]
+        if not only:
+            print("error: --only selected no properties",
+                  file=sys.stderr)
+            return 2
 
     sleeps = {"1": (False,), "2": (True,), "both": (False, True)}[args.suite]
     all_passed = True
     for sleep in sleeps:
         label = "Property II (sleep/resume)" if sleep \
             else "Property I (normal operation)"
-        print(f"== {label} on the {args.design} core "
-              f"[engine={args.engine}] ==")
         mgr = BDDManager()
         suite = build_suite(core, mgr, sleep=sleep,
                             include_extras=args.extras)
         if only is not None:
-            suite = [p for p in suite if p.name in only]
-            missing = only - {p.name for p in suite}
+            valid = [p.name for p in suite]
+            missing = sorted(set(only) - set(valid))
             if missing:
                 print(f"error: unknown properties: "
-                      f"{', '.join(sorted(missing))}", file=sys.stderr)
+                      f"{', '.join(missing)}", file=sys.stderr)
+                print(f"valid names: {', '.join(valid)}",
+                      file=sys.stderr)
                 return 2
-        session = CheckSession(core.circuit, mgr, engine=args.engine)
-        for prop in suite:
-            result = session.check(prop.antecedent, prop.consequent,
-                                   name=prop.name)
-            if not args.quiet:
-                print(f"  {prop.name:<28} [{prop.unit:<9}] "
-                      f"{result.summary()}")
-            if not result.passed:
-                all_passed = False
-                if args.cex:
-                    cex = extract(result)
-                    if cex is not None:
-                        print(format_trace(cex))
-        print(session.report().summary())
+            wanted = set(only)
+            suite = [p for p in suite if p.name in wanted]
+        print(f"== {label} on the {args.design} core "
+              f"[engine={args.engine}] ==")
+        units = {p.name: p.unit for p in suite}
+        if args.jobs > 1:
+            from .parallel import SuiteSpec, run_parallel
+            spec = SuiteSpec(design=args.design, nregs=args.nregs,
+                             imem_depth=args.imem_depth,
+                             dmem_depth=args.dmem_depth, sleep=sleep,
+                             include_extras=args.extras)
+            report = run_parallel(core, suite, jobs=args.jobs,
+                                  engine=args.engine, spec=spec,
+                                  mgr=mgr)
+            for outcome in report.outcomes:
+                if not args.quiet:
+                    print(f"  {outcome.name:<28} "
+                          f"[{units.get(outcome.name, '?'):<9}] "
+                          f"{outcome.result.summary()}")
+                if not outcome.passed:
+                    all_passed = False
+                    if args.cex and outcome.result.cex_text:
+                        print(outcome.result.cex_text)
+            print(report.summary())
+        else:
+            session = CheckSession(core.circuit, mgr, engine=args.engine)
+            for prop in suite:
+                result = session.check(prop.antecedent, prop.consequent,
+                                       name=prop.name)
+                if not args.quiet:
+                    print(f"  {prop.name:<28} [{prop.unit:<9}] "
+                          f"{result.summary()}")
+                if not result.passed:
+                    all_passed = False
+                    if args.cex:
+                        cex = extract(result)
+                        if cex is not None:
+                            print(format_trace(cex))
+            print(session.report().summary())
         print()
     return 0 if all_passed else 1
 

@@ -2,7 +2,9 @@
 
 Two engines decide ``M ⊨ A ⇒ C``: the BDD/STE checker
 (:class:`repro.ste.STEResult`) and the SAT/BMC checker
-(:class:`repro.sat.BMCResult`).  Their result objects are deliberately
+(:class:`repro.sat.BMCResult`); the third :data:`ENGINES` member,
+``"portfolio"``, races them per property and returns whichever
+engine's report answered first.  Their result objects are deliberately
 shaped alike — :class:`EngineReport` names the common surface that
 session aggregation, the CLI and the harness rely on, so callers can
 hold either without caring which engine produced it:
@@ -23,10 +25,19 @@ from __future__ import annotations
 
 from typing import List, Protocol, runtime_checkable
 
-__all__ = ["EngineReport", "ENGINES"]
+__all__ = ["EngineReport", "EngineAborted", "ENGINES"]
 
-#: The engines a CheckSession can dispatch to.
-ENGINES = ("ste", "bmc")
+#: The engines a CheckSession can dispatch to.  ``"portfolio"`` races
+#: the other two per property and takes the first verdict.
+ENGINES = ("ste", "bmc", "portfolio")
+
+
+class EngineAborted(Exception):
+    """Raised inside an engine when its cooperative abort callback
+    fires — the portfolio racer cancels the losing engine with it.
+    The engine's persistent state (BDD manager, incremental solver,
+    learnt clauses) stays valid; only the in-flight check is
+    abandoned."""
 
 
 @runtime_checkable

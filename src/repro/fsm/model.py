@@ -25,9 +25,10 @@ standard STE forward-propagation semantics.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..bdd import BDDManager
+from ..engine import EngineAborted
 from ..netlist import Circuit, dff_next, eval_gate, latch_next
 from ..netlist.schedule import EvalSchedule
 from ..ternary import TernaryValue
@@ -61,12 +62,18 @@ class CompiledModel:
         return self.step(None, constraints or {})
 
     def step(self, prev: Optional[State],
-             constraints: Mapping[str, TernaryValue]) -> State:
+             constraints: Mapping[str, TernaryValue],
+             abort: Optional[Callable[[], bool]] = None) -> State:
         """One defining-trajectory step.
 
         *prev* is the complete state at t-1 (None when computing t=0);
         *constraints* are the antecedent's defining-sequence entries for
         the current step.
+
+        *abort* is polled every few dozen plan nodes; when it fires the
+        step raises :class:`~repro.engine.EngineAborted` (manager
+        intact).  A single step on a wide cone can run for seconds, so
+        the portfolio racer needs a poll point finer than whole steps.
         """
         mgr = self.mgr
         values: State = {}
@@ -81,7 +88,15 @@ class CompiledModel:
             values[node] = value
 
         def run_plan(plan) -> None:
+            countdown = 64
             for node, op, ins, reg in plan:
+                if abort is not None:
+                    countdown -= 1
+                    if not countdown:
+                        countdown = 64
+                        if abort():
+                            raise EngineAborted(
+                                f"step aborted at node {node!r}")
                 if reg is None:
                     finish(node, eval_gate(mgr, op,
                                            [get_value(i, x) for i in ins]))

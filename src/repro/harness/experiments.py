@@ -113,6 +113,17 @@ _EXPERIMENTS: List[Experiment] = [
         "BMC verdicts == STE verdicts on all 26 properties (both "
         "schedules); SAT counterexamples render through the same "
         "waveform path"),
+    Experiment(
+        "E15", "beyond the paper (parallel portfolio)",
+        "Parallel portfolio checking: engine racing per cone "
+        "(CheckSession(engine='portfolio')), multiprocess suite "
+        "fan-out (run_suite_session(jobs=N)) and incremental BMC "
+        "frame reuse, measured as a scaling curve against the serial "
+        "engines",
+        "benchmarks/test_bench_parallel.py",
+        "portfolio/jobs verdicts identical to serial STE; >= 1.5x "
+        "wall-clock speedup over the serial BMC engine on the deep-"
+        "imem suite; frame reuse ablation recorded"),
 ]
 
 

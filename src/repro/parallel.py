@@ -1,0 +1,464 @@
+"""Multiprocess property checking — fan a suite out across workers.
+
+The paper's workload is "check a whole retention property suite against
+a power-gated core".  One :class:`~repro.ste.CheckSession` amortises
+the per-suite costs inside a process; this module amortises the *wall
+clock* across processes: properties are grouped by cone of influence
+(so each worker compiles every cone it owns exactly once — one
+:class:`~repro.bdd.BDDManager` / :class:`~repro.sat.BMCEngine` per
+worker), the groups are bin-packed over ``jobs`` worker processes, and
+the per-worker session reports are merged into a single
+:class:`~repro.ste.SessionReport` with per-engine win counts.
+
+BDD nodes, compiled models and solver states are process-local and not
+picklable, so workers do not receive the caller's property objects:
+they receive a :class:`SuiteSpec` — the recipe (design, geometry,
+schedule, extras) from which :func:`repro.retention.build_suite`
+deterministically rebuilds the identical suite — plus the property
+*names* they own.  Results travel back as :class:`RemoteResult`, a
+picklable projection of either engine's report (verdict, failure
+points, timing, and a pre-rendered counterexample trace for failing
+properties).  Verdicts are bit-identical to a serial run by
+construction: every worker runs the same ``CheckSession`` decision
+procedures on the same rebuilt formulas.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from .engine import ENGINES
+from .netlist import Circuit, cone_of_influence
+from .ste.formula import formula_nodes
+from .ste.session import CheckSession, PropertyOutcome, SessionReport
+
+__all__ = ["SuiteSpec", "RemoteFailure", "RemoteResult",
+           "partition_by_cone", "run_parallel"]
+
+#: Parent-side state inherited by fork()ed workers via copy-on-write:
+#: (spec, session, {name: property}).  The parent stashes its
+#: already-built suite and warmed CheckSession here just before
+#: forking, so workers skip the rebuild and start from the parent's
+#: interned formulas, compiled cone models, incremental SAT contexts
+#: and portfolio race history.  Spawn-based platforms see None and
+#: rebuild from the spec instead.
+_FORK_STATE: Optional[Tuple["SuiteSpec", CheckSession, Dict]] = None
+
+#: design name -> repro.cpu factory (kept as names so a SuiteSpec
+#: pickles as plain data).
+_DESIGNS = ("fixed", "buggy", "full-retention", "no-retention")
+
+_VARIANT_TO_DESIGN = {
+    "selective-ifr": "fixed",
+    "buggy-fetchreg": "buggy",
+    "full-retention": "full-retention",
+    "no-retention": "no-retention",
+}
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """A picklable recipe for rebuilding a property suite in a worker.
+
+    Workers own their BDD managers and solvers, so what crosses the
+    process boundary is not the suite but the deterministic recipe
+    that :func:`repro.retention.build_suite` turns back into it.
+    """
+
+    design: str = "fixed"
+    nregs: int = 2
+    imem_depth: int = 2
+    dmem_depth: int = 2
+    sleep: bool = False
+    include_extras: bool = False
+
+    def __post_init__(self):
+        if self.design not in _DESIGNS:
+            raise ValueError(f"unknown design {self.design!r}; "
+                             f"expected one of {_DESIGNS}")
+
+    @classmethod
+    def for_core(cls, core, properties: Sequence) -> "SuiteSpec":
+        """Derive the spec that rebuilds *properties* on *core* —
+        requires a core built by a :mod:`repro.cpu` factory and
+        properties from :func:`~repro.retention.build_suite` (matched
+        by name in the workers)."""
+        cfg = core.config
+        design = _VARIANT_TO_DESIGN.get(cfg.variant)
+        if design is None:
+            raise ValueError(
+                f"core variant {cfg.variant!r} has no parallel factory; "
+                f"rebuildable variants: {sorted(_VARIANT_TO_DESIGN)}")
+        sleep = any(p.schedule.is_sleep for p in properties)
+        extras = any(getattr(p, "unit", "") == "extra" for p in properties)
+        return cls(design=design, nregs=cfg.nregs,
+                   imem_depth=cfg.imem_depth, dmem_depth=cfg.dmem_depth,
+                   sleep=sleep, include_extras=extras)
+
+    def build(self):
+        """(core, manager, suite) — executed inside each worker."""
+        from .bdd import BDDManager
+        from .cpu import (buggy_core, fixed_core, full_retention_core,
+                          no_retention_core)
+        from .retention import build_suite
+        factory = {"fixed": fixed_core, "buggy": buggy_core,
+                   "full-retention": full_retention_core,
+                   "no-retention": no_retention_core}[self.design]
+        core = factory(nregs=self.nregs, imem_depth=self.imem_depth,
+                       dmem_depth=self.dmem_depth)
+        mgr = BDDManager()
+        suite = build_suite(core, mgr, sleep=self.sleep,
+                            include_extras=self.include_extras)
+        return core, mgr, suite
+
+
+@dataclass(frozen=True)
+class RemoteFailure:
+    """One (time, node) violation point, stripped of engine objects."""
+
+    time: int
+    node: str
+
+
+@dataclass
+class RemoteResult:
+    """A picklable projection of either engine's report — the
+    :class:`~repro.engine.EngineReport` surface minus the live BDD /
+    solver objects, which stay in the worker that produced them."""
+
+    engine: str
+    passed: bool
+    vacuous: bool
+    failures: List[RemoteFailure]
+    depth: int
+    checked_points: int
+    elapsed_seconds: float
+    #: pre-rendered ``format_trace`` output for a failing property
+    #: (None when passed) — witnesses cannot travel, their traces can.
+    cex_text: Optional[str] = None
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else \
+            f"FAIL({len(self.failures)} points)"
+        if self.vacuous:
+            status += " [VACUOUS]"
+        return (f"{self.engine.upper()} {status} depth={self.depth} "
+                f"points={self.checked_points} "
+                f"time={self.elapsed_seconds:.3f}s")
+
+
+def _remote_result(result) -> RemoteResult:
+    cex_text = None
+    if not result.passed:
+        from .ste.counterexample import extract, format_trace
+        cex = extract(result)
+        if cex is not None:
+            cex_text = format_trace(cex)
+    return RemoteResult(
+        engine=result.engine,
+        passed=result.passed,
+        vacuous=result.vacuous,
+        failures=[RemoteFailure(f.time, f.node) for f in result.failures],
+        depth=result.depth,
+        checked_points=getattr(result, "checked_points", 0),
+        elapsed_seconds=result.elapsed_seconds,
+        cex_text=cex_text,
+    )
+
+
+def _report_delta(end: SessionReport, base: Optional[SessionReport]
+                  ) -> Dict:
+    """This worker's contribution: *end* minus the state the session
+    had when the worker started (None = fresh session).  Counters are
+    subtracted; gauges (node counts, table sizes) keep their end
+    values; outcomes keep only the newly checked suffix."""
+    skip = len(base.outcomes) if base is not None else 0
+    outcomes = [PropertyOutcome(
+        name=o.name,
+        result=_remote_result(o.result),
+        cone_nodes=o.cone_nodes,
+        reused_model=o.reused_model,
+        engine=o.engine) for o in end.outcomes[skip:]]
+    engine_stats = dict(end.engine_stats)
+    cache_stats = {op: dict(counts)
+                   for op, counts in end.cache_stats.items()}
+    models_compiled = end.models_compiled
+    model_reuses = end.model_reuses
+    bdd_stats = dict(end.bdd_stats)
+    if base is not None:
+        models_compiled -= base.models_compiled
+        model_reuses -= base.model_reuses
+        for k, v in base.engine_stats.items():
+            if k != "max_learnt_len":
+                engine_stats[k] = engine_stats.get(k, 0) - v
+        for op, counts in base.cache_stats.items():
+            slot = cache_stats.get(op)
+            if slot is not None:
+                for k in ("hits", "misses"):
+                    slot[k] = slot.get(k, 0) - counts.get(k, 0)
+        # Gauges too: a fork-COW worker inherits the parent's whole
+        # manager, so its absolute node/table counts re-count the
+        # inherited state; reporting growth keeps the merged sums from
+        # counting the parent (workers+1) times over.
+        for k, v in base.bdd_stats.items():
+            bdd_stats[k] = bdd_stats.get(k, 0) - v
+    return {
+        "outcomes": outcomes,
+        "models_compiled": models_compiled,
+        "model_reuses": model_reuses,
+        "bdd_stats": bdd_stats,
+        "cache_stats": cache_stats,
+        "engine_stats": engine_stats,
+    }
+
+
+def _run_partition(spec: SuiteSpec, names: Sequence[str],
+                   engine: str) -> Dict:
+    """Worker entry point: check the named properties through one
+    CheckSession and return picklable outcomes plus the worker's
+    aggregate statistics.
+
+    A fork()ed worker resumes the parent's stashed session (private
+    copy-on-write copy — compiled models, interned CNF, race history
+    and all); otherwise the suite is rebuilt from the spec."""
+    state = _FORK_STATE
+    if state is not None and state[0] == spec:
+        _, session, by_name = state
+        base = session.report()
+    else:
+        core, mgr, suite = spec.build()
+        by_name = {p.name: p for p in suite}
+        session = CheckSession(core.circuit, mgr, engine=engine)
+        base = None
+    unknown = sorted(set(names) - set(by_name))
+    if unknown:
+        raise ValueError(
+            f"unknown properties {', '.join(unknown)}; "
+            f"valid names: {', '.join(sorted(by_name))}")
+    for name in names:
+        prop = by_name[name]
+        session.check(prop.antecedent, prop.consequent, name=name)
+    return _report_delta(session.report(), base)
+
+
+def partition_by_cone(circuit: Circuit, properties: Sequence,
+                      jobs: int) -> List[List[str]]:
+    """Bin-pack the properties over *jobs* workers, keeping cone
+    groups together as far as balance allows.
+
+    Properties sharing a cone of influence are assigned contiguously,
+    so a worker compiles each cone it owns once — the process-level
+    analogue of the session's cone-keyed model cache.  A group larger
+    than the ideal per-worker share (the paper's suites concentrate
+    24 of 26 properties on one core-wide cone) is *split* across
+    workers: each of those workers pays one compile of the shared
+    cone, which is what buys the wall-clock parallelism.  Groups are
+    placed largest-first onto the least-loaded bin (load = property
+    count); empty bins are dropped.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    groups: Dict[FrozenSet[str], List[str]] = {}
+    key_of_roots: Dict[FrozenSet[str], FrozenSet[str]] = {}
+    order: List[FrozenSet[str]] = []
+    for prop in properties:
+        roots = frozenset(formula_nodes(prop.antecedent)) | frozenset(
+            formula_nodes(prop.consequent))
+        key = key_of_roots.get(roots)
+        if key is None:
+            cone = cone_of_influence(circuit, sorted(roots))
+            key = frozenset(cone.inputs) | frozenset(cone.gates) \
+                | frozenset(cone.registers)
+            key_of_roots[roots] = key
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(prop.name)
+    bins: List[List[str]] = [[] for _ in range(jobs)]
+    loads = [0] * jobs
+    target = -(-len(properties) // jobs)     # ceil: ideal bin size
+    # Deterministic: sort by (-size, first name) so ties break stably.
+    for key in sorted(order, key=lambda k: (-len(groups[k]),
+                                            groups[k][0])):
+        names = groups[key]
+        i = 0
+        while i < len(names):
+            b = loads.index(min(loads))
+            room = max(1, target - loads[b])
+            chunk = names[i:i + room]
+            bins[b].extend(chunk)
+            loads[b] += len(chunk)
+            i += room
+    return [b for b in bins if b]
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def _available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:                   # non-Linux
+        return os.cpu_count() or 1
+
+
+def run_parallel(core, properties: Sequence, *, jobs: int,
+                 engine: str = "portfolio",
+                 spec: Optional[SuiteSpec] = None,
+                 oversubscribe: bool = False,
+                 mgr=None) -> SessionReport:
+    """Check *properties* against *core* across up to *jobs* worker
+    processes; returns one merged :class:`SessionReport`.
+
+    *engine* is any :data:`~repro.engine.ENGINES` member and applies
+    inside every worker ("portfolio" races both backends per property
+    there).  *spec* overrides the worker rebuild recipe; by default it
+    is derived from the core's config and the properties (which must
+    therefore come from :func:`~repro.retention.build_suite`).
+    Outcome order matches the input property order, so
+    ``report.verdicts()`` is directly comparable with a serial run's.
+
+    Worker count is capped at the CPUs actually available unless
+    *oversubscribe* is set: splitting a suite across more processes
+    than cores forfeits the suite-level cache amortisation both
+    engines depend on and makes every worker slower — on one core the
+    whole run degrades to a single in-process session, which is the
+    fastest configuration that machine can execute.  Pass *mgr* (the
+    manager the property formulas were built on) to let that
+    degenerate path check the caller's suite directly instead of
+    rebuilding it from the spec.
+
+    On fork-capable platforms the parent first checks one *pilot*
+    property per cone (which also settles the portfolio's per-cone
+    winner), then forks: workers inherit the parent's warmed state —
+    interned formulas, compiled cone models, BDD computed tables, SAT
+    contexts, race history — by copy-on-write instead of rebuilding.
+    """
+    global _FORK_STATE
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; "
+                         f"expected one of {ENGINES}")
+    properties = list(properties)
+    names = [p.name for p in properties]
+    if len(set(names)) != len(names):
+        raise ValueError("parallel runs address properties by name; "
+                         "the suite contains duplicates")
+    if spec is None:
+        spec = SuiteSpec.for_core(core, properties)
+    started = _time.perf_counter()
+    workers = jobs if oversubscribe else max(
+        1, min(jobs, _available_cpus()))
+    parts = partition_by_cone(core.circuit, properties, workers)
+
+    worker_reports: List[Dict] = []
+    if len(parts) <= 1:
+        # Degenerate fan-out: run the one partition in-process.  With
+        # the caller's manager (the one the property formulas were
+        # built on) the caller's suite is checked directly; without it
+        # the properties' BDD constraints are unreadable here, so the
+        # partition rebuilds from the spec like any worker would.
+        if mgr is not None:
+            session = CheckSession(core.circuit, mgr, engine=engine)
+            for prop in properties:
+                session.check(prop.antecedent, prop.consequent,
+                              name=prop.name)
+            worker_reports.append(_report_delta(session.report(), None))
+        else:
+            worker_reports.append(_run_partition(spec, names, engine))
+        parts = [names]
+    else:
+        ctx = _mp_context()
+        pilot_names: List[str] = []
+        if ctx.get_start_method() == "fork":
+            # Pilot + stash: warm one property per cone in the parent,
+            # hand the warmed session to the workers through fork COW.
+            p_core, p_mgr, p_suite = spec.build()
+            by_name = {p.name: p for p in p_suite}
+            session = CheckSession(p_core.circuit, p_mgr, engine=engine)
+            seen_first: Dict[frozenset, str] = {}
+            for part in parts:
+                pilot = part[0]
+                prop = by_name[pilot]
+                roots = frozenset(formula_nodes(prop.antecedent)) \
+                    | frozenset(formula_nodes(prop.consequent))
+                if roots not in seen_first:
+                    seen_first[roots] = pilot
+            pilot_names = sorted(set(seen_first.values()),
+                                 key=names.index)
+            for pilot in pilot_names:
+                prop = by_name[pilot]
+                session.check(prop.antecedent, prop.consequent,
+                              name=pilot)
+            worker_reports.append(_report_delta(session.report(), None))
+            _FORK_STATE = (spec, session, by_name)
+            parts = [[n for n in part if n not in pilot_names]
+                     for part in parts]
+            parts = [part for part in parts if part]
+            if not parts:
+                # Every property was a pilot: the parent did all the
+                # work and no pool is needed.
+                _FORK_STATE = None
+        try:
+            if parts:
+                # Freeze the warmed heap before forking (the CPython-
+                # documented pattern): the BDD tables are millions of
+                # long-lived objects, and moving them to the permanent
+                # generation keeps the children's cyclic-GC passes
+                # from touching — and copy-on-write duplicating —
+                # those pages.
+                gc.collect()
+                gc.freeze()
+                with ProcessPoolExecutor(max_workers=len(parts),
+                                         mp_context=ctx) as pool:
+                    futures = [pool.submit(_run_partition, spec, part,
+                                           engine)
+                               for part in parts]
+                    worker_reports.extend(f.result() for f in futures)
+        finally:
+            _FORK_STATE = None
+            gc.unfreeze()
+
+    by_name_out: Dict[str, PropertyOutcome] = {}
+    models_compiled = 0
+    model_reuses = 0
+    bdd_stats: Dict[str, int] = {}
+    cache_stats: Dict[str, Dict[str, int]] = {}
+    engine_stats: Dict[str, int] = {}
+    for report in worker_reports:
+        for outcome in report["outcomes"]:
+            by_name_out[outcome.name] = outcome
+        models_compiled += report["models_compiled"]
+        model_reuses += report["model_reuses"]
+        for k, v in report["bdd_stats"].items():
+            bdd_stats[k] = bdd_stats.get(k, 0) + v
+        for op, counts in report["cache_stats"].items():
+            slot = cache_stats.setdefault(
+                op, {"hits": 0, "misses": 0, "entries": 0})
+            for k, v in counts.items():
+                slot[k] = slot.get(k, 0) + v
+        for k, v in report["engine_stats"].items():
+            if k == "max_learnt_len":
+                engine_stats[k] = max(engine_stats.get(k, 0), v)
+            else:
+                engine_stats[k] = engine_stats.get(k, 0) + v
+
+    outcomes = [by_name_out[p.name] for p in properties]
+    return SessionReport(
+        outcomes=outcomes,
+        elapsed_seconds=_time.perf_counter() - started,
+        models_compiled=models_compiled,
+        model_reuses=model_reuses,
+        bdd_stats=bdd_stats,
+        cache_stats=cache_stats,
+        engine=engine,
+        engine_stats=engine_stats,
+        jobs=max(1, len(parts)))

@@ -599,8 +599,24 @@ def run_suite(core: Core, properties: Sequence[CpuProperty],
 
 def run_suite_session(core: Core, properties: Sequence[CpuProperty],
                       mgr: Optional[BDDManager] = None,
-                      engine: str = "ste") -> SessionReport:
+                      engine: str = "ste",
+                      jobs: int = 1) -> SessionReport:
     """Batched suite run with the aggregate session report (per-unit
-    timing, model reuse and engine statistics) on either backend."""
+    timing, model reuse and engine statistics) on any backend.
+
+    ``jobs > 1`` fans the properties out across worker processes
+    (grouped by cone, one BDD manager / SAT context per worker) via
+    :func:`repro.parallel.run_parallel`; worker processes rebuild the
+    suite from the core's recipe, so *properties* must come from
+    :func:`build_suite` (when the run degrades to a single in-process
+    partition, *mgr* lets it check the caller's suite directly), and
+    verdicts stay identical to the serial run.
+    ``engine="portfolio"`` races STE against BMC per property in
+    either mode.
+    """
+    if jobs > 1:
+        from ..parallel import run_parallel
+        return run_parallel(core, list(properties), jobs=jobs,
+                            engine=engine, mgr=mgr)
     session = CheckSession(core.circuit, mgr or BDDManager(), engine=engine)
     return session.run(properties)

@@ -20,15 +20,15 @@ of canonical BDDs + variable-order sensitivity).
 """
 
 from .cnf import CNF, SATError, Tseitin
-from .solver import Solver
+from .solver import Solver, SolverInterrupted, SolverMark
 from .encode import DualRailEncoder, Pair, SCALAR_OF_RAILS, encode_boolean_cone
-from .bmc import (BMCEngine, BMCFailure, BMCModel, BMCResult, check,
-                  check_model)
+from .bmc import (BMCEngine, BMCFailure, BMCModel, BMCResult, PreparedQuery,
+                  check, check_model)
 
 __all__ = [
     "CNF", "SATError", "Tseitin",
-    "Solver",
+    "Solver", "SolverInterrupted", "SolverMark",
     "DualRailEncoder", "Pair", "SCALAR_OF_RAILS", "encode_boolean_cone",
-    "BMCEngine", "BMCFailure", "BMCModel", "BMCResult", "check",
-    "check_model",
+    "BMCEngine", "BMCFailure", "BMCModel", "BMCResult", "PreparedQuery",
+    "check", "check_model",
 ]

@@ -29,19 +29,21 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, \
+    Tuple, Union
 
 from ..bdd import BDDManager
+from ..engine import EngineAborted
 from ..netlist import Circuit, cone_of_influence
 from ..netlist.schedule import EvalSchedule
 from ..netlist.validate import require_valid
 from ..ste.formula import (Formula, defining_atoms, formula_depth,
                            formula_nodes)
 from .encode import SCALAR_OF_RAILS, DualRailEncoder, Pair
-from .solver import Solver
+from .solver import Solver, SolverInterrupted
 
-__all__ = ["BMCModel", "BMCEngine", "BMCResult", "BMCFailure", "check",
-           "check_model"]
+__all__ = ["BMCModel", "BMCEngine", "BMCResult", "BMCFailure",
+           "PreparedQuery", "check", "check_model"]
 
 
 class BMCModel:
@@ -165,6 +167,24 @@ class BMCResult:
                 f"time={self.elapsed_seconds:.3f}s")
 
 
+@dataclass
+class PreparedQuery:
+    """One property's BMC query after the BDD-touching *prepare* stage.
+
+    Everything in here is plain CNF-literal data — per-frame antecedent
+    constraint pairs, consequent comparison points, the unroll depth —
+    so :meth:`BMCEngine.solve_prepared` never touches the (not
+    thread-safe) BDD manager.  That split is what lets the portfolio
+    racer run the SAT search in a side thread while the BDD/STE engine
+    owns the manager."""
+
+    #: frame -> {node: dual-rail constraint pair} (the antecedent)
+    a_pairs: Dict[int, Dict[str, Pair]]
+    #: (time, node, expected pair) in check order (the consequent)
+    c_points: List[Tuple[int, str, Pair]]
+    depth: int
+
+
 class BMCEngine:
     """One cone's incremental SAT context.
 
@@ -174,6 +194,13 @@ class BMCEngine:
     antecedent fragments dedupe through the interned CNF) *and* the
     solver, so clauses learnt refuting one property prune the next —
     the SAT analogue of the shared BDD computed table.
+
+    On top of the clause-level sharing the engine reuses *frames*:
+    the unrolled defining trajectory is cached per antecedent prefix
+    (see :meth:`_unroll`), so the properties of one schedule — which
+    share the clock/NRET/NRST waveforms and usually whole present-state
+    prefixes — only pay the Python-level unroll walk for the frames
+    where their antecedents actually differ.
     """
 
     #: Conflict budget for the one-shot aggregate query before the
@@ -181,6 +208,13 @@ class BMCEngine:
     #: queries whose learnt equivalences compound — the standard
     #: output-splitting cure for datapath/adder miters).
     aggregate_budget = 2000
+
+    #: Reuse unrolled trajectory frames across properties that share an
+    #: antecedent prefix.  Off, every check re-unrolls from frame 0 —
+    #: the pre-frame-reuse behaviour, kept as an ablation/benchmark
+    #: baseline (verdicts are identical either way; the interned CNF
+    #: already deduplicates the clauses, reuse only skips the walk).
+    frame_reuse = True
 
     def __init__(self, model: Union[Circuit, BMCModel]):
         if isinstance(model, Circuit):
@@ -191,13 +225,30 @@ class BMCEngine:
         self._fed_clauses = 0
         self.checks = 0
         self.refinements = 0
+        # Incremental frame reuse: antecedent-prefix -> (frame values,
+        # antecedent-consistency literal so far).  Keys are tuples of
+        # per-frame constraint signatures; values are immutable once
+        # stored (frames are never mutated after construction), so
+        # trajectories of different properties share frame dicts.
+        self._frame_cache: Dict[Tuple[FrozenSet[Tuple[str, Pair]], ...],
+                                Tuple[Dict[str, Pair], int]] = {}
+        self.frames_computed = 0
+        self.frames_reused = 0
 
     # ------------------------------------------------------------------
-    def _unroll(self, a_seq, depth: int
+    def _unroll(self, a_pairs: Dict[int, Dict[str, Pair]], depth: int,
+                abort: Optional[Callable[[], bool]] = None
                 ) -> Tuple[List[Dict[str, Pair]], int]:
         """The defining trajectory as literal pairs: frame-indexed CNF
         with the antecedent joined in as each node's value is computed
-        (forward propagation), plus the antecedent-consistency literal."""
+        (forward propagation), plus the antecedent-consistency literal.
+
+        Frames are cached per antecedent prefix: frame *t* is a pure
+        function of the constraint pairs of frames ``0..t`` (the
+        Tseitin interner makes equal computations return equal
+        literals), so a property whose antecedent agrees with an
+        earlier one up to frame *t* reuses those frames outright and
+        re-unrolls only the suffix where it differs."""
         enc = self.enc
         model = self.model
         circuit = model.circuit
@@ -205,11 +256,20 @@ class BMCEngine:
         antecedent_ok = enc.ts.true
         trajectory: List[Dict[str, Pair]] = []
         prev: Optional[Dict[str, Pair]] = None
+        prefix: Tuple[FrozenSet[Tuple[str, Pair]], ...] = ()
         for t in range(depth):
-            constraints = {node: enc.constraint_pair(atoms)
-                           for node, atoms in a_seq.get(t, {}).items()}
+            constraints = a_pairs.get(t, {})
+            if self.frame_reuse:
+                prefix = prefix + (frozenset(constraints.items()),)
+                cached = self._frame_cache.get(prefix)
+                if cached is not None:
+                    values, antecedent_ok = cached
+                    trajectory.append(values)
+                    prev = values
+                    self.frames_reused += 1
+                    continue
             get_constraint = constraints.get
-            values: Dict[str, Pair] = {}
+            values = {}
 
             def finish(node: str, pair: Pair) -> None:
                 constraint = get_constraint(node)
@@ -218,7 +278,15 @@ class BMCEngine:
                 values[node] = pair
 
             def run_plan(plan) -> None:
+                countdown = 256
                 for node, op, ins, reg in plan:
+                    if abort is not None:
+                        countdown -= 1
+                        if not countdown:
+                            countdown = 256
+                            if abort():
+                                raise EngineAborted(
+                                    f"BMC unroll aborted at frame {t}")
                     if reg is None:
                         finish(node, enc.eval_gate(
                             op, [values.get(i, x) for i in ins]))
@@ -248,9 +316,12 @@ class BMCEngine:
             for node, constraint in constraints.items():
                 if node not in values:
                     values[node] = constraint
-            for node in a_seq.get(t, {}):
+            for node in constraints:
                 antecedent_ok = enc.ts.land(
                     antecedent_ok, enc.t_consistent(values[node]))
+            if self.frame_reuse:
+                self._frame_cache[prefix] = (values, antecedent_ok)
+            self.frames_computed += 1
             trajectory.append(values)
             prev = values
         return trajectory, antecedent_ok
@@ -262,18 +333,62 @@ class BMCEngine:
         self._fed_clauses = len(clauses)
 
     # ------------------------------------------------------------------
-    def check(self, mgr: BDDManager, antecedent: Formula,
-              consequent: Formula) -> BMCResult:
-        """Decide ``model ⊨ antecedent ⇒ consequent`` by SAT."""
-        started = _time.perf_counter()
+    def prepare(self, mgr: BDDManager, antecedent: Formula,
+                consequent: Formula,
+                abort: Optional[Callable[[], bool]] = None
+                ) -> PreparedQuery:
+        """The BDD-touching half of a check: fold both formulas'
+        defining atoms into CNF literal pairs.
+
+        Must run in the thread that owns *mgr* (it reads the manager's
+        computed tables and may build guard conjunctions); the returned
+        query is manager-free and safe to hand to
+        :meth:`solve_prepared` on any thread.  *abort* is polled
+        between constraint conversions (BDD→CNF conversion of a cold
+        cone is a real cost, and a budgeted portfolio slice must be
+        able to give up inside it; the conversion memo keeps whatever
+        was already converted)."""
         enc = self.enc
-        solver = self.solver
-        base_stats = solver.stats()
         a_seq = defining_atoms(mgr, antecedent)
         c_seq = defining_atoms(mgr, consequent)
         depth = max(formula_depth(antecedent), formula_depth(consequent))
 
-        trajectory, antecedent_ok = self._unroll(a_seq, depth)
+        def pair_of(atoms):
+            if abort is not None and abort():
+                raise EngineAborted("BMC prepare aborted")
+            return enc.constraint_pair(atoms)
+
+        a_pairs = {t: {node: pair_of(atoms)
+                       for node, atoms in constraints.items()}
+                   for t, constraints in a_seq.items()}
+        c_points = [(t, node, pair_of(atoms))
+                    for t, constraints in sorted(c_seq.items())
+                    for node, atoms in constraints.items()]
+        return PreparedQuery(a_pairs=a_pairs, c_points=c_points, depth=depth)
+
+    def check(self, mgr: BDDManager, antecedent: Formula,
+              consequent: Formula) -> BMCResult:
+        """Decide ``model ⊨ antecedent ⇒ consequent`` by SAT."""
+        return self.solve_prepared(self.prepare(mgr, antecedent, consequent))
+
+    def solve_prepared(self, query: PreparedQuery,
+                       abort: Optional[Callable[[], bool]] = None
+                       ) -> BMCResult:
+        """The manager-free half: unroll (with frame reuse), build the
+        negated-consequent query and run the CDCL search.
+
+        *abort* is polled by the solver at every conflict and restart;
+        when it fires the check raises
+        :class:`~repro.engine.EngineAborted` with the incremental
+        context (clauses, learnts, frame cache) intact."""
+        started = _time.perf_counter()
+        enc = self.enc
+        solver = self.solver
+        base_stats = solver.stats()
+        depth = query.depth
+
+        trajectory, antecedent_ok = self._unroll(query.a_pairs, depth,
+                                                 abort=abort)
 
         # Point-wise lattice comparison, negated: a point's violation
         # literal is ¬(expected ⊑ actual); the query is their
@@ -281,17 +396,23 @@ class BMCEngine:
         x = enc.X
         points: List[BMCFailure] = []
         checked_points = 0
-        for t, constraints in sorted(c_seq.items()):
+        countdown = 128
+        for t, node, expected in query.c_points:
+            if abort is not None:
+                countdown -= 1
+                if not countdown:
+                    countdown = 128
+                    if abort():
+                        raise EngineAborted(
+                            f"BMC encode aborted at point {checked_points}")
             state = trajectory[t]
-            for node, expected_atoms in constraints.items():
-                checked_points += 1
-                expected = enc.constraint_pair(expected_atoms)
-                actual = state.get(node, x)
-                violation = -enc.t_leq(expected, actual)
-                if violation == enc.ts.false:
-                    continue               # provably unviolatable point
-                points.append(BMCFailure(t, node, expected, actual,
-                                         violation))
+            checked_points += 1
+            actual = state.get(node, x)
+            violation = -enc.t_leq(expected, actual)
+            if violation == enc.ts.false:
+                continue                   # provably unviolatable point
+            points.append(BMCFailure(t, node, expected, actual,
+                                     violation))
 
         some_violation = enc.ts.lor(*[p.violation for p in points]) \
             if points else enc.ts.false
@@ -303,42 +424,52 @@ class BMCEngine:
         model: Dict[int, bool] = {}
         vacuous = False
         queries = 0
-        if some_violation == enc.ts.false:
-            passed = True
-            vacuous = not solver.solve([antecedent_ok])
-            queries += 1
-        else:
-            sat = solver.solve([antecedent_ok, some_violation],
-                               limit=self.aggregate_budget)
-            queries += 1
-            if sat is None:
-                # The aggregate query is hard (typically a wide-datapath
-                # miter).  Refine point by point in (time, node) order —
-                # for a bus that is LSB-first, so each query's learnt
-                # carry-bridging clauses remain in the solver and keep
-                # the next bit's proof shallow (output splitting, the
-                # standard cure for structurally-misaligned miters).
-                self.refinements += 1
-                sat = False
-                for point in points:
-                    answer = solver.solve([antecedent_ok, point.violation])
-                    queries += 1
-                    if answer:
-                        sat = True
-                        break
-            if sat:
-                passed = False
-                # Snapshot the witness NOW: the shared incremental
-                # solver's model is overwritten by the next check.
-                model = dict(solver.model)
-                failures = [p for p in points
-                            if solver.value(p.violation, False)]
-                assignment = {name: solver.value(var, False)
-                              for name, var in enc.cnf.named_vars().items()}
-            else:
+        try:
+            if some_violation == enc.ts.false:
                 passed = True
-                vacuous = not solver.solve([antecedent_ok])
+                vacuous = not solver.solve([antecedent_ok],
+                                           interrupt=abort)
                 queries += 1
+            else:
+                sat = solver.solve([antecedent_ok, some_violation],
+                                   limit=self.aggregate_budget,
+                                   interrupt=abort)
+                queries += 1
+                if sat is None:
+                    # The aggregate query is hard (typically a wide-
+                    # datapath miter).  Refine point by point in (time,
+                    # node) order — for a bus that is LSB-first, so each
+                    # query's learnt carry-bridging clauses remain in
+                    # the solver and keep the next bit's proof shallow
+                    # (output splitting, the standard cure for
+                    # structurally-misaligned miters).
+                    self.refinements += 1
+                    sat = False
+                    for point in points:
+                        answer = solver.solve(
+                            [antecedent_ok, point.violation],
+                            interrupt=abort)
+                        queries += 1
+                        if answer:
+                            sat = True
+                            break
+                if sat:
+                    passed = False
+                    # Snapshot the witness NOW: the shared incremental
+                    # solver's model is overwritten by the next check.
+                    model = dict(solver.model)
+                    failures = [p for p in points
+                                if solver.value(p.violation, False)]
+                    assignment = {
+                        name: solver.value(var, False)
+                        for name, var in enc.cnf.named_vars().items()}
+                else:
+                    passed = True
+                    vacuous = not solver.solve([antecedent_ok],
+                                               interrupt=abort)
+                    queries += 1
+        except SolverInterrupted as exc:
+            raise EngineAborted(str(exc)) from exc
 
         now_stats = solver.stats()
         delta = {k: now_stats[k] - base_stats.get(k, 0)

@@ -29,13 +29,21 @@ Statistics mirror :meth:`repro.bdd.BDDManager.cache_stats`'s spirit:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, \
+    Sequence
 
 from .cnf import CNF, SATError
 
-__all__ = ["Solver"]
+__all__ = ["Solver", "SolverInterrupted", "SolverMark"]
 
 _UNASSIGNED = -1
+
+
+class SolverInterrupted(SATError):
+    """Raised out of :meth:`Solver.solve` when the caller's *interrupt*
+    callback fires.  The solver state — clauses, learnts, activities —
+    remains valid for further calls (the trail is rolled back to level
+    0 first), so an interrupted query costs nothing but the query."""
 
 
 def _luby(i: int) -> int:
@@ -50,6 +58,14 @@ def _luby(i: int) -> int:
         seq -= 1
         i %= size
     return 1 << seq
+
+
+class SolverMark(NamedTuple):
+    """An opaque snapshot returned by :meth:`Solver.mark`."""
+
+    clauses: int
+    trail: int
+    unsat: bool
 
 
 class Solver:
@@ -448,7 +464,9 @@ class Solver:
     # Search
     # ------------------------------------------------------------------
     def solve(self, assumptions: Sequence[int] = (),
-              limit: Optional[int] = None) -> Optional[bool]:
+              limit: Optional[int] = None,
+              interrupt: Optional[Callable[[], bool]] = None
+              ) -> Optional[bool]:
         """Decide satisfiability under *assumptions* (external ±var
         literals, treated as forced first decisions).  On True, `model`
         maps every allocated variable to a bool.
@@ -457,12 +475,19 @@ class Solver:
         the answer is ``None`` (indeterminate) and the solver state —
         including everything learnt — remains valid for further calls,
         which is how the BMC checker escalates from one aggregate query
-        to per-point refinement."""
+        to per-point refinement.
+
+        *interrupt* is polled at every conflict and restart; when it
+        returns true the call raises :class:`SolverInterrupted` (state
+        intact) — the cooperative-cancellation hook the portfolio racer
+        uses to kill the losing engine."""
         # A model describes exactly one SAT answer; never let a stale
         # one survive into an UNSAT/indeterminate outcome.
         self.model = {}
         if self._unsat:
             return False
+        if interrupt is not None and interrupt():
+            raise SolverInterrupted("interrupted before search")
         budget = limit if limit is not None else -1
         codes = []
         for lit in assumptions:
@@ -482,6 +507,10 @@ class Solver:
             if conflict is not None:
                 self.conflicts += 1
                 conflicts_left -= 1
+                if interrupt is not None and interrupt():
+                    self._cancel_until(0)
+                    raise SolverInterrupted(
+                        f"interrupted after {self.conflicts} conflicts")
                 # Level-0 conflict means UNSAT outright — decide it
                 # before the budget check, or an exhausted budget would
                 # leave the consumed propagation queue masking the
@@ -524,6 +553,9 @@ class Solver:
                 self.restarts += 1
                 conflicts_left = self._restart_base * _luby(self.restarts)
                 self._cancel_until(0)
+                if interrupt is not None and interrupt():
+                    raise SolverInterrupted(
+                        f"interrupted after {self.restarts} restarts")
                 continue
             # Assumption levels first.
             if len(self._trail_lim) < len(codes):
@@ -563,6 +595,62 @@ class Solver:
             self._assign((v << 1) | (self._phase[v] ^ 1), None)
 
     # ------------------------------------------------------------------
+    # Reset / retract (scratch-query support)
+    # ------------------------------------------------------------------
+    def mark(self) -> "SolverMark":
+        """Snapshot the problem-clause state for a later
+        :meth:`retract_to` — the push of a push/pop pair.
+
+        Problem clauses are append-only (``_reduce_db`` touches only
+        learnts), so a clause count plus the level-0 trail length
+        identifies the state exactly."""
+        self._cancel_until(0)
+        return SolverMark(clauses=len(self._clauses),
+                          trail=len(self._trail),
+                          unsat=self._unsat)
+
+    def retract_to(self, mark: "SolverMark") -> None:
+        """Retract every problem clause (and level-0 fact) added after
+        *mark* — the pop of a push/pop pair, for scratch queries over a
+        shared solver.
+
+        All learnt clauses are dropped: a learnt derived after the mark
+        may depend on a retracted clause, and tracking provenance costs
+        more than relearning.  Variables allocated after the mark stay
+        allocated (they are unconstrained, which is harmless)."""
+        self._cancel_until(0)
+        if len(self._clauses) < mark.clauses or len(self._trail) < mark.trail:
+            raise SATError("retract_to: mark is newer than solver state")
+        for cl in self._clauses[mark.clauses:]:
+            for w in (cl[0], cl[1]):
+                ws = self._watches[w]
+                for i, entry in enumerate(ws):
+                    if entry[0] is cl:
+                        ws[i] = ws[-1]
+                        ws.pop()
+                        break
+        del self._clauses[mark.clauses:]
+        for cl in self._learnts:
+            for w in (cl[0], cl[1]):
+                ws = self._watches[w]
+                for i, entry in enumerate(ws):
+                    if entry[0] is cl:
+                        ws[i] = ws[-1]
+                        ws.pop()
+                        break
+        self.deleted += len(self._learnts)
+        self._learnts = []
+        for code in self._trail[mark.trail:]:
+            v = code >> 1
+            self._phase[v] = self._assigns[v]
+            self._assigns[v] = _UNASSIGNED
+            self._reasons[v] = None
+            self._heap_insert(v)
+        del self._trail[mark.trail:]
+        self._qhead = 0                 # re-propagate from scratch
+        self._unsat = mark.unsat
+        self.model = {}
+
     def value(self, lit: int, default: Optional[bool] = None) -> bool:
         """Model value of an external literal after a SAT answer.
 

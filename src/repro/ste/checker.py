@@ -24,9 +24,11 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, \
+    Tuple, Union
 
 from ..bdd import BDDManager, Ref
+from ..engine import EngineAborted
 from ..fsm import CompiledModel, compile_circuit
 from ..netlist import Circuit
 from ..ternary import TernaryValue
@@ -125,9 +127,25 @@ def check(model: Union[Circuit, CompiledModel],
                               validate=False)
         return _bmc.check(model, antecedent, consequent, mgr,
                           use_coi=use_coi)
+    if engine == "portfolio":
+        # One-shot portfolio race: both engine artefacts live in a
+        # throwaway session (the session is where the race machinery
+        # and per-cone win history live).
+        from .session import CheckSession
+        if isinstance(model, CompiledModel):
+            session = CheckSession(model.circuit, mgr or model.mgr,
+                                   use_coi=False, validate=False)
+            if session.mgr is model.mgr:
+                # Respect the caller's compilation work: the session's
+                # full-circuit slot is exactly this model.
+                session._full_model = model
+        else:
+            session = CheckSession(model, mgr or BDDManager(),
+                                   use_coi=use_coi)
+        return session.check(antecedent, consequent, engine="portfolio")
     if engine != "ste":
         raise ValueError(f"unknown engine {engine!r}; "
-                         f"expected 'ste' or 'bmc'")
+                         f"expected 'ste', 'bmc' or 'portfolio'")
     started = _time.perf_counter()
     if isinstance(model, CompiledModel):
         compiled = model
@@ -149,13 +167,19 @@ def check(model: Union[Circuit, CompiledModel],
 
 def check_compiled(compiled: CompiledModel,
                    antecedent: Formula,
-                   consequent: Formula) -> STEResult:
+                   consequent: Formula,
+                   abort: Optional[Callable[[], bool]] = None) -> STEResult:
     """The decision procedure proper, on an already-compiled model.
 
     Split out from :func:`check` so that a
     :class:`~repro.ste.session.CheckSession` can amortise compilation
     across a whole property suite while producing results identical to
     per-property :func:`check` calls.
+
+    *abort* is polled between trajectory steps and consequent points;
+    when it fires the check raises
+    :class:`~repro.engine.EngineAborted` (the manager and its caches
+    stay valid) — the portfolio racer's cancellation hook.
     """
     started = _time.perf_counter()
     mgr = compiled.mgr
@@ -169,7 +193,9 @@ def check_compiled(compiled: CompiledModel,
     trajectory: List[Dict[str, TernaryValue]] = []
     prev: Optional[Dict[str, TernaryValue]] = None
     for t in range(depth):
-        state = compiled.step(prev, a_seq.get(t, {}))
+        if abort is not None and abort():
+            raise EngineAborted(f"STE aborted at frame {t}/{depth}")
+        state = compiled.step(prev, a_seq.get(t, {}), abort=abort)
         for node in a_seq.get(t, {}):
             antecedent_ok = antecedent_ok & state[node].is_consistent()
         trajectory.append(state)
@@ -182,6 +208,9 @@ def check_compiled(compiled: CompiledModel,
     for t, constraints in sorted(c_seq.items()):
         state = trajectory[t]
         for node, expected in constraints.items():
+            if abort is not None and abort():
+                raise EngineAborted(
+                    f"STE aborted at point {checked_points}")
             checked_points += 1
             actual = state.get(node, x)
             holds = expected.leq(actual)

@@ -26,16 +26,22 @@ same cone-reduced model that ``check`` would have built.
 
 from __future__ import annotations
 
+import queue as _queue
+import threading as _threading
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple, Union
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, List,
+                    Optional, Tuple, Union)
 
 from ..bdd import BDDManager
-from ..engine import ENGINES, EngineReport
+from ..engine import ENGINES, EngineAborted, EngineReport
 from ..fsm import CompiledModel, compile_circuit
 from ..netlist import Circuit, cone_of_influence, require_valid
 from .checker import STEResult, check_compiled
 from .formula import Formula, formula_nodes
+
+if TYPE_CHECKING:
+    from ..sat.bmc import BMCEngine
 
 __all__ = ["CheckSession", "SessionReport", "PropertyOutcome"]
 
@@ -71,10 +77,12 @@ class SessionReport:
     model_reuses: int
     bdd_stats: Dict[str, int]
     cache_stats: Dict[str, Dict[str, int]]
-    #: the session's default engine ("ste" | "bmc")
+    #: the session's default engine ("ste" | "bmc" | "portfolio")
     engine: str = "ste"
     #: aggregate SAT-solver counters (empty when no BMC check ran)
     engine_stats: Dict[str, int] = field(default_factory=dict)
+    #: worker-process count that produced this report (1 = in-process)
+    jobs: int = 1
 
     @property
     def passed(self) -> bool:
@@ -83,6 +91,15 @@ class SessionReport:
     @property
     def failures(self) -> List[PropertyOutcome]:
         return [o for o in self.outcomes if not o.passed]
+
+    @property
+    def engine_wins(self) -> Dict[str, int]:
+        """Deciding-engine counts across the outcomes — for a portfolio
+        run, which backend delivered each first verdict."""
+        wins: Dict[str, int] = {}
+        for o in self.outcomes:
+            wins[o.engine] = wins.get(o.engine, 0) + 1
+        return wins
 
     def verdicts(self) -> Dict[str, bool]:
         return {o.name: o.passed for o in self.outcomes}
@@ -108,6 +125,12 @@ class SessionReport:
                 f"bdd_nodes={self.bdd_stats.get('nodes', 0)} "
                 f"cache_hit_rate={rate:.1f}% "
                 f"time={self.elapsed_seconds:.3f}s")
+        if self.jobs > 1:
+            line += f" jobs={self.jobs}"
+        if self.engine == "portfolio":
+            wins = self.engine_wins
+            line += " wins[" + " ".join(
+                f"{e}={wins[e]}" for e in sorted(wins)) + "]"
         if self.engine_stats:
             line += (f" sat_conflicts={self.engine_stats.get('conflicts', 0)}"
                      f" sat_vars={self.engine_stats.get('variables', 0)}")
@@ -143,7 +166,36 @@ class CheckSession:
     check on the same cone reuse one cone walk, and each engine keeps
     its own compiled artefact per cone (a BDD model / an incremental SAT
     context).
+
+    ``engine="portfolio"`` *races* the two backends per property and
+    takes the first verdict (see :meth:`_check_portfolio`).  On a cone
+    the session has never decided before, the race is flat: the BDD
+    work is prepared serially (the manager is not thread-safe), then
+    the CDCL search runs in a side thread against the STE trajectory
+    computation and the loser is cancelled cooperatively.  On repeat
+    cones the race is *staggered into time slices*: the incumbent —
+    the engine that last delivered a verdict on the cone — runs alone
+    under a budget of ``stagger_factor`` times its last winning time,
+    then the challenger gets the same slice, with budgets growing
+    geometrically until one engine answers.  Aborted slices are cheap
+    to resume: the BDD computed tables, the BMC frame cache and the
+    learnt clauses all survive an abort, so alternation costs far less
+    than running both engines to completion — a settled cone costs one
+    engine, not two, while a mis-prediction still gets hedged.  Either
+    way the verdict is whichever engine answers first, and both
+    engines answer alike (pinned by the differential suite).
     """
+
+    #: On a cone with race history, the incumbent engine's first time
+    #: slice is (this factor × its largest winning time on the cone);
+    #: 0 disables prediction and races both engines flat-out on every
+    #: property.
+    stagger_factor = 2.5
+
+    #: Seconds granted to the optimistic STE probe on a cone with no
+    #: race history, before the flat race (and its BMC encode cost)
+    #: is engaged.
+    race_probe_budget = 2.0
 
     def __init__(self, circuit: Circuit, mgr: Optional[BDDManager] = None,
                  *, use_coi: bool = True, validate: bool = True,
@@ -175,13 +227,22 @@ class CheckSession:
         self._cones: Dict[FrozenSet[str], Circuit] = {}
         self._full_model: Optional[CompiledModel] = None
         # cone key -> incremental SAT context (None key: full circuit).
-        self._bmc_engines: Dict[Optional[FrozenSet[str]], object] = {}
+        self._bmc_engines: Dict[Optional[FrozenSet[str]], "BMCEngine"] = {}
+        # cone key -> {engine: last winning wall time} (portfolio).
+        self._race_history: Dict[Optional[FrozenSet[str]],
+                                 Dict[str, float]] = {}
+        # cone key -> the engine that last delivered a verdict there.
+        self._race_incumbent: Dict[Optional[FrozenSet[str]], str] = {}
 
     # ------------------------------------------------------------------
     def _cone_for(self, antecedent: Formula, consequent: Formula
-                  ) -> Tuple[FrozenSet[str], Circuit]:
-        """(cache key, cone circuit) for a property — one cone walk per
-        distinct root set, one cone per distinct node set."""
+                  ) -> Tuple[Optional[FrozenSet[str]], Circuit]:
+        """(cache key, circuit to check) for a property — one cone walk
+        per distinct root set, one cone per distinct node set.  With
+        ``use_coi=False`` the key is ``None`` and the circuit is the
+        full one, so both engine caches key the two paths uniformly."""
+        if not self.use_coi:
+            return None, self.circuit
         roots = frozenset(formula_nodes(antecedent)) | frozenset(
             formula_nodes(consequent))
         key = self._cone_keys.get(roots)
@@ -197,18 +258,18 @@ class CheckSession:
                   ) -> Tuple[CompiledModel, bool]:
         """The compiled (cone-reduced) BDD model both formulas run on,
         plus whether it was served from the session cache."""
-        if not self.use_coi:
+        key, circuit = self._cone_for(antecedent, consequent)
+        if key is None:
             if self._full_model is None:
                 self._full_model = compile_circuit(
-                    self.circuit, self.mgr, validate=False)
+                    circuit, self.mgr, validate=False)
                 self.models_compiled += 1
                 return self._full_model, False
             self.model_reuses += 1
             return self._full_model, True
-        key, cone = self._cone_for(antecedent, consequent)
         model = self._models.get(key)
         if model is None:
-            model = compile_circuit(cone, self.mgr, validate=False)
+            model = compile_circuit(circuit, self.mgr, validate=False)
             self._models[key] = model
             self.models_compiled += 1
             return model, False
@@ -216,28 +277,187 @@ class CheckSession:
         return model, True
 
     def bmc_engine_for(self, antecedent: Formula, consequent: Formula
-                       ) -> Tuple[object, bool]:
+                       ) -> Tuple["BMCEngine", bool]:
         """The incremental SAT context for the property's cone, plus
         whether it was served from the session cache."""
-        from ..sat.bmc import BMCEngine
-        if not self.use_coi:
-            engine = self._bmc_engines.get(None)
-            if engine is None:
-                engine = BMCEngine(self.circuit)
-                self._bmc_engines[None] = engine
-                self.models_compiled += 1
-                return engine, False
-            self.model_reuses += 1
-            return engine, True
-        key, cone = self._cone_for(antecedent, consequent)
+        key, circuit = self._cone_for(antecedent, consequent)
         engine = self._bmc_engines.get(key)
         if engine is None:
-            engine = BMCEngine(cone)
+            from ..sat.bmc import BMCEngine
+            engine = BMCEngine(circuit)
             self._bmc_engines[key] = engine
             self.models_compiled += 1
             return engine, False
         self.model_reuses += 1
         return engine, True
+
+    # ------------------------------------------------------------------
+    def _run_solo(self, engine: str, antecedent: Formula,
+                  consequent: Formula, model: CompiledModel,
+                  budget: Optional[float]
+                  ) -> Tuple[Optional[EngineReport], float]:
+        """One engine alone, bounded by *budget* seconds through its
+        cooperative abort hook (no threads involved).  Returns
+        ``(result, elapsed)``; the result is None on overrun, with the
+        engine's persistent artefacts intact."""
+        t0 = _time.perf_counter()
+        abort = (None if budget is None
+                 else lambda: _time.perf_counter() - t0 > budget)
+        try:
+            if engine == "ste":
+                result: EngineReport = check_compiled(
+                    model, antecedent, consequent, abort=abort)
+            else:
+                bmc_engine, _ = self.bmc_engine_for(antecedent, consequent)
+                query = bmc_engine.prepare(self.mgr, antecedent, consequent,
+                                           abort=abort)
+                result = bmc_engine.solve_prepared(query, abort=abort)
+        except EngineAborted:
+            return None, _time.perf_counter() - t0
+        return result, _time.perf_counter() - t0
+
+    def _race_flat(self, antecedent: Formula, consequent: Formula,
+                   model: CompiledModel,
+                   history: Dict[str, float]
+                   ) -> Tuple[EngineReport, str]:
+        """The flat two-thread race for a cone with no history.
+
+        All BDD-manager work — cone compilation and the BMC prepare
+        stage — happens serially before the threads start, so the two
+        racers touch disjoint state (the STE thread owns the manager,
+        the BMC thread only its CNF/solver).  The loser is cancelled
+        cooperatively and joined before this returns; its persistent
+        per-cone artefacts survive for the next property."""
+        bmc_engine, _ = self.bmc_engine_for(antecedent, consequent)
+        query = bmc_engine.prepare(self.mgr, antecedent, consequent)
+        cancel = _threading.Event()
+        results: _queue.Queue = _queue.Queue()
+
+        def racer(name, fn):
+            t0 = _time.perf_counter()
+            try:
+                outcome = fn()
+            except EngineAborted:
+                results.put((name, None, 0.0))
+                return
+            except BaseException as exc:     # surfaced to the caller
+                results.put((name, exc, 0.0))
+                return
+            results.put((name, outcome, _time.perf_counter() - t0))
+
+        runners = {
+            "ste": lambda: check_compiled(model, antecedent, consequent,
+                                          abort=cancel.is_set),
+            "bmc": lambda: bmc_engine.solve_prepared(query,
+                                                     abort=cancel.is_set),
+        }
+        threads = [_threading.Thread(target=racer,
+                                     args=(name, runners[name]),
+                                     daemon=True)
+                   for name in ("ste", "bmc")]
+        for th in threads:
+            th.start()
+        winner: Optional[str] = None
+        result: Optional[EngineReport] = None
+        error: Optional[BaseException] = None
+        for _ in range(len(threads)):
+            name, payload, elapsed = results.get()
+            if payload is None:
+                continue                     # aborted loser
+            if isinstance(payload, BaseException):
+                error = error or payload
+                continue
+            winner, result = name, payload
+            history[name] = max(history.get(name, 0.0), elapsed)
+            break
+        cancel.set()
+        for th in threads:
+            th.join()
+        if winner is None or result is None:
+            if error is not None:
+                raise error
+            raise RuntimeError("portfolio race produced no verdict")
+        # A photo-finish loser that completed before the cancel also
+        # carries a real timing — fold it into the cone history.
+        while True:
+            try:
+                name, payload, elapsed = results.get_nowait()
+            except _queue.Empty:
+                break
+            if payload is not None and not isinstance(payload,
+                                                      BaseException):
+                history[name] = max(history.get(name, 0.0), elapsed)
+        return result, winner
+
+    def _check_portfolio(self, antecedent: Formula, consequent: Formula
+                         ) -> Tuple[EngineReport, str, bool, int]:
+        """Decide one property by portfolio; first verdict wins.
+
+        Returns ``(result, winning engine, STE model cached, cone node
+        count)``.  Novel cone: flat thread race.  Cone with history:
+        budgeted alternation — the incumbent runs solo under
+        ``stagger_factor`` times its last winning time (skipping the
+        other engine's entire cost, including the BMC prepare/encode
+        stage, which is what makes a settled portfolio as cheap as the
+        better single engine), then the challenger gets the same
+        slice, and budgets quadruple per round until a verdict lands.
+        Both engines resume cheaply after an aborted slice (computed
+        tables / frame cache / learnt clauses persist), so a
+        mis-prediction costs a bounded multiple of the eventual
+        winner's time instead of the sum of both engines.
+        """
+        key, _ = self._cone_for(antecedent, consequent)
+        model, reused_m = self.model_for(antecedent, consequent)
+        history = self._race_history.setdefault(key, {})
+        cone_nodes = len(model.circuit.all_nodes())
+
+        incumbent = self._race_incumbent.get(key)
+        if incumbent is None or not self.stagger_factor:
+            # Optimistic STE probe before the full race: STE has no
+            # encode stage, so a novel cone whose STE check is quick
+            # (the common case for control cones) never pays the BMC
+            # BDD→CNF conversion at all.
+            if self.stagger_factor:
+                result, elapsed = self._run_solo(
+                    "ste", antecedent, consequent, model,
+                    self.race_probe_budget)
+                if result is not None:
+                    history["ste"] = max(history.get("ste", 0.0), elapsed)
+                    self._race_incumbent[key] = "ste"
+                    return result, "ste", reused_m, cone_nodes
+            result, winner = self._race_flat(antecedent, consequent,
+                                             model, history)
+            self._race_incumbent[key] = winner
+            return result, winner, reused_m, cone_nodes
+
+        challenger = "bmc" if incumbent == "ste" else "ste"
+        # Budget off the *largest* win recorded on the cone (the
+        # history keeps per-engine running maxima): per-property costs
+        # within one cone vary by orders of magnitude, and a budget
+        # keyed to the last (possibly tiny) win would churn through
+        # alternation rounds on every expensive property.  The
+        # challenger's slice trails the incumbent's by one growth step:
+        # the incumbent's aborted slices are recovered by its caches on
+        # the next attempt, but a losing challenger's slices are the
+        # alternation's only dead cost, so they are kept small until
+        # the incumbent has genuinely stalled.
+        budget = max(0.25, self.stagger_factor * max(history.values(),
+                                                     default=0.1))
+        while True:
+            result, elapsed = self._run_solo(
+                incumbent, antecedent, consequent, model, budget)
+            if result is None:
+                result, elapsed = self._run_solo(
+                    challenger, antecedent, consequent, model,
+                    budget / 4)
+                engine = challenger
+            else:
+                engine = incumbent
+            if result is not None:
+                history[engine] = max(history.get(engine, 0.0), elapsed)
+                self._race_incumbent[key] = engine
+                return result, engine, reused_m, cone_nodes
+            budget *= 4
 
     def check(self, antecedent: Formula, consequent: Formula,
               name: Optional[str] = None,
@@ -255,6 +475,9 @@ class CheckSession:
             bmc_engine, reused = self.bmc_engine_for(antecedent, consequent)
             result = bmc_engine.check(self.mgr, antecedent, consequent)
             cone_nodes = len(bmc_engine.model.circuit.all_nodes())
+        elif engine == "portfolio":
+            result, engine, reused, cone_nodes = self._check_portfolio(
+                antecedent, consequent)
         else:
             raise ValueError(f"unknown engine {engine!r}; "
                              f"expected one of {ENGINES}")
@@ -317,6 +540,9 @@ class CheckSession:
                     engine_stats[key] = max(engine_stats.get(key, 0), value)
                 else:
                     engine_stats[key] = engine_stats.get(key, 0) + value
+            for key in ("frames_computed", "frames_reused"):
+                engine_stats[key] = (engine_stats.get(key, 0)
+                                     + getattr(bmc_engine, key))
         return SessionReport(
             outcomes=list(self._outcomes),
             elapsed_seconds=_time.perf_counter() - self._started,

@@ -1,0 +1,109 @@
+"""CLI exit codes and output (python -m repro): satellite coverage for
+the suite runner — exit statuses, counterexample printing, --only
+validation, portfolio and --jobs smoke (fast tier, tiny geometry)."""
+
+import pytest
+
+from repro.__main__ import main
+
+#: One cheap property keeps every CLI invocation fast.
+CHEAP = "control_RegWrite"
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+class TestExitCodes:
+    def test_fixed_design_passes_exit_0(self, capsys):
+        code = run_cli("--suite", "1", "--only", CHEAP, "--quiet")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Session[ste] PASS" in out
+
+    def test_buggy_design_fails_exit_1(self, capsys):
+        code = run_cli("--suite", "2", "--design", "buggy",
+                       "--only", CHEAP)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_invalid_jobs_exit_2(self, capsys):
+        code = run_cli("--jobs", "0")
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestCounterexample:
+    def test_cex_prints_trace_on_failure(self, capsys):
+        code = run_cli("--suite", "2", "--design", "buggy",
+                       "--only", CHEAP, "--cex")
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "counterexample at" in out
+
+    def test_no_cex_without_flag(self, capsys):
+        code = run_cli("--suite", "2", "--design", "buggy",
+                       "--only", CHEAP)
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "counterexample at" not in out
+
+
+class TestOnlyValidation:
+    def test_unknown_name_exit_2_lists_valid(self, capsys):
+        code = run_cli("--suite", "1", "--only", "no_such_prop")
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "unknown properties: no_such_prop" in captured.err
+        # The error must teach the valid vocabulary.
+        assert "valid names:" in captured.err
+        assert CHEAP in captured.err
+        # And nothing may have been checked / reported as passing.
+        assert "PASS" not in captured.out
+
+    def test_mixed_known_unknown_exit_2(self, capsys):
+        code = run_cli("--suite", "1",
+                       "--only", f"{CHEAP},no_such_prop")
+        assert code == 2
+        assert "no_such_prop" in capsys.readouterr().err
+
+    def test_whitespace_in_list_tolerated(self, capsys):
+        code = run_cli("--suite", "1",
+                       "--only", f" {CHEAP} , control_MemRead ",
+                       "--quiet")
+        assert code == 0
+        assert "properties=2" in capsys.readouterr().out
+
+    def test_empty_only_exit_2(self, capsys):
+        code = run_cli("--suite", "1", "--only", " , ")
+        assert code == 2
+        assert "selected no properties" in capsys.readouterr().err
+
+
+class TestEngines:
+    def test_portfolio_smoke(self, capsys):
+        code = run_cli("--suite", "1", "--only", CHEAP,
+                       "--engine", "portfolio")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Session[portfolio] PASS" in out
+        assert "wins[" in out
+
+    def test_jobs_smoke(self, capsys):
+        code = run_cli("--suite", "1", "--engine", "portfolio",
+                       "--jobs", "2",
+                       "--only", f"{CHEAP},control_MemRead")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+
+    def test_jobs_buggy_cex(self, capsys):
+        """The multiprocess path must deliver exit 1 plus the
+        worker-rendered counterexample trace."""
+        code = run_cli("--suite", "2", "--design", "buggy",
+                       "--engine", "ste", "--jobs", "2",
+                       "--only", CHEAP, "--cex")
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "counterexample at" in out

@@ -1,0 +1,264 @@
+"""Parallel/portfolio checking: verdict parity, partitioning, remote
+results and the incremental BMC frame reuse (fast tier, small
+geometry)."""
+
+import dataclasses
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import buggy_core, fixed_core
+from repro.parallel import (RemoteResult, SuiteSpec, _remote_result,
+                            partition_by_cone, run_parallel)
+from repro.retention import build_suite, run_suite_session
+from repro.ste import CheckSession
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+#: A cheap cross-unit slice of the suite (everything here decides in
+#: well under a second per engine on the tiny geometry).
+SUBSET = (
+    "decode_sign_extend",
+    "decode_write_register_rtype",
+    "control_RegWrite",
+    "control_MemRead",
+    "execute_alu_and",
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    core = fixed_core(**GEOMETRY)
+    mgr = BDDManager()
+    suite = [p for p in build_suite(core, mgr, sleep=True)
+             if p.name in SUBSET]
+    assert len(suite) == len(SUBSET)
+    serial = run_suite_session(core, suite, mgr, engine="ste")
+    return core, mgr, suite, serial
+
+
+class TestPortfolioSession:
+    def test_verdicts_identical_to_serial_ste(self, setup):
+        core, mgr, suite, serial = setup
+        session = CheckSession(core.circuit, mgr, engine="portfolio")
+        report = session.run(suite)
+        assert report.verdicts() == serial.verdicts()
+        assert report.engine == "portfolio"
+        # Every outcome records which backend actually decided it.
+        assert set(report.engine_wins) <= {"ste", "bmc"}
+        assert sum(report.engine_wins.values()) == len(suite)
+        assert "wins[" in report.summary()
+
+    def test_flat_race_mode(self, setup):
+        """stagger_factor=0 disables prediction: every property goes
+        through the two-thread race, and verdicts still agree."""
+        core, mgr, suite, serial = setup
+        session = CheckSession(core.circuit, mgr, engine="portfolio")
+        session.stagger_factor = 0
+        report = session.run(suite)
+        assert report.verdicts() == serial.verdicts()
+
+    def test_per_check_engine_override(self, setup):
+        core, mgr, suite, serial = setup
+        session = CheckSession(core.circuit, mgr)        # default ste
+        prop = suite[0]
+        result = session.check(prop.antecedent, prop.consequent,
+                               name=prop.name, engine="portfolio")
+        assert result.passed == serial.verdicts()[prop.name]
+        assert session.outcomes[-1].engine in ("ste", "bmc")
+
+    def test_one_shot_portfolio_on_compiled_model(self, setup):
+        """check(engine="portfolio") on a pre-compiled model reuses it
+        (no recompilation of the caller's work)."""
+        from repro.fsm import compile_circuit
+        from repro.ste import check
+        core, mgr, suite, serial = setup
+        prop = suite[0]
+        compiled = compile_circuit(core.circuit, mgr)
+        result = check(compiled, prop.antecedent, prop.consequent,
+                       engine="portfolio")
+        assert result.passed == serial.verdicts()[prop.name]
+
+    def test_incumbent_settles_after_first_decision(self, setup):
+        core, mgr, suite, serial = setup
+        session = CheckSession(core.circuit, mgr, engine="portfolio")
+        session.run(suite)
+        assert session._race_incumbent          # per-cone winners kept
+        for history in session._race_history.values():
+            assert all(t >= 0 for t in history.values())
+
+
+class TestRunParallel:
+    def test_jobs2_verdict_parity(self, setup):
+        core, mgr, suite, serial = setup
+        report = run_parallel(core, suite, jobs=2, engine="portfolio",
+                              oversubscribe=True)
+        assert report.verdicts() == serial.verdicts()
+        assert report.passed
+        assert report.jobs >= 1
+        # Outcome order matches the input order.
+        assert [o.name for o in report.outcomes] == [p.name
+                                                     for p in suite]
+        # Results crossed a process boundary: they must be the
+        # picklable projection, not live engine reports.
+        assert all(isinstance(o.result, RemoteResult)
+                   for o in report.outcomes)
+
+    def test_jobs2_serial_engine(self, setup):
+        core, mgr, suite, serial = setup
+        report = run_parallel(core, suite, jobs=2, engine="ste",
+                              oversubscribe=True)
+        assert report.verdicts() == serial.verdicts()
+        assert all(o.engine == "ste" for o in report.outcomes)
+
+    def test_clamps_to_available_cpus(self, setup):
+        core, mgr, suite, serial = setup
+        import repro.parallel as parallel
+        # With the cap at 1 CPU the run degrades to one in-process
+        # partition regardless of the requested job count.
+        old = parallel._available_cpus
+        parallel._available_cpus = lambda: 1
+        try:
+            report = run_parallel(core, suite, jobs=4,
+                                  engine="ste")
+        finally:
+            parallel._available_cpus = old
+        assert report.jobs == 1
+        assert report.verdicts() == serial.verdicts()
+
+    def test_unknown_property_name_raises(self, setup):
+        core, mgr, suite, serial = setup
+        bogus = dataclasses.replace(suite[0], name="no_such_property")
+        with pytest.raises(ValueError, match="no_such_property"):
+            run_parallel(core, [bogus], jobs=2, oversubscribe=True)
+
+    def test_duplicate_names_rejected(self, setup):
+        core, mgr, suite, serial = setup
+        with pytest.raises(ValueError, match="duplicates"):
+            run_parallel(core, [suite[0], suite[0]], jobs=2)
+
+    def test_run_suite_session_jobs(self, setup):
+        core, mgr, suite, serial = setup
+        report = run_suite_session(core, suite, mgr, jobs=2,
+                                   engine="portfolio")
+        assert report.verdicts() == serial.verdicts()
+
+    def test_all_pilot_run_stays_in_parent(self, setup):
+        """Two single-property cone groups over two workers: pilot
+        warm-up consumes everything and no worker pool is needed."""
+        core, mgr, suite, serial = setup
+        pair = [p for p in suite
+                if p.name in ("decode_sign_extend",
+                              "decode_write_register_rtype")]
+        report = run_parallel(core, pair, jobs=2, engine="ste",
+                              oversubscribe=True)
+        assert report.jobs == 1
+        assert report.verdicts() == {
+            p.name: serial.verdicts()[p.name] for p in pair}
+
+
+class TestSuiteSpec:
+    def test_for_core_roundtrip(self, setup):
+        core, mgr, suite, serial = setup
+        spec = SuiteSpec.for_core(core, suite)
+        assert spec.design == "fixed"
+        assert spec.sleep is True
+        core2, mgr2, suite2 = spec.build()
+        assert {p.name for p in suite} <= {p.name for p in suite2}
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(ValueError, match="unknown design"):
+            SuiteSpec(design="imaginary")
+
+    def test_buggy_core_maps(self):
+        core = buggy_core(**GEOMETRY)
+        mgr = BDDManager()
+        suite = build_suite(core, mgr, sleep=False)[:1]
+        spec = SuiteSpec.for_core(core, suite)
+        assert spec.design == "buggy"
+        assert spec.sleep is False
+
+
+class TestPartition:
+    def test_cone_groups_stay_contiguous(self, setup):
+        core, mgr, suite, serial = setup
+        parts = partition_by_cone(core.circuit, suite, 2)
+        names = [n for part in parts for n in part]
+        assert sorted(names) == sorted(p.name for p in suite)
+        assert 1 <= len(parts) <= 2
+
+    def test_large_group_splits_for_balance(self, setup):
+        core, mgr, suite, serial = setup
+        parts = partition_by_cone(core.circuit, suite, 4)
+        # 5 properties over 4 workers: no bin may hoard the suite.
+        assert len(parts) >= 2
+        assert max(len(p) for p in parts) <= 2
+
+    def test_jobs_one_single_bin(self, setup):
+        core, mgr, suite, serial = setup
+        parts = partition_by_cone(core.circuit, suite, 1)
+        assert len(parts) == 1
+        assert len(parts[0]) == len(suite)
+
+    def test_invalid_jobs(self, setup):
+        core, mgr, suite, serial = setup
+        with pytest.raises(ValueError):
+            partition_by_cone(core.circuit, suite, 0)
+
+    def test_deterministic(self, setup):
+        core, mgr, suite, serial = setup
+        a = partition_by_cone(core.circuit, suite, 3)
+        b = partition_by_cone(core.circuit, suite, 3)
+        assert a == b
+
+
+class TestRemoteResult:
+    def test_failure_projection_carries_trace(self):
+        core = buggy_core(**GEOMETRY)
+        mgr = BDDManager()
+        prop = next(p for p in build_suite(core, mgr, sleep=True)
+                    if p.name == "control_RegWrite")
+        session = CheckSession(core.circuit, mgr)
+        result = session.check(prop.antecedent, prop.consequent,
+                               name=prop.name)
+        assert not result.passed
+        remote = _remote_result(result)
+        assert remote.engine == "ste"
+        assert not remote.passed
+        assert remote.failures
+        assert remote.failures[0].node
+        assert remote.cex_text and "counterexample at" in remote.cex_text
+        assert "FAIL" in remote.summary()
+
+    def test_pass_projection(self, setup):
+        core, mgr, suite, serial = setup
+        remote = _remote_result(serial.outcomes[0].result)
+        assert remote.passed and remote.cex_text is None
+        assert "PASS" in remote.summary()
+
+
+class TestFrameReuse:
+    def test_frames_reused_across_properties(self, setup):
+        core, mgr, suite, serial = setup
+        session = CheckSession(core.circuit, mgr, engine="bmc")
+        report = session.run(suite)
+        assert report.verdicts() == serial.verdicts()
+        stats = report.engine_stats
+        assert stats["frames_computed"] > 0
+        # The subset shares the schedule's waveform prefix, so later
+        # properties must reuse frames instead of re-unrolling.
+        assert stats["frames_reused"] > 0
+
+    def test_ablation_matches(self, setup):
+        """Verdicts are identical with the frame cache disabled."""
+        from repro.sat.bmc import BMCEngine
+        core, mgr, suite, serial = setup
+        session = CheckSession(core.circuit, mgr, engine="bmc")
+        old = BMCEngine.frame_reuse
+        BMCEngine.frame_reuse = False
+        try:
+            report = session.run(suite)
+        finally:
+            BMCEngine.frame_reuse = old
+        assert report.verdicts() == serial.verdicts()
+        assert report.engine_stats["frames_reused"] == 0

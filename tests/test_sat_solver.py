@@ -220,3 +220,80 @@ class TestHousekeeping:
         assert solver.solve() is True
         assert solver.value(CNF.TRUE) is True
         assert solver.value(CNF.FALSE) is False
+
+
+class TestInterrupt:
+    def test_interrupt_before_search(self):
+        from repro.sat import SolverInterrupted
+        solver = pigeonhole(6, 5)
+        with pytest.raises(SolverInterrupted):
+            solver.solve(interrupt=lambda: True)
+
+    def test_interrupt_mid_search_leaves_state_valid(self):
+        from repro.sat import SolverInterrupted
+        solver = pigeonhole(6, 5)
+        polls = itertools.count()
+        with pytest.raises(SolverInterrupted):
+            solver.solve(interrupt=lambda: next(polls) >= 3)
+        # The solver survives the interrupt: the same query still
+        # decides correctly afterwards, learnt clauses and all.
+        assert solver.solve() is False
+
+    def test_no_interrupt_callback_is_free(self):
+        solver = pigeonhole(4, 4)
+        assert solver.solve() is True
+
+
+class TestMarkRetract:
+    def test_retract_restores_satisfiability(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 2])
+        mark = solver.mark()
+        solver.add_clause([-2])               # now UNSAT
+        assert solver.solve() is False
+        solver.retract_to(mark)
+        assert solver.solve() is True
+        assert solver.value(2)
+
+    def test_retract_drops_level0_units(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        mark = solver.mark()
+        solver.add_clause([-2])               # unit: forces 1
+        assert solver.solve() is True
+        assert solver.value(1) and not solver.value(2)
+        solver.retract_to(mark)
+        assert solver.solve([2]) is True      # 2 free again
+        assert solver.value(2)
+
+    def test_retract_after_search_drops_learnts(self):
+        solver = pigeonhole(5, 4)
+        mark = solver.mark()
+        assert solver.solve() is False        # learns clauses, sets unsat
+        solver.retract_to(mark)
+        # Nothing was added after the mark, so the retraction only
+        # clears the learnt DB; the instance is still pigeonhole-UNSAT.
+        assert solver.solve() is False
+
+    def test_retract_scratch_query_pattern(self):
+        # The intended shape: a base theory, repeated scratch extensions.
+        solver = Solver()
+        solver.add_clause([1, 2, 3])
+        for forbidden in (1, 2, 3):
+            mark = solver.mark()
+            solver.add_clause([-forbidden])
+            assert solver.solve() is True
+            solver.retract_to(mark)
+        assert solver.solve([1]) is True      # base theory untouched
+        assert solver.value(1)
+
+    def test_stale_mark_rejected(self):
+        solver = Solver()
+        solver.add_clause([1, 2])
+        mark = solver.mark()
+        solver.add_clause([3, 4])
+        solver.retract_to(mark)
+        solver2 = Solver()
+        with pytest.raises(SATError):
+            solver2.retract_to(mark._replace(clauses=99))
