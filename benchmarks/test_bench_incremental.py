@@ -1,0 +1,126 @@
+"""E16 — persistent caching & incremental re-check: cold vs warm.
+
+Pins what the repro.core layer buys on the paper's own iterative
+workflow (edit → re-verify) for the Property II sleep/resume suite at
+the 2/2/2 geometry:
+
+* **cold** — empty cache: every property compiles and decides, the
+  verdict store is populated on the way out;
+* **warm** — unchanged circuit: every cone fingerprint matches, the
+  whole suite is served from disk.  The headline row this bench must
+  keep true: warm is >= 5x faster than cold wall clock;
+* **edit** — one cone edited (the WriteRegister mux bug): only the
+  dirty cone's properties re-decide, everything else stays served.
+
+Verdict parity of every configuration against a cold serial STE run on
+the same netlist is asserted on the way (cache-served failures carry
+their failure points, so the comparison is bit-level).  Cyclic GC is
+quiesced inside the measured regions, same protocol as E15.
+"""
+
+import contextlib
+import gc
+import shutil
+import tempfile
+import time
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.retention import build_suite
+from repro.ste import CheckSession
+
+from .conftest import once
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+#: Wall-clock results shared across the module's benches, keyed by
+#: configuration name (pytest runs the file top to bottom).
+_walls = {}
+_verdicts = {}
+
+#: One cache directory shared by the module's benches: "cold" fills
+#: it, "warm"/"edit" consume it — the bench *is* the re-run workflow.
+_CACHE_DIR = tempfile.mkdtemp(prefix="repro-e16-cache-")
+
+#: The one-cone edit: invert a WriteRegister mux bit (a wrong-
+#: destination bug whose cone holds only the two decode_write_register
+#: properties).
+_EDIT_NODE = "WriteRegister[1]"
+_DIRTY = {"decode_write_register_rtype", "decode_write_register_load"}
+
+
+@contextlib.contextmanager
+def _quiet_gc():
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+def _fresh_suite(edit=False):
+    core = fixed_core(**GEOMETRY)
+    if edit:
+        core.circuit.replace_gate(_EDIT_NODE, op="NOT")
+    mgr = BDDManager()
+    suite = build_suite(core, mgr, sleep=True)
+    return core, mgr, suite
+
+
+def _run(cache_dir=None, edit=False):
+    core, mgr, suite = _fresh_suite(edit=edit)
+    with _quiet_gc():
+        started = time.perf_counter()
+        session = CheckSession(core.circuit, mgr, cache=cache_dir)
+        report = session.run(suite)
+        return report, time.perf_counter() - started
+
+
+def test_bench_e16_cold_populates(benchmark):
+    shutil.rmtree(_CACHE_DIR, ignore_errors=True)
+    report, wall = once(benchmark, _run, _CACHE_DIR)
+    _walls["cold"] = wall
+    _verdicts["cold"] = report.verdicts()
+    assert report.passed
+    assert report.cache_hits == 0
+    assert report.cache_stored == len(report.outcomes)
+    print(f"\n[E16] cold (store)      {wall:7.2f}s  {report.summary()}")
+
+
+def test_bench_e16_warm_serves(benchmark):
+    report, wall = once(benchmark, _run, _CACHE_DIR)
+    _walls["warm"] = wall
+    _verdicts["warm"] = report.verdicts()
+    assert report.verdicts() == _verdicts["cold"], \
+        "warm verdicts must be bit-identical to the cold run"
+    assert report.cache_hits == len(report.outcomes), \
+        "an unchanged suite must be served entirely from the cache"
+    speedup = _walls["cold"] / wall
+    print(f"\n[E16] warm (all hits)   {wall:7.2f}s  {report.summary()}")
+    print(f"[E16] warm speedup: {speedup:.1f}x over cold")
+    assert speedup >= 5.0, (
+        f"warm re-run must be >= 5x faster than cold "
+        f"(got {speedup:.2f}x: cold {_walls['cold']:.2f}s, "
+        f"warm {wall:.2f}s)")
+
+
+def test_bench_e16_one_cone_edit(benchmark):
+    report, wall = once(benchmark, _run, _CACHE_DIR, edit=True)
+    _walls["edit"] = wall
+    n = len(report.outcomes)
+    rechecked = {o.name for o in report.outcomes if not o.cached}
+    assert rechecked == _DIRTY, \
+        "only the edited cone's properties may re-decide"
+    assert report.cache_hits == n - len(_DIRTY)
+    # Bit-identical to a cold serial STE run on the edited netlist.
+    cold_core, cold_mgr, cold_suite = _fresh_suite(edit=True)
+    cold_report = CheckSession(cold_core.circuit, cold_mgr).run(cold_suite)
+    assert report.verdicts() == cold_report.verdicts()
+    assert not report.verdicts()["decode_write_register_rtype"]
+    print(f"\n[E16] one-cone edit     {wall:7.2f}s  re-checked "
+          f"{len(rechecked)}/{n} properties  {report.summary()}")
+    if "cold" in _walls:
+        print(f"[E16] edit re-check cost: {wall / _walls['cold']:.2f}x "
+              f"of a cold run")
+    shutil.rmtree(_CACHE_DIR, ignore_errors=True)

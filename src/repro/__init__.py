@@ -18,6 +18,9 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.fsm``       circuit -> executable ternary model (exlif2exe)
 ``repro.sat``       CNF/Tseitin compiler, CDCL solver, dual-rail
                     encoder, SAT/BMC property checker
+``repro.core``      the checking core: engine registry, problem
+                    fingerprints, persistent verdict cache, session
+                    orchestrator
 ``repro.engine``    the shared EngineReport surface of both backends
 ``repro.ste``       trajectory formulas, the checker, counterexamples,
                     symbolic indexing, inference rules
@@ -33,6 +36,6 @@ Package map (see DESIGN.md for the full inventory):
 
 __version__ = "1.0.0"
 
-__all__ = ["bdd", "ternary", "netlist", "blif", "fsm", "sat", "engine",
-           "ste", "cpu", "retention", "parallel", "sim", "harness",
-           "__version__"]
+__all__ = ["bdd", "ternary", "netlist", "blif", "fsm", "sat", "core",
+           "engine", "ste", "cpu", "retention", "parallel", "sim",
+           "harness", "__version__"]

@@ -11,6 +11,11 @@ backend and prints the per-property verdicts plus the session report::
     python -m repro --design buggy --suite 2 --cex
                                             # replay the paper's bug
     python -m repro --only fetch_pc_plus4,control_PCWrite
+    python -m repro --cache-dir .repro-cache
+                                            # warm re-runs skip clean
+                                            # cones via the verdict
+                                            # cache; --rerun picks the
+                                            # re-check policy
 
 Exit status: 0 when every checked property passed, 1 when some property
 failed, 2 on a usage error such as an unknown ``--only`` name (so the
@@ -20,14 +25,15 @@ command composes with CI and shell scripts).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .bdd import BDDManager
+from .core import CheckSession, RERUN_MODES, engine_names
 from .cpu import buggy_core, fixed_core
-from .engine import ENGINES
 from .retention import build_suite
-from .ste import CheckSession, extract, format_trace
+from .ste import cex_text_for
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -36,7 +42,7 @@ def _parser() -> argparse.ArgumentParser:
         description="Check the DATE'09 retention property suites "
                     "(Property I / Property II) with the STE (BDD) or "
                     "BMC (SAT) engine.")
-    parser.add_argument("--engine", choices=ENGINES, default="ste",
+    parser.add_argument("--engine", choices=engine_names(), default="ste",
                         help="verification backend (default: ste)")
     parser.add_argument("--suite", choices=("1", "2", "both"),
                         default="both",
@@ -60,6 +66,22 @@ def _parser() -> argparse.ArgumentParser:
                         help="comma-separated property-name filter "
                              "(validated against the suite; unknown "
                              "names are an error)")
+    parser.add_argument("--cache-dir", metavar="PATH",
+                        default=os.environ.get("REPRO_CACHE_DIR"),
+                        help="persistent verdict-cache directory: warm "
+                             "re-runs skip properties whose cone/"
+                             "property fingerprints are unchanged "
+                             "(default: $REPRO_CACHE_DIR, unset = no "
+                             "cache)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the persistent cache even when "
+                             "--cache-dir or $REPRO_CACHE_DIR is set")
+    parser.add_argument("--rerun", choices=RERUN_MODES, default="dirty",
+                        help="with a cache: all = re-check everything "
+                             "(refreshing stored verdicts), dirty = "
+                             "re-check only fingerprint-dirty "
+                             "properties (default), failed = dirty "
+                             "plus previously-failed properties")
     parser.add_argument("--extras", action="store_true",
                         help="include the extra (beyond-the-paper) "
                              "properties")
@@ -72,11 +94,20 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_cache_line(report, cache_dir: str, rerun: str) -> None:
+    checked = report.cache_hits + report.cache_misses
+    pct = (100.0 * report.cache_hits / checked) if checked else 0.0
+    print(f"cache[{rerun}] {cache_dir}: "
+          f"{report.cache_hits}/{checked} checks skipped ({pct:.0f}%), "
+          f"{report.cache_stored} stored")
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
     if args.jobs < 1:
         print("error: --jobs must be at least 1", file=sys.stderr)
         return 2
+    cache_dir = None if args.no_cache else args.cache_dir
     make_core = buggy_core if args.design == "buggy" else fixed_core
     core = make_core(nregs=args.nregs, imem_depth=args.imem_depth,
                      dmem_depth=args.dmem_depth)
@@ -119,7 +150,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                              include_extras=args.extras)
             report = run_parallel(core, suite, jobs=args.jobs,
                                   engine=args.engine, spec=spec,
-                                  mgr=mgr)
+                                  mgr=mgr, cache_dir=cache_dir,
+                                  rerun=args.rerun)
             for outcome in report.outcomes:
                 if not args.quiet:
                     print(f"  {outcome.name:<28} "
@@ -131,7 +163,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         print(outcome.result.cex_text)
             print(report.summary())
         else:
-            session = CheckSession(core.circuit, mgr, engine=args.engine)
+            session = CheckSession(core.circuit, mgr, engine=args.engine,
+                                   cache=cache_dir, rerun=args.rerun)
             for prop in suite:
                 result = session.check(prop.antecedent, prop.consequent,
                                        name=prop.name)
@@ -141,10 +174,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 if not result.passed:
                     all_passed = False
                     if args.cex:
-                        cex = extract(result)
-                        if cex is not None:
-                            print(format_trace(cex))
-            print(session.report().summary())
+                        # Cache-served failures carry a pre-rendered
+                        # trace instead of live BDD/solver state.
+                        text = cex_text_for(result)
+                        if text:
+                            print(text)
+            report = session.report()
+            session.close()
+            print(report.summary())
+        if cache_dir:
+            _print_cache_line(report, cache_dir, args.rerun)
         print()
     return 0 if all_passed else 1
 

@@ -1,0 +1,42 @@
+"""repro.core — the checking-core layer.
+
+The structural spine the verification stack hangs off: engine
+registry, problem fingerprints, persistent verdict cache, and the
+session orchestrator.  Carved out of the former session/BMC/parallel
+plumbing so that "this cone of this circuit under this schedule" has
+one stable identity shared by
+
+* engine dispatch (:mod:`~repro.core.registry` — ``ste``/``bmc``/
+  ``portfolio`` as plugins behind the :class:`~repro.core.registry.Engine`
+  protocol),
+* on-disk caching (:mod:`~repro.core.cache` — verdicts, cost model,
+  race history keyed by :mod:`~repro.core.fingerprint` hashes),
+* incremental re-check after circuit edits (a changed cell dirties
+  exactly the cones whose fingerprints change),
+* the parallel work queue (:mod:`repro.parallel` orders chunks by the
+  cached per-property cost model).
+
+Import order note: :mod:`repro.ste` re-exports the session from here,
+so this package defers its own :mod:`repro.ste` imports to call time.
+"""
+
+from . import engines as _engines  # registers the built-in backends
+from .cache import SCHEMA_VERSION, CachedFailure, CachedResult, VerdictCache
+from .fingerprint import (bdd_fingerprint, check_fingerprint,
+                          circuit_fingerprint, cone_fingerprint,
+                          formula_fingerprint, property_fingerprint,
+                          schedule_fingerprint, ternary_fingerprint)
+from .registry import (Engine, EngineSpec, engine_names, engine_spec,
+                       register_engine, unregister_engine)
+from .session import (RERUN_MODES, CheckSession, PropertyOutcome,
+                      SessionReport)
+
+__all__ = [
+    "CheckSession", "SessionReport", "PropertyOutcome", "RERUN_MODES",
+    "Engine", "EngineSpec", "register_engine", "unregister_engine",
+    "engine_spec", "engine_names",
+    "VerdictCache", "CachedResult", "CachedFailure", "SCHEMA_VERSION",
+    "bdd_fingerprint", "ternary_fingerprint", "formula_fingerprint",
+    "circuit_fingerprint", "cone_fingerprint", "schedule_fingerprint",
+    "property_fingerprint", "check_fingerprint",
+]

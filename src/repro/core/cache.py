@@ -1,0 +1,262 @@
+"""Persistent on-disk verdict cache, keyed by problem fingerprint.
+
+The paper's verification loop is *iterative*: edit the RTL or the UPF
+power intent, re-check the suite, repeat.  Without persistence every
+iteration starts cold — all 26 properties × both schedules recompile
+and re-decide even when a single cone changed.  This module is the
+warm store: a small sqlite database (stdlib, safe for concurrent
+worker processes) mapping :func:`repro.core.fingerprint.check_fingerprint`
+keys to
+
+* the verdict surface (passed / vacuous / failure points / depth /
+  checked points) plus a pre-rendered counterexample trace for
+  failures — enough to reconstruct a report without any live BDD or
+  solver state;
+* the deciding engine and per-property wall time — the *cost model*
+  the parallel work queue orders chunks by;
+* per-cone portfolio race history (incumbent engine + per-engine best
+  times), so a warm portfolio run starts from historical winners
+  instead of re-racing settled cones.
+
+The schema is versioned: entries written by a different
+:data:`SCHEMA_VERSION` are dropped wholesale on open (a stale cache is
+re-populated, never trusted).  Verdict identity is the fingerprint's
+guarantee — equal keys mean the same cone asked the same property, so
+serving the stored verdict is bit-identical to re-running the check.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time as _time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = ["SCHEMA_VERSION", "CachedFailure", "CachedResult",
+           "VerdictCache"]
+
+#: Bump on any incompatible change to the tables or the stored JSON
+#: shapes; caches written under a different version are discarded.
+SCHEMA_VERSION = 1
+
+_DB_NAME = "verdicts.sqlite"
+
+
+@dataclass(frozen=True)
+class CachedFailure:
+    """One (time, node) violation point, as stored."""
+
+    time: int
+    node: str
+
+
+@dataclass
+class CachedResult:
+    """A verdict served from the persistent cache.
+
+    Implements the :class:`repro.engine.EngineReport` surface (plus
+    ``cex_text``/``checked_points``, mirroring
+    :class:`repro.parallel.RemoteResult`), so session aggregation, the
+    CLI and the parallel merge treat it like any live engine report.
+    ``engine`` names the backend that originally decided the property;
+    ``cached`` marks the provenance.
+    """
+
+    engine: str
+    passed: bool
+    vacuous: bool
+    failures: List[CachedFailure]
+    depth: int
+    checked_points: int
+    elapsed_seconds: float
+    cex_text: Optional[str] = None
+    cached: bool = True
+
+    def summary(self) -> str:
+        status = "PASS" if self.passed else \
+            f"FAIL({len(self.failures)} points)"
+        if self.vacuous:
+            status += " [VACUOUS]"
+        return (f"{self.engine.upper()} {status} depth={self.depth} "
+                f"points={self.checked_points} "
+                f"time={self.elapsed_seconds:.3f}s [cached]")
+
+
+class VerdictCache:
+    """Fingerprint-keyed persistent store of verdicts, costs and race
+    history.
+
+    One instance per process; worker processes each open their own
+    (sqlite serialises concurrent writers via its own locking, and the
+    rows are tiny).  All methods are safe on a cache directory shared
+    by racing workers.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], *,
+                 schema_version: int = SCHEMA_VERSION):
+        self.directory = os.fspath(path)
+        os.makedirs(self.directory, exist_ok=True)
+        self.db_path = os.path.join(self.directory, _DB_NAME)
+        self.schema_version = schema_version
+        self._conn = sqlite3.connect(self.db_path, timeout=30.0)
+        self._conn.execute("PRAGMA busy_timeout=30000")
+        self._init_schema()
+        #: process-local traffic counters (session-report food)
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+
+    # ------------------------------------------------------------------
+    def _init_schema(self) -> None:
+        conn = self._conn
+        with conn:
+            conn.execute("CREATE TABLE IF NOT EXISTS meta "
+                         "(key TEXT PRIMARY KEY, value TEXT)")
+            row = conn.execute(
+                "SELECT value FROM meta WHERE key='schema_version'"
+            ).fetchone()
+            if row is not None and int(row[0]) != self.schema_version:
+                # A stale schema is ignored wholesale: drop and rebuild.
+                conn.execute("DROP TABLE IF EXISTS verdicts")
+                conn.execute("DROP TABLE IF EXISTS race_history")
+                row = None
+            if row is None:
+                conn.execute(
+                    "INSERT OR REPLACE INTO meta VALUES "
+                    "('schema_version', ?)", (str(self.schema_version),))
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS verdicts ("
+                " fingerprint TEXT PRIMARY KEY,"
+                " cone_fp TEXT NOT NULL,"
+                " name TEXT,"
+                " engine TEXT NOT NULL,"
+                " passed INTEGER NOT NULL,"
+                " vacuous INTEGER NOT NULL,"
+                " depth INTEGER NOT NULL,"
+                " checked_points INTEGER NOT NULL,"
+                " elapsed REAL NOT NULL,"
+                " cone_nodes INTEGER NOT NULL,"
+                " failures TEXT NOT NULL,"
+                " cex_text TEXT,"
+                " created REAL NOT NULL)")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS race_history ("
+                " cone_fp TEXT PRIMARY KEY,"
+                " incumbent TEXT NOT NULL,"
+                " times TEXT NOT NULL)")
+            conn.execute("CREATE INDEX IF NOT EXISTS verdicts_by_name "
+                         "ON verdicts (name)")
+
+    # ------------------------------------------------------------------
+    # Verdicts
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: str
+               ) -> Optional[Tuple[CachedResult, int]]:
+        """(cached result, cone node count) for *fingerprint*, or None.
+        Counts a hit/miss either way."""
+        row = self._conn.execute(
+            "SELECT engine, passed, vacuous, depth, checked_points, "
+            "elapsed, cone_nodes, failures, cex_text FROM verdicts "
+            "WHERE fingerprint=?", (fingerprint,)).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        (engine, passed, vacuous, depth, checked_points, elapsed,
+         cone_nodes, failures_json, cex_text) = row
+        failures = [CachedFailure(int(t), n)
+                    for t, n in json.loads(failures_json)]
+        return (CachedResult(
+            engine=engine,
+            passed=bool(passed),
+            vacuous=bool(vacuous),
+            failures=failures,
+            depth=int(depth),
+            checked_points=int(checked_points),
+            elapsed_seconds=float(elapsed),
+            cex_text=cex_text,
+        ), int(cone_nodes))
+
+    def store(self, fingerprint: str, *, cone_fp: str, name: str,
+              engine: str, result, cone_nodes: int,
+              cex_text: Optional[str] = None) -> None:
+        """Persist one check's outcome.  *result* is any
+        :class:`~repro.engine.EngineReport`; failures collapse to
+        (time, node) pairs, counterexamples to their rendered trace."""
+        failures = json.dumps([[f.time, f.node] for f in result.failures])
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO verdicts VALUES "
+                "(?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                (fingerprint, cone_fp, name, engine,
+                 int(result.passed), int(result.vacuous),
+                 int(result.depth),
+                 int(getattr(result, "checked_points", 0)),
+                 float(result.elapsed_seconds), int(cone_nodes),
+                 failures, cex_text, _time.time()))
+        self.stored += 1
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def costs_by_name(self, names: Iterable[str]) -> Dict[str, float]:
+        """Last recorded wall time per property name — the cost model
+        the parallel work queue orders chunks by.  Names are a
+        heuristic key (they stay stable across geometries); a missing
+        name simply has no prediction."""
+        names = list(names)
+        if not names:
+            return {}
+        marks = ",".join("?" for _ in names)
+        rows = self._conn.execute(
+            f"SELECT name, MAX(elapsed) FROM verdicts "
+            f"WHERE name IN ({marks}) GROUP BY name", names).fetchall()
+        return {name: float(cost) for name, cost in rows
+                if name is not None}
+
+    # ------------------------------------------------------------------
+    # Portfolio race history
+    # ------------------------------------------------------------------
+    def race_history(self, cone_fp: str
+                     ) -> Optional[Tuple[str, Dict[str, float]]]:
+        """(incumbent engine, per-engine best-time map) recorded for a
+        cone, or None for a cone never raced."""
+        row = self._conn.execute(
+            "SELECT incumbent, times FROM race_history WHERE cone_fp=?",
+            (cone_fp,)).fetchone()
+        if row is None:
+            return None
+        incumbent, times_json = row
+        return incumbent, {e: float(t)
+                           for e, t in json.loads(times_json).items()}
+
+    def store_race(self, cone_fp: str, incumbent: str,
+                   times: Dict[str, float]) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO race_history VALUES (?,?,?)",
+                (cone_fp, incumbent, json.dumps(times)))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        entries = self._conn.execute(
+            "SELECT COUNT(*) FROM verdicts").fetchone()[0]
+        return {"hits": self.hits, "misses": self.misses,
+                "stored": self.stored, "entries": int(entries)}
+
+    def clear(self) -> None:
+        """Drop every stored verdict and race record (schema kept)."""
+        with self._conn:
+            self._conn.execute("DELETE FROM verdicts")
+            self._conn.execute("DELETE FROM race_history")
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "VerdictCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

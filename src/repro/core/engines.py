@@ -1,0 +1,103 @@
+"""The built-in backends behind the :mod:`repro.core.registry`.
+
+Each class here adapts one existing decision procedure to the
+:class:`~repro.core.registry.Engine` protocol — one instance per cone,
+owning that cone's warm artefacts:
+
+* :class:`STEEngine` — compiles the cone once
+  (:func:`repro.fsm.compile_circuit`) and decides properties through
+  :func:`repro.ste.checker.check_compiled`.  ``prepare`` is trivial
+  (STE's whole computation touches the manager, so the split point
+  sits before the check, not inside it).
+* :class:`BMCSatEngine` — wraps :class:`repro.sat.bmc.BMCEngine`
+  (interned CNF, incremental solver, frame cache) and binds the BDD
+  manager the property formulas were built on, so the protocol's
+  ``prepare(antecedent, consequent)`` matches both backends.
+
+``portfolio`` registers as a *meta* engine — it orchestrates these two
+through the session's racer (:mod:`repro.core.portfolio`) rather than
+deciding cones itself.
+
+Imports of :mod:`repro.ste` / :mod:`repro.sat` internals are deferred
+to first use: ``repro.core`` must be importable while those packages'
+``__init__`` modules are still executing (they re-export the session
+from here).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..bdd import BDDManager
+from ..engine import EngineReport
+from ..netlist import Circuit
+from .registry import register_engine
+
+__all__ = ["STEEngine", "BMCSatEngine", "register_builtin_engines"]
+
+
+class STEEngine:
+    """BDD/STE backend instance for one cone."""
+
+    name = "ste"
+
+    def __init__(self, circuit: Circuit, mgr: BDDManager):
+        from ..fsm import compile_circuit
+        self.model = compile_circuit(circuit, mgr, validate=False)
+
+    def prepare(self, antecedent, consequent,
+                abort: Optional[Callable[[], bool]] = None
+                ) -> Tuple[Any, Any]:
+        return (antecedent, consequent)
+
+    def solve(self, prepared: Tuple[Any, Any],
+              abort: Optional[Callable[[], bool]] = None) -> EngineReport:
+        from ..ste.checker import check_compiled
+        antecedent, consequent = prepared
+        return check_compiled(self.model, antecedent, consequent,
+                              abort=abort)
+
+    def check(self, antecedent, consequent) -> EngineReport:
+        return self.solve(self.prepare(antecedent, consequent))
+
+    def stats(self) -> Dict[str, int]:
+        # The manager is session-shared; its statistics are aggregated
+        # once at session level, not per cone.
+        return {}
+
+
+class BMCSatEngine:
+    """SAT/BMC backend instance for one cone — the incremental
+    :class:`~repro.sat.bmc.BMCEngine` plus the manager binding."""
+
+    name = "bmc"
+
+    def __init__(self, circuit: Circuit, mgr: BDDManager):
+        from ..sat.bmc import BMCEngine
+        self.engine = BMCEngine(circuit)
+        self.mgr = mgr
+
+    def prepare(self, antecedent, consequent,
+                abort: Optional[Callable[[], bool]] = None) -> Any:
+        return self.engine.prepare(self.mgr, antecedent, consequent,
+                                   abort=abort)
+
+    def solve(self, prepared: Any,
+              abort: Optional[Callable[[], bool]] = None) -> EngineReport:
+        return self.engine.solve_prepared(prepared, abort=abort)
+
+    def check(self, antecedent, consequent) -> EngineReport:
+        return self.engine.check(self.mgr, antecedent, consequent)
+
+    def stats(self) -> Dict[str, int]:
+        return self.engine.stats()
+
+
+def register_builtin_engines() -> None:
+    """Idempotently (re-)register the stock backends."""
+    register_engine("ste", STEEngine, replace=True)
+    register_engine("bmc", BMCSatEngine, replace=True)
+    register_engine("portfolio", meta=True, replace=True)
+
+
+register_builtin_engines()

@@ -1,0 +1,215 @@
+"""The portfolio meta-engine: race the registered backends per cone.
+
+Registered as ``engine="portfolio"`` (a *meta* entry in the
+:mod:`repro.core.registry`): it decides properties by orchestrating
+the session's ``ste`` and ``bmc`` engine instances instead of owning a
+cone itself.  The strategy (unchanged from its previous home inside
+``CheckSession``):
+
+* **Novel cone** — an optimistic STE probe under a small budget (STE
+  has no encode stage, so quick control cones never pay the BDD→CNF
+  conversion), then a flat two-thread race with cooperative
+  cancellation of the loser.
+* **Cone with history** — sticky-incumbent budgeted alternation: the
+  engine that last won the cone runs alone under ``stagger_factor ×``
+  its largest recorded win, then the challenger gets a trailing slice,
+  budgets growing geometrically until a verdict lands.  Aborted slices
+  resume cheaply (computed tables / frame cache / learnt clauses all
+  survive).
+
+Race history lives on the session (``_race_history`` /
+``_race_incumbent``) and — when a persistent cache is attached — is
+seeded from and written back to
+:class:`repro.core.cache.VerdictCache`, so a warm run starts from
+historical winners instead of re-racing settled cones.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading as _threading
+import time as _time
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from ..engine import EngineAborted, EngineReport
+
+if TYPE_CHECKING:
+    from .session import CheckSession
+
+__all__ = ["PortfolioRacer"]
+
+
+class PortfolioRacer:
+    """Per-session orchestrator racing STE against BMC per property."""
+
+    name = "portfolio"
+
+    def __init__(self, session: "CheckSession"):
+        self.session = session
+
+    # ------------------------------------------------------------------
+    def _run_solo(self, engine: str, antecedent, consequent, model,
+                  budget: Optional[float]
+                  ) -> Tuple[Optional[EngineReport], float]:
+        """One engine alone, bounded by *budget* seconds through its
+        cooperative abort hook (no threads involved).  Returns
+        ``(result, elapsed)``; the result is None on overrun, with the
+        engine's persistent artefacts intact."""
+        session = self.session
+        t0 = _time.perf_counter()
+        abort = (None if budget is None
+                 else lambda: _time.perf_counter() - t0 > budget)
+        try:
+            if engine == "ste":
+                from ..ste.checker import check_compiled
+                result: EngineReport = check_compiled(
+                    model, antecedent, consequent, abort=abort)
+            else:
+                adapter, _ = session.engine_for("bmc", antecedent,
+                                                consequent)
+                query = adapter.prepare(antecedent, consequent,
+                                        abort=abort)
+                result = adapter.solve(query, abort=abort)
+        except EngineAborted:
+            return None, _time.perf_counter() - t0
+        return result, _time.perf_counter() - t0
+
+    def _race_flat(self, antecedent, consequent, model,
+                   history: Dict[str, float]
+                   ) -> Tuple[EngineReport, str]:
+        """The flat two-thread race for a cone with no history.
+
+        All BDD-manager work — cone compilation and the BMC prepare
+        stage — happens serially before the threads start, so the two
+        racers touch disjoint state (the STE thread owns the manager,
+        the BMC thread only its CNF/solver).  The loser is cancelled
+        cooperatively and joined before this returns; its persistent
+        per-cone artefacts survive for the next property."""
+        from ..ste.checker import check_compiled
+        adapter, _ = self.session.engine_for("bmc", antecedent, consequent)
+        query = adapter.prepare(antecedent, consequent)
+        cancel = _threading.Event()
+        results: _queue.Queue = _queue.Queue()
+
+        def racer(name, fn):
+            t0 = _time.perf_counter()
+            try:
+                outcome = fn()
+            except EngineAborted:
+                results.put((name, None, 0.0))
+                return
+            except BaseException as exc:     # surfaced to the caller
+                results.put((name, exc, 0.0))
+                return
+            results.put((name, outcome, _time.perf_counter() - t0))
+
+        runners = {
+            "ste": lambda: check_compiled(model, antecedent, consequent,
+                                          abort=cancel.is_set),
+            "bmc": lambda: adapter.solve(query, abort=cancel.is_set),
+        }
+        threads = [_threading.Thread(target=racer,
+                                     args=(name, runners[name]),
+                                     daemon=True)
+                   for name in ("ste", "bmc")]
+        for th in threads:
+            th.start()
+        winner: Optional[str] = None
+        result: Optional[EngineReport] = None
+        error: Optional[BaseException] = None
+        for _ in range(len(threads)):
+            name, payload, elapsed = results.get()
+            if payload is None:
+                continue                     # aborted loser
+            if isinstance(payload, BaseException):
+                error = error or payload
+                continue
+            winner, result = name, payload
+            history[name] = max(history.get(name, 0.0), elapsed)
+            break
+        cancel.set()
+        for th in threads:
+            th.join()
+        if winner is None or result is None:
+            if error is not None:
+                raise error
+            raise RuntimeError("portfolio race produced no verdict")
+        # A photo-finish loser that completed before the cancel also
+        # carries a real timing — fold it into the cone history.
+        while True:
+            try:
+                name, payload, elapsed = results.get_nowait()
+            except _queue.Empty:
+                break
+            if payload is not None and not isinstance(payload,
+                                                      BaseException):
+                history[name] = max(history.get(name, 0.0), elapsed)
+        return result, winner
+
+    def check(self, antecedent, consequent
+              ) -> Tuple[EngineReport, str, bool, int]:
+        """Decide one property by portfolio; first verdict wins.
+
+        Returns ``(result, winning engine, STE model cached, cone node
+        count)``.  Novel cone: optimistic STE probe, then flat thread
+        race.  Cone with history: budgeted alternation — the incumbent
+        runs solo under ``stagger_factor`` times its largest winning
+        time (skipping the other engine's entire cost, including the
+        BMC prepare/encode stage, which is what makes a settled
+        portfolio as cheap as the better single engine), then the
+        challenger gets a trailing slice, and budgets quadruple per
+        round until a verdict lands.
+        """
+        session = self.session
+        key, _ = session._cone_for(antecedent, consequent)
+        model, reused_m = session.model_for(antecedent, consequent)
+        history = session._race_history.setdefault(key, {})
+        cone_nodes = len(model.circuit.all_nodes())
+
+        incumbent = session._race_incumbent.get(key)
+        if incumbent is None or not session.stagger_factor:
+            # Optimistic STE probe before the full race: STE has no
+            # encode stage, so a novel cone whose STE check is quick
+            # (the common case for control cones) never pays the BMC
+            # BDD→CNF conversion at all.
+            if session.stagger_factor:
+                result, elapsed = self._run_solo(
+                    "ste", antecedent, consequent, model,
+                    session.race_probe_budget)
+                if result is not None:
+                    history["ste"] = max(history.get("ste", 0.0), elapsed)
+                    session._race_incumbent[key] = "ste"
+                    return result, "ste", reused_m, cone_nodes
+            result, winner = self._race_flat(antecedent, consequent,
+                                             model, history)
+            session._race_incumbent[key] = winner
+            return result, winner, reused_m, cone_nodes
+
+        challenger = "bmc" if incumbent == "ste" else "ste"
+        # Budget off the *largest* win recorded on the cone (the
+        # history keeps per-engine running maxima): per-property costs
+        # within one cone vary by orders of magnitude, and a budget
+        # keyed to the last (possibly tiny) win would churn through
+        # alternation rounds on every expensive property.  The
+        # challenger's slice trails the incumbent's by one growth step:
+        # the incumbent's aborted slices are recovered by its caches on
+        # the next attempt, but a losing challenger's slices are the
+        # alternation's only dead cost, so they are kept small until
+        # the incumbent has genuinely stalled.
+        budget = max(0.25, session.stagger_factor * max(history.values(),
+                                                        default=0.1))
+        while True:
+            result, elapsed = self._run_solo(
+                incumbent, antecedent, consequent, model, budget)
+            if result is None:
+                result, elapsed = self._run_solo(
+                    challenger, antecedent, consequent, model,
+                    budget / 4)
+                engine = challenger
+            else:
+                engine = incumbent
+            if result is not None:
+                history[engine] = max(history.get(engine, 0.0), elapsed)
+                session._race_incumbent[key] = engine
+                return result, engine, reused_m, cone_nodes
+            budget *= 4

@@ -1,0 +1,125 @@
+"""The engine registry — verification backends as plugins.
+
+Before this layer existed, engine dispatch was hand-rolled inside
+``CheckSession``: an ``if engine == "ste" … elif engine == "bmc" …``
+ladder plus a parallel pair of per-cone caches.  The registry replaces
+that with one declared surface:
+
+* :class:`Engine` — the protocol every backend instance implements:
+  ``prepare`` (the manager-touching half), ``solve`` (the
+  manager-free decision half, cooperative-abort capable), ``stats``.
+  One engine instance serves one cone and persists its warm artefacts
+  (compiled BDD model, incremental SAT context) across the cone's
+  properties.
+* :class:`EngineSpec` — a registered backend: a factory building an
+  :class:`Engine` for ``(cone circuit, BDD manager)``, or a *meta*
+  engine (``portfolio``) that orchestrates other registered engines
+  through the session instead of deciding properties itself.
+* :func:`register_engine` / :func:`engine_spec` /
+  :func:`engine_names` — the plugin surface.  ``CheckSession`` is now
+  a thin orchestrator over this table; adding a fourth backend is a
+  single ``register_engine`` call, no session edits.
+
+The built-in engines (``ste``, ``bmc``, ``portfolio``) register when
+:mod:`repro.core` is imported; :data:`repro.engine.ENGINES` remains as
+the frozen names of those built-ins for back-compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, Optional, Protocol, Tuple,
+                    runtime_checkable)
+
+from ..bdd import BDDManager
+from ..engine import EngineReport
+from ..netlist import Circuit
+
+__all__ = ["Engine", "EngineSpec", "register_engine", "unregister_engine",
+           "engine_spec", "engine_names", "require_engine"]
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """One cone's live backend instance.
+
+    ``prepare`` runs in the thread that owns the BDD manager (it may
+    read formula guards and computed tables) and returns a
+    manager-free query object; ``solve`` decides that query and may
+    run on any thread, polling *abort* cooperatively — when the
+    callback fires the engine raises
+    :class:`~repro.engine.EngineAborted` with its persistent artefacts
+    (compiled model, learnt clauses, frame caches) intact, so an
+    aborted portfolio slice resumes cheaply.  ``stats`` reports the
+    engine's own counters for session aggregation.
+    """
+
+    name: str
+
+    def prepare(self, antecedent, consequent,
+                abort: Optional[Callable[[], bool]] = None) -> Any: ...
+
+    def solve(self, prepared: Any,
+              abort: Optional[Callable[[], bool]] = None
+              ) -> EngineReport: ...
+
+    def stats(self) -> Dict[str, int]: ...
+
+
+#: Builds one cone's Engine: (cone circuit, shared BDD manager) -> Engine.
+EngineFactory = Callable[[Circuit, BDDManager], Engine]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A registered backend.  ``meta`` engines (the portfolio) do not
+    build per-cone instances; the session hands them the other engines
+    to orchestrate."""
+
+    name: str
+    factory: Optional[EngineFactory]
+    meta: bool = False
+
+
+_REGISTRY: Dict[str, EngineSpec] = {}
+
+
+def register_engine(name: str, factory: Optional[EngineFactory] = None, *,
+                    meta: bool = False, replace: bool = False) -> EngineSpec:
+    """Register a verification backend under *name*.
+
+    Non-meta engines must supply a *factory*; registering an existing
+    name is an error unless ``replace=True`` (ablation/test hook).
+    """
+    if not meta and factory is None:
+        raise ValueError(f"engine {name!r} needs a factory "
+                         f"(only meta engines go without)")
+    if name in _REGISTRY and not replace:
+        raise ValueError(f"engine {name!r} is already registered; "
+                         f"pass replace=True to override")
+    spec = EngineSpec(name=name, factory=factory, meta=meta)
+    _REGISTRY[name] = spec
+    return spec
+
+
+def unregister_engine(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def engine_names() -> Tuple[str, ...]:
+    """All registered engine names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def engine_spec(name: str) -> EngineSpec:
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ValueError(f"unknown engine {name!r}; "
+                         f"expected one of {engine_names()}")
+    return spec
+
+
+def require_engine(name: str) -> str:
+    """Validate an engine name (the session/CLI entry check)."""
+    engine_spec(name)
+    return name

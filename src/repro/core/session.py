@@ -1,0 +1,563 @@
+"""The checking-core orchestrator: sessions over pluggable engines.
+
+This module is the thin heart of :mod:`repro.core`.  A
+:class:`CheckSession` no longer hand-rolls engine dispatch; it is an
+orchestrator over three declared pieces:
+
+* the **engine registry** (:mod:`repro.core.registry`) — every backend
+  is a plugin built per cone by its registered factory; the session
+  keeps one instance per ``(engine, cone)`` and reuses it across
+  properties (the amortisation that makes suites cheap);
+* the **fingerprint layer** (:mod:`repro.core.fingerprint`) — every
+  check has a stable content identity (cone × property), which is what
+  makes incremental re-checking sound: a circuit edit changes exactly
+  the dirty cones' fingerprints;
+* the **persistent cache** (:mod:`repro.core.cache`) — verdicts,
+  per-property wall times and portfolio race history stored on disk
+  under those fingerprints, so warm re-runs skip unchanged cones
+  entirely and a re-run after an edit re-decides only what changed.
+
+Verdicts are bit-identical to one-shot :func:`repro.ste.check` /
+:func:`repro.sat.bmc.check` calls (the session routes through the same
+decision procedures on the same cone-reduced models), and a cache hit
+is bit-identical by construction: equal fingerprints mean the same
+cone asked the same property.
+
+``repro.ste.session`` re-exports this module's classes, so existing
+imports (`from repro.ste import CheckSession`) keep working.
+"""
+
+from __future__ import annotations
+
+import os
+import time as _time
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, List,
+                    Optional, Set, Tuple, Union)
+
+from ..bdd import BDDManager
+from ..engine import EngineReport
+from ..netlist import Circuit, cone_of_influence, require_valid
+from .cache import CachedResult, VerdictCache
+from .registry import Engine, engine_spec
+
+if TYPE_CHECKING:
+    from ..sat.bmc import BMCEngine
+    from ..ste.formula import Formula
+
+__all__ = ["CheckSession", "SessionReport", "PropertyOutcome",
+           "RERUN_MODES"]
+
+#: Re-check selectors for cached sessions: ``all`` ignores stored
+#: verdicts (but refreshes them), ``dirty`` re-checks only properties
+#: whose fingerprints changed, ``failed`` re-checks dirty properties
+#: plus previously-failed ones.
+RERUN_MODES = ("all", "dirty", "failed")
+
+
+def _formula_nodes(formula):
+    from ..ste.formula import formula_nodes
+    return formula_nodes(formula)
+
+
+@dataclass
+class PropertyOutcome:
+    """One property's result inside a session run."""
+
+    name: str
+    result: EngineReport      # STEResult, BMCResult or CachedResult
+    cone_nodes: int           # node count of the model it ran on
+    reused_model: bool        # True when the compiled cone was cached
+    engine: str = "ste"       # which backend decided it
+    cached: bool = False      # served from the persistent verdict cache
+
+    @property
+    def passed(self) -> bool:
+        return self.result.passed
+
+
+@dataclass
+class SessionReport:
+    """Aggregate view of a session run — the suite-level analogue of
+    :meth:`~repro.ste.checker.STEResult.summary`.
+
+    Cache hit/miss counters are *session-relative* (deltas from the
+    session's creation, so pre-existing manager traffic is excluded);
+    node/variable/table-entry counts are manager-absolute gauges.
+    """
+
+    outcomes: List[PropertyOutcome]
+    elapsed_seconds: float
+    models_compiled: int
+    model_reuses: int
+    bdd_stats: Dict[str, int]
+    cache_stats: Dict[str, Dict[str, int]]
+    #: the session's default engine ("ste" | "bmc" | "portfolio")
+    engine: str = "ste"
+    #: aggregate SAT-solver counters (empty when no BMC check ran)
+    engine_stats: Dict[str, int] = field(default_factory=dict)
+    #: worker-process count that produced this report (1 = in-process)
+    jobs: int = 1
+    #: properties served from the persistent verdict cache
+    cache_hits: int = 0
+    #: properties the persistent cache could not serve (or cache off)
+    cache_misses: int = 0
+    #: verdicts newly written to the persistent cache
+    cache_stored: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return all(o.passed for o in self.outcomes)
+
+    @property
+    def failures(self) -> List[PropertyOutcome]:
+        return [o for o in self.outcomes if not o.passed]
+
+    @property
+    def engine_wins(self) -> Dict[str, int]:
+        """Deciding-engine counts across the outcomes — for a portfolio
+        run, which backend delivered each first verdict."""
+        wins: Dict[str, int] = {}
+        for o in self.outcomes:
+            wins[o.engine] = wins.get(o.engine, 0) + 1
+        return wins
+
+    def verdicts(self) -> Dict[str, bool]:
+        return {o.name: o.passed for o in self.outcomes}
+
+    def results(self) -> Dict[str, EngineReport]:
+        return {o.name: o.result for o in self.outcomes}
+
+    def check_seconds(self) -> float:
+        """Time spent inside the decision procedure (excludes property
+        construction done by the caller between checks)."""
+        return sum(o.result.elapsed_seconds for o in self.outcomes)
+
+    def summary(self) -> str:
+        n = len(self.outcomes)
+        failed = len(self.failures)
+        status = "PASS" if failed == 0 else f"FAIL({failed}/{n})"
+        hits = self.bdd_stats.get("cache_hits", 0)
+        misses = self.bdd_stats.get("cache_misses", 0)
+        total = hits + misses
+        rate = (100.0 * hits / total) if total else 0.0
+        line = (f"Session[{self.engine}] {status} properties={n} "
+                f"models={self.models_compiled}(+{self.model_reuses} reused) "
+                f"bdd_nodes={self.bdd_stats.get('nodes', 0)} "
+                f"cache_hit_rate={rate:.1f}% "
+                f"time={self.elapsed_seconds:.3f}s")
+        if self.jobs > 1:
+            line += f" jobs={self.jobs}"
+        if self.cache_hits or self.cache_misses:
+            checked = self.cache_hits + self.cache_misses
+            line += (f" pcache={self.cache_hits}/{checked} skipped"
+                     f"(+{self.cache_stored} stored)")
+        if self.engine == "portfolio":
+            wins = self.engine_wins
+            line += " wins[" + " ".join(
+                f"{e}={wins[e]}" for e in sorted(wins)) + "]"
+        if self.engine_stats:
+            line += (f" sat_conflicts={self.engine_stats.get('conflicts', 0)}"
+                     f" sat_vars={self.engine_stats.get('variables', 0)}")
+        return line
+
+
+#: Accepted property shapes: objects with name/antecedent/consequent
+#: attributes (e.g. retention.CpuProperty) or (name, antecedent,
+#: consequent) triples.
+PropertyLike = Union[Tuple[str, "Formula", "Formula"], object]
+
+
+class CheckSession:
+    """Compile a circuit once; check a whole property suite against it.
+
+    Usage::
+
+        session = CheckSession(core.circuit, mgr)          # BDD/STE
+        session = CheckSession(core.circuit, mgr, engine="bmc")  # SAT
+        for prop in suite:
+            result = session.check(prop.antecedent, prop.consequent,
+                                   name=prop.name)
+        print(session.report().summary())
+
+    or, batched::
+
+        report = session.run(suite)
+
+    *engine* selects the default backend by registry name; each
+    :meth:`check` call can override it, so one session can mix engines
+    (e.g. STE for the small control cones, BMC for the wide datapath
+    ones).  All backends share the cone-of-influence extraction and
+    caching: the session keeps one engine instance per ``(engine,
+    cone)`` — a compiled BDD model, an incremental SAT context — and
+    reuses it across every property on the cone.
+
+    ``engine="portfolio"`` *races* the two stock backends per property
+    and takes the first verdict (see
+    :class:`repro.core.portfolio.PortfolioRacer` for the probing /
+    flat-race / sticky-incumbent strategy).  Either way the verdict is
+    whichever engine answers first, and both engines answer alike
+    (pinned by the differential suite).
+
+    *cache* attaches a persistent verdict store — a directory path or
+    a live :class:`~repro.core.cache.VerdictCache`.  Every check is
+    then fingerprinted (cone content × property content) and looked up
+    first: a hit skips the engines entirely and serves the stored
+    verdict (bit-identical by fingerprint identity); a miss runs the
+    chosen engine and stores the outcome, wall time included, for the
+    next session.  *rerun* picks the re-check policy — see
+    :data:`RERUN_MODES`.  Portfolio race history persists per cone, so
+    a warm portfolio starts from historical winners.
+    """
+
+    #: On a cone with race history, the incumbent engine's first time
+    #: slice is (this factor × its largest winning time on the cone);
+    #: 0 disables prediction and races both engines flat-out on every
+    #: property.
+    stagger_factor = 2.5
+
+    #: Seconds granted to the optimistic STE probe on a cone with no
+    #: race history, before the flat race (and its BMC encode cost)
+    #: is engaged.
+    race_probe_budget = 2.0
+
+    def __init__(self, circuit: Circuit, mgr: Optional[BDDManager] = None,
+                 *, use_coi: bool = True, validate: bool = True,
+                 engine: str = "ste",
+                 cache: Union[None, str, os.PathLike, VerdictCache] = None,
+                 rerun: str = "dirty"):
+        engine_spec(engine)                   # validate against registry
+        if rerun not in RERUN_MODES:
+            raise ValueError(f"unknown rerun mode {rerun!r}; "
+                             f"expected one of {RERUN_MODES}")
+        if validate:
+            require_valid(circuit)
+        self.circuit = circuit
+        self.mgr = mgr or BDDManager()
+        self.use_coi = use_coi
+        self.engine = engine
+        self.rerun = rerun
+        # The session owns (and closes) a cache it opened itself; a
+        # caller-provided VerdictCache stays the caller's to close.
+        self._owns_cache = not (cache is None
+                                or isinstance(cache, VerdictCache))
+        self.cache: Optional[VerdictCache] = (
+            cache if isinstance(cache, VerdictCache) or cache is None
+            else VerdictCache(cache))
+        self.models_compiled = 0
+        self.model_reuses = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_stored = 0
+        self._name_counts: Dict[str, int] = {}
+        self._outcomes: List[PropertyOutcome] = []
+        self._started = _time.perf_counter()
+        # Counter baselines, so the report attributes only the session's
+        # own traffic to the suite (the shared manager may already carry
+        # formula-construction work done before the session existed).
+        self._base_cache_stats = self.mgr.cache_stats()
+        # One live engine instance per (engine name, cone key):
+        # properties with different root sets but identical cones share
+        # the instance and its warm artefacts.
+        self._engines: Dict[Tuple[str, Optional[FrozenSet[str]]],
+                            Engine] = {}
+        # roots -> cone key, so repeated root sets skip the cone walk.
+        self._cone_keys: Dict[FrozenSet[str], FrozenSet[str]] = {}
+        # cone key -> the reduced circuit (shared by all engines).
+        self._cones: Dict[Optional[FrozenSet[str]], Circuit] = {}
+        # A donated pre-compiled full model (one-shot portfolio path).
+        self._full_model = None
+        # Meta-engine orchestrators (portfolio racer), built on demand.
+        self._racers: Dict[str, object] = {}
+        # cone key -> {engine: last winning wall time} (portfolio).
+        self._race_history: Dict[Optional[FrozenSet[str]],
+                                 Dict[str, float]] = {}
+        # cone key -> the engine that last delivered a verdict there.
+        self._race_incumbent: Dict[Optional[FrozenSet[str]], str] = {}
+        # cone keys whose race history was already seeded from disk.
+        self._race_seeded: Set[Optional[FrozenSet[str]]] = set()
+        # cone key -> last persisted (incumbent, times) snapshot.
+        self._race_stored: Dict[Optional[FrozenSet[str]], tuple] = {}
+
+    def close(self) -> None:
+        """Release the session's persistent-cache connection (no-op
+        when the cache was caller-provided or absent).  Sessions are
+        usable without closing — CPython reclaims the connection with
+        the session — but long-lived processes that churn through many
+        cached sessions should close each one."""
+        if self._owns_cache and self.cache is not None:
+            self.cache.close()
+            self.cache = None
+
+    def __enter__(self) -> "CheckSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Cones and fingerprints
+    # ------------------------------------------------------------------
+    def _cone_for(self, antecedent, consequent
+                  ) -> Tuple[Optional[FrozenSet[str]], Circuit]:
+        """(cache key, circuit to check) for a property — one cone walk
+        per distinct root set, one cone per distinct node set.  With
+        ``use_coi=False`` the key is ``None`` and the circuit is the
+        full one, so every engine cache keys the two paths uniformly."""
+        if not self.use_coi:
+            if None not in self._cones:
+                self._cones[None] = self.circuit
+                self._seed_race_history(None, self.circuit)
+            return None, self.circuit
+        roots = frozenset(_formula_nodes(antecedent)) | frozenset(
+            _formula_nodes(consequent))
+        key = self._cone_keys.get(roots)
+        if key is None:
+            cone = cone_of_influence(self.circuit, sorted(roots))
+            key = frozenset(cone.inputs) | frozenset(cone.gates) | frozenset(
+                cone.registers)
+            self._cone_keys[roots] = key
+            if key not in self._cones:
+                self._cones[key] = cone
+                self._seed_race_history(key, cone)
+        return key, self._cones[key]
+
+    def _cone_fp(self, cone: Circuit) -> str:
+        return cone.fingerprint(include_outputs=False)
+
+    def _seed_race_history(self, key, cone: Circuit) -> None:
+        """First sighting of a cone: warm the portfolio's incumbent
+        prediction from the persistent race history, if any."""
+        if self.cache is None or key in self._race_seeded:
+            return
+        self._race_seeded.add(key)
+        seeded = self.cache.race_history(self._cone_fp(cone))
+        if seeded is not None:
+            incumbent, times = seeded
+            self._race_incumbent.setdefault(key, incumbent)
+            self._race_history.setdefault(key, {}).update(times)
+
+    # ------------------------------------------------------------------
+    # Engine instances
+    # ------------------------------------------------------------------
+    def engine_for(self, engine: str, antecedent, consequent
+                   ) -> Tuple[Engine, bool]:
+        """The live engine instance for the property's cone, plus
+        whether it was served from the session cache.  Instances are
+        built by the registered factory and persist for the session —
+        the per-cone amortisation both backends depend on."""
+        spec = engine_spec(engine)
+        if spec.meta:
+            raise ValueError(f"meta engine {engine!r} has no per-cone "
+                             f"instances")
+        key, circuit = self._cone_for(antecedent, consequent)
+        slot = (engine, key)
+        instance = self._engines.get(slot)
+        if instance is None:
+            if (engine == "ste" and key is None
+                    and self._full_model is not None):
+                # A donated pre-compiled model (the one-shot portfolio
+                # path): respect the caller's compilation work.
+                from .engines import STEEngine
+                instance = STEEngine.__new__(STEEngine)
+                instance.model = self._full_model
+            else:
+                instance = spec.factory(circuit, self.mgr)
+            self._engines[slot] = instance
+            self.models_compiled += 1
+            return instance, False
+        self.model_reuses += 1
+        return instance, True
+
+    def model_for(self, antecedent, consequent):
+        """The compiled (cone-reduced) BDD model both formulas run on,
+        plus whether it was served from the session cache."""
+        instance, reused = self.engine_for("ste", antecedent, consequent)
+        return instance.model, reused
+
+    def bmc_engine_for(self, antecedent, consequent
+                       ) -> Tuple["BMCEngine", bool]:
+        """The incremental SAT context for the property's cone, plus
+        whether it was served from the session cache."""
+        adapter, reused = self.engine_for("bmc", antecedent, consequent)
+        return adapter.engine, reused
+
+    # ------------------------------------------------------------------
+    # Persistent-cache hooks
+    # ------------------------------------------------------------------
+    def _check_fingerprint(self, cone: Circuit, antecedent,
+                           consequent) -> str:
+        from .fingerprint import check_fingerprint
+        return check_fingerprint(cone, antecedent, consequent)
+
+    def _cached_verdict(self, fingerprint: str
+                        ) -> Optional[Tuple[CachedResult, int]]:
+        """A stored verdict the rerun policy allows us to serve."""
+        if self.rerun == "all":
+            return None
+        hit = self.cache.lookup(fingerprint)
+        if hit is None:
+            return None
+        if self.rerun == "failed" and not hit[0].passed:
+            return None                       # re-decide old failures
+        return hit
+
+    def _store_verdict(self, fingerprint: str, cone: Circuit,
+                       name: str, engine: str, result,
+                       cone_nodes: int) -> None:
+        try:
+            from ..ste.counterexample import cex_text_for
+            cex_text = cex_text_for(result)
+        except Exception:
+            cex_text = None                   # a cacheable verdict anyway
+        self.cache.store(fingerprint, cone_fp=self._cone_fp(cone),
+                         name=name, engine=engine, result=result,
+                         cone_nodes=cone_nodes, cex_text=cex_text)
+        self.cache_stored += 1
+
+    def _store_race_history(self, key, cone: Circuit) -> None:
+        """Persist a cone's race history — only when it changed since
+        the last write (most portfolio properties land on an already-
+        settled cone, and one sqlite transaction per property would
+        rewrite the same row dozens of times per suite)."""
+        incumbent = self._race_incumbent.get(key)
+        if incumbent is None:
+            return
+        times = self._race_history.get(key, {})
+        snapshot = (incumbent, tuple(sorted(times.items())))
+        if self._race_stored.get(key) == snapshot:
+            return
+        self._race_stored[key] = snapshot
+        self.cache.store_race(self._cone_fp(cone), incumbent, times)
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+    def _check_portfolio(self, antecedent, consequent
+                         ) -> Tuple[EngineReport, str, bool, int]:
+        racer = self._racers.get("portfolio")
+        if racer is None:
+            from .portfolio import PortfolioRacer
+            racer = self._racers["portfolio"] = PortfolioRacer(self)
+        return racer.check(antecedent, consequent)
+
+    def check(self, antecedent, consequent,
+              name: Optional[str] = None,
+              engine: Optional[str] = None) -> EngineReport:
+        """Check one property; verdicts identical to the one-shot
+        ``repro.ste.check(circuit, antecedent, consequent, mgr,
+        engine=...)`` on any backend — or to the stored verdict of the
+        identical check, when the persistent cache can prove it has
+        one."""
+        engine = engine or self.engine
+        spec = engine_spec(engine)
+        key, cone = self._cone_for(antecedent, consequent)
+        display_name = name or f"property_{len(self._outcomes)}"
+
+        fingerprint = None
+        cached = False
+        if self.cache is not None:
+            fingerprint = self._check_fingerprint(cone, antecedent,
+                                                  consequent)
+            hit = self._cached_verdict(fingerprint)
+            if hit is not None:
+                result, cone_nodes = hit
+                decided_by = result.engine
+                reused = True
+                cached = True
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+
+        if not cached:
+            if spec.meta:
+                result, decided_by, reused, cone_nodes = \
+                    self._check_portfolio(antecedent, consequent)
+                if self.cache is not None:
+                    self._store_race_history(key, cone)
+            else:
+                instance, reused = self.engine_for(engine, antecedent,
+                                                   consequent)
+                result = instance.solve(
+                    instance.prepare(antecedent, consequent))
+                decided_by = engine
+                cone_nodes = len(cone.all_nodes())
+            if fingerprint is not None:
+                self._store_verdict(fingerprint, cone, display_name,
+                                    decided_by, result, cone_nodes)
+
+        # Outcome names key SessionReport.verdicts()/results(); a repeat
+        # must not shadow an earlier outcome (e.g. two memory properties
+        # over the same geometry), so disambiguate with a suffix.
+        seen = self._name_counts.get(display_name, 0)
+        self._name_counts[display_name] = seen + 1
+        if seen:
+            display_name = f"{display_name}#{seen + 1}"
+        self._outcomes.append(PropertyOutcome(
+            name=display_name,
+            result=result,
+            cone_nodes=cone_nodes,
+            reused_model=reused,
+            engine=decided_by,
+            cached=cached))
+        return result
+
+    def run(self, properties: Iterable[PropertyLike],
+            engine: Optional[str] = None) -> SessionReport:
+        """Check a whole suite and return the aggregate report."""
+        for prop in properties:
+            if isinstance(prop, tuple):
+                name, antecedent, consequent = prop
+            else:
+                name = getattr(prop, "name", None)
+                antecedent = prop.antecedent
+                consequent = prop.consequent
+            self.check(antecedent, consequent, name=name, engine=engine)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    @property
+    def outcomes(self) -> List[PropertyOutcome]:
+        return list(self._outcomes)
+
+    def report(self) -> SessionReport:
+        # Hit/miss counters are reported relative to the session start;
+        # gauges (nodes, vars, table entries) stay absolute.
+        cache_stats: Dict[str, Dict[str, int]] = {}
+        for op, now in self.mgr.cache_stats().items():
+            base = self._base_cache_stats.get(op, {})
+            cache_stats[op] = {
+                "hits": now["hits"] - base.get("hits", 0),
+                "misses": now["misses"] - base.get("misses", 0),
+                "entries": now["entries"],
+            }
+        bdd_stats = self.mgr.stats()
+        bdd_stats["cache_hits"] = sum(s["hits"] for s in cache_stats.values())
+        bdd_stats["cache_misses"] = sum(s["misses"]
+                                        for s in cache_stats.values())
+        # Aggregate per-engine counters across every cone's instance
+        # (instances are session-born, so totals are session-relative).
+        # Counters sum; a per-solver maximum must not.
+        engine_stats: Dict[str, int] = {}
+        for (engine_name, _key), instance in self._engines.items():
+            if engine_name != "bmc":
+                continue
+            for stat_key, value in instance.stats().items():
+                if stat_key == "max_learnt_len":
+                    engine_stats[stat_key] = max(
+                        engine_stats.get(stat_key, 0), value)
+                else:
+                    engine_stats[stat_key] = (
+                        engine_stats.get(stat_key, 0) + value)
+        return SessionReport(
+            outcomes=list(self._outcomes),
+            elapsed_seconds=_time.perf_counter() - self._started,
+            models_compiled=self.models_compiled,
+            model_reuses=self.model_reuses,
+            bdd_stats=bdd_stats,
+            cache_stats=cache_stats,
+            engine=self.engine,
+            engine_stats=engine_stats,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            cache_stored=self.cache_stored)

@@ -27,8 +27,12 @@ from typing import List, Protocol, runtime_checkable
 
 __all__ = ["EngineReport", "EngineAborted", "ENGINES"]
 
-#: The engines a CheckSession can dispatch to.  ``"portfolio"`` races
-#: the other two per property and takes the first verdict.
+#: The *built-in* engines.  ``"portfolio"`` races the other two per
+#: property and takes the first verdict.  The authoritative, extensible
+#: list lives in :func:`repro.core.registry.engine_names` — backends
+#: register there as plugins and CheckSession dispatches through it;
+#: this tuple stays as the frozen stock set for back-compatibility
+#: (kept import-cycle-free: this module must not import repro.core).
 ENGINES = ("ste", "bmc", "portfolio")
 
 

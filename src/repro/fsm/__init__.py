@@ -1,6 +1,6 @@
 """Executable FSM models compiled from netlists (the exlif2exe analogue)."""
 
-from .compiler import compile_circuit
+from .compiler import compile_circuit, cone_fingerprint
 from .model import CompiledModel, State
 
-__all__ = ["compile_circuit", "CompiledModel", "State"]
+__all__ = ["compile_circuit", "cone_fingerprint", "CompiledModel", "State"]

@@ -15,7 +15,20 @@ from ..bdd import BDDManager
 from ..netlist import Circuit, cone_of_influence, require_valid
 from .model import CompiledModel
 
-__all__ = ["compile_circuit"]
+__all__ = ["compile_circuit", "cone_fingerprint"]
+
+
+def cone_fingerprint(circuit: Circuit, roots: Iterable[str]) -> str:
+    """Content fingerprint of the cone of influence of *roots* in
+    *circuit* — without compiling a model.
+
+    The identity the :mod:`repro.core` cache layer keys on: it covers
+    the cone's node set and every cell definition inside it (outputs
+    excluded), so an edit anywhere in *circuit* dirties exactly the
+    cones whose logic actually changed.
+    """
+    cone = cone_of_influence(circuit, sorted(roots))
+    return cone.fingerprint(include_outputs=False)
 
 
 def compile_circuit(circuit: Circuit, mgr: Optional[BDDManager] = None,

@@ -55,6 +55,16 @@ class CompiledModel:
         self._dffs = schedule.dffs
 
     # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content identity of the compiled cone — node set plus cell
+        definitions, output roots excluded (see
+        :meth:`repro.netlist.Circuit.fingerprint`).  Two properties
+        whose cones extract the same logic get the same fingerprint,
+        which is the key the :mod:`repro.core` cache layer stores
+        verdicts under."""
+        return self.circuit.fingerprint(include_outputs=False)
+
+    # ------------------------------------------------------------------
     def initial_state(self, constraints: Optional[Mapping[str, TernaryValue]]
                       = None) -> State:
         """The time-0 state: everything X, registers included, joined

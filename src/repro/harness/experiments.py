@@ -124,6 +124,17 @@ _EXPERIMENTS: List[Experiment] = [
         "portfolio/jobs verdicts identical to serial STE; >= 1.5x "
         "wall-clock speedup over the serial BMC engine on the deep-"
         "imem suite; frame reuse ablation recorded"),
+    Experiment(
+        "E16", "beyond the paper (incremental re-check)",
+        "Persistent verdict caching and incremental re-check after "
+        "circuit edits: the repro.core fingerprint/cache layer serves "
+        "warm re-runs from disk and scopes post-edit re-checking to "
+        "the dirty cones",
+        "benchmarks/test_bench_incremental.py",
+        "warm re-run of an unchanged Property II suite >= 5x faster "
+        "than cold; a one-cone edit re-decides only that cone's "
+        "properties; verdicts bit-identical to cold serial STE in "
+        "both cases"),
 ]
 
 

@@ -26,6 +26,8 @@ priority over reset").
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -144,6 +146,8 @@ class Circuit:
         self.gates: Dict[str, Gate] = {}       # out node -> gate
         self.registers: Dict[str, Register] = {}  # q node -> register
         self._drivers: Set[str] = set()
+        # Memoised content fingerprints, invalidated on every mutation.
+        self._fp_cache: Dict[bool, str] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -152,6 +156,7 @@ class Circuit:
         if node in self._drivers:
             raise NetlistError(f"node {node!r} already has a driver")
         self._drivers.add(node)
+        self._fp_cache.clear()
 
     def add_input(self, node: str) -> str:
         self._claim(node)
@@ -188,10 +193,45 @@ class Circuit:
     def set_output(self, node: str) -> None:
         if node not in self.outputs:
             self.outputs.append(node)
+            self._fp_cache.clear()
 
     def set_output_bus(self, name: str, width: int) -> None:
         for i in range(width):
             self.set_output(f"{name}[{i}]")
+
+    # ------------------------------------------------------------------
+    # Edits (the incremental-re-check entry points)
+    # ------------------------------------------------------------------
+    def replace_gate(self, out: str, op: Optional[str] = None,
+                     ins: Optional[Sequence[str]] = None) -> Gate:
+        """Swap the combinational driver of *out* for a new cell.
+
+        This is the netlist "edit" primitive the incremental re-check
+        flow keys off: the replacement invalidates the circuit's
+        content fingerprint, so exactly the cones containing *out* go
+        dirty and everything else keeps its cached verdicts.  Omitted
+        fields keep the old cell's values.
+        """
+        old = self.gates.get(out)
+        if old is None:
+            raise NetlistError(f"node {out!r} is not driven by a gate")
+        gate = Gate(op if op is not None else old.op, out,
+                    tuple(ins) if ins is not None else old.ins)
+        self.gates[out] = gate
+        self._fp_cache.clear()
+        return gate
+
+    def replace_register(self, q: str, **fields) -> Register:
+        """Swap the sequential driver of *q*, overriding the given
+        :class:`Register` fields (e.g. ``nret=None`` to strip retention
+        from a cell — the UPF-edit analogue of :meth:`replace_gate`)."""
+        old = self.registers.get(q)
+        if old is None:
+            raise NetlistError(f"node {q!r} is not driven by a register")
+        reg = dataclasses.replace(old, **fields)
+        self.registers[q] = reg
+        self._fp_cache.clear()
+        return reg
 
     # ------------------------------------------------------------------
     # Queries
@@ -244,6 +284,47 @@ class Circuit:
     def bus(self, name: str, width: int) -> List[str]:
         """Node names of a bus, LSB first."""
         return [f"{name}[{i}]" for i in range(width)]
+
+    # ------------------------------------------------------------------
+    # Content identity
+    # ------------------------------------------------------------------
+    def fingerprint(self, include_outputs: bool = True) -> str:
+        """A canonical content hash of the netlist.
+
+        Two circuits carrying the same cells get the same fingerprint
+        regardless of construction order (cells are hashed in sorted
+        node order) or of the circuit's name; any single-cell edit —
+        a gate swap, a register control change, a UPF retention edit —
+        changes it.  With ``include_outputs=False`` the output list is
+        ignored too, which is the right identity for a cone of
+        influence: a cone is its node set plus cell definitions, not
+        the particular property roots it was extracted for.  This is
+        the keystone of the :mod:`repro.core` cache layer — "this cone
+        of this circuit" finally has a stable name.
+        """
+        cached = self._fp_cache.get(include_outputs)
+        if cached is not None:
+            return cached
+        h = hashlib.sha256()
+        for node in sorted(self.inputs):
+            h.update(b"I %s\n" % node.encode())
+        for out in sorted(self.gates):
+            gate = self.gates[out]
+            h.update(("G %s %s <- %s\n" % (
+                gate.op, gate.out, " ".join(gate.ins))).encode())
+        for q in sorted(self.registers):
+            reg = self.registers[q]
+            h.update(("R %s %s d=%s clk=%s en=%s nrst=%s nret=%s "
+                      "init=%d edge=%s\n" % (
+                          reg.kind, reg.q, reg.d, reg.clk, reg.enable,
+                          reg.nrst, reg.nret, reg.init,
+                          reg.edge)).encode())
+        if include_outputs:
+            for node in sorted(self.outputs):
+                h.update(b"O %s\n" % node.encode())
+        fp = h.hexdigest()[:32]
+        self._fp_cache[include_outputs] = fp
+        return fp
 
     # ------------------------------------------------------------------
     # Statistics

@@ -3,24 +3,30 @@
 The paper's workload is "check a whole retention property suite against
 a power-gated core".  One :class:`~repro.ste.CheckSession` amortises
 the per-suite costs inside a process; this module amortises the *wall
-clock* across processes: properties are grouped by cone of influence
-(so each worker compiles every cone it owns exactly once — one
-:class:`~repro.bdd.BDDManager` / :class:`~repro.sat.BMCEngine` per
-worker), the groups are bin-packed over ``jobs`` worker processes, and
-the per-worker session reports are merged into a single
-:class:`~repro.ste.SessionReport` with per-engine win counts.
+clock* across processes.  Work distribution is a **shared queue**:
+properties are grouped by cone of influence into chunks (so a worker
+compiles every cone it owns exactly once — one
+:class:`~repro.bdd.BDDManager` / SAT context per worker), the chunks
+are ordered longest-first by the persistent cache's per-property cost
+model, and idle workers *pull* the next chunk instead of being dealt a
+static bin — work-stealing, so one unexpectedly slow cone no longer
+idles every other worker.  The per-worker session reports are merged
+into a single :class:`~repro.ste.SessionReport` with per-engine win
+counts.
 
 BDD nodes, compiled models and solver states are process-local and not
 picklable, so workers do not receive the caller's property objects:
 they receive a :class:`SuiteSpec` — the recipe (design, geometry,
 schedule, extras) from which :func:`repro.retention.build_suite`
 deterministically rebuilds the identical suite — plus the property
-*names* they own.  Results travel back as :class:`RemoteResult`, a
-picklable projection of either engine's report (verdict, failure
-points, timing, and a pre-rendered counterexample trace for failing
-properties).  Verdicts are bit-identical to a serial run by
-construction: every worker runs the same ``CheckSession`` decision
-procedures on the same rebuilt formulas.
+*names* they pull from the queue.  Results travel back as
+:class:`RemoteResult`, a picklable projection of either engine's report
+(verdict, failure points, timing, and a pre-rendered counterexample
+trace for failing properties).  Verdicts are bit-identical to a serial
+run by construction: every worker runs the same ``CheckSession``
+decision procedures on the same rebuilt formulas — and with a
+*cache_dir*, workers share the same persistent verdict cache, so a
+warm parallel run skips clean cones exactly like a warm serial one.
 """
 
 from __future__ import annotations
@@ -28,15 +34,16 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
+import queue as _queue
 import time as _time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from .engine import ENGINES
+from .core.registry import engine_spec
+from .core.session import CheckSession, PropertyOutcome, SessionReport
 from .netlist import Circuit, cone_of_influence
 from .ste.formula import formula_nodes
-from .ste.session import CheckSession, PropertyOutcome, SessionReport
 
 __all__ = ["SuiteSpec", "RemoteFailure", "RemoteResult",
            "partition_by_cone", "run_parallel"]
@@ -49,6 +56,11 @@ __all__ = ["SuiteSpec", "RemoteFailure", "RemoteResult",
 #: and portfolio race history.  Spawn-based platforms see None and
 #: rebuild from the spec instead.
 _FORK_STATE: Optional[Tuple["SuiteSpec", CheckSession, Dict]] = None
+
+#: How many queue chunks to cut per worker: >1 gives the queue its
+#: balancing slack (a worker that drew a cheap chunk pulls another),
+#: while cone grouping inside each chunk keeps compilations amortised.
+_CHUNKS_PER_WORKER = 2
 
 #: design name -> repro.cpu factory (kept as names so a SuiteSpec
 #: pickles as plain data).
@@ -154,12 +166,11 @@ class RemoteResult:
 
 
 def _remote_result(result) -> RemoteResult:
-    cex_text = None
-    if not result.passed:
-        from .ste.counterexample import extract, format_trace
-        cex = extract(result)
-        if cex is not None:
-            cex_text = format_trace(cex)
+    # Cache-served results already carry their rendered trace (and own
+    # no extractable BDD/solver state); live failing results render
+    # theirs here, inside the worker that owns the engine objects.
+    from .ste.counterexample import cex_text_for
+    cex_text = cex_text_for(result)
     return RemoteResult(
         engine=result.engine,
         passed=result.passed,
@@ -184,16 +195,23 @@ def _report_delta(end: SessionReport, base: Optional[SessionReport]
         result=_remote_result(o.result),
         cone_nodes=o.cone_nodes,
         reused_model=o.reused_model,
-        engine=o.engine) for o in end.outcomes[skip:]]
+        engine=o.engine,
+        cached=o.cached) for o in end.outcomes[skip:]]
     engine_stats = dict(end.engine_stats)
     cache_stats = {op: dict(counts)
                    for op, counts in end.cache_stats.items()}
     models_compiled = end.models_compiled
     model_reuses = end.model_reuses
     bdd_stats = dict(end.bdd_stats)
+    pcache = {"cache_hits": end.cache_hits,
+              "cache_misses": end.cache_misses,
+              "cache_stored": end.cache_stored}
     if base is not None:
         models_compiled -= base.models_compiled
         model_reuses -= base.model_reuses
+        pcache["cache_hits"] -= base.cache_hits
+        pcache["cache_misses"] -= base.cache_misses
+        pcache["cache_stored"] -= base.cache_stored
         for k, v in base.engine_stats.items():
             if k != "max_learnt_len":
                 engine_stats[k] = engine_stats.get(k, 0) - v
@@ -215,27 +233,33 @@ def _report_delta(end: SessionReport, base: Optional[SessionReport]
         "bdd_stats": bdd_stats,
         "cache_stats": cache_stats,
         "engine_stats": engine_stats,
+        **pcache,
     }
 
 
-def _run_partition(spec: SuiteSpec, names: Sequence[str],
-                   engine: str) -> Dict:
-    """Worker entry point: check the named properties through one
-    CheckSession and return picklable outcomes plus the worker's
-    aggregate statistics.
-
-    A fork()ed worker resumes the parent's stashed session (private
-    copy-on-write copy — compiled models, interned CNF, race history
-    and all); otherwise the suite is rebuilt from the spec."""
+def _resume_or_build(spec: SuiteSpec, engine: str,
+                     cache_dir: Optional[str], rerun: str):
+    """(session, {name: property}, base report) for one worker: the
+    parent's fork-COW stash when available, a spec rebuild otherwise."""
     state = _FORK_STATE
     if state is not None and state[0] == spec:
         _, session, by_name = state
-        base = session.report()
-    else:
-        core, mgr, suite = spec.build()
-        by_name = {p.name: p for p in suite}
-        session = CheckSession(core.circuit, mgr, engine=engine)
-        base = None
+        if session.cache is not None:
+            # The sqlite connection crossed the fork(); a shared file
+            # descriptor between parent and children corrupts the
+            # database, so every process reopens its own.
+            from .core.cache import VerdictCache
+            session.cache = VerdictCache(session.cache.directory)
+        return session, by_name, session.report()
+    core, mgr, suite = spec.build()
+    by_name = {p.name: p for p in suite}
+    session = CheckSession(core.circuit, mgr, engine=engine,
+                           cache=cache_dir, rerun=rerun)
+    return session, by_name, None
+
+
+def _check_names(session: CheckSession, by_name: Dict,
+                 names: Sequence[str]) -> None:
     unknown = sorted(set(names) - set(by_name))
     if unknown:
         raise ValueError(
@@ -244,23 +268,74 @@ def _run_partition(spec: SuiteSpec, names: Sequence[str],
     for name in names:
         prop = by_name[name]
         session.check(prop.antecedent, prop.consequent, name=name)
-    return _report_delta(session.report(), base)
+
+
+def _run_partition(spec: SuiteSpec, names: Sequence[str], engine: str,
+                   cache_dir: Optional[str] = None,
+                   rerun: str = "dirty") -> Dict:
+    """Single-partition worker entry point (the degenerate in-process
+    path): check the named properties through one CheckSession and
+    return picklable outcomes plus the worker's aggregate statistics."""
+    session, by_name, base = _resume_or_build(spec, engine, cache_dir,
+                                              rerun)
+    try:
+        _check_names(session, by_name, names)
+        return _report_delta(session.report(), base)
+    finally:
+        session.close()
+
+
+def _worker_loop(task_queue, result_queue, spec: SuiteSpec, engine: str,
+                 cache_dir: Optional[str], rerun: str) -> None:
+    """Queue-draining worker: pull cone chunks until the sentinel, then
+    ship one aggregate delta report back.
+
+    A fork()ed worker resumes the parent's stashed session (private
+    copy-on-write copy — compiled models, interned CNF, race history
+    and all); otherwise the suite is rebuilt from the spec.  The
+    worker's *session* persists across every chunk it steals, so cone
+    amortisation is bounded by which chunks it happens to pull, not by
+    a static assignment."""
+    session = None
+    try:
+        session, by_name, base = _resume_or_build(spec, engine,
+                                                  cache_dir, rerun)
+        while True:
+            names = task_queue.get()
+            if names is None:
+                break
+            _check_names(session, by_name, names)
+        result_queue.put(("ok", _report_delta(session.report(), base)))
+    except BaseException as exc:             # ship the failure home
+        try:
+            result_queue.put(("error", exc))
+        except Exception:                    # unpicklable exception
+            result_queue.put(("error", RuntimeError(
+                f"worker failed with unpicklable "
+                f"{type(exc).__name__}: {exc}")))
+    finally:
+        if session is not None:
+            session.close()
 
 
 def partition_by_cone(circuit: Circuit, properties: Sequence,
                       jobs: int) -> List[List[str]]:
-    """Bin-pack the properties over *jobs* workers, keeping cone
-    groups together as far as balance allows.
+    """Bin-pack the properties over *jobs* slots, keeping cone groups
+    together as far as balance allows.
 
     Properties sharing a cone of influence are assigned contiguously,
     so a worker compiles each cone it owns once — the process-level
     analogue of the session's cone-keyed model cache.  A group larger
-    than the ideal per-worker share (the paper's suites concentrate
+    than the ideal per-slot share (the paper's suites concentrate
     24 of 26 properties on one core-wide cone) is *split* across
-    workers: each of those workers pays one compile of the shared
-    cone, which is what buys the wall-clock parallelism.  Groups are
-    placed largest-first onto the least-loaded bin (load = property
-    count); empty bins are dropped.
+    slots: each of those slots pays one compile of the shared cone,
+    which is what buys the wall-clock parallelism.  Groups are placed
+    largest-first onto the least-loaded bin (load = property count);
+    empty bins are dropped.
+
+    :func:`run_parallel` cuts more slots than workers and feeds the
+    resulting chunks through a shared queue, so these bins are the
+    *unit of stealing*, not a static worker assignment.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -298,6 +373,32 @@ def partition_by_cone(circuit: Circuit, properties: Sequence,
     return [b for b in bins if b]
 
 
+def _ordered_chunks(circuit: Circuit, properties: Sequence,
+                    workers: int,
+                    cache_dir: Optional[str]) -> List[List[str]]:
+    """Queue chunks, most expensive first.
+
+    The cost model is the persistent cache's recorded per-property
+    wall times (:meth:`~repro.core.cache.VerdictCache.costs_by_name`);
+    unknown properties cost one unit.  Longest-processing-time-first
+    ordering is what makes the shared queue balance: the expensive
+    cone chunks start immediately and the cheap tail backfills idle
+    workers."""
+    chunks = partition_by_cone(circuit, properties,
+                               workers * _CHUNKS_PER_WORKER)
+    costs: Dict[str, float] = {}
+    if cache_dir is not None:
+        from .core.cache import VerdictCache
+        try:
+            with VerdictCache(cache_dir) as cache:
+                costs = cache.costs_by_name([p.name for p in properties])
+        except Exception:
+            costs = {}                       # cost model is best-effort
+    def chunk_cost(chunk: List[str]) -> float:
+        return sum(costs.get(name, 1.0) for name in chunk)
+    return sorted(chunks, key=lambda c: (-chunk_cost(c), c[0]))
+
+
 def _mp_context():
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context(
@@ -315,27 +416,35 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
                  engine: str = "portfolio",
                  spec: Optional[SuiteSpec] = None,
                  oversubscribe: bool = False,
-                 mgr=None) -> SessionReport:
+                 mgr=None,
+                 cache_dir: Optional[str] = None,
+                 rerun: str = "dirty") -> SessionReport:
     """Check *properties* against *core* across up to *jobs* worker
-    processes; returns one merged :class:`SessionReport`.
+    processes pulling from a shared work queue; returns one merged
+    :class:`SessionReport`.
 
-    *engine* is any :data:`~repro.engine.ENGINES` member and applies
-    inside every worker ("portfolio" races both backends per property
-    there).  *spec* overrides the worker rebuild recipe; by default it
-    is derived from the core's config and the properties (which must
+    *engine* is any registered engine name and applies inside every
+    worker ("portfolio" races both backends per property there).
+    *spec* overrides the worker rebuild recipe; by default it is
+    derived from the core's config and the properties (which must
     therefore come from :func:`~repro.retention.build_suite`).
     Outcome order matches the input property order, so
     ``report.verdicts()`` is directly comparable with a serial run's.
+    *cache_dir*/*rerun* attach the persistent verdict cache inside
+    every worker (and the parent's pilot session), so warm parallel
+    runs skip clean cones and the queue orders chunks by recorded
+    cost.
 
     Worker count is capped at the CPUs actually available unless
-    *oversubscribe* is set: splitting a suite across more processes
-    than cores forfeits the suite-level cache amortisation both
-    engines depend on and makes every worker slower — on one core the
-    whole run degrades to a single in-process session, which is the
-    fastest configuration that machine can execute.  Pass *mgr* (the
-    manager the property formulas were built on) to let that
-    degenerate path check the caller's suite directly instead of
-    rebuilding it from the spec.
+    *oversubscribe* is set (a warning reports the clamp, and
+    ``SessionReport.jobs`` always records the *effective* worker
+    count): splitting a suite across more processes than cores
+    forfeits the suite-level cache amortisation both engines depend on
+    and makes every worker slower — on one core the whole run degrades
+    to a single in-process session, which is the fastest configuration
+    that machine can execute.  Pass *mgr* (the manager the property
+    formulas were built on) to let that degenerate path check the
+    caller's suite directly instead of rebuilding it from the spec.
 
     On fork-capable platforms the parent first checks one *pilot*
     property per cone (which also settles the portfolio's per-cone
@@ -344,9 +453,7 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
     contexts, race history — by copy-on-write instead of rebuilding.
     """
     global _FORK_STATE
-    if engine not in ENGINES:
-        raise ValueError(f"unknown engine {engine!r}; "
-                         f"expected one of {ENGINES}")
+    engine_spec(engine)
     properties = list(properties)
     names = [p.name for p in properties]
     if len(set(names)) != len(names):
@@ -355,39 +462,60 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
     if spec is None:
         spec = SuiteSpec.for_core(core, properties)
     started = _time.perf_counter()
-    workers = jobs if oversubscribe else max(
-        1, min(jobs, _available_cpus()))
-    parts = partition_by_cone(core.circuit, properties, workers)
+    if oversubscribe:
+        workers = jobs
+    else:
+        workers = max(1, min(jobs, _available_cpus()))
+        if workers < jobs:
+            warnings.warn(
+                f"run_parallel: clamping jobs={jobs} to the {workers} "
+                f"available CPU(s); bench numbers from this run measure "
+                f"{workers} effective worker(s) (SessionReport.jobs "
+                f"records it). Pass oversubscribe=True to force.",
+                RuntimeWarning, stacklevel=2)
+    chunks = _ordered_chunks(core.circuit, properties, workers,
+                             cache_dir)
+    effective_jobs = 1
 
     worker_reports: List[Dict] = []
-    if len(parts) <= 1:
-        # Degenerate fan-out: run the one partition in-process.  With
-        # the caller's manager (the one the property formulas were
-        # built on) the caller's suite is checked directly; without it
-        # the properties' BDD constraints are unreadable here, so the
-        # partition rebuilds from the spec like any worker would.
+    if workers <= 1 or len(chunks) <= 1:
+        # Degenerate fan-out: run everything in-process.  With the
+        # caller's manager (the one the property formulas were built
+        # on) the caller's suite is checked directly; without it the
+        # properties' BDD constraints are unreadable here, so the run
+        # rebuilds from the spec like any worker would.
         if mgr is not None:
-            session = CheckSession(core.circuit, mgr, engine=engine)
-            for prop in properties:
-                session.check(prop.antecedent, prop.consequent,
-                              name=prop.name)
-            worker_reports.append(_report_delta(session.report(), None))
+            session = CheckSession(core.circuit, mgr, engine=engine,
+                                   cache=cache_dir, rerun=rerun)
+            try:
+                for prop in properties:
+                    session.check(prop.antecedent, prop.consequent,
+                                  name=prop.name)
+                worker_reports.append(
+                    _report_delta(session.report(), None))
+            finally:
+                session.close()
         else:
-            worker_reports.append(_run_partition(spec, names, engine))
-        parts = [names]
+            worker_reports.append(_run_partition(spec, names, engine,
+                                                 cache_dir, rerun))
     else:
         ctx = _mp_context()
         pilot_names: List[str] = []
+        pilot_session: Optional[CheckSession] = None
         if ctx.get_start_method() == "fork":
             # Pilot + stash: warm one property per cone in the parent,
             # hand the warmed session to the workers through fork COW.
             p_core, p_mgr, p_suite = spec.build()
             by_name = {p.name: p for p in p_suite}
-            session = CheckSession(p_core.circuit, p_mgr, engine=engine)
+            session = pilot_session = CheckSession(
+                p_core.circuit, p_mgr, engine=engine,
+                cache=cache_dir, rerun=rerun)
             seen_first: Dict[frozenset, str] = {}
-            for part in parts:
-                pilot = part[0]
-                prop = by_name[pilot]
+            for chunk in chunks:
+                pilot = chunk[0]
+                prop = by_name.get(pilot)
+                if prop is None:
+                    continue                 # unknown: workers report it
                 roots = frozenset(formula_nodes(prop.antecedent)) \
                     | frozenset(formula_nodes(prop.consequent))
                 if roots not in seen_first:
@@ -400,15 +528,23 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
                               name=pilot)
             worker_reports.append(_report_delta(session.report(), None))
             _FORK_STATE = (spec, session, by_name)
-            parts = [[n for n in part if n not in pilot_names]
-                     for part in parts]
-            parts = [part for part in parts if part]
-            if not parts:
+            chunks = [[n for n in chunk if n not in pilot_names]
+                      for chunk in chunks]
+            chunks = [chunk for chunk in chunks if chunk]
+            if not chunks:
                 # Every property was a pilot: the parent did all the
-                # work and no pool is needed.
+                # work and no worker pool is needed.
                 _FORK_STATE = None
         try:
-            if parts:
+            if chunks:
+                nproc = min(workers, len(chunks))
+                effective_jobs = nproc
+                task_queue = ctx.Queue()
+                result_queue = ctx.Queue()
+                for chunk in chunks:
+                    task_queue.put(chunk)
+                for _ in range(nproc):
+                    task_queue.put(None)     # one sentinel per worker
                 # Freeze the warmed heap before forking (the CPython-
                 # documented pattern): the BDD tables are millions of
                 # long-lived objects, and moving them to the permanent
@@ -417,15 +553,48 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
                 # those pages.
                 gc.collect()
                 gc.freeze()
-                with ProcessPoolExecutor(max_workers=len(parts),
-                                         mp_context=ctx) as pool:
-                    futures = [pool.submit(_run_partition, spec, part,
-                                           engine)
-                               for part in parts]
-                    worker_reports.extend(f.result() for f in futures)
+                procs = [ctx.Process(target=_worker_loop,
+                                     args=(task_queue, result_queue,
+                                           spec, engine, cache_dir,
+                                           rerun),
+                                     daemon=True)
+                         for _ in range(nproc)]
+                for proc in procs:
+                    proc.start()
+                error: Optional[BaseException] = None
+                pending = nproc
+                while pending:
+                    # A worker killed mid-check (OOM, segfault in a
+                    # giant BDD workload) never posts its result; poll
+                    # liveness so the run fails loudly instead of
+                    # blocking on the queue forever.
+                    try:
+                        status, payload = result_queue.get(timeout=1.0)
+                    except _queue.Empty:
+                        if any(p.is_alive() for p in procs):
+                            continue
+                        try:
+                            status, payload = result_queue.get_nowait()
+                        except _queue.Empty:
+                            raise RuntimeError(
+                                f"{pending} parallel worker(s) died "
+                                f"without reporting a result (exit "
+                                f"codes: "
+                                f"{[p.exitcode for p in procs]})")
+                    pending -= 1
+                    if status == "ok":
+                        worker_reports.append(payload)
+                    else:
+                        error = error or payload
+                for proc in procs:
+                    proc.join()
+                if error is not None:
+                    raise error
         finally:
             _FORK_STATE = None
             gc.unfreeze()
+            if pilot_session is not None:
+                pilot_session.close()
 
     by_name_out: Dict[str, PropertyOutcome] = {}
     models_compiled = 0
@@ -433,11 +602,14 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
     bdd_stats: Dict[str, int] = {}
     cache_stats: Dict[str, Dict[str, int]] = {}
     engine_stats: Dict[str, int] = {}
+    pcache = {"cache_hits": 0, "cache_misses": 0, "cache_stored": 0}
     for report in worker_reports:
         for outcome in report["outcomes"]:
             by_name_out[outcome.name] = outcome
         models_compiled += report["models_compiled"]
         model_reuses += report["model_reuses"]
+        for k in pcache:
+            pcache[k] += report.get(k, 0)
         for k, v in report["bdd_stats"].items():
             bdd_stats[k] = bdd_stats.get(k, 0) + v
         for op, counts in report["cache_stats"].items():
@@ -461,4 +633,5 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
         cache_stats=cache_stats,
         engine=engine,
         engine_stats=engine_stats,
-        jobs=max(1, len(parts)))
+        jobs=max(1, effective_jobs),
+        **pcache)

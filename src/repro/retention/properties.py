@@ -600,23 +600,33 @@ def run_suite(core: Core, properties: Sequence[CpuProperty],
 def run_suite_session(core: Core, properties: Sequence[CpuProperty],
                       mgr: Optional[BDDManager] = None,
                       engine: str = "ste",
-                      jobs: int = 1) -> SessionReport:
+                      jobs: int = 1,
+                      cache_dir: Optional[str] = None,
+                      rerun: str = "dirty") -> SessionReport:
     """Batched suite run with the aggregate session report (per-unit
     timing, model reuse and engine statistics) on any backend.
 
     ``jobs > 1`` fans the properties out across worker processes
-    (grouped by cone, one BDD manager / SAT context per worker) via
-    :func:`repro.parallel.run_parallel`; worker processes rebuild the
-    suite from the core's recipe, so *properties* must come from
-    :func:`build_suite` (when the run degrades to a single in-process
-    partition, *mgr* lets it check the caller's suite directly), and
-    verdicts stay identical to the serial run.
-    ``engine="portfolio"`` races STE against BMC per property in
-    either mode.
+    (grouped by cone, pulled from a shared work queue, one BDD manager
+    / SAT context per worker) via :func:`repro.parallel.run_parallel`;
+    worker processes rebuild the suite from the core's recipe, so
+    *properties* must come from :func:`build_suite` (when the run
+    degrades to a single in-process partition, *mgr* lets it check the
+    caller's suite directly), and verdicts stay identical to the
+    serial run.  ``engine="portfolio"`` races STE against BMC per
+    property in either mode.
+
+    *cache_dir* attaches the persistent verdict cache
+    (:class:`repro.core.VerdictCache`): warm re-runs skip properties
+    whose cone/property fingerprints are unchanged and serve the
+    stored verdicts instead — *rerun* selects the policy (see
+    :data:`repro.core.RERUN_MODES`).
     """
     if jobs > 1:
         from ..parallel import run_parallel
         return run_parallel(core, list(properties), jobs=jobs,
-                            engine=engine, mgr=mgr)
-    session = CheckSession(core.circuit, mgr or BDDManager(), engine=engine)
+                            engine=engine, mgr=mgr, cache_dir=cache_dir,
+                            rerun=rerun)
+    session = CheckSession(core.circuit, mgr or BDDManager(),
+                           engine=engine, cache=cache_dir, rerun=rerun)
     return session.run(properties)

@@ -332,6 +332,15 @@ class BMCEngine:
             self.solver.add_clause(clauses[i])
         self._fed_clauses = len(clauses)
 
+    def stats(self) -> Dict[str, int]:
+        """Engine counters for session aggregation (the
+        :class:`repro.core.registry.Engine` ``stats`` surface): the
+        incremental solver's totals plus the frame-cache traffic."""
+        stats = dict(self.solver.stats())
+        stats["frames_computed"] = self.frames_computed
+        stats["frames_reused"] = self.frames_reused
+        return stats
+
     # ------------------------------------------------------------------
     def prepare(self, mgr: BDDManager, antecedent: Formula,
                 consequent: Formula,

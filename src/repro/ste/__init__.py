@@ -3,7 +3,8 @@ symbolic indexing and the inference-rule theorem prover."""
 
 from .checker import Failure, STEResult, check, check_compiled
 from .session import CheckSession, PropertyOutcome, SessionReport
-from .counterexample import CounterExample, all_assignments, extract, format_trace
+from .counterexample import (CounterExample, all_assignments, cex_text_for,
+                             extract, format_trace)
 from .formula import (Formula, NodeIs, Conj, When, Next, TRUE_FORMULA,
                       conj, defining_atoms, defining_sequence,
                       formula_depth, formula_nodes,
@@ -18,6 +19,7 @@ __all__ = [
     "check", "check_compiled", "STEResult", "Failure",
     "CheckSession", "PropertyOutcome", "SessionReport",
     "CounterExample", "extract", "all_assignments", "format_trace",
+    "cex_text_for",
     "Formula", "NodeIs", "Conj", "When", "Next", "TRUE_FORMULA",
     "is0", "is1", "node_is", "vec_is", "conj", "when", "next_", "from_to",
     "defining_sequence", "defining_atoms", "formula_depth", "formula_nodes",

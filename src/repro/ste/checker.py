@@ -144,8 +144,9 @@ def check(model: Union[Circuit, CompiledModel],
                                    use_coi=use_coi)
         return session.check(antecedent, consequent, engine="portfolio")
     if engine != "ste":
+        from ..core.registry import engine_names
         raise ValueError(f"unknown engine {engine!r}; "
-                         f"expected 'ste', 'bmc' or 'portfolio'")
+                         f"expected one of {engine_names()}")
     started = _time.perf_counter()
     if isinstance(model, CompiledModel):
         compiled = model

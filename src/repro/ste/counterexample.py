@@ -22,7 +22,27 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 from ..bdd import Ref
 from .checker import Failure, STEResult
 
-__all__ = ["CounterExample", "extract", "all_assignments", "format_trace"]
+__all__ = ["CounterExample", "extract", "all_assignments", "format_trace",
+           "cex_text_for"]
+
+
+def cex_text_for(result) -> Optional[str]:
+    """The rendered counterexample trace for a result, or None.
+
+    The one shared answer to "what trace do I show for this result?":
+    a pre-rendered ``cex_text`` travels as-is (cache-served verdicts
+    and cross-process projections carry one instead of live BDD/solver
+    state); a live failing result renders here via :func:`extract` +
+    :func:`format_trace`; passing results — and cached failures whose
+    trace could not be rendered at store time — yield None.
+    """
+    text = getattr(result, "cex_text", None)
+    if text is not None:
+        return text
+    if result.passed or getattr(result, "cached", False):
+        return None
+    cex = extract(result)
+    return None if cex is None else format_trace(cex)
 
 
 @dataclass

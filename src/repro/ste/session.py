@@ -1,554 +1,18 @@
-"""Batched STE checking sessions.
+"""Batched checking sessions — re-exported from :mod:`repro.core`.
 
-The paper's methodology decomposes verification into many small
-properties over *one* circuit (26 properties on the RISC core, each
-scoped to a functional unit).  Checking them one at a time through
-:func:`repro.ste.check` re-pays, per property, the costs that are
-really per-suite:
-
-* structural validation of the netlist,
-* cone-of-influence extraction and model compilation (many properties
-  observe the same unit and therefore share a cone),
-* BDD computed-table warm-up.
-
-:class:`CheckSession` amortises all three.  It validates the circuit
-once, keeps a cache of compiled cone models keyed by the cone's node
-set (so ``control_RegDst`` and ``control_RegWrite`` reuse one model the
-moment their cones coincide), shares a single BDD manager across the
-whole run, and aggregates timing and BDD-cache statistics into a
-:class:`SessionReport`.
-
-Verdicts are bit-identical to per-property :func:`~repro.ste.check`
-calls: the session routes every property through the same
-:func:`~repro.ste.checker.check_compiled` decision procedure on the
-same cone-reduced model that ``check`` would have built.
+The session layer grew up and moved out: :class:`CheckSession` is now
+the thin orchestrator of :mod:`repro.core.session`, dispatching to
+backends through the engine registry, fingerprinting every check and
+(optionally) serving verdicts from the persistent on-disk cache.  This
+module remains as the historical import path — ``from repro.ste
+import CheckSession`` and ``repro.ste.session.CheckSession`` keep
+working, and the semantics documented there (one validation pass per
+suite, cone-keyed model sharing, verdicts bit-identical to one-shot
+:func:`repro.ste.check` calls) are unchanged.
 """
 
-from __future__ import annotations
+from ..core.session import (RERUN_MODES, CheckSession, PropertyOutcome,
+                            SessionReport)
 
-import queue as _queue
-import threading as _threading
-import time as _time
-from dataclasses import dataclass, field
-from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, List,
-                    Optional, Tuple, Union)
-
-from ..bdd import BDDManager
-from ..engine import ENGINES, EngineAborted, EngineReport
-from ..fsm import CompiledModel, compile_circuit
-from ..netlist import Circuit, cone_of_influence, require_valid
-from .checker import STEResult, check_compiled
-from .formula import Formula, formula_nodes
-
-if TYPE_CHECKING:
-    from ..sat.bmc import BMCEngine
-
-__all__ = ["CheckSession", "SessionReport", "PropertyOutcome"]
-
-
-@dataclass
-class PropertyOutcome:
-    """One property's result inside a session run."""
-
-    name: str
-    result: EngineReport      # STEResult or repro.sat.BMCResult
-    cone_nodes: int           # node count of the model it ran on
-    reused_model: bool        # True when the compiled cone was cached
-    engine: str = "ste"       # which backend decided it
-
-    @property
-    def passed(self) -> bool:
-        return self.result.passed
-
-
-@dataclass
-class SessionReport:
-    """Aggregate view of a session run — the suite-level analogue of
-    :meth:`~repro.ste.checker.STEResult.summary`.
-
-    Cache hit/miss counters are *session-relative* (deltas from the
-    session's creation, so pre-existing manager traffic is excluded);
-    node/variable/table-entry counts are manager-absolute gauges.
-    """
-
-    outcomes: List[PropertyOutcome]
-    elapsed_seconds: float
-    models_compiled: int
-    model_reuses: int
-    bdd_stats: Dict[str, int]
-    cache_stats: Dict[str, Dict[str, int]]
-    #: the session's default engine ("ste" | "bmc" | "portfolio")
-    engine: str = "ste"
-    #: aggregate SAT-solver counters (empty when no BMC check ran)
-    engine_stats: Dict[str, int] = field(default_factory=dict)
-    #: worker-process count that produced this report (1 = in-process)
-    jobs: int = 1
-
-    @property
-    def passed(self) -> bool:
-        return all(o.passed for o in self.outcomes)
-
-    @property
-    def failures(self) -> List[PropertyOutcome]:
-        return [o for o in self.outcomes if not o.passed]
-
-    @property
-    def engine_wins(self) -> Dict[str, int]:
-        """Deciding-engine counts across the outcomes — for a portfolio
-        run, which backend delivered each first verdict."""
-        wins: Dict[str, int] = {}
-        for o in self.outcomes:
-            wins[o.engine] = wins.get(o.engine, 0) + 1
-        return wins
-
-    def verdicts(self) -> Dict[str, bool]:
-        return {o.name: o.passed for o in self.outcomes}
-
-    def results(self) -> Dict[str, STEResult]:
-        return {o.name: o.result for o in self.outcomes}
-
-    def check_seconds(self) -> float:
-        """Time spent inside the decision procedure (excludes property
-        construction done by the caller between checks)."""
-        return sum(o.result.elapsed_seconds for o in self.outcomes)
-
-    def summary(self) -> str:
-        n = len(self.outcomes)
-        failed = len(self.failures)
-        status = "PASS" if failed == 0 else f"FAIL({failed}/{n})"
-        hits = self.bdd_stats.get("cache_hits", 0)
-        misses = self.bdd_stats.get("cache_misses", 0)
-        total = hits + misses
-        rate = (100.0 * hits / total) if total else 0.0
-        line = (f"Session[{self.engine}] {status} properties={n} "
-                f"models={self.models_compiled}(+{self.model_reuses} reused) "
-                f"bdd_nodes={self.bdd_stats.get('nodes', 0)} "
-                f"cache_hit_rate={rate:.1f}% "
-                f"time={self.elapsed_seconds:.3f}s")
-        if self.jobs > 1:
-            line += f" jobs={self.jobs}"
-        if self.engine == "portfolio":
-            wins = self.engine_wins
-            line += " wins[" + " ".join(
-                f"{e}={wins[e]}" for e in sorted(wins)) + "]"
-        if self.engine_stats:
-            line += (f" sat_conflicts={self.engine_stats.get('conflicts', 0)}"
-                     f" sat_vars={self.engine_stats.get('variables', 0)}")
-        return line
-
-
-#: Accepted property shapes: objects with name/antecedent/consequent
-#: attributes (e.g. retention.CpuProperty) or (name, antecedent,
-#: consequent) triples.
-PropertyLike = Union[Tuple[str, Formula, Formula], object]
-
-
-class CheckSession:
-    """Compile a circuit once; check a whole property suite against it.
-
-    Usage::
-
-        session = CheckSession(core.circuit, mgr)          # BDD/STE
-        session = CheckSession(core.circuit, mgr, engine="bmc")  # SAT
-        for prop in suite:
-            result = session.check(prop.antecedent, prop.consequent,
-                                   name=prop.name)
-        print(session.report().summary())
-
-    or, batched::
-
-        report = session.run(suite)
-
-    *engine* selects the default backend; each :meth:`check` call can
-    override it, so one session can mix engines (e.g. STE for the small
-    control cones, BMC for the wide datapath ones).  Both backends share
-    the cone-of-influence extraction and caching: an STE check and a BMC
-    check on the same cone reuse one cone walk, and each engine keeps
-    its own compiled artefact per cone (a BDD model / an incremental SAT
-    context).
-
-    ``engine="portfolio"`` *races* the two backends per property and
-    takes the first verdict (see :meth:`_check_portfolio`).  On a cone
-    the session has never decided before, the race is flat: the BDD
-    work is prepared serially (the manager is not thread-safe), then
-    the CDCL search runs in a side thread against the STE trajectory
-    computation and the loser is cancelled cooperatively.  On repeat
-    cones the race is *staggered into time slices*: the incumbent —
-    the engine that last delivered a verdict on the cone — runs alone
-    under a budget of ``stagger_factor`` times its last winning time,
-    then the challenger gets the same slice, with budgets growing
-    geometrically until one engine answers.  Aborted slices are cheap
-    to resume: the BDD computed tables, the BMC frame cache and the
-    learnt clauses all survive an abort, so alternation costs far less
-    than running both engines to completion — a settled cone costs one
-    engine, not two, while a mis-prediction still gets hedged.  Either
-    way the verdict is whichever engine answers first, and both
-    engines answer alike (pinned by the differential suite).
-    """
-
-    #: On a cone with race history, the incumbent engine's first time
-    #: slice is (this factor × its largest winning time on the cone);
-    #: 0 disables prediction and races both engines flat-out on every
-    #: property.
-    stagger_factor = 2.5
-
-    #: Seconds granted to the optimistic STE probe on a cone with no
-    #: race history, before the flat race (and its BMC encode cost)
-    #: is engaged.
-    race_probe_budget = 2.0
-
-    def __init__(self, circuit: Circuit, mgr: Optional[BDDManager] = None,
-                 *, use_coi: bool = True, validate: bool = True,
-                 engine: str = "ste"):
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; "
-                             f"expected one of {ENGINES}")
-        if validate:
-            require_valid(circuit)
-        self.circuit = circuit
-        self.mgr = mgr or BDDManager()
-        self.use_coi = use_coi
-        self.engine = engine
-        self.models_compiled = 0
-        self.model_reuses = 0
-        self._name_counts: Dict[str, int] = {}
-        self._outcomes: List[PropertyOutcome] = []
-        self._started = _time.perf_counter()
-        # Counter baselines, so the report attributes only the session's
-        # own traffic to the suite (the shared manager may already carry
-        # formula-construction work done before the session existed).
-        self._base_cache_stats = self.mgr.cache_stats()
-        # Compiled models keyed by the cone's node-name set: properties
-        # with different root sets but identical cones share a model.
-        self._models: Dict[FrozenSet[str], CompiledModel] = {}
-        # roots -> cone key, so repeated root sets skip the cone walk.
-        self._cone_keys: Dict[FrozenSet[str], FrozenSet[str]] = {}
-        # cone key -> the reduced circuit (shared by both engines).
-        self._cones: Dict[FrozenSet[str], Circuit] = {}
-        self._full_model: Optional[CompiledModel] = None
-        # cone key -> incremental SAT context (None key: full circuit).
-        self._bmc_engines: Dict[Optional[FrozenSet[str]], "BMCEngine"] = {}
-        # cone key -> {engine: last winning wall time} (portfolio).
-        self._race_history: Dict[Optional[FrozenSet[str]],
-                                 Dict[str, float]] = {}
-        # cone key -> the engine that last delivered a verdict there.
-        self._race_incumbent: Dict[Optional[FrozenSet[str]], str] = {}
-
-    # ------------------------------------------------------------------
-    def _cone_for(self, antecedent: Formula, consequent: Formula
-                  ) -> Tuple[Optional[FrozenSet[str]], Circuit]:
-        """(cache key, circuit to check) for a property — one cone walk
-        per distinct root set, one cone per distinct node set.  With
-        ``use_coi=False`` the key is ``None`` and the circuit is the
-        full one, so both engine caches key the two paths uniformly."""
-        if not self.use_coi:
-            return None, self.circuit
-        roots = frozenset(formula_nodes(antecedent)) | frozenset(
-            formula_nodes(consequent))
-        key = self._cone_keys.get(roots)
-        if key is None:
-            cone = cone_of_influence(self.circuit, sorted(roots))
-            key = frozenset(cone.inputs) | frozenset(cone.gates) | frozenset(
-                cone.registers)
-            self._cone_keys[roots] = key
-            self._cones.setdefault(key, cone)
-        return key, self._cones[key]
-
-    def model_for(self, antecedent: Formula, consequent: Formula
-                  ) -> Tuple[CompiledModel, bool]:
-        """The compiled (cone-reduced) BDD model both formulas run on,
-        plus whether it was served from the session cache."""
-        key, circuit = self._cone_for(antecedent, consequent)
-        if key is None:
-            if self._full_model is None:
-                self._full_model = compile_circuit(
-                    circuit, self.mgr, validate=False)
-                self.models_compiled += 1
-                return self._full_model, False
-            self.model_reuses += 1
-            return self._full_model, True
-        model = self._models.get(key)
-        if model is None:
-            model = compile_circuit(circuit, self.mgr, validate=False)
-            self._models[key] = model
-            self.models_compiled += 1
-            return model, False
-        self.model_reuses += 1
-        return model, True
-
-    def bmc_engine_for(self, antecedent: Formula, consequent: Formula
-                       ) -> Tuple["BMCEngine", bool]:
-        """The incremental SAT context for the property's cone, plus
-        whether it was served from the session cache."""
-        key, circuit = self._cone_for(antecedent, consequent)
-        engine = self._bmc_engines.get(key)
-        if engine is None:
-            from ..sat.bmc import BMCEngine
-            engine = BMCEngine(circuit)
-            self._bmc_engines[key] = engine
-            self.models_compiled += 1
-            return engine, False
-        self.model_reuses += 1
-        return engine, True
-
-    # ------------------------------------------------------------------
-    def _run_solo(self, engine: str, antecedent: Formula,
-                  consequent: Formula, model: CompiledModel,
-                  budget: Optional[float]
-                  ) -> Tuple[Optional[EngineReport], float]:
-        """One engine alone, bounded by *budget* seconds through its
-        cooperative abort hook (no threads involved).  Returns
-        ``(result, elapsed)``; the result is None on overrun, with the
-        engine's persistent artefacts intact."""
-        t0 = _time.perf_counter()
-        abort = (None if budget is None
-                 else lambda: _time.perf_counter() - t0 > budget)
-        try:
-            if engine == "ste":
-                result: EngineReport = check_compiled(
-                    model, antecedent, consequent, abort=abort)
-            else:
-                bmc_engine, _ = self.bmc_engine_for(antecedent, consequent)
-                query = bmc_engine.prepare(self.mgr, antecedent, consequent,
-                                           abort=abort)
-                result = bmc_engine.solve_prepared(query, abort=abort)
-        except EngineAborted:
-            return None, _time.perf_counter() - t0
-        return result, _time.perf_counter() - t0
-
-    def _race_flat(self, antecedent: Formula, consequent: Formula,
-                   model: CompiledModel,
-                   history: Dict[str, float]
-                   ) -> Tuple[EngineReport, str]:
-        """The flat two-thread race for a cone with no history.
-
-        All BDD-manager work — cone compilation and the BMC prepare
-        stage — happens serially before the threads start, so the two
-        racers touch disjoint state (the STE thread owns the manager,
-        the BMC thread only its CNF/solver).  The loser is cancelled
-        cooperatively and joined before this returns; its persistent
-        per-cone artefacts survive for the next property."""
-        bmc_engine, _ = self.bmc_engine_for(antecedent, consequent)
-        query = bmc_engine.prepare(self.mgr, antecedent, consequent)
-        cancel = _threading.Event()
-        results: _queue.Queue = _queue.Queue()
-
-        def racer(name, fn):
-            t0 = _time.perf_counter()
-            try:
-                outcome = fn()
-            except EngineAborted:
-                results.put((name, None, 0.0))
-                return
-            except BaseException as exc:     # surfaced to the caller
-                results.put((name, exc, 0.0))
-                return
-            results.put((name, outcome, _time.perf_counter() - t0))
-
-        runners = {
-            "ste": lambda: check_compiled(model, antecedent, consequent,
-                                          abort=cancel.is_set),
-            "bmc": lambda: bmc_engine.solve_prepared(query,
-                                                     abort=cancel.is_set),
-        }
-        threads = [_threading.Thread(target=racer,
-                                     args=(name, runners[name]),
-                                     daemon=True)
-                   for name in ("ste", "bmc")]
-        for th in threads:
-            th.start()
-        winner: Optional[str] = None
-        result: Optional[EngineReport] = None
-        error: Optional[BaseException] = None
-        for _ in range(len(threads)):
-            name, payload, elapsed = results.get()
-            if payload is None:
-                continue                     # aborted loser
-            if isinstance(payload, BaseException):
-                error = error or payload
-                continue
-            winner, result = name, payload
-            history[name] = max(history.get(name, 0.0), elapsed)
-            break
-        cancel.set()
-        for th in threads:
-            th.join()
-        if winner is None or result is None:
-            if error is not None:
-                raise error
-            raise RuntimeError("portfolio race produced no verdict")
-        # A photo-finish loser that completed before the cancel also
-        # carries a real timing — fold it into the cone history.
-        while True:
-            try:
-                name, payload, elapsed = results.get_nowait()
-            except _queue.Empty:
-                break
-            if payload is not None and not isinstance(payload,
-                                                      BaseException):
-                history[name] = max(history.get(name, 0.0), elapsed)
-        return result, winner
-
-    def _check_portfolio(self, antecedent: Formula, consequent: Formula
-                         ) -> Tuple[EngineReport, str, bool, int]:
-        """Decide one property by portfolio; first verdict wins.
-
-        Returns ``(result, winning engine, STE model cached, cone node
-        count)``.  Novel cone: flat thread race.  Cone with history:
-        budgeted alternation — the incumbent runs solo under
-        ``stagger_factor`` times its last winning time (skipping the
-        other engine's entire cost, including the BMC prepare/encode
-        stage, which is what makes a settled portfolio as cheap as the
-        better single engine), then the challenger gets the same
-        slice, and budgets quadruple per round until a verdict lands.
-        Both engines resume cheaply after an aborted slice (computed
-        tables / frame cache / learnt clauses persist), so a
-        mis-prediction costs a bounded multiple of the eventual
-        winner's time instead of the sum of both engines.
-        """
-        key, _ = self._cone_for(antecedent, consequent)
-        model, reused_m = self.model_for(antecedent, consequent)
-        history = self._race_history.setdefault(key, {})
-        cone_nodes = len(model.circuit.all_nodes())
-
-        incumbent = self._race_incumbent.get(key)
-        if incumbent is None or not self.stagger_factor:
-            # Optimistic STE probe before the full race: STE has no
-            # encode stage, so a novel cone whose STE check is quick
-            # (the common case for control cones) never pays the BMC
-            # BDD→CNF conversion at all.
-            if self.stagger_factor:
-                result, elapsed = self._run_solo(
-                    "ste", antecedent, consequent, model,
-                    self.race_probe_budget)
-                if result is not None:
-                    history["ste"] = max(history.get("ste", 0.0), elapsed)
-                    self._race_incumbent[key] = "ste"
-                    return result, "ste", reused_m, cone_nodes
-            result, winner = self._race_flat(antecedent, consequent,
-                                             model, history)
-            self._race_incumbent[key] = winner
-            return result, winner, reused_m, cone_nodes
-
-        challenger = "bmc" if incumbent == "ste" else "ste"
-        # Budget off the *largest* win recorded on the cone (the
-        # history keeps per-engine running maxima): per-property costs
-        # within one cone vary by orders of magnitude, and a budget
-        # keyed to the last (possibly tiny) win would churn through
-        # alternation rounds on every expensive property.  The
-        # challenger's slice trails the incumbent's by one growth step:
-        # the incumbent's aborted slices are recovered by its caches on
-        # the next attempt, but a losing challenger's slices are the
-        # alternation's only dead cost, so they are kept small until
-        # the incumbent has genuinely stalled.
-        budget = max(0.25, self.stagger_factor * max(history.values(),
-                                                     default=0.1))
-        while True:
-            result, elapsed = self._run_solo(
-                incumbent, antecedent, consequent, model, budget)
-            if result is None:
-                result, elapsed = self._run_solo(
-                    challenger, antecedent, consequent, model,
-                    budget / 4)
-                engine = challenger
-            else:
-                engine = incumbent
-            if result is not None:
-                history[engine] = max(history.get(engine, 0.0), elapsed)
-                self._race_incumbent[key] = engine
-                return result, engine, reused_m, cone_nodes
-            budget *= 4
-
-    def check(self, antecedent: Formula, consequent: Formula,
-              name: Optional[str] = None,
-              engine: Optional[str] = None) -> EngineReport:
-        """Check one property; verdicts identical to the one-shot
-        ``repro.ste.check(circuit, antecedent, consequent, mgr,
-        engine=...)`` on either backend."""
-        engine = engine or self.engine
-        if engine == "ste":
-            model, reused = self.model_for(antecedent, consequent)
-            result: EngineReport = check_compiled(
-                model, antecedent, consequent)
-            cone_nodes = len(model.circuit.all_nodes())
-        elif engine == "bmc":
-            bmc_engine, reused = self.bmc_engine_for(antecedent, consequent)
-            result = bmc_engine.check(self.mgr, antecedent, consequent)
-            cone_nodes = len(bmc_engine.model.circuit.all_nodes())
-        elif engine == "portfolio":
-            result, engine, reused, cone_nodes = self._check_portfolio(
-                antecedent, consequent)
-        else:
-            raise ValueError(f"unknown engine {engine!r}; "
-                             f"expected one of {ENGINES}")
-        name = name or f"property_{len(self._outcomes)}"
-        # Outcome names key SessionReport.verdicts()/results(); a repeat
-        # must not shadow an earlier outcome (e.g. two memory properties
-        # over the same geometry), so disambiguate with a suffix.
-        seen = self._name_counts.get(name, 0)
-        self._name_counts[name] = seen + 1
-        if seen:
-            name = f"{name}#{seen + 1}"
-        self._outcomes.append(PropertyOutcome(
-            name=name,
-            result=result,
-            cone_nodes=cone_nodes,
-            reused_model=reused,
-            engine=engine))
-        return result
-
-    def run(self, properties: Iterable[PropertyLike],
-            engine: Optional[str] = None) -> SessionReport:
-        """Check a whole suite and return the aggregate report."""
-        for prop in properties:
-            if isinstance(prop, tuple):
-                name, antecedent, consequent = prop
-            else:
-                name = getattr(prop, "name", None)
-                antecedent = prop.antecedent
-                consequent = prop.consequent
-            self.check(antecedent, consequent, name=name, engine=engine)
-        return self.report()
-
-    # ------------------------------------------------------------------
-    @property
-    def outcomes(self) -> List[PropertyOutcome]:
-        return list(self._outcomes)
-
-    def report(self) -> SessionReport:
-        # Hit/miss counters are reported relative to the session start;
-        # gauges (nodes, vars, table entries) stay absolute.
-        cache_stats: Dict[str, Dict[str, int]] = {}
-        for op, now in self.mgr.cache_stats().items():
-            base = self._base_cache_stats.get(op, {})
-            cache_stats[op] = {
-                "hits": now["hits"] - base.get("hits", 0),
-                "misses": now["misses"] - base.get("misses", 0),
-                "entries": now["entries"],
-            }
-        bdd_stats = self.mgr.stats()
-        bdd_stats["cache_hits"] = sum(s["hits"] for s in cache_stats.values())
-        bdd_stats["cache_misses"] = sum(s["misses"]
-                                        for s in cache_stats.values())
-        # Aggregate SAT counters across every cone's incremental solver
-        # (engines are session-born, so totals are session-relative).
-        # Counters sum; a per-solver maximum must not.
-        engine_stats: Dict[str, int] = {}
-        for bmc_engine in self._bmc_engines.values():
-            for key, value in bmc_engine.solver.stats().items():
-                if key == "max_learnt_len":
-                    engine_stats[key] = max(engine_stats.get(key, 0), value)
-                else:
-                    engine_stats[key] = engine_stats.get(key, 0) + value
-            for key in ("frames_computed", "frames_reused"):
-                engine_stats[key] = (engine_stats.get(key, 0)
-                                     + getattr(bmc_engine, key))
-        return SessionReport(
-            outcomes=list(self._outcomes),
-            elapsed_seconds=_time.perf_counter() - self._started,
-            models_compiled=self.models_compiled,
-            model_reuses=self.model_reuses,
-            bdd_stats=bdd_stats,
-            cache_stats=cache_stats,
-            engine=self.engine,
-            engine_stats=engine_stats)
+__all__ = ["CheckSession", "SessionReport", "PropertyOutcome",
+           "RERUN_MODES"]

@@ -81,6 +81,79 @@ class TestOnlyValidation:
         assert "selected no properties" in capsys.readouterr().err
 
 
+class TestCacheFlags:
+    def test_cache_dir_cold_then_warm(self, tmp_path, capsys):
+        cache = str(tmp_path / "verdicts")
+        code = run_cli("--suite", "1", "--only", CHEAP,
+                       "--cache-dir", cache, "--quiet")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pcache=0/1" in out
+        assert "cache[dirty]" in out and "0/1 checks skipped" in out
+        # Warm: the verdict comes from disk, nothing is re-decided.
+        code = run_cli("--suite", "1", "--only", CHEAP,
+                       "--cache-dir", cache, "--quiet")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pcache=1/1" in out
+        assert "1/1 checks skipped (100%)" in out
+        assert "models=0" in out
+
+    def test_rerun_all_refreshes(self, tmp_path, capsys):
+        cache = str(tmp_path / "verdicts")
+        run_cli("--suite", "1", "--only", CHEAP, "--cache-dir", cache,
+                "--quiet")
+        capsys.readouterr()
+        code = run_cli("--suite", "1", "--only", CHEAP,
+                       "--cache-dir", cache, "--rerun", "all", "--quiet")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cache[all]" in out and "0/1 checks skipped" in out
+
+    def test_rerun_failed_re_decides_failures(self, tmp_path, capsys):
+        cache = str(tmp_path / "verdicts")
+        run_cli("--suite", "2", "--design", "buggy", "--only", CHEAP,
+                "--cache-dir", cache, "--quiet")
+        capsys.readouterr()
+        # dirty-mode warm run serves the stored failure (with exit 1)…
+        code = run_cli("--suite", "2", "--design", "buggy",
+                       "--only", CHEAP, "--cache-dir", cache, "--cex")
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "1/1 checks skipped" in out
+        assert "counterexample at" in out    # cached trace still prints
+        # …while --rerun failed re-decides it.
+        code = run_cli("--suite", "2", "--design", "buggy",
+                       "--only", CHEAP, "--cache-dir", cache,
+                       "--rerun", "failed", "--quiet")
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "0/1 checks skipped" in out
+
+    def test_no_cache_overrides(self, tmp_path, capsys):
+        cache = str(tmp_path / "verdicts")
+        run_cli("--suite", "1", "--only", CHEAP, "--cache-dir", cache,
+                "--quiet")
+        capsys.readouterr()
+        code = run_cli("--suite", "1", "--only", CHEAP,
+                       "--cache-dir", cache, "--no-cache", "--quiet")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pcache" not in out and "cache[" not in out
+
+    def test_jobs_with_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "verdicts")
+        run_cli("--suite", "1", "--only", f"{CHEAP},control_MemRead",
+                "--cache-dir", cache, "--quiet")
+        capsys.readouterr()
+        code = run_cli("--suite", "1", "--engine", "portfolio",
+                       "--jobs", "2", "--cache-dir", cache,
+                       "--only", f"{CHEAP},control_MemRead", "--quiet")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2/2 checks skipped (100%)" in out
+
+
 class TestEngines:
     def test_portfolio_smoke(self, capsys):
         code = run_cli("--suite", "1", "--only", CHEAP,

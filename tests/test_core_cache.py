@@ -1,0 +1,360 @@
+"""The persistent verdict cache (repro.core.cache) and its session
+integration: store/lookup round trips, stale-schema eviction, rerun
+policies, race-history persistence and the engine registry surface
+(fast tier, retention-cell sized circuits)."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.core import (CachedResult, CheckSession, SCHEMA_VERSION,
+                        VerdictCache, engine_names, engine_spec,
+                        register_engine, unregister_engine)
+from repro.netlist import Circuit
+from repro.retention.spec import property1_schedule, property2_schedule
+from repro.ste import conj, next_, node_is
+
+
+def retention_cell(retained=True):
+    circuit = Circuit("cell")
+    for name in ("clock", "NRET", "NRST", "d"):
+        circuit.add_input(name)
+    circuit.add_dff("q", "d", "clock",
+                    nrst="NRST", nret="NRET" if retained else None, init=0)
+    circuit.set_output("q")
+    return circuit
+
+
+def hold_property(mgr, sched):
+    b = mgr.var("b")
+    antecedent = conj([sched.base, next_(node_is("q", b), 1)])
+    consequent = next_(node_is("q", b), sched.t_resume - 1)
+    return antecedent, consequent
+
+
+@dataclass
+class _FakeFailure:
+    time: int
+    node: str
+
+
+@dataclass
+class _FakeResult:
+    engine: str = "ste"
+    passed: bool = True
+    vacuous: bool = False
+    failures: List[_FakeFailure] = field(default_factory=list)
+    depth: int = 3
+    checked_points: int = 7
+    elapsed_seconds: float = 0.25
+
+
+class TestVerdictCacheStore:
+    def test_roundtrip(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        result = _FakeResult(failures=[_FakeFailure(2, "q")],
+                             passed=False)
+        cache.store("fp1", cone_fp="cone1", name="p", engine="ste",
+                    result=result, cone_nodes=5, cex_text="trace!")
+        hit = cache.lookup("fp1")
+        assert hit is not None
+        cached, cone_nodes = hit
+        assert isinstance(cached, CachedResult)
+        assert cached.engine == "ste" and not cached.passed
+        assert not cached.vacuous
+        assert [(f.time, f.node) for f in cached.failures] == [(2, "q")]
+        assert cached.depth == 3 and cached.checked_points == 7
+        assert cached.elapsed_seconds == pytest.approx(0.25)
+        assert cached.cex_text == "trace!"
+        assert cached.cached
+        assert "[cached]" in cached.summary() and "FAIL" in cached.summary()
+        assert cone_nodes == 5
+        assert cache.lookup("missing") is None
+        assert cache.stats() == {"hits": 1, "misses": 1, "stored": 1,
+                                 "entries": 1}
+
+    def test_reopen_persists(self, tmp_path):
+        with VerdictCache(tmp_path) as cache:
+            cache.store("fp", cone_fp="c", name="p", engine="bmc",
+                        result=_FakeResult(engine="bmc"), cone_nodes=3)
+        with VerdictCache(tmp_path) as cache:
+            hit = cache.lookup("fp")
+            assert hit is not None and hit[0].engine == "bmc"
+
+    def test_stale_schema_version_is_ignored(self, tmp_path):
+        """Entries written under a different schema version are dropped
+        wholesale on open — a stale cache re-populates, never serves."""
+        with VerdictCache(tmp_path) as cache:
+            cache.store("fp", cone_fp="c", name="p", engine="ste",
+                        result=_FakeResult(), cone_nodes=3)
+            cache.store_race("c", "ste", {"ste": 0.5})
+        with VerdictCache(tmp_path,
+                          schema_version=SCHEMA_VERSION + 1) as cache:
+            assert cache.lookup("fp") is None
+            assert cache.race_history("c") is None
+            # …and the new version can store fresh entries.
+            cache.store("fp", cone_fp="c", name="p", engine="ste",
+                        result=_FakeResult(), cone_nodes=3)
+        # Coming back with the *old* version evicts again: the file is
+        # trusted only when the versions match exactly.
+        with VerdictCache(tmp_path) as cache:
+            assert cache.lookup("fp") is None
+
+    def test_costs_and_race_history(self, tmp_path):
+        cache = VerdictCache(tmp_path)
+        cache.store("f1", cone_fp="c1", name="cheap", engine="ste",
+                    result=_FakeResult(elapsed_seconds=0.1), cone_nodes=1)
+        cache.store("f2", cone_fp="c1", name="dear", engine="ste",
+                    result=_FakeResult(elapsed_seconds=9.0), cone_nodes=1)
+        costs = cache.costs_by_name(["cheap", "dear", "unknown"])
+        assert costs == {"cheap": pytest.approx(0.1),
+                         "dear": pytest.approx(9.0)}
+        assert cache.race_history("c1") is None
+        cache.store_race("c1", "bmc", {"ste": 1.0, "bmc": 0.2})
+        incumbent, times = cache.race_history("c1")
+        assert incumbent == "bmc"
+        assert times == {"ste": pytest.approx(1.0),
+                         "bmc": pytest.approx(0.2)}
+        cache.clear()
+        assert cache.lookup("f1") is None
+        assert cache.race_history("c1") is None
+
+
+class TestSessionCacheIntegration:
+    def _session(self, tmp_path, circuit, mgr, **kw):
+        return CheckSession(circuit, mgr, cache=str(tmp_path), **kw)
+
+    def test_warm_session_skips_and_matches(self, tmp_path):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        cold = self._session(tmp_path, circuit, mgr)
+        r_cold = cold.check(antecedent, consequent, name="hold")
+        report_cold = cold.report()
+        assert report_cold.cache_hits == 0
+        assert report_cold.cache_misses == 1
+        assert report_cold.cache_stored == 1
+        assert "pcache=0/1" in report_cold.summary()
+
+        warm = self._session(tmp_path, circuit, mgr)
+        r_warm = warm.check(antecedent, consequent, name="hold")
+        report_warm = warm.report()
+        assert report_warm.cache_hits == 1
+        assert report_warm.cache_misses == 0
+        assert warm.models_compiled == 0          # no engine ever built
+        assert isinstance(r_warm, CachedResult)
+        assert r_warm.passed == r_cold.passed
+        assert r_warm.vacuous == r_cold.vacuous
+        assert r_warm.depth == r_cold.depth
+        assert warm.outcomes[0].cached and warm.outcomes[0].engine == "ste"
+        assert "pcache=1/1" in report_warm.summary()
+
+    def test_failed_verdicts_cache_with_trace(self, tmp_path):
+        """A volatile cell loses its state in sleep: the failure (and
+        its rendered counterexample) must round-trip."""
+        mgr = BDDManager()
+        circuit = retention_cell(retained=False)
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        cold = self._session(tmp_path, circuit, mgr)
+        r_cold = cold.check(antecedent, consequent, name="hold")
+        assert not r_cold.passed
+
+        warm = self._session(tmp_path, circuit, mgr)
+        r_warm = warm.check(antecedent, consequent, name="hold")
+        assert isinstance(r_warm, CachedResult)
+        assert not r_warm.passed
+        assert [(f.time, f.node) for f in r_warm.failures] == \
+            [(f.time, f.node) for f in r_cold.failures]
+        assert r_warm.cex_text and "counterexample at" in r_warm.cex_text
+
+    def test_cached_failure_without_trace_is_harmless(self, tmp_path):
+        """A failing verdict stored without a rendered trace (render
+        failed at store time) must not crash the trace path on a warm
+        run — cex_text_for yields None instead of reaching into
+        nonexistent BDD state."""
+        from repro.ste import cex_text_for
+        cache = VerdictCache(tmp_path)
+        cache.store("fp", cone_fp="c", name="p", engine="ste",
+                    result=_FakeResult(passed=False,
+                                       failures=[_FakeFailure(1, "q")]),
+                    cone_nodes=1, cex_text=None)
+        cached, _ = cache.lookup("fp")
+        assert not cached.passed
+        assert cex_text_for(cached) is None
+
+    def test_cex_text_for_live_result(self):
+        from repro.ste import cex_text_for
+        mgr = BDDManager()
+        circuit = retention_cell(retained=False)
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        session = CheckSession(circuit, mgr)
+        result = session.check(antecedent, consequent, name="hold")
+        assert not result.passed
+        assert "counterexample at" in cex_text_for(result)
+        passing = CheckSession(retention_cell(), mgr).check(
+            antecedent, consequent, name="hold")
+        assert cex_text_for(passing) is None
+
+    def test_session_close_releases_owned_cache(self, tmp_path):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        with CheckSession(circuit, mgr, cache=str(tmp_path)) as session:
+            session.check(antecedent, consequent, name="hold")
+            assert session.cache is not None
+        assert session.cache is None          # owned cache closed
+        # A caller-provided cache stays the caller's to close.
+        shared = VerdictCache(tmp_path)
+        session = CheckSession(circuit, mgr, cache=shared)
+        session.close()
+        assert session.cache is shared
+        assert shared.lookup("anything") is None   # still usable
+        shared.close()
+
+    def test_rerun_all_re_decides(self, tmp_path):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        self._session(tmp_path, circuit, mgr).check(
+            antecedent, consequent, name="hold")
+        fresh = self._session(tmp_path, circuit, mgr, rerun="all")
+        result = fresh.check(antecedent, consequent, name="hold")
+        assert not isinstance(result, CachedResult)
+        assert fresh.cache_hits == 0 and fresh.cache_misses == 1
+        assert fresh.cache_stored == 1            # refreshed in place
+
+    def test_rerun_failed_re_decides_only_failures(self, tmp_path):
+        mgr = BDDManager()
+        good, bad = retention_cell(True), retention_cell(False)
+        sched = property2_schedule()
+        antecedent, consequent = hold_property(mgr, sched)
+        self._session(tmp_path, good, mgr).check(
+            antecedent, consequent, name="hold")
+        self._session(tmp_path, bad, mgr).check(
+            antecedent, consequent, name="hold")
+
+        warm_good = self._session(tmp_path, good, mgr, rerun="failed")
+        assert isinstance(warm_good.check(antecedent, consequent,
+                                          name="hold"), CachedResult)
+        warm_bad = self._session(tmp_path, bad, mgr, rerun="failed")
+        result = warm_bad.check(antecedent, consequent, name="hold")
+        assert not isinstance(result, CachedResult)   # failure re-run
+        assert not result.passed
+
+    def test_edit_invalidates_only_that_circuit(self, tmp_path):
+        """The UPF edit flips the cell's fingerprint: its verdict goes
+        dirty while the unedited cell still hits."""
+        mgr = BDDManager()
+        circuit = retention_cell()
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        self._session(tmp_path, circuit, mgr).check(
+            antecedent, consequent, name="hold")
+        circuit.replace_register("q", nret=None)      # strip retention
+        edited = self._session(tmp_path, circuit, mgr)
+        result = edited.check(antecedent, consequent, name="hold")
+        assert edited.cache_hits == 0 and edited.cache_misses == 1
+        assert not result.passed                      # volatile now
+        # Restoring the original cell restores the warm hit.
+        circuit.replace_register("q", nret="NRET")
+        warm = self._session(tmp_path, circuit, mgr)
+        assert isinstance(warm.check(antecedent, consequent, name="hold"),
+                          CachedResult)
+
+    def test_engine_agnostic_hits(self, tmp_path):
+        """Verdicts are engine-independent (pinned by the differential
+        suite), so an STE-stored verdict serves a BMC session."""
+        mgr = BDDManager()
+        circuit = retention_cell()
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        self._session(tmp_path, circuit, mgr, engine="ste").check(
+            antecedent, consequent, name="hold")
+        warm = self._session(tmp_path, circuit, mgr, engine="bmc")
+        result = warm.check(antecedent, consequent, name="hold")
+        assert isinstance(result, CachedResult)
+        assert result.engine == "ste"                 # provenance kept
+
+    def test_portfolio_race_history_persists(self, tmp_path):
+        mgr = BDDManager()
+        circuit = retention_cell()
+        antecedent, consequent = hold_property(mgr, property2_schedule())
+        cold = self._session(tmp_path, circuit, mgr, engine="portfolio")
+        cold.check(antecedent, consequent, name="hold")
+        key = next(iter(cold._race_incumbent))
+        incumbent = cold._race_incumbent[key]
+
+        warm = self._session(tmp_path, circuit, mgr, engine="portfolio",
+                             rerun="all")
+        warm.check(antecedent, consequent, name="hold")
+        # The warm session saw the cone pre-seeded from disk before its
+        # own race updated it.
+        assert warm._race_seeded
+        assert warm._race_incumbent          # seeded or re-decided
+        assert warm.cache is not None
+        stored = warm.cache.race_history(
+            circuit.fingerprint(include_outputs=False))
+        assert stored is not None
+        assert stored[0] in ("ste", "bmc")
+        assert incumbent in ("ste", "bmc")
+
+    def test_invalid_rerun_mode(self):
+        with pytest.raises(ValueError, match="rerun"):
+            CheckSession(retention_cell(), BDDManager(), rerun="never")
+
+
+class TestEngineRegistry:
+    def test_builtins_registered(self):
+        assert set(engine_names()) >= {"ste", "bmc", "portfolio"}
+        assert engine_spec("portfolio").meta
+        assert not engine_spec("ste").meta
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            engine_spec("z3")
+        with pytest.raises(ValueError, match="unknown engine"):
+            CheckSession(retention_cell(), BDDManager(), engine="z3")
+
+    def test_plugin_engine_dispatches(self):
+        """A backend registered after the fact is a first-class engine:
+        the session builds it per cone and routes checks through it."""
+        class ConstEngine:
+            name = "always-pass"
+
+            def __init__(self, circuit, mgr):
+                self.circuit = circuit
+
+            def prepare(self, antecedent, consequent, abort=None):
+                return (antecedent, consequent)
+
+            def solve(self, prepared, abort=None):
+                from repro.core.cache import CachedResult
+                return CachedResult(
+                    engine="always-pass", passed=True, vacuous=False,
+                    failures=[], depth=0, checked_points=0,
+                    elapsed_seconds=0.0, cached=False)
+
+            def stats(self):
+                return {}
+
+        register_engine("always-pass", ConstEngine)
+        try:
+            mgr = BDDManager()
+            session = CheckSession(retention_cell(), mgr,
+                                   engine="always-pass")
+            antecedent, consequent = hold_property(
+                mgr, property2_schedule())
+            result = session.check(antecedent, consequent, name="p")
+            assert result.passed and result.engine == "always-pass"
+            assert session.outcomes[0].engine == "always-pass"
+            # duplicate registration is an error without replace=True
+            with pytest.raises(ValueError, match="already registered"):
+                register_engine("always-pass", ConstEngine)
+        finally:
+            unregister_engine("always-pass")
+        with pytest.raises(ValueError, match="unknown engine"):
+            engine_spec("always-pass")
+
+    def test_meta_engine_needs_no_factory_but_others_do(self):
+        with pytest.raises(ValueError, match="factory"):
+            register_engine("factory-less")

@@ -1,0 +1,219 @@
+"""The repro.core fingerprint layer: canonical circuit/cone/formula/
+schedule hashes — insertion-order invariance (hypothesis round trips),
+edit sensitivity scoped to the affected cones, and BDD hashes stable
+across managers (fast tier)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BDDManager
+from repro.core import (bdd_fingerprint, check_fingerprint,
+                        circuit_fingerprint, cone_fingerprint,
+                        formula_fingerprint, property_fingerprint,
+                        schedule_fingerprint, ternary_fingerprint)
+from repro.fsm import cone_fingerprint as fsm_cone_fingerprint
+from repro.netlist import Circuit, cone_nodes
+from repro.retention.spec import property1_schedule, property2_schedule
+from repro.ste import conj, from_to, is0, is1, next_, node_is, when
+from repro.ternary import TernaryValue
+
+# ----------------------------------------------------------------------
+# Random circuit descriptions: (inputs, gates, registers) as plain data,
+# assembled into a Circuit in any insertion order.
+# ----------------------------------------------------------------------
+_UNARY = ("NOT", "BUF")
+_BINARY = ("AND", "OR", "XOR", "NAND", "NOR")
+
+
+@st.composite
+def circuit_descriptions(draw):
+    n_inputs = draw(st.integers(2, 4))
+    inputs = [f"i{k}" for k in range(n_inputs)]
+    nodes = list(inputs)
+    gates = []
+    for g in range(draw(st.integers(1, 8))):
+        op = draw(st.sampled_from(_UNARY + _BINARY))
+        arity = 1 if op in _UNARY else 2
+        ins = tuple(draw(st.sampled_from(nodes)) for _ in range(arity))
+        out = f"g{g}"
+        gates.append((op, out, ins))
+        nodes.append(out)
+    registers = []
+    if draw(st.booleans()):
+        registers.append(("q0", draw(st.sampled_from(nodes)), inputs[0]))
+    return inputs, gates, registers
+
+
+def build_circuit(desc, gate_order=None, name="t"):
+    inputs, gates, registers = desc
+    circuit = Circuit(name)
+    for node in inputs:
+        circuit.add_input(node)
+    order = gate_order if gate_order is not None else range(len(gates))
+    for idx in order:
+        op, out, ins = gates[idx]
+        circuit.add_gate(op, out, ins)
+    for q, d, clk in registers:
+        circuit.add_dff(q, d, clk)
+    for _, out, _ in gates:
+        circuit.set_output(out)
+    return circuit
+
+
+class TestCircuitFingerprint:
+    @settings(max_examples=40, deadline=None)
+    @given(desc=circuit_descriptions(), data=st.data())
+    def test_semantically_identical_circuits_hash_equal(self, desc, data):
+        """Same cells, any insertion order, any name: one fingerprint."""
+        n = len(desc[1])
+        perm = data.draw(st.permutations(range(n)))
+        c1 = build_circuit(desc, name="first")
+        c2 = build_circuit(desc, gate_order=perm, name="second")
+        assert c1.fingerprint() == c2.fingerprint()
+        assert c1.fingerprint(include_outputs=False) == \
+            c2.fingerprint(include_outputs=False)
+
+    @settings(max_examples=40, deadline=None)
+    @given(desc=circuit_descriptions(), data=st.data())
+    def test_single_edit_dirties_exactly_the_affected_cones(self, desc,
+                                                            data):
+        """Swapping one gate's op changes the fingerprint of precisely
+        the cones containing that gate."""
+        inputs, gates, registers = desc
+        edited = build_circuit(desc)
+        reference = build_circuit(desc)
+        idx = data.draw(st.integers(0, len(gates) - 1))
+        op, out, ins = gates[idx]
+        new_op = {"NOT": "BUF", "BUF": "NOT", "AND": "OR", "OR": "AND",
+                  "XOR": "NAND", "NAND": "XOR", "NOR": "AND"}[op]
+        edited.replace_gate(out, op=new_op)
+        assert edited.fingerprint() != reference.fingerprint()
+        for node in edited.all_nodes():
+            in_cone = out in cone_nodes(reference, [node])
+            changed = (fsm_cone_fingerprint(edited, [node])
+                       != fsm_cone_fingerprint(reference, [node]))
+            assert changed == in_cone, (node, out)
+
+    def test_output_list_only_affects_full_fingerprint(self):
+        desc = (["a"], [("NOT", "x", ("a",))], [])
+        c1 = build_circuit(desc)
+        c2 = build_circuit(desc)
+        c2.set_output("a")
+        assert c1.fingerprint() != c2.fingerprint()
+        assert c1.fingerprint(include_outputs=False) == \
+            c2.fingerprint(include_outputs=False)
+
+    def test_register_edit_changes_fingerprint(self):
+        """A UPF-style edit — stripping retention from a register —
+        must dirty the circuit."""
+        def cell(nret):
+            c = Circuit("cell")
+            for n in ("clock", "NRET", "NRST", "d"):
+                c.add_input(n)
+            c.add_dff("q", "d", "clock", nrst="NRST", nret=nret, init=0)
+            c.set_output("q")
+            return c
+        retained, volatile = cell("NRET"), cell(None)
+        assert retained.fingerprint() != volatile.fingerprint()
+        retained.replace_register("q", nret=None)
+        assert retained.fingerprint() == volatile.fingerprint()
+
+    def test_replace_gate_unknown_node_raises(self):
+        c = build_circuit((["a"], [("NOT", "x", ("a",))], []))
+        from repro.netlist import NetlistError
+        with pytest.raises(NetlistError):
+            c.replace_gate("a", op="BUF")
+        with pytest.raises(NetlistError):
+            c.replace_register("x", init=1)
+
+
+class TestBDDFingerprint:
+    def test_stable_across_managers(self):
+        def build(mgr):
+            a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+            return (a & b) | c
+        m1, m2 = BDDManager(), BDDManager()
+        assert bdd_fingerprint(build(m1)) == bdd_fingerprint(build(m2))
+
+    def test_construction_order_irrelevant(self):
+        mgr = BDDManager()
+        a, b, c = mgr.var("a"), mgr.var("b"), mgr.var("c")
+        assert bdd_fingerprint((a & b) | c) == \
+            bdd_fingerprint(c | (b & a))
+
+    def test_distinct_functions_differ(self):
+        mgr = BDDManager()
+        a, b = mgr.var("a"), mgr.var("b")
+        fps = {bdd_fingerprint(f)
+               for f in (a, ~a, a & b, a | b, mgr.true, mgr.false)}
+        assert len(fps) == 6
+
+    def test_ternary_value(self):
+        mgr = BDDManager()
+        a = mgr.var("a")
+        x = TernaryValue.x(mgr)
+        assert ternary_fingerprint(x) == \
+            ternary_fingerprint(TernaryValue.x(mgr))
+        assert ternary_fingerprint(TernaryValue.of_bdd(a)) != \
+            ternary_fingerprint(x)
+
+
+class TestFormulaFingerprint:
+    def test_conjunction_order_invariant(self):
+        parts = [is0("a"), is1("b"), from_to(is1("c"), 0, 3)]
+        assert formula_fingerprint(conj(parts)) == \
+            formula_fingerprint(conj(list(reversed(parts))))
+
+    def test_time_shift_matters(self):
+        assert formula_fingerprint(next_(is1("a"), 1)) != \
+            formula_fingerprint(next_(is1("a"), 2))
+
+    def test_guards_hash_through_bdds(self):
+        m1, m2 = BDDManager(), BDDManager()
+        f1 = when(is1("n"), m1.var("g"))
+        f2 = when(is1("n"), m2.var("g"))
+        assert formula_fingerprint(f1) == formula_fingerprint(f2)
+        assert formula_fingerprint(f1) != \
+            formula_fingerprint(when(is1("n"), ~m1.var("g")))
+
+    def test_symbolic_value_vs_constant(self):
+        mgr = BDDManager()
+        assert formula_fingerprint(node_is("n", mgr.var("v"))) != \
+            formula_fingerprint(node_is("n", 1))
+
+
+class TestScheduleAndPropertyFingerprint:
+    def test_schedules_distinguished(self):
+        p1 = schedule_fingerprint(property1_schedule())
+        p2 = schedule_fingerprint(property2_schedule())
+        p2_noreload = schedule_fingerprint(property2_schedule(reload=False))
+        assert len({p1, p2, p2_noreload}) == 3
+        assert schedule_fingerprint(property1_schedule()) == p1
+
+    def test_check_fingerprint_tracks_cone_edits(self):
+        desc = (["a", "b"],
+                [("NOT", "x", ("a",)), ("AND", "y", ("x", "b"))], [])
+        sched = property1_schedule()
+        antecedent = conj([sched.base, node_is("a", 1)])
+        consequent = next_(node_is("y", 0), 1)
+        c1, c2 = build_circuit(desc), build_circuit(desc)
+        assert check_fingerprint(c1, antecedent, consequent) == \
+            check_fingerprint(c2, antecedent, consequent)
+        c2.replace_gate("x", op="BUF")
+        assert check_fingerprint(c1, antecedent, consequent) != \
+            check_fingerprint(c2, antecedent, consequent)
+        # A different property on the same cone is a different problem.
+        assert property_fingerprint(antecedent, consequent) != \
+            property_fingerprint(antecedent, next_(node_is("y", 1), 1))
+
+    def test_cone_fingerprint_matches_reduced_circuit(self):
+        desc = (["a", "b"],
+                [("NOT", "x", ("a",)), ("AND", "y", ("x", "b")),
+                 ("OR", "z", ("b", "b"))], [])
+        circuit = build_circuit(desc)
+        from repro.netlist import cone_of_influence
+        reduced = cone_of_influence(circuit, ["y"])
+        assert cone_fingerprint(circuit, ["y"]) == \
+            cone_fingerprint(reduced)
+        assert circuit_fingerprint(circuit) != cone_fingerprint(circuit)

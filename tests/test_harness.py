@@ -8,7 +8,7 @@ from repro.harness import Table, format_seconds, paper_claims, registry
 class TestRegistry:
     def test_every_experiment_present(self):
         reg = registry()
-        assert set(reg) == {f"E{i}" for i in range(1, 16)}
+        assert set(reg) == {f"E{i}" for i in range(1, 17)}
 
     def test_experiments_reference_real_benches(self):
         import os

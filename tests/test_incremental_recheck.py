@@ -1,0 +1,187 @@
+"""Incremental re-check after circuit edits: a one-cone edit of the
+CPU core re-runs only that cone's properties, and every verdict —
+cache-served or re-decided — is bit-identical to a cold run on the
+same netlist.  Exercised on all engines plus the multiprocess path
+(fast tier, tiny geometry)."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.retention import build_suite, run_suite_session
+from repro.ste import CheckSession
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+#: A cross-cone slice of the Property I suite.  The two
+#: decode_write_register properties share a cone that contains the
+#: WriteRegister mux bits [1..4] — logic *outside* every other
+#: property's cone (with nregs=2 only bit 0 feeds the register file),
+#: which is exactly what makes the one-cone-edit experiment crisp.
+SUBSET = (
+    "decode_write_register_rtype",
+    "decode_write_register_load",
+    "control_RegWrite",
+    "control_MemRead",
+    "decode_sign_extend",
+)
+
+#: The properties whose cone contains the edited gate.
+DIRTY = {"decode_write_register_rtype", "decode_write_register_load"}
+
+
+def _suite(core, mgr):
+    suite = [p for p in build_suite(core, mgr, sleep=False)
+             if p.name in SUBSET]
+    assert len(suite) == len(SUBSET)
+    return suite
+
+
+def _run(core, mgr, suite, cache_dir, engine="ste", rerun="dirty"):
+    session = CheckSession(core.circuit, mgr, engine=engine,
+                           cache=str(cache_dir), rerun=rerun)
+    report = session.run(suite)
+    return session, report
+
+
+@pytest.fixture(scope="module")
+def cold(tmp_path_factory):
+    """One cold cached run per module: (core, mgr, suite, report)."""
+    cache_dir = tmp_path_factory.mktemp("verdicts")
+    core = fixed_core(**GEOMETRY)
+    mgr = BDDManager()
+    suite = _suite(core, mgr)
+    _, report = _run(core, mgr, suite, cache_dir)
+    return core, mgr, suite, cache_dir, report
+
+
+class TestWarmRerun:
+    def test_unchanged_circuit_all_skipped(self, cold):
+        core, mgr, suite, cache_dir, cold_report = cold
+        session, report = _run(core, mgr, suite, cache_dir)
+        assert report.cache_hits == len(suite)
+        assert report.cache_misses == 0
+        assert session.models_compiled == 0       # nothing recompiled
+        assert report.verdicts() == cold_report.verdicts()
+        assert all(o.cached for o in report.outcomes)
+
+    @pytest.mark.parametrize("engine", ["ste", "bmc", "portfolio"])
+    def test_warm_hits_under_every_engine(self, cold, engine):
+        """The cache key is engine-independent, so a warm run skips the
+        suite whichever backend the session was asked for."""
+        core, mgr, suite, cache_dir, cold_report = cold
+        session, report = _run(core, mgr, suite, cache_dir,
+                               engine=engine)
+        assert report.cache_hits == len(suite)
+        assert report.verdicts() == cold_report.verdicts()
+
+
+class TestOneConeEdit:
+    @pytest.mark.parametrize("engine", ["ste", "bmc", "portfolio"])
+    def test_edit_recheck_scoped_to_dirty_cone(self, tmp_path, engine):
+        """Edit one cone; only its properties re-run, and the verdicts
+        equal a cold full run on the edited netlist bit for bit."""
+        cache_dir = tmp_path / "verdicts"
+        core = fixed_core(**GEOMETRY)
+        mgr = BDDManager()
+        suite = _suite(core, mgr)
+        _, baseline = _run(core, mgr, suite, cache_dir)
+        assert baseline.passed
+
+        # The edit: invert WriteRegister[1] — a wrong-destination bug
+        # confined to the write-register mux cone.
+        core.circuit.replace_gate("WriteRegister[1]", op="NOT")
+
+        session, warm = _run(core, mgr, suite, cache_dir, engine=engine)
+        assert warm.cache_hits == len(suite) - len(DIRTY)
+        assert warm.cache_misses == len(DIRTY)
+        rechecked = {o.name for o in warm.outcomes if not o.cached}
+        assert rechecked == DIRTY
+
+        # Bit-identical to a cold serial STE run on the edited core.
+        cold_core = fixed_core(**GEOMETRY)
+        cold_mgr = BDDManager()
+        cold_core.circuit.replace_gate("WriteRegister[1]", op="NOT")
+        cold_suite = _suite(cold_core, cold_mgr)
+        cold_session = CheckSession(cold_core.circuit, cold_mgr)
+        cold_report = cold_session.run(cold_suite)
+        assert warm.verdicts() == cold_report.verdicts()
+        # The bug is real: the dirty properties now fail, and failure
+        # points agree exactly with the cold run.
+        for name in DIRTY:
+            assert warm.verdicts()[name] is False
+        warm_failures = {
+            o.name: [(f.time, f.node) for f in o.result.failures]
+            for o in warm.outcomes if not o.passed}
+        cold_failures = {
+            o.name: [(f.time, f.node) for f in o.result.failures]
+            for o in cold_report.outcomes if not o.passed}
+        assert warm_failures == cold_failures
+
+    def test_revert_restores_full_warmth(self, tmp_path):
+        cache_dir = tmp_path / "verdicts"
+        core = fixed_core(**GEOMETRY)
+        mgr = BDDManager()
+        suite = _suite(core, mgr)
+        _run(core, mgr, suite, cache_dir)
+        old = core.circuit.gates["WriteRegister[1]"]
+        core.circuit.replace_gate("WriteRegister[1]", op="NOT")
+        _run(core, mgr, suite, cache_dir)
+        core.circuit.replace_gate("WriteRegister[1]", op=old.op,
+                                  ins=old.ins)
+        _, report = _run(core, mgr, suite, cache_dir)
+        assert report.cache_hits == len(suite)
+        assert report.passed
+
+
+class TestParallelWarm:
+    def test_jobs2_warm_run_skips_and_matches(self, cold):
+        """The multiprocess path shares the same persistent cache: a
+        warm jobs=2 run serves every verdict from disk."""
+        core, mgr, suite, cache_dir, cold_report = cold
+        report = run_suite_session(core, suite, mgr, jobs=2,
+                                   engine="ste",
+                                   cache_dir=str(cache_dir))
+        assert report.verdicts() == cold_report.verdicts()
+        assert report.cache_hits == len(suite)
+        assert report.cache_misses == 0
+
+    def test_worker_processes_share_the_cache(self, cold):
+        """Forked queue workers each open their own connection to the
+        shared store and serve the whole suite from it (oversubscribed
+        so real worker processes run even on one CPU)."""
+        from repro.parallel import run_parallel
+        core, mgr, suite, cache_dir, cold_report = cold
+        report = run_parallel(core, suite, jobs=2, engine="ste",
+                              oversubscribe=True,
+                              cache_dir=str(cache_dir))
+        assert report.verdicts() == cold_report.verdicts()
+        assert report.cache_hits == len(suite)
+        assert report.cache_misses == 0
+        assert all(o.cached for o in report.outcomes)
+
+
+class TestClampWarning:
+    def test_jobs_clamp_warns_once_and_reports_effective(self, cold):
+        core, mgr, suite, cache_dir, cold_report = cold
+        import repro.parallel as parallel
+        old = parallel._available_cpus
+        parallel._available_cpus = lambda: 1
+        try:
+            with pytest.warns(RuntimeWarning, match="clamping jobs=4"):
+                report = parallel.run_parallel(core, suite, jobs=4,
+                                               engine="ste", mgr=mgr)
+        finally:
+            parallel._available_cpus = old
+        assert report.jobs == 1                  # the effective count
+        assert report.verdicts() == cold_report.verdicts()
+
+    def test_no_warning_within_budget(self, cold):
+        core, mgr, suite, cache_dir, cold_report = cold
+        import warnings as _warnings
+        import repro.parallel as parallel
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error", RuntimeWarning)
+            report = parallel.run_parallel(core, suite, jobs=1,
+                                           engine="ste", mgr=mgr)
+        assert report.verdicts() == cold_report.verdicts()
