@@ -71,17 +71,44 @@ def pytest_collection_modifyitems(items):
 # ----------------------------------------------------------------------
 _session_records = []
 
+#: nodeid -> {metric name: number} payloads attached by benches via
+#: the `bench_metrics` fixture; folded into that bench's record.
+_session_metrics = {}
+
+
+@pytest.fixture
+def bench_metrics(request):
+    """Attach a flat ``{name: number}`` metric payload to this bench's
+    ``BENCH_results.json`` record (overhead percentages, span counts,
+    unified-registry totals...) so the trajectory file carries more
+    than wall clocks.  Call it any number of times; payloads merge::
+
+        def test_bench_x(benchmark, bench_metrics):
+            ...
+            bench_metrics(overhead_pct=1.3, spans=106)
+    """
+    def record(**metrics):
+        slot = _session_metrics.setdefault(request.node.nodeid, {})
+        for name, value in metrics.items():
+            value = round(float(value), 6)
+            slot[name] = int(value) if value.is_integer() else value
+    return record
+
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_makereport(item, call):
     outcome = yield
     report = outcome.get_result()
     if report.when == "call" and _is_bench(item):
-        _session_records.append({
+        record = {
             "bench": item.nodeid,
             "outcome": report.outcome,
             "seconds": round(report.duration, 4),
-        })
+        }
+        metrics = _session_metrics.pop(item.nodeid, None)
+        if metrics:
+            record["metrics"] = dict(sorted(metrics.items()))
+        _session_records.append(record)
 
 
 def _bench_set(entry) -> tuple:
@@ -96,6 +123,7 @@ def pytest_sessionfinish(session, exitstatus):
     status = int(getattr(exitstatus, "value", exitstatus))
     if status in _NO_WRITE_STATUSES:
         _session_records.clear()
+        _session_metrics.clear()
         return
     if not _session_records:
         return

@@ -1,0 +1,129 @@
+"""E18 — observability overhead: tracing must be (nearly) free.
+
+The repro.obs design rule is *stage-granular instrumentation only*:
+spans wrap a compile, an unroll, a solver query — never the BDD apply
+or CDCL inner loops, whose accounting stays in plain-int counters
+bridged at report time.  This bench pins the consequence on the E16
+workload (Property II sleep/resume suite, 2/2/2 geometry, cold STE
+session):
+
+* a run under an **enabled** tracer (every span recorded in memory)
+  stays within 5% of the untraced wall clock;
+* the trace it produces is schema-valid and carries the session's
+  span hierarchy (property → engine.compile/engine.solve → STE
+  stages);
+* a **disabled** tracer (the default) leaves no events behind.
+
+Each configuration runs twice on fresh managers and keeps its best
+wall clock — deterministic work, so min-of-2 damps scheduler noise
+without hiding a real regression.  Cyclic GC is quiesced inside the
+measured regions, same protocol as E15/E16.
+"""
+
+import contextlib
+import gc
+import time
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.harness import Table
+from repro.obs import Tracer, use_tracer
+from repro.obs.validate import validate_events
+from repro.retention import build_suite
+from repro.ste import CheckSession
+
+from .conftest import once
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+#: The headline bound this bench must keep true.
+MAX_OVERHEAD = 0.05
+
+
+@contextlib.contextmanager
+def _quiet_gc():
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+def _run_suite(trace=False):
+    """One cold STE session over the sleep suite on a fresh manager;
+    returns (wall seconds, verdicts, tracer or None)."""
+    core = fixed_core(**GEOMETRY)
+    mgr = BDDManager()
+    suite = build_suite(core, mgr, sleep=True)
+    tracer = Tracer(enabled=True) if trace else None
+    with _quiet_gc():
+        started = time.perf_counter()
+        if tracer is not None:
+            with use_tracer(tracer):
+                session = CheckSession(core.circuit, mgr)
+                report = session.run(suite)
+        else:
+            session = CheckSession(core.circuit, mgr)
+            report = session.run(suite)
+        wall = time.perf_counter() - started
+    return wall, report.verdicts(), tracer
+
+
+def _best_of_two(trace):
+    w1, verdicts, t1 = _run_suite(trace=trace)
+    w2, verdicts2, t2 = _run_suite(trace=trace)
+    assert verdicts == verdicts2
+    return min(w1, w2), verdicts, (t1 if w1 <= w2 else t2)
+
+
+def test_bench_e18_tracing_overhead(benchmark, bench_metrics):
+    def measure():
+        base_wall, base_verdicts, _ = _best_of_two(trace=False)
+        traced_wall, traced_verdicts, tracer = _best_of_two(trace=True)
+        return base_wall, base_verdicts, traced_wall, traced_verdicts, \
+            tracer
+
+    base_wall, base_verdicts, traced_wall, traced_verdicts, tracer = \
+        once(benchmark, measure)
+
+    assert traced_verdicts == base_verdicts
+    overhead = traced_wall / base_wall - 1.0
+    bench_metrics(untraced_wall_s=base_wall, traced_wall_s=traced_wall,
+                  overhead_pct=100.0 * overhead,
+                  spans=len(tracer.events))
+
+    table = Table(["quantity", "bound", "measured"],
+                  title="E18 tracing overhead "
+                        "(sleep suite, 2/2/2, cold STE)")
+    table.add("untraced wall", "baseline", f"{base_wall:.2f}s")
+    table.add("traced wall", f"<= {1 + MAX_OVERHEAD:.2f}x",
+              f"{traced_wall:.2f}s")
+    table.add("overhead", f"< {MAX_OVERHEAD:.0%}", f"{overhead:+.1%}")
+    table.add("spans recorded", ">= 3/property", len(tracer.events))
+    print()
+    print(table.render())
+
+    assert overhead < MAX_OVERHEAD, (
+        f"tracing overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(traced {traced_wall:.2f}s vs {base_wall:.2f}s)")
+
+    # The recorded trace is the real thing, not a vacuity: every
+    # property contributes its span plus engine/STE stage spans, and
+    # the whole file is schema-valid.
+    events = tracer.chrome_events()
+    assert validate_events(events) == []
+    names = [e["name"] for e in events if e.get("ph") == "X"]
+    assert names.count("property") == len(base_verdicts)
+    assert {"engine.compile", "engine.solve",
+            "ste.trajectory", "ste.compare"} <= set(names)
+    assert len(names) >= 3 * len(base_verdicts)
+
+
+def test_bench_e18_disabled_tracer_records_nothing():
+    # The default (disabled) tracer must leave the run untouched.
+    wall, verdicts, _ = _run_suite(trace=False)
+    from repro.obs.trace import tracer as global_tracer
+    assert global_tracer().enabled is False
+    assert len(global_tracer()) == 0
+    assert all(verdicts.values())

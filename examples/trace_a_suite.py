@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Trace a whole property suite: spans, metrics, Chrome-trace export.
+
+The ``repro.obs`` layer records *where the time goes* while a suite
+checks — one span per property, engine compile/solve stage, cache
+lookup, portfolio race round — and exports the result as a Chrome
+trace-event file that ``chrome://tracing`` or https://ui.perfetto.dev
+render as a zoomable timeline (with ``--jobs``, one lane per worker
+process).  This walkthrough runs the Property II (sleep/resume) suite
+under an enabled tracer and then digests the recording three ways:
+
+1. **Span trace** — exported as both ``trace.json`` (the Chrome
+   trace-event object; load it in Perfetto) and ``trace.jsonl`` (one
+   event per line, for ``jq``/pandas), then re-validated with the
+   same schema checker CI runs (``python -m repro.obs.validate``).
+2. **Slowest spans** — the top of the timeline, straight from the
+   recorded events: which property, which stage, how long.
+3. **Unified metrics** — the session report bridged into one dotted
+   namespace (``bdd.apply.hits``, ``sat.conflicts``,
+   ``cache.verdict.miss``...), the same dump ``python -m repro
+   --metrics`` prints.
+
+The CLI equivalent of everything below::
+
+    python -m repro --suite 2 --trace trace.json --metrics --profile
+
+Run:  python examples/trace_a_suite.py
+"""
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.obs import render_metrics, use_tracer
+from repro.obs.validate import validate_file
+from repro.retention import build_suite
+from repro.ste import CheckSession
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+
+def main():
+    core = fixed_core(**GEOMETRY)
+    mgr = BDDManager()
+    suite = build_suite(core, mgr, sleep=True)
+
+    print(f"checking the Property II suite ({len(suite)} properties) "
+          f"under an enabled tracer...")
+    with use_tracer() as tracer:
+        tracer.label_process("main")
+        session = CheckSession(core.circuit, mgr)
+        report = session.run(suite)
+    print(report.summary())
+    print()
+
+    # 1. Export both formats and re-validate them like CI does.
+    for path in ("trace.json", "trace.jsonl"):
+        spans = tracer.write(path)
+        count, problems = validate_file(path)
+        assert count == spans and not problems, problems
+        print(f"wrote {path}: {spans} schema-valid spans "
+              f"(load trace.json in chrome://tracing or "
+              f"ui.perfetto.dev)")
+    print()
+
+    # 2. The slowest spans, straight off the recorded events.
+    events = sorted(tracer.export(), key=lambda e: -e["dur"])
+    print("slowest spans:")
+    for event in events[:8]:
+        args = event.get("args", {})
+        what = args.get("property") or args.get("engine") or ""
+        print(f"  {event['dur'] / 1e6:8.3f}s  {event['name']:<16} "
+              f"{what}")
+    print()
+
+    # 3. The unified metric namespace (the CLI's --metrics dump).
+    print("unified metrics:")
+    print(render_metrics(report.metrics()))
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,11 @@ backend and prints the per-property verdicts plus the session report::
                                             # cones via the verdict
                                             # cache; --rerun picks the
                                             # re-check policy
+    python -m repro --trace run.json        # span trace (Chrome trace-
+                                            # event JSON; *.jsonl for
+                                            # JSON-lines)
+    python -m repro --metrics --profile     # unified metric namespace +
+                                            # per-property timing table
 
 Exit status: 0 when every checked property passed, 1 when some property
 failed, 2 on a usage error such as an unknown ``--only`` name (so the
@@ -27,11 +32,14 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time as _time
 from typing import List, Optional
 
 from .bdd import BDDManager
 from .core import CheckSession, RERUN_MODES, engine_names
 from .cpu import buggy_core, fixed_core
+from .obs import render_cache_line, render_metrics
+from .obs.trace import Tracer, set_tracer, tracer as _tracer
 from .retention import build_suite
 from .ste import cex_text_for
 
@@ -91,15 +99,28 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--quiet", action="store_true",
                         help="suite summaries only, no per-property "
                              "lines")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="record a span trace of the whole run and "
+                             "write it to FILE on exit: Chrome "
+                             "trace-event JSON (chrome://tracing, "
+                             "Perfetto) or one event per line with a "
+                             ".jsonl suffix; with --jobs, worker spans "
+                             "appear as their own process lanes")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the unified metric namespace per "
+                             "suite (bdd.*, sat.*, cache.*, session.*, "
+                             "portfolio.*, parallel.*)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print a per-property timing breakdown per "
+                             "suite, slowest first")
+    parser.add_argument("--oversubscribe", action="store_true",
+                        help="allow more --jobs workers than available "
+                             "CPUs (normally clamped)")
     return parser
 
 
 def _print_cache_line(report, cache_dir: str, rerun: str) -> None:
-    checked = report.cache_hits + report.cache_misses
-    pct = (100.0 * report.cache_hits / checked) if checked else 0.0
-    print(f"cache[{rerun}] {cache_dir}: "
-          f"{report.cache_hits}/{checked} checks skipped ({pct:.0f}%), "
-          f"{report.cache_stored} stored")
+    print(render_cache_line(report, cache_dir, rerun))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -107,6 +128,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.jobs < 1:
         print("error: --jobs must be at least 1", file=sys.stderr)
         return 2
+    old_tracer = None
+    if args.trace:
+        trace = Tracer(enabled=True)
+        trace.label_process("main")
+        old_tracer = set_tracer(trace)
+    try:
+        return _run(args)
+    finally:
+        if old_tracer is not None:
+            spans = _tracer().write(args.trace)
+            set_tracer(old_tracer)
+            print(f"trace: {spans} spans -> {args.trace}",
+                  file=sys.stderr)
+
+
+def _run(args) -> int:
     cache_dir = None if args.no_cache else args.cache_dir
     make_core = buggy_core if args.design == "buggy" else fixed_core
     core = make_core(nregs=args.nregs, imem_depth=args.imem_depth,
@@ -125,6 +162,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     for sleep in sleeps:
         label = "Property II (sleep/resume)" if sleep \
             else "Property I (normal operation)"
+        suite_t0 = _time.perf_counter()
         mgr = BDDManager()
         suite = build_suite(core, mgr, sleep=sleep,
                             include_extras=args.extras)
@@ -151,7 +189,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = run_parallel(core, suite, jobs=args.jobs,
                                   engine=args.engine, spec=spec,
                                   mgr=mgr, cache_dir=cache_dir,
-                                  rerun=args.rerun)
+                                  rerun=args.rerun,
+                                  oversubscribe=args.oversubscribe)
             for outcome in report.outcomes:
                 if not args.quiet:
                     print(f"  {outcome.name:<28} "
@@ -184,6 +223,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(report.summary())
         if cache_dir:
             _print_cache_line(report, cache_dir, args.rerun)
+        if args.profile:
+            print(report.timing_table())
+        if args.metrics:
+            print(render_metrics(report.metrics()))
+        # The suite-level root span, recorded retroactively so it
+        # encloses every property/engine/cache span of this suite.
+        _tracer().add_span("session", suite_t0, _time.perf_counter(),
+                           cat="session", suite=label,
+                           engine=args.engine, jobs=report.jobs)
         print()
     return 0 if all_passed else 1
 

@@ -1087,3 +1087,19 @@ class BDDManager:
             "cache_hits": cache_hits,
             "cache_misses": cache_misses,
         }
+
+    #: :meth:`stats` keys that are point-in-time sizes, not monotone
+    #: counters — :meth:`delta` keeps their current values.
+    GAUGE_STATS = ("nodes", "vars", "ite_cache", "apply_cache")
+
+    def snapshot(self) -> Dict[str, int]:
+        """A baseline copy of :meth:`stats` for :meth:`delta`."""
+        return self.stats()
+
+    def delta(self, base: Dict[str, int]) -> Dict[str, int]:
+        """Computed-table traffic since *base* (a :meth:`snapshot`):
+        hit/miss counters subtract, :data:`GAUGE_STATS` sizes keep
+        their current values — the rule sessions apply to report only
+        their own manager traffic."""
+        from ..obs.metrics import stats_delta
+        return stats_delta(self.stats(), base, gauges=self.GAUGE_STATS)

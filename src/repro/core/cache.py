@@ -34,6 +34,8 @@ import time as _time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
+from ..obs.trace import tracer as _tracer
+
 __all__ = ["SCHEMA_VERSION", "CachedFailure", "CachedResult",
            "VerdictCache"]
 
@@ -75,13 +77,8 @@ class CachedResult:
     cached: bool = True
 
     def summary(self) -> str:
-        status = "PASS" if self.passed else \
-            f"FAIL({len(self.failures)} points)"
-        if self.vacuous:
-            status += " [VACUOUS]"
-        return (f"{self.engine.upper()} {status} depth={self.depth} "
-                f"points={self.checked_points} "
-                f"time={self.elapsed_seconds:.3f}s [cached]")
+        from ..obs.report import render_result
+        return render_result(self)
 
 
 class VerdictCache:
@@ -156,10 +153,13 @@ class VerdictCache:
                ) -> Optional[Tuple[CachedResult, int]]:
         """(cached result, cone node count) for *fingerprint*, or None.
         Counts a hit/miss either way."""
-        row = self._conn.execute(
-            "SELECT engine, passed, vacuous, depth, checked_points, "
-            "elapsed, cone_nodes, failures, cex_text FROM verdicts "
-            "WHERE fingerprint=?", (fingerprint,)).fetchone()
+        with _tracer().span("cache.lookup", cat="cache",
+                            fingerprint=fingerprint[:12]) as span:
+            row = self._conn.execute(
+                "SELECT engine, passed, vacuous, depth, checked_points, "
+                "elapsed, cone_nodes, failures, cex_text FROM verdicts "
+                "WHERE fingerprint=?", (fingerprint,)).fetchone()
+            span.set("hit", row is not None)
         if row is None:
             self.misses += 1
             return None
@@ -186,16 +186,18 @@ class VerdictCache:
         :class:`~repro.engine.EngineReport`; failures collapse to
         (time, node) pairs, counterexamples to their rendered trace."""
         failures = json.dumps([[f.time, f.node] for f in result.failures])
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO verdicts VALUES "
-                "(?,?,?,?,?,?,?,?,?,?,?,?,?)",
-                (fingerprint, cone_fp, name, engine,
-                 int(result.passed), int(result.vacuous),
-                 int(result.depth),
-                 int(getattr(result, "checked_points", 0)),
-                 float(result.elapsed_seconds), int(cone_nodes),
-                 failures, cex_text, _time.time()))
+        with _tracer().span("cache.store", cat="cache", prop=name,
+                            engine=engine):
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO verdicts VALUES "
+                    "(?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                    (fingerprint, cone_fp, name, engine,
+                     int(result.passed), int(result.vacuous),
+                     int(result.depth),
+                     int(getattr(result, "checked_points", 0)),
+                     float(result.elapsed_seconds), int(cone_nodes),
+                     failures, cex_text, _time.time()))
         self.stored += 1
 
     # ------------------------------------------------------------------

@@ -26,11 +26,13 @@ from here).
 
 from __future__ import annotations
 
+import time as _time
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..bdd import BDDManager
 from ..engine import EngineReport
 from ..netlist import Circuit
+from ..obs.observer import NULL_OBSERVER, Observer
 from .registry import register_engine
 
 __all__ = ["STEEngine", "BMCSatEngine", "register_builtin_engines"]
@@ -45,6 +47,10 @@ class STEEngine:
         from ..fsm import compile_circuit
         self.model = compile_circuit(circuit, mgr, validate=False)
 
+    def set_observer(self, observer: Observer) -> None:
+        """Attach a per-stage callback sink (optional protocol hook)."""
+        self._observer = observer
+
     def prepare(self, antecedent, consequent,
                 abort: Optional[Callable[[], bool]] = None
                 ) -> Tuple[Any, Any]:
@@ -54,8 +60,14 @@ class STEEngine:
               abort: Optional[Callable[[], bool]] = None) -> EngineReport:
         from ..ste.checker import check_compiled
         antecedent, consequent = prepared
-        return check_compiled(self.model, antecedent, consequent,
-                              abort=abort)
+        t0 = _time.perf_counter()
+        result = check_compiled(self.model, antecedent, consequent,
+                                abort=abort)
+        getattr(self, "_observer", NULL_OBSERVER).on_engine_event(
+            self.name, "solve", _time.perf_counter() - t0,
+            passed=result.passed, depth=result.depth,
+            points=result.checked_points)
+        return result
 
     def check(self, antecedent, consequent) -> EngineReport:
         return self.solve(self.prepare(antecedent, consequent))
@@ -64,6 +76,15 @@ class STEEngine:
         # The manager is session-shared; its statistics are aggregated
         # once at session level, not per cone.
         return {}
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of :meth:`stats` for later :meth:`delta` arithmetic."""
+        return dict(self.stats())
+
+    def delta(self, base: Dict[str, int]) -> Dict[str, int]:
+        """Counters accumulated since *base* (a :meth:`snapshot`)."""
+        from ..obs.metrics import stats_delta
+        return stats_delta(self.stats(), base)
 
 
 class BMCSatEngine:
@@ -77,20 +98,46 @@ class BMCSatEngine:
         self.engine = BMCEngine(circuit)
         self.mgr = mgr
 
+    def set_observer(self, observer: Observer) -> None:
+        """Attach a per-stage callback sink (optional protocol hook)."""
+        self._observer = observer
+
     def prepare(self, antecedent, consequent,
                 abort: Optional[Callable[[], bool]] = None) -> Any:
-        return self.engine.prepare(self.mgr, antecedent, consequent,
-                                   abort=abort)
+        t0 = _time.perf_counter()
+        prepared = self.engine.prepare(self.mgr, antecedent, consequent,
+                                       abort=abort)
+        getattr(self, "_observer", NULL_OBSERVER).on_engine_event(
+            self.name, "prepare", _time.perf_counter() - t0,
+            depth=prepared.depth)
+        return prepared
 
     def solve(self, prepared: Any,
               abort: Optional[Callable[[], bool]] = None) -> EngineReport:
-        return self.engine.solve_prepared(prepared, abort=abort)
+        t0 = _time.perf_counter()
+        result = self.engine.solve_prepared(prepared, abort=abort)
+        getattr(self, "_observer", NULL_OBSERVER).on_engine_event(
+            self.name, "solve", _time.perf_counter() - t0,
+            passed=result.passed, depth=result.depth,
+            conflicts=(result.solver_stats or {}).get("conflicts", 0))
+        return result
 
     def check(self, antecedent, consequent) -> EngineReport:
         return self.engine.check(self.mgr, antecedent, consequent)
 
     def stats(self) -> Dict[str, int]:
         return self.engine.stats()
+
+    def snapshot(self) -> Dict[str, int]:
+        """A copy of the cumulative :meth:`stats` counters, for later
+        :meth:`delta` arithmetic across a slice of work."""
+        return self.engine.snapshot()
+
+    def delta(self, base: Dict[str, int]) -> Dict[str, int]:
+        """Counters accumulated since *base*: monotone counters
+        subtract, gauges (``variables``/``clauses``/``max_learnt_len``)
+        keep their current values."""
+        return self.engine.delta(base)
 
 
 def register_builtin_engines() -> None:

@@ -32,6 +32,7 @@ import time as _time
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from ..engine import EngineAborted, EngineReport
+from ..obs.trace import tracer as _tracer
 
 if TYPE_CHECKING:
     from .session import CheckSession
@@ -59,19 +60,26 @@ class PortfolioRacer:
         t0 = _time.perf_counter()
         abort = (None if budget is None
                  else lambda: _time.perf_counter() - t0 > budget)
-        try:
-            if engine == "ste":
-                from ..ste.checker import check_compiled
-                result: EngineReport = check_compiled(
-                    model, antecedent, consequent, abort=abort)
-            else:
-                adapter, _ = session.engine_for("bmc", antecedent,
-                                                consequent)
-                query = adapter.prepare(antecedent, consequent,
-                                        abort=abort)
-                result = adapter.solve(query, abort=abort)
-        except EngineAborted:
-            return None, _time.perf_counter() - t0
+        with _tracer().span("race.solo", cat="portfolio", engine=engine,
+                            budget=budget) as span:
+            try:
+                if engine == "ste":
+                    from ..ste.checker import check_compiled
+                    result: EngineReport = check_compiled(
+                        model, antecedent, consequent, abort=abort)
+                else:
+                    adapter, _ = session.engine_for("bmc", antecedent,
+                                                    consequent)
+                    query = adapter.prepare(antecedent, consequent,
+                                            abort=abort)
+                    result = adapter.solve(query, abort=abort)
+            except EngineAborted:
+                # The budget ran out; the engine's persistent artefacts
+                # survive for the next slice.
+                span.set("aborted", True)
+                session.metrics.inc("portfolio.race.aborts")
+                session.metrics.inc(f"portfolio.race.aborts.{engine}")
+                return None, _time.perf_counter() - t0
         return result, _time.perf_counter() - t0
 
     def _race_flat(self, antecedent, consequent, model,
@@ -86,64 +94,69 @@ class PortfolioRacer:
         cooperatively and joined before this returns; its persistent
         per-cone artefacts survive for the next property."""
         from ..ste.checker import check_compiled
-        adapter, _ = self.session.engine_for("bmc", antecedent, consequent)
-        query = adapter.prepare(antecedent, consequent)
-        cancel = _threading.Event()
-        results: _queue.Queue = _queue.Queue()
+        self.session.metrics.inc("portfolio.race.flat")
+        with _tracer().span("race.flat", cat="portfolio") as span:
+            adapter, _ = self.session.engine_for("bmc", antecedent,
+                                                 consequent)
+            query = adapter.prepare(antecedent, consequent)
+            cancel = _threading.Event()
+            results: _queue.Queue = _queue.Queue()
 
-        def racer(name, fn):
-            t0 = _time.perf_counter()
-            try:
-                outcome = fn()
-            except EngineAborted:
-                results.put((name, None, 0.0))
-                return
-            except BaseException as exc:     # surfaced to the caller
-                results.put((name, exc, 0.0))
-                return
-            results.put((name, outcome, _time.perf_counter() - t0))
+            def racer(name, fn):
+                t0 = _time.perf_counter()
+                try:
+                    outcome = fn()
+                except EngineAborted:
+                    results.put((name, None, 0.0))
+                    return
+                except BaseException as exc:     # surfaced to the caller
+                    results.put((name, exc, 0.0))
+                    return
+                results.put((name, outcome, _time.perf_counter() - t0))
 
-        runners = {
-            "ste": lambda: check_compiled(model, antecedent, consequent,
-                                          abort=cancel.is_set),
-            "bmc": lambda: adapter.solve(query, abort=cancel.is_set),
-        }
-        threads = [_threading.Thread(target=racer,
-                                     args=(name, runners[name]),
-                                     daemon=True)
-                   for name in ("ste", "bmc")]
-        for th in threads:
-            th.start()
-        winner: Optional[str] = None
-        result: Optional[EngineReport] = None
-        error: Optional[BaseException] = None
-        for _ in range(len(threads)):
-            name, payload, elapsed = results.get()
-            if payload is None:
-                continue                     # aborted loser
-            if isinstance(payload, BaseException):
-                error = error or payload
-                continue
-            winner, result = name, payload
-            history[name] = max(history.get(name, 0.0), elapsed)
-            break
-        cancel.set()
-        for th in threads:
-            th.join()
-        if winner is None or result is None:
-            if error is not None:
-                raise error
-            raise RuntimeError("portfolio race produced no verdict")
-        # A photo-finish loser that completed before the cancel also
-        # carries a real timing — fold it into the cone history.
-        while True:
-            try:
-                name, payload, elapsed = results.get_nowait()
-            except _queue.Empty:
-                break
-            if payload is not None and not isinstance(payload,
-                                                      BaseException):
+            runners = {
+                "ste": lambda: check_compiled(model, antecedent,
+                                              consequent,
+                                              abort=cancel.is_set),
+                "bmc": lambda: adapter.solve(query, abort=cancel.is_set),
+            }
+            threads = [_threading.Thread(target=racer,
+                                         args=(name, runners[name]),
+                                         daemon=True)
+                       for name in ("ste", "bmc")]
+            for th in threads:
+                th.start()
+            winner: Optional[str] = None
+            result: Optional[EngineReport] = None
+            error: Optional[BaseException] = None
+            for _ in range(len(threads)):
+                name, payload, elapsed = results.get()
+                if payload is None:
+                    continue                     # aborted loser
+                if isinstance(payload, BaseException):
+                    error = error or payload
+                    continue
+                winner, result = name, payload
                 history[name] = max(history.get(name, 0.0), elapsed)
+                break
+            cancel.set()
+            for th in threads:
+                th.join()
+            if winner is None or result is None:
+                if error is not None:
+                    raise error
+                raise RuntimeError("portfolio race produced no verdict")
+            # A photo-finish loser that completed before the cancel also
+            # carries a real timing — fold it into the cone history.
+            while True:
+                try:
+                    name, payload, elapsed = results.get_nowait()
+                except _queue.Empty:
+                    break
+                if payload is not None and not isinstance(payload,
+                                                          BaseException):
+                    history[name] = max(history.get(name, 0.0), elapsed)
+            span.set("winner", winner)
         return result, winner
 
     def check(self, antecedent, consequent
@@ -173,9 +186,12 @@ class PortfolioRacer:
             # (the common case for control cones) never pays the BMC
             # BDD→CNF conversion at all.
             if session.stagger_factor:
-                result, elapsed = self._run_solo(
-                    "ste", antecedent, consequent, model,
-                    session.race_probe_budget)
+                with _tracer().span("race.probe", cat="portfolio",
+                                    engine="ste") as span:
+                    result, elapsed = self._run_solo(
+                        "ste", antecedent, consequent, model,
+                        session.race_probe_budget)
+                    span.set("decided", result is not None)
                 if result is not None:
                     history["ste"] = max(history.get("ste", 0.0), elapsed)
                     session._race_incumbent[key] = "ste"
@@ -198,16 +214,34 @@ class PortfolioRacer:
         # the incumbent has genuinely stalled.
         budget = max(0.25, session.stagger_factor * max(history.values(),
                                                         default=0.1))
+        round_no = 0
         while True:
-            result, elapsed = self._run_solo(
-                incumbent, antecedent, consequent, model, budget)
-            if result is None:
+            round_no += 1
+            session.metrics.inc("portfolio.race.rounds")
+            bmc_adapter = session._engines.get(("bmc", key))
+            conflicts0 = (bmc_adapter.stats().get("conflicts", 0)
+                          if bmc_adapter is not None else 0)
+            with _tracer().span("race.round", cat="portfolio",
+                                incumbent=incumbent,
+                                budget=round(budget, 6),
+                                round=round_no) as span:
                 result, elapsed = self._run_solo(
-                    challenger, antecedent, consequent, model,
-                    budget / 4)
-                engine = challenger
-            else:
-                engine = incumbent
+                    incumbent, antecedent, consequent, model, budget)
+                if result is None:
+                    result, elapsed = self._run_solo(
+                        challenger, antecedent, consequent, model,
+                        budget / 4)
+                    engine = challenger
+                else:
+                    engine = incumbent
+                bmc_adapter = session._engines.get(("bmc", key))
+                if bmc_adapter is not None:
+                    span.set("bmc_conflicts",
+                             bmc_adapter.stats().get("conflicts", 0)
+                             - conflicts0)
+                span.set("decided", result is not None)
+                if result is not None:
+                    span.set("winner", engine)
             if result is not None:
                 history[engine] = max(history.get(engine, 0.0), elapsed)
                 session._race_incumbent[key] = engine

@@ -52,6 +52,17 @@ class Engine(Protocol):
     (compiled model, learnt clauses, frame caches) intact, so an
     aborted portfolio slice resumes cheaply.  ``stats`` reports the
     engine's own counters for session aggregation.
+
+    Two *optional* extensions (not part of the protocol — sessions
+    probe for them with ``getattr``, so engines that predate them keep
+    working unchanged):
+
+    * ``set_observer(observer)`` — accept a
+      :class:`repro.obs.Observer` and report per-stage
+      ``on_engine_event`` callbacks (the stock adapters do);
+    * ``snapshot()`` / ``delta(base)`` — slice accounting over the
+      cumulative ``stats()`` counters (counters subtract, gauges keep
+      current values; see :func:`repro.obs.metrics.stats_delta`).
     """
 
     name: str

@@ -38,6 +38,9 @@ from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterable, List,
 from ..bdd import BDDManager
 from ..engine import EngineReport
 from ..netlist import Circuit, cone_of_influence, require_valid
+from ..obs.metrics import MetricsRegistry
+from ..obs.observer import NULL_OBSERVER, Observer
+from ..obs.trace import tracer as _tracer
 from .cache import CachedResult, VerdictCache
 from .registry import Engine, engine_spec
 
@@ -104,6 +107,9 @@ class SessionReport:
     cache_misses: int = 0
     #: verdicts newly written to the persistent cache
     cache_stored: int = 0
+    #: runtime-incremented metrics (flattened ``{name: number}``) the
+    #: session and its workers recorded — race aborts, idle waits …
+    obs_metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -134,32 +140,22 @@ class SessionReport:
         return sum(o.result.elapsed_seconds for o in self.outcomes)
 
     def summary(self) -> str:
-        n = len(self.outcomes)
-        failed = len(self.failures)
-        status = "PASS" if failed == 0 else f"FAIL({failed}/{n})"
-        hits = self.bdd_stats.get("cache_hits", 0)
-        misses = self.bdd_stats.get("cache_misses", 0)
-        total = hits + misses
-        rate = (100.0 * hits / total) if total else 0.0
-        line = (f"Session[{self.engine}] {status} properties={n} "
-                f"models={self.models_compiled}(+{self.model_reuses} reused) "
-                f"bdd_nodes={self.bdd_stats.get('nodes', 0)} "
-                f"cache_hit_rate={rate:.1f}% "
-                f"time={self.elapsed_seconds:.3f}s")
-        if self.jobs > 1:
-            line += f" jobs={self.jobs}"
-        if self.cache_hits or self.cache_misses:
-            checked = self.cache_hits + self.cache_misses
-            line += (f" pcache={self.cache_hits}/{checked} skipped"
-                     f"(+{self.cache_stored} stored)")
-        if self.engine == "portfolio":
-            wins = self.engine_wins
-            line += " wins[" + " ".join(
-                f"{e}={wins[e]}" for e in sorted(wins)) + "]"
-        if self.engine_stats:
-            line += (f" sat_conflicts={self.engine_stats.get('conflicts', 0)}"
-                     f" sat_vars={self.engine_stats.get('variables', 0)}")
-        return line
+        from ..obs.report import render_summary
+        return render_summary(self)
+
+    def metrics(self) -> Dict[str, float]:
+        """The unified metric namespace for this report — legacy
+        per-component ``stats()`` totals bridged to dotted names
+        (``bdd.apply.hits``, ``sat.conflicts``, ``cache.verdict.miss``)
+        plus the runtime-incremented :attr:`obs_metrics`."""
+        from ..obs.report import report_metrics
+        return report_metrics(self)
+
+    def timing_table(self) -> str:
+        """Per-property timing breakdown, slowest first (the CLI's
+        ``--profile`` output)."""
+        from ..obs.report import timing_table
+        return timing_table(self)
 
 
 #: Accepted property shapes: objects with name/antecedent/consequent
@@ -225,7 +221,8 @@ class CheckSession:
                  *, use_coi: bool = True, validate: bool = True,
                  engine: str = "ste",
                  cache: Union[None, str, os.PathLike, VerdictCache] = None,
-                 rerun: str = "dirty"):
+                 rerun: str = "dirty",
+                 observer: Optional[Observer] = None):
         engine_spec(engine)                   # validate against registry
         if rerun not in RERUN_MODES:
             raise ValueError(f"unknown rerun mode {rerun!r}; "
@@ -237,6 +234,12 @@ class CheckSession:
         self.use_coi = use_coi
         self.engine = engine
         self.rerun = rerun
+        #: per-check/per-stage callback hook (defaults to a no-op)
+        self.observer = observer or NULL_OBSERVER
+        #: session-scoped runtime metrics (race aborts, idle waits …);
+        #: component counters stay in their own ``stats()`` dicts and
+        #: are bridged at report time (:meth:`SessionReport.metrics`).
+        self.metrics = MetricsRegistry()
         # The session owns (and closes) a cache it opened itself; a
         # caller-provided VerdictCache stays the caller's to close.
         self._owns_cache = not (cache is None
@@ -362,7 +365,16 @@ class CheckSession:
                 instance = STEEngine.__new__(STEEngine)
                 instance.model = self._full_model
             else:
-                instance = spec.factory(circuit, self.mgr)
+                with _tracer().span("engine.compile", cat="engine",
+                                    engine=engine) as sp:
+                    instance = spec.factory(circuit, self.mgr)
+                    sp.set("cone_nodes", len(circuit.all_nodes()))
+            # Optional hook: stock adapters implement set_observer;
+            # third-party plugin engines that predate it just emit no
+            # stage events.
+            attach = getattr(instance, "set_observer", None)
+            if attach is not None:
+                attach(self.observer)
             self._engines[slot] = instance
             self.models_compiled += 1
             return instance, False
@@ -453,38 +465,49 @@ class CheckSession:
         spec = engine_spec(engine)
         key, cone = self._cone_for(antecedent, consequent)
         display_name = name or f"property_{len(self._outcomes)}"
+        self.observer.on_check_begin(display_name, engine)
 
-        fingerprint = None
-        cached = False
-        if self.cache is not None:
-            fingerprint = self._check_fingerprint(cone, antecedent,
-                                                  consequent)
-            hit = self._cached_verdict(fingerprint)
-            if hit is not None:
-                result, cone_nodes = hit
-                decided_by = result.engine
-                reused = True
-                cached = True
-                self.cache_hits += 1
-            else:
-                self.cache_misses += 1
+        with _tracer().span("property", cat="session",
+                            property=display_name, engine=engine) as span:
+            fingerprint = None
+            cached = False
+            if self.cache is not None:
+                fingerprint = self._check_fingerprint(cone, antecedent,
+                                                      consequent)
+                hit = self._cached_verdict(fingerprint)
+                if hit is not None:
+                    result, cone_nodes = hit
+                    decided_by = result.engine
+                    reused = True
+                    cached = True
+                    self.cache_hits += 1
+                else:
+                    self.cache_misses += 1
 
-        if not cached:
-            if spec.meta:
-                result, decided_by, reused, cone_nodes = \
-                    self._check_portfolio(antecedent, consequent)
-                if self.cache is not None:
-                    self._store_race_history(key, cone)
-            else:
-                instance, reused = self.engine_for(engine, antecedent,
-                                                   consequent)
-                result = instance.solve(
-                    instance.prepare(antecedent, consequent))
-                decided_by = engine
-                cone_nodes = len(cone.all_nodes())
-            if fingerprint is not None:
-                self._store_verdict(fingerprint, cone, display_name,
-                                    decided_by, result, cone_nodes)
+            if not cached:
+                if spec.meta:
+                    result, decided_by, reused, cone_nodes = \
+                        self._check_portfolio(antecedent, consequent)
+                    if self.cache is not None:
+                        self._store_race_history(key, cone)
+                else:
+                    instance, reused = self.engine_for(engine, antecedent,
+                                                       consequent)
+                    with _tracer().span("engine.solve", cat="engine",
+                                        engine=engine,
+                                        property=display_name):
+                        result = instance.solve(
+                            instance.prepare(antecedent, consequent))
+                    decided_by = engine
+                    cone_nodes = len(cone.all_nodes())
+                if fingerprint is not None:
+                    self._store_verdict(fingerprint, cone, display_name,
+                                        decided_by, result, cone_nodes)
+            span.set("cached", cached)
+            span.set("decided_by", decided_by)
+            span.set("passed", bool(result.passed))
+        self.observer.on_check_end(display_name, decided_by, result,
+                                   cached)
 
         # Outcome names key SessionReport.verdicts()/results(); a repeat
         # must not shadow an earlier outcome (e.g. two memory properties
@@ -560,4 +583,5 @@ class CheckSession:
             engine_stats=engine_stats,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
-            cache_stored=self.cache_stored)
+            cache_stored=self.cache_stored,
+            obs_metrics=self.metrics.as_dict())

@@ -1,0 +1,32 @@
+"""repro.obs — observability across every checking layer.
+
+Three surfaces, one package:
+
+* :mod:`repro.obs.trace` — structured span tracing (``session →
+  property → engine → compile/unroll/encode/solve``) with Chrome
+  trace-event and JSONL export, multiprocess lane merging included.
+* :mod:`repro.obs.metrics` — the unified metrics registry and the
+  merge/delta algebra that carries counters across worker processes.
+* :mod:`repro.obs.report` — the single renderer for every report
+  surface (per-property lines, session summary, cache line, the
+  ``--profile`` timing table, the ``--metrics`` namespace dump).
+
+Plus :mod:`repro.obs.observer` (the optional per-engine callback
+hook) and :mod:`repro.obs.validate` (the exported-trace schema check
+CI runs).
+"""
+
+from .metrics import (MetricsRegistry, delta_metrics, merge_metrics,
+                      stats_delta)
+from .observer import NULL_OBSERVER, Observer
+from .report import (render_cache_line, render_metrics, render_result,
+                     render_summary, report_metrics, timing_table)
+from .trace import Span, Tracer, set_tracer, tracer, use_tracer
+
+__all__ = [
+    "Tracer", "Span", "tracer", "set_tracer", "use_tracer",
+    "MetricsRegistry", "merge_metrics", "delta_metrics", "stats_delta",
+    "Observer", "NULL_OBSERVER",
+    "render_result", "render_summary", "render_cache_line",
+    "timing_table", "report_metrics", "render_metrics",
+]

@@ -1,0 +1,164 @@
+"""The unified metrics registry: counters, gauges, histograms under
+one dotted namespace.
+
+Every layer of the checker already counts — the BDD manager's
+computed-table hits, the CDCL solver's conflicts, the verdict cache's
+misses, the work queue's idle waits — but each behind its own
+``stats()`` dict with its own key names.  This module is the one
+namespace they meet in (``bdd.apply.hits``, ``sat.conflicts``,
+``cache.verdict.miss``, ``parallel.worker.idle_s``,
+``portfolio.race.aborts``) and the merge/delta algebra that makes the
+numbers survive multiprocess fan-out.
+
+Two increment disciplines coexist deliberately:
+
+* **Hot loops keep their plain-int counters.**  The solver bumps
+  ``self.conflicts += 1`` millions of times; no registry indirection
+  belongs there.  Those totals are *bridged* into the namespace once
+  per report (:func:`repro.obs.report.report_metrics`), via the
+  components' cumulative ``stats()``/``snapshot()``/``delta()``
+  surfaces.
+* **Stage-granular events increment a registry directly.**  A race
+  abort, a worker's idle wait, a chunk completion — a few dozen per
+  suite — go through :meth:`MetricsRegistry.inc`/``observe`` (one
+  dict update under a lock, safe from racing engine threads).
+
+The flattened ``as_dict`` form is plain ``{name: number}`` so it
+pickles across workers; :func:`merge_metrics` (sum, with min/max
+suffix rules) and :func:`delta_metrics` (counter subtraction) are the
+aggregation the parallel layer applies to it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+__all__ = ["MetricsRegistry", "merge_metrics", "delta_metrics",
+           "stats_delta"]
+
+Number = float
+
+
+class MetricsRegistry:
+    """Counters (monotone sums), gauges (last-set values) and
+    histograms (count/sum/min/max) under dotted metric names."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Number] = {}
+        self._gauges: Dict[str, Number] = {}
+        self._hists: Dict[str, Tuple[int, float, float, float]] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, amount: Number = 1) -> None:
+        """Add *amount* to counter *name* (creating it at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        """Set gauge *name* to *value* (point-in-time, last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: Number) -> None:
+        """Record one observation into histogram *name*."""
+        with self._lock:
+            slot = self._hists.get(name)
+            if slot is None:
+                self._hists[name] = (1, value, value, value)
+            else:
+                count, total, lo, hi = slot
+                self._hists[name] = (count + 1, total + value,
+                                     min(lo, value), max(hi, value))
+
+    def update_from(self, stats: Mapping[str, Number], *,
+                    prefix: str = "") -> None:
+        """Bulk-add a component ``stats()`` dict as counters, optionally
+        namespaced by *prefix* (``prefix="sat."`` turns ``conflicts``
+        into ``sat.conflicts``)."""
+        for key, value in stats.items():
+            self.inc(prefix + key, value)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Number]:
+        """Flattened snapshot: counters and gauges by name, histograms
+        as ``name.count/.sum/.min/.max`` — picklable plain data."""
+        with self._lock:
+            out: Dict[str, Number] = dict(self._counters)
+            out.update(self._gauges)
+            for name, (count, total, lo, hi) in self._hists.items():
+                out[f"{name}.count"] = count
+                out[f"{name}.sum"] = total
+                out[f"{name}.min"] = lo
+                out[f"{name}.max"] = hi
+        return out
+
+    def merge_dict(self, other: Mapping[str, Number]) -> None:
+        """Fold a flattened snapshot (e.g. a worker's) into this
+        registry's counters, with the min/max suffix rules of
+        :func:`merge_metrics`."""
+        for name, value in other.items():
+            if name.endswith(".min"):
+                with self._lock:
+                    cur = self._counters.get(name)
+                    self._counters[name] = (value if cur is None
+                                            else min(cur, value))
+            elif name.endswith(".max"):
+                with self._lock:
+                    cur = self._counters.get(name, value)
+                    self._counters[name] = max(cur, value)
+            else:
+                self.inc(name, value)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return (len(self._counters) + len(self._gauges)
+                    + len(self._hists))
+
+
+# ----------------------------------------------------------------------
+# The flat-dict algebra used across process boundaries
+# ----------------------------------------------------------------------
+def merge_metrics(into: Dict[str, Number],
+                  other: Mapping[str, Number]) -> Dict[str, Number]:
+    """Accumulate *other* into *into* in place (and return it):
+    ``.min``-suffixed keys take the minimum, ``.max`` the maximum,
+    everything else sums — the worker-report aggregation rule."""
+    for name, value in other.items():
+        if name.endswith(".min"):
+            cur = into.get(name)
+            into[name] = value if cur is None else min(cur, value)
+        elif name.endswith(".max"):
+            into[name] = max(into.get(name, value), value)
+        else:
+            into[name] = into.get(name, 0) + value
+    return into
+
+
+def delta_metrics(end: Mapping[str, Number],
+                  base: Optional[Mapping[str, Number]]
+                  ) -> Dict[str, Number]:
+    """*end* minus *base* for counter-like keys; ``.min``/``.max``
+    keys keep their end values (extrema cannot be subtracted).  Used
+    by fork-COW workers whose registries inherit the parent's counts."""
+    if not base:
+        return dict(end)
+    out: Dict[str, Number] = {}
+    for name, value in end.items():
+        if name.endswith(".min") or name.endswith(".max"):
+            out[name] = value
+        else:
+            out[name] = value - base.get(name, 0)
+    return out
+
+
+def stats_delta(now: Mapping[str, int], base: Mapping[str, int], *,
+                gauges: Iterable[str] = ()) -> Dict[str, int]:
+    """Component-stats delta: counters subtract, *gauges* (absolute
+    sizes like ``variables``/``clauses``, and running maxima) keep
+    their current values.  The shared rule behind every component's
+    ``delta()`` method."""
+    gauges = frozenset(gauges)
+    return {key: (value if key in gauges else value - base.get(key, 0))
+            for key, value in now.items()}

@@ -1,0 +1,52 @@
+"""The engine observer hook — per-check and per-stage callbacks.
+
+:class:`Observer` is the subclass-and-override surface for callers who
+want structured notifications instead of (or alongside) the global
+tracer: progress bars, per-property logging, external telemetry.  The
+default instance is a no-op, and the hook is *optional at every
+layer*:
+
+* :class:`~repro.core.session.CheckSession` accepts ``observer=`` and
+  calls :meth:`on_check_begin`/:meth:`on_check_end` around every
+  property, whatever engine decides it;
+* engine adapters that implement ``set_observer`` (the stock
+  :class:`~repro.core.engines.STEEngine` /
+  :class:`~repro.core.engines.BMCSatEngine` do) additionally report
+  per-stage :meth:`on_engine_event` calls.  The session attaches the
+  observer with ``getattr``, so a third-party plugin engine that
+  predates the hook keeps working unchanged — it simply emits no
+  stage events.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Observer", "NULL_OBSERVER"]
+
+
+class Observer:
+    """Base observer: every callback is a no-op.  Subclass and
+    override what you care about; exceptions raised by callbacks
+    propagate (observers are trusted code, not plugins)."""
+
+    def on_check_begin(self, name: str, engine: str) -> None:
+        """A property check is starting under *engine* (the requested
+        backend; a portfolio check reports ``"portfolio"`` here and
+        the deciding engine in :meth:`on_check_end`)."""
+
+    def on_check_end(self, name: str, engine: str, result: Any,
+                     cached: bool) -> None:
+        """A property check finished.  *engine* is the backend that
+        decided it, *result* the live or cache-served engine report,
+        *cached* whether the persistent verdict cache answered."""
+
+    def on_engine_event(self, engine: str, stage: str,
+                        seconds: float, **attrs: Any) -> None:
+        """A backend finished one internal stage (``"prepare"``,
+        ``"solve"``, …) in *seconds*; *attrs* carry engine-specific
+        counters (conflicts, checked points …)."""
+
+
+#: The shared do-nothing observer (sessions default to it).
+NULL_OBSERVER = Observer()

@@ -1,0 +1,265 @@
+"""Structured span tracing across every checking layer.
+
+One :class:`Tracer` records *spans* — named, nested, attributed
+intervals (``session → property → engine → compile/unroll/encode/
+solve``, portfolio race rounds, cache lookups, parallel chunk
+lifecycles) — as in-memory Chrome trace-event dicts.  The design
+constraints, in order:
+
+* **Free when off.**  The process-global tracer starts disabled;
+  :meth:`Tracer.span` then returns one shared no-op context manager,
+  so an instrumentation site costs two attribute loads and a falsy
+  check.  Instrumentation sits at *stage* granularity (a compile, an
+  unroll, a solver query) — never inside the solver or apply inner
+  loops, whose accounting stays in their existing plain-int counters.
+* **Multiprocess.**  Spans carry the recording process's real pid, so
+  each worker is its own lane in ``chrome://tracing`` / Perfetto.  A
+  worker's tracer has its own epoch; :meth:`Tracer.absorb` re-bases
+  shipped spans onto the parent timeline using the wall-clock epoch
+  difference (see :mod:`repro.parallel`, which ships spans home with
+  each worker's result payload).
+* **Well-formed by construction.**  Span begin/end come from one
+  monotonic clock and are truncated to integer microseconds, so
+  durations are never negative and a child's ``[ts, ts+dur]`` interval
+  always sits inside its parent's — the schema
+  :mod:`repro.obs.validate` re-checks on exported files.
+
+Export targets: :meth:`Tracer.write_chrome` (a ``traceEvents`` JSON
+object, loadable by ``chrome://tracing`` and https://ui.perfetto.dev)
+and :meth:`Tracer.write_jsonl` (one event object per line, for ad-hoc
+``jq``/pandas digestion).  :meth:`Tracer.write` picks by suffix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time as _time
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["Span", "Tracer", "tracer", "set_tracer", "use_tracer"]
+
+
+class _NullSpan:
+    """The shared do-nothing span handle returned by a disabled
+    tracer.  Stateless, so one instance serves every call site and
+    every (re-)entry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, key: str, value: Any) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live span handle: a context manager that records one complete
+    ("ph": "X") trace event on exit.  ``set`` attaches attributes
+    (cone fingerprint, engine, verdict, conflicts …) that land in the
+    event's ``args``."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._t0 = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        self.args[key] = value
+
+    def __enter__(self) -> "Span":
+        self._t0 = _time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            # An aborted portfolio slice (EngineAborted) or a real
+            # failure still records its span, tagged with the cause.
+            self.args.setdefault("error", exc_type.__name__)
+        self._tracer._record(self.name, self.cat, self._t0,
+                             _time.perf_counter(), self.args)
+
+
+class Tracer:
+    """In-memory span recorder with Chrome-trace/JSONL export."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        #: recorded events, already in Chrome trace-event dict shape
+        self.events: List[Dict[str, Any]] = []
+        self._epoch_perf = _time.perf_counter()
+        #: wall-clock time of the perf epoch — the cross-process
+        #: rebasing anchor (see :meth:`absorb`)
+        self.epoch_wall = _time.time()
+        self._lock = threading.Lock()
+        self._tids: Dict[int, int] = {}
+        self._names: Dict[int, str] = {}     # pid -> lane label
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def span(self, name: str, cat: str = "repro",
+             **args: Any) -> Union[Span, _NullSpan]:
+        """A context manager recording ``name`` as a complete event.
+        When the tracer is disabled this is (nearly) free."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(self, name, cat, args)
+
+    def _tid(self) -> int:
+        ident = threading.get_ident()
+        tid = self._tids.get(ident)
+        if tid is None:
+            tid = self._tids[ident] = len(self._tids)
+        return tid
+
+    def _record(self, name: str, cat: str, t0: float, t1: float,
+                args: Dict[str, Any]) -> None:
+        # Truncation is monotone, so child intervals stay inside their
+        # parents' after the float->int microsecond conversion.
+        ts = int((t0 - self._epoch_perf) * 1e6)
+        end = int((t1 - self._epoch_perf) * 1e6)
+        event = {"name": name, "cat": cat, "ph": "X",
+                 "ts": max(0, ts), "dur": max(0, end - max(0, ts)),
+                 "pid": os.getpid(), "tid": self._tid()}
+        if args:
+            event["args"] = args
+        with self._lock:
+            self.events.append(event)
+
+    def add_span(self, name: str, start_perf: float, end_perf: float,
+                 cat: str = "repro", **args: Any) -> None:
+        """Record a span retroactively from two ``perf_counter``
+        readings (e.g. a session's whole lifetime at report time)."""
+        if not self.enabled:
+            return
+        self._record(name, cat, start_perf, end_perf, args)
+
+    def label_process(self, label: str, pid: Optional[int] = None) -> None:
+        """Name a pid's lane in the trace viewer ("main", "worker-2")."""
+        self._names[pid if pid is not None else os.getpid()] = label
+
+    # ------------------------------------------------------------------
+    # Cross-process merging
+    # ------------------------------------------------------------------
+    def export(self) -> List[Dict[str, Any]]:
+        """A snapshot of the recorded events (picklable plain dicts) —
+        what a worker ships home with its results."""
+        with self._lock:
+            return [dict(e) for e in self.events]
+
+    def absorb(self, events: List[Dict[str, Any]],
+               epoch_wall: Optional[float] = None,
+               label: Optional[str] = None) -> None:
+        """Merge spans recorded by another tracer (typically a worker
+        process), re-basing their timestamps onto this tracer's
+        timeline via the wall-clock difference of the two epochs."""
+        if not events:
+            return
+        offset = 0
+        if epoch_wall is not None:
+            offset = int((epoch_wall - self.epoch_wall) * 1e6)
+        merged = []
+        for event in events:
+            event = dict(event)
+            event["ts"] = max(0, int(event.get("ts", 0)) + offset)
+            merged.append(event)
+        with self._lock:
+            self.events.extend(merged)
+        if label and merged:
+            self.label_process(label, merged[0].get("pid"))
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """The event list plus per-process ``process_name`` metadata
+        (one lane label per pid seen)."""
+        events = self.export()
+        pids = {e["pid"] for e in events}
+        meta = []
+        main_pid = os.getpid()
+        for pid in sorted(pids):
+            label = self._names.get(
+                pid, "main" if pid == main_pid else f"worker-{pid}")
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": label}})
+        return meta + events
+
+    def write_chrome(self, path: Union[str, os.PathLike]) -> int:
+        """Write a ``chrome://tracing`` / Perfetto-loadable JSON file;
+        returns the number of (non-metadata) span events written."""
+        events = self.chrome_events()
+        payload = {"traceEvents": events, "displayTimeUnit": "ms"}
+        with open(path, "w") as fh:
+            json.dump(payload, fh, default=str)
+            fh.write("\n")
+        return sum(1 for e in events if e.get("ph") == "X")
+
+    def write_jsonl(self, path: Union[str, os.PathLike]) -> int:
+        """Write one JSON event object per line; returns the span
+        count."""
+        events = self.chrome_events()
+        with open(path, "w") as fh:
+            for event in events:
+                fh.write(json.dumps(event, default=str) + "\n")
+        return sum(1 for e in events if e.get("ph") == "X")
+
+    def write(self, path: Union[str, os.PathLike]) -> int:
+        """Suffix-dispatching export: ``*.jsonl`` writes JSON-lines,
+        anything else the Chrome trace-event object."""
+        if os.fspath(path).endswith(".jsonl"):
+            return self.write_jsonl(path)
+        return self.write_chrome(path)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+#: The process-global tracer every instrumentation site consults.
+#: Disabled by default: tracing is opt-in (CLI ``--trace``, the
+#: examples, or :func:`set_tracer`/:func:`use_tracer` from code).
+_TRACER = Tracer(enabled=False)
+
+
+def tracer() -> Tracer:
+    """The active tracer (a disabled no-op recorder by default)."""
+    return _TRACER
+
+
+def set_tracer(new: Tracer) -> Tracer:
+    """Install *new* as the process-global tracer; returns the old one
+    (worker processes install their own after fork/spawn)."""
+    global _TRACER
+    old, _TRACER = _TRACER, new
+    return old
+
+
+class use_tracer:
+    """Context manager: install a tracer, restore the previous one on
+    exit.  ``with use_tracer(Tracer()) as t: ... t.write(path)``."""
+
+    def __init__(self, new: Optional[Tracer] = None):
+        self.tracer = new if new is not None else Tracer(enabled=True)
+        self._old: Optional[Tracer] = None
+
+    def __enter__(self) -> Tracer:
+        self._old = set_tracer(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc) -> None:
+        if self._old is not None:
+            set_tracer(self._old)

@@ -1,0 +1,167 @@
+"""Trace-schema validation: is an exported trace file well formed?
+
+Checks what ``chrome://tracing`` / Perfetto silently tolerate but a
+broken exporter would betray:
+
+* every span event (``"ph": "X"``) carries ``ts``/``dur``/``name``/
+  ``pid``/``tid``;
+* no negative timestamps or durations;
+* spans on one ``(pid, tid)`` lane are properly nested — any two
+  either disjoint or one containing the other, never partially
+  overlapping (a rebasing or clock bug shows up here first).
+
+Reads both export formats (the Chrome ``traceEvents`` object and
+JSONL).  Usable as a library (:func:`validate_events`) and as the CI
+gate::
+
+    python -m repro.obs.validate trace.jsonl
+
+exits 0 on a clean file, 1 with per-problem diagnostics otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["load_events", "validate_events", "validate_file", "main"]
+
+_REQUIRED = ("ts", "dur", "name", "pid", "tid")
+
+
+def load_events(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Events from a Chrome trace-event JSON object, a bare JSON
+    array, or a JSONL file (dispatch by content, not suffix)."""
+    with open(path) as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") or stripped.startswith("["):
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            payload = None
+        if isinstance(payload, dict):
+            events = payload.get("traceEvents")
+            if isinstance(events, list):
+                return events
+            if "ph" in payload or "name" in payload:
+                return [payload]             # a one-line JSONL file
+            raise ValueError("trace object has no traceEvents list")
+        if isinstance(payload, list):
+            return payload
+    # JSONL: one event object per line.
+    events = []
+    for i, line in enumerate(text.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except ValueError as exc:
+            raise ValueError(f"line {i + 1}: not JSON ({exc})") from exc
+    return events
+
+
+def validate_events(events: List[Dict[str, Any]]) -> List[str]:
+    """Schema problems found in *events* (empty list = valid)."""
+    problems: List[str] = []
+    spans: List[Dict[str, Any]] = []
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        if event.get("ph") != "X":
+            continue                         # metadata etc: fine as-is
+        missing = [k for k in _REQUIRED if k not in event]
+        if missing:
+            problems.append(f"event {i} ({event.get('name', '?')}): "
+                            f"missing {', '.join(missing)}")
+            continue
+        if event["ts"] < 0:
+            problems.append(f"event {i} ({event['name']}): "
+                            f"negative ts {event['ts']}")
+        if event["dur"] < 0:
+            problems.append(f"event {i} ({event['name']}): "
+                            f"negative dur {event['dur']}")
+        spans.append(event)
+
+    # Nesting per (pid, tid) lane: sweep in (ts, -dur) order with a
+    # stack of open intervals; a span that starts inside the top but
+    # ends after it partially overlaps — the malformation trace
+    # viewers render as garbage.
+    lanes: Dict[tuple, List[Dict[str, Any]]] = {}
+    for event in spans:
+        lanes.setdefault((event["pid"], event["tid"]), []).append(event)
+    for (pid, tid), lane in sorted(lanes.items()):
+        lane.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: List[Dict[str, Any]] = []
+        for event in lane:
+            end = event["ts"] + event["dur"]
+            while stack and stack[-1]["ts"] + stack[-1]["dur"] <= event["ts"]:
+                stack.pop()
+            if stack:
+                parent_end = stack[-1]["ts"] + stack[-1]["dur"]
+                if end > parent_end:
+                    problems.append(
+                        f"lane pid={pid} tid={tid}: span "
+                        f"{event['name']!r} [{event['ts']}, {end}] "
+                        f"overlaps {stack[-1]['name']!r} ending at "
+                        f"{parent_end}")
+            stack.append(event)
+    return problems
+
+
+def validate_file(path: Union[str, os.PathLike]
+                  ) -> "tuple[int, List[str]]":
+    """(span count, problems) for a trace file on disk."""
+    events = load_events(path)
+    spans = sum(1 for e in events
+                if isinstance(e, dict) and e.get("ph") == "X")
+    return spans, validate_events(events)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate an exported trace file (Chrome "
+                    "trace-event JSON or JSONL): required fields, "
+                    "non-negative durations, proper span nesting.")
+    parser.add_argument("trace", help="trace file to validate")
+    parser.add_argument("--min-spans", type=int, default=1,
+                        help="fail unless the file holds at least this "
+                             "many span events (default 1)")
+    parser.add_argument("--min-lanes", type=int, default=1,
+                        help="fail unless spans come from at least this "
+                             "many distinct processes (default 1)")
+    args = parser.parse_args(argv)
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_events(events)
+    spans = [e for e in events
+             if isinstance(e, dict) and e.get("ph") == "X"]
+    lanes = {e.get("pid") for e in spans}
+    if len(spans) < args.min_spans:
+        problems.append(f"only {len(spans)} span(s), "
+                        f"expected >= {args.min_spans}")
+    if len(lanes) < args.min_lanes:
+        problems.append(f"only {len(lanes)} process lane(s), "
+                        f"expected >= {args.min_lanes}")
+    for problem in problems:
+        print(f"INVALID: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    names = sorted({e["name"] for e in spans})
+    print(f"{args.trace}: {len(spans)} spans across {len(lanes)} "
+          f"process lane(s), properly nested; span names: "
+          f"{', '.join(names[:12])}{' …' if len(names) > 12 else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,8 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from .core.registry import engine_spec
 from .core.session import CheckSession, PropertyOutcome, SessionReport
 from .netlist import Circuit, cone_of_influence
+from .obs.metrics import delta_metrics, merge_metrics
+from .obs.trace import Tracer, set_tracer, tracer as _tracer
 from .ste.formula import formula_nodes
 
 __all__ = ["SuiteSpec", "RemoteFailure", "RemoteResult",
@@ -156,13 +158,8 @@ class RemoteResult:
     cex_text: Optional[str] = None
 
     def summary(self) -> str:
-        status = "PASS" if self.passed else \
-            f"FAIL({len(self.failures)} points)"
-        if self.vacuous:
-            status += " [VACUOUS]"
-        return (f"{self.engine.upper()} {status} depth={self.depth} "
-                f"points={self.checked_points} "
-                f"time={self.elapsed_seconds:.3f}s")
+        from .obs.report import render_result
+        return render_result(self)
 
 
 def _remote_result(result) -> RemoteResult:
@@ -226,6 +223,11 @@ def _report_delta(end: SessionReport, base: Optional[SessionReport]
         # counting the parent (workers+1) times over.
         for k, v in base.bdd_stats.items():
             bdd_stats[k] = bdd_stats.get(k, 0) - v
+    # Runtime metrics follow the same fork-COW discipline: a forked
+    # worker's registry inherits the parent's counts, so only the
+    # growth travels home (extrema keep their end values).
+    obs_metrics = delta_metrics(
+        end.obs_metrics, base.obs_metrics if base is not None else None)
     return {
         "outcomes": outcomes,
         "models_compiled": models_compiled,
@@ -233,6 +235,7 @@ def _report_delta(end: SessionReport, base: Optional[SessionReport]
         "bdd_stats": bdd_stats,
         "cache_stats": cache_stats,
         "engine_stats": engine_stats,
+        "obs_metrics": obs_metrics,
         **pcache,
     }
 
@@ -286,7 +289,8 @@ def _run_partition(spec: SuiteSpec, names: Sequence[str], engine: str,
 
 
 def _worker_loop(task_queue, result_queue, spec: SuiteSpec, engine: str,
-                 cache_dir: Optional[str], rerun: str) -> None:
+                 cache_dir: Optional[str], rerun: str,
+                 trace_on: bool = False) -> None:
     """Queue-draining worker: pull cone chunks until the sentinel, then
     ship one aggregate delta report back.
 
@@ -295,17 +299,41 @@ def _worker_loop(task_queue, result_queue, spec: SuiteSpec, engine: str,
     and all); otherwise the suite is rebuilt from the spec.  The
     worker's *session* persists across every chunk it steals, so cone
     amortisation is bounded by which chunks it happens to pull, not by
-    a static assignment."""
+    a static assignment.
+
+    With *trace_on* the worker installs its own enabled
+    :class:`~repro.obs.trace.Tracer` (a fork-inherited parent tracer
+    would interleave timelines) and ships its spans home inside the
+    result payload, together with its wall-clock epoch so the parent
+    can re-base them onto one timeline — each worker then renders as
+    its own pid lane in the exported trace."""
     session = None
+    wtracer = None
+    if trace_on:
+        wtracer = Tracer(enabled=True)
+        set_tracer(wtracer)
     try:
         session, by_name, base = _resume_or_build(spec, engine,
                                                   cache_dir, rerun)
+        idle_s = 0.0
+        chunks_done = 0
         while True:
+            t0 = _time.perf_counter()
             names = task_queue.get()
+            idle_s += _time.perf_counter() - t0
             if names is None:
                 break
-            _check_names(session, by_name, names)
-        result_queue.put(("ok", _report_delta(session.report(), base)))
+            with _tracer().span("parallel.chunk", cat="parallel",
+                                size=len(names), first=names[0]):
+                _check_names(session, by_name, names)
+            chunks_done += 1
+        session.metrics.inc("parallel.worker.idle_s", round(idle_s, 6))
+        session.metrics.inc("parallel.worker.chunks", chunks_done)
+        payload = _report_delta(session.report(), base)
+        if wtracer is not None:
+            payload["spans"] = wtracer.export()
+            payload["trace_epoch_wall"] = wtracer.epoch_wall
+        result_queue.put(("ok", payload))
     except BaseException as exc:             # ship the failure home
         try:
             result_queue.put(("error", exc))
@@ -505,27 +533,29 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
         if ctx.get_start_method() == "fork":
             # Pilot + stash: warm one property per cone in the parent,
             # hand the warmed session to the workers through fork COW.
-            p_core, p_mgr, p_suite = spec.build()
-            by_name = {p.name: p for p in p_suite}
-            session = pilot_session = CheckSession(
-                p_core.circuit, p_mgr, engine=engine,
-                cache=cache_dir, rerun=rerun)
-            seen_first: Dict[frozenset, str] = {}
-            for chunk in chunks:
-                pilot = chunk[0]
-                prop = by_name.get(pilot)
-                if prop is None:
-                    continue                 # unknown: workers report it
-                roots = frozenset(formula_nodes(prop.antecedent)) \
-                    | frozenset(formula_nodes(prop.consequent))
-                if roots not in seen_first:
-                    seen_first[roots] = pilot
-            pilot_names = sorted(set(seen_first.values()),
-                                 key=names.index)
-            for pilot in pilot_names:
-                prop = by_name[pilot]
-                session.check(prop.antecedent, prop.consequent,
-                              name=pilot)
+            with _tracer().span("parallel.pilot", cat="parallel") as span:
+                p_core, p_mgr, p_suite = spec.build()
+                by_name = {p.name: p for p in p_suite}
+                session = pilot_session = CheckSession(
+                    p_core.circuit, p_mgr, engine=engine,
+                    cache=cache_dir, rerun=rerun)
+                seen_first: Dict[frozenset, str] = {}
+                for chunk in chunks:
+                    pilot = chunk[0]
+                    prop = by_name.get(pilot)
+                    if prop is None:
+                        continue             # unknown: workers report it
+                    roots = frozenset(formula_nodes(prop.antecedent)) \
+                        | frozenset(formula_nodes(prop.consequent))
+                    if roots not in seen_first:
+                        seen_first[roots] = pilot
+                pilot_names = sorted(set(seen_first.values()),
+                                     key=names.index)
+                span.set("pilots", len(pilot_names))
+                for pilot in pilot_names:
+                    prop = by_name[pilot]
+                    session.check(prop.antecedent, prop.consequent,
+                                  name=pilot)
             worker_reports.append(_report_delta(session.report(), None))
             _FORK_STATE = (spec, session, by_name)
             chunks = [[n for n in chunk if n not in pilot_names]
@@ -539,57 +569,72 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
             if chunks:
                 nproc = min(workers, len(chunks))
                 effective_jobs = nproc
-                task_queue = ctx.Queue()
-                result_queue = ctx.Queue()
-                for chunk in chunks:
-                    task_queue.put(chunk)
-                for _ in range(nproc):
-                    task_queue.put(None)     # one sentinel per worker
-                # Freeze the warmed heap before forking (the CPython-
-                # documented pattern): the BDD tables are millions of
-                # long-lived objects, and moving them to the permanent
-                # generation keeps the children's cyclic-GC passes
-                # from touching — and copy-on-write duplicating —
-                # those pages.
-                gc.collect()
-                gc.freeze()
-                procs = [ctx.Process(target=_worker_loop,
-                                     args=(task_queue, result_queue,
-                                           spec, engine, cache_dir,
-                                           rerun),
-                                     daemon=True)
-                         for _ in range(nproc)]
-                for proc in procs:
-                    proc.start()
-                error: Optional[BaseException] = None
-                pending = nproc
-                while pending:
-                    # A worker killed mid-check (OOM, segfault in a
-                    # giant BDD workload) never posts its result; poll
-                    # liveness so the run fails loudly instead of
-                    # blocking on the queue forever.
-                    try:
-                        status, payload = result_queue.get(timeout=1.0)
-                    except _queue.Empty:
-                        if any(p.is_alive() for p in procs):
-                            continue
+                with _tracer().span("parallel.fanout", cat="parallel",
+                                    workers=nproc,
+                                    chunks=len(chunks)) as span:
+                    task_queue = ctx.Queue()
+                    result_queue = ctx.Queue()
+                    for chunk in chunks:
+                        task_queue.put(chunk)
+                    for _ in range(nproc):
+                        task_queue.put(None)  # one sentinel per worker
+                    # Freeze the warmed heap before forking (the
+                    # CPython-documented pattern): the BDD tables are
+                    # millions of long-lived objects, and moving them
+                    # to the permanent generation keeps the children's
+                    # cyclic-GC passes from touching — and
+                    # copy-on-write duplicating — those pages.
+                    gc.collect()
+                    gc.freeze()
+                    trace_on = _tracer().enabled
+                    procs = [ctx.Process(target=_worker_loop,
+                                         args=(task_queue, result_queue,
+                                               spec, engine, cache_dir,
+                                               rerun, trace_on),
+                                         daemon=True)
+                             for _ in range(nproc)]
+                    for proc in procs:
+                        proc.start()
+                    error: Optional[BaseException] = None
+                    pending = nproc
+                    while pending:
+                        # A worker killed mid-check (OOM, segfault in a
+                        # giant BDD workload) never posts its result;
+                        # poll liveness so the run fails loudly instead
+                        # of blocking on the queue forever.
                         try:
-                            status, payload = result_queue.get_nowait()
+                            status, payload = result_queue.get(
+                                timeout=1.0)
                         except _queue.Empty:
-                            raise RuntimeError(
-                                f"{pending} parallel worker(s) died "
-                                f"without reporting a result (exit "
-                                f"codes: "
-                                f"{[p.exitcode for p in procs]})")
-                    pending -= 1
-                    if status == "ok":
-                        worker_reports.append(payload)
-                    else:
-                        error = error or payload
-                for proc in procs:
-                    proc.join()
-                if error is not None:
-                    raise error
+                            if any(p.is_alive() for p in procs):
+                                continue
+                            try:
+                                status, payload = \
+                                    result_queue.get_nowait()
+                            except _queue.Empty:
+                                raise RuntimeError(
+                                    f"{pending} parallel worker(s) "
+                                    f"died without reporting a result "
+                                    f"(exit codes: "
+                                    f"{[p.exitcode for p in procs]})")
+                        pending -= 1
+                        if status == "ok":
+                            # Worker spans ride home in the payload;
+                            # re-base them onto the parent timeline so
+                            # each worker renders as its own pid lane.
+                            spans = payload.pop("spans", None)
+                            epoch = payload.pop("trace_epoch_wall",
+                                                None)
+                            if spans:
+                                _tracer().absorb(spans, epoch)
+                            worker_reports.append(payload)
+                        else:
+                            error = error or payload
+                    for proc in procs:
+                        proc.join()
+                    span.set("ok", error is None)
+                    if error is not None:
+                        raise error
         finally:
             _FORK_STATE = None
             gc.unfreeze()
@@ -602,6 +647,7 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
     bdd_stats: Dict[str, int] = {}
     cache_stats: Dict[str, Dict[str, int]] = {}
     engine_stats: Dict[str, int] = {}
+    obs_metrics: Dict[str, float] = {}
     pcache = {"cache_hits": 0, "cache_misses": 0, "cache_stored": 0}
     for report in worker_reports:
         for outcome in report["outcomes"]:
@@ -622,6 +668,7 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
                 engine_stats[k] = max(engine_stats.get(k, 0), v)
             else:
                 engine_stats[k] = engine_stats.get(k, 0) + v
+        merge_metrics(obs_metrics, report.get("obs_metrics", {}))
 
     outcomes = [by_name_out[p.name] for p in properties]
     return SessionReport(
@@ -634,4 +681,5 @@ def run_parallel(core, properties: Sequence, *, jobs: int,
         engine=engine,
         engine_stats=engine_stats,
         jobs=max(1, effective_jobs),
+        obs_metrics=obs_metrics,
         **pcache)

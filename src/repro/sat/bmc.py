@@ -37,6 +37,7 @@ from ..engine import EngineAborted
 from ..netlist import Circuit, cone_of_influence
 from ..netlist.schedule import EvalSchedule
 from ..netlist.validate import require_valid
+from ..obs.trace import tracer as _tracer
 from ..ste.formula import (Formula, defining_atoms, formula_depth,
                            formula_nodes)
 from .encode import SCALAR_OF_RAILS, DualRailEncoder, Pair
@@ -157,14 +158,8 @@ class BMCResult:
         )
 
     def summary(self) -> str:
-        status = "PASS" if self.passed else f"FAIL({len(self.failures)} points)"
-        if self.vacuous:
-            status += " [VACUOUS]"
-        return (f"BMC {status} depth={self.depth} "
-                f"points={self.checked_points} "
-                f"cnf_vars={self.cnf_stats.get('variables', 0)} "
-                f"conflicts={self.solver_stats.get('conflicts', 0)} "
-                f"time={self.elapsed_seconds:.3f}s")
+        from ..obs.report import render_result
+        return render_result(self)
 
 
 @dataclass
@@ -335,11 +330,25 @@ class BMCEngine:
     def stats(self) -> Dict[str, int]:
         """Engine counters for session aggregation (the
         :class:`repro.core.registry.Engine` ``stats`` surface): the
-        incremental solver's totals plus the frame-cache traffic."""
+        incremental solver's cumulative totals plus the frame-cache
+        traffic.  Monotone over the engine's life — slice accounting is
+        :meth:`snapshot` before, :meth:`delta` after."""
         stats = dict(self.solver.stats())
         stats["frames_computed"] = self.frames_computed
         stats["frames_reused"] = self.frames_reused
         return stats
+
+    def snapshot(self) -> Dict[str, int]:
+        """A baseline copy of :meth:`stats` for :meth:`delta`."""
+        return self.stats()
+
+    def delta(self, base: Dict[str, int]) -> Dict[str, int]:
+        """Work done since *base* (a :meth:`snapshot`): counters —
+        conflicts, frames, learnt clauses — subtract; the solver's
+        gauge stats (:data:`Solver.GAUGE_STATS`) keep current values."""
+        from ..obs.metrics import stats_delta
+        return stats_delta(self.stats(), base,
+                           gauges=Solver.GAUGE_STATS)
 
     # ------------------------------------------------------------------
     def prepare(self, mgr: BDDManager, antecedent: Formula,
@@ -367,12 +376,14 @@ class BMCEngine:
                 raise EngineAborted("BMC prepare aborted")
             return enc.constraint_pair(atoms)
 
-        a_pairs = {t: {node: pair_of(atoms)
-                       for node, atoms in constraints.items()}
-                   for t, constraints in a_seq.items()}
-        c_points = [(t, node, pair_of(atoms))
-                    for t, constraints in sorted(c_seq.items())
-                    for node, atoms in constraints.items()]
+        with _tracer().span("bmc.prepare", cat="bmc", depth=depth) as span:
+            a_pairs = {t: {node: pair_of(atoms)
+                           for node, atoms in constraints.items()}
+                       for t, constraints in a_seq.items()}
+            c_points = [(t, node, pair_of(atoms))
+                        for t, constraints in sorted(c_seq.items())
+                        for node, atoms in constraints.items()]
+            span.set("points", len(c_points))
         return PreparedQuery(a_pairs=a_pairs, c_points=c_points, depth=depth)
 
     def check(self, mgr: BDDManager, antecedent: Formula,
@@ -393,11 +404,15 @@ class BMCEngine:
         started = _time.perf_counter()
         enc = self.enc
         solver = self.solver
-        base_stats = solver.stats()
+        base_stats = solver.snapshot()
         depth = query.depth
 
-        trajectory, antecedent_ok = self._unroll(query.a_pairs, depth,
-                                                 abort=abort)
+        computed0, reused0 = self.frames_computed, self.frames_reused
+        with _tracer().span("bmc.unroll", cat="bmc", depth=depth) as span:
+            trajectory, antecedent_ok = self._unroll(query.a_pairs, depth,
+                                                     abort=abort)
+            span.set("frames_computed", self.frames_computed - computed0)
+            span.set("frames_reused", self.frames_reused - reused0)
 
         # Point-wise lattice comparison, negated: a point's violation
         # literal is ¬(expected ⊑ actual); the query is their
@@ -406,26 +421,30 @@ class BMCEngine:
         points: List[BMCFailure] = []
         checked_points = 0
         countdown = 128
-        for t, node, expected in query.c_points:
-            if abort is not None:
-                countdown -= 1
-                if not countdown:
-                    countdown = 128
-                    if abort():
-                        raise EngineAborted(
-                            f"BMC encode aborted at point {checked_points}")
-            state = trajectory[t]
-            checked_points += 1
-            actual = state.get(node, x)
-            violation = -enc.t_leq(expected, actual)
-            if violation == enc.ts.false:
-                continue                   # provably unviolatable point
-            points.append(BMCFailure(t, node, expected, actual,
-                                     violation))
+        with _tracer().span("bmc.encode", cat="bmc") as span:
+            for t, node, expected in query.c_points:
+                if abort is not None:
+                    countdown -= 1
+                    if not countdown:
+                        countdown = 128
+                        if abort():
+                            raise EngineAborted(
+                                f"BMC encode aborted at point "
+                                f"{checked_points}")
+                state = trajectory[t]
+                checked_points += 1
+                actual = state.get(node, x)
+                violation = -enc.t_leq(expected, actual)
+                if violation == enc.ts.false:
+                    continue               # provably unviolatable point
+                points.append(BMCFailure(t, node, expected, actual,
+                                         violation))
 
-        some_violation = enc.ts.lor(*[p.violation for p in points]) \
-            if points else enc.ts.false
-        self._sync_solver()
+            some_violation = enc.ts.lor(*[p.violation for p in points]) \
+                if points else enc.ts.false
+            self._sync_solver()
+            span.set("points", checked_points)
+            span.set("violatable", len(points))
         self.checks += 1
 
         failures: List[BMCFailure] = []
@@ -433,60 +452,58 @@ class BMCEngine:
         model: Dict[int, bool] = {}
         vacuous = False
         queries = 0
-        try:
-            if some_violation == enc.ts.false:
-                passed = True
-                vacuous = not solver.solve([antecedent_ok],
-                                           interrupt=abort)
-                queries += 1
-            else:
-                sat = solver.solve([antecedent_ok, some_violation],
-                                   limit=self.aggregate_budget,
-                                   interrupt=abort)
-                queries += 1
-                if sat is None:
-                    # The aggregate query is hard (typically a wide-
-                    # datapath miter).  Refine point by point in (time,
-                    # node) order — for a bus that is LSB-first, so each
-                    # query's learnt carry-bridging clauses remain in
-                    # the solver and keep the next bit's proof shallow
-                    # (output splitting, the standard cure for
-                    # structurally-misaligned miters).
-                    self.refinements += 1
-                    sat = False
-                    for point in points:
-                        answer = solver.solve(
-                            [antecedent_ok, point.violation],
-                            interrupt=abort)
-                        queries += 1
-                        if answer:
-                            sat = True
-                            break
-                if sat:
-                    passed = False
-                    # Snapshot the witness NOW: the shared incremental
-                    # solver's model is overwritten by the next check.
-                    model = dict(solver.model)
-                    failures = [p for p in points
-                                if solver.value(p.violation, False)]
-                    assignment = {
-                        name: solver.value(var, False)
-                        for name, var in enc.cnf.named_vars().items()}
-                else:
+        with _tracer().span("bmc.search", cat="bmc", depth=depth) as span:
+            try:
+                if some_violation == enc.ts.false:
                     passed = True
                     vacuous = not solver.solve([antecedent_ok],
                                                interrupt=abort)
                     queries += 1
-        except SolverInterrupted as exc:
-            raise EngineAborted(str(exc)) from exc
+                else:
+                    sat = solver.solve([antecedent_ok, some_violation],
+                                       limit=self.aggregate_budget,
+                                       interrupt=abort)
+                    queries += 1
+                    if sat is None:
+                        # The aggregate query is hard (typically a wide-
+                        # datapath miter).  Refine point by point in (time,
+                        # node) order — for a bus that is LSB-first, so each
+                        # query's learnt carry-bridging clauses remain in
+                        # the solver and keep the next bit's proof shallow
+                        # (output splitting, the standard cure for
+                        # structurally-misaligned miters).
+                        self.refinements += 1
+                        sat = False
+                        for point in points:
+                            answer = solver.solve(
+                                [antecedent_ok, point.violation],
+                                interrupt=abort)
+                            queries += 1
+                            if answer:
+                                sat = True
+                                break
+                    if sat:
+                        passed = False
+                        # Snapshot the witness NOW: the shared incremental
+                        # solver's model is overwritten by the next check.
+                        model = dict(solver.model)
+                        failures = [p for p in points
+                                    if solver.value(p.violation, False)]
+                        assignment = {
+                            name: solver.value(var, False)
+                            for name, var in enc.cnf.named_vars().items()}
+                    else:
+                        passed = True
+                        vacuous = not solver.solve([antecedent_ok],
+                                                   interrupt=abort)
+                        queries += 1
+            except SolverInterrupted as exc:
+                raise EngineAborted(str(exc)) from exc
 
-        now_stats = solver.stats()
-        delta = {k: now_stats[k] - base_stats.get(k, 0)
-                 for k in ("decisions", "propagations", "conflicts",
-                           "learned", "restarts")}
-        delta["variables"] = now_stats["variables"]
-        delta["clauses"] = now_stats["clauses"]
-        delta["queries"] = queries
+            delta = solver.delta(base_stats)
+            delta["queries"] = queries
+            span.set("queries", queries)
+            span.set("conflicts", delta.get("conflicts", 0))
         return BMCResult(
             passed=passed,
             failures=failures,

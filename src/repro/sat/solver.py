@@ -667,7 +667,15 @@ class Solver:
             val = default
         return val if lit > 0 else not val
 
+    #: :meth:`stats` keys that are point-in-time sizes or running
+    #: maxima, not monotone counters — :meth:`delta` keeps their
+    #: current values instead of subtracting.
+    GAUGE_STATS = ("variables", "clauses", "max_learnt_len")
+
     def stats(self) -> Dict[str, int]:
+        """Cumulative lifetime counters (plus the :data:`GAUGE_STATS`
+        sizes).  Monotone over the solver's life — per-query accounting
+        is :meth:`snapshot` before, :meth:`delta` after."""
         return {
             "variables": self._nvars,
             "clauses": len(self._clauses),
@@ -679,6 +687,16 @@ class Solver:
             "restarts": self.restarts,
             "max_learnt_len": self.max_learnt_len,
         }
+
+    def snapshot(self) -> Dict[str, int]:
+        """A baseline copy of :meth:`stats` for :meth:`delta`."""
+        return self.stats()
+
+    def delta(self, base: Dict[str, int]) -> Dict[str, int]:
+        """Work done since *base* (a :meth:`snapshot`): counters
+        subtract, :data:`GAUGE_STATS` keep their current values."""
+        from ..obs.metrics import stats_delta
+        return stats_delta(self.stats(), base, gauges=self.GAUGE_STATS)
 
     def __repr__(self) -> str:
         return (f"Solver(vars={self._nvars}, clauses={len(self._clauses)}, "

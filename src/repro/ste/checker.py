@@ -31,6 +31,7 @@ from ..bdd import BDDManager, Ref
 from ..engine import EngineAborted
 from ..fsm import CompiledModel, compile_circuit
 from ..netlist import Circuit
+from ..obs.trace import tracer as _tracer
 from ..ternary import TernaryValue
 from .formula import (Formula, defining_sequence, formula_depth,
                       formula_nodes)
@@ -90,13 +91,8 @@ class STEResult:
         return cond & self.antecedent_ok
 
     def summary(self) -> str:
-        status = "PASS" if self.passed else f"FAIL({len(self.failures)} points)"
-        if self.vacuous:
-            status += " [VACUOUS]"
-        return (f"STE {status} depth={self.depth} "
-                f"points={self.checked_points} "
-                f"bdd_nodes={self.bdd_nodes} "
-                f"time={self.elapsed_seconds:.3f}s")
+        from ..obs.report import render_result
+        return render_result(self)
 
 
 def check(model: Union[Circuit, CompiledModel],
@@ -193,31 +189,36 @@ def check_compiled(compiled: CompiledModel,
     antecedent_ok = mgr.true
     trajectory: List[Dict[str, TernaryValue]] = []
     prev: Optional[Dict[str, TernaryValue]] = None
-    for t in range(depth):
-        if abort is not None and abort():
-            raise EngineAborted(f"STE aborted at frame {t}/{depth}")
-        state = compiled.step(prev, a_seq.get(t, {}), abort=abort)
-        for node in a_seq.get(t, {}):
-            antecedent_ok = antecedent_ok & state[node].is_consistent()
-        trajectory.append(state)
-        prev = state
+    with _tracer().span("ste.trajectory", cat="ste", depth=depth):
+        for t in range(depth):
+            if abort is not None and abort():
+                raise EngineAborted(f"STE aborted at frame {t}/{depth}")
+            state = compiled.step(prev, a_seq.get(t, {}), abort=abort)
+            for node in a_seq.get(t, {}):
+                antecedent_ok = antecedent_ok & state[node].is_consistent()
+            trajectory.append(state)
+            prev = state
 
     # Point-wise lattice comparison  [C] t n ⊑ [[A]] M t n.
     failures: List[Failure] = []
     checked_points = 0
     x = TernaryValue.x(mgr)
-    for t, constraints in sorted(c_seq.items()):
-        state = trajectory[t]
-        for node, expected in constraints.items():
-            if abort is not None and abort():
-                raise EngineAborted(
-                    f"STE aborted at point {checked_points}")
-            checked_points += 1
-            actual = state.get(node, x)
-            holds = expected.leq(actual)
-            violating = ~holds & antecedent_ok
-            if not violating.is_false:
-                failures.append(Failure(t, node, violating, expected, actual))
+    with _tracer().span("ste.compare", cat="ste") as span:
+        for t, constraints in sorted(c_seq.items()):
+            state = trajectory[t]
+            for node, expected in constraints.items():
+                if abort is not None and abort():
+                    raise EngineAborted(
+                        f"STE aborted at point {checked_points}")
+                checked_points += 1
+                actual = state.get(node, x)
+                holds = expected.leq(actual)
+                violating = ~holds & antecedent_ok
+                if not violating.is_false:
+                    failures.append(Failure(t, node, violating, expected,
+                                            actual))
+        span.set("points", checked_points)
+        span.set("failures", len(failures))
 
     elapsed = _time.perf_counter() - started
     return STEResult(

@@ -1,0 +1,576 @@
+"""The observability layer (repro.obs): span tracing and export,
+the unified metrics registry and its merge/delta algebra, the
+Observer hook, trace-schema validation, cumulative snapshot()/delta()
+accounting, and the CLI surfacing (--trace/--metrics/--profile) —
+fast tier, tiny geometry."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.bdd import BDDManager
+from repro.core.registry import register_engine, unregister_engine
+from repro.cpu import fixed_core
+from repro.obs import (MetricsRegistry, NULL_OBSERVER, Observer, Tracer,
+                       delta_metrics, merge_metrics, render_metrics,
+                       render_result, stats_delta, use_tracer)
+from repro.obs.trace import _NULL_SPAN, set_tracer, tracer
+from repro.obs.validate import (load_events, validate_events,
+                                validate_file)
+from repro.obs.validate import main as validate_main
+from repro.retention import build_suite
+from repro.sat.solver import Solver
+from repro.ste import CheckSession
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+#: Cheap properties (sub-second on the tiny geometry, both engines).
+CHEAP = "control_RegWrite"
+CHEAP2 = "control_MemRead"
+
+
+@pytest.fixture(scope="module")
+def setup():
+    core = fixed_core(**GEOMETRY)
+    mgr = BDDManager()
+    suite = build_suite(core, mgr, sleep=False)
+    by_name = {p.name: p for p in suite}
+    return core, mgr, by_name
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_disabled_tracer_returns_shared_null_span(self):
+        t = Tracer(enabled=False)
+        span = t.span("x", cat="test", attr=1)
+        assert span is _NULL_SPAN
+        assert t.span("y") is span           # one instance, every site
+        with span as s:
+            s.set("k", "v")                  # all no-ops
+        assert len(t) == 0
+        t.add_span("x", 0.0, 1.0)            # disabled: also a no-op
+        assert len(t) == 0
+
+    def test_global_tracer_disabled_by_default(self):
+        assert tracer().enabled is False
+
+    def test_enabled_span_records_complete_event(self):
+        t = Tracer()
+        with t.span("solve", cat="engine", engine="ste") as span:
+            span.set("passed", True)
+        assert len(t) == 1
+        (event,) = t.events
+        assert event["name"] == "solve"
+        assert event["cat"] == "engine"
+        assert event["ph"] == "X"
+        assert event["ts"] >= 0 and event["dur"] >= 0
+        assert event["args"] == {"engine": "ste", "passed": True}
+        assert isinstance(event["pid"], int)
+
+    def test_nested_spans_stay_inside_parent(self):
+        t = Tracer()
+        with t.span("outer"):
+            with t.span("mid"):
+                with t.span("inner"):
+                    pass
+        assert validate_events(t.events) == []
+        by_name = {e["name"]: e for e in t.events}
+        for child, parent in (("inner", "mid"), ("mid", "outer")):
+            c, p = by_name[child], by_name[parent]
+            assert p["ts"] <= c["ts"]
+            assert c["ts"] + c["dur"] <= p["ts"] + p["dur"]
+
+    def test_exception_tags_span_and_propagates(self):
+        t = Tracer()
+        with pytest.raises(ValueError):
+            with t.span("doomed"):
+                raise ValueError("boom")
+        (event,) = t.events
+        assert event["args"]["error"] == "ValueError"
+
+    def test_add_span_records_retroactively(self):
+        t = Tracer()
+        with t.span("inner"):
+            pass
+        t.add_span("whole", t._epoch_perf, t._epoch_perf + 1.0,
+                   cat="session", suite="x")
+        whole = t.events[-1]
+        assert whole["name"] == "whole"
+        assert whole["dur"] == 1_000_000     # one second in µs
+        assert validate_events(t.events) == []
+
+    def test_absorb_rebases_onto_parent_epoch(self):
+        parent = Tracer()
+        events = [{"name": "chunk", "cat": "parallel", "ph": "X",
+                   "ts": 100, "dur": 50, "pid": 99999, "tid": 0}]
+        # The worker epoch is half a second after the parent's.
+        parent.absorb(events, parent.epoch_wall + 0.5)
+        (event,) = parent.events
+        assert event["ts"] == 100 + 500_000
+        assert event["pid"] == 99999
+
+    def test_absorb_nothing_is_a_noop(self):
+        parent = Tracer()
+        parent.absorb([], 123.0)
+        assert len(parent) == 0
+
+    def test_chrome_events_label_every_pid_lane(self):
+        t = Tracer()
+        t.label_process("main")
+        with t.span("local"):
+            pass
+        t.absorb([{"name": "chunk", "cat": "parallel", "ph": "X",
+                   "ts": 0, "dur": 1, "pid": 99999, "tid": 0}],
+                 t.epoch_wall)
+        events = t.chrome_events()
+        meta = {e["pid"]: e["args"]["name"] for e in events
+                if e.get("ph") == "M"}
+        assert meta[99999] == "worker-99999"  # default worker label
+        assert "main" in meta.values()
+        assert sum(1 for e in events if e.get("ph") == "X") == 2
+
+    def test_write_chrome_and_jsonl_round_trip(self, tmp_path):
+        t = Tracer()
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        chrome = tmp_path / "out.json"
+        jsonl = tmp_path / "out.jsonl"
+        assert t.write(chrome) == 2          # suffix dispatch: object
+        assert t.write(jsonl) == 2           # suffix dispatch: lines
+        payload = json.loads(chrome.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert {e["name"] for e in payload["traceEvents"]
+                if e.get("ph") == "X"} == {"a", "b"}
+        lines = [json.loads(l) for l in
+                 jsonl.read_text().splitlines() if l.strip()]
+        assert {e["name"] for e in lines if e.get("ph") == "X"} \
+            == {"a", "b"}
+        # Both formats load back through the validator's reader.
+        for path in (chrome, jsonl):
+            spans, problems = validate_file(path)
+            assert spans == 2 and problems == []
+
+    def test_use_tracer_installs_and_restores(self):
+        before = tracer()
+        with use_tracer() as t:
+            assert tracer() is t
+            assert t.enabled
+        assert tracer() is before
+
+    def test_set_tracer_returns_previous(self):
+        old = set_tracer(Tracer(enabled=False))
+        try:
+            assert tracer() is not old
+        finally:
+            set_tracer(old)
+
+
+# ----------------------------------------------------------------------
+# Metrics registry and flat-dict algebra
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms_flatten(self):
+        m = MetricsRegistry()
+        m.inc("race.aborts")
+        m.inc("race.aborts", 2)
+        m.set_gauge("nodes", 10)
+        m.set_gauge("nodes", 7)              # last write wins
+        m.observe("chunk_s", 1.0)
+        m.observe("chunk_s", 3.0)
+        flat = m.as_dict()
+        assert flat["race.aborts"] == 3
+        assert flat["nodes"] == 7
+        assert flat["chunk_s.count"] == 2
+        assert flat["chunk_s.sum"] == 4.0
+        assert flat["chunk_s.min"] == 1.0
+        assert flat["chunk_s.max"] == 3.0
+        assert len(m) == 3
+
+    def test_update_from_prefixes_component_stats(self):
+        m = MetricsRegistry()
+        m.update_from({"conflicts": 5, "restarts": 1}, prefix="sat.")
+        assert m.as_dict() == {"sat.conflicts": 5, "sat.restarts": 1}
+
+    def test_merge_dict_applies_suffix_rules(self):
+        m = MetricsRegistry()
+        m.merge_dict({"n": 1, "t.min": 5.0, "t.max": 2.0})
+        m.merge_dict({"n": 2, "t.min": 3.0, "t.max": 7.0})
+        flat = m.as_dict()
+        assert flat["n"] == 3                # counters sum
+        assert flat["t.min"] == 3.0          # minima take min
+        assert flat["t.max"] == 7.0          # maxima take max
+
+    def test_merge_metrics_flat_dict_rule(self):
+        into = {"a": 1, "t.min": 5.0}
+        merge_metrics(into, {"a": 2, "b": 4, "t.min": 9.0, "t.max": 1.0})
+        assert into == {"a": 3, "b": 4, "t.min": 5.0, "t.max": 1.0}
+
+    def test_delta_metrics_subtracts_counters_keeps_extrema(self):
+        end = {"a": 10, "t.min": 2.0, "t.max": 9.0}
+        base = {"a": 4, "t.min": 1.0, "t.max": 9.0}
+        assert delta_metrics(end, base) \
+            == {"a": 6, "t.min": 2.0, "t.max": 9.0}
+        # No base (fresh worker): the end snapshot is the delta.
+        out = delta_metrics(end, None)
+        assert out == end and out is not end
+
+    def test_stats_delta_gauges_keep_current_values(self):
+        now = {"conflicts": 10, "variables": 50}
+        base = {"conflicts": 4, "variables": 30}
+        assert stats_delta(now, base, gauges=("variables",)) \
+            == {"conflicts": 6, "variables": 50}
+
+
+# ----------------------------------------------------------------------
+# snapshot()/delta() on the components
+# ----------------------------------------------------------------------
+class TestSnapshotDelta:
+    def test_solver_stats_are_cumulative(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1, 2])
+        assert s.solve() is True
+        base = s.snapshot()
+        assert base == s.stats()             # a snapshot IS the stats
+        s.add_clause([-2, 3])
+        assert s.solve() is True
+        delta = s.delta(base)
+        for gauge in Solver.GAUGE_STATS:     # gauges stay absolute
+            assert delta[gauge] == s.stats()[gauge]
+        for key, value in delta.items():
+            if key not in Solver.GAUGE_STATS:
+                assert value >= 0            # counters never run backward
+
+    def test_bdd_manager_snapshot_delta(self):
+        mgr = BDDManager()
+        a = mgr.var("a")
+        b = mgr.var("b")
+        base = mgr.snapshot()
+        mgr.apply_and(a, b)
+        delta = mgr.delta(base)
+        for gauge in BDDManager.GAUGE_STATS:
+            assert delta[gauge] == mgr.stats()[gauge]
+
+    def test_engine_adapters_expose_snapshot_delta(self, setup):
+        core, mgr, by_name = setup
+        prop = by_name[CHEAP]
+        session = CheckSession(core.circuit, mgr, engine="bmc")
+        session.check(prop.antecedent, prop.consequent, name=CHEAP)
+        adapter = next(iter(session._engines.values()))
+        base = adapter.snapshot()
+        prop2 = by_name[CHEAP2]
+        session.check(prop2.antecedent, prop2.consequent, name=CHEAP2)
+        delta = adapter.delta(base)
+        assert delta["conflicts"] >= 0
+        assert delta["variables"] == adapter.stats()["variables"]
+
+
+# ----------------------------------------------------------------------
+# Trace-schema validation
+# ----------------------------------------------------------------------
+def _span(name, ts, dur, pid=1, tid=0):
+    return {"name": name, "cat": "t", "ph": "X",
+            "ts": ts, "dur": dur, "pid": pid, "tid": tid}
+
+
+class TestValidate:
+    def test_clean_events_have_no_problems(self):
+        events = [_span("outer", 0, 100), _span("inner", 10, 20)]
+        assert validate_events(events) == []
+
+    def test_missing_fields_flagged(self):
+        problems = validate_events([{"name": "x", "ph": "X", "ts": 0}])
+        assert len(problems) == 1
+        assert "missing" in problems[0]
+
+    def test_negative_ts_and_dur_flagged(self):
+        problems = validate_events([_span("x", -1, 5),
+                                    _span("y", 0, -2)])
+        assert any("negative ts" in p for p in problems)
+        assert any("negative dur" in p for p in problems)
+
+    def test_partial_overlap_flagged(self):
+        events = [_span("a", 0, 100), _span("b", 50, 100)]
+        problems = validate_events(events)
+        assert len(problems) == 1
+        assert "overlaps" in problems[0]
+
+    def test_overlap_across_lanes_is_fine(self):
+        events = [_span("a", 0, 100, pid=1), _span("b", 50, 100, pid=2)]
+        assert validate_events(events) == []
+        # Disjoint siblings on one lane are fine too.
+        events = [_span("a", 0, 10), _span("b", 20, 10)]
+        assert validate_events(events) == []
+
+    def test_metadata_events_are_ignored(self):
+        events = [{"ph": "M", "name": "process_name", "pid": 1,
+                   "tid": 0, "args": {"name": "main"}},
+                  _span("a", 0, 10)]
+        assert validate_events(events) == []
+
+    def test_load_events_reads_all_three_shapes(self, tmp_path):
+        events = [_span("a", 0, 10)]
+        obj = tmp_path / "obj.json"
+        obj.write_text(json.dumps({"traceEvents": events}))
+        arr = tmp_path / "arr.json"
+        arr.write_text(json.dumps(events))
+        jsonl = tmp_path / "lines.jsonl"
+        jsonl.write_text("\n".join(json.dumps(e) for e in events))
+        for path in (obj, arr, jsonl):
+            assert load_events(path) == events
+
+    def test_cli_gate_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(
+            {"traceEvents": [_span("a", 0, 10), _span("b", 2, 3)]}))
+        assert validate_main([str(good)]) == 0
+        assert validate_main([str(good), "--min-spans", "3"]) == 1
+        assert "only 2 span(s)" in capsys.readouterr().err
+        assert validate_main([str(good), "--min-lanes", "2"]) == 1
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(
+            {"traceEvents": [_span("a", 0, 100), _span("b", 50, 100)]}))
+        assert validate_main([str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+        assert validate_main([str(tmp_path / "absent.json")]) == 1
+
+
+# ----------------------------------------------------------------------
+# Observer hook
+# ----------------------------------------------------------------------
+class _Recorder(Observer):
+    def __init__(self):
+        self.calls = []
+
+    def on_check_begin(self, name, engine):
+        self.calls.append(("begin", name, engine))
+
+    def on_check_end(self, name, engine, result, cached):
+        self.calls.append(("end", name, engine, result.passed, cached))
+
+    def on_engine_event(self, engine, stage, seconds, **attrs):
+        self.calls.append(("event", engine, stage))
+
+
+class TestObserver:
+    def test_default_observer_is_a_noop(self):
+        assert NULL_OBSERVER.on_check_begin("p", "ste") is None
+        assert NULL_OBSERVER.on_check_end("p", "ste", None, False) is None
+        assert NULL_OBSERVER.on_engine_event("ste", "solve", 0.1) is None
+
+    def test_session_reports_check_and_stage_events(self, setup):
+        core, mgr, by_name = setup
+        prop = by_name[CHEAP]
+        obs = _Recorder()
+        session = CheckSession(core.circuit, mgr, engine="bmc",
+                               observer=obs)
+        result = session.check(prop.antecedent, prop.consequent,
+                               name=CHEAP)
+        assert obs.calls[0] == ("begin", CHEAP, "bmc")
+        assert obs.calls[-1] == ("end", CHEAP, "bmc",
+                                 result.passed, False)
+        stages = [c[2] for c in obs.calls if c[0] == "event"]
+        assert "prepare" in stages and "solve" in stages
+
+    def test_ste_engine_reports_solve_stage(self, setup):
+        core, mgr, by_name = setup
+        prop = by_name[CHEAP]
+        obs = _Recorder()
+        session = CheckSession(core.circuit, mgr, engine="ste",
+                               observer=obs)
+        session.check(prop.antecedent, prop.consequent, name=CHEAP)
+        assert ("event", "ste", "solve") in obs.calls
+
+    def test_third_party_engine_without_hook_keeps_working(self, setup):
+        core, mgr, by_name = setup
+        prop = by_name[CHEAP]
+
+        class FakeResult:
+            engine = "fake-obs"
+            passed = True
+            vacuous = False
+            failures = ()
+            depth = 0
+            checked_points = 0
+            elapsed_seconds = 0.0
+
+        class FakeEngine:
+            # Deliberately: no set_observer, no snapshot/delta.
+            name = "fake-obs"
+
+            def __init__(self, circuit, mgr):
+                pass
+
+            def prepare(self, antecedent, consequent, abort=None):
+                return None
+
+            def solve(self, prepared, abort=None):
+                return FakeResult()
+
+            def stats(self):
+                return {}
+
+        register_engine("fake-obs", FakeEngine, replace=True)
+        try:
+            obs = _Recorder()
+            session = CheckSession(core.circuit, mgr,
+                                   engine="fake-obs", observer=obs)
+            result = session.check(prop.antecedent, prop.consequent,
+                                   name=CHEAP)
+            assert result.passed
+            # Check-level callbacks still fire; stage events simply
+            # don't exist for an engine that predates the hook.
+            kinds = [c[0] for c in obs.calls]
+            assert kinds == ["begin", "end"]
+        finally:
+            unregister_engine("fake-obs")
+
+
+# ----------------------------------------------------------------------
+# Session-level spans and the bridged metric namespace
+# ----------------------------------------------------------------------
+class TestSessionObservability:
+    def test_session_spans_nest_and_validate(self, setup):
+        core, mgr, by_name = setup
+        prop = by_name[CHEAP]
+        with use_tracer() as t:
+            session = CheckSession(core.circuit, mgr, engine="ste")
+            session.check(prop.antecedent, prop.consequent, name=CHEAP)
+        names = {e["name"] for e in t.events}
+        assert {"property", "engine.compile", "engine.solve"} <= names
+        assert validate_events(t.chrome_events()) == []
+        prop_span = next(e for e in t.events
+                         if e["name"] == "property")
+        assert prop_span["args"]["property"] == CHEAP
+        assert prop_span["args"]["passed"] is True
+        assert prop_span["args"]["cached"] is False
+
+    def test_metrics_totals_equal_legacy_stats(self, setup):
+        core, mgr, by_name = setup
+        session = CheckSession(core.circuit, mgr, engine="bmc")
+        for name in (CHEAP, CHEAP2):
+            prop = by_name[name]
+            session.check(prop.antecedent, prop.consequent, name=name)
+        report = session.report()
+        m = report.metrics()
+        # The bridge renames, it does not re-count: every dotted total
+        # equals the legacy per-component stats() value.
+        assert m["bdd.apply.hits"] == report.bdd_stats["cache_hits"]
+        assert m["bdd.apply.misses"] == report.bdd_stats["cache_misses"]
+        assert m["bdd.nodes"] == report.bdd_stats["nodes"]
+        assert m["sat.conflicts"] == report.engine_stats["conflicts"]
+        assert m["sat.variables"] == report.engine_stats["variables"]
+        assert m["sat.frames.computed"] \
+            == report.engine_stats["frames_computed"]
+        for op, counts in report.cache_stats.items():
+            assert m[f"bdd.{op}.hits"] == counts["hits"]
+            assert m[f"bdd.{op}.misses"] == counts["misses"]
+        assert m["session.properties"] == len(report.outcomes)
+        assert m["session.failures"] == 0
+        assert m["parallel.jobs"] == 1
+
+    def test_cached_verdict_metrics_and_spans(self, setup, tmp_path):
+        core, mgr, by_name = setup
+        prop = by_name[CHEAP]
+        cache_dir = str(tmp_path / "cache")
+        with CheckSession(core.circuit, mgr, engine="ste",
+                          cache=cache_dir) as session:
+            session.check(prop.antecedent, prop.consequent, name=CHEAP)
+            cold = session.report().metrics()
+        assert cold["cache.verdict.miss"] == 1
+        assert cold["cache.verdict.stored"] == 1
+        with use_tracer() as t:
+            with CheckSession(core.circuit, mgr, engine="ste",
+                              cache=cache_dir) as session:
+                session.check(prop.antecedent, prop.consequent,
+                              name=CHEAP)
+                warm = session.report().metrics()
+        assert warm["cache.verdict.hit"] == 1
+        lookup = next(e for e in t.events if e["name"] == "cache.lookup")
+        assert lookup["args"]["hit"] is True
+        prop_span = next(e for e in t.events if e["name"] == "property")
+        assert prop_span["args"]["cached"] is True
+
+    def test_timing_table_lists_every_property(self, setup):
+        core, mgr, by_name = setup
+        session = CheckSession(core.circuit, mgr, engine="ste")
+        for name in (CHEAP, CHEAP2):
+            prop = by_name[name]
+            session.check(prop.antecedent, prop.consequent, name=name)
+        table = session.report().timing_table()
+        assert CHEAP in table and CHEAP2 in table
+        assert table.splitlines()[0].startswith("property")
+        assert "total" in table.splitlines()[-1]
+        assert "100.0%" not in table.splitlines()[0]
+
+    def test_render_result_shapes(self, setup):
+        core, mgr, by_name = setup
+        prop = by_name[CHEAP]
+        session = CheckSession(core.circuit, mgr, engine="ste")
+        result = session.check(prop.antecedent, prop.consequent,
+                               name=CHEAP)
+        line = render_result(result)
+        assert line == result.summary()
+        assert line.startswith("STE PASS")
+        assert "depth=" in line and "time=" in line
+
+    def test_render_metrics_formatting(self):
+        text = render_metrics({"b.count": 2, "a.share": 0.5,
+                               "c.whole": 3.0})
+        lines = text.splitlines()
+        assert lines[0].startswith("a.share") and lines[0].endswith("0.5")
+        assert lines[2].endswith("3")        # integral floats print bare
+        assert render_metrics({}) == "(no metrics recorded)"
+
+
+# ----------------------------------------------------------------------
+# CLI surfacing
+# ----------------------------------------------------------------------
+class TestCLIObservability:
+    def test_trace_flag_writes_valid_chrome_trace(self, tmp_path,
+                                                  capsys):
+        out = tmp_path / "run.json"
+        code = cli_main(["--suite", "1", "--only", CHEAP, "--quiet",
+                         "--trace", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "trace:" in captured.err and str(out) in captured.err
+        spans, problems = validate_file(out)
+        assert problems == []
+        names = {e["name"] for e in load_events(out)
+                 if e.get("ph") == "X"}
+        assert {"session", "property", "engine.solve"} <= names
+        # The retroactive session span still encloses everything.
+        assert spans >= 3
+        # The global tracer is restored (and disabled) after the run.
+        assert tracer().enabled is False
+
+    def test_trace_flag_jsonl_suffix(self, tmp_path, capsys):
+        out = tmp_path / "run.jsonl"
+        code = cli_main(["--suite", "1", "--only", CHEAP, "--quiet",
+                         "--trace", str(out)])
+        capsys.readouterr()
+        assert code == 0
+        first = out.read_text().splitlines()[0]
+        assert json.loads(first)             # one JSON object per line
+
+    def test_metrics_flag_prints_unified_namespace(self, capsys):
+        code = cli_main(["--suite", "1", "--only", CHEAP, "--quiet",
+                         "--metrics"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bdd.apply.hits" in out
+        assert "session.properties" in out
+        assert "parallel.jobs" in out
+
+    def test_profile_flag_prints_timing_table(self, capsys):
+        code = cli_main(["--suite", "1", "--only", CHEAP, "--quiet",
+                         "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "property" in out and "share" in out
+        assert CHEAP in out

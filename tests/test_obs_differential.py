@@ -1,0 +1,153 @@
+"""Metric-total invariants across execution layouts: a parallel run
+and a serial run of the same suite must agree on every verdict and on
+every layout-independent metric total, and a cold cached run and a
+forced ``rerun=all`` run must do identical engine work.
+
+What is (and is not) layout-independent is deliberate:
+
+* **Invariant under --jobs**: verdicts, per-property depth and checked
+  points, and the total number of SAT frame *requests*
+  (``sat.frames.computed + sat.frames.reused``) — each property
+  requests its frames exactly once wherever it runs.  The
+  computed/reused *split* is not invariant (it depends on which
+  process co-locates which properties), and neither are the CDCL
+  search counters (conflicts, decisions, propagations): a worker's
+  solver carries only the learnt clauses of the properties it
+  happened to pull.
+* **Invariant under rerun=all**: everything.  Two fresh sessions that
+  both decide every property from scratch run the same deterministic
+  procedures in the same order, so the whole ``bdd.*``/``sat.*``
+  namespace matches key for key.
+
+Fast tier, tiny geometry, cheap property subset."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.obs import use_tracer
+from repro.obs.validate import validate_events
+from repro.parallel import run_parallel
+from repro.retention import build_suite
+from repro.ste import CheckSession
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+#: Cheap cross-unit subset: four properties on the core-wide cone plus
+#: one on the small write-register cone, so the parallel run really
+#: fans out (pilot properties leave non-empty chunks behind).
+SUBSET = (
+    "decode_sign_extend",
+    "decode_write_register_rtype",
+    "control_RegWrite",
+    "control_MemRead",
+    "execute_alu_and",
+)
+
+
+def _build_subset(sleep=True):
+    core = fixed_core(**GEOMETRY)
+    mgr = BDDManager()
+    suite = [p for p in build_suite(core, mgr, sleep=sleep)
+             if p.name in SUBSET]
+    assert len(suite) == len(SUBSET)
+    return core, mgr, suite
+
+
+def _serial_report(core, mgr, suite, engine="bmc", **session_kw):
+    with CheckSession(core.circuit, mgr, engine=engine,
+                      **session_kw) as session:
+        for prop in suite:
+            session.check(prop.antecedent, prop.consequent,
+                          name=prop.name)
+        return session.report()
+
+
+@pytest.fixture(scope="module")
+def parallel_vs_serial():
+    """One serial and one traced two-worker BMC run of the subset."""
+    core, mgr, suite = _build_subset()
+    serial = _serial_report(core, mgr, suite, engine="bmc")
+    with use_tracer() as t:
+        parallel = run_parallel(core, suite, jobs=2, oversubscribe=True,
+                                engine="bmc", mgr=mgr)
+    return serial, parallel, t
+
+
+class TestJobsParity:
+    def test_verdicts_and_points_identical(self, parallel_vs_serial):
+        serial, parallel, _ = parallel_vs_serial
+        assert parallel.jobs == 2
+        assert parallel.verdicts() == serial.verdicts()
+        for s_out, p_out in zip(serial.outcomes, parallel.outcomes):
+            assert s_out.name == p_out.name
+            assert s_out.result.depth == p_out.result.depth
+            assert s_out.result.checked_points \
+                == p_out.result.checked_points
+
+    def test_frame_requests_invariant_under_jobs(self,
+                                                 parallel_vs_serial):
+        serial, parallel, _ = parallel_vs_serial
+        ms, mp = serial.metrics(), parallel.metrics()
+        assert ms["sat.frames.computed"] + ms["sat.frames.reused"] \
+            == mp["sat.frames.computed"] + mp["sat.frames.reused"]
+        assert ms["session.properties"] == mp["session.properties"]
+        assert ms["session.failures"] == mp["session.failures"] == 0
+        assert mp["parallel.jobs"] == 2
+        # The workers' live-incremented metrics made it home.
+        assert mp["parallel.worker.chunks"] >= 2
+
+    def test_worker_spans_ship_home_as_extra_lanes(self,
+                                                   parallel_vs_serial):
+        _, _, t = parallel_vs_serial
+        events = t.chrome_events()
+        spans = [e for e in events if e.get("ph") == "X"]
+        lanes = {e["pid"] for e in spans}
+        assert len(lanes) >= 3               # main + two workers
+        names = {e["name"] for e in spans}
+        assert {"parallel.pilot", "parallel.fanout",
+                "parallel.chunk", "property"} <= names
+        assert validate_events(events) == []
+        # Worker chunk spans really come from non-parent lanes.
+        chunk_pids = {e["pid"] for e in spans
+                      if e["name"] == "parallel.chunk"}
+        fanout_pid = next(e["pid"] for e in spans
+                          if e["name"] == "parallel.fanout")
+        assert chunk_pids and fanout_pid not in chunk_pids
+
+
+class TestRerunParity:
+    def test_cold_and_rerun_all_do_identical_engine_work(self,
+                                                         tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        core, mgr, suite = _build_subset()
+        cold = _serial_report(core, mgr, suite, engine="bmc",
+                              cache=cache_dir)
+        core2, mgr2, suite2 = _build_subset()
+        again = _serial_report(core2, mgr2, suite2, engine="bmc",
+                               cache=cache_dir, rerun="all")
+        assert again.verdicts() == cold.verdicts()
+        mc, ma = cold.metrics(), again.metrics()
+        for key in sorted(set(mc) | set(ma)):
+            if key.startswith(("bdd.", "sat.")):
+                assert ma.get(key) == mc.get(key), key
+        # Both runs decided every property live and refreshed the
+        # stored verdicts; neither served one from the cache.
+        assert mc["cache.verdict.hit"] == ma["cache.verdict.hit"] == 0
+        assert mc["cache.verdict.stored"] == len(SUBSET)
+        assert ma["cache.verdict.stored"] == len(SUBSET)
+
+    def test_warm_dirty_run_skips_engines_entirely(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        core, mgr, suite = _build_subset()
+        cold = _serial_report(core, mgr, suite, engine="bmc",
+                              cache=cache_dir)
+        core2, mgr2, suite2 = _build_subset()
+        warm = _serial_report(core2, mgr2, suite2, engine="bmc",
+                              cache=cache_dir)
+        assert warm.verdicts() == cold.verdicts()
+        mw = warm.metrics()
+        assert mw["cache.verdict.hit"] == len(SUBSET)
+        # No solver ran at all — no engine instance even exists, so
+        # the sat.* namespace is absent (or zero) on a fully warm run.
+        assert mw.get("sat.conflicts", 0) == 0
