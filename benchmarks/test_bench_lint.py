@@ -1,0 +1,55 @@
+"""Static-lint overhead — the gate must be effectively free.
+
+The acceptance bar for wiring ``lint="error"`` into every session: the
+circuit-level lint pass costs **under 2%** of a clean cold suite run
+on the same design.  Measured the honest way — the full rule pack
+(intent included) against the wall time of a cold Property I suite —
+and pinned here so a rule that regresses into super-linear graph work
+fails the bench, not the user.
+"""
+
+import time
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.lint import clear_lint_memo, run_lint
+from repro.retention import build_suite
+from repro.ste import CheckSession
+from repro.upf import intent_for_core
+
+from .conftest import once
+
+GEOMETRY = dict(nregs=2, imem_depth=2, dmem_depth=2)
+
+
+def test_bench_lint_overhead(benchmark, bench_metrics):
+    core = fixed_core(**GEOMETRY)
+    intent = intent_for_core(core.circuit)
+
+    # The cold suite: fresh manager, no caches, Property I end to end.
+    mgr = BDDManager()
+    suite = build_suite(core, mgr, sleep=False)
+    session = CheckSession(core.circuit, mgr)
+    started = time.perf_counter()
+    report = session.run(suite)
+    suite_seconds = time.perf_counter() - started
+    assert report.passed
+
+    # The lint pass, un-memoised, full rule pack with intent.
+    clear_lint_memo()
+    lint_report = once(benchmark, run_lint, core.circuit,
+                       intent=intent)
+    lint_seconds = lint_report.elapsed_seconds
+    assert lint_report.errors == []
+
+    overhead_pct = 100.0 * lint_seconds / suite_seconds
+    bench_metrics(suite_seconds=round(suite_seconds, 3),
+                  lint_seconds=round(lint_seconds, 4),
+                  overhead_pct=round(overhead_pct, 3),
+                  rules_run=len(lint_report.rules_run))
+    print(f"\ncold Property I suite: {suite_seconds:.2f}s; "
+          f"lint pass: {lint_seconds * 1000:.1f}ms "
+          f"({overhead_pct:.2f}% overhead, "
+          f"{len(lint_report.rules_run)} rules)")
+    assert overhead_pct < 2.0, (
+        f"lint overhead {overhead_pct:.2f}% exceeds the 2% bar")

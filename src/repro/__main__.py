@@ -23,8 +23,10 @@ backend and prints the per-property verdicts plus the session report::
                                             # per-property timing table
 
 Exit status: 0 when every checked property passed, 1 when some property
-failed, 2 on a usage error such as an unknown ``--only`` name (so the
-command composes with CI and shell scripts).
+failed, 2 on a usage error such as an unknown ``--only`` name — or on
+error-severity findings from the static-lint gate (``--lint-level``,
+default ``error``), which aborts before any engine is constructed (so
+the command composes with CI and shell scripts).
 """
 
 from __future__ import annotations
@@ -38,7 +40,7 @@ from typing import List, Optional
 from .bdd import BDDManager
 from .core import CheckSession, RERUN_MODES, engine_names
 from .cpu import buggy_core, fixed_core
-from .obs import render_cache_line, render_metrics
+from .obs import render_cache_line, render_lint_line, render_metrics
 from .obs.trace import Tracer, set_tracer, tracer as _tracer
 from .retention import build_suite
 from .ste import cex_text_for
@@ -93,6 +95,12 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--extras", action="store_true",
                         help="include the extra (beyond-the-paper) "
                              "properties")
+    parser.add_argument("--lint-level", choices=("error", "warn", "off"),
+                        default="error",
+                        help="static-lint gate before any engine runs: "
+                             "error = abort (exit 2) on error-severity "
+                             "findings (default), warn = report and "
+                             "continue, off = skip the lint pass")
     parser.add_argument("--cex", action="store_true",
                         help="print a concrete counterexample trace for "
                              "each failing property")
@@ -148,6 +156,20 @@ def _run(args) -> int:
     make_core = buggy_core if args.design == "buggy" else fixed_core
     core = make_core(nregs=args.nregs, imem_depth=args.imem_depth,
                      dmem_depth=args.dmem_depth)
+    if args.lint_level != "off":
+        # The fail-fast gate: lint the circuit (plus its canonical
+        # power intent) before any suite is built or engine compiled.
+        from .lint import run_lint
+        from .lint.engine import CIRCUIT_RULE_IGNORE
+        from .upf import intent_for_core
+        lint_report = run_lint(core.circuit,
+                               intent=intent_for_core(core.circuit),
+                               ignore=CIRCUIT_RULE_IGNORE)
+        print(render_lint_line(lint_report, args.lint_level))
+        if args.lint_level == "error" and lint_report.errors:
+            for diag in lint_report.errors:
+                print(f"  {diag.render()}", file=sys.stderr)
+            return 2
     only: Optional[List[str]] = None
     if args.only is not None:
         only = [name.strip() for name in args.only.split(",")

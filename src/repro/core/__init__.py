@@ -28,11 +28,12 @@ from .fingerprint import (bdd_fingerprint, check_fingerprint,
                           schedule_fingerprint, ternary_fingerprint)
 from .registry import (Engine, EngineSpec, engine_names, engine_spec,
                        register_engine, unregister_engine)
-from .session import (RERUN_MODES, CheckSession, PropertyOutcome,
-                      SessionReport)
+from .session import (LINT_MODES, RERUN_MODES, CheckSession,
+                      PropertyOutcome, SessionReport)
 
 __all__ = [
     "CheckSession", "SessionReport", "PropertyOutcome", "RERUN_MODES",
+    "LINT_MODES",
     "Engine", "EngineSpec", "register_engine", "unregister_engine",
     "engine_spec", "engine_names",
     "VerdictCache", "CachedResult", "CachedFailure", "SCHEMA_VERSION",

@@ -16,7 +16,10 @@ keys to
   the parallel work queue orders chunks by;
 * per-cone portfolio race history (incumbent engine + per-engine best
   times), so a warm portfolio run starts from historical winners
-  instead of re-racing settled cones.
+  instead of re-racing settled cones;
+* circuit-level lint reports keyed by (circuit fingerprint, rule-set
+  key), so ``CheckSession(lint=...)`` re-lints a design only when its
+  content or the registered rules change.
 
 The schema is versioned: entries written by a different
 :data:`SCHEMA_VERSION` are dropped wholesale on open (a stale cache is
@@ -41,7 +44,8 @@ __all__ = ["SCHEMA_VERSION", "CachedFailure", "CachedResult",
 
 #: Bump on any incompatible change to the tables or the stored JSON
 #: shapes; caches written under a different version are discarded.
-SCHEMA_VERSION = 1
+#: v2: added the ``lint_reports`` table.
+SCHEMA_VERSION = 2
 
 _DB_NAME = "verdicts.sqlite"
 
@@ -118,6 +122,7 @@ class VerdictCache:
                 # A stale schema is ignored wholesale: drop and rebuild.
                 conn.execute("DROP TABLE IF EXISTS verdicts")
                 conn.execute("DROP TABLE IF EXISTS race_history")
+                conn.execute("DROP TABLE IF EXISTS lint_reports")
                 row = None
             if row is None:
                 conn.execute(
@@ -143,6 +148,13 @@ class VerdictCache:
                 " cone_fp TEXT PRIMARY KEY,"
                 " incumbent TEXT NOT NULL,"
                 " times TEXT NOT NULL)")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS lint_reports ("
+                " circuit_fp TEXT NOT NULL,"
+                " rules TEXT NOT NULL,"
+                " report TEXT NOT NULL,"
+                " created REAL NOT NULL,"
+                " PRIMARY KEY (circuit_fp, rules))")
             conn.execute("CREATE INDEX IF NOT EXISTS verdicts_by_name "
                          "ON verdicts (name)")
 
@@ -201,6 +213,30 @@ class VerdictCache:
         self.stored += 1
 
     # ------------------------------------------------------------------
+    # Lint reports
+    # ------------------------------------------------------------------
+    def lookup_lint(self, circuit_fp: str,
+                    rules_key: str) -> Optional[dict]:
+        """The stored lint-report payload for a circuit fingerprint
+        under a rule-set key, or None.  The payload is the plain dict
+        of ``LintReport.to_dict()`` — this layer stays lint-agnostic."""
+        row = self._conn.execute(
+            "SELECT report FROM lint_reports "
+            "WHERE circuit_fp=? AND rules=?",
+            (circuit_fp, rules_key)).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
+    def store_lint(self, circuit_fp: str, rules_key: str,
+                   payload: dict) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO lint_reports VALUES (?,?,?,?)",
+                (circuit_fp, rules_key, json.dumps(payload),
+                 _time.time()))
+
+    # ------------------------------------------------------------------
     # Cost model
     # ------------------------------------------------------------------
     def costs_by_name(self, names: Iterable[str]) -> Dict[str, float]:
@@ -253,6 +289,7 @@ class VerdictCache:
         with self._conn:
             self._conn.execute("DELETE FROM verdicts")
             self._conn.execute("DELETE FROM race_history")
+            self._conn.execute("DELETE FROM lint_reports")
 
     def close(self) -> None:
         self._conn.close()

@@ -49,13 +49,20 @@ if TYPE_CHECKING:
     from ..ste.formula import Formula
 
 __all__ = ["CheckSession", "SessionReport", "PropertyOutcome",
-           "RERUN_MODES"]
+           "RERUN_MODES", "LINT_MODES"]
 
 #: Re-check selectors for cached sessions: ``all`` ignores stored
 #: verdicts (but refreshes them), ``dirty`` re-checks only properties
 #: whose fingerprints changed, ``failed`` re-checks dirty properties
 #: plus previously-failed ones.
 RERUN_MODES = ("all", "dirty", "failed")
+
+#: Static-lint gate modes: ``error`` runs the circuit-level lint pass
+#: at session construction and raises :class:`repro.lint.LintError` on
+#: any error-severity finding (before any engine exists); ``warn``
+#: runs the pass and keeps the report without failing; ``off`` skips
+#: lint entirely (the pre-lint behaviour).
+LINT_MODES = ("error", "warn", "off")
 
 
 def _formula_nodes(formula):
@@ -204,6 +211,14 @@ class CheckSession:
     next session.  *rerun* picks the re-check policy — see
     :data:`RERUN_MODES`.  Portfolio race history persists per cone, so
     a warm portfolio starts from historical winners.
+
+    *lint* gates construction on the static rule packs of
+    :mod:`repro.lint` — see :data:`LINT_MODES`.  ``lint="error"``
+    raises :class:`repro.lint.LintError` before any engine is built
+    when the circuit-level pass finds error-severity problems
+    (undriven nets, NRET driven from the gated domain, …); the report
+    lands in :attr:`lint_report` either way and is cached per circuit
+    fingerprint, in-process and in the persistent cache.
     """
 
     #: On a cone with race history, the incumbent engine's first time
@@ -222,18 +237,27 @@ class CheckSession:
                  engine: str = "ste",
                  cache: Union[None, str, os.PathLike, VerdictCache] = None,
                  rerun: str = "dirty",
-                 observer: Optional[Observer] = None):
+                 observer: Optional[Observer] = None,
+                 lint: str = "off"):
         engine_spec(engine)                   # validate against registry
         if rerun not in RERUN_MODES:
             raise ValueError(f"unknown rerun mode {rerun!r}; "
                              f"expected one of {RERUN_MODES}")
-        if validate:
+        if lint not in LINT_MODES:
+            raise ValueError(f"unknown lint mode {lint!r}; "
+                             f"expected one of {LINT_MODES}")
+        if validate and lint == "off":
+            # With lint enabled the structural NET rules subsume this
+            # legacy traversal (see _run_lint_gate).
             require_valid(circuit)
         self.circuit = circuit
         self.mgr = mgr or BDDManager()
         self.use_coi = use_coi
         self.engine = engine
         self.rerun = rerun
+        self.lint = lint
+        #: the circuit-level lint report (None when ``lint="off"``)
+        self.lint_report = None
         #: per-check/per-stage callback hook (defaults to a no-op)
         self.observer = observer or NULL_OBSERVER
         #: session-scoped runtime metrics (race aborts, idle waits …);
@@ -247,6 +271,8 @@ class CheckSession:
         self.cache: Optional[VerdictCache] = (
             cache if isinstance(cache, VerdictCache) or cache is None
             else VerdictCache(cache))
+        if lint != "off":
+            self._run_lint_gate(validate)
         self.models_compiled = 0
         self.model_reuses = 0
         self.cache_hits = 0
@@ -281,6 +307,36 @@ class CheckSession:
         self._race_seeded: Set[Optional[FrozenSet[str]]] = set()
         # cone key -> last persisted (incumbent, times) snapshot.
         self._race_stored: Dict[Optional[FrozenSet[str]], tuple] = {}
+
+    def _run_lint_gate(self, validate: bool) -> None:
+        """The static-lint front door (``lint="error"``/``"warn"``).
+
+        Runs the circuit-level rule packs once per content fingerprint
+        (reports are memoised in-process and persisted in the verdict
+        cache) *before any engine exists*.  ``error`` mode raises
+        :class:`repro.lint.LintError` on error-severity findings;
+        ``warn`` mode keeps the report but still honours the
+        *validate* contract by raising :class:`~repro.netlist.NetlistError`
+        for the structural (NET-coded) errors ``require_valid`` would
+        have caught."""
+        from ..lint import LintError
+        from ..lint.engine import lint_circuit_cached
+        with _tracer().span("lint.gate", cat="lint", mode=self.lint):
+            report = lint_circuit_cached(self.circuit, cache=self.cache,
+                                         metrics=self.metrics)
+        self.lint_report = report
+        errors = report.errors
+        if errors and self.lint == "error":
+            self.close()
+            raise LintError(report)
+        if validate:
+            structural = [d.message for d in errors
+                          if d.code.startswith("NET")]
+            if structural:
+                from ..netlist import NetlistError
+                self.close()
+                raise NetlistError("invalid circuit:\n  "
+                                   + "\n  ".join(structural))
 
     def close(self) -> None:
         """Release the session's persistent-cache connection (no-op

@@ -1,0 +1,47 @@
+"""repro.lint — static power-intent & property lint.
+
+The fail-fast front door of the verification stack: a structured
+diagnostics engine (:class:`Diagnostic` / :class:`LintReport`) over a
+plugin rule registry (:func:`register_rule`, mirroring the engine
+registry of :mod:`repro.core.registry`) with three stock packs:
+
+* **netlist structural** (``NET0xx``) — undriven and multi-driven
+  nets, combinational cycles, sequential logic driving register
+  controls, dead cones; absorbs and supersedes the historical
+  ``netlist.validate.check_circuit`` string checks;
+* **power intent** (``PWR1xx``) — retention claims without an
+  implementation, tied-off or gated-domain-driven NRET/NRST,
+  reset-vs-retention priority, retention-set vs classification
+  mismatches, missing isolation, overlapping domains;
+* **property static analysis** (``PROP2xx``) — statically false or
+  tautological formulas on the ternary lattice, support outside the
+  cone of influence, sleep schedules that never assert NRET.
+
+Everything a decision procedure would burn minutes discovering is
+decided here in milliseconds: ``CheckSession(lint="error")`` runs the
+circuit-level pass once per content fingerprint (reports cached in
+:mod:`repro.core.cache`) and raises :class:`LintError` before any
+engine is constructed; ``python -m repro.lint`` is the standalone CLI
+(text/JSON/SARIF, ``--select``/``--ignore``, exit 0/1/2).
+"""
+
+from .diagnostics import Diagnostic, LintError, LintReport, Severity
+from .engine import clear_lint_memo, lint_circuit_cached, run_lint
+from .registry import (LintContext, PropertyRecord, RuleSpec,
+                       register_rule, rule_codes, rule_spec, rule_specs,
+                       unregister_rule)
+from . import rules_netlist as _rules_netlist
+from . import rules_power as _rules_power
+from . import rules_property as _rules_property
+
+_rules_netlist.register_stock_rules()
+_rules_power.register_stock_rules()
+_rules_property.register_stock_rules()
+
+__all__ = [
+    "Diagnostic", "Severity", "LintReport", "LintError",
+    "RuleSpec", "LintContext", "PropertyRecord",
+    "register_rule", "unregister_rule", "rule_spec", "rule_specs",
+    "rule_codes",
+    "run_lint", "lint_circuit_cached", "clear_lint_memo",
+]

@@ -1,0 +1,186 @@
+"""``python -m repro.lint`` — static power-intent & property lint.
+
+The fail-fast front door: lint a netlist (an in-repo CPU variant or an
+external BLIF file, optionally with a UPF power intent and a property
+suite) in milliseconds, before any engine is built::
+
+    python -m repro.lint                         # the fixed core
+    python -m repro.lint --design buggy --properties both
+    python -m repro.lint design.blif --upf intent.upf
+    python -m repro.lint --select NET,PWR --format json
+    python -m repro.lint --format sarif --output lint.sarif
+    python -m repro.lint --list-rules
+
+Exit status: 0 clean, 1 warnings only, 2 errors (or usage errors) —
+so ``python -m repro.lint && python -m repro`` gates a suite run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .diagnostics import LintReport
+from .engine import rule_index, run_lint
+from .registry import rule_specs
+
+__all__ = ["main"]
+
+_DESIGNS = ("fixed", "buggy", "full-retention", "no-retention")
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Statically lint a netlist (and optionally its UPF "
+                    "power intent and property suite): structural "
+                    "rules (NET*), power-intent rules (PWR*), property "
+                    "rules (PROP*).  Exit 0 clean / 1 warnings / "
+                    "2 errors.")
+    parser.add_argument("netlist", nargs="?", metavar="FILE.blif",
+                        help="external BLIF netlist to lint (default: "
+                             "build an in-repo CPU variant instead)")
+    parser.add_argument("--upf", metavar="FILE",
+                        help="UPF power-intent file enabling the "
+                             "intent-dependent PWR rules (with "
+                             "--design, the canonical intent is "
+                             "derived automatically)")
+    parser.add_argument("--design", choices=_DESIGNS, default="fixed",
+                        help="in-repo CPU variant to lint when no BLIF "
+                             "file is given (default: fixed)")
+    parser.add_argument("--nregs", type=int, default=2,
+                        help="register-bank depth (default 2)")
+    parser.add_argument("--imem-depth", type=int, default=2,
+                        help="instruction-memory depth (default 2)")
+    parser.add_argument("--dmem-depth", type=int, default=2,
+                        help="data-memory depth (default 2)")
+    parser.add_argument("--properties", choices=("1", "2", "both", "none"),
+                        default="none",
+                        help="also lint a property suite against the "
+                             "design: 1=normal operation, "
+                             "2=sleep/resume, both, none (default)")
+    parser.add_argument("--extras", action="store_true",
+                        help="include the extra (beyond-the-paper) "
+                             "properties in the linted suite")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule-code prefixes to "
+                             "run (e.g. NET,PWR103); default: all")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule-code prefixes to "
+                             "skip (e.g. NET005,PROP204)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", dest="fmt",
+                        help="report format (default: text)")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of "
+                             "stdout (a one-line summary still prints)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rule table and exit")
+    return parser
+
+
+def _codes(spec: Optional[str]) -> Optional[List[str]]:
+    if spec is None:
+        return None
+    codes = [c.strip() for c in spec.split(",") if c.strip()]
+    return codes or None
+
+
+def _list_rules() -> str:
+    lines = [f"{'code':<9} {'severity':<8} {'category':<13} "
+             f"{'name':<28} description"]
+    for spec in rule_specs():
+        lines.append(f"{spec.code:<9} {spec.severity:<8} "
+                     f"{spec.category:<13} {spec.name:<28} "
+                     f"{spec.description}")
+    return "\n".join(lines)
+
+
+def _build_subject(args):
+    """(circuit, intent, properties, mgr) from the CLI arguments."""
+    if args.netlist is not None:
+        from ..blif import parse_blif
+        with open(args.netlist) as fh:
+            circuit = parse_blif(fh)
+        intent = None
+        if args.upf:
+            from ..upf import parse_upf
+            with open(args.upf) as fh:
+                intent = parse_upf(fh)
+        return circuit, intent, (), None
+
+    from ..cpu import (buggy_core, fixed_core, full_retention_core,
+                       no_retention_core)
+    make = {"fixed": fixed_core, "buggy": buggy_core,
+            "full-retention": full_retention_core,
+            "no-retention": no_retention_core}[args.design]
+    core = make(nregs=args.nregs, imem_depth=args.imem_depth,
+                dmem_depth=args.dmem_depth)
+    if args.upf:
+        from ..upf import parse_upf
+        with open(args.upf) as fh:
+            intent = parse_upf(fh)
+    else:
+        from ..upf import intent_for_core
+        intent = intent_for_core(core.circuit)
+    properties: List[object] = []
+    mgr = None
+    if args.properties != "none":
+        from ..bdd import BDDManager
+        from ..retention import build_suite
+        mgr = BDDManager()
+        sleeps = {"1": (False,), "2": (True,),
+                  "both": (False, True)}[args.properties]
+        for sleep in sleeps:
+            properties.extend(build_suite(core, mgr, sleep=sleep,
+                                          include_extras=args.extras))
+    return core.circuit, intent, properties, mgr
+
+
+def _emit(args, report: LintReport) -> None:
+    if args.fmt == "text":
+        payload = report.render()
+    elif args.fmt == "json":
+        payload = report.to_json()
+    else:
+        payload = json.dumps(report.to_sarif(rule_index()), indent=2)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(payload + "\n")
+        print(f"{report.summary_line()} -> {args.output}")
+    else:
+        print(payload)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    if args.netlist is not None and args.properties != "none":
+        print("error: --properties needs an in-repo --design (a BLIF "
+              "netlist carries no property suite)", file=sys.stderr)
+        return 2
+    try:
+        circuit, intent, properties, mgr = _build_subject(args)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:                   # BlifError/UpfError etc.
+        from ..netlist import NetlistError
+        from ..upf import UpfError
+        if isinstance(exc, (NetlistError, UpfError)):
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        raise
+    report = run_lint(circuit, intent=intent, properties=properties,
+                      mgr=mgr, select=_codes(args.select),
+                      ignore=_codes(args.ignore))
+    _emit(args, report)
+    return report.exit_code()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

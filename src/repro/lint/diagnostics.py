@@ -1,0 +1,283 @@
+"""Structured lint diagnostics — the data layer of :mod:`repro.lint`.
+
+A :class:`Diagnostic` is one finding: a stable rule code (``NET004``,
+``PWR103``, ``PROP201``), a severity, a human message, the subject it
+anchors to (a net, a register, a property name) and an optional fix
+hint.  A :class:`LintReport` is the outcome of one lint pass: the
+ordered diagnostics plus which rules ran, with filtering and three
+serialisations — text for terminals, JSON for machines (and the
+persistent cache), SARIF 2.1.0 for code-scanning UIs.
+
+The report shapes are deliberately plain (strings, lists, dicts): a
+report round-trips through :meth:`LintReport.to_dict` /
+:meth:`LintReport.from_dict` without importing any circuit or formula
+machinery, which is what lets :mod:`repro.core.cache` store lint
+reports as JSON next to the verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["Severity", "Diagnostic", "LintReport", "LintError"]
+
+
+class Severity:
+    """Severity levels, ordered: ``error`` gates, ``warning`` informs."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    ALL = (ERROR, WARNING)
+
+    @staticmethod
+    def check(value: str) -> str:
+        if value not in Severity.ALL:
+            raise ValueError(f"unknown severity {value!r}; "
+                             f"expected one of {Severity.ALL}")
+        return value
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    ``subject`` names what the finding anchors to — a net, a register
+    output, a property name — and is what SARIF reports as the logical
+    location.  ``rule``/``category`` echo the registry entry that
+    produced the finding so a report is self-describing even after
+    serialisation.
+    """
+
+    code: str
+    severity: str
+    message: str
+    subject: Optional[str] = None
+    rule: Optional[str] = None
+    category: Optional[str] = None
+    fix_hint: Optional[str] = None
+
+    def __post_init__(self):
+        Severity.check(self.severity)
+
+    def render(self) -> str:
+        """``CODE severity subject: message (hint: ...)``"""
+        parts = [f"{self.code} {self.severity}"]
+        if self.subject:
+            parts.append(f"[{self.subject}]")
+        line = " ".join(parts) + f": {self.message}"
+        if self.fix_hint:
+            line += f" (hint: {self.fix_hint})"
+        return line
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"code": self.code,
+                               "severity": self.severity,
+                               "message": self.message}
+        for key in ("subject", "rule", "category", "fix_hint"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Diagnostic":
+        return cls(code=data["code"], severity=data["severity"],
+                   message=data["message"],
+                   subject=data.get("subject"),
+                   rule=data.get("rule"),
+                   category=data.get("category"),
+                   fix_hint=data.get("fix_hint"))
+
+
+class LintError(Exception):
+    """Raised when a lint pass at ``error`` level finds errors — the
+    fail-fast gate :class:`repro.core.session.CheckSession` applies
+    before constructing any engine.  Carries the full report."""
+
+    def __init__(self, report: "LintReport"):
+        self.report = report
+        errors = report.errors
+        head = f"lint found {len(errors)} error(s)"
+        lines = [head] + ["  " + d.render() for d in errors[:8]]
+        if len(errors) > 8:
+            lines.append(f"  ... and {len(errors) - 8} more")
+        super().__init__("\n".join(lines))
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint pass.
+
+    ``rules_run`` are the codes of every rule that executed (selected,
+    requirements satisfied); ``rules_skipped`` the codes skipped
+    because their inputs were absent (no power intent, no properties,
+    no BDD manager) — *not* rules deselected on purpose.
+    """
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    rules_run: Tuple[str, ...] = ()
+    rules_skipped: Tuple[str, ...] = ()
+    subject: str = ""
+    elapsed_seconds: float = 0.0
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity == Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity == Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings allowed)."""
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        """No findings at all."""
+        return not self.diagnostics
+
+    def counts(self) -> Dict[str, int]:
+        """``{rule code: finding count}``, sorted by code."""
+        out: Dict[str, int] = {}
+        for d in self.diagnostics:
+            out[d.code] = out.get(d.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(sorted({d.code for d in self.diagnostics}))
+
+    def by_code(self, code: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def filter(self, select: Optional[Iterable[str]] = None,
+               ignore: Optional[Iterable[str]] = None) -> "LintReport":
+        """A report restricted to codes matching *select* prefixes and
+        not matching *ignore* prefixes (``"PWR"`` matches the whole
+        pack, ``"PWR103"`` one rule)."""
+        kept = [d for d in self.diagnostics
+                if _code_selected(d.code, select, ignore)]
+        return LintReport(diagnostics=kept, rules_run=self.rules_run,
+                          rules_skipped=self.rules_skipped,
+                          subject=self.subject,
+                          elapsed_seconds=self.elapsed_seconds)
+
+    def exit_code(self) -> int:
+        """The CLI contract: 0 clean, 1 warnings only, 2 errors."""
+        if self.errors:
+            return 2
+        if self.warnings:
+            return 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # Rendering / serialisation
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Multi-line text report (the CLI's default output)."""
+        head = self.summary_line()
+        if not self.diagnostics:
+            return head
+        return "\n".join([head] + ["  " + d.render()
+                                   for d in self.diagnostics])
+
+    def summary_line(self) -> str:
+        subject = f" {self.subject}" if self.subject else ""
+        if self.clean:
+            status = "clean"
+        else:
+            status = (f"{len(self.errors)} error(s), "
+                      f"{len(self.warnings)} warning(s)")
+        return (f"lint{subject}: {status} "
+                f"[{len(self.rules_run)} rules, "
+                f"{self.elapsed_seconds:.3f}s]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "subject": self.subject,
+            "rules_run": list(self.rules_run),
+            "rules_skipped": list(self.rules_skipped),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "LintReport":
+        return cls(
+            diagnostics=[Diagnostic.from_dict(d)
+                         for d in data.get("diagnostics", ())],
+            rules_run=tuple(data.get("rules_run", ())),
+            rules_skipped=tuple(data.get("rules_skipped", ())),
+            subject=data.get("subject", ""),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)))
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def to_sarif(self, rule_index: Optional[Dict[str, Dict[str, str]]]
+                 = None) -> Dict[str, Any]:
+        """A minimal SARIF 2.1.0 log: one run, one result per
+        diagnostic, logical locations (nets/properties, not files).
+        *rule_index* optionally maps codes to ``{"name":, "help":}``
+        metadata for the tool's rule table."""
+        seen: Dict[str, Dict[str, Any]] = {}
+        for code in self.rules_run + self.codes():
+            if code in seen:
+                continue
+            entry: Dict[str, Any] = {"id": code}
+            meta = (rule_index or {}).get(code)
+            if meta:
+                if meta.get("name"):
+                    entry["name"] = meta["name"]
+                if meta.get("help"):
+                    entry["shortDescription"] = {"text": meta["help"]}
+            seen[code] = entry
+        results = []
+        for d in self.diagnostics:
+            result: Dict[str, Any] = {
+                "ruleId": d.code,
+                "level": "error" if d.severity == Severity.ERROR
+                         else "warning",
+                "message": {"text": d.message},
+            }
+            if d.subject:
+                result["locations"] = [{"logicalLocations":
+                                        [{"name": d.subject}]}]
+            results.append(result)
+        return {
+            "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+            "version": "2.1.0",
+            "runs": [{
+                "tool": {"driver": {
+                    "name": "repro.lint",
+                    "rules": [seen[c] for c in sorted(seen)],
+                }},
+                "results": results,
+            }],
+        }
+
+
+def _code_selected(code: str, select: Optional[Iterable[str]],
+                   ignore: Optional[Iterable[str]]) -> bool:
+    """Prefix-matching code filter shared by the engine and the
+    report: ``select=("PWR",)`` keeps the power pack,
+    ``ignore=("NET005",)`` drops one rule."""
+    if select is not None:
+        select = tuple(select)
+        if not any(code.startswith(p) for p in select):
+            return False
+    if ignore is not None:
+        if any(code.startswith(p) for p in tuple(ignore)):
+            return False
+    return True
+
+
+def code_selected(code: str, select: Optional[Sequence[str]],
+                  ignore: Optional[Sequence[str]]) -> bool:
+    return _code_selected(code, select, ignore)

@@ -1,0 +1,141 @@
+"""The lint pass driver: run registered rules over one design.
+
+:func:`run_lint` is the single entry point every surface routes
+through — the ``python -m repro.lint`` CLI, the
+``CheckSession(lint=...)`` gate, and the ``check_circuit`` rendering
+shim.  It builds one shared :class:`~repro.lint.registry.LintContext`,
+executes the selected rules in code order, and returns a
+:class:`~repro.lint.diagnostics.LintReport`.
+
+:func:`lint_circuit_cached` is the session-facing wrapper: the
+circuit-level pass is pure in the circuit's content fingerprint, so
+its report is memoised in-process per ``(fingerprint, rule set)`` and,
+when a :class:`~repro.core.cache.VerdictCache` is attached, persisted
+to disk next to the verdicts — a warm session re-lints nothing.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..netlist.circuit import Circuit
+from .diagnostics import LintReport, code_selected
+from .registry import LintContext, rule_specs
+
+__all__ = ["run_lint", "lint_circuit_cached", "CIRCUIT_RULE_IGNORE"]
+
+#: Rule-code prefixes that need more than the bare circuit; the
+#: session's circuit-level pass ignores them (they run via
+#: ``run_lint(properties=..., intent=...)`` / the lint CLI).
+CIRCUIT_RULE_IGNORE: Tuple[str, ...] = ("PROP",)
+
+
+def run_lint(circuit: Circuit, *, intent: Any = None,
+             properties: Sequence[Any] = (), mgr: Any = None,
+             select: Optional[Sequence[str]] = None,
+             ignore: Optional[Sequence[str]] = None,
+             metrics: Any = None) -> LintReport:
+    """Lint *circuit* (and optionally its power *intent* and property
+    suite) with every registered rule.
+
+    *select*/*ignore* are code prefixes (``"NET"`` selects a pack,
+    ``"PWR103"`` one rule); rules whose declared requirements are not
+    supplied are skipped and reported in ``rules_skipped``.  *metrics*
+    may be a :class:`repro.obs.metrics.MetricsRegistry`; the pass
+    records its ``lint.*`` namespace there.
+    """
+    started = _time.perf_counter()
+    ctx = LintContext(circuit, intent=intent, properties=properties,
+                      mgr=mgr)
+    diagnostics = []
+    ran = []
+    skipped = []
+    for spec in rule_specs():
+        if not code_selected(spec.code, select, ignore):
+            continue
+        if not spec.available(ctx):
+            skipped.append(spec.code)
+            continue
+        ran.append(spec.code)
+        diagnostics.extend(spec.check(ctx))
+    report = LintReport(
+        diagnostics=diagnostics,
+        rules_run=tuple(ran),
+        rules_skipped=tuple(skipped),
+        subject=circuit.name,
+        elapsed_seconds=_time.perf_counter() - started)
+    if metrics is not None:
+        _record_metrics(metrics, report)
+    return report
+
+
+def rule_index() -> Dict[str, Dict[str, str]]:
+    """code -> {name, help} metadata for SARIF / ``--list-rules``."""
+    return {spec.code: {"name": spec.name, "help": spec.description}
+            for spec in rule_specs()}
+
+
+def _record_metrics(metrics: Any, report: LintReport) -> None:
+    metrics.inc("lint.runs")
+    metrics.inc("lint.rules_run", len(report.rules_run))
+    metrics.inc("lint.diagnostics", len(report.diagnostics))
+    metrics.inc("lint.errors", len(report.errors))
+    metrics.inc("lint.warnings", len(report.warnings))
+    metrics.inc("lint.seconds", round(report.elapsed_seconds, 6))
+
+
+# ----------------------------------------------------------------------
+# Fingerprint-keyed caching (the CheckSession path)
+# ----------------------------------------------------------------------
+#: (circuit fingerprint, rules key) -> report dict.  Process-local;
+#: bounded by the number of distinct circuits a process lints.
+_MEMO: Dict[Tuple[str, str], Dict[str, Any]] = {}
+
+
+def _rules_key(ignore: Sequence[str]) -> str:
+    """The rule-set identity a cached circuit report is valid for:
+    every registered code minus the ignored prefixes.  Registering or
+    deselecting a rule changes the key, invalidating stale reports."""
+    codes = [spec.code for spec in rule_specs()
+             if code_selected(spec.code, None, ignore)]
+    return ",".join(codes)
+
+
+def lint_circuit_cached(circuit: Circuit, *, cache: Any = None,
+                        metrics: Any = None) -> LintReport:
+    """The circuit-level lint pass, memoised per content fingerprint.
+
+    Runs every registered rule that needs only the circuit (property
+    rules are excluded — see :data:`CIRCUIT_RULE_IGNORE`).  Reports
+    are served from the in-process memo first, then from the
+    persistent *cache* (a :class:`repro.core.cache.VerdictCache`);
+    a fresh pass stores into both.
+    """
+    fingerprint = circuit.fingerprint()
+    rules_key = _rules_key(CIRCUIT_RULE_IGNORE)
+    memo_key = (fingerprint, rules_key)
+    payload = _MEMO.get(memo_key)
+    source = "memo"
+    if payload is None and cache is not None:
+        payload = cache.lookup_lint(fingerprint, rules_key)
+        source = "cache"
+    if payload is None:
+        report = run_lint(circuit, ignore=CIRCUIT_RULE_IGNORE,
+                          metrics=metrics)
+        payload = report.to_dict()
+        _MEMO[memo_key] = payload
+        if cache is not None:
+            cache.store_lint(fingerprint, rules_key, payload)
+        return report
+    _MEMO[memo_key] = payload
+    report = LintReport.from_dict(payload)
+    if metrics is not None:
+        metrics.inc(f"lint.{source}_hits")
+        _record_metrics(metrics, report)
+    return report
+
+
+def clear_lint_memo() -> None:
+    """Drop the in-process report memo (test hook)."""
+    _MEMO.clear()

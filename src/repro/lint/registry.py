@@ -1,0 +1,275 @@
+"""The lint-rule registry — rules as plugins, mirroring
+:mod:`repro.core.registry`.
+
+A rule is a function ``check(ctx) -> iterable of Diagnostic`` wrapped
+in a :class:`RuleSpec` carrying its stable code, default severity,
+category (the pack it ships in) and *requires* — which optional lint
+inputs it needs (``"intent"`` for the power pack's UPF rules,
+``"properties"``/``"mgr"`` for the property pack).  Rules whose
+requirements the caller did not supply are skipped, not failed, so one
+``run_lint`` entry point serves netlist-only callers and full
+circuit+UPF+property callers alike.
+
+Third-party rules register the same way the stock packs do::
+
+    from repro.lint import Diagnostic, register_rule
+
+    def no_latches(ctx):
+        for q, reg in ctx.circuit.registers.items():
+            if reg.kind == "latch":
+                yield Diagnostic("ORG901", "warning",
+                                 f"latch {q} in an edge-triggered flow",
+                                 subject=q)
+
+    register_rule("ORG901", no_latches, name="org-no-latches",
+                  category="house-style", severity="warning")
+
+:class:`LintContext` is the shared-analysis cache every rule reads:
+the primary-input cone, the fanout index, transitive register support,
+balloon-shadow detection — computed at most once per pass no matter
+how many rules consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Any, Callable, Dict, FrozenSet, Iterable, List,
+                    Optional, Sequence, Set, Tuple)
+
+from ..netlist.circuit import Circuit
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["RuleSpec", "LintContext", "PropertyRecord", "register_rule",
+           "unregister_rule", "rule_spec", "rule_specs", "rule_codes"]
+
+#: A rule body: reads the context, yields findings.
+RuleCheck = Callable[["LintContext"], Iterable[Diagnostic]]
+
+#: Optional context inputs a rule may declare in ``requires``.
+_KNOWN_REQUIRES = ("intent", "properties", "mgr")
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """A registered lint rule."""
+
+    code: str
+    name: str
+    category: str
+    severity: str
+    check: RuleCheck
+    requires: Tuple[str, ...] = ()
+    description: str = ""
+
+    def available(self, ctx: "LintContext") -> bool:
+        """Are every one of this rule's required inputs present?"""
+        for need in self.requires:
+            if need == "intent" and ctx.intent is None:
+                return False
+            if need == "properties" and not ctx.properties:
+                return False
+            if need == "mgr" and ctx.mgr is None:
+                return False
+        return True
+
+
+_REGISTRY: Dict[str, RuleSpec] = {}
+
+
+def register_rule(code: str, check: RuleCheck, *, name: str,
+                  category: str, severity: str = Severity.ERROR,
+                  requires: Sequence[str] = (), description: str = "",
+                  replace: bool = False) -> RuleSpec:
+    """Register a lint rule under its stable *code*.
+
+    Registering an existing code is an error unless ``replace=True``
+    (the ablation/test hook, mirroring ``register_engine``).
+    """
+    Severity.check(severity)
+    for need in requires:
+        if need not in _KNOWN_REQUIRES:
+            raise ValueError(f"rule {code!r}: unknown requirement "
+                             f"{need!r}; expected one of "
+                             f"{_KNOWN_REQUIRES}")
+    if code in _REGISTRY and not replace:
+        raise ValueError(f"lint rule {code!r} is already registered; "
+                         f"pass replace=True to override")
+    spec = RuleSpec(code=code, name=name, category=category,
+                    severity=severity, check=check,
+                    requires=tuple(requires), description=description)
+    _REGISTRY[code] = spec
+    return spec
+
+
+def unregister_rule(code: str) -> None:
+    _REGISTRY.pop(code, None)
+
+
+def rule_codes() -> Tuple[str, ...]:
+    """All registered rule codes, sorted (packs group by prefix)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def rule_spec(code: str) -> RuleSpec:
+    spec = _REGISTRY.get(code)
+    if spec is None:
+        raise ValueError(f"unknown lint rule {code!r}; "
+                         f"expected one of {rule_codes()}")
+    return spec
+
+
+def rule_specs() -> List[RuleSpec]:
+    """All registered rules in code order — the pass's execution
+    order, so reports are deterministic."""
+    return [_REGISTRY[code] for code in rule_codes()]
+
+
+@dataclass(frozen=True)
+class PropertyRecord:
+    """One property as the lint pass sees it: name, the two formulas,
+    and the schedule (None when the property carries none)."""
+
+    name: str
+    antecedent: Any
+    consequent: Any
+    schedule: Any = None
+
+
+class LintContext:
+    """Everything a rule may read, with shared analyses memoised.
+
+    The expensive traversals (input cone, fanout index, per-node
+    transitive register support, live-node closure) are each computed
+    once per pass regardless of how many rules use them — the pass
+    stays linear in the netlist even with every pack enabled.
+    """
+
+    def __init__(self, circuit: Circuit, *, intent: Any = None,
+                 properties: Sequence[Any] = (), mgr: Any = None):
+        self.circuit = circuit
+        self.intent = intent
+        self.mgr = mgr
+        self.properties: Tuple[PropertyRecord, ...] = tuple(
+            _as_record(i, p) for i, p in enumerate(properties))
+        self._input_cone: Optional[Set[str]] = None
+        self._fanout: Optional[Dict[str, List[str]]] = None
+        self._reg_support: Dict[str, FrozenSet[str]] = {}
+        self._live: Optional[Set[str]] = None
+        self._balloons: Optional[Dict[str, str]] = None
+        self._all_nodes: Optional[Set[str]] = None
+
+    # ------------------------------------------------------------------
+    # Shared structural analyses
+    # ------------------------------------------------------------------
+    def all_nodes(self) -> Set[str]:
+        if self._all_nodes is None:
+            self._all_nodes = self.circuit.all_nodes()
+        return self._all_nodes
+
+    def input_cone(self) -> Set[str]:
+        """Nodes computable from primary inputs through combinational
+        gates only (the worklist pass from ``netlist.validate``)."""
+        if self._input_cone is None:
+            from ..netlist.validate import input_cone
+            self._input_cone = input_cone(self.circuit)
+        return self._input_cone
+
+    def fanout(self) -> Dict[str, List[str]]:
+        """node -> combinational gate outputs consuming it (one entry
+        per input occurrence)."""
+        if self._fanout is None:
+            from ..netlist.validate import fanout_index
+            self._fanout = fanout_index(self.circuit)
+        return self._fanout
+
+    def register_support(self, node: str) -> FrozenSet[str]:
+        """Register outputs in the transitive fanin of *node* — the
+        \"gated domain\" content a power-controller net must not
+        depend on."""
+        cached = self._reg_support.get(node)
+        if cached is not None:
+            return cached
+        registers = self.circuit.registers
+        gates = self.circuit.gates
+        found: Set[str] = set()
+        seen: Set[str] = {node}
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in registers and current != node:
+                found.add(current)
+                continue                   # stop at sequential boundary
+            gate = gates.get(current)
+            if gate is None:
+                continue
+            for src in gate.ins:
+                if src not in seen:
+                    seen.add(src)
+                    stack.append(src)
+        support = frozenset(found)
+        self._reg_support[node] = support
+        return support
+
+    def live_nodes(self) -> Set[str]:
+        """Backward closure from the observable roots: circuit
+        outputs, every register fanin, and named observation taps —
+        BUF gates whose output carries a user-facing name (the
+        builder's ``alias``/``alias_bus`` idiom gives nets stable
+        names for properties to reference; internal fresh names start
+        with ``_``).  Gate or register outputs *outside* this set form
+        dead cones."""
+        if self._live is None:
+            circuit = self.circuit
+            roots: Set[str] = set(circuit.outputs)
+            for reg in circuit.registers.values():
+                roots.update(reg.data_nodes())
+                roots.update(reg.control_nodes())
+            for out, gate in circuit.gates.items():
+                if gate.op == "BUF" and not out.startswith("_"):
+                    roots.add(out)        # a named observation tap
+            live: Set[str] = set()
+            stack = list(roots)
+            while stack:
+                node = stack.pop()
+                if node in live:
+                    continue
+                live.add(node)
+                for src in circuit.fanin_nodes(node):
+                    if src not in live:
+                        stack.append(src)
+            self._live = live
+        return self._live
+
+    def balloon_of(self, q: str) -> Optional[str]:
+        """The balloon-latch shadow of register *q*, if the netlist
+        implements one (a latch named ``<q>_balloon`` sampling ``q`` —
+        the ``netlist.balloon`` cell convention)."""
+        if self._balloons is None:
+            shadows: Dict[str, str] = {}
+            for b, reg in self.circuit.registers.items():
+                if (reg.kind == "latch" and b.endswith("_balloon")
+                        and reg.d == b[:-len("_balloon")]):
+                    shadows[reg.d] = b
+            self._balloons = shadows
+        return self._balloons.get(q)
+
+
+def _as_record(index: int, prop: Any) -> PropertyRecord:
+    """Accept CpuProperty-like objects, (name, ante, cons[, sched])
+    tuples, or ready PropertyRecords."""
+    if isinstance(prop, PropertyRecord):
+        return prop
+    if isinstance(prop, tuple):
+        if len(prop) == 3:
+            name, ante, cons = prop
+            return PropertyRecord(name, ante, cons)
+        if len(prop) == 4:
+            name, ante, cons, sched = prop
+            return PropertyRecord(name, ante, cons, sched)
+        raise ValueError(f"property tuple needs 3 or 4 elements, "
+                         f"got {len(prop)}")
+    return PropertyRecord(
+        name=getattr(prop, "name", f"property_{index}"),
+        antecedent=prop.antecedent,
+        consequent=prop.consequent,
+        schedule=getattr(prop, "schedule", None))

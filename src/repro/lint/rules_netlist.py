@@ -1,0 +1,166 @@
+"""Stock rule pack: netlist structural lint (``NET0xx``).
+
+Absorbs and supersedes the historical ``netlist.validate.check_circuit``
+string checks (which now render these rules) and adds what the string
+checker never covered: multi-driven nets and dead cones.
+
+==========  ========  ====================================================
+``NET001``  error     undriven net (floating gate/register input)
+``NET002``  error     net with more than one driver
+``NET003``  error     combinational cycle
+``NET004``  error     register clock/NRST/NRET driven by sequential logic
+``NET005``  warning   dead cone: logic that can reach no output or state
+==========  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from .diagnostics import Diagnostic, Severity
+from .registry import LintContext, register_rule
+
+__all__ = ["register_stock_rules"]
+
+
+def rule_undriven(ctx: LintContext) -> Iterator[Diagnostic]:
+    """NET001 — every referenced node needs a driver."""
+    circuit = ctx.circuit
+    for node in sorted(circuit.undriven_nodes()):
+        sites = _reference_sites(ctx, node)
+        yield Diagnostic(
+            "NET001", Severity.ERROR,
+            f"undriven node: {node}",
+            subject=node, fix_hint=(
+                f"declare {node} as a primary input or drive it; "
+                f"referenced by {', '.join(sites[:4])}" if sites else
+                f"declare {node} as a primary input or drive it"))
+
+
+def rule_multi_driven(ctx: LintContext) -> Iterator[Diagnostic]:
+    """NET002 — single-driver discipline.
+
+    The :class:`~repro.netlist.circuit.Circuit` builder enforces this
+    at construction, but netlists assembled by direct table mutation
+    (mutation campaigns, hand-patched imports) can violate it — and a
+    doubly-driven net silently shadows one driver in evaluation.
+    """
+    circuit = ctx.circuit
+    owners: Dict[str, List[str]] = {}
+    for node in circuit.inputs:
+        owners.setdefault(node, []).append("primary input")
+    for out, gate in circuit.gates.items():
+        owners.setdefault(out, []).append(f"{gate.op} gate")
+    for q, reg in circuit.registers.items():
+        owners.setdefault(q, []).append(f"{reg.kind} register")
+    for node in sorted(owners):
+        drivers = owners[node]
+        if len(drivers) > 1:
+            yield Diagnostic(
+                "NET002", Severity.ERROR,
+                f"node {node} has {len(drivers)} drivers: "
+                f"{', '.join(drivers)}",
+                subject=node,
+                fix_hint="keep exactly one driver per net")
+
+
+def rule_combinational_cycle(ctx: LintContext) -> Iterator[Diagnostic]:
+    """NET003 — combinational logic (latches included) must be
+    acyclic; a loop has no static evaluation order."""
+    from ..netlist.validate import combinational_order
+    try:
+        combinational_order(ctx.circuit)
+    except ValueError as exc:
+        message = str(exc)
+        subject = None
+        marker = "combinational cycle through: "
+        if message.startswith(marker):
+            subject = message[len(marker):].split(" -> ")[0]
+        yield Diagnostic(
+            "NET003", Severity.ERROR, message, subject=subject,
+            fix_hint="break the loop with a register or restructure "
+                     "the logic")
+
+
+def rule_sequential_control(ctx: LintContext) -> Iterator[Diagnostic]:
+    """NET004 — register clock/NRST/NRET must be driven purely from
+    primary inputs.  Asynchronous controls computed by sequential
+    logic would need fixed-point evaluation within a step, and real
+    retention controls come from the power controller, not the gated
+    domain."""
+    cone = ctx.input_cone()
+    for q, reg in ctx.circuit.registers.items():
+        if reg.kind != "dff":
+            continue
+        for ctrl in reg.control_nodes():
+            if ctrl not in cone:
+                yield Diagnostic(
+                    "NET004", Severity.ERROR,
+                    f"register {q}: control node {ctrl} is not driven "
+                    f"purely from primary inputs",
+                    subject=q,
+                    fix_hint=f"drive {ctrl} combinationally from the "
+                             f"power-controller inputs")
+
+
+def rule_dead_cone(ctx: LintContext) -> Iterator[Diagnostic]:
+    """NET005 — logic whose value can reach no circuit output and no
+    state element is dead: it burns area/power and usually marks an
+    editing mistake.  Skipped for circuits with no declared outputs
+    (everything would be trivially dead)."""
+    circuit = ctx.circuit
+    if not circuit.outputs:
+        return
+    live = ctx.live_nodes()
+    driven = list(circuit.gates) + list(circuit.registers)
+    dead = sorted(n for n in driven
+                  if n not in live and n not in circuit.outputs)
+    for node in dead:
+        kind = "gate" if node in circuit.gates else "register"
+        yield Diagnostic(
+            "NET005", Severity.WARNING,
+            f"dead cone: {kind} output {node} cannot reach any "
+            f"circuit output or state element",
+            subject=node,
+            fix_hint="remove the dead logic or declare the node an "
+                     "output")
+
+
+def _reference_sites(ctx: LintContext, node: str) -> List[str]:
+    """Where an undriven node is consumed (for the fix hint)."""
+    sites: List[str] = []
+    circuit = ctx.circuit
+    for out in ctx.fanout().get(node, ()):
+        sites.append(f"gate {out}")
+    for q, reg in circuit.registers.items():
+        if node in reg.data_nodes() or node in reg.control_nodes():
+            sites.append(f"register {q}")
+    if node in circuit.outputs:
+        sites.append("output list")
+    return sorted(set(sites))
+
+
+def register_stock_rules() -> None:
+    register_rule(
+        "NET001", rule_undriven, name="undriven-net",
+        category="netlist", severity=Severity.ERROR,
+        description="every referenced net needs a driver")
+    register_rule(
+        "NET002", rule_multi_driven, name="multi-driven-net",
+        category="netlist", severity=Severity.ERROR,
+        description="no net may carry more than one driver")
+    register_rule(
+        "NET003", rule_combinational_cycle, name="combinational-cycle",
+        category="netlist", severity=Severity.ERROR,
+        description="combinational logic (latches included) must be "
+                    "acyclic")
+    register_rule(
+        "NET004", rule_sequential_control, name="sequential-control",
+        category="netlist", severity=Severity.ERROR,
+        description="register clock/NRST/NRET must come from the "
+                    "primary-input cone")
+    register_rule(
+        "NET005", rule_dead_cone, name="dead-cone",
+        category="netlist", severity=Severity.WARNING,
+        description="logic unreachable from any output or state "
+                    "element is dead")

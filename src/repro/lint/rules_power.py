@@ -1,0 +1,287 @@
+"""Stock rule pack: power-intent lint (``PWR1xx``).
+
+Statically checks the retention/power-gating discipline the paper's
+methodology assumes — facts the dynamic engines never verify because
+they hold by construction on the in-repo cores but not on ingested
+netlists or mutants.
+
+==========  ========  ====================================================
+``PWR101``  error     UPF-retained register with neither an NRET control
+                      nor a balloon latch *(needs intent)*
+``PWR102``  error     retention control NRET with no primary-input
+                      support (tied off — retention can never engage)
+``PWR103``  error     retention/reset control driven from the gated
+                      domain (a register output in its fanin)
+``PWR104``  error     reset-vs-retention priority: NRET and NRST share
+                      one net (warning when a retained flop lacks NRST)
+``PWR105``  warning   retention set disagrees with the architectural
+                      classification of ``retention/analysis``
+``PWR106``  warning   domain output crosses the power boundary without
+                      an isolation strategy *(needs intent)*
+``PWR107``  error     power domains claim overlapping elements
+                      *(needs intent)*
+==========  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from ..retention.analysis import group_of_register, retention_report
+from .diagnostics import Diagnostic, Severity
+from .registry import LintContext, register_rule
+
+__all__ = ["register_stock_rules"]
+
+
+def rule_retention_unimplemented(ctx: LintContext
+                                 ) -> Iterator[Diagnostic]:
+    """PWR101 — every register the UPF retention strategies claim must
+    carry a retention implementation: an emulated NRET hold control
+    (the paper's Fig. 1 cell) or a balloon-latch shadow (reference
+    [3]'s cell, the ``<q>_balloon`` convention)."""
+    intent = ctx.intent
+    retained_groups = set(intent.retained_elements())
+    for q, reg in ctx.circuit.registers.items():
+        if reg.kind != "dff":
+            continue
+        if group_of_register(q) not in retained_groups:
+            continue
+        if reg.is_retention or ctx.balloon_of(q) is not None:
+            continue
+        yield Diagnostic(
+            "PWR101", Severity.ERROR,
+            f"register {q} is claimed by a UPF retention strategy but "
+            f"has no retention implementation (no NRET control, no "
+            f"balloon latch)",
+            subject=q,
+            fix_hint="wire the strategy's save net to the flop's NRET "
+                     "or instantiate a balloon cell")
+
+
+def rule_retention_unreachable(ctx: LintContext) -> Iterator[Diagnostic]:
+    """PWR102 — a retained flop whose NRET has no primary-input
+    support is tied to a constant: the power controller can never put
+    it in hold mode, so 'retention' silently never happens."""
+    cone = ctx.input_cone()
+    inputs = set(ctx.circuit.inputs)
+    for q, reg in ctx.circuit.registers.items():
+        nret = reg.nret
+        if nret is None or nret in inputs:
+            continue
+        if nret not in cone:
+            continue                      # sequential/undriven: NET004/NET001
+        if not _input_support(ctx, nret):
+            yield Diagnostic(
+                "PWR102", Severity.ERROR,
+                f"register {q}: retention control {nret} has no "
+                f"primary-input support (tied to a constant)",
+                subject=q,
+                fix_hint=f"route {nret} from a power-controller input "
+                         f"such as NRET")
+
+
+def rule_control_from_gated_domain(ctx: LintContext
+                                   ) -> Iterator[Diagnostic]:
+    """PWR103 — NRET/NRST must come from the always-on power
+    controller.  A register output in a control's transitive fanin
+    means the gated domain drives its own retention/reset — state that
+    is lost in sleep would control how sleep is survived."""
+    for q, reg in ctx.circuit.registers.items():
+        if reg.kind != "dff":
+            continue
+        for label, ctrl in (("retention control", reg.nret),
+                            ("reset control", reg.nrst)):
+            if ctrl is None:
+                continue
+            offenders = set(ctx.register_support(ctrl))
+            if ctrl in ctx.circuit.registers:
+                offenders.add(ctrl)       # the control IS state
+            if offenders:
+                sample = sorted(offenders)[0]
+                yield Diagnostic(
+                    "PWR103", Severity.ERROR,
+                    f"register {q}: {label} {ctrl} is driven from the "
+                    f"gated domain (depends on register {sample})",
+                    subject=q,
+                    fix_hint=f"drive {ctrl} from power-controller "
+                             f"inputs only")
+
+
+def rule_reset_retention_priority(ctx: LintContext
+                                  ) -> Iterator[Diagnostic]:
+    """PWR104 — the §III-A protocol sequences NRET low *before* the
+    NRST pulse and releases them in reverse; one net cannot do both,
+    and a retained flop without any reset cannot be re-initialised on
+    resume."""
+    for q, reg in ctx.circuit.registers.items():
+        if reg.kind != "dff" or reg.nret is None:
+            continue
+        if reg.nrst is not None and reg.nret == reg.nrst:
+            yield Diagnostic(
+                "PWR104", Severity.ERROR,
+                f"register {q}: NRET and NRST share one net "
+                f"({reg.nret}) — the sleep protocol orders retention "
+                f"before reset, which a shared control cannot express",
+                subject=q,
+                fix_hint="give retention and reset separate "
+                         "power-controller nets")
+        elif reg.nrst is None:
+            yield Diagnostic(
+                "PWR104", Severity.WARNING,
+                f"register {q} has retention ({reg.nret}) but no "
+                f"reset control; it cannot be re-initialised on "
+                f"resume",
+                subject=q,
+                fix_hint="wire NRST alongside NRET")
+
+
+def rule_retention_classification(ctx: LintContext
+                                  ) -> Iterator[Diagnostic]:
+    """PWR105 — compare the implemented retention set against the
+    architectural/micro-architectural classification (the paper's
+    selective policy: retain exactly the programmer-visible state)."""
+    report = retention_report(ctx.circuit)
+    for group in report.missing_retention:
+        yield Diagnostic(
+            "PWR105", Severity.WARNING,
+            f"architectural register group {group} is not fully "
+            f"retained (selective policy expects it held through "
+            f"sleep)",
+            subject=group,
+            fix_hint=f"add {group} to a retention strategy and wire "
+                     f"its flops' NRET")
+    for group in report.excess_retention:
+        yield Diagnostic(
+            "PWR105", Severity.WARNING,
+            f"micro-architectural register group {group} is retained "
+            f"(selective policy keeps it volatile; retention here is "
+            f"area/power waste)",
+            subject=group,
+            fix_hint=f"strip retention from {group} "
+                     f"(retention/analysis.strip_retention)")
+
+
+def rule_missing_isolation(ctx: LintContext) -> Iterator[Diagnostic]:
+    """PWR106 — a circuit output that depends on a power domain's
+    registers crosses the domain boundary; without an isolation
+    strategy it floats to garbage while the domain is gated."""
+    intent = ctx.intent
+    for domain in intent.domains.values():
+        isolations = [iso for iso in intent.isolations.values()
+                      if iso.domain == domain.name]
+        domain_groups = set(domain.elements)
+        for out in ctx.circuit.outputs:
+            support_groups = {group_of_register(q)
+                              for q in _output_register_support(ctx, out)}
+            if not (support_groups & domain_groups):
+                continue
+            if _isolated(out, isolations):
+                continue
+            yield Diagnostic(
+                "PWR106", Severity.WARNING,
+                f"output {out} depends on power domain {domain.name} "
+                f"but no isolation strategy covers it",
+                subject=out,
+                fix_hint=f"add a set_isolation for {domain.name} "
+                         f"(clamp 0/1) covering {out}")
+
+
+def rule_overlapping_domains(ctx: LintContext) -> Iterator[Diagnostic]:
+    """PWR107 — each element belongs to exactly one power domain; an
+    element two domains claim has no well-defined supply."""
+    intent = ctx.intent
+    owner: Dict[str, str] = {}
+    for name in sorted(intent.domains):
+        domain = intent.domains[name]
+        for element in domain.elements:
+            if element in owner and owner[element] != name:
+                yield Diagnostic(
+                    "PWR107", Severity.ERROR,
+                    f"element {element} belongs to power domains "
+                    f"{owner[element]} and {name}",
+                    subject=element,
+                    fix_hint="assign each element to exactly one "
+                             "create_power_domain")
+            else:
+                owner.setdefault(element, name)
+
+
+def _input_support(ctx: LintContext, node: str) -> bool:
+    """Does *node* transitively depend on any primary input?
+    (Only meaningful for nodes inside the input cone.)"""
+    inputs = set(ctx.circuit.inputs)
+    gates = ctx.circuit.gates
+    seen = {node}
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current in inputs:
+            return True
+        gate = gates.get(current)
+        if gate is None:
+            continue
+        for src in gate.ins:
+            if src not in seen:
+                seen.add(src)
+                stack.append(src)
+    return False
+
+
+def _output_register_support(ctx: LintContext, out: str):
+    """Register outputs feeding a circuit output — through gates, and
+    through the output node itself when it is a register."""
+    if out in ctx.circuit.registers:
+        return frozenset({out}) | ctx.register_support(out)
+    return ctx.register_support(out)
+
+
+def _isolated(out: str, isolations: List[object]) -> bool:
+    for iso in isolations:
+        elements = getattr(iso, "elements", ())
+        if not elements or out in elements:
+            return True                   # empty element list = all
+    return False
+
+
+def register_stock_rules() -> None:
+    register_rule(
+        "PWR101", rule_retention_unimplemented,
+        name="retention-unimplemented", category="power-intent",
+        severity=Severity.ERROR, requires=("intent",),
+        description="UPF-retained registers need an NRET control or a "
+                    "balloon latch")
+    register_rule(
+        "PWR102", rule_retention_unreachable,
+        name="retention-unreachable", category="power-intent",
+        severity=Severity.ERROR,
+        description="a retained flop's NRET must have primary-input "
+                    "support")
+    register_rule(
+        "PWR103", rule_control_from_gated_domain,
+        name="control-from-gated-domain", category="power-intent",
+        severity=Severity.ERROR,
+        description="NRET/NRST must not depend on gated-domain state")
+    register_rule(
+        "PWR104", rule_reset_retention_priority,
+        name="reset-retention-priority", category="power-intent",
+        severity=Severity.ERROR,
+        description="retention and reset need separate, complete "
+                    "controls")
+    register_rule(
+        "PWR105", rule_retention_classification,
+        name="retention-classification", category="power-intent",
+        severity=Severity.WARNING,
+        description="the retention set should match the architectural "
+                    "classification")
+    register_rule(
+        "PWR106", rule_missing_isolation, name="missing-isolation",
+        category="power-intent", severity=Severity.WARNING,
+        requires=("intent",),
+        description="domain-crossing outputs need an isolation "
+                    "strategy")
+    register_rule(
+        "PWR107", rule_overlapping_domains, name="overlapping-domains",
+        category="power-intent", severity=Severity.ERROR,
+        requires=("intent",),
+        description="power domains must not claim the same element")

@@ -1,0 +1,202 @@
+"""Stock rule pack: property static analysis (``PROP2xx``).
+
+Decides, on the ternary lattice and the netlist graph alone — no STE
+run, no SAT call — whether a trajectory property can possibly say
+anything: a statically false antecedent passes *everything* vacuously,
+a tautological consequent asserts nothing, a property naming absent
+nodes checks a different design, and a "sleep" schedule that never
+drops NRET proves retention of registers that were never in hold mode.
+
+==========  ========  ====================================================
+``PROP201``  error    antecedent statically inconsistent (⊤ on the
+                      lattice at some time/node) *(needs mgr)*
+``PROP202``  warning  consequent asserts nothing (empty or all-X
+                      defining sequence) *(needs mgr)*
+``PROP203``  error    property mentions nodes absent from the circuit
+``PROP204``  warning  antecedent constrains nodes outside the
+                      consequent's cone of influence
+``PROP205``  error    sleep-schedule property whose antecedent never
+                      drives NRET low — retention consequents are
+                      vacuous *(needs mgr)*
+==========  ========  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Set
+
+from .diagnostics import Diagnostic, Severity
+from .registry import LintContext, register_rule
+
+__all__ = ["register_stock_rules"]
+
+
+def _defining_sequence(ctx: LintContext, formula):
+    from ..ste.formula import defining_sequence
+    return defining_sequence(ctx.mgr, formula)
+
+
+def _formula_nodes(formula) -> Set[str]:
+    from ..ste.formula import formula_nodes
+    return set(formula_nodes(formula))
+
+
+def rule_inconsistent_antecedent(ctx: LintContext
+                                 ) -> Iterator[Diagnostic]:
+    """PROP201 — joining the antecedent's constraints per (time, node)
+    must stay below ⊤; an unconditionally inconsistent join means the
+    antecedent admits no trajectory and the check passes vacuously."""
+    for record in ctx.properties:
+        sequence = _defining_sequence(ctx, record.antecedent)
+        for t in sorted(sequence):
+            for node in sorted(sequence[t]):
+                value = sequence[t][node]
+                if value.is_consistent().is_false:
+                    yield Diagnostic(
+                        "PROP201", Severity.ERROR,
+                        f"property {record.name}: antecedent is "
+                        f"statically inconsistent at t={t} on {node} "
+                        f"(joins to ⊤) — the property passes "
+                        f"vacuously",
+                        subject=record.name,
+                        fix_hint=f"remove the contradictory "
+                                 f"constraints on {node} at t={t}")
+
+
+def rule_tautological_consequent(ctx: LintContext
+                                 ) -> Iterator[Diagnostic]:
+    """PROP202 — a consequent whose defining sequence is empty (or
+    constrains every node to X) is satisfied by every trajectory:
+    the check proves nothing."""
+    for record in ctx.properties:
+        sequence = _defining_sequence(ctx, record.consequent)
+        constrains = any(
+            value.const_scalar() != "X"
+            for at_time in sequence.values()
+            for value in at_time.values())
+        if not constrains:
+            yield Diagnostic(
+                "PROP202", Severity.WARNING,
+                f"property {record.name}: consequent asserts nothing "
+                f"(empty/all-X defining sequence) — trivially true",
+                subject=record.name,
+                fix_hint="state the expected node values in the "
+                         "consequent")
+
+
+def rule_unknown_nodes(ctx: LintContext) -> Iterator[Diagnostic]:
+    """PROP203 — every node a property mentions must exist in the
+    netlist; an absent node means the property was written for a
+    different design (or a renamed bus)."""
+    known = ctx.all_nodes()
+    for record in ctx.properties:
+        mentioned = (_formula_nodes(record.antecedent)
+                     | _formula_nodes(record.consequent))
+        missing = sorted(mentioned - known)
+        if missing:
+            sample = ", ".join(missing[:4])
+            more = f" (+{len(missing) - 4} more)" if len(missing) > 4 \
+                else ""
+            yield Diagnostic(
+                "PROP203", Severity.ERROR,
+                f"property {record.name} mentions nodes absent from "
+                f"the circuit: {sample}{more}",
+                subject=record.name,
+                fix_hint="rename the nodes or re-generate the "
+                         "property for this design")
+
+
+def rule_support_outside_cone(ctx: LintContext) -> Iterator[Diagnostic]:
+    """PROP204 — an antecedent whose support is *entirely* outside the
+    consequent's cone of influence sets up state the check can never
+    observe: the verdict is decided by the consequent alone, which
+    almost always means the property was aimed at the wrong node.
+
+    Partial overlap stays quiet — initialising full architectural
+    state (the whole instruction word, every register) and asserting a
+    narrow consequent is the standard STE idiom, and COI reduction
+    drops the unused constraints for free."""
+    from ..netlist.coi import cone_nodes
+    known = ctx.all_nodes()
+    for record in ctx.properties:
+        roots = _formula_nodes(record.consequent) & known
+        if not roots:
+            continue                      # PROP202/PROP203 territory
+        support = _formula_nodes(record.antecedent) & known
+        if not support:
+            continue                      # nothing to misdirect
+        cone = cone_nodes(ctx.circuit, sorted(roots))
+        outside = sorted(support - cone)
+        if len(outside) == len(support):
+            sample = ", ".join(outside[:4])
+            more = f" (+{len(outside) - 4} more)" if len(outside) > 4 \
+                else ""
+            yield Diagnostic(
+                "PROP204", Severity.WARNING,
+                f"property {record.name}: no antecedent constraint "
+                f"lies inside the consequent's cone of influence "
+                f"({sample}{more}) — the antecedent cannot affect "
+                f"the verdict",
+                subject=record.name,
+                fix_hint="point the consequent at a node the "
+                         "antecedent feeds, or fix the antecedent "
+                         "support")
+
+
+def rule_vacuous_retention_schedule(ctx: LintContext
+                                    ) -> Iterator[Diagnostic]:
+    """PROP205 — a property carrying a sleep schedule must actually
+    drive NRET low somewhere in its antecedent; otherwise its
+    retention consequents are proved of registers that never entered
+    hold mode."""
+    for record in ctx.properties:
+        schedule = record.schedule
+        if schedule is None or not getattr(schedule, "is_sleep", False):
+            continue
+        sequence = _defining_sequence(ctx, record.antecedent)
+        nret_low = [t for t in sorted(sequence)
+                    if _holds_low(sequence[t], "NRET")]
+        if not nret_low:
+            yield Diagnostic(
+                "PROP205", Severity.ERROR,
+                f"property {record.name}: sleep schedule "
+                f"{getattr(schedule, 'name', '?')} never asserts NRET "
+                f"low — retention consequents are vacuous",
+                subject=record.name,
+                fix_hint="use a sleep schedule that drops NRET "
+                         "(e.g. property2_schedule) or drop the "
+                         "retention consequents")
+
+
+def _holds_low(at_time, node: str) -> bool:
+    value = at_time.get(node)
+    return value is not None and value.const_scalar() == "0"
+
+
+def register_stock_rules() -> None:
+    register_rule(
+        "PROP201", rule_inconsistent_antecedent,
+        name="inconsistent-antecedent", category="property",
+        severity=Severity.ERROR, requires=("properties", "mgr"),
+        description="antecedents must admit at least one trajectory")
+    register_rule(
+        "PROP202", rule_tautological_consequent,
+        name="tautological-consequent", category="property",
+        severity=Severity.WARNING, requires=("properties", "mgr"),
+        description="consequents must assert something")
+    register_rule(
+        "PROP203", rule_unknown_nodes, name="unknown-nodes",
+        category="property", severity=Severity.ERROR,
+        requires=("properties",),
+        description="properties may only mention circuit nodes")
+    register_rule(
+        "PROP204", rule_support_outside_cone,
+        name="support-outside-cone", category="property",
+        severity=Severity.WARNING, requires=("properties",),
+        description="antecedent support should stay inside the "
+                    "consequent's cone of influence")
+    register_rule(
+        "PROP205", rule_vacuous_retention_schedule,
+        name="vacuous-retention-schedule", category="property",
+        severity=Severity.ERROR, requires=("properties", "mgr"),
+        description="sleep-schedule properties must drive NRET low")

@@ -6,7 +6,8 @@ from .balloon import build_balloon_bank, build_balloon_cell
 from .cells import dff_next, eval_gate, falling_edge, latch_next, rising_edge
 from .coi import cone_nodes, cone_of_influence
 from .schedule import EvalSchedule
-from .validate import (check_circuit, combinational_order, input_cone,
+from .validate import (check_circuit, combinational_order, fanout_index,
+                       input_cone,
                        require_valid)
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "check_circuit",
     "require_valid",
     "combinational_order",
+    "fanout_index",
     "input_cone",
 ]

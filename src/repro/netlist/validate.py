@@ -4,6 +4,7 @@
 means the netlist satisfies the assumptions the FSM compiler makes:
 
 * every referenced node has a driver (input, gate, or register);
+* no node carries two drivers;
 * the combinational logic is acyclic (latches count as combinational
   for cycle purposes, since they read their data in the same phase);
 * register clock/reset/retention controls are driven purely from the
@@ -11,6 +12,17 @@ means the netlist satisfies the assumptions the FSM compiler makes:
   need fixed-point evaluation within a step, which the methodology (and
   real retention methodologies: NRET/NRST come from a power-management
   controller, not from the gated domain itself) does not require.
+
+Since the :mod:`repro.lint` engine exists, these checks are *rules*
+(``NET001``–``NET004`` of the structural pack) and this module is the
+thin string-rendering shim over them: ``check_circuit`` runs exactly
+those rules and returns their messages, so every caller that predates
+the diagnostics engine keeps its list-of-strings contract while the
+lint CLI and sessions get codes, severities and fix hints.
+
+The traversal primitives live here (rules import them, not the other
+way around): :func:`combinational_order`, :func:`fanout_index`, and
+the worklist :func:`input_cone`.
 """
 
 from __future__ import annotations
@@ -19,8 +31,8 @@ from typing import Dict, List, Set
 
 from .circuit import Circuit, NetlistError
 
-__all__ = ["check_circuit", "combinational_order", "input_cone",
-           "require_valid"]
+__all__ = ["check_circuit", "combinational_order", "fanout_index",
+           "input_cone", "require_valid"]
 
 
 def require_valid(circuit: Circuit) -> None:
@@ -33,18 +45,49 @@ def require_valid(circuit: Circuit) -> None:
             "circuit failed validation:\n  " + "\n  ".join(issues))
 
 
+def fanout_index(circuit: Circuit) -> Dict[str, List[str]]:
+    """node -> gate outputs consuming it, one entry per occurrence
+    (a gate listing a node twice appears twice).  The index behind the
+    worklist :func:`input_cone` and the lint pack's dead-cone rule."""
+    index: Dict[str, List[str]] = {}
+    for gate in circuit.gates.values():
+        for src in gate.ins:
+            index.setdefault(src, []).append(gate.out)
+    return index
+
+
 def input_cone(circuit: Circuit) -> Set[str]:
     """Nodes computable from primary inputs through combinational gates
-    only (no register output anywhere in their fanin)."""
+    only (no register output anywhere in their fanin).
+
+    Fanout-indexed worklist pass: each gate keeps a count of input
+    occurrences not yet known combinational; resolving a node
+    decrements its consumers and a gate whose count reaches zero joins
+    the cone and the worklist.  O(nodes + edges), replacing the old
+    repeated-rescan fixed point that was quadratic on deep cores.
+    """
     cone: Set[str] = set(circuit.inputs)
-    changed = True
-    gates = list(circuit.gates.values())
-    while changed:
-        changed = False
-        for gate in gates:
-            if gate.out not in cone and all(i in cone for i in gate.ins):
-                cone.add(gate.out)
-                changed = True
+    index = fanout_index(circuit)
+    remaining: Dict[str, int] = {}
+    worklist: List[str] = list(circuit.inputs)
+    for out, gate in circuit.gates.items():
+        pending = len(gate.ins)
+        if pending == 0:                   # CONST0/CONST1: always in
+            cone.add(out)
+            worklist.append(out)
+        else:
+            remaining[out] = pending
+    while worklist:
+        node = worklist.pop()
+        for out in index.get(node, ()):
+            left = remaining.get(out)
+            if left is None:
+                continue
+            left -= 1
+            remaining[out] = left
+            if left == 0 and out not in cone:
+                cone.add(out)
+                worklist.append(out)
     return cone
 
 
@@ -94,25 +137,14 @@ def combinational_order(circuit: Circuit) -> List[str]:
 
 
 def check_circuit(circuit: Circuit) -> List[str]:
-    """Return a list of structural problems (empty = OK)."""
-    issues: List[str] = []
+    """Return a list of structural problems (empty = OK).
 
-    undriven = sorted(circuit.undriven_nodes())
-    for node in undriven:
-        issues.append(f"undriven node: {node}")
-
-    try:
-        combinational_order(circuit)
-    except ValueError as exc:
-        issues.append(str(exc))
-
-    cone = input_cone(circuit)
-    for q, reg in circuit.registers.items():
-        if reg.kind != "dff":
-            continue
-        for ctrl in reg.control_nodes():
-            if ctrl not in cone:
-                issues.append(
-                    f"register {q}: control node {ctrl} is not driven "
-                    f"purely from primary inputs")
-    return issues
+    Rendering shim over the lint engine: runs the structural rules
+    that define validity for the FSM compiler (``NET001``–``NET004``;
+    advisory rules like the dead-cone warning are not part of the
+    validity contract) and returns their messages.
+    """
+    from ..lint.engine import run_lint
+    report = run_lint(circuit,
+                      select=("NET001", "NET002", "NET003", "NET004"))
+    return [d.message for d in report.diagnostics]

@@ -19,8 +19,9 @@ CI runs).
 from .metrics import (MetricsRegistry, delta_metrics, merge_metrics,
                       stats_delta)
 from .observer import NULL_OBSERVER, Observer
-from .report import (render_cache_line, render_metrics, render_result,
-                     render_summary, report_metrics, timing_table)
+from .report import (render_cache_line, render_lint_line,
+                     render_metrics, render_result, render_summary,
+                     report_metrics, timing_table)
 from .trace import Span, Tracer, set_tracer, tracer, use_tracer
 
 __all__ = [
@@ -28,5 +29,6 @@ __all__ = [
     "MetricsRegistry", "merge_metrics", "delta_metrics", "stats_delta",
     "Observer", "NULL_OBSERVER",
     "render_result", "render_summary", "render_cache_line",
-    "timing_table", "report_metrics", "render_metrics",
+    "render_lint_line", "timing_table", "report_metrics",
+    "render_metrics",
 ]

@@ -34,7 +34,8 @@ from typing import Any, Dict, List
 from .metrics import merge_metrics
 
 __all__ = ["render_result", "render_summary", "render_cache_line",
-           "timing_table", "report_metrics", "render_metrics"]
+           "render_lint_line", "timing_table", "report_metrics",
+           "render_metrics"]
 
 
 def render_result(result: Any) -> str:
@@ -99,6 +100,20 @@ def render_cache_line(report: Any, cache_dir: str, rerun: str) -> str:
     return (f"cache[{rerun}] {cache_dir}: "
             f"{report.cache_hits}/{checked} checks skipped ({pct:.0f}%), "
             f"{report.cache_stored} stored")
+
+
+def render_lint_line(report: Any, level: str) -> str:
+    """The CLI's static-lint roll-up (``python -m repro
+    --lint-level``).  Duck-typed on the
+    :class:`repro.lint.LintReport` surface so this module stays
+    lint-agnostic."""
+    errors = len(report.errors)
+    warnings = len(report.warnings)
+    body = "clean" if not (errors or warnings) else \
+        f"{errors} error(s), {warnings} warning(s)"
+    return (f"lint[{level}] {report.subject}: {body} "
+            f"[{len(report.rules_run)} rules, "
+            f"{report.elapsed_seconds:.3f}s]")
 
 
 def timing_table(report: Any) -> str:

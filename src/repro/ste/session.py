@@ -11,8 +11,8 @@ suite, cone-keyed model sharing, verdicts bit-identical to one-shot
 :func:`repro.ste.check` calls) are unchanged.
 """
 
-from ..core.session import (RERUN_MODES, CheckSession, PropertyOutcome,
-                            SessionReport)
+from ..core.session import (LINT_MODES, RERUN_MODES, CheckSession,
+                            PropertyOutcome, SessionReport)
 
 __all__ = ["CheckSession", "SessionReport", "PropertyOutcome",
-           "RERUN_MODES"]
+           "RERUN_MODES", "LINT_MODES"]

@@ -1,0 +1,231 @@
+"""The lint surfaces: ``python -m repro.lint``, the ``CheckSession``
+gate, persistent-cache roundtrips, and ``python -m repro
+--lint-level``."""
+
+import json
+
+import pytest
+
+from repro.core import CheckSession, SCHEMA_VERSION, VerdictCache
+from repro.cpu import fixed_core
+from repro.lint import (LintError, LintReport, clear_lint_memo,
+                        lint_circuit_cached)
+from repro.lint.cli import main as lint_main
+from repro.lint.engine import CIRCUIT_RULE_IGNORE, _rules_key
+from repro.netlist import Circuit, NetlistError
+from repro.obs import render_lint_line
+
+SEEDED_BLIF = """\
+.model seeded
+.inputs a
+.outputs y
+.names a ghost y
+11 1
+.names p q
+1 1
+.names q p
+1 1
+.end
+"""
+
+
+def seeded_circuit():
+    """NRET driven from the gated domain + a sequential clock."""
+    c = Circuit("seeded")
+    c.add_input("clk")
+    c.add_input("d")
+    c.add_input("nrst")
+    c.add_dff("mode", "d", "clk")
+    c.add_dff("q", "d", "clk", nrst="nrst", nret="mode")
+    c.set_output("q")
+    return c
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    clear_lint_memo()
+    yield
+    clear_lint_memo()
+
+
+class TestLintCli:
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "NET001" in out
+        assert "PROP205" in out
+
+    def test_fixed_design_is_error_clean(self, capsys):
+        code = lint_main(["--design", "fixed", "--format", "json"])
+        assert code in (0, 1)             # warnings allowed, errors not
+        payload = json.loads(capsys.readouterr().out)
+        assert not [d for d in payload["diagnostics"]
+                    if d["severity"] == "error"]
+
+    def test_seeded_blif_fails_with_exact_codes(self, tmp_path,
+                                                capsys):
+        blif = tmp_path / "seeded.blif"
+        blif.write_text(SEEDED_BLIF)
+        code = lint_main([str(blif), "--format", "json"])
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        found = {d["code"] for d in payload["diagnostics"]}
+        assert "NET001" in found          # undriven "ghost"
+        assert "NET003" in found          # the p/q cycle
+
+    def test_select_and_ignore(self, tmp_path, capsys):
+        blif = tmp_path / "seeded.blif"
+        blif.write_text(SEEDED_BLIF)
+        code = lint_main([str(blif), "--select", "NET003",
+                          "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 2
+        assert {d["code"] for d in payload["diagnostics"]} == {"NET003"}
+        code = lint_main([str(blif), "--ignore", "NET,PWR",
+                          "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["diagnostics"] == []
+
+    def test_sarif_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "lint.sarif"
+        code = lint_main(["--design", "fixed", "--format", "sarif",
+                          "--output", str(out_file)])
+        assert code in (0, 1)
+        sarif = json.loads(out_file.read_text())
+        assert sarif["version"] == "2.1.0"
+        assert sarif["runs"][0]["tool"]["driver"]["name"] == "repro.lint"
+        assert str(out_file) in capsys.readouterr().out
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope.blif")]) == 2
+
+    def test_blif_with_properties_rejected(self, tmp_path, capsys):
+        blif = tmp_path / "seeded.blif"
+        blif.write_text(SEEDED_BLIF)
+        assert lint_main([str(blif), "--properties", "both"]) == 2
+
+
+class TestSessionGate:
+    def test_error_mode_fails_fast(self):
+        with pytest.raises(LintError) as excinfo:
+            CheckSession(seeded_circuit(), lint="error")
+        report = excinfo.value.report
+        codes = {d.code for d in report.errors}
+        assert "PWR103" in codes          # NRET from the gated domain
+        assert "NET004" in codes
+        assert "PWR103" in str(excinfo.value)
+
+    def test_warn_mode_keeps_report_and_compiles_nothing(self):
+        session = CheckSession(seeded_circuit(), lint="warn",
+                               validate=False)
+        assert session.models_compiled == 0
+        assert not session.lint_report.clean
+        metrics = session.metrics.as_dict()
+        assert metrics["lint.runs"] == 1
+        assert metrics["lint.errors"] >= 2
+
+    def test_warn_mode_honours_validate_contract(self):
+        with pytest.raises(NetlistError):
+            CheckSession(seeded_circuit(), lint="warn")
+
+    def test_clean_circuit_constructs_and_checks(self):
+        from repro.ste.formula import is0, is1
+        c = Circuit("tiny")
+        c.add_input("a")
+        c.add_gate("NOT", "na", ("a",))
+        c.set_output("na")
+        session = CheckSession(c, lint="error")
+        assert session.lint_report.errors == []
+        result = session.check(is1("a"), is0("na"))
+        assert result.passed
+
+    def test_off_mode_skips_lint(self):
+        core = fixed_core()
+        session = CheckSession(core.circuit, lint="off")
+        assert session.lint_report is None
+        assert "lint.runs" not in session.metrics.as_dict()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CheckSession(fixed_core().circuit, lint="loud")
+
+    def test_memo_serves_second_session(self):
+        core = fixed_core()
+        CheckSession(core.circuit, lint="error")
+        second = CheckSession(core.circuit, lint="error")
+        assert second.metrics.as_dict()["lint.memo_hits"] == 1
+
+
+class TestLintCacheRoundtrip:
+    def test_payload_roundtrip(self, tmp_path):
+        with VerdictCache(tmp_path / "cache") as cache:
+            assert cache.lookup_lint("fp", "rules") is None
+            cache.store_lint("fp", "rules", {"diagnostics": []})
+            assert cache.lookup_lint("fp", "rules") == \
+                {"diagnostics": []}
+            assert cache.lookup_lint("fp", "other-rules") is None
+
+    def test_schema_bump_drops_lint_reports(self, tmp_path):
+        path = tmp_path / "cache"
+        with VerdictCache(path) as cache:
+            cache.store_lint("fp", "rules", {"diagnostics": []})
+        with VerdictCache(path,
+                          schema_version=SCHEMA_VERSION + 1) as cache:
+            assert cache.lookup_lint("fp", "rules") is None
+
+    def test_lint_circuit_cached_persists(self, tmp_path):
+        circuit = seeded_circuit()
+        with VerdictCache(tmp_path / "cache") as cache:
+            first = lint_circuit_cached(circuit, cache=cache)
+            assert {d.code for d in first.errors} >= {"PWR103"}
+            key = _rules_key(CIRCUIT_RULE_IGNORE)
+            stored = cache.lookup_lint(circuit.fingerprint(), key)
+            assert stored is not None
+            clear_lint_memo()             # force the persistent path
+            from repro.obs import MetricsRegistry
+            metrics = MetricsRegistry()
+            second = lint_circuit_cached(circuit, cache=cache,
+                                         metrics=metrics)
+            assert metrics.as_dict()["lint.cache_hits"] == 1
+            assert [d.code for d in second.diagnostics] == \
+                [d.code for d in first.diagnostics]
+
+    def test_session_with_cache_dir_persists_report(self, tmp_path):
+        core = fixed_core()
+        cache_dir = str(tmp_path / "cache")
+        session = CheckSession(core.circuit, lint="warn",
+                               cache=cache_dir)
+        session.close()
+        clear_lint_memo()
+        second = CheckSession(core.circuit, lint="warn",
+                              cache=cache_dir)
+        assert second.metrics.as_dict()["lint.cache_hits"] == 1
+        second.close()
+
+
+class TestTopLevelCli:
+    def test_seeded_violation_exits_2_before_engines(self, monkeypatch,
+                                                     capsys):
+        import repro.__main__ as cli
+
+        class FakeCore:
+            circuit = seeded_circuit()
+
+        monkeypatch.setattr(cli, "fixed_core",
+                            lambda **kw: FakeCore())
+        code = cli.main(["--suite", "1"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "lint[error]" in captured.out
+        assert "PWR103" in captured.err
+        assert "Session[" not in captured.out   # no engine ever ran
+
+    def test_render_lint_line_is_shared_renderer(self):
+        report = LintReport(diagnostics=[], rules_run=("NET001",),
+                            rules_skipped=(), subject="core",
+                            elapsed_seconds=0.001)
+        line = render_lint_line(report, "warn")
+        assert line.startswith("lint[warn] core: clean")
+        assert "PASS" not in line
+        assert "cache[" not in line

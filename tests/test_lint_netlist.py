@@ -1,0 +1,242 @@
+"""Lint engine + netlist structural rule pack (NET0xx).
+
+Every stock rule gets a paired fixture: a netlist that violates it
+(asserting the exact code) and a clean one that does not.  Also pins
+the diagnostics surface (filtering, serialisation, SARIF, exit codes),
+the rule registry, and the ``check_circuit`` rendering shim the legacy
+callers keep using.
+"""
+
+import json
+
+import pytest
+
+from repro.lint import (Diagnostic, LintReport, Severity, register_rule,
+                        rule_codes, rule_spec, run_lint, unregister_rule)
+from repro.lint.engine import rule_index
+from repro.netlist import (Circuit, check_circuit, fanout_index,
+                           input_cone, require_valid, NetlistError)
+
+
+def codes_of(report):
+    return sorted(d.code for d in report.diagnostics)
+
+
+def clean_circuit():
+    """A tidy little design: no structural findings at all."""
+    c = Circuit("clean")
+    for node in ("clk", "nrst", "nret", "d"):
+        c.add_input(node)
+    c.add_gate("NOT", "nd", ("d",))
+    c.add_dff("q", "nd", "clk", nrst="nrst", nret="nret")
+    c.add_gate("AND", "out", ("q", "d"))
+    c.set_output("out")
+    return c
+
+
+class TestNetRules:
+    def test_clean_circuit_has_no_findings(self):
+        report = run_lint(clean_circuit(), select=("NET",))
+        assert report.clean
+        assert report.exit_code() == 0
+        assert "NET001" in report.rules_run
+
+    def test_net001_undriven(self):
+        c = clean_circuit()
+        c.add_gate("AND", "bad", ("q", "ghost"))
+        c.set_output("bad")
+        report = run_lint(c, select=("NET001",))
+        assert codes_of(report) == ["NET001"]
+        diag = report.diagnostics[0]
+        assert diag.subject == "ghost"
+        assert "gate bad" in diag.fix_hint
+
+    def test_net002_multi_driven(self):
+        c = clean_circuit()
+        # The builder forbids double drivers, so violate by direct
+        # table mutation — the scenario NET002 exists for.
+        from repro.netlist.circuit import Gate
+        c.gates["q"] = Gate("BUF", "q", ("d",))
+        report = run_lint(c, select=("NET002",))
+        assert codes_of(report) == ["NET002"]
+        assert report.diagnostics[0].subject == "q"
+
+    def test_net003_combinational_cycle(self):
+        c = Circuit("loopy")
+        c.add_input("a")
+        from repro.netlist.circuit import Gate
+        c.gates["x"] = Gate("AND", "x", ("a", "y"))
+        c.gates["y"] = Gate("NOT", "y", ("x",))
+        c.set_output("x")
+        report = run_lint(c, select=("NET003",))
+        assert codes_of(report) == ["NET003"]
+        assert "combinational cycle" in report.diagnostics[0].message
+
+    def test_net004_sequential_control(self):
+        c = clean_circuit()
+        c.add_dff("q2", "d", "q")      # clocked by a register output
+        report = run_lint(c, select=("NET004",))
+        assert codes_of(report) == ["NET004"]
+        assert report.diagnostics[0].subject == "q2"
+
+    def test_net005_dead_cone(self):
+        c = clean_circuit()
+        c.add_gate("OR", "_unused", ("q", "d"))
+        report = run_lint(c, select=("NET005",))
+        assert codes_of(report) == ["NET005"]
+        diag = report.diagnostics[0]
+        assert diag.severity == Severity.WARNING
+        assert diag.subject == "_unused"
+        assert report.exit_code() == 1
+
+    def test_net005_alias_taps_are_live(self):
+        # A named BUF is the builder's observation-tap idiom: it and
+        # its fanin count as live.
+        c = clean_circuit()
+        c.add_gate("XOR", "_mix", ("q", "d"))
+        c.add_gate("BUF", "Tap", ("_mix",))
+        report = run_lint(c, select=("NET005",))
+        assert report.clean
+
+    def test_net005_skipped_without_outputs(self):
+        c = Circuit("no_outputs")
+        c.add_input("a")
+        c.add_gate("NOT", "_n", ("a",))
+        report = run_lint(c, select=("NET005",))
+        assert report.clean
+
+
+class TestCheckCircuitShim:
+    def test_check_circuit_renders_net_messages(self):
+        c = clean_circuit()
+        c.add_gate("AND", "bad", ("q", "ghost"))
+        c.set_output("bad")
+        c.add_dff("q3", "d", "clk", nret="q")
+        problems = check_circuit(c)
+        assert any("undriven node: ghost" in p for p in problems)
+        assert any("register q3: control node q" in p for p in problems)
+
+    def test_require_valid_still_raises(self):
+        c = clean_circuit()
+        c.add_gate("AND", "bad", ("q", "ghost"))
+        c.set_output("bad")
+        with pytest.raises(NetlistError):
+            require_valid(c)
+
+    def test_clean_circuit_passes_shim(self):
+        assert check_circuit(clean_circuit()) == []
+
+
+class TestWorklistInputCone:
+    def test_matches_reference_fixed_point(self):
+        c = clean_circuit()
+        c.add_gate("MUX", "m", ("d", "q", "nd"))
+        c.set_output("m")
+        cone = input_cone(c)
+        # Reference semantics: inputs plus gates computable from them.
+        assert {"clk", "nrst", "nret", "d", "nd"} <= cone
+        assert "q" not in cone          # register output
+        assert "m" not in cone          # depends on q
+
+    def test_fanout_index_counts_occurrences(self):
+        c = Circuit()
+        c.add_input("a")
+        c.add_gate("AND", "x", ("a", "a"))
+        fanout = fanout_index(c)
+        assert fanout["a"] == ["x", "x"]
+
+    def test_zero_arity_gates_in_cone(self):
+        c = Circuit()
+        c.add_gate("CONST1", "one", ())
+        c.add_gate("NOT", "z", ("one",))
+        c.set_output("z")
+        assert {"one", "z"} <= input_cone(c)
+
+
+class TestRegistry:
+    def test_stock_rules_registered(self):
+        codes = rule_codes()
+        for code in ("NET001", "NET002", "NET003", "NET004", "NET005",
+                     "PWR101", "PWR102", "PWR103", "PWR104", "PWR105",
+                     "PWR106", "PWR107",
+                     "PROP201", "PROP202", "PROP203", "PROP204",
+                     "PROP205"):
+            assert code in codes
+
+    def test_duplicate_code_rejected(self):
+        spec = rule_spec("NET001")
+        with pytest.raises(ValueError):
+            register_rule("NET001", spec.check, name="dup",
+                          category="netlist")
+
+    def test_plugin_rule_runs_and_unregisters(self):
+        def no_latches(ctx):
+            for q, reg in ctx.circuit.registers.items():
+                if reg.kind == "latch":
+                    yield Diagnostic("ORG901", Severity.WARNING,
+                                     f"latch {q}", subject=q)
+        register_rule("ORG901", no_latches, name="org-no-latches",
+                      category="house-style", severity="warning")
+        try:
+            c = clean_circuit()
+            c.add_latch("l", "d", "clk")
+            report = run_lint(c, select=("ORG901",))
+            assert codes_of(report) == ["ORG901"]
+        finally:
+            unregister_rule("ORG901")
+        assert "ORG901" not in rule_codes()
+
+    def test_unknown_requires_rejected(self):
+        with pytest.raises(ValueError):
+            register_rule("ZZZ999", lambda ctx: (), name="z",
+                          category="z", requires=("coffee",))
+
+
+class TestReportSurface:
+    def report(self):
+        c = clean_circuit()
+        c.add_gate("AND", "bad", ("q", "ghost"))
+        c.set_output("bad")
+        c.add_gate("OR", "_unused", ("q", "d"))
+        return run_lint(c, select=("NET001", "NET005"))
+
+    def test_filter_and_exit_codes(self):
+        report = self.report()
+        assert report.exit_code() == 2
+        only_warn = report.filter(ignore=("NET001",))
+        assert only_warn.exit_code() == 1
+        assert codes_of(only_warn) == ["NET005"]
+        nothing = report.filter(select=("PWR",))
+        assert nothing.exit_code() == 0
+
+    def test_json_roundtrip(self):
+        report = self.report()
+        payload = json.loads(report.to_json())
+        back = LintReport.from_dict(payload)
+        assert codes_of(back) == codes_of(report)
+        assert back.rules_run == report.rules_run
+        assert back.diagnostics[0].fix_hint == \
+            report.diagnostics[0].fix_hint
+
+    def test_sarif_shape(self):
+        report = self.report()
+        sarif = report.to_sarif(rule_index())
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro.lint"
+        results = run["results"]
+        assert {r["ruleId"] for r in results} == {"NET001", "NET005"}
+        levels = {r["ruleId"]: r["level"] for r in results}
+        assert levels["NET001"] == "error"
+        assert levels["NET005"] == "warning"
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"NET001", "NET005"} <= declared
+
+    def test_render_and_summary(self):
+        report = self.report()
+        text = report.render()
+        assert "NET001 error" in text
+        assert "undriven node: ghost" in text
+        assert "1 error(s), 1 warning(s)" in report.summary_line()
+        clean = run_lint(clean_circuit(), select=("NET",))
+        assert "clean" in clean.summary_line()

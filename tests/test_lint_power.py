@@ -1,0 +1,228 @@
+"""Power-intent rule pack (PWR1xx): paired violating/clean fixtures
+per rule, plus the intent-derived pass over the in-repo cores."""
+
+from repro.cpu import (buggy_core, fixed_core, full_retention_core,
+                       no_retention_core)
+from repro.lint import Severity, run_lint
+from repro.netlist import Circuit
+from repro.upf import (IsolationStrategy, PowerDomain, PowerIntent,
+                       RetentionStrategy, intent_for_core)
+
+
+def codes_of(report):
+    return sorted(d.code for d in report.diagnostics)
+
+
+def power_inputs(c):
+    for node in ("clk", "nrst", "nret", "d"):
+        c.add_input(node)
+
+
+def intent_claiming(*groups, with_isolation=True):
+    intent = PowerIntent()
+    intent.domains["PD_core"] = PowerDomain("PD_core", list(groups))
+    intent.retentions["ret"] = RetentionStrategy(
+        name="ret", domain="PD_core", elements=list(groups),
+        save_signal=("nret", "negedge"))
+    if with_isolation:
+        intent.isolations["iso"] = IsolationStrategy(
+            name="iso", domain="PD_core", clamp_value=0)
+    return intent
+
+
+class TestPWR101RetentionUnimplemented:
+    def test_claimed_but_plain_flop(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst")
+        c.set_output("PC[0]")
+        report = run_lint(c, intent=intent_claiming("PC"),
+                          select=("PWR101",))
+        assert codes_of(report) == ["PWR101"]
+        assert report.diagnostics[0].subject == "PC[0]"
+
+    def test_nret_control_is_an_implementation(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst", nret="nret")
+        c.set_output("PC[0]")
+        report = run_lint(c, intent=intent_claiming("PC"),
+                          select=("PWR101",))
+        assert report.clean
+
+    def test_balloon_latch_is_an_implementation(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_input("save")
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst")
+        c.add_latch("PC[0]_balloon", "PC[0]", "save")
+        c.set_output("PC[0]")
+        report = run_lint(c, intent=intent_claiming("PC"),
+                          select=("PWR101",))
+        assert report.clean
+
+
+class TestPWR102RetentionUnreachable:
+    def test_tied_off_nret(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_gate("CONST1", "vdd", ())
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst", nret="vdd")
+        c.set_output("PC[0]")
+        report = run_lint(c, select=("PWR102",))
+        assert codes_of(report) == ["PWR102"]
+        assert "vdd" in report.diagnostics[0].message
+
+    def test_input_driven_nret_is_fine(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_gate("BUF", "nret_buf", ("nret",))
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst", nret="nret_buf")
+        c.set_output("PC[0]")
+        assert run_lint(c, select=("PWR102",)).clean
+
+
+class TestPWR103ControlFromGatedDomain:
+    def test_nret_from_register_output(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("mode", "d", "clk")
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst", nret="mode")
+        c.set_output("PC[0]")
+        report = run_lint(c, select=("PWR103",))
+        assert codes_of(report) == ["PWR103"]
+        assert "mode" in report.diagnostics[0].message
+
+    def test_nrst_through_gate_from_register(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("mode", "d", "clk")
+        c.add_gate("AND", "rst_mix", ("nrst", "mode"))
+        c.add_dff("PC[0]", "d", "clk", nrst="rst_mix", nret="nret")
+        c.set_output("PC[0]")
+        report = run_lint(c, select=("PWR103",))
+        assert codes_of(report) == ["PWR103"]
+        assert "reset control" in report.diagnostics[0].message
+
+    def test_input_controls_are_fine(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst", nret="nret")
+        c.set_output("PC[0]")
+        assert run_lint(c, select=("PWR103",)).clean
+
+
+class TestPWR104ResetRetentionPriority:
+    def test_shared_net_is_an_error(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("PC[0]", "d", "clk", nrst="nret", nret="nret")
+        c.set_output("PC[0]")
+        report = run_lint(c, select=("PWR104",))
+        assert codes_of(report) == ["PWR104"]
+        assert report.diagnostics[0].severity == Severity.ERROR
+
+    def test_missing_reset_is_a_warning(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("PC[0]", "d", "clk", nret="nret")
+        c.set_output("PC[0]")
+        report = run_lint(c, select=("PWR104",))
+        assert codes_of(report) == ["PWR104"]
+        assert report.diagnostics[0].severity == Severity.WARNING
+        assert report.exit_code() == 1
+
+    def test_separate_nets_are_fine(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst", nret="nret")
+        c.set_output("PC[0]")
+        assert run_lint(c, select=("PWR104",)).clean
+
+
+class TestPWR105Classification:
+    def test_fixed_core_matches_classification(self):
+        core = fixed_core()
+        assert run_lint(core.circuit, select=("PWR105",)).clean
+
+    def test_no_retention_core_reports_missing(self):
+        core = no_retention_core()
+        report = run_lint(core.circuit, select=("PWR105",))
+        assert set(codes_of(report)) == {"PWR105"}
+        subjects = {d.subject for d in report.diagnostics}
+        assert "PC" in subjects
+        assert all("not fully retained" in d.message
+                   for d in report.diagnostics)
+
+    def test_full_retention_core_reports_excess(self):
+        core = full_retention_core()
+        report = run_lint(core.circuit, select=("PWR105",))
+        assert set(codes_of(report)) == {"PWR105"}
+        assert any("IFR" == d.subject for d in report.diagnostics)
+
+
+class TestPWR106MissingIsolation:
+    def test_unisolated_domain_crossing_output(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst", nret="nret")
+        c.add_gate("NOT", "crossing", ("PC[0]",))
+        c.set_output("crossing")
+        intent = intent_claiming("PC", with_isolation=False)
+        report = run_lint(c, intent=intent, select=("PWR106",))
+        assert codes_of(report) == ["PWR106"]
+        assert report.diagnostics[0].subject == "crossing"
+
+    def test_blanket_isolation_covers_all_outputs(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst", nret="nret")
+        c.add_gate("NOT", "crossing", ("PC[0]",))
+        c.set_output("crossing")
+        report = run_lint(c, intent=intent_claiming("PC"),
+                          select=("PWR106",))
+        assert report.clean
+
+    def test_output_outside_domain_needs_no_isolation(self):
+        c = Circuit()
+        power_inputs(c)
+        c.add_gate("NOT", "comb_only", ("d",))
+        c.set_output("comb_only")
+        intent = intent_claiming("PC", with_isolation=False)
+        assert run_lint(c, intent=intent, select=("PWR106",)).clean
+
+
+class TestPWR107OverlappingDomains:
+    def test_element_in_two_domains(self):
+        intent = intent_claiming("PC")
+        intent.domains["PD_other"] = PowerDomain("PD_other", ["PC"])
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst", nret="nret")
+        c.set_output("PC[0]")
+        report = run_lint(c, intent=intent, select=("PWR107",))
+        assert codes_of(report) == ["PWR107"]
+        assert report.diagnostics[0].subject == "PC"
+
+    def test_disjoint_domains_are_fine(self):
+        intent = intent_claiming("PC")
+        intent.domains["PD_other"] = PowerDomain("PD_other", ["Reg"])
+        c = Circuit()
+        power_inputs(c)
+        c.add_dff("PC[0]", "d", "clk", nrst="nrst", nret="nret")
+        c.set_output("PC[0]")
+        assert run_lint(c, intent=intent, select=("PWR107",)).clean
+
+
+class TestCoresErrorClean:
+    """Acceptance: every in-repo CPU variant lints clean at error
+    level, canonical intent included."""
+
+    def test_all_variants_error_clean(self):
+        for make in (fixed_core, buggy_core, full_retention_core,
+                     no_retention_core):
+            core = make()
+            intent = intent_for_core(core.circuit)
+            report = run_lint(core.circuit, intent=intent)
+            assert report.errors == [], (make.__name__,
+                                         codes_of(report))

@@ -1,0 +1,183 @@
+"""Property static-analysis rule pack (PROP2xx): paired
+violating/clean fixtures per rule, plus the acceptance pass — the full
+paper suites lint clean against the fixed core."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.lint import PropertyRecord, run_lint
+from repro.netlist import Circuit
+from repro.retention import build_suite
+from repro.ste.formula import TRUE_FORMULA, conj, is0, is1, next_
+
+
+@pytest.fixture
+def mgr():
+    return BDDManager()
+
+
+def codes_of(report):
+    return sorted(d.code for d in report.diagnostics)
+
+
+def two_cone_circuit():
+    """Two independent cones: NOT(a) -> fa, NOT(b) -> fb."""
+    c = Circuit()
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("NOT", "fa", ("a",))
+    c.add_gate("NOT", "fb", ("b",))
+    c.set_output("fa")
+    c.set_output("fb")
+    return c
+
+
+def lint_props(circuit, mgr, *records, select):
+    return run_lint(circuit, properties=records, mgr=mgr,
+                    select=select)
+
+
+class TestPROP201InconsistentAntecedent:
+    def test_contradictory_constraint(self, mgr):
+        record = PropertyRecord("contra", conj([is0("a"), is1("a")]),
+                                is1("fa"))
+        report = lint_props(two_cone_circuit(), mgr, record,
+                            select=("PROP201",))
+        assert codes_of(report) == ["PROP201"]
+        assert "t=0" in report.diagnostics[0].message
+
+    def test_consistent_antecedent(self, mgr):
+        record = PropertyRecord("fine", is1("a"), is0("fa"))
+        report = lint_props(two_cone_circuit(), mgr, record,
+                            select=("PROP201",))
+        assert report.clean
+
+    def test_contradiction_across_times_is_fine(self, mgr):
+        record = PropertyRecord("timed",
+                                conj([is0("a"), next_(is1("a"))]),
+                                is1("fa"))
+        report = lint_props(two_cone_circuit(), mgr, record,
+                            select=("PROP201",))
+        assert report.clean
+
+
+class TestPROP202TautologicalConsequent:
+    def test_empty_consequent(self, mgr):
+        record = PropertyRecord("empty", is1("a"), TRUE_FORMULA)
+        report = lint_props(two_cone_circuit(), mgr, record,
+                            select=("PROP202",))
+        assert codes_of(report) == ["PROP202"]
+        assert report.exit_code() == 1
+
+    def test_real_consequent(self, mgr):
+        record = PropertyRecord("real", is1("a"), is0("fa"))
+        report = lint_props(two_cone_circuit(), mgr, record,
+                            select=("PROP202",))
+        assert report.clean
+
+
+class TestPROP203UnknownNodes:
+    def test_absent_node(self, mgr):
+        record = PropertyRecord("ghostly", is1("nope"), is0("fa"))
+        report = lint_props(two_cone_circuit(), mgr, record,
+                            select=("PROP203",))
+        assert codes_of(report) == ["PROP203"]
+        assert "nope" in report.diagnostics[0].message
+
+    def test_known_nodes(self, mgr):
+        record = PropertyRecord("known", is1("a"), is0("fa"))
+        report = lint_props(two_cone_circuit(), mgr, record,
+                            select=("PROP203",))
+        assert report.clean
+
+
+class TestPROP204SupportOutsideCone:
+    def test_fully_disjoint_support(self, mgr):
+        record = PropertyRecord("misaimed", is1("b"), is0("fa"))
+        report = lint_props(two_cone_circuit(), mgr, record,
+                            select=("PROP204",))
+        assert codes_of(report) == ["PROP204"]
+        assert "b" in report.diagnostics[0].message
+
+    def test_partial_overlap_is_the_ste_idiom(self, mgr):
+        # Over-wide antecedents are normal: COI reduction drops the
+        # extra constraints.  Only fully disjoint support warns.
+        record = PropertyRecord("wide", conj([is1("a"), is1("b")]),
+                                is0("fa"))
+        report = lint_props(two_cone_circuit(), mgr, record,
+                            select=("PROP204",))
+        assert report.clean
+
+
+class TestPROP205VacuousRetentionSchedule:
+    def sleep_schedule(self):
+        return SimpleNamespace(is_sleep=True, name="sleepy")
+
+    def test_sleep_schedule_never_drops_nret(self, mgr):
+        c = two_cone_circuit()
+        c.add_input("clk")
+        c.add_input("NRET")
+        c.add_dff("q", "a", "clk", nret="NRET")
+        c.set_output("q")
+        record = PropertyRecord("held", is1("NRET"), is1("q"),
+                                schedule=self.sleep_schedule())
+        report = lint_props(c, mgr, record, select=("PROP205",))
+        assert codes_of(report) == ["PROP205"]
+        assert "never asserts NRET" in report.diagnostics[0].message
+
+    def test_sleep_schedule_with_nret_low(self, mgr):
+        c = two_cone_circuit()
+        c.add_input("clk")
+        c.add_input("NRET")
+        c.add_dff("q", "a", "clk", nret="NRET")
+        c.set_output("q")
+        antecedent = conj([is0("NRET"), next_(is1("NRET"))])
+        record = PropertyRecord("held", antecedent, is1("q"),
+                                schedule=self.sleep_schedule())
+        report = lint_props(c, mgr, record, select=("PROP205",))
+        assert report.clean
+
+    def test_normal_schedule_is_exempt(self, mgr):
+        record = PropertyRecord(
+            "normal", is1("a"), is0("fa"),
+            schedule=SimpleNamespace(is_sleep=False, name="awake"))
+        report = lint_props(two_cone_circuit(), mgr, record,
+                            select=("PROP205",))
+        assert report.clean
+
+
+class TestRulesSkippedWithoutInputs:
+    def test_property_rules_skipped_without_suite(self):
+        report = run_lint(two_cone_circuit())
+        for code in ("PROP201", "PROP202", "PROP203", "PROP204",
+                     "PROP205"):
+            assert code in report.rules_skipped
+            assert code not in report.rules_run
+
+    def test_mgr_rules_skipped_without_mgr(self):
+        record = PropertyRecord("p", is1("a"), is0("fa"))
+        report = run_lint(two_cone_circuit(), properties=[record])
+        assert "PROP203" in report.rules_run
+        assert "PROP201" in report.rules_skipped
+
+
+class TestPaperSuitesLintClean:
+    """Acceptance: all paper properties (both schedules, extras
+    included) lint clean at error level against the fixed core."""
+
+    def test_both_suites_error_clean(self, mgr):
+        core = fixed_core()
+        properties = []
+        for sleep in (False, True):
+            properties.extend(build_suite(core, mgr, sleep=sleep,
+                                          include_extras=True))
+        from repro.upf import intent_for_core
+        report = run_lint(core.circuit, properties=properties, mgr=mgr,
+                          intent=intent_for_core(core.circuit))
+        assert report.rules_skipped == ()
+        assert report.errors == []
+        assert not [d for d in report.diagnostics
+                    if d.code.startswith("PROP")]

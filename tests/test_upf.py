@@ -147,3 +147,62 @@ class TestAudit:
         core = build_core(RiscConfig(**GEOMETRY))
         intent = intent_for_core(core.circuit)
         assert "CLEAN" in audit(core.circuit, intent).summary()
+
+
+class TestAuditEdgeCases:
+    """Edge cases of the intent/netlist correspondence: double-claimed
+    elements, missing retention mappings, isolation on domain-crossing
+    nets, overlapping domains (the last two via the lint rule pack,
+    which extends the audit's reach)."""
+
+    def test_element_claimed_by_two_strategies(self):
+        from repro.upf import RetentionStrategy
+        core = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(core.circuit)
+        intent.retentions["ret_twice"] = RetentionStrategy(
+            name="ret_twice", domain="PD_core", elements=["PC"],
+            save_signal=("NRET", "negedge"))
+        result = audit(core.circuit, intent)
+        assert any("retained by both" in v for v in result.violations)
+
+    def test_strategy_without_save_signal_skips_wiring_check(self):
+        core = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(core.circuit)
+        intent.retentions["ret_architectural"].save_signal = None
+        assert audit(core.circuit, intent).ok
+
+    def test_missing_retention_mapping_found_by_lint(self):
+        """A retained group whose flops lack any implementation: the
+        audit flags 'plain register', lint flags PWR101 per flop."""
+        from repro.lint import run_lint
+        core = build_core(RiscConfig(variant="no-retention", **GEOMETRY))
+        good = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(good.circuit)
+        report = run_lint(core.circuit, intent=intent,
+                          select=("PWR101",))
+        subjects = {d.subject for d in report.diagnostics}
+        assert any(s.startswith("PC") for s in subjects)
+
+    def test_isolation_on_domain_crossing_nets(self):
+        """Dropping the blanket isolation strategy exposes every
+        domain-crossing output via PWR106."""
+        from repro.lint import run_lint
+        core = build_core(RiscConfig(**GEOMETRY))
+        intent = intent_for_core(core.circuit)
+        assert run_lint(core.circuit, intent=intent,
+                        select=("PWR106",)).clean
+        intent.isolations.clear()
+        report = run_lint(core.circuit, intent=intent,
+                          select=("PWR106",))
+        assert not report.clean
+        assert all(d.code == "PWR106" for d in report.diagnostics)
+
+    def test_overlapping_domains_parse_and_lint(self):
+        from repro.lint import run_lint
+        core = build_core(RiscConfig(**GEOMETRY))
+        intent = parse_upf_text(
+            SAMPLE + "create_power_domain PD_dup -elements {PC}\n")
+        report = run_lint(core.circuit, intent=intent,
+                          select=("PWR107",))
+        assert [d.code for d in report.diagnostics] == ["PWR107"]
+        assert report.diagnostics[0].subject == "PC"
