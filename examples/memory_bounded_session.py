@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Memory-bounded verification: the BDD kernel's GC at work.
+
+The packed-array manager stores each node as slots in parallel arrays
+and tags negation on the edge (a complement bit), so ``~f`` is O(1)
+and a function shares every node with its complement.  Dead nodes —
+trajectory states the session has moved past, temporaries of wide
+steps — are reclaimed by a mark-and-sweep over the unique table at
+safe points between trajectory steps and between properties.
+
+This script runs a small Property II (sleep/resume) suite twice:
+
+* with the default profile (``gc_threshold`` is a high backstop, so
+  the session never collects — fastest on reuse-heavy suites, since
+  computed-table entries carry cross-property sharing), and
+* with a memory-bounded profile (low ``gc_threshold``), where the node
+  count is visibly *non-monotone*: collections actually reclaim, and
+  peak memory is bounded by the live frontier instead of the history.
+
+Run:  python examples/memory_bounded_session.py
+"""
+
+import time
+
+from repro.bdd import BDDManager
+from repro.cpu import fixed_core
+from repro.harness import Table
+from repro.retention import build_suite
+from repro.ste import CheckSession
+
+PROPS = ("fetch_pc_plus4", "control_PCWrite", "control_RegWrite",
+         "execute_zero_flag", "decode_equal", "writeback_load")
+
+
+def run_profile(label, gc_threshold=None):
+    core = fixed_core(nregs=2, imem_depth=2, dmem_depth=2)
+    mgr = BDDManager()
+    if gc_threshold is not None:
+        mgr.gc_threshold = gc_threshold
+    suite = [p for p in build_suite(core, mgr, sleep=True)
+             if p.name in PROPS]
+    session = CheckSession(core.circuit, mgr, engine="ste")
+    counts = []
+    started = time.perf_counter()
+    for prop in suite:
+        result = session.check(prop.antecedent, prop.consequent,
+                               name=prop.name)
+        assert result.passed, prop.name
+        counts.append((prop.name, mgr.num_nodes()))
+    elapsed = time.perf_counter() - started
+    return mgr.stats(), counts, elapsed
+
+
+def main():
+    # Complement edges first, in miniature: negation is a tag flip.
+    mgr = BDDManager()
+    mgr.declare_all(["a", "b", "c"])
+    f = (mgr.var("a") & mgr.var("b")) | mgr.var("c")
+    before = mgr.num_nodes()
+    g = ~f
+    print("complement edges: ~f allocated "
+          f"{mgr.num_nodes() - before} new nodes; "
+          f"ids differ only in the tag bit: {g.node == (f.node ^ 1)}")
+
+    profiles = [("default (GC as backstop)", None),
+                ("memory-bounded (gc_threshold=30k)", 30_000)]
+    runs = {label: run_profile(label, thr) for label, thr in profiles}
+
+    print("\nnode count after each property (Property II suite, tiny "
+          "geometry):")
+    table = Table(["property"] + [label for label, _ in profiles])
+    names = [name for name, _ in runs[profiles[0][0]][1]]
+    for i, name in enumerate(names):
+        table.add(name, *(f"{runs[label][1][i][1]:,}"
+                          for label, _ in profiles))
+    print(table)
+
+    print("\nmanager statistics:")
+    table = Table(["profile", "peak nodes", "final nodes", "gc runs",
+                   "nodes reclaimed", "wall"])
+    for label, _ in profiles:
+        stats, _counts, elapsed = runs[label]
+        table.add(label, f"{stats['peak_nodes']:,}",
+                  f"{stats['nodes']:,}", stats["gc_runs"],
+                  f"{stats['gc_reclaimed']:,}", f"{elapsed:.2f}s")
+    print(table)
+
+    bounded = runs[profiles[1][0]][0]
+    assert bounded["gc_runs"] > 0 and bounded["gc_reclaimed"] > 0
+    counts = [n for _, n in runs[profiles[1][0]][1]]
+    dropped = any(b < a for a, b in zip(counts, counts[1:]))
+    print("\nmemory-bounded profile: node count non-monotone across the "
+          f"session = {dropped}; "
+          f"{bounded['gc_reclaimed']:,} nodes reclaimed over "
+          f"{bounded['gc_runs']} collection(s).")
+    print("The default keeps gc_threshold high on purpose: computed-table "
+          "entries carry cross-property sharing, so on reuse-heavy "
+          "suites collecting costs more in recompute than it saves in "
+          "memory.  Lower it (as above) when peak memory matters.")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,7 +16,7 @@ separate mirrors the spec/implementation split of the methodology).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Mapping, Optional, Sequence, Union
+from typing import List, Mapping, Optional, Sequence, Union
 
 from .manager import BDDError, BDDManager, Ref
 

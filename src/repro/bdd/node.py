@@ -9,27 +9,35 @@ heuristics optimise).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, Tuple
 
-from .manager import BDDManager, Ref
+from .manager import Ref
 
 __all__ = ["iter_nodes", "level_profile", "to_dot"]
 
 
 def iter_nodes(ref: Ref) -> Iterator[Tuple[int, str, int, int]]:
     """Yield ``(node_id, var_name, low_id, high_id)`` for every internal
-    node reachable from *ref*, in a deterministic DFS order."""
+    node reachable from *ref*, in a deterministic DFS order.
+
+    Ids are full complement-edged ids; the children carry the node's
+    complement bit pushed through, so each yielded quadruple is the
+    Shannon expansion of the id's *function* — a node and its
+    complement appear as two distinct entries, exactly as a plain
+    (complement-free) ROBDD would store them."""
     mgr = ref.mgr
     seen = set()
     stack = [ref.node]
     while stack:
         node = stack.pop()
-        if node in (0, 1) or node in seen:
+        if node < 2 or node in seen:
             continue
         seen.add(node)
-        low = mgr._low[node]
-        high = mgr._high[node]
-        yield (node, mgr._var_names[mgr._level[node]], low, high)
+        idx = node >> 1
+        c = node & 1
+        low = mgr._low[idx] ^ c
+        high = mgr._high[idx] ^ c
+        yield (node, mgr._var_names[mgr._level[idx]], low, high)
         stack.append(low)
         stack.append(high)
 

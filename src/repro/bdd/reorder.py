@@ -1,4 +1,4 @@
-"""Static variable-ordering heuristics.
+"""Variable ordering: static heuristics plus dynamic sifting.
 
 Variable order is the dominant factor in BDD size.  The STE literature the
 paper builds on (Seger & Bryant; Pandey et al.'s symbolic indexing work)
@@ -11,21 +11,30 @@ relies on two ordering disciplines that we provide here:
 * **index-above-data** — address/index variables must sit above the data
   variables they select between, otherwise the select tree multiplies out.
 
-A full dynamic-sifting implementation is intentionally out of scope: the
-manager's unique table is keyed by level, and rebuilding it on the fly
-buys nothing for this workload, where good static orders are derivable
-from the netlist structure (`order_for_memory`, `interleave`).  Instead
-`recommend_order` computes an order *before* any node is built, which is
-how the benchmark harness drives large-memory runs.
+The entry points:
+
+* :func:`recommend_order` — compute a full static order *before* any
+  node is built (interleaved vector groups on top of the
+  :func:`order_for_memory` layout), which is how the benchmark harness
+  drives large-memory runs;
+* :func:`apply_order` — install an order on a fresh manager;
+* :func:`interleave` / :func:`order_for_memory` — the building blocks;
+* :func:`sift` — **dynamic sifting** (Rudell): move the widest
+  variables through a window of adjacent-level swaps
+  (:meth:`BDDManager._swap_adjacent`) and pin each at its best
+  position.  The static order is the starting point; sifting is the
+  escape hatch the manager's growth trigger
+  (:meth:`BDDManager.maybe_collect`) pulls when a session outgrows it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from .manager import BDDManager
 
-__all__ = ["interleave", "order_for_memory", "apply_order"]
+__all__ = ["interleave", "order_for_memory", "recommend_order",
+           "apply_order", "sift"]
 
 
 def interleave(*groups: Sequence[str]) -> List[str]:
@@ -69,6 +78,27 @@ def order_for_memory(address_prefixes: Sequence[str], address_width: int,
     return order
 
 
+def recommend_order(groups: Sequence[Sequence[str]] = (), *,
+                    address_prefixes: Sequence[str] = (),
+                    address_width: int = 0,
+                    data_prefixes: Sequence[str] = (),
+                    data_width: int = 0,
+                    cell_prefix: str = "", depth: int = 0) -> List[str]:
+    """Compose a full static order: interleaved *groups* first, then the
+    :func:`order_for_memory` layout for the named memory, duplicates
+    dropped.  The result feeds :func:`apply_order` on a fresh manager
+    and doubles as the starting order dynamic sifting refines."""
+    order: List[str] = []
+    seen = set()
+    for name in interleave(*groups) + order_for_memory(
+            address_prefixes, address_width, data_prefixes, data_width,
+            cell_prefix=cell_prefix, depth=depth):
+        if name not in seen:
+            seen.add(name)
+            order.append(name)
+    return order
+
+
 def apply_order(mgr: BDDManager, names: Iterable[str]) -> None:
     """Declare *names* in the given order on a fresh manager.
 
@@ -76,3 +106,87 @@ def apply_order(mgr: BDDManager, names: Iterable[str]) -> None:
     name raises, which catches accidental post-hoc reordering attempts.
     """
     mgr.declare_all(names)
+
+
+def _live_size(mgr: BDDManager, root_ids: Sequence[int],
+               per_level: Optional[List[int]] = None) -> int:
+    """Live internal nodes reachable from *root_ids* (the sifting
+    objective — subtable sizes would count the garbage swaps strand)."""
+    marked = bytearray(len(mgr._level))
+    marked[0] = 1
+    low_ = mgr._low
+    high_ = mgr._high
+    stack = [n >> 1 for n in root_ids]
+    count = 0
+    while stack:
+        idx = stack.pop()
+        if marked[idx]:
+            continue
+        marked[idx] = 1
+        count += 1
+        if per_level is not None:
+            per_level[mgr._level[idx]] += 1
+        stack.append(low_[idx] >> 1)
+        stack.append(high_[idx] >> 1)
+    return count
+
+
+def sift(mgr: BDDManager, *, max_vars: int = 4, radius: int = 8,
+         roots: Optional[Sequence[int]] = None) -> int:
+    """One bounded pass of Rudell's sifting over the live graph.
+
+    Picks the *max_vars* widest variables (live nodes per level), moves
+    each through up to *radius* adjacent-level swaps in both directions,
+    and leaves it at the position with the smallest live graph.  A walk
+    direction is abandoned early once the graph grows past 1.2x the
+    running best (the classic growth cut-off).  Ends with a
+    :meth:`BDDManager.collect` to reclaim the nodes the swaps stranded.
+    Returns the net change in live node count (negative = shrunk).
+    """
+    if roots is None:
+        root_ids = mgr.live_roots()
+    else:
+        root_ids = list(roots)
+    nlevels = len(mgr._var_names)
+    if nlevels < 2:
+        return 0
+    per_level = [0] * nlevels
+    initial = _live_size(mgr, root_ids, per_level)
+    widest = sorted(range(nlevels), key=lambda lvl: per_level[lvl],
+                    reverse=True)[:max_vars]
+    names = [mgr._var_names[lvl] for lvl in widest if per_level[lvl]]
+    for name in names:
+        start = mgr._name_to_level[name]
+        best_size = _live_size(mgr, root_ids)
+        best_pos = start
+        # Walk down, then back up past the start, recording the live
+        # size at each visited position.
+        pos = start
+        limit = best_size
+        while pos < nlevels - 1 and pos < start + radius:
+            mgr._swap_adjacent(pos)
+            pos += 1
+            size = _live_size(mgr, root_ids)
+            if size < best_size:
+                best_size = size
+                best_pos = pos
+            if size > limit * 1.2:
+                break
+        while pos > 0 and pos > start - radius:
+            mgr._swap_adjacent(pos - 1)
+            pos -= 1
+            if pos < start:
+                size = _live_size(mgr, root_ids)
+                if size < best_size:
+                    best_size = size
+                    best_pos = pos
+                if size > limit * 1.2:
+                    break
+        while pos < best_pos:
+            mgr._swap_adjacent(pos)
+            pos += 1
+        while pos > best_pos:
+            mgr._swap_adjacent(pos - 1)
+            pos -= 1
+    mgr.collect(root_ids)
+    return _live_size(mgr, root_ids) - initial

@@ -1,0 +1,191 @@
+"""``python -m repro.bench`` — the performance trajectory reporter.
+
+Every benchmark run (``pytest benchmarks/``) appends one *session* to
+``BENCH_results.json`` at the repository root: a timestamp, the
+platform string, and one ``{bench, outcome, seconds}`` record per
+bench.  This module reads that history back and answers the question
+the raw file cannot: *which benches moved, and by how much?*
+
+For each bench present in the newest session it prints the wall-clock
+trajectory across the last N sessions (oldest → newest), the relative
+change of the newest run against the run before it, and a flag when
+that change exceeds the regression threshold (default +20%).  Sessions
+are compared positionally by bench id, so partial sessions (a run of a
+single bench file) simply leave gaps in the older columns.
+
+Exit status: 0 normally, 1 with ``--strict`` when at least one bench
+regressed past the threshold — the shape CI gates want.
+
+Usage::
+
+    python -m repro.bench                   # last 5 sessions, 20%
+    python -m repro.bench --last 8 --threshold 10
+    python -m repro.bench --strict          # exit 1 on regression
+    python -m repro.bench --file other.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["load_sessions", "trajectory", "regressions", "render", "main"]
+
+#: newest-vs-previous relative change above which a bench is flagged
+DEFAULT_THRESHOLD_PCT = 20.0
+
+#: how many trailing sessions the report shows
+DEFAULT_LAST = 5
+
+#: benches faster than this are never flagged — a 4 ms bench doubling
+#: is scheduler noise, not a regression
+MIN_FLAG_SECONDS = 0.05
+
+
+def _default_path() -> Path:
+    # src/repro/bench.py -> repo root, where conftest writes the file.
+    here = Path(__file__).resolve()
+    for parent in here.parents:
+        candidate = parent / "BENCH_results.json"
+        if candidate.exists():
+            return candidate
+    return Path("BENCH_results.json")
+
+
+def load_sessions(path: Path) -> List[dict]:
+    """The raw session list, oldest first (the file's order)."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a list of bench sessions")
+    return data
+
+
+def _short(bench_id: str) -> str:
+    # benchmarks/test_bench_engines.py::test_bench_x -> test_bench_x
+    return bench_id.rsplit("::", 1)[-1]
+
+
+def trajectory(sessions: Sequence[dict], last: int = DEFAULT_LAST
+               ) -> Dict[str, List[Optional[float]]]:
+    """Per-bench seconds across the trailing *last* sessions.
+
+    Keyed by full bench id; each value has exactly ``min(last,
+    len(sessions))`` slots, oldest first, ``None`` where that session
+    did not run the bench.  Only benches present in the newest session
+    appear — a bench deleted from the suite drops out of the report.
+    """
+    window = list(sessions[-last:]) if last > 0 else []
+    if not window:
+        return {}
+    newest = {r["bench"] for r in window[-1].get("records", ())}
+    rows: Dict[str, List[Optional[float]]] = {b: [None] * len(window)
+                                              for b in sorted(newest)}
+    for col, session in enumerate(window):
+        for record in session.get("records", ()):
+            slots = rows.get(record["bench"])
+            if slots is not None:
+                slots[col] = record.get("seconds")
+    return rows
+
+
+def _delta_pct(slots: Sequence[Optional[float]]) -> Optional[float]:
+    """Newest vs the most recent earlier run of the same bench."""
+    newest = slots[-1]
+    if newest is None:
+        return None
+    for earlier in reversed(slots[:-1]):
+        if earlier is not None and earlier > 0:
+            return (newest - earlier) / earlier * 100.0
+    return None
+
+
+def regressions(rows: Dict[str, List[Optional[float]]],
+                threshold_pct: float = DEFAULT_THRESHOLD_PCT
+                ) -> Dict[str, float]:
+    """Benches whose newest run is more than *threshold_pct* slower
+    than their previous recorded run."""
+    flagged: Dict[str, float] = {}
+    for bench, slots in rows.items():
+        delta = _delta_pct(slots)
+        if (delta is not None and delta > threshold_pct
+                and (slots[-1] or 0.0) >= MIN_FLAG_SECONDS):
+            flagged[bench] = delta
+    return flagged
+
+
+def render(sessions: Sequence[dict], last: int = DEFAULT_LAST,
+           threshold_pct: float = DEFAULT_THRESHOLD_PCT) -> str:
+    """The human-facing report: one row per bench, one time column per
+    session, a delta column, and a regression marker."""
+    rows = trajectory(sessions, last)
+    window = sessions[-last:] if last > 0 else []
+    if not rows:
+        return "no bench sessions recorded"
+    stamps = [s.get("timestamp", "?")[5:16].replace("T", " ")
+              for s in window]
+    name_w = max(len(_short(b)) for b in rows)
+    header = (f"{'bench':<{name_w}}  "
+              + "  ".join(f"{st:>11}" for st in stamps)
+              + "      Δ last")
+    lines = [header, "-" * len(header)]
+    flagged = regressions(rows, threshold_pct)
+    for bench, slots in rows.items():
+        cells = "  ".join(f"{s:>10.2f}s" if s is not None else
+                          f"{'—':>11}" for s in slots)
+        delta = _delta_pct(slots)
+        if delta is None:
+            tail = "        new"
+        else:
+            tail = f"{delta:>+10.1f}%"
+            if bench in flagged:
+                tail += f"  ← REGRESSION (>{threshold_pct:g}%)"
+        lines.append(f"{_short(bench):<{name_w}}  {cells}  {tail}")
+    if flagged:
+        lines.append(f"{len(flagged)} bench(es) regressed more than "
+                     f"{threshold_pct:g}% vs their previous run")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Report per-bench wall-clock trajectories from "
+                    "BENCH_results.json and flag regressions.")
+    parser.add_argument("--file", type=Path, default=None,
+                        help="history file (default: BENCH_results.json "
+                             "at the repository root)")
+    parser.add_argument("--last", type=int, default=DEFAULT_LAST,
+                        help=f"sessions to show (default "
+                             f"{DEFAULT_LAST})")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD_PCT,
+                        help=f"regression threshold in percent "
+                             f"(default {DEFAULT_THRESHOLD_PCT:g})")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when any bench regressed past the "
+                             "threshold")
+    args = parser.parse_args(argv)
+
+    path = args.file or _default_path()
+    try:
+        sessions = load_sessions(path)
+    except FileNotFoundError:
+        print(f"{path}: no bench history (run `pytest benchmarks/` "
+              f"first)", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"{path}: {exc}", file=sys.stderr)
+        return 2
+
+    print(render(sessions, last=args.last, threshold_pct=args.threshold))
+    if args.strict and regressions(trajectory(sessions, args.last),
+                                   args.threshold):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":          # pragma: no cover
+    sys.exit(main())

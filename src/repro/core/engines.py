@@ -62,7 +62,7 @@ class STEEngine:
         antecedent, consequent = prepared
         t0 = _time.perf_counter()
         result = check_compiled(self.model, antecedent, consequent,
-                                abort=abort)
+                                abort=abort, slim_trajectory=True)
         getattr(self, "_observer", NULL_OBSERVER).on_engine_event(
             self.name, "solve", _time.perf_counter() - t0,
             passed=result.passed, depth=result.depth,

@@ -66,11 +66,17 @@ def combine(*fingerprints: str) -> str:
 # BDD / lattice values
 # ----------------------------------------------------------------------
 def _bdd_memo(mgr: BDDManager) -> Dict[int, str]:
-    # Nodes are interned for the manager's lifetime (the unique table is
-    # monotone), so per-node digests memoise safely on the manager.
-    memo = mgr.__dict__.get("_fingerprint_memo")
-    if memo is None:
-        memo = mgr.__dict__["_fingerprint_memo"] = {0: "F", 1: "T"}
+    # Per-node digests memoise on the manager, but node ids are only
+    # stable between garbage collections (indices are recycled) and
+    # digests only stable between reorders (a level swap changes the
+    # structure behind an id) — so the memo is stamped with both epochs
+    # and rebuilt from scratch when either moves.
+    epoch = (getattr(mgr, "gc_epoch", 0), getattr(mgr, "reorder_count", 0))
+    cached = mgr.__dict__.get("_fingerprint_memo")
+    if cached is not None and cached[0] == epoch:
+        return cached[1]
+    memo: Dict[int, str] = {0: "F", 1: "T"}
+    mgr.__dict__["_fingerprint_memo"] = (epoch, memo)
     return memo
 
 

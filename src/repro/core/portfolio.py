@@ -66,7 +66,8 @@ class PortfolioRacer:
                 if engine == "ste":
                     from ..ste.checker import check_compiled
                     result: EngineReport = check_compiled(
-                        model, antecedent, consequent, abort=abort)
+                        model, antecedent, consequent, abort=abort,
+                        slim_trajectory=True)
                 else:
                     adapter, _ = session.engine_for("bmc", antecedent,
                                                     consequent)
@@ -117,7 +118,8 @@ class PortfolioRacer:
             runners = {
                 "ste": lambda: check_compiled(model, antecedent,
                                               consequent,
-                                              abort=cancel.is_set),
+                                              abort=cancel.is_set,
+                                              slim_trajectory=True),
                 "bmc": lambda: adapter.solve(query, abort=cancel.is_set),
             }
             threads = [_threading.Thread(target=racer,

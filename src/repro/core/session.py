@@ -579,6 +579,21 @@ class CheckSession:
             reused_model=reused,
             engine=decided_by,
             cached=cached))
+        # Between-properties is the manager's GC/reorder safe point: no
+        # apply in flight, every live function is behind a Ref (or a
+        # registered root provider), so reclaiming dead intermediates
+        # here is sound.  Passed results give up their defining
+        # trajectories first — they exist to diagnose failures, and
+        # retaining them would pin every property's full state history
+        # in the unique table for the life of the session.  No-op
+        # unless growth crossed the trigger.
+        if result.passed and not cached:
+            release = getattr(result, "release_trajectory", None)
+            if release is not None:
+                release()
+        maybe_collect = getattr(self.mgr, "maybe_collect", None)
+        if maybe_collect is not None:
+            maybe_collect()
         return result
 
     def run(self, properties: Iterable[PropertyLike],

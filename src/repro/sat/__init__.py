@@ -9,6 +9,10 @@ Layers:
                       Luby restarts, assumptions)
 ``repro.sat.encode``  dual-rail ternary encoding of netlist primitives,
                       BDD→CNF conversion, two-valued cone compiler
+``repro.sat.preprocess``  CNF preprocessing: subsumption, strengthening,
+                      failed-literal probing (equivalence-preserving,
+                      inline before CDCL) + bounded variable elimination
+                      (one-shot, with model reconstruction)
 ``repro.sat.bmc``     the schedule unroller and STE-property checker
 ==================  ==================================================
 
@@ -22,6 +26,7 @@ of canonical BDDs + variable-order sensitivity).
 from .cnf import CNF, SATError, Tseitin
 from .solver import Solver, SolverInterrupted, SolverMark
 from .encode import DualRailEncoder, Pair, SCALAR_OF_RAILS, encode_boolean_cone
+from .preprocess import IncrementalPreprocessor, Reconstruction, preprocess
 from .bmc import (BMCEngine, BMCFailure, BMCModel, BMCResult, PreparedQuery,
                   check, check_model)
 
@@ -29,6 +34,7 @@ __all__ = [
     "CNF", "SATError", "Tseitin",
     "Solver", "SolverInterrupted", "SolverMark",
     "DualRailEncoder", "Pair", "SCALAR_OF_RAILS", "encode_boolean_cone",
+    "IncrementalPreprocessor", "Reconstruction", "preprocess",
     "BMCEngine", "BMCFailure", "BMCModel", "BMCResult", "PreparedQuery",
     "check", "check_model",
 ]

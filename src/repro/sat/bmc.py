@@ -41,6 +41,7 @@ from ..obs.trace import tracer as _tracer
 from ..ste.formula import (Formula, defining_atoms, formula_depth,
                            formula_nodes)
 from .encode import SCALAR_OF_RAILS, DualRailEncoder, Pair
+from .preprocess import IncrementalPreprocessor
 from .solver import Solver, SolverInterrupted
 
 __all__ = ["BMCModel", "BMCEngine", "BMCResult", "BMCFailure",
@@ -211,12 +212,22 @@ class BMCEngine:
     #: already deduplicates the clauses, reuse only skips the walk).
     frame_reuse = True
 
+    #: Filter the Tseitin clause stream through the
+    #: equivalence-preserving :class:`repro.sat.preprocess.
+    #: IncrementalPreprocessor` before it reaches CDCL (subsumption,
+    #: self-subsuming strengthening, failed-literal units).  Off, the
+    #: solver sees the raw database — kept as an ablation baseline;
+    #: verdicts are identical either way (the filter preserves the
+    #: model set exactly).
+    preprocess = True
+
     def __init__(self, model: Union[Circuit, BMCModel]):
         if isinstance(model, Circuit):
             model = BMCModel(model)
         self.model = model
         self.enc = DualRailEncoder()
         self.solver = Solver()
+        self._pre = IncrementalPreprocessor() if self.preprocess else None
         self._fed_clauses = 0
         self.checks = 0
         self.refinements = 0
@@ -323,6 +334,13 @@ class BMCEngine:
 
     def _sync_solver(self) -> None:
         clauses = self.enc.cnf.clauses
+        if self._pre is not None:
+            if self._fed_clauses < len(clauses):
+                batch = clauses[self._fed_clauses:]
+                self._fed_clauses = len(clauses)
+                for clause in self._pre.process(batch):
+                    self.solver.add_clause(clause)
+            return
         for i in range(self._fed_clauses, len(clauses)):
             self.solver.add_clause(clauses[i])
         self._fed_clauses = len(clauses)
@@ -331,11 +349,17 @@ class BMCEngine:
         """Engine counters for session aggregation (the
         :class:`repro.core.registry.Engine` ``stats`` surface): the
         incremental solver's cumulative totals plus the frame-cache
-        traffic.  Monotone over the engine's life — slice accounting is
-        :meth:`snapshot` before, :meth:`delta` after."""
+        traffic and the CNF-preprocessing counters
+        (``preprocess.*`` — surfaced as ``sat.preprocess.*`` in the
+        unified metric namespace).  Monotone over the engine's life —
+        slice accounting is :meth:`snapshot` before, :meth:`delta`
+        after."""
         stats = dict(self.solver.stats())
         stats["frames_computed"] = self.frames_computed
         stats["frames_reused"] = self.frames_reused
+        if self._pre is not None:
+            for key, value in self._pre.stats.items():
+                stats[f"preprocess.{key}"] = value
         return stats
 
     def snapshot(self) -> Dict[str, int]:

@@ -189,31 +189,49 @@ class DualRailEncoder:
         """node id -> ("op", operand ids) from the manager's computed
         tables (see :meth:`BDDManager.computed_entries`).
 
-        Only *constructive* entries — every operand created before the
-        result — are admitted, so replaying the tape strictly descends
-        node ids and terminates; degenerate cache hits (absorptions
-        whose recorded operands postdate the result) are skipped.  The
-        view refreshes incrementally as the manager computes more.
+        Only *constructive* entries — every operand at a strictly
+        smaller node *index* than the result (ids carry a complement
+        bit in their lowest bit, so the index is ``id >> 1``) — are
+        admitted, so replaying the tape strictly descends indices and
+        terminates; degenerate cache hits (absorptions whose recorded
+        operands postdate the result) are skipped.  The view refreshes
+        incrementally as the manager computes more; a garbage
+        collection recycles indices, so it invalidates the accumulated
+        tape wholesale (the memoised literals stay valid — the encoder
+        pins the ids it has already encoded as GC roots).
         """
         key = id(mgr)
         tape = self._tapes.setdefault(key, {})
-        sizes = (mgr.cache_epoch,) + mgr.computed_sizes()
+        sizes = ((getattr(mgr, "gc_epoch", 0), mgr.cache_epoch)
+                 + mgr.computed_sizes())
         consumed = self._tape_sizes.get(key)
         if consumed != sizes:
             if consumed is None or consumed[0] != sizes[0]:
-                # First visit, or the tables were cleared (epoch bump)
-                # since last consumed: existing tape entries stay valid
-                # (nodes are immutable), but offsets must restart so
-                # the rebuilt entries are seen.
+                # First visit, or a GC recycled node indices since last
+                # consumed: accumulated entries may name reused ids, so
+                # drop everything and restart the offsets.
+                tape.clear()
+                start = None
+            elif consumed[1] != sizes[1]:
+                # Tables cleared without a GC (epoch bump): existing
+                # tape entries stay valid (nodes are immutable), but
+                # offsets must restart so the rebuilt entries are seen.
                 start = None
             else:
-                start = consumed[1:]
+                start = consumed[2:]
             for op, operands, result in mgr.computed_entries(start):
                 if result > 1 and result not in tape and all(
-                        o < result for o in operands):
+                        (o >> 1) < (result >> 1) for o in operands):
                     tape[result] = (op,) + operands
             self._tape_sizes[key] = sizes
         return tape
+
+    def bdd_roots(self, mgr: BDDManager) -> Sequence[int]:
+        """GC-root hook (see :meth:`BDDManager.register_roots`): every
+        node id this encoder has memoised a literal for must survive
+        collection, or a recycled id would alias a stale literal."""
+        memo = self._bdd_memo.get(id(mgr))
+        return tuple(memo) if memo else ()
 
     def bdd_lit(self, ref: Ref) -> int:
         """The literal equivalent to BDD *ref*, over CNF variables named
@@ -232,6 +250,9 @@ class DualRailEncoder:
             memo = {0: self.ts.false, 1: self.ts.true}
             self._bdd_memo[id(mgr)] = memo
             self._managers[id(mgr)] = mgr     # keep the manager alive
+            register = getattr(mgr, "register_roots", None)
+            if register is not None:
+                register(self)            # memoised ids must survive GC
         if ref.node in memo:
             return memo[ref.node]
         ts = self.ts
@@ -245,6 +266,11 @@ class DualRailEncoder:
                 stack.pop()
                 continue
             entry = tape.get(n)
+            if entry is None and n ^ 1 in tape:
+                # Complement edges: the tape records one polarity of
+                # each computed function; the other is its free
+                # negation.
+                entry = ("not", n ^ 1)
             deps = entry[1:] if entry is not None else node_triple(n)[1:]
             ready = True
             for d in deps:

@@ -1,0 +1,392 @@
+"""CNF preprocessing: subsumption, strengthening, probing, elimination.
+
+Modern CDCL front ends win as much from what they *don't* hand the
+search loop as from the loop itself (SatELite-style simplification;
+DateSAT's domain-aware preprocessing makes the same point for EDA
+workloads).  The Tseitin databases our BMC engine emits are full of
+easy redundancy: dual-rail encodings produce pairwise-subsumed clauses
+around shared gate outputs, constant rails leave one-sided definitions
+behind, and the per-frame unrolling re-derives the same units frame
+after frame.
+
+Two surfaces, with different soundness contracts:
+
+* :class:`IncrementalPreprocessor` — an **equivalence-preserving**
+  filter between the Tseitin clause stream and the solver, used by the
+  BMC engine.  Every transformation keeps the model set of the
+  database identical over *all* variables (tautology drop, duplicate
+  and unit-falsified literal removal, forward subsumption,
+  self-subsuming resolution, failed-literal units), so incremental
+  solving under assumptions and model extraction are untouched.
+* :func:`preprocess` — one-shot simplification of a closed CNF, which
+  additionally runs **bounded variable elimination** (equisatisfiable
+  only: eliminated variables leave the formula).  It returns a
+  :class:`Reconstruction` that extends a model of the simplified
+  formula back to the full variable set, the standard
+  elimination-stack replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["IncrementalPreprocessor", "Reconstruction", "preprocess"]
+
+
+def _signature(clause: Tuple[int, ...]) -> int:
+    """64-bit subset signature: sig(D) & ~sig(C) != 0 proves D ⊄ C."""
+    sig = 0
+    for lit in clause:
+        sig |= 1 << (hash(lit) & 63)
+    return sig
+
+
+class IncrementalPreprocessor:
+    """Equivalence-preserving clause filter for an incremental solver.
+
+    Feed every clause destined for the solver through
+    :meth:`process`; it returns the (possibly strengthened, possibly
+    empty) list of clauses actually worth adding.  The filter keeps its
+    own occurrence-indexed database of everything it has let through,
+    so later clauses are checked against the whole history.
+
+    All transformations preserve logical equivalence over all
+    variables — never mere equisatisfiability — so verdicts *and*
+    models of the downstream solver are unchanged, including under
+    assumptions.
+    """
+
+    #: self-subsuming strengthening is only attempted on clauses up to
+    #: this length (the quadratic inner scan is not worth it on long
+    #: Tseitin definition clauses).
+    strengthen_limit = 8
+    #: clause visits a single failed-literal probe may spend before the
+    #: probe is abandoned.
+    probe_budget = 400
+    #: probes attempted per :meth:`process` batch.
+    probes_per_batch = 12
+
+    def __init__(self):
+        self._clauses: List[Optional[Tuple[int, ...]]] = []
+        self._sigs: List[int] = []
+        self._occ: Dict[int, List[int]] = {}
+        self._units: Set[int] = set()
+        self._probe_candidates: List[int] = []
+        self._probed: Set[int] = set()
+        self.stats: Dict[str, int] = {
+            "clauses_in": 0,
+            "clauses_out": 0,
+            "tautologies": 0,
+            "subsumed": 0,
+            "strengthened": 0,
+            "unit_strengthened": 0,
+            "failed_literals": 0,
+            "probes": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def process(self, clauses: Iterable[Sequence[int]]) -> List[Tuple[int, ...]]:
+        """Filter a batch of clauses; returns the clauses to add to the
+        solver (derived failed-literal units included, each emitted
+        exactly once)."""
+        out: List[Tuple[int, ...]] = []
+        for clause in clauses:
+            self.stats["clauses_in"] += 1
+            kept = self._admit(tuple(clause))
+            if kept is not None:
+                out.append(kept)
+        for unit in self._probe():
+            out.append(unit)
+        self.stats["clauses_out"] += len(out)
+        return out
+
+    # ------------------------------------------------------------------
+    def _admit(self, clause: Tuple[int, ...]) -> Optional[Tuple[int, ...]]:
+        # 1. Local rewrites: duplicate literals, tautology, unit rules.
+        seen: Set[int] = set()
+        lits: List[int] = []
+        for lit in clause:
+            if lit in seen:
+                continue
+            if -lit in seen:
+                self.stats["tautologies"] += 1
+                return None
+            seen.add(lit)
+            lits.append(lit)
+        units = self._units
+        if units:
+            strengthened = False
+            kept: List[int] = []
+            for lit in lits:
+                if lit in units:          # already satisfied forever
+                    self.stats["subsumed"] += 1
+                    return None
+                if -lit in units:         # literal is false forever
+                    strengthened = True
+                    continue
+                kept.append(lit)
+            if strengthened:
+                self.stats["unit_strengthened"] += 1
+                lits = kept
+        clause = tuple(lits)
+        # An empty clause means the database is already unsatisfiable;
+        # pass it through and let the solver conclude.
+        if not clause:
+            return clause
+        # 2. Forward subsumption: drop the clause if a stored one is a
+        # subset of it.
+        if self._subsumed_by_db(clause, frozenset(clause)):
+            self.stats["subsumed"] += 1
+            return None
+        # 3. Self-subsuming resolution: if for some l in C a stored D
+        # satisfies D \ {-l} ⊆ C \ {l}, the resolvent C \ {l} is
+        # implied and subsumes C — strengthen in place.
+        if 1 < len(clause) <= self.strengthen_limit:
+            clause = self._strengthen(clause)
+        self._store(clause)
+        if len(clause) == 1:
+            self._units.add(clause[0])
+        elif len(clause) == 2:
+            self._probe_candidates.extend(clause)
+        return clause
+
+    def _subsumed_by_db(self, clause: Tuple[int, ...],
+                        clause_set: frozenset) -> bool:
+        sig = _signature(clause)
+        sigs = self._sigs
+        stored = self._clauses
+        for lit in clause:
+            for ci in self._occ.get(lit, ()):
+                d = stored[ci]
+                if d is None or len(d) > len(clause):
+                    continue
+                if sigs[ci] & ~sig:
+                    continue
+                if all(q in clause_set for q in d):
+                    return True
+        return False
+
+    def _strengthen(self, clause: Tuple[int, ...]) -> Tuple[int, ...]:
+        sigs = self._sigs
+        stored = self._clauses
+        changed = True
+        while changed and len(clause) > 1:
+            changed = False
+            clause_set = frozenset(clause)
+            for lit in clause:
+                rest = clause_set - {lit}
+                target = rest | {-lit}
+                sig = _signature(tuple(target))
+                for ci in self._occ.get(-lit, ()):
+                    d = stored[ci]
+                    if d is None or len(d) > len(clause):
+                        continue
+                    if sigs[ci] & ~sig:
+                        continue
+                    if all(q in target for q in d):
+                        clause = tuple(q for q in clause if q != lit)
+                        self.stats["strengthened"] += 1
+                        if len(clause) == 1:
+                            self._units.add(clause[0])
+                        changed = True
+                        break
+                if changed:
+                    break
+        return clause
+
+    def _store(self, clause: Tuple[int, ...]) -> None:
+        ci = len(self._clauses)
+        self._clauses.append(clause)
+        self._sigs.append(_signature(clause))
+        for lit in clause:
+            self._occ.setdefault(lit, []).append(ci)
+
+    # ------------------------------------------------------------------
+    # Failed-literal probing over the filter's own database
+    # ------------------------------------------------------------------
+    def _propagate(self, assume: int) -> Optional[bool]:
+        """Unit-propagate the stored units plus *assume*.  Returns True
+        on conflict, False on a fixpoint, None when the visit budget ran
+        out (no conclusion)."""
+        assigned: Set[int] = set(self._units)
+        assigned.add(assume)
+        queue: List[int] = [assume]
+        stored = self._clauses
+        budget = self.probe_budget
+        while queue:
+            p = queue.pop()
+            for ci in self._occ.get(-p, ()):
+                d = stored[ci]
+                if d is None:
+                    continue
+                budget -= 1
+                if budget < 0:
+                    return None
+                unassigned = 0
+                satisfied = False
+                for q in d:
+                    if q in assigned:
+                        satisfied = True
+                        break
+                    if -q in assigned:
+                        continue
+                    if unassigned:
+                        unassigned = -1      # two free literals: no unit
+                        break
+                    unassigned = q
+                if satisfied or unassigned == -1:
+                    continue
+                if unassigned == 0:
+                    return True              # all literals false
+                assigned.add(unassigned)
+                queue.append(unassigned)
+        return False
+
+    def _probe(self) -> List[Tuple[int, ...]]:
+        """Failed-literal probing on literals of recent binary clauses:
+        if propagating ``l`` conflicts, ``-l`` is implied — a unit the
+        solver would otherwise have to trip over one conflict at a
+        time."""
+        derived: List[Tuple[int, ...]] = []
+        budget = self.probes_per_batch
+        while self._probe_candidates and budget > 0:
+            lit = self._probe_candidates.pop()
+            if lit in self._probed or lit in self._units \
+                    or -lit in self._units:
+                continue
+            self._probed.add(lit)
+            budget -= 1
+            self.stats["probes"] += 1
+            if self._propagate(lit) is True:
+                self.stats["failed_literals"] += 1
+                unit = (-lit,)
+                if -lit not in self._units:
+                    self._units.add(-lit)
+                    self._store(unit)
+                    derived.append(unit)
+        return derived
+
+
+# ----------------------------------------------------------------------
+# One-shot preprocessing with bounded variable elimination
+# ----------------------------------------------------------------------
+class Reconstruction:
+    """Replay stack mapping a model of the simplified formula back to
+    the full variable set (the eliminated variables)."""
+
+    def __init__(self):
+        # (var, clauses-it-occurred-in) in elimination order.
+        self._steps: List[Tuple[int, List[Tuple[int, ...]]]] = []
+
+    def push(self, var: int, clauses: List[Tuple[int, ...]]) -> None:
+        self._steps.append((var, clauses))
+
+    def extend_model(self, model: Dict[int, bool]) -> Dict[int, bool]:
+        """Given ``{var: value}`` satisfying the simplified formula,
+        fill in the eliminated variables so the result satisfies the
+        original formula."""
+        out = dict(model)
+        for var, clauses in reversed(self._steps):
+            # var := True unless some removed clause forces it false: a
+            # clause containing -var whose other literals are all false.
+            # (Resolution soundness guarantees the two sides never force
+            # conflicting values under a model of the resolvents.)
+            value = True
+            for clause in clauses:
+                if -var not in clause:
+                    continue
+                if not any(_lit_true(out, q) for q in clause if q != -var):
+                    value = False
+                    break
+            out[var] = value
+        return out
+
+
+def _lit_true(model: Dict[int, bool], lit: int) -> bool:
+    value = model.get(abs(lit))
+    if value is None:
+        value = True                        # free variables default true
+        model[abs(lit)] = value
+    return value if lit > 0 else not value
+
+
+def preprocess(clauses: Iterable[Sequence[int]], *,
+               frozen: Iterable[int] = (),
+               elimination_bound: int = 8
+               ) -> Tuple[List[Tuple[int, ...]], Reconstruction,
+                          Dict[str, int]]:
+    """One-shot simplification of a closed CNF.
+
+    Runs the equivalence-preserving pipeline of
+    :class:`IncrementalPreprocessor` over the whole database, then
+    **bounded variable elimination** (Davis–Putnam resolution on
+    variables whose elimination does not grow the clause count, the
+    SatELite rule) on every variable not in *frozen*.  Eliminating a
+    variable preserves satisfiability but not models — the returned
+    :class:`Reconstruction` extends a model of the output back to the
+    input's variables.  *frozen* variables (the query interface:
+    assumption literals, named observables) are never eliminated.
+
+    Returns ``(clauses, reconstruction, stats)``.
+    """
+    pre = IncrementalPreprocessor()
+    db: List[Tuple[int, ...]] = list(pre.process(clauses))
+    stats = dict(pre.stats)
+    stats["eliminated_vars"] = 0
+    stats["resolvents"] = 0
+    frozen_set = {abs(v) for v in frozen}
+    recon = Reconstruction()
+
+    occ: Dict[int, Set[int]] = {}
+    for i, clause in enumerate(db):
+        for lit in clause:
+            occ.setdefault(lit, set()).add(i)
+
+    def live(indices: Set[int]) -> List[int]:
+        return [i for i in indices if db[i] is not None]
+
+    candidates = sorted(
+        {abs(lit) for lit in occ} - frozen_set,
+        key=lambda v: len(occ.get(v, ())) + len(occ.get(-v, ())))
+    for var in candidates:
+        pos = live(occ.get(var, set()))
+        neg = live(occ.get(-var, set()))
+        if not pos and not neg:
+            continue
+        if len(pos) * len(neg) > elimination_bound:
+            continue
+        resolvents: List[Tuple[int, ...]] = []
+        for i in pos:
+            for j in neg:
+                merged: Set[int] = set()
+                taut = False
+                for q in db[i] + db[j]:
+                    if q in (var, -var):
+                        continue
+                    if -q in merged:
+                        taut = True
+                        break
+                    merged.add(q)
+                if not taut:
+                    resolvents.append(tuple(sorted(merged)))
+        if len(resolvents) > len(pos) + len(neg):
+            continue
+        # Commit: drop every clause mentioning var, add the resolvents.
+        removed: List[Tuple[int, ...]] = []
+        for i in pos + neg:
+            removed.append(db[i])
+            db[i] = None
+        for r in resolvents:
+            if not r:
+                # Empty resolvent: the formula is UNSAT; keep the fact.
+                db.append(())
+                continue
+            idx = len(db)
+            db.append(r)
+            for lit in r:
+                occ.setdefault(lit, set()).add(idx)
+            stats["resolvents"] += 1
+        recon.push(var, removed)
+        stats["eliminated_vars"] += 1
+    out = [c for c in db if c is not None]
+    return out, recon, stats

@@ -82,6 +82,18 @@ class STEResult:
         assignment — the check passed for lack of stimuli."""
         return self.antecedent_ok.is_false
 
+    def release_trajectory(self) -> None:
+        """Drop the defining trajectory, letting the manager's GC
+        reclaim its nodes.
+
+        The trajectory exists to diagnose *failures* (the
+        counterexample extractor walks it); once a property has passed
+        and its verdict is recorded there is nothing left to diagnose,
+        but the states — one :class:`TernaryValue` per circuit node per
+        time step — pin the bulk of the unique table.  A session calls
+        this on passed results before its GC safe point."""
+        self.trajectory.clear()
+
     def failure_condition(self) -> Ref:
         """BDD of all assignments violating some consequent point (and
         consistent with the antecedent)."""
@@ -165,7 +177,8 @@ def check(model: Union[Circuit, CompiledModel],
 def check_compiled(compiled: CompiledModel,
                    antecedent: Formula,
                    consequent: Formula,
-                   abort: Optional[Callable[[], bool]] = None) -> STEResult:
+                   abort: Optional[Callable[[], bool]] = None,
+                   slim_trajectory: bool = False) -> STEResult:
     """The decision procedure proper, on an already-compiled model.
 
     Split out from :func:`check` so that a
@@ -177,12 +190,30 @@ def check_compiled(compiled: CompiledModel,
     when it fires the check raises
     :class:`~repro.engine.EngineAborted` (the manager and its caches
     stay valid) — the portfolio racer's cancellation hook.
+
+    *slim_trajectory* releases each state as soon as the stepping no
+    longer needs it, keeping only the steps the consequent examines.
+    The full defining trajectory of a wide property pins millions of
+    unique-table nodes that the verdict never looks at; dropping a
+    state as the loop moves past it lets the manager's between-step GC
+    reclaim them, bounding peak memory by the *live* frontier instead
+    of the whole history.  Released steps render as ``X`` in
+    counterexample traces, so the one-shot :func:`check` (whose result
+    is the diagnostic artefact) keeps everything, while sessions —
+    which record verdicts and discard passed trajectories anyway —
+    turn this on.
     """
     started = _time.perf_counter()
     mgr = compiled.mgr
     a_seq = defining_sequence(mgr, antecedent)
     c_seq = defining_sequence(mgr, consequent)
     depth = max(formula_depth(antecedent), formula_depth(consequent))
+    # GC safe point: between trajectory steps every live function is
+    # held by a Ref (trajectory states, defining sequences, compiled
+    # cones), so the manager may collect dead step temporaries here —
+    # a single wide property can otherwise triple the unique table.
+    maybe_collect = getattr(mgr, "maybe_collect", None)
+    needed = set(c_seq) if slim_trajectory else None
 
     # Defining trajectory (Defn 3), tracking antecedent consistency at
     # every constrained point (the only places ⊤ can originate).
@@ -198,6 +229,15 @@ def check_compiled(compiled: CompiledModel,
                 antecedent_ok = antecedent_ok & state[node].is_consistent()
             trajectory.append(state)
             prev = state
+            # Once the loop has stepped past t-1 nothing references
+            # that state again unless the consequent examines it.
+            if needed is not None and t and t - 1 not in needed:
+                trajectory[t - 1] = {}
+            if maybe_collect is not None:
+                maybe_collect()
+        if needed is not None and depth and depth - 1 not in needed:
+            trajectory[depth - 1] = {}
+            prev = None
 
     # Point-wise lattice comparison  [C] t n ⊑ [[A]] M t n.
     failures: List[Failure] = []
@@ -219,6 +259,16 @@ def check_compiled(compiled: CompiledModel,
                                             actual))
         span.set("points", checked_points)
         span.set("failures", len(failures))
+
+    if failures and slim_trajectory:
+        # The slim run released the states a counterexample trace
+        # renders.  Failures are the rare outcome, the computed tables
+        # are now warm with this exact check, and the procedure is
+        # deterministic — so simply redo it keeping everything, which
+        # makes failing session results bit-identical (trajectory
+        # included) to per-property checks.
+        return check_compiled(compiled, antecedent, consequent,
+                              abort=abort)
 
     elapsed = _time.perf_counter() - started
     return STEResult(

@@ -201,3 +201,66 @@ class TestCacheStatistics:
         assert stats["cache_hits"] == sum(s["hits"] for s in per_op.values())
         assert stats["cache_misses"] == sum(s["misses"]
                                             for s in per_op.values())
+
+
+class TestComplementEdges:
+    """The packed kernel stores negation as a tag bit on the edge, so a
+    whole family of identities must hold *structurally* (same id, zero
+    new nodes), not merely semantically.  Each is cross-checked against
+    exhaustive evaluation so a sign error cannot hide behind a shared
+    sign error in the checker."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(formulas)
+    def test_negation_is_a_tag_not_a_traversal(self, lhs):
+        mgr = BDDManager()
+        mgr.declare_all(NAMES)
+        build, evaluate = lhs
+        f = build(mgr)
+        nodes_before = mgr.num_nodes()
+        g = ~f
+        # O(1): no node was created, the id only flipped its tag bit.
+        assert mgr.num_nodes() == nodes_before
+        assert g.node == f.node ^ 1
+        assert ~g == f
+        for env in _assignments():
+            assert mgr.eval(g, env) == (not evaluate(env))
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas)
+    def test_function_and_complement_share_all_nodes(self, lhs):
+        mgr = BDDManager()
+        mgr.declare_all(NAMES)
+        f = lhs[0](mgr)
+        assert mgr.size(f) == mgr.size(~f)
+        assert mgr.support(f) == mgr.support(~f)
+        n = len(NAMES)
+        assert mgr.sat_count(f, n) + mgr.sat_count(~f, n) == 2 ** n
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas, formulas)
+    def test_de_morgan_is_the_same_table_entry(self, lhs, rhs):
+        """OR is AND through De Morgan on tagged edges, so the two
+        sides are the *identical* id, not just equivalent functions."""
+        mgr = BDDManager()
+        mgr.declare_all(NAMES)
+        f = lhs[0](mgr)
+        g = rhs[0](mgr)
+        assert (f | g) == ~(~f & ~g)
+        assert (f & g) == ~(~f | ~g)
+        assert (f ^ g) == ~(f ^ ~g)
+        assert (f >> g) == (~f | g)
+
+    @settings(max_examples=100, deadline=None)
+    @given(formulas)
+    def test_canonical_form_high_edges_regular(self, lhs):
+        """The unique-table invariant behind all of the above: a stored
+        HIGH edge never carries the complement tag (negation is pushed
+        to the low edge and the parent reference instead)."""
+        mgr = BDDManager()
+        mgr.declare_all(NAMES)
+        lhs[0](mgr)
+        free = set(mgr._free)
+        for idx in range(1, len(mgr._level)):
+            if idx not in free:
+                assert mgr._high[idx] & 1 == 0

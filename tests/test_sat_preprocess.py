@@ -1,0 +1,220 @@
+"""CNF preprocessing: soundness differentials and the BMC wiring.
+
+The incremental filter must be *equivalence-preserving over all
+variables* — not merely equisatisfiable — because the BMC engine
+queries the same solver incrementally under assumptions and reads
+models back.  So the core differential here is stronger than
+verdict-matching: every total assignment must satisfy the original
+batch exactly when it satisfies the filtered output.  The one-shot
+:func:`repro.sat.preprocess` additionally eliminates variables, so for
+it the differential is verdict equality plus model reconstruction
+round-trips.  Random corpora mirror ``test_sat_solver.py``.
+"""
+
+import itertools
+import random
+
+from repro.bdd import BDDManager
+from repro.netlist import Circuit
+from repro.sat import IncrementalPreprocessor, Solver, preprocess
+from repro.sat.bmc import BMCEngine
+from repro.ste import CheckSession, conj, next_, node_is
+from repro.retention import property2_schedule
+
+
+def brute_force(nvars, clauses, assumptions=()):
+    for bits in itertools.product([False, True], repeat=nvars):
+        def val(lit):
+            return bits[abs(lit) - 1] if lit > 0 else not bits[abs(lit) - 1]
+        if all(val(l) for l in assumptions) and \
+                all(any(val(l) for l in cl) for cl in clauses):
+            return True
+    return False
+
+
+def _random_clauses(rng, nv, max_clauses=18, max_len=3):
+    return [[rng.choice([1, -1]) * rng.randint(1, nv)
+             for _ in range(rng.randint(1, max_len))]
+            for _ in range(rng.randint(1, max_clauses))]
+
+
+def _eval_clauses(clauses, bits):
+    def val(lit):
+        return bits[abs(lit) - 1] if lit > 0 else not bits[abs(lit) - 1]
+    return all(any(val(l) for l in cl) for cl in clauses)
+
+
+class TestIncrementalFilter:
+    def test_random_batches_preserve_equivalence(self):
+        """The strong contract: same models over *all* variables."""
+        rng = random.Random(0)
+        for _ in range(300):
+            nv = rng.randint(1, 6)
+            clauses = _random_clauses(rng, nv)
+            pre = IncrementalPreprocessor()
+            kept = pre.process(clauses)
+            for bits in itertools.product([False, True], repeat=nv):
+                assert (_eval_clauses(clauses, bits)
+                        == _eval_clauses(kept, bits)), (clauses, kept)
+
+    def test_random_cnfs_verdicts_match_brute_force(self):
+        rng = random.Random(7)
+        for _ in range(200):
+            nv = rng.randint(1, 7)
+            clauses = _random_clauses(rng, nv)
+            pre = IncrementalPreprocessor()
+            solver = Solver()
+            kept = pre.process(clauses)
+            for cl in kept:
+                solver.add_clause(cl)
+            got = solver.solve()
+            assert got == brute_force(nv, clauses), clauses
+            if got and kept:
+                # unconstrained vars totalise to True, like the BDD
+                # extractor fixing variables outside a cube's support
+                model_bits = tuple(bool(solver.value(v, True))
+                                   for v in range(1, nv + 1))
+                assert _eval_clauses(clauses, model_bits)
+
+    def test_incremental_batches_under_assumptions(self):
+        """Clauses arrive in slices (the BMC frame pattern); verdicts
+        under assumptions must match the unfiltered database."""
+        rng = random.Random(11)
+        for _ in range(120):
+            nv = rng.randint(2, 6)
+            clauses = _random_clauses(rng, nv, max_clauses=15)
+            pre = IncrementalPreprocessor()
+            solver = Solver()
+            cut = rng.randint(0, len(clauses))
+            for batch in (clauses[:cut], clauses[cut:]):
+                for cl in pre.process(batch):
+                    solver.add_clause(cl)
+            assumptions = [rng.choice([1, -1]) * v for v in
+                           rng.sample(range(1, nv + 1),
+                                      rng.randint(1, min(3, nv)))]
+            assert (solver.solve(assumptions)
+                    == brute_force(nv, clauses, assumptions))
+            assert solver.solve() == brute_force(nv, clauses)
+
+    def test_duplicate_and_tautology_rewrites(self):
+        pre = IncrementalPreprocessor()
+        out = pre.process([[1, 1, 2], [3, -3, 1], [1, 2]])
+        # [1,1,2] dedupes to [1,2]; the tautology vanishes; the
+        # incoming duplicate [1,2] is subsumed by the stored copy.
+        assert out == [(1, 2)]
+        assert pre.stats["tautologies"] == 1
+        assert pre.stats["subsumed"] == 1
+
+    def test_unit_strengthening_and_subsumption(self):
+        pre = IncrementalPreprocessor()
+        assert pre.process([[5]]) == [(5,)]
+        # satisfied-by-unit clauses drop; falsified literals vanish
+        assert pre.process([[5, 7], [-5, 9]]) == [(9,)]
+        assert pre.stats["unit_strengthened"] >= 1
+
+    def test_failed_literal_probing_derives_units(self):
+        # (a ∨ b) ∧ (a ∨ ¬b) forces a: probing b (or ¬b) propagates to
+        # a conflict on the other branch only with a richer chain, so
+        # craft the classic diamond: ¬a → b, ¬a → ¬b.
+        pre = IncrementalPreprocessor()
+        out = pre.process([[1, 2], [1, -2]])
+        flat = {lit for cl in out for lit in cl}
+        assert pre.stats["probes"] > 0
+        if pre.stats["failed_literals"]:
+            assert (1,) in out or 1 in flat
+
+
+class TestOneShotElimination:
+    def test_random_cnfs_equisatisfiable_with_reconstruction(self):
+        rng = random.Random(0)
+        for _ in range(250):
+            nv = rng.randint(1, 7)
+            clauses = _random_clauses(rng, nv)
+            simplified, recon, stats = preprocess(clauses)
+            solver = Solver()
+            for cl in simplified:
+                solver.add_clause(cl)
+            got = solver.solve()
+            assert got == brute_force(nv, clauses), clauses
+            if got:
+                present = {abs(l) for cl in simplified for l in cl}
+                model = {v: bool(solver.value(v, True)) for v in present}
+                full = recon.extend_model(model)
+                bits = tuple(full.get(v, True) for v in range(1, nv + 1))
+                assert _eval_clauses(clauses, bits), (clauses, full)
+
+    def test_frozen_variables_survive(self):
+        clauses = [[1, 2], [-1, 2], [3, -2]]
+        simplified, _, _stats = preprocess(clauses, frozen=[2])
+        remaining = {abs(l) for cl in simplified for l in cl}
+        assert 2 in remaining or not simplified
+        # var 2 was a cheap elimination candidate; frozen blocks it
+        for cl in simplified:
+            assert cl, "frozen query var must not make the db empty"
+
+    def test_unsat_is_preserved(self):
+        # all four sign combinations over two variables: UNSAT
+        clauses = [[1, 2], [1, -2], [-1, 2], [-1, -2]]
+        simplified, _, _ = preprocess(clauses)
+        solver = Solver()
+        for cl in simplified:
+            solver.add_clause(cl)
+        assert solver.solve() is False
+
+    def test_elimination_actually_fires(self):
+        # x appears once positively, once negatively: 1 resolvent ≤ 2
+        clauses = [[1, 2], [-1, 3], [2, 3, 4]]
+        simplified, _recon, stats = preprocess(clauses)
+        assert stats["eliminated_vars"] >= 1
+        remaining = {abs(l) for cl in simplified for l in cl}
+        assert 1 not in remaining
+
+
+def _retention_cell():
+    circuit = Circuit("cell")
+    for name in ("clock", "NRET", "NRST", "d"):
+        circuit.add_input(name)
+    circuit.add_dff("q", "d", "clock", nrst="NRST", nret="NRET", init=0)
+    circuit.set_output("q")
+    return circuit
+
+
+def _hold_property(mgr, sched):
+    b = mgr.var("b")
+    antecedent = conj([sched.base, next_(node_is("q", b), 1)])
+    consequent = next_(node_is("q", b), sched.t_resume - 1)
+    return antecedent, consequent
+
+
+class TestBmcWiring:
+    def test_preprocess_on_off_verdicts_identical(self):
+        sched = property2_schedule()
+        circuit = _retention_cell()
+        results = {}
+        for enabled in (True, False):
+            mgr = BDDManager()
+            old = BMCEngine.preprocess
+            BMCEngine.preprocess = enabled
+            try:
+                session = CheckSession(circuit, mgr, engine="bmc")
+                antecedent, consequent = _hold_property(mgr, sched)
+                results[enabled] = session.check(antecedent, consequent,
+                                                 name="hold").passed
+            finally:
+                BMCEngine.preprocess = old
+        assert results[True] == results[False] is True
+
+    def test_engine_stats_expose_preprocess_counters(self):
+        sched = property2_schedule()
+        circuit = _retention_cell()
+        mgr = BDDManager()
+        session = CheckSession(circuit, mgr, engine="bmc")
+        antecedent, consequent = _hold_property(mgr, sched)
+        assert session.check(antecedent, consequent, name="hold").passed
+        stats = session.report().engine_stats
+        assert stats.get("preprocess.clauses_in", 0) > 0
+        assert "preprocess.subsumed" in stats
+        # the unified metric namespace bridges these as sat.preprocess.*
+        metrics = session.report().metrics()
+        assert any(k.startswith("sat.preprocess.") for k in metrics), \
+            sorted(k for k in metrics if k.startswith("sat."))[:10]
